@@ -1,0 +1,65 @@
+//! Criterion bench for E8: schedulability-analysis cost of the
+//! process-model baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtcg_bench::gen::random_process_set;
+use rtcg_core::model::CommGraph;
+use rtcg_process::{edf_schedulable, rm_schedulable_exact};
+use rtcg_sim::dynamic::{simulate_processes, Policy, Preemption, ProcessSim};
+
+fn bench_rm_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rm_exact_analysis");
+    for n in [4usize, 8, 16] {
+        let set = random_process_set(n, 0.7, 9);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &set, |b, s| {
+            b.iter(|| rm_schedulable_exact(s).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_edf_demand(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edf_demand_analysis");
+    for n in [4usize, 8, 16] {
+        let set = random_process_set(n, 0.9, 9);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &set, |b, s| {
+            b.iter(|| edf_schedulable(s, 100_000_000).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_dynamic_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_simulation_1k_ticks");
+    group.sample_size(20);
+    for policy in [Policy::Edf, Policy::Rm, Policy::Llf] {
+        let set = random_process_set(6, 0.8, 3);
+        let mut comm = CommGraph::new();
+        let mut bodies = Vec::new();
+        let mut arrivals: Vec<Vec<u64>> = Vec::new();
+        for (i, p) in set.processes().iter().enumerate() {
+            let e = comm.add_element(format!("e{i}"), p.wcet).unwrap();
+            bodies.push(vec![e]);
+            arrivals.push((0..).map(|k| k * p.period).take_while(|&t| t < 1000).collect());
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let input = ProcessSim {
+                        set: &set,
+                        comm: &comm,
+                        bodies: &bodies,
+                        arrivals: &arrivals,
+                    };
+                    simulate_processes(&input, policy, Preemption::Tick, 1000).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rm_exact, bench_edf_demand, bench_dynamic_simulation);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for E7: per-tick dispatch cost — table lookup vs
+//! dynamic EDF (heap) vs LLF (scan).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtcg_core::model::ElementId;
+use rtcg_core::schedule::{Action, StaticSchedule};
+use rtcg_sim::dispatch::{
+    synthetic_jobs, Dispatcher, EdfDispatcher, LlfDispatcher, TableDispatcher,
+};
+
+fn bench_dispatchers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_per_tick");
+    for n in [8usize, 32, 128, 512] {
+        let actions: Vec<Action> = (0..n)
+            .map(|i| Action::Run(ElementId::new(i as u32)))
+            .collect();
+        let schedule = StaticSchedule::new(actions);
+        group.bench_with_input(BenchmarkId::new("table", n), &schedule, |b, s| {
+            let mut d = TableDispatcher::new(s, |_| 1);
+            b.iter(|| d.next())
+        });
+        group.bench_with_input(BenchmarkId::new("edf_heap", n), &n, |b, &n| {
+            let mut d = EdfDispatcher::new(synthetic_jobs(n));
+            b.iter(|| d.next())
+        });
+        group.bench_with_input(BenchmarkId::new("llf_scan", n), &n, |b, &n| {
+            let mut d = LlfDispatcher::new(synthetic_jobs(n));
+            b.iter(|| d.next())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatchers);
+criterion_main!(benches);

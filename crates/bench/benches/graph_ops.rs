@@ -1,0 +1,83 @@
+//! Criterion bench for the graph substrate: the operations the analysis
+//! layers lean on hardest.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtcg_graph::{algo, generate, DiGraph};
+
+fn sized_dag(n: usize) -> DiGraph<usize, ()> {
+    let mut state = 0x5EEDu64;
+    let (g, _) = generate::random_dag(n, 80, |i| i, move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    });
+    g
+}
+
+fn bench_topo_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topo_sort");
+    for n in [64usize, 256, 1024] {
+        let g = sized_dag(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| algo::topo_sort(g).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_transitive_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transitive_closure");
+    for n in [64usize, 256, 1024] {
+        let g = sized_dag(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| algo::transitive_closure(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strongly_connected_components");
+    for n in [256usize, 1024] {
+        // add back-edges to create components
+        let mut g = sized_dag(n);
+        let ids: Vec<_> = g.node_ids().collect();
+        for w in ids.chunks(8) {
+            if w.len() >= 2 {
+                g.add_edge(w[w.len() - 1], w[0], ()).unwrap();
+            }
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| algo::strongly_connected_components(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_homomorphism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("find_homomorphism_chain_into_dag");
+    let host = sized_dag(128);
+    for len in [3usize, 5] {
+        let (pattern, _) = generate::chain(len, |_| ());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(len),
+            &(pattern, host.clone()),
+            |b, (p, h)| {
+                b.iter(|| {
+                    let _ = algo::find_homomorphism(p, h, |_| h.node_ids().collect());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_topo_sort,
+    bench_transitive_closure,
+    bench_scc,
+    bench_homomorphism
+);
+criterion_main!(benches);

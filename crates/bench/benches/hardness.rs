@@ -1,0 +1,133 @@
+//! Criterion bench for E3/E4: complete-decider cost on Theorem 2's
+//! restricted families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtcg_core::feasibility::{exact, game};
+use rtcg_hardness::{
+    chain_family, encode_three_partition, single_op_family, solve_three_partition,
+    witness_schedule, ThreePartition,
+};
+
+fn bench_exact_search_chain_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_search_chain_family");
+    group.sample_size(10);
+    for n in [1usize, 2] {
+        let model = chain_family(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &model, |b, m| {
+            b.iter(|| {
+                exact::find_feasible(
+                    m,
+                    exact::SearchConfig {
+                        max_len: 3 * n + 1,
+                        node_budget: 60_000_000,
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_game_single_op_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("game_single_op_family");
+    group.sample_size(10);
+    for n in [1usize, 2, 3] {
+        let model = single_op_family(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &model, |b, m| {
+            b.iter(|| {
+                game::solve_game(
+                    m,
+                    game::GameConfig {
+                        state_budget: 3_000_000,
+                        frontier: Default::default(),
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_three_partition_witness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("three_partition_witness_verify");
+    group.sample_size(10);
+    for m in [2usize, 4, 6] {
+        let inst = ThreePartition::generate_yes(m, 7);
+        let partition = solve_three_partition(&inst).unwrap();
+        let model = encode_three_partition(&inst).unwrap();
+        let schedule = witness_schedule(&model, &partition).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(m),
+            &(model, schedule),
+            |b, (model, schedule)| b.iter(|| schedule.feasibility(model).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_game_frontier_ablation(c: &mut Criterion) {
+    // DESIGN §5: visited-state representation ablation — hashed vs
+    // ordered frontier on the same instance
+    let mut group = c.benchmark_group("game_frontier_ablation");
+    group.sample_size(10);
+    let model = single_op_family(3);
+    for (name, frontier) in [
+        ("hashed", game::Frontier::Hashed),
+        ("ordered", game::Frontier::Ordered),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &model, |b, m| {
+            b.iter(|| {
+                game::solve_game(
+                    m,
+                    game::GameConfig {
+                        state_budget: 3_000_000,
+                        frontier,
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_search(c: &mut Criterion) {
+    // sequential vs parallel complete search on the 2-chain family
+    let mut group = c.benchmark_group("exact_search_seq_vs_par");
+    group.sample_size(10);
+    let model = chain_family(2);
+    let cfg = exact::SearchConfig {
+        max_len: 7,
+        node_budget: 60_000_000,
+    };
+    group.bench_function("seq", |b| {
+        b.iter(|| exact::find_feasible(&model, cfg).unwrap())
+    });
+    for threads in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("par", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    rtcg_core::feasibility::parallel::find_feasible_parallel(
+                        &model, cfg, threads,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exact_search_chain_family,
+    bench_game_single_op_family,
+    bench_three_partition_witness,
+    bench_game_frontier_ablation,
+    bench_parallel_search
+);
+criterion_main!(benches);

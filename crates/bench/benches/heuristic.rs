@@ -1,0 +1,68 @@
+//! Criterion bench for E5: Theorem-3 heuristic synthesis cost, plus the
+//! compaction ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtcg_bench::gen::random_async_model;
+use rtcg_core::heuristic::{compact, generate_edf_schedule, synthesize, SplitStrategy};
+
+fn bench_synthesize_by_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesize_theorem3_region");
+    for n in [2usize, 4, 8] {
+        let model = random_async_model(n, 0.4, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &model, |b, m| {
+            b.iter(|| synthesize(m).expect("theorem-3 region instance"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_edf_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edf_generation");
+    let model = random_async_model(6, 0.4, 7);
+    for (name, strategy) in [
+        ("half", SplitStrategy::Half),
+        ("wide", SplitStrategy::WidePeriod),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &model, |b, m| {
+            b.iter(|| generate_edf_schedule(m, strategy, 1_000_000))
+        });
+    }
+    group.finish();
+}
+
+fn bench_latency_analysis(c: &mut Criterion) {
+    // exact feasibility analysis is the verification workhorse — measure
+    // its cost against schedule length
+    let mut group = c.benchmark_group("exact_feasibility_analysis");
+    group.sample_size(20);
+    for n in [2usize, 4, 8] {
+        let model = random_async_model(n, 0.4, 11);
+        let out = synthesize(&model).expect("feasible");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(out.model().clone(), out.schedule.clone()),
+            |b, (m, s)| b.iter(|| s.feasibility(m).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_compaction_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compaction_ablation");
+    group.sample_size(10);
+    let model = random_async_model(4, 0.3, 5);
+    let out = synthesize(&model).expect("feasible");
+    group.bench_function("compact", |b| {
+        b.iter(|| compact(out.model(), &out.schedule).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_synthesize_by_size,
+    bench_edf_generation,
+    bench_latency_analysis,
+    bench_compaction_ablation
+);
+criterion_main!(benches);

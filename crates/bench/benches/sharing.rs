@@ -1,0 +1,46 @@
+//! Criterion bench for E6: naive synthesis vs shared-operation merging.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtcg_bench::gen::shared_core_model;
+use rtcg_core::constraint::ConstraintId;
+use rtcg_process::naive_synthesis;
+use rtcg_synth::{merge_constraints, synthesize_programs};
+
+fn bench_naive_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("naive_synthesis");
+    for k in [2usize, 4, 8] {
+        let model = shared_core_model(k, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &model, |b, m| {
+            b.iter(|| naive_synthesis(m).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_constraints");
+    for k in [2usize, 4, 8] {
+        let model = shared_core_model(k, 3);
+        let ids: Vec<ConstraintId> = (0..k as u32).map(ConstraintId::new).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(k),
+            &(model, ids),
+            |b, (m, ids)| b.iter(|| merge_constraints(m, ids).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_program_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("program_synthesis");
+    for k in [2usize, 8] {
+        let model = shared_core_model(k, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &model, |b, m| {
+            b.iter(|| synthesize_programs(m).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_naive_synthesis, bench_merge, bench_program_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! E11 (ablation) — how good are the heuristic's tables?
+//!
+//! "Even though optimal static schedules are hard to compute in general,
+//! … the run-time scheduler is very efficient once a feasible static
+//! schedule has been found off-line." The heuristic buys tractability;
+//! this ablation measures what it pays: on small instances where the
+//! exhaustive search can find the *minimum-length* feasible schedule,
+//! compare the EDF-generated table, its idle-compacted version, and the
+//! optimum — in table length and worst latency slack.
+
+use rtcg_bench::{time_it, Table};
+use rtcg_core::feasibility::exact;
+use rtcg_core::heuristic::{compact, synthesize};
+use rtcg_core::model::{Model, ModelBuilder};
+use rtcg_core::task::TaskGraphBuilder;
+
+fn unit_model(deadlines: &[u64]) -> Model {
+    let mut b = ModelBuilder::new();
+    for (i, &d) in deadlines.iter().enumerate() {
+        let e = b.element(&format!("e{i}"), 1);
+        let tg = TaskGraphBuilder::new().op("o", e).build().unwrap();
+        b.asynchronous(&format!("c{i}"), tg, d, d);
+    }
+    b.build().unwrap()
+}
+
+fn main() {
+    println!("E11 (ablation): heuristic vs compacted vs optimal table length");
+    println!();
+    let mut t = Table::new(&[
+        "deadlines",
+        "heuristic |S|",
+        "compacted |S|",
+        "optimal |S|",
+        "opt search (s)",
+        "heuristic slack",
+        "optimal slack",
+    ]);
+    let cases: Vec<Vec<u64>> = vec![
+        vec![2],
+        vec![4, 4],
+        vec![4, 6],
+        vec![6, 6, 6],
+        vec![4, 8, 8],
+        vec![6, 8, 12],
+    ];
+    for deadlines in &cases {
+        let model = unit_model(deadlines);
+        let heur = synthesize(&model).expect("Theorem-3-region instance");
+        let m = heur.model();
+        let compacted = compact(m, &heur.schedule).expect("compacts");
+        let (opt, secs) = time_it(|| {
+            exact::find_feasible(
+                &model,
+                exact::SearchConfig {
+                    max_len: heur.schedule.len().min(8),
+                    node_budget: 50_000_000,
+                },
+            )
+            .unwrap()
+        });
+        let optimal = opt.schedule.expect("feasible instance");
+        let min_slack = |model: &Model, s: &rtcg_core::StaticSchedule| -> u64 {
+            s.feasibility(model)
+                .unwrap()
+                .checks
+                .iter()
+                .map(|c| c.slack().expect("feasible"))
+                .min()
+                .unwrap_or(0)
+        };
+        t.row(&[
+            format!("{deadlines:?}"),
+            heur.schedule.len().to_string(),
+            compacted.len().to_string(),
+            optimal.len().to_string(),
+            format!("{secs:.4}"),
+            min_slack(m, &heur.schedule).to_string(),
+            min_slack(&model, &optimal).to_string(),
+        ]);
+        assert!(optimal.len() <= compacted.len());
+        assert!(compacted.len() <= heur.schedule.len());
+    }
+    println!("{}", t.render());
+    println!("E11 expectation: iterative-deepening search finds the minimum table;");
+    println!("the heuristic's table is longer (one hyperperiod) but compaction");
+    println!("closes part of the gap — all three verify feasible.");
+}

@@ -1,0 +1,140 @@
+//! E9 (extension) — the paper's deferred multiprocessor decomposition.
+//!
+//! "For a multiprocessor architecture, the synthesis problem can be
+//! decomposed into a set of single processor synthesis problems and a
+//! similar-looking problem for scheduling the communication network."
+//! Sweep pipeline models over processor counts and record: slicing
+//! overhead, per-cpu busy fractions, bus utilization, and the composed
+//! end-to-end bound vs the deadline. Also sweeps the data-freshness
+//! metrics of the single-processor schedule as a cross-check of the
+//! "relations on data values along edges" research direction.
+
+use rtcg_bench::Table;
+use rtcg_core::heuristic::SynthesisConfig;
+use rtcg_core::model::{Model, ModelBuilder};
+use rtcg_core::task::TaskGraphBuilder;
+use rtcg_multi::{balance_load, synthesize_multi};
+use rtcg_sim::freshness::{channel_freshness, reaction_latency};
+
+/// A k-stage unit-ish pipeline with deadline d.
+fn pipeline(stages: usize, d: u64) -> Model {
+    let mut b = ModelBuilder::new();
+    let mut prev = None;
+    let mut tb = TaskGraphBuilder::new();
+    for k in 0..stages {
+        let w = 1 + (k % 2) as u64; // alternating weights 1, 2
+        let e = b.element(&format!("s{k}"), w);
+        tb = tb.op(&format!("o{k}"), e);
+        if let Some(p) = prev {
+            b.channel(p, e);
+            tb = tb.edge(&format!("o{}", k - 1), &format!("o{k}"));
+        }
+        prev = Some(e);
+    }
+    b.asynchronous("pipe", tb.build().unwrap(), d, d);
+    b.build().unwrap()
+}
+
+fn main() {
+    println!("E9 (extension): multiprocessor decomposition sweep");
+    println!();
+    let cfg = SynthesisConfig {
+        max_hyperperiod: 200_000,
+        game_state_budget: 50_000,
+    };
+    let mut t = Table::new(&[
+        "stages",
+        "cpus",
+        "fragments",
+        "messages",
+        "e2e bound",
+        "deadline",
+        "verdict",
+        "bus busy",
+    ]);
+    for &stages in &[3usize, 4, 6] {
+        let d = 40 * stages as u64;
+        let model = pipeline(stages, d);
+        for &cpus in &[1usize, 2, 3] {
+            let placement = balance_load(&model, cpus).unwrap();
+            match synthesize_multi(&model, &placement, cfg) {
+                Ok(out) => {
+                    let e = &out.end_to_end[0];
+                    let frags: usize = out.sliced.iter().map(|s| s.fragments.len()).sum();
+                    let msgs: usize = out.sliced.iter().map(|s| s.messages.len()).sum();
+                    let bus_busy = out
+                        .bus
+                        .as_ref()
+                        .map(|b| {
+                            format!(
+                                "{:.2}",
+                                b.schedule.busy_fraction(b.model().comm()).unwrap()
+                            )
+                        })
+                        .unwrap_or_else(|| "-".into());
+                    t.row(&[
+                        stages.to_string(),
+                        cpus.to_string(),
+                        frags.to_string(),
+                        msgs.to_string(),
+                        e.bound.to_string(),
+                        e.deadline.to_string(),
+                        if e.ok { "OK".into() } else { "VIOLATED".into() },
+                        bus_busy,
+                    ]);
+                    assert!(out.all_ok(), "stages={stages} cpus={cpus}");
+                }
+                Err(err) => {
+                    t.row(&[
+                        stages.to_string(),
+                        cpus.to_string(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        d.to_string(),
+                        format!("fail: {err}"),
+                        "-".into(),
+                    ]);
+                }
+            }
+        }
+    }
+    println!("{}", t.render());
+
+    // freshness cross-check on the single-processor 4-stage pipeline
+    println!("data freshness (4-stage pipeline, single processor, 20 rounds):");
+    let model = pipeline(4, 160);
+    let out = rtcg_core::heuristic::synthesize(&model).unwrap();
+    let m = out.model();
+    let trace = out.schedule.expand(m.comm(), 20).unwrap();
+    let mut t = Table::new(&["channel", "samples", "starved", "worst age", "mean age"]);
+    let names: Vec<String> = m.comm().elements().map(|(_, e)| e.name.clone()).collect();
+    for w in names.windows(2) {
+        let from = m.comm().lookup(&w[0]).unwrap();
+        let to = m.comm().lookup(&w[1]).unwrap();
+        if !m.comm().has_channel(from, to) {
+            continue;
+        }
+        let f = channel_freshness(&trace, m.comm(), from, to).unwrap();
+        t.row(&[
+            format!("{} -> {}", w[0], w[1]),
+            f.samples.to_string(),
+            f.starved.to_string(),
+            f.worst_age.map_or("-".into(), |a| a.to_string()),
+            f.mean_age().map_or("-".into(), |a| format!("{a:.1}")),
+        ]);
+    }
+    println!("{}", t.render());
+    let path: Vec<_> = names
+        .iter()
+        .map(|n| m.comm().lookup(n).unwrap())
+        .collect();
+    // the element list of a pipelined model is chain-ordered per stage;
+    // use the first/last with an existing channel path where possible
+    if let Ok(Some(r)) = reaction_latency(&trace, m.comm(), &path[..2.min(path.len())]) {
+        println!("first-hop worst reaction latency: {r} ticks");
+    }
+    println!();
+    println!("E9 expectation: decomposition verifies end to end at every cpu count;");
+    println!("bounds grow with message staging but stay within generous deadlines.");
+}

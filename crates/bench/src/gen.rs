@@ -1,0 +1,183 @@
+//! Deterministic random generators for experiment sweeps.
+//!
+//! All generators are seeded; deadlines are drawn from a "nice" divisor
+//! set so hyperperiods stay small enough for EDF-based synthesis to run
+//! within budget — the sweep buckets results by *measured* density, so
+//! rounding does not bias the experiment.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rtcg_core::model::{Model, ModelBuilder};
+use rtcg_core::task::TaskGraphBuilder;
+use rtcg_process::{Process, ProcessKind, ProcessSet};
+
+/// Deadline values with pairwise-small LCMs.
+const NICE: &[u64] = &[2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128];
+
+/// Rounds down to the largest nice value ≤ `x` (or the smallest nice
+/// value when `x` is below all of them).
+fn round_nice(x: u64) -> u64 {
+    NICE.iter()
+        .rev()
+        .copied()
+        .find(|&v| v <= x)
+        .unwrap_or(NICE[0])
+}
+
+/// Generates a random asynchronous model of `n` chain constraints whose
+/// total deadline density is approximately `target_density`. Each
+/// constraint is a chain of `w ∈ {1..3}` distinct unit-weight elements
+/// with deadline `≈ w·n/target_density`, rounded to the nice set.
+/// Returns the model (its *measured* density may differ slightly; bucket
+/// by [`Model::deadline_density`]).
+pub fn random_async_model(n: usize, target_density: f64, seed: u64) -> Model {
+    assert!(n >= 1 && target_density > 0.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = ModelBuilder::new();
+    for i in 0..n {
+        let w = rng.gen_range(1..=3u64);
+        let raw_d = ((w as f64) * (n as f64) / target_density).round() as u64;
+        let d = round_nice(raw_d.max(w));
+        let mut tb = TaskGraphBuilder::new();
+        let mut prev = None;
+        for k in 0..w {
+            let e = b.element(&format!("e{i}_{k}"), 1);
+            tb = tb.op(&format!("o{k}"), e);
+            if let Some(p) = prev {
+                let _ = p; // channel added below by label pairing
+            }
+            prev = Some(e);
+        }
+        // channels along the chain
+        for k in 1..w {
+            let from = b.comm().lookup(&format!("e{i}_{}", k - 1)).unwrap();
+            let to = b.comm().lookup(&format!("e{i}_{k}")).unwrap();
+            b.channel(from, to);
+        }
+        for k in 1..w {
+            tb = tb.edge(&format!("o{}", k - 1), &format!("o{k}"));
+        }
+        let task = tb.build().expect("chain builds");
+        // clamp deadline so the model validates (w ≤ d)
+        let d = d.max(w);
+        b.asynchronous(&format!("c{i}"), task, d, d);
+    }
+    b.build().expect("generated model is valid")
+}
+
+/// Generates a random periodic process set of `n` processes with total
+/// utilization approximately `target_util`: periods from the nice set,
+/// weights by proportional share (each process gets ≥ 1 tick).
+pub fn random_process_set(n: usize, target_util: f64, seed: u64) -> ProcessSet {
+    assert!(n >= 1 && target_util > 0.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut set = ProcessSet::new();
+    // proportional utilization shares
+    let mut shares: Vec<f64> = (0..n).map(|_| rng.gen_range(0.2..1.0)).collect();
+    let total: f64 = shares.iter().sum();
+    for s in &mut shares {
+        *s = *s / total * target_util;
+    }
+    for (i, share) in shares.iter().enumerate() {
+        let period = NICE[rng.gen_range(3..NICE.len())];
+        let wcet = ((share * period as f64).round() as u64).clamp(1, period);
+        set.add(Process {
+            name: format!("p{i}"),
+            wcet,
+            period,
+            deadline: period,
+            kind: ProcessKind::Periodic,
+        })
+        .expect("valid process");
+    }
+    set
+}
+
+/// Builds the shared-core family for E6: `k` periodic constraints, each
+/// `private_i → core_0 → … → core_{s-1}` where the `s`-element core
+/// (unit weights) is shared by every constraint and all periods equal
+/// `p = 4·(k + s)` (the paper's `p_x = p_y` situation scaled up).
+pub fn shared_core_model(k: usize, s: usize) -> Model {
+    assert!(k >= 1 && s >= 1);
+    let mut b = ModelBuilder::new();
+    let core: Vec<_> = (0..s).map(|j| b.element(&format!("core{j}"), 1)).collect();
+    for w in core.windows(2) {
+        b.channel(w[0], w[1]);
+    }
+    let p = 4 * (k + s) as u64;
+    for i in 0..k {
+        let private = b.element(&format!("in{i}"), 1);
+        b.channel(private, core[0]);
+        let mut tb = TaskGraphBuilder::new().op("in", private);
+        for (j, &c) in core.iter().enumerate() {
+            tb = tb.op(&format!("core{j}"), c);
+        }
+        tb = tb.edge("in", "core0");
+        for j in 1..s {
+            tb = tb.edge(&format!("core{}", j - 1), &format!("core{j}"));
+        }
+        let task = tb.build().expect("chain builds");
+        b.periodic(&format!("chain{i}"), task, p, p);
+    }
+    b.build().expect("shared-core model valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nice_rounding() {
+        assert_eq!(round_nice(1), 2);
+        assert_eq!(round_nice(2), 2);
+        assert_eq!(round_nice(5), 4);
+        assert_eq!(round_nice(100), 96);
+        assert_eq!(round_nice(10_000), 128);
+    }
+
+    #[test]
+    fn async_model_density_near_target() {
+        for &target in &[0.2, 0.4, 0.6] {
+            let m = random_async_model(4, target, 11);
+            let d = m.deadline_density();
+            assert!(
+                d > target * 0.4 && d < target * 2.5,
+                "target {target} measured {d}"
+            );
+            m.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn async_model_deterministic() {
+        let a = random_async_model(5, 0.5, 3);
+        let b = random_async_model(5, 0.5, 3);
+        assert_eq!(a.deadline_density(), b.deadline_density());
+        assert_eq!(a.comm().element_count(), b.comm().element_count());
+    }
+
+    #[test]
+    fn process_set_util_near_target() {
+        for &target in &[0.3, 0.7, 0.95] {
+            let s = random_process_set(6, target, 5);
+            let u = rtcg_process::utilization(&s);
+            assert!(
+                (u - target).abs() < 0.3,
+                "target {target} measured {u}"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_core_shape() {
+        let m = shared_core_model(3, 2);
+        assert_eq!(m.comm().element_count(), 2 + 3);
+        assert_eq!(m.constraints().len(), 3);
+        // each constraint: 1 private + 2 core ops
+        assert!(m.constraints().iter().all(|c| c.task.op_count() == 3));
+        // the core is shared
+        let shared = rtcg_core::analysis::shared_elements(&m);
+        assert_eq!(shared.len(), 2);
+        m.validate().unwrap();
+    }
+}

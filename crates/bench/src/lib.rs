@@ -1,0 +1,36 @@
+//! # rtcg-bench — experiment harness
+//!
+//! Shared machinery for the `exp_*` binaries (one per experiment row in
+//! `DESIGN.md` §4) and the criterion benches: deterministic random model
+//! generators for sweeps, wall-clock timing, and aligned table printing
+//! so the binaries emit the rows `EXPERIMENTS.md` records.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod table;
+
+pub use gen::{random_async_model, random_process_set, shared_core_model};
+pub use table::Table;
+
+use std::time::Instant;
+
+/// Times a closure, returning `(result, seconds)`.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_it_returns_result() {
+        let (v, secs) = time_it(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+}

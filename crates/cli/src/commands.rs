@@ -1,0 +1,224 @@
+//! Subcommand implementations.
+
+use crate::CliError;
+use rtcg_core::heuristic::{synthesize as core_synthesize, SynthesisConfig};
+use rtcg_core::model::Model;
+use rtcg_core::sensitivity::deadline_sensitivities;
+use rtcg_sim::gantt::render_gantt;
+use rtcg_sim::invocation::InvocationPattern;
+use rtcg_sim::table::run_table_executor;
+use rtcg_synth::latency::latency_synthesize;
+
+fn load(path: &str) -> Result<(String, Model), CliError> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Input(format!("cannot read `{path}`: {e}")))?;
+    let model = rtcg_lang::parse_model(&src)
+        .map_err(|e| CliError::Input(format!("{path}:{}", e.render(&src))))?;
+    Ok((src, model))
+}
+
+fn summary(model: &Model) -> String {
+    format!(
+        "{} elements, {} constraints ({} periodic, {} asynchronous), \
+         deadline density {:.3}, hyperperiod {}",
+        model.comm().element_count(),
+        model.constraints().len(),
+        model.periodic().count(),
+        model.asynchronous().count(),
+        model.deadline_density(),
+        model.hyperperiod()
+    )
+}
+
+/// `rtcg check` — parse, validate, report bounds.
+pub fn check(path: &str) -> Result<(), CliError> {
+    let (_, model) = load(path)?;
+    println!("{path}: OK");
+    println!("{}", summary(&model));
+    match rtcg_core::feasibility::quick_infeasible(&model)
+        .map_err(|e| CliError::Input(e.to_string()))?
+    {
+        Some(reason) => println!("warning: certainly infeasible — {reason}"),
+        None => println!("necessary conditions pass (density bound, span bounds)"),
+    }
+    for (_, c) in model.constraints_enumerated() {
+        let w = c
+            .computation_time(model.comm())
+            .map_err(|e| CliError::Input(e.to_string()))?;
+        println!(
+            "  {:<16} {:<12} p={:<6} d={:<6} w={}",
+            c.name,
+            if c.is_periodic() { "periodic" } else { "asynchronous" },
+            c.period,
+            c.deadline,
+            w
+        );
+    }
+    Ok(())
+}
+
+/// `rtcg synthesize [--merged] [--gantt N]`.
+pub fn synthesize(path: &str, flags: &[String]) -> Result<(), CliError> {
+    let (_, model) = load(path)?;
+    let gantt_ticks = flag_value(flags, "--gantt")?;
+    if flags.iter().any(|f| f == "--merged") {
+        let out = latency_synthesize(&model).map_err(|e| CliError::Infeasible(e.to_string()))?;
+        println!(
+            "merged latency scheduling ({}; {} group(s) merged):",
+            out.strategy, out.groups_merged
+        );
+        print_schedule(&out.analysis_model, &out.schedule, gantt_ticks)
+    } else {
+        let out = core_synthesize(&model).map_err(|e| CliError::Infeasible(e.to_string()))?;
+        println!("latency scheduling ({}):", out.strategy);
+        print_schedule(out.model(), &out.schedule, gantt_ticks)
+    }
+}
+
+fn print_schedule(
+    model: &Model,
+    schedule: &rtcg_core::StaticSchedule,
+    gantt_ticks: Option<u64>,
+) -> Result<(), CliError> {
+    let comm = model.comm();
+    println!(
+        "schedule: {} actions, duration {} ticks, busy {:.1}%",
+        schedule.len(),
+        schedule
+            .duration(comm)
+            .map_err(|e| CliError::Input(e.to_string()))?,
+        100.0
+            * schedule
+                .busy_fraction(comm)
+                .map_err(|e| CliError::Input(e.to_string()))?
+    );
+    println!("{}", schedule.display(comm));
+    let report = schedule
+        .feasibility(model)
+        .map_err(|e| CliError::Input(e.to_string()))?;
+    print!("{report}");
+    if let Some(n) = gantt_ticks {
+        let trace = schedule
+            .expand(comm, 2)
+            .map_err(|e| CliError::Input(e.to_string()))?;
+        println!();
+        print!("{}", render_gantt(&trace, comm, 0, n));
+    }
+    if !report.is_feasible() {
+        return Err(CliError::Infeasible(
+            "synthesized schedule failed verification".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// `rtcg simulate --ticks N [--seed S]`.
+pub fn simulate(path: &str, flags: &[String]) -> Result<(), CliError> {
+    let (_, model) = load(path)?;
+    let ticks = flag_value(flags, "--ticks")?
+        .ok_or_else(|| CliError::Usage("simulate requires --ticks N".into()))?;
+    let seed = flag_value(flags, "--seed")?.unwrap_or(0);
+    let out = core_synthesize(&model).map_err(|e| CliError::Infeasible(e.to_string()))?;
+    let m = out.model();
+    let patterns: Vec<InvocationPattern> = m
+        .constraints()
+        .iter()
+        .map(|c| {
+            if c.is_periodic() {
+                InvocationPattern::Periodic {
+                    period: c.period,
+                    offset: 0,
+                }
+            } else {
+                InvocationPattern::SporadicRandom {
+                    separation: c.period,
+                    spread: c.period,
+                    seed,
+                }
+            }
+        })
+        .collect();
+    let run = run_table_executor(m, &out.schedule, &patterns, ticks)
+        .map_err(|e| CliError::Input(e.to_string()))?;
+    println!("simulated {ticks} ticks (seed {seed}):");
+    for o in &run.outcomes {
+        println!(
+            "  {:<16} invocations={:<6} met={:<6} missed={:<4} worst response={}",
+            o.name,
+            o.checked,
+            o.met,
+            o.missed,
+            o.worst_response
+                .map_or("-".to_string(), |r| r.to_string())
+        );
+    }
+    if run.all_met() {
+        println!("all deadlines met");
+        Ok(())
+    } else {
+        Err(CliError::Infeasible("deadline misses observed".into()))
+    }
+}
+
+/// `rtcg sensitivity`.
+pub fn sensitivity(path: &str) -> Result<(), CliError> {
+    let (_, model) = load(path)?;
+    let config = SynthesisConfig::default();
+    let rows =
+        deadline_sensitivities(&model, config).map_err(|e| CliError::Input(e.to_string()))?;
+    println!("deadline sensitivity (synthesizer-verified minima):");
+    for r in rows {
+        match r.minimum_feasible {
+            Some(min) => println!(
+                "  {:<16} declared d={:<6} minimum d={:<6} slack={}",
+                r.name,
+                r.declared,
+                min,
+                r.slack().expect("feasible")
+            ),
+            None => println!("  {:<16} declared d={:<6} INFEASIBLE", r.name, r.declared),
+        }
+    }
+    let pct = rtcg_core::sensitivity::max_uniform_tightening(&model, config)
+        .map_err(|e| CliError::Input(e.to_string()))?;
+    println!("maximum uniform tightening: {pct}% of declared deadlines");
+    Ok(())
+}
+
+/// `rtcg dot`.
+pub fn dot(path: &str) -> Result<(), CliError> {
+    let (_, model) = load(path)?;
+    print!("{}", model.comm().to_dot(path));
+    Ok(())
+}
+
+/// `rtcg codegen`.
+pub fn codegen(path: &str) -> Result<(), CliError> {
+    let (_, model) = load(path)?;
+    let (programs, _) = rtcg_synth::straightline::synthesize_programs(&model)
+        .map_err(|e| CliError::Input(e.to_string()))?;
+    print!(
+        "{}",
+        rtcg_synth::codegen::render_process_system(&model, &programs)
+    );
+    let out = core_synthesize(&model).map_err(|e| CliError::Infeasible(e.to_string()))?;
+    print!(
+        "{}",
+        rtcg_synth::codegen::render_table_scheduler(out.model().comm(), &out.schedule)
+    );
+    Ok(())
+}
+
+fn flag_value(flags: &[String], name: &str) -> Result<Option<u64>, CliError> {
+    match flags.iter().position(|f| f == name) {
+        None => Ok(None),
+        Some(ix) => {
+            let v = flags
+                .get(ix + 1)
+                .ok_or_else(|| CliError::Usage(format!("{name} needs a value")))?;
+            v.parse::<u64>()
+                .map(Some)
+                .map_err(|_| CliError::Usage(format!("{name} needs an integer, got `{v}`")))
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! `rtcg` — command-line front end for the graph-based real-time
+//! toolchain.
+//!
+//! ```text
+//! rtcg check <spec.rtcg>               validate a specification
+//! rtcg synthesize <spec.rtcg> [--merged] [--gantt N]
+//! rtcg simulate <spec.rtcg> --ticks N [--seed S]
+//! rtcg sensitivity <spec.rtcg>
+//! rtcg dot <spec.rtcg>
+//! rtcg codegen <spec.rtcg>
+//! ```
+//!
+//! Specifications use the `rtcg-lang` text format (see the avionics
+//! example). Exit codes: 0 success, 1 usage error, 2 parse/validation
+//! error, 3 infeasible.
+
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(1)
+        }
+        Err(CliError::Input(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Infeasible(msg)) => {
+            eprintln!("infeasible: {msg}");
+            ExitCode::from(3)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  rtcg check <spec.rtcg>
+  rtcg synthesize <spec.rtcg> [--merged] [--gantt N]
+  rtcg simulate <spec.rtcg> --ticks N [--seed S]
+  rtcg sensitivity <spec.rtcg>
+  rtcg dot <spec.rtcg>
+  rtcg codegen <spec.rtcg>";
+
+/// CLI error categories (mapped to exit codes).
+pub enum CliError {
+    /// Bad invocation.
+    Usage(String),
+    /// Unreadable/invalid input file.
+    Input(String),
+    /// The model has no feasible schedule (for commands that need one).
+    Infeasible(String),
+}
+
+fn run(args: &[String]) -> Result<(), CliError> {
+    let Some(cmd) = args.first() else {
+        return Err(CliError::Usage("missing command".into()));
+    };
+    match cmd.as_str() {
+        "check" => commands::check(rest(args)?),
+        "synthesize" => commands::synthesize(rest(args)?, &args[2..]),
+        "simulate" => commands::simulate(rest(args)?, &args[2..]),
+        "sensitivity" => commands::sensitivity(rest(args)?),
+        "dot" => commands::dot(rest(args)?),
+        "codegen" => commands::codegen(rest(args)?),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+fn rest(args: &[String]) -> Result<&str, CliError> {
+    args.get(1)
+        .map(|s| s.as_str())
+        .ok_or_else(|| CliError::Usage("missing <spec.rtcg> argument".into()))
+}

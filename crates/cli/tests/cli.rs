@@ -1,0 +1,208 @@
+//! Black-box tests of the `rtcg` binary.
+
+use std::process::Command;
+
+const GOOD_SPEC: &str = r#"
+    element fX wcet 1;
+    element fS wcet 2;
+    element fK wcet 1;
+    channel fX -> fS; channel fS -> fK; channel fK -> fS;
+    periodic xchain period 20 deadline 20 { op x: fX; op s: fS; op k: fK; x -> s -> k; }
+    asynchronous burst period 30 deadline 12 { op s: fS; }
+"#;
+
+const INFEASIBLE_SPEC: &str = r#"
+    element a wcet 2;
+    element b wcet 2;
+    asynchronous ca period 3 deadline 3 { op o: a; }
+    asynchronous cb period 3 deadline 3 { op o: b; }
+"#;
+
+fn write_spec(content: &str) -> tempfile::NamedSpec {
+    tempfile::NamedSpec::new(content)
+}
+
+/// Minimal stand-in for tempfile (not a dependency): unique files under
+/// the target tmp dir, removed on drop.
+mod tempfile {
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    pub struct NamedSpec {
+        pub path: PathBuf,
+    }
+
+    impl NamedSpec {
+        pub fn new(content: &str) -> Self {
+            let dir = std::env::temp_dir().join("rtcg-cli-tests");
+            std::fs::create_dir_all(&dir).expect("tmp dir");
+            let n = COUNTER.fetch_add(1, Ordering::SeqCst);
+            let path = dir.join(format!("spec-{}-{n}.rtcg", std::process::id()));
+            std::fs::write(&path, content).expect("write spec");
+            NamedSpec { path }
+        }
+
+        pub fn path_str(&self) -> &str {
+            self.path.to_str().expect("utf8 path")
+        }
+    }
+
+    impl Drop for NamedSpec {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+fn rtcg(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_rtcg"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn check_accepts_good_spec() {
+    let spec = write_spec(GOOD_SPEC);
+    let out = rtcg(&["check", spec.path_str()]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("OK"));
+    assert!(stdout.contains("xchain"));
+    assert!(stdout.contains("necessary conditions pass"));
+}
+
+#[test]
+fn check_warns_on_infeasible_spec() {
+    let spec = write_spec(INFEASIBLE_SPEC);
+    let out = rtcg(&["check", spec.path_str()]);
+    assert!(out.status.success(), "check reports, it does not fail");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("certainly infeasible"));
+}
+
+#[test]
+fn check_rejects_bad_syntax_with_position() {
+    let spec = write_spec("element broken wcet;");
+    let out = rtcg(&["check", spec.path_str()]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("expected"), "{stderr}");
+    assert!(stderr.contains("1:"), "position missing: {stderr}");
+}
+
+#[test]
+fn check_rejects_missing_file() {
+    let out = rtcg(&["check", "/nonexistent/nope.rtcg"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn synthesize_produces_verified_schedule() {
+    let spec = write_spec(GOOD_SPEC);
+    let out = rtcg(&["synthesize", spec.path_str()]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("schedule:"));
+    assert!(stdout.contains("OK"));
+    assert!(!stdout.contains("VIOLATED"));
+}
+
+#[test]
+fn synthesize_gantt_renders_rows() {
+    let spec = write_spec(GOOD_SPEC);
+    let out = rtcg(&["synthesize", spec.path_str(), "--gantt", "30"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("tick"), "{stdout}");
+    assert!(stdout.contains('#'));
+}
+
+#[test]
+fn synthesize_infeasible_exits_3() {
+    let spec = write_spec(INFEASIBLE_SPEC);
+    let out = rtcg(&["synthesize", spec.path_str()]);
+    assert_eq!(out.status.code(), Some(3));
+}
+
+#[test]
+fn simulate_meets_deadlines() {
+    let spec = write_spec(GOOD_SPEC);
+    let out = rtcg(&["simulate", spec.path_str(), "--ticks", "2000", "--seed", "7"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("all deadlines met"));
+    assert!(stdout.contains("xchain"));
+}
+
+#[test]
+fn simulate_requires_ticks() {
+    let spec = write_spec(GOOD_SPEC);
+    let out = rtcg(&["simulate", spec.path_str()]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn sensitivity_reports_minima() {
+    let spec = write_spec(GOOD_SPEC);
+    let out = rtcg(&["sensitivity", spec.path_str()]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("minimum d="));
+    assert!(stdout.contains("uniform tightening"));
+}
+
+#[test]
+fn dot_emits_graphviz() {
+    let spec = write_spec(GOOD_SPEC);
+    let out = rtcg(&["dot", spec.path_str()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with("digraph"));
+    assert!(stdout.contains("fS (2)"));
+}
+
+#[test]
+fn codegen_emits_processes_and_table() {
+    let spec = write_spec(GOOD_SPEC);
+    let out = rtcg(&["codegen", spec.path_str()]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("process xchain"));
+    assert!(stdout.contains("table-driven cyclic executor"));
+}
+
+#[test]
+fn unknown_command_shows_usage() {
+    let out = rtcg(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("usage"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = rtcg(&["--help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("synthesize"));
+}
+
+#[test]
+fn merged_synthesis_flag() {
+    // two same-period chains sharing fS: --merged must report a merge
+    let spec = write_spec(
+        r#"
+        element fX wcet 1; element fY wcet 1; element fS wcet 2;
+        channel fX -> fS; channel fY -> fS;
+        periodic cx period 24 deadline 24 { op x: fX; op s: fS; x -> s; }
+        periodic cy period 24 deadline 24 { op y: fY; op s: fS; y -> s; }
+        "#,
+    );
+    let out = rtcg(&["synthesize", spec.path_str(), "--merged"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("1 group(s) merged"), "{stdout}");
+}

@@ -1,0 +1,139 @@
+//! Schedule and model quality metrics used by examples and benchmarks.
+
+use crate::error::ModelError;
+use crate::model::Model;
+use crate::schedule::StaticSchedule;
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a schedule against a model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScheduleStats {
+    /// Duration of one repetition in ticks.
+    pub duration: Time,
+    /// Fraction of ticks spent executing.
+    pub busy_fraction: f64,
+    /// Deadline density `Σ w/d` of the model (Theorem 3's quantity).
+    pub deadline_density: f64,
+    /// Worst-case latency slack across asynchronous constraints
+    /// (min over constraints of `d - latency`); `None` when some
+    /// constraint is violated or never executed.
+    pub min_slack: Option<Time>,
+    /// Whether the schedule is feasible for the model.
+    pub feasible: bool,
+}
+
+/// Computes summary statistics (runs a full feasibility analysis).
+pub fn schedule_stats(model: &Model, schedule: &StaticSchedule) -> Result<ScheduleStats, ModelError> {
+    let report = schedule.feasibility(model)?;
+    let min_slack = report
+        .checks
+        .iter()
+        .map(|c| c.slack())
+        .collect::<Option<Vec<_>>>()
+        .and_then(|v| v.into_iter().min());
+    Ok(ScheduleStats {
+        duration: schedule.duration(model.comm())?,
+        busy_fraction: schedule.busy_fraction(model.comm())?,
+        deadline_density: model.deadline_density(),
+        min_slack,
+        feasible: report.is_feasible(),
+    })
+}
+
+/// Counts, for each functional element, how many timing constraints use
+/// it — the paper's "operations that are common to two or more timing
+/// constraints", which latency scheduling exploits and the naive process
+/// mapping duplicates.
+pub fn shared_element_counts(model: &Model) -> Vec<(crate::model::ElementId, usize)> {
+    let mut counts: std::collections::BTreeMap<crate::model::ElementId, usize> =
+        std::collections::BTreeMap::new();
+    for c in model.constraints() {
+        for elem in c.task.element_usage().keys() {
+            *counts.entry(*elem).or_insert(0) += 1;
+        }
+    }
+    counts.into_iter().collect()
+}
+
+/// Elements used by at least two constraints (monitor candidates in the
+/// naive process synthesis).
+pub fn shared_elements(model: &Model) -> Vec<crate::model::ElementId> {
+    shared_element_counts(model)
+        .into_iter()
+        .filter(|&(_, n)| n >= 2)
+        .map(|(e, _)| e)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelBuilder;
+    use crate::schedule::Action;
+    use crate::task::TaskGraphBuilder;
+
+    fn shared_model() -> Model {
+        let mut b = ModelBuilder::new();
+        let x = b.element("x", 1);
+        let y = b.element("y", 1);
+        let s = b.element("s", 1);
+        b.channel(x, s).channel(y, s);
+        let tx = TaskGraphBuilder::new()
+            .op("x", x)
+            .op("s", s)
+            .edge("x", "s")
+            .build()
+            .unwrap();
+        let ty = TaskGraphBuilder::new()
+            .op("y", y)
+            .op("s", s)
+            .edge("y", "s")
+            .build()
+            .unwrap();
+        b.asynchronous("cx", tx, 8, 8);
+        b.asynchronous("cy", ty, 8, 8);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn shared_elements_detected() {
+        let m = shared_model();
+        let shared = shared_elements(&m);
+        assert_eq!(shared.len(), 1);
+        assert_eq!(m.comm().name(shared[0]), "s");
+        let counts = shared_element_counts(&m);
+        assert_eq!(counts.len(), 3);
+        assert!(counts.iter().all(|&(e, n)| if m.comm().name(e) == "s" {
+            n == 2
+        } else {
+            n == 1
+        }));
+    }
+
+    #[test]
+    fn stats_reflect_feasibility() {
+        let m = shared_model();
+        let ids: Vec<_> = m.comm().element_ids().collect();
+        let (x, y, s) = (ids[0], ids[1], ids[2]);
+        let sched = StaticSchedule::new(vec![Action::Run(x), Action::Run(y), Action::Run(s)]);
+        let stats = schedule_stats(&m, &sched).unwrap();
+        assert_eq!(stats.duration, 3);
+        assert!((stats.busy_fraction - 1.0).abs() < 1e-9);
+        assert!(stats.feasible, "latency of each chain ≤ 8");
+        assert!(stats.min_slack.is_some());
+        assert!((stats.deadline_density - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_detect_violation() {
+        let m = shared_model();
+        let ids: Vec<_> = m.comm().element_ids().collect();
+        let x = ids[0];
+        // schedule never runs s or y → infinite latency for both chains
+        let sched = StaticSchedule::new(vec![Action::Run(x)]);
+        let stats = schedule_stats(&m, &sched).unwrap();
+        assert!(!stats.feasible);
+        assert_eq!(stats.min_slack, None);
+    }
+}

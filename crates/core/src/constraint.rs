@@ -1,0 +1,136 @@
+//! Timing constraints `(C, p, d)` — the set `T` of the model.
+
+use crate::error::ModelError;
+use crate::model::CommGraph;
+use crate::task::TaskGraph;
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a timing constraint within a model (its declaration index).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ConstraintId(u32);
+
+impl ConstraintId {
+    /// Builds a constraint id from a raw index.
+    pub const fn new(ix: u32) -> Self {
+        ConstraintId(ix)
+    }
+
+    /// Raw index into the model's constraint list.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ConstraintId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Whether a constraint is invoked on a fixed period or sporadically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConstraintKind {
+    /// Invoked automatically every `p` time units, starting at time 0
+    /// (`T_p` in the paper).
+    Periodic,
+    /// May be invoked at any integral instant, with at least `p` time
+    /// units between successive invocations (`T_a` in the paper).
+    Asynchronous,
+}
+
+/// A timing constraint `(C, p, d)`: when invoked at time `t`, the task
+/// graph `C` must be executed within `[t, t + d]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimingConstraint {
+    /// Human-readable name for reports.
+    pub name: String,
+    /// The task graph `C` (acyclic, compatible with the model's `G`).
+    pub task: TaskGraph,
+    /// Period (periodic) or minimum inter-invocation separation
+    /// (asynchronous), in ticks. Must be positive.
+    pub period: Time,
+    /// Relative deadline in ticks. Must be positive.
+    pub deadline: Time,
+    /// Periodic or asynchronous.
+    pub kind: ConstraintKind,
+}
+
+impl TimingConstraint {
+    /// Total computation time of the constraint (sum of its operations'
+    /// element weights).
+    pub fn computation_time(&self, comm: &CommGraph) -> Result<Time, ModelError> {
+        self.task.computation_time(comm)
+    }
+
+    /// Deadline density `w/d` of this single constraint.
+    pub fn density(&self, comm: &CommGraph) -> Result<f64, ModelError> {
+        Ok(self.computation_time(comm)? as f64 / self.deadline as f64)
+    }
+
+    /// True for asynchronous (sporadic) constraints.
+    pub fn is_asynchronous(&self) -> bool {
+        self.kind == ConstraintKind::Asynchronous
+    }
+
+    /// True for periodic constraints.
+    pub fn is_periodic(&self) -> bool {
+        self.kind == ConstraintKind::Periodic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CommGraph;
+    use crate::task::TaskGraphBuilder;
+
+    #[test]
+    fn ids_round_trip() {
+        let id = ConstraintId::new(5);
+        assert_eq!(id.index(), 5);
+        assert_eq!(format!("{id:?}"), "c5");
+    }
+
+    #[test]
+    fn computation_and_density() {
+        let mut g = CommGraph::new();
+        let a = g.add_element("a", 3).unwrap();
+        let b = g.add_element("b", 1).unwrap();
+        g.add_channel(a, b).unwrap();
+        let tg = TaskGraphBuilder::new()
+            .op("a", a)
+            .op("b", b)
+            .edge("a", "b")
+            .build()
+            .unwrap();
+        let c = TimingConstraint {
+            name: "c".into(),
+            task: tg,
+            period: 10,
+            deadline: 8,
+            kind: ConstraintKind::Asynchronous,
+        };
+        assert_eq!(c.computation_time(&g).unwrap(), 4);
+        assert!((c.density(&g).unwrap() - 0.5).abs() < 1e-9);
+        assert!(c.is_asynchronous());
+        assert!(!c.is_periodic());
+    }
+
+    #[test]
+    fn kind_predicates() {
+        let mut g = CommGraph::new();
+        let a = g.add_element("a", 1).unwrap();
+        let tg = TaskGraphBuilder::new().op("a", a).build().unwrap();
+        let c = TimingConstraint {
+            name: "p".into(),
+            task: tg,
+            period: 4,
+            deadline: 4,
+            kind: ConstraintKind::Periodic,
+        };
+        assert!(c.is_periodic());
+        assert!(!c.is_asynchronous());
+    }
+}

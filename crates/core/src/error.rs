@@ -1,0 +1,177 @@
+//! Error type for model construction, validation and scheduling.
+
+use crate::constraint::ConstraintId;
+use crate::model::ElementId;
+use std::fmt;
+
+/// Errors produced by model construction, validation, latency analysis and
+/// schedule synthesis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// An element identifier does not name a live functional element.
+    UnknownElement(ElementId),
+    /// An element name was not found during lookup.
+    UnknownElementName(String),
+    /// Two elements were declared with the same name.
+    DuplicateElementName(String),
+    /// A constraint identifier is out of range.
+    UnknownConstraint(ConstraintId),
+    /// A task-graph operation label was redefined.
+    DuplicateOpLabel(String),
+    /// A task-graph edge referenced an undefined operation label.
+    UnknownOpLabel(String),
+    /// The task graph of a constraint is cyclic (task graphs must be DAGs).
+    CyclicTaskGraph {
+        /// Offending constraint, if known at validation time.
+        constraint: Option<ConstraintId>,
+    },
+    /// A task graph is not compatible with the communication graph: the
+    /// given pair of operations uses a communication edge that `G` lacks.
+    IncompatibleTaskGraph {
+        /// Offending constraint.
+        constraint: ConstraintId,
+        /// Functional element executed by the source operation.
+        from: ElementId,
+        /// Functional element executed by the target operation.
+        to: ElementId,
+    },
+    /// A constraint has a period of zero, which the model forbids
+    /// (periodic: division by zero; asynchronous: unbounded invocation rate).
+    ZeroPeriod(ConstraintId),
+    /// A constraint has a deadline of zero; nothing can execute in zero time.
+    ZeroDeadline(ConstraintId),
+    /// A constraint's total computation time exceeds its deadline — it is
+    /// trivially infeasible on one processor.
+    ComputationExceedsDeadline {
+        /// Offending constraint.
+        constraint: ConstraintId,
+        /// Sum of operation weights.
+        computation: u64,
+        /// The constraint's deadline.
+        deadline: u64,
+    },
+    /// A schedule action referenced an element not in the model.
+    ScheduleElementUnknown(ElementId),
+    /// The empty schedule cannot be analysed (its round-robin repetition
+    /// is undefined).
+    EmptySchedule,
+    /// A schedule ran an element of zero weight; zero-length executions
+    /// have no trace representation. Give the element weight ≥ 1 or drop
+    /// it from the schedule.
+    ZeroWeightScheduled(ElementId),
+    /// Latency analysis or synthesis exceeded the configured search budget.
+    BudgetExhausted {
+        /// What the budget was guarding.
+        what: &'static str,
+    },
+    /// No feasible schedule was found by the requested strategy.
+    Infeasible {
+        /// Human-readable reason (first failing constraint, bound, …).
+        reason: String,
+    },
+    /// Theorem-3 synthesis requires every element to be pipelinable; this
+    /// element is not.
+    NotPipelinable(ElementId),
+    /// An underlying graph operation failed.
+    Graph(rtcg_graph::GraphError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownElement(e) => write!(f, "unknown functional element {e:?}"),
+            ModelError::UnknownElementName(n) => write!(f, "unknown functional element `{n}`"),
+            ModelError::DuplicateElementName(n) => {
+                write!(f, "functional element `{n}` declared twice")
+            }
+            ModelError::UnknownConstraint(c) => write!(f, "unknown timing constraint {c:?}"),
+            ModelError::DuplicateOpLabel(l) => write!(f, "operation label `{l}` defined twice"),
+            ModelError::UnknownOpLabel(l) => write!(f, "unknown operation label `{l}`"),
+            ModelError::CyclicTaskGraph { constraint } => match constraint {
+                Some(c) => write!(f, "task graph of constraint {c:?} is cyclic"),
+                None => write!(f, "task graph is cyclic"),
+            },
+            ModelError::IncompatibleTaskGraph {
+                constraint,
+                from,
+                to,
+            } => write!(
+                f,
+                "constraint {constraint:?}: task graph uses communication edge \
+                 {from:?} -> {to:?} that the communication graph lacks"
+            ),
+            ModelError::ZeroPeriod(c) => write!(f, "constraint {c:?} has zero period"),
+            ModelError::ZeroDeadline(c) => write!(f, "constraint {c:?} has zero deadline"),
+            ModelError::ComputationExceedsDeadline {
+                constraint,
+                computation,
+                deadline,
+            } => write!(
+                f,
+                "constraint {constraint:?}: computation time {computation} exceeds deadline {deadline}"
+            ),
+            ModelError::ScheduleElementUnknown(e) => {
+                write!(f, "schedule refers to unknown element {e:?}")
+            }
+            ModelError::EmptySchedule => write!(f, "empty static schedule cannot be analysed"),
+            ModelError::ZeroWeightScheduled(e) => {
+                write!(f, "schedule runs zero-weight element {e:?}")
+            }
+            ModelError::BudgetExhausted { what } => {
+                write!(f, "search budget exhausted during {what}")
+            }
+            ModelError::Infeasible { reason } => write!(f, "infeasible: {reason}"),
+            ModelError::NotPipelinable(e) => {
+                write!(f, "element {e:?} cannot be software-pipelined")
+            }
+            ModelError::Graph(g) => write!(f, "graph error: {g}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Graph(g) => Some(g),
+            _ => None,
+        }
+    }
+}
+
+impl From<rtcg_graph::GraphError> for ModelError {
+    fn from(e: rtcg_graph::GraphError) -> Self {
+        ModelError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcg_graph::NodeId;
+
+    #[test]
+    fn messages_name_the_subject() {
+        let e = ModelError::UnknownElementName("fS".into());
+        assert!(e.to_string().contains("fS"));
+        let e = ModelError::ComputationExceedsDeadline {
+            constraint: ConstraintId::new(0),
+            computation: 9,
+            deadline: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains('9') && s.contains('4'));
+        let e = ModelError::Infeasible {
+            reason: "utilization 1.2 > 1".into(),
+        };
+        assert!(e.to_string().contains("utilization"));
+    }
+
+    #[test]
+    fn graph_error_is_source() {
+        use std::error::Error;
+        let ge = rtcg_graph::GraphError::InvalidNode(NodeId::new(1));
+        let me: ModelError = ge.clone().into();
+        assert!(me.source().is_some());
+        assert_eq!(me, ModelError::Graph(ge));
+    }
+}

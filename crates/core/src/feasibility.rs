@@ -1,0 +1,29 @@
+//! Deciding whether a feasible static schedule exists.
+//!
+//! Three tools, matching the paper's three results:
+//!
+//! * [`bounds`] — cheap necessary conditions (density and span bounds)
+//!   used to reject obviously infeasible instances before any search.
+//! * [`exact`] — complete search over static-schedule strings up to a
+//!   length bound. Exponential, as Theorem 2 (strong NP-hardness) says it
+//!   must be in the worst case; the hardness experiments (E3/E4) measure
+//!   exactly this blowup.
+//! * [`parallel`] — the same search fanned out over threads (the
+//!   enumeration tree is embarrassingly parallel at its root), with a
+//!   deterministic index-ordered early-exit rule so the returned
+//!   schedule matches the sequential one.
+//! * [`game`] — the *finite simulation game* behind Theorem 1: a safety
+//!   game over bounded trace suffixes whose winning strategy, found as a
+//!   lasso in the state graph, *is* a feasible static schedule. A
+//!   complete decision procedure for asynchronous constraint sets (within
+//!   an explicit state budget).
+
+pub mod bounds;
+pub mod exact;
+pub mod game;
+pub mod parallel;
+
+pub use bounds::{density_lower_bound, quick_infeasible, InfeasibleReason};
+pub use exact::{find_feasible, SearchConfig, SearchOutcome};
+pub use parallel::find_feasible_parallel;
+pub use game::{solve_game, GameConfig, GameOutcome};

@@ -1,0 +1,247 @@
+//! Cheap necessary conditions for static-schedule feasibility.
+//!
+//! These bounds reject instances without search. They account for the
+//! model's operation sharing: an instance of a shared element may serve
+//! several constraints at once, so per-element demand takes a *max* over
+//! constraints, not a sum.
+
+use crate::error::ModelError;
+use crate::model::Model;
+use std::fmt;
+
+/// Why an instance is certainly infeasible.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InfeasibleReason {
+    /// Some constraint's total computation time exceeds its deadline.
+    SpanExceedsDeadline {
+        /// Constraint name.
+        name: String,
+        /// Total computation time.
+        computation: u64,
+        /// Deadline.
+        deadline: u64,
+    },
+    /// Long-run per-element demand exceeds processor capacity:
+    /// `Σ_e w(e) · max_i n_i(e)/d_i > 1`.
+    DensityExceedsOne {
+        /// The computed lower bound on utilization.
+        bound: f64,
+    },
+}
+
+impl fmt::Display for InfeasibleReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InfeasibleReason::SpanExceedsDeadline {
+                name,
+                computation,
+                deadline,
+            } => write!(
+                f,
+                "constraint `{name}`: computation {computation} > deadline {deadline}"
+            ),
+            InfeasibleReason::DensityExceedsOne { bound } => {
+                write!(f, "sharing-aware density {bound:.3} > 1")
+            }
+        }
+    }
+}
+
+/// Sharing-aware long-run utilization lower bound.
+///
+/// In any window of length `X`, constraint `i` needs a fresh execution in
+/// each of its `⌊X/dᵢ⌋` disjoint deadline windows, hence `nᵢ(e)·⌊X/dᵢ⌋`
+/// distinct instances of element `e` (where `nᵢ(e)` counts operations of
+/// `Cᵢ` on `e`). Instances may be shared *across* constraints, so the
+/// demand on `e` is the max over constraints; summing `w(e)` times that
+/// demand over elements and letting `X → ∞` gives the bound, which must
+/// not exceed 1 tick of processor per tick of time.
+pub fn density_lower_bound(model: &Model) -> Result<f64, ModelError> {
+    let comm = model.comm();
+    let mut per_element: std::collections::BTreeMap<crate::model::ElementId, f64> =
+        std::collections::BTreeMap::new();
+    for c in model.constraints() {
+        for (elem, count) in c.task.element_usage() {
+            let rate = count as f64 / c.deadline as f64;
+            let entry = per_element.entry(elem).or_insert(0.0);
+            if rate > *entry {
+                *entry = rate;
+            }
+        }
+    }
+    let mut total = 0.0;
+    for (elem, rate) in per_element {
+        total += comm.wcet(elem)? as f64 * rate;
+    }
+    Ok(total)
+}
+
+/// Runs all cheap necessary conditions; `Ok(Some(reason))` means the
+/// instance certainly has no feasible static schedule.
+pub fn quick_infeasible(model: &Model) -> Result<Option<InfeasibleReason>, ModelError> {
+    let comm = model.comm();
+    for c in model.constraints() {
+        let w = c.computation_time(comm)?;
+        if w > c.deadline {
+            return Ok(Some(InfeasibleReason::SpanExceedsDeadline {
+                name: c.name.clone(),
+                computation: w,
+                deadline: c.deadline,
+            }));
+        }
+    }
+    let bound = density_lower_bound(model)?;
+    if bound > 1.0 + 1e-9 {
+        return Ok(Some(InfeasibleReason::DensityExceedsOne { bound }));
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CommGraph, Model};
+    use crate::constraint::{ConstraintKind, TimingConstraint};
+    use crate::task::TaskGraphBuilder;
+
+    /// A model with one element `e(w)` and `n` asynchronous single-op
+    /// constraints with the given deadlines.
+    fn single_element_model(w: u64, deadlines: &[u64]) -> Model {
+        let mut g = CommGraph::new();
+        let e = g.add_element("e", w).unwrap();
+        let constraints = deadlines
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| TimingConstraint {
+                name: format!("c{i}"),
+                task: TaskGraphBuilder::new().op("e", e).build().unwrap(),
+                period: d,
+                deadline: d,
+                kind: ConstraintKind::Asynchronous,
+            })
+            .collect();
+        Model::new(g, constraints).unwrap()
+    }
+
+    #[test]
+    fn shared_element_takes_max_not_sum() {
+        // two constraints, both a single op on the same element e(1),
+        // deadlines 2 and 3: naive sum = 1/2 + 1/3 = 0.83, sharing-aware
+        // max = 1/2 (the d=2 demand dominates; the d=3 constraint reuses
+        // the same instances).
+        let m = single_element_model(1, &[2, 3]);
+        let b = density_lower_bound(&m).unwrap();
+        assert!((b - 0.5).abs() < 1e-9, "bound {b}");
+        assert_eq!(quick_infeasible(&m).unwrap(), None);
+    }
+
+    #[test]
+    fn density_over_one_detected() {
+        // two DIFFERENT elements each of weight 1, deadlines 2 and 2 on
+        // separate constraints: 1/2 + 1/2 = 1.0 → OK; weights 2 → 2.0 → bad
+        let mut g = CommGraph::new();
+        let a = g.add_element("a", 2).unwrap();
+        let b = g.add_element("b", 2).unwrap();
+        let mk = |e, name: &str| TimingConstraint {
+            name: name.into(),
+            task: TaskGraphBuilder::new().op("o", e).build().unwrap(),
+            period: 3,
+            deadline: 3,
+            kind: ConstraintKind::Asynchronous,
+        };
+        let m = Model::new(g, vec![mk(a, "ca"), mk(b, "cb")]).unwrap();
+        let bound = density_lower_bound(&m).unwrap();
+        assert!((bound - 4.0 / 3.0).abs() < 1e-9);
+        assert!(matches!(
+            quick_infeasible(&m).unwrap(),
+            Some(InfeasibleReason::DensityExceedsOne { .. })
+        ));
+    }
+
+    #[test]
+    fn span_bound_reported_first() {
+        // computation 3 > deadline 2 — constructed directly since
+        // Model::new would reject it; call density on a valid model and
+        // the span check through quick_infeasible on a hand-rolled one.
+        let mut g = CommGraph::new();
+        let e = g.add_element("e", 3).unwrap();
+        let c = TimingConstraint {
+            name: "tight".into(),
+            task: TaskGraphBuilder::new().op("e", e).build().unwrap(),
+            period: 2,
+            deadline: 2,
+            kind: ConstraintKind::Asynchronous,
+        };
+        // bypass Model::new validation deliberately
+        let m = Model::new(g.clone(), vec![]).unwrap();
+        drop(m);
+        let model = ModelUnchecked { g, c };
+        let reason = model.check();
+        assert!(matches!(
+            reason,
+            Some(InfeasibleReason::SpanExceedsDeadline { .. })
+        ));
+
+        // helper: minimal stand-in running the same bound logic
+        struct ModelUnchecked {
+            g: CommGraph,
+            c: TimingConstraint,
+        }
+        impl ModelUnchecked {
+            fn check(&self) -> Option<InfeasibleReason> {
+                let w = self.c.computation_time(&self.g).unwrap();
+                if w > self.c.deadline {
+                    Some(InfeasibleReason::SpanExceedsDeadline {
+                        name: self.c.name.clone(),
+                        computation: w,
+                        deadline: self.c.deadline,
+                    })
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_ops_per_element_counted() {
+        // one constraint with two ops on e(1), d=4: demand 2/4 = 0.5
+        let mut g = CommGraph::new();
+        let e = g.add_element("e", 1).unwrap();
+        g.add_channel(e, e).unwrap();
+        let tg = TaskGraphBuilder::new()
+            .op("a", e)
+            .op("b", e)
+            .edge("a", "b")
+            .build()
+            .unwrap();
+        let c = TimingConstraint {
+            name: "c".into(),
+            task: tg,
+            period: 4,
+            deadline: 4,
+            kind: ConstraintKind::Asynchronous,
+        };
+        let m = Model::new(g, vec![c]).unwrap();
+        assert!((density_lower_bound(&m).unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reasons_display() {
+        let r = InfeasibleReason::DensityExceedsOne { bound: 1.5 };
+        assert!(r.to_string().contains("1.5"));
+        let r = InfeasibleReason::SpanExceedsDeadline {
+            name: "c".into(),
+            computation: 5,
+            deadline: 3,
+        };
+        assert!(r.to_string().contains('5'));
+    }
+
+    #[test]
+    fn empty_model_is_fine() {
+        let m = single_element_model(1, &[]);
+        assert_eq!(density_lower_bound(&m).unwrap(), 0.0);
+        assert_eq!(quick_infeasible(&m).unwrap(), None);
+    }
+}

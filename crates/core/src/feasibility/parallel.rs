@@ -1,0 +1,217 @@
+//! Parallel exact search — the same complete procedure as
+//! [`super::exact`], fanned out across threads.
+//!
+//! The enumeration tree is embarrassingly parallel at its root: the
+//! subtree under each first symbol is independent. Each worker thread
+//! owns one or more first-symbol subtrees and runs the sequential search
+//! under a per-subtree node budget (so verdicts stay deterministic
+//! regardless of interleaving). Determinism of the *returned schedule*
+//! is preserved with an index-ordered early-exit rule: a success in
+//! subtree `i` cancels only subtrees with index `> i`, and the final
+//! answer is the success with the lowest subtree index — exactly what
+//! the sequential search would have returned at that length.
+
+use super::exact::{search_subtree, SearchConfig, SearchOutcome};
+use crate::error::ModelError;
+use crate::model::{ElementId, Model};
+use crate::schedule::{Action, StaticSchedule};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Parallel variant of [`super::exact::find_feasible`]. `threads = 1`
+/// degrades to the sequential behaviour. Verdicts and returned schedules
+/// are deterministic; `nodes_visited` counts all work actually performed
+/// (which shrinks when cancellation wins races, so treat it as a lower
+/// bound when comparing runs).
+pub fn find_feasible_parallel(
+    model: &Model,
+    config: SearchConfig,
+    threads: usize,
+) -> Result<SearchOutcome, ModelError> {
+    let threads = threads.max(1);
+    let mut used: Vec<ElementId> = Vec::new();
+    for c in model.constraints() {
+        for (_, op) in c.task.ops() {
+            if !used.contains(&op.element) {
+                used.push(op.element);
+            }
+        }
+    }
+    used.sort();
+
+    let mut out = SearchOutcome {
+        schedule: None,
+        candidates_checked: 0,
+        nodes_visited: 0,
+        exhausted_bound: true,
+    };
+    if model.constraints().is_empty() {
+        out.schedule = Some(StaticSchedule::new(vec![Action::Idle]));
+        return Ok(out);
+    }
+    let n = used.len();
+    let subtrees = n + 1; // one per first symbol (idle + each element)
+    let per_subtree_budget = (config.node_budget / subtrees as u64).max(1);
+
+    for len in 1..=config.max_len {
+        // winner index: lowest first-symbol subtree that found a schedule
+        let winner = AtomicUsize::new(usize::MAX);
+        let mut results: Vec<Result<SearchOutcome, ModelError>> = Vec::with_capacity(subtrees);
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(subtrees);
+            for (chunk_ix, chunk) in (0..subtrees)
+                .collect::<Vec<_>>()
+                .chunks(subtrees.div_ceil(threads))
+                .enumerate()
+            {
+                let chunk: Vec<usize> = chunk.to_vec();
+                let used = &used;
+                let winner = &winner;
+                handles.push((
+                    chunk_ix,
+                    scope.spawn(move |_| {
+                        let mut locals = Vec::with_capacity(chunk.len());
+                        for first in chunk {
+                            // cancelled by a success in a lower subtree
+                            if winner.load(Ordering::Acquire) < first {
+                                locals.push((
+                                    first,
+                                    Ok(SearchOutcome {
+                                        schedule: None,
+                                        candidates_checked: 0,
+                                        nodes_visited: 0,
+                                        exhausted_bound: true,
+                                    }),
+                                ));
+                                continue;
+                            }
+                            let sub_config = SearchConfig {
+                                max_len: len,
+                                node_budget: per_subtree_budget,
+                            };
+                            let r = search_subtree(model, used, first, len, n, sub_config);
+                            if let Ok(o) = &r {
+                                if o.schedule.is_some() {
+                                    winner.fetch_min(first, Ordering::AcqRel);
+                                }
+                            }
+                            locals.push((first, r));
+                        }
+                        locals
+                    }),
+                ));
+            }
+            let mut collected: Vec<(usize, Result<SearchOutcome, ModelError>)> = Vec::new();
+            for (_, h) in handles {
+                collected.extend(h.join().expect("search worker panicked"));
+            }
+            collected.sort_by_key(|(first, _)| *first);
+            results = collected.into_iter().map(|(_, r)| r).collect();
+        })
+        .expect("scope join");
+
+        // combine in subtree order
+        let mut found: Option<StaticSchedule> = None;
+        for r in results {
+            let o = r?;
+            out.nodes_visited += o.nodes_visited;
+            out.candidates_checked += o.candidates_checked;
+            if !o.exhausted_bound {
+                out.exhausted_bound = false;
+            }
+            if found.is_none() {
+                if let Some(s) = o.schedule {
+                    found = Some(s);
+                }
+            }
+        }
+        if let Some(s) = found {
+            out.schedule = Some(s);
+            return Ok(out);
+        }
+        if !out.exhausted_bound {
+            return Ok(out);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feasibility::exact::find_feasible;
+    use crate::model::ModelBuilder;
+    use crate::task::TaskGraphBuilder;
+
+    fn single_op_model(specs: &[(u64, u64)]) -> Model {
+        let mut b = ModelBuilder::new();
+        for (i, &(w, d)) in specs.iter().enumerate() {
+            let e = b.element(&format!("e{i}"), w);
+            let tg = TaskGraphBuilder::new().op("o", e).build().unwrap();
+            b.asynchronous(&format!("c{i}"), tg, d, d);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn parallel_agrees_with_sequential_on_verdicts() {
+        let cfg = SearchConfig {
+            max_len: 5,
+            node_budget: 20_000_000,
+        };
+        for specs in [
+            vec![(1u64, 2u64)],
+            vec![(1, 3), (1, 3)],
+            vec![(1, 4), (1, 4), (1, 4)],
+            vec![(2, 3), (2, 3)],
+            vec![(2, 4), (1, 4)],
+        ] {
+            let m = single_op_model(&specs);
+            let seq = find_feasible(&m, cfg).unwrap();
+            for threads in [1usize, 2, 4] {
+                let par = find_feasible_parallel(&m, cfg, threads).unwrap();
+                assert_eq!(
+                    seq.schedule.is_some(),
+                    par.schedule.is_some(),
+                    "{specs:?} threads={threads}"
+                );
+                if let (Some(s), Some(p)) = (&seq.schedule, &par.schedule) {
+                    // identical deterministic answers
+                    assert_eq!(s.actions(), p.actions(), "{specs:?} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_results_verify() {
+        let cfg = SearchConfig {
+            max_len: 6,
+            node_budget: 50_000_000,
+        };
+        let m = single_op_model(&[(1, 6), (1, 6), (1, 6)]);
+        let par = find_feasible_parallel(&m, cfg, 4).unwrap();
+        let s = par.schedule.expect("feasible");
+        assert!(s.feasibility(&m).unwrap().is_feasible());
+    }
+
+    #[test]
+    fn parallel_run_is_reproducible() {
+        let cfg = SearchConfig {
+            max_len: 5,
+            node_budget: 10_000_000,
+        };
+        let m = single_op_model(&[(1, 4), (1, 5)]);
+        let a = find_feasible_parallel(&m, cfg, 4).unwrap();
+        let b = find_feasible_parallel(&m, cfg, 4).unwrap();
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.exhausted_bound, b.exhausted_bound);
+    }
+
+    #[test]
+    fn empty_model_trivial() {
+        let m = single_op_model(&[]);
+        let cfg = SearchConfig::default();
+        let out = find_feasible_parallel(&m, cfg, 4).unwrap();
+        assert!(out.schedule.is_some());
+    }
+}

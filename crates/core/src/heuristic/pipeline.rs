@@ -1,0 +1,298 @@
+//! Software pipelining: decompose functional elements into chains of
+//! unit-time sub-functions.
+//!
+//! The paper: *"we can reduce the size of critical sections by software
+//! pipelining, i.e., decomposing a functional element into a chain of
+//! sub-functions each of which has the same computation time. (We now see
+//! one of the virtues of the graph-based model: all the data dependencies
+//! are made explicit and hence software pipelining can be easily
+//! automated.)"*
+//!
+//! [`pipeline_model`] rewrites a model so every pipelinable element of
+//! weight `w > 1` becomes a chain `e/0 → e/1 → … → e/(w-1)` of unit-time
+//! sub-elements; task graphs are rewritten accordingly (each operation
+//! expands to a chain of stage operations, and each precedence edge
+//! re-attaches last-stage → first-stage). Elements of weight ≤ 1 and
+//! non-pipelinable elements pass through unchanged, so the transform is
+//! total; [`Pipelined::all_unit_weight`] tells callers whether the result
+//! is fully unit-weight (Theorem 3's hypothesis (iii) satisfied).
+
+use crate::constraint::TimingConstraint;
+use crate::error::ModelError;
+use crate::model::{CommGraph, ElementId, Model};
+use crate::task::{TaskGraph, TaskGraphBuilder};
+use std::collections::BTreeMap;
+
+/// A pipelined model plus the element correspondence maps.
+#[derive(Debug, Clone)]
+pub struct Pipelined {
+    /// The transformed model (new element identifiers!).
+    pub model: Model,
+    /// Original element → its stage chain in the new model (length 1 for
+    /// untouched elements).
+    pub orig_to_subs: BTreeMap<ElementId, Vec<ElementId>>,
+    /// New element → (original element, stage index).
+    pub sub_to_orig: BTreeMap<ElementId, (ElementId, u32)>,
+}
+
+impl Pipelined {
+    /// True if every element of the transformed model has weight ≤ 1 —
+    /// the precondition for preemptive (EDF) schedule generation.
+    pub fn all_unit_weight(&self) -> bool {
+        self.model.comm().elements().all(|(_, e)| e.wcet <= 1)
+    }
+
+    /// The stage chain of an original element.
+    pub fn stages_of(&self, orig: ElementId) -> Option<&[ElementId]> {
+        self.orig_to_subs.get(&orig).map(|v| v.as_slice())
+    }
+
+    /// Maps a sub-element back to its original element.
+    pub fn original_of(&self, sub: ElementId) -> Option<ElementId> {
+        self.sub_to_orig.get(&sub).map(|&(o, _)| o)
+    }
+}
+
+/// Applies software pipelining to a whole model (see module docs).
+pub fn pipeline_model(model: &Model) -> Result<Pipelined, ModelError> {
+    let comm = model.comm();
+    let mut new_comm = CommGraph::new();
+    let mut orig_to_subs: BTreeMap<ElementId, Vec<ElementId>> = BTreeMap::new();
+    let mut sub_to_orig: BTreeMap<ElementId, (ElementId, u32)> = BTreeMap::new();
+
+    // Elements: split where possible.
+    for (id, e) in comm.elements() {
+        if e.wcet > 1 && e.pipelinable {
+            let mut subs = Vec::with_capacity(e.wcet as usize);
+            for k in 0..e.wcet {
+                let sub = new_comm.add_element(format!("{}/{k}", e.name), 1)?;
+                if let Some(&prev) = subs.last() {
+                    new_comm.add_channel(prev, sub)?;
+                }
+                sub_to_orig.insert(sub, (id, k as u32));
+                subs.push(sub);
+            }
+            orig_to_subs.insert(id, subs);
+        } else {
+            let sub = new_comm.add_element_full(e.name.clone(), e.wcet, e.pipelinable)?;
+            sub_to_orig.insert(sub, (id, 0));
+            orig_to_subs.insert(id, vec![sub]);
+        }
+    }
+
+    // Channels: original (u, v) becomes last-stage(u) → first-stage(v).
+    for edge in comm.graph().edges() {
+        let from = *orig_to_subs[&edge.from].last().expect("non-empty chain");
+        let to = *orig_to_subs[&edge.to].first().expect("non-empty chain");
+        new_comm.add_channel_labeled(from, to, edge.weight.label.clone())?;
+    }
+
+    // Constraints: rewrite each task graph.
+    let mut new_constraints = Vec::with_capacity(model.constraints().len());
+    for c in model.constraints() {
+        let task = rewrite_task(&c.task, &orig_to_subs)?;
+        new_constraints.push(TimingConstraint {
+            name: c.name.clone(),
+            task,
+            period: c.period,
+            deadline: c.deadline,
+            kind: c.kind,
+        });
+    }
+
+    let model = Model::new(new_comm, new_constraints)?;
+    Ok(Pipelined {
+        model,
+        orig_to_subs,
+        sub_to_orig,
+    })
+}
+
+fn rewrite_task(
+    task: &TaskGraph,
+    orig_to_subs: &BTreeMap<ElementId, Vec<ElementId>>,
+) -> Result<TaskGraph, ModelError> {
+    let mut b = TaskGraphBuilder::new();
+    // ops: expand each into its stage chain
+    let mut first_label: BTreeMap<String, String> = BTreeMap::new();
+    let mut last_label: BTreeMap<String, String> = BTreeMap::new();
+    for (_, op) in task.ops() {
+        let subs = orig_to_subs
+            .get(&op.element)
+            .ok_or(ModelError::UnknownElement(op.element))?;
+        if subs.len() == 1 {
+            b = b.op(&op.label, subs[0]);
+            first_label.insert(op.label.clone(), op.label.clone());
+            last_label.insert(op.label.clone(), op.label.clone());
+        } else {
+            let mut prev: Option<String> = None;
+            for (k, &sub) in subs.iter().enumerate() {
+                let lbl = format!("{}/{k}", op.label);
+                b = b.op(&lbl, sub);
+                if let Some(p) = prev {
+                    b = b.edge(&p, &lbl);
+                }
+                prev = Some(lbl.clone());
+                if k == 0 {
+                    first_label.insert(op.label.clone(), lbl.clone());
+                }
+                if k == subs.len() - 1 {
+                    last_label.insert(op.label.clone(), lbl.clone());
+                }
+            }
+        }
+    }
+    // edges: last stage of source → first stage of target
+    for (u, v) in task.precedence_edges() {
+        let lu = &task.op(u).expect("live op").label;
+        let lv = &task.op(v).expect("live op").label;
+        b = b.edge(&last_label[lu], &first_label[lv]);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelBuilder;
+
+    fn heavy_chain_model() -> Model {
+        let mut b = ModelBuilder::new();
+        let a = b.element("a", 1);
+        let s = b.element("s", 3);
+        b.channel(a, s);
+        let tg = TaskGraphBuilder::new()
+            .op("a", a)
+            .op("s", s)
+            .edge("a", "s")
+            .build()
+            .unwrap();
+        b.asynchronous("c", tg, 10, 10);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn heavy_element_split_into_stages() {
+        let m = heavy_chain_model();
+        let p = pipeline_model(&m).unwrap();
+        // a + s/0 + s/1 + s/2 = 4 elements, all unit weight
+        assert_eq!(p.model.comm().element_count(), 4);
+        assert!(p.all_unit_weight());
+        // names carry stage suffixes
+        let names: Vec<&str> = p.model.comm().elements().map(|(_, e)| e.name.as_str()).collect();
+        assert!(names.contains(&"s/0"));
+        assert!(names.contains(&"s/2"));
+        assert!(names.contains(&"a"));
+    }
+
+    #[test]
+    fn stage_chains_are_connected() {
+        let m = heavy_chain_model();
+        let p = pipeline_model(&m).unwrap();
+        let comm = p.model.comm();
+        let s0 = comm.lookup("s/0").unwrap();
+        let s1 = comm.lookup("s/1").unwrap();
+        let s2 = comm.lookup("s/2").unwrap();
+        let a = comm.lookup("a").unwrap();
+        assert!(comm.has_channel(s0, s1));
+        assert!(comm.has_channel(s1, s2));
+        // original a -> s becomes a -> s/0
+        assert!(comm.has_channel(a, s0));
+        assert!(!comm.has_channel(a, s2));
+    }
+
+    #[test]
+    fn task_graph_rewritten_and_valid() {
+        let m = heavy_chain_model();
+        let p = pipeline_model(&m).unwrap();
+        let c = &p.model.constraints()[0];
+        // ops: a + 3 stages of s
+        assert_eq!(c.task.op_count(), 4);
+        // computation time preserved
+        assert_eq!(
+            c.task.computation_time(p.model.comm()).unwrap(),
+            4
+        );
+        p.model.validate().unwrap();
+        // precedence is a simple chain a -> s/0 -> s/1 -> s/2
+        assert_eq!(c.task.precedence_edges().count(), 3);
+    }
+
+    #[test]
+    fn unit_elements_pass_through() {
+        let mut b = ModelBuilder::new();
+        let x = b.element("x", 1);
+        let tg = TaskGraphBuilder::new().op("x", x).build().unwrap();
+        b.periodic("p", tg, 5, 5);
+        let m = b.build().unwrap();
+        let p = pipeline_model(&m).unwrap();
+        assert_eq!(p.model.comm().element_count(), 1);
+        assert_eq!(p.model.comm().name(p.model.comm().lookup("x").unwrap()), "x");
+        assert!(p.all_unit_weight());
+    }
+
+    #[test]
+    fn unpipelinable_elements_kept_atomic() {
+        let mut b = ModelBuilder::new();
+        let h = b.element_unpipelinable("h", 3);
+        let tg = TaskGraphBuilder::new().op("h", h).build().unwrap();
+        b.asynchronous("c", tg, 9, 9);
+        let m = b.build().unwrap();
+        let p = pipeline_model(&m).unwrap();
+        assert_eq!(p.model.comm().element_count(), 1);
+        assert!(!p.all_unit_weight());
+        let nh = p.model.comm().lookup("h").unwrap();
+        assert_eq!(p.model.comm().wcet(nh).unwrap(), 3);
+    }
+
+    #[test]
+    fn correspondence_maps_consistent() {
+        let m = heavy_chain_model();
+        let p = pipeline_model(&m).unwrap();
+        let orig_s = m.comm().lookup("s").unwrap();
+        let stages = p.stages_of(orig_s).unwrap();
+        assert_eq!(stages.len(), 3);
+        for (k, &sub) in stages.iter().enumerate() {
+            assert_eq!(p.sub_to_orig[&sub], (orig_s, k as u32));
+            assert_eq!(p.original_of(sub), Some(orig_s));
+        }
+        let orig_a = m.comm().lookup("a").unwrap();
+        assert_eq!(p.stages_of(orig_a).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn deadlines_and_kinds_preserved() {
+        let m = heavy_chain_model();
+        let p = pipeline_model(&m).unwrap();
+        let c0 = &m.constraints()[0];
+        let c1 = &p.model.constraints()[0];
+        assert_eq!(c0.period, c1.period);
+        assert_eq!(c0.deadline, c1.deadline);
+        assert_eq!(c0.kind, c1.kind);
+        assert_eq!(c0.name, c1.name);
+    }
+
+    #[test]
+    fn feedback_channels_survive() {
+        let mut b = ModelBuilder::new();
+        let s = b.element("s", 2);
+        let k = b.element("k", 2);
+        b.channel(s, k).channel(k, s);
+        let tg = TaskGraphBuilder::new()
+            .op("s", s)
+            .op("k", k)
+            .edge("s", "k")
+            .build()
+            .unwrap();
+        b.periodic("loop", tg, 8, 8);
+        let m = b.build().unwrap();
+        let p = pipeline_model(&m).unwrap();
+        let comm = p.model.comm();
+        let s1 = comm.lookup("s/1").unwrap();
+        let k0 = comm.lookup("k/0").unwrap();
+        let k1 = comm.lookup("k/1").unwrap();
+        let s0 = comm.lookup("s/0").unwrap();
+        assert!(comm.has_channel(s1, k0), "s -> k became s/1 -> k/0");
+        assert!(comm.has_channel(k1, s0), "k -> s became k/1 -> s/0");
+    }
+}

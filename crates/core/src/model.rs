@@ -1,0 +1,599 @@
+//! The communication graph `G = (V, E, W_V)` and the model `M = (G, T)`.
+
+use crate::constraint::{ConstraintId, ConstraintKind, TimingConstraint};
+use crate::error::ModelError;
+use crate::time::Time;
+use rtcg_graph::{DiGraph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifier of a functional element — a node of the communication graph.
+pub type ElementId = NodeId;
+
+/// A functional element: a named node of the communication graph with a
+/// bounded worst-case computation time (the paper's node weight `W_V`).
+///
+/// `pipelinable` records whether the element may be decomposed into a
+/// chain of unit-time sub-functions ("software pipelining"); Theorem 3
+/// requires it, and Theorem 2(ii)'s hard instances forbid it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionalElement {
+    /// Human-readable unique name (`fX`, `fS`, …).
+    pub name: String,
+    /// Worst-case computation time in ticks (node weight). May be zero for
+    /// pure forwarding elements.
+    pub wcet: Time,
+    /// Whether software pipelining may split this element.
+    pub pipelinable: bool,
+}
+
+/// A communication path between two functional elements (an edge of `G`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Channel {
+    /// Optional label (the data value carried, e.g. `x'`).
+    pub label: Option<String>,
+}
+
+/// The communication graph `G = (V, E, W_V)`: functional elements joined
+/// by communication paths. Cycles are allowed (feedback loops).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CommGraph {
+    graph: DiGraph<FunctionalElement, Channel>,
+    by_name: BTreeMap<String, ElementId>,
+}
+
+impl Default for CommGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CommGraph {
+    /// Creates an empty communication graph.
+    pub fn new() -> Self {
+        CommGraph {
+            graph: DiGraph::new(),
+            by_name: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a functional element with the given unique name and weight.
+    pub fn add_element(&mut self, name: impl Into<String>, wcet: Time) -> Result<ElementId, ModelError> {
+        self.add_element_full(name, wcet, true)
+    }
+
+    /// Adds a functional element, additionally controlling pipelinability.
+    pub fn add_element_full(
+        &mut self,
+        name: impl Into<String>,
+        wcet: Time,
+        pipelinable: bool,
+    ) -> Result<ElementId, ModelError> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(ModelError::DuplicateElementName(name));
+        }
+        let id = self.graph.add_node(FunctionalElement {
+            name: name.clone(),
+            wcet,
+            pipelinable,
+        });
+        self.by_name.insert(name, id);
+        Ok(id)
+    }
+
+    /// Adds a communication path `from → to` (idempotent: duplicates are
+    /// collapsed — the model only cares whether a path exists).
+    pub fn add_channel(&mut self, from: ElementId, to: ElementId) -> Result<(), ModelError> {
+        self.add_channel_labeled(from, to, None)
+    }
+
+    /// Adds a labeled communication path (label = the value carried).
+    pub fn add_channel_labeled(
+        &mut self,
+        from: ElementId,
+        to: ElementId,
+        label: Option<String>,
+    ) -> Result<(), ModelError> {
+        if self.graph.has_edge(from, to) {
+            return Ok(());
+        }
+        self.graph.add_edge(from, to, Channel { label })?;
+        Ok(())
+    }
+
+    /// The functional element behind `id`, if any.
+    pub fn element(&self, id: ElementId) -> Option<&FunctionalElement> {
+        self.graph.node_weight(id)
+    }
+
+    /// Looks up an element by name.
+    pub fn lookup(&self, name: &str) -> Result<ElementId, ModelError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| ModelError::UnknownElementName(name.to_string()))
+    }
+
+    /// Worst-case computation time of `id`.
+    pub fn wcet(&self, id: ElementId) -> Result<Time, ModelError> {
+        self.element(id)
+            .map(|e| e.wcet)
+            .ok_or(ModelError::UnknownElement(id))
+    }
+
+    /// Name of `id` (for reports); `"?"` for unknown ids.
+    pub fn name(&self, id: ElementId) -> &str {
+        self.element(id).map(|e| e.name.as_str()).unwrap_or("?")
+    }
+
+    /// True if `id` names a live element.
+    pub fn contains(&self, id: ElementId) -> bool {
+        self.graph.contains_node(id)
+    }
+
+    /// True if a communication path `from → to` exists.
+    pub fn has_channel(&self, from: ElementId, to: ElementId) -> bool {
+        self.graph.has_edge(from, to)
+    }
+
+    /// Number of functional elements.
+    pub fn element_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Iterator over `(id, element)` pairs in insertion order.
+    pub fn elements(&self) -> impl Iterator<Item = (ElementId, &FunctionalElement)> + '_ {
+        self.graph.nodes().map(|n| (n.id, n.weight))
+    }
+
+    /// Ids of all live elements.
+    pub fn element_ids(&self) -> impl Iterator<Item = ElementId> + '_ {
+        self.graph.node_ids()
+    }
+
+    /// The underlying digraph, for structural analysis.
+    pub fn graph(&self) -> &DiGraph<FunctionalElement, Channel> {
+        &self.graph
+    }
+
+    /// DOT rendering of the communication graph (element names and
+    /// weights; channel labels where present).
+    pub fn to_dot(&self, title: &str) -> String {
+        rtcg_graph::dot::to_dot(
+            &self.graph,
+            title,
+            |_, e| format!("{} ({})", e.name, e.wcet),
+            |_, c| c.label.clone().unwrap_or_default(),
+        )
+    }
+}
+
+/// The complete graph-based model `M = (G, T)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Model {
+    comm: CommGraph,
+    constraints: Vec<TimingConstraint>,
+}
+
+impl Model {
+    /// Assembles a model and validates it (see [`Model::validate`]).
+    pub fn new(comm: CommGraph, constraints: Vec<TimingConstraint>) -> Result<Self, ModelError> {
+        let m = Model { comm, constraints };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// The communication graph `G`.
+    pub fn comm(&self) -> &CommGraph {
+        &self.comm
+    }
+
+    /// All timing constraints `T`, in declaration order.
+    pub fn constraints(&self) -> &[TimingConstraint] {
+        &self.constraints
+    }
+
+    /// The constraint with identifier `id`.
+    pub fn constraint(&self, id: ConstraintId) -> Result<&TimingConstraint, ModelError> {
+        self.constraints
+            .get(id.index())
+            .ok_or(ModelError::UnknownConstraint(id))
+    }
+
+    /// `(id, constraint)` pairs in declaration order.
+    pub fn constraints_enumerated(
+        &self,
+    ) -> impl Iterator<Item = (ConstraintId, &TimingConstraint)> + '_ {
+        self.constraints
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ConstraintId::new(i as u32), c))
+    }
+
+    /// The asynchronous subset `T_a`.
+    pub fn asynchronous(&self) -> impl Iterator<Item = (ConstraintId, &TimingConstraint)> + '_ {
+        self.constraints_enumerated()
+            .filter(|(_, c)| c.kind == ConstraintKind::Asynchronous)
+    }
+
+    /// The periodic subset `T_p`.
+    pub fn periodic(&self) -> impl Iterator<Item = (ConstraintId, &TimingConstraint)> + '_ {
+        self.constraints_enumerated()
+            .filter(|(_, c)| c.kind == ConstraintKind::Periodic)
+    }
+
+    /// Validates the model per the paper's definition:
+    ///
+    /// * every task graph is acyclic,
+    /// * every task graph is *compatible* with `G` (its operations name
+    ///   live elements and each task edge follows a communication edge),
+    /// * periods and deadlines are positive,
+    /// * no constraint's computation time exceeds its deadline (a cheap
+    ///   necessary condition for feasibility on one processor).
+    pub fn validate(&self) -> Result<(), ModelError> {
+        for (id, c) in self.constraints_enumerated() {
+            if c.period == 0 {
+                return Err(ModelError::ZeroPeriod(id));
+            }
+            if c.deadline == 0 {
+                return Err(ModelError::ZeroDeadline(id));
+            }
+            c.task.validate_against(&self.comm, Some(id))?;
+            let comp = c.task.computation_time(&self.comm)?;
+            if comp > c.deadline {
+                return Err(ModelError::ComputationExceedsDeadline {
+                    constraint: id,
+                    computation: comp,
+                    deadline: c.deadline,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The paper's *deadline density* `Σ wᵢ/dᵢ` over all constraints — the
+    /// quantity bounded by 1/2 in Theorem 3.
+    pub fn deadline_density(&self) -> f64 {
+        self.constraints
+            .iter()
+            .map(|c| {
+                let w = c.task.computation_time(&self.comm).unwrap_or(0) as f64;
+                w / c.deadline as f64
+            })
+            .sum()
+    }
+
+    /// Long-run rate utilization `Σ wᵢ/pᵢ` (each constraint invoked at its
+    /// maximum rate).
+    pub fn rate_utilization(&self) -> f64 {
+        self.constraints
+            .iter()
+            .map(|c| {
+                let w = c.task.computation_time(&self.comm).unwrap_or(0) as f64;
+                w / c.period as f64
+            })
+            .sum()
+    }
+
+    /// LCM of all constraint periods (the hyperperiod).
+    pub fn hyperperiod(&self) -> Time {
+        crate::time::lcm_all(self.constraints.iter().map(|c| c.period))
+    }
+}
+
+/// Fluent builder for [`Model`].
+///
+/// Errors (duplicate names, bad edges) are deferred to [`ModelBuilder::build`]
+/// so construction code stays linear.
+#[derive(Debug, Default)]
+pub struct ModelBuilder {
+    comm: CommGraph,
+    constraints: Vec<TimingConstraint>,
+    deferred: Vec<ModelError>,
+}
+
+impl ModelBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a pipelinable functional element; returns its id.
+    pub fn element(&mut self, name: &str, wcet: Time) -> ElementId {
+        match self.comm.add_element(name, wcet) {
+            Ok(id) => id,
+            Err(e) => {
+                self.deferred.push(e);
+                // return the existing element so later code can proceed;
+                // build() will still fail with the recorded error
+                self.comm.lookup(name).unwrap_or(ElementId::new(u32::MAX))
+            }
+        }
+    }
+
+    /// Declares a non-pipelinable functional element.
+    pub fn element_unpipelinable(&mut self, name: &str, wcet: Time) -> ElementId {
+        match self.comm.add_element_full(name, wcet, false) {
+            Ok(id) => id,
+            Err(e) => {
+                self.deferred.push(e);
+                self.comm.lookup(name).unwrap_or(ElementId::new(u32::MAX))
+            }
+        }
+    }
+
+    /// Declares a communication path.
+    pub fn channel(&mut self, from: ElementId, to: ElementId) -> &mut Self {
+        if let Err(e) = self.comm.add_channel(from, to) {
+            self.deferred.push(e);
+        }
+        self
+    }
+
+    /// Declares a labeled communication path.
+    pub fn channel_labeled(&mut self, from: ElementId, to: ElementId, label: &str) -> &mut Self {
+        if let Err(e) = self
+            .comm
+            .add_channel_labeled(from, to, Some(label.to_string()))
+        {
+            self.deferred.push(e);
+        }
+        self
+    }
+
+    /// Adds a periodic timing constraint `(C, p, d)`.
+    pub fn periodic(
+        &mut self,
+        name: &str,
+        task: crate::task::TaskGraph,
+        period: Time,
+        deadline: Time,
+    ) -> ConstraintId {
+        self.push(name, task, period, deadline, ConstraintKind::Periodic)
+    }
+
+    /// Adds an asynchronous (sporadic) timing constraint `(C, p, d)`.
+    pub fn asynchronous(
+        &mut self,
+        name: &str,
+        task: crate::task::TaskGraph,
+        min_separation: Time,
+        deadline: Time,
+    ) -> ConstraintId {
+        self.push(
+            name,
+            task,
+            min_separation,
+            deadline,
+            ConstraintKind::Asynchronous,
+        )
+    }
+
+    fn push(
+        &mut self,
+        name: &str,
+        task: crate::task::TaskGraph,
+        period: Time,
+        deadline: Time,
+        kind: ConstraintKind,
+    ) -> ConstraintId {
+        let id = ConstraintId::new(self.constraints.len() as u32);
+        self.constraints.push(TimingConstraint {
+            name: name.to_string(),
+            task,
+            period,
+            deadline,
+            kind,
+        });
+        id
+    }
+
+    /// Read access to the communication graph built so far (for name
+    /// lookups while constructing task graphs).
+    pub fn comm(&self) -> &CommGraph {
+        &self.comm
+    }
+
+    /// Finalizes and validates the model.
+    pub fn build(self) -> Result<Model, ModelError> {
+        if let Some(e) = self.deferred.into_iter().next() {
+            return Err(e);
+        }
+        Model::new(self.comm, self.constraints)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskGraphBuilder;
+
+    fn chain_task(labels: &[(&str, ElementId)]) -> crate::task::TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        for &(l, e) in labels {
+            b = b.op(l, e);
+        }
+        for w in labels.windows(2) {
+            b = b.edge(w[0].0, w[1].0);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn comm_graph_basics() {
+        let mut g = CommGraph::new();
+        let a = g.add_element("fa", 2).unwrap();
+        let b = g.add_element("fb", 3).unwrap();
+        g.add_channel(a, b).unwrap();
+        assert_eq!(g.element_count(), 2);
+        assert_eq!(g.wcet(a).unwrap(), 2);
+        assert_eq!(g.lookup("fb").unwrap(), b);
+        assert!(g.has_channel(a, b));
+        assert!(!g.has_channel(b, a));
+        assert_eq!(g.name(a), "fa");
+        assert_eq!(g.name(ElementId::new(99)), "?");
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut g = CommGraph::new();
+        g.add_element("f", 1).unwrap();
+        assert_eq!(
+            g.add_element("f", 2),
+            Err(ModelError::DuplicateElementName("f".into()))
+        );
+    }
+
+    #[test]
+    fn duplicate_channels_collapse() {
+        let mut g = CommGraph::new();
+        let a = g.add_element("a", 1).unwrap();
+        let b = g.add_element("b", 1).unwrap();
+        g.add_channel(a, b).unwrap();
+        g.add_channel(a, b).unwrap();
+        assert_eq!(g.graph().edge_count(), 1);
+    }
+
+    #[test]
+    fn lookup_unknown_fails() {
+        let g = CommGraph::new();
+        assert!(matches!(
+            g.lookup("nope"),
+            Err(ModelError::UnknownElementName(_))
+        ));
+        assert!(matches!(
+            g.wcet(ElementId::new(0)),
+            Err(ModelError::UnknownElement(_))
+        ));
+    }
+
+    #[test]
+    fn model_validates_good_instance() {
+        let mut b = ModelBuilder::new();
+        let x = b.element("fx", 1);
+        let s = b.element("fs", 2);
+        b.channel(x, s);
+        let tg = chain_task(&[("x", x), ("s", s)]);
+        b.periodic("px", tg, 10, 10);
+        let m = b.build().unwrap();
+        assert_eq!(m.constraints().len(), 1);
+        assert_eq!(m.comm().element_count(), 2);
+        assert!((m.deadline_density() - 0.3).abs() < 1e-9);
+        assert!((m.rate_utilization() - 0.3).abs() < 1e-9);
+        assert_eq!(m.hyperperiod(), 10);
+    }
+
+    #[test]
+    fn model_rejects_incompatible_task_graph() {
+        let mut b = ModelBuilder::new();
+        let x = b.element("fx", 1);
+        let s = b.element("fs", 2);
+        // no channel x -> s
+        let tg = chain_task(&[("x", x), ("s", s)]);
+        b.periodic("px", tg, 10, 10);
+        match b.build() {
+            Err(ModelError::IncompatibleTaskGraph { from, to, .. }) => {
+                assert_eq!(from, x);
+                assert_eq!(to, s);
+            }
+            other => panic!("expected incompatibility, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn model_rejects_zero_period_and_deadline() {
+        let mut b = ModelBuilder::new();
+        let x = b.element("fx", 1);
+        let tg = chain_task(&[("x", x)]);
+        b.periodic("p", tg, 0, 10);
+        assert!(matches!(b.build(), Err(ModelError::ZeroPeriod(_))));
+
+        let mut b = ModelBuilder::new();
+        let x = b.element("fx", 1);
+        let tg = chain_task(&[("x", x)]);
+        b.asynchronous("a", tg, 5, 0);
+        assert!(matches!(b.build(), Err(ModelError::ZeroDeadline(_))));
+    }
+
+    #[test]
+    fn model_rejects_computation_exceeding_deadline() {
+        let mut b = ModelBuilder::new();
+        let x = b.element("fx", 7);
+        let tg = chain_task(&[("x", x)]);
+        b.asynchronous("a", tg, 10, 5);
+        assert!(matches!(
+            b.build(),
+            Err(ModelError::ComputationExceedsDeadline { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_reports_duplicate_element() {
+        let mut b = ModelBuilder::new();
+        let _ = b.element("f", 1);
+        let again = b.element("f", 2);
+        // the second call returns the original element's id
+        assert_eq!(again, ElementId::new(0));
+        assert!(matches!(
+            b.build(),
+            Err(ModelError::DuplicateElementName(_))
+        ));
+    }
+
+    #[test]
+    fn subsets_partition_constraints() {
+        let mut b = ModelBuilder::new();
+        let x = b.element("fx", 1);
+        let tg = || chain_task(&[("x", x)]);
+        b.periodic("p1", tg(), 10, 10);
+        b.asynchronous("a1", tg(), 5, 5);
+        b.periodic("p2", tg(), 20, 20);
+        let m = b.build().unwrap();
+        assert_eq!(m.periodic().count(), 2);
+        assert_eq!(m.asynchronous().count(), 1);
+        assert_eq!(m.hyperperiod(), 20);
+        let (aid, a) = m.asynchronous().next().unwrap();
+        assert_eq!(a.name, "a1");
+        assert_eq!(m.constraint(aid).unwrap().name, "a1");
+        assert!(m.constraint(ConstraintId::new(9)).is_err());
+    }
+
+    #[test]
+    fn feedback_cycles_allowed_in_comm_graph() {
+        let mut b = ModelBuilder::new();
+        let s = b.element("fs", 1);
+        let k = b.element("fk", 1);
+        b.channel(s, k).channel(k, s);
+        let tg = chain_task(&[("s", s), ("k", k)]);
+        b.periodic("loop", tg, 4, 4);
+        let m = b.build().unwrap();
+        assert!(m.comm().has_channel(s, k));
+        assert!(m.comm().has_channel(k, s));
+    }
+
+    #[test]
+    fn dot_export_mentions_elements() {
+        let mut g = CommGraph::new();
+        let a = g.add_element("fx", 2).unwrap();
+        let b = g.add_element("fs", 1).unwrap();
+        g.add_channel_labeled(a, b, Some("x'".into())).unwrap();
+        let dot = g.to_dot("m");
+        assert!(dot.contains("fx (2)"));
+        assert!(dot.contains("x'"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut b = ModelBuilder::new();
+        let x = b.element("fx", 1);
+        let tg = chain_task(&[("x", x)]);
+        b.periodic("p", tg, 6, 6);
+        let m = b.build().unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let m2: Model = serde_json::from_str(&json).unwrap();
+        m2.validate().unwrap();
+        assert_eq!(m2.constraints().len(), 1);
+        assert_eq!(m2.comm().name(x), "fx");
+    }
+}

@@ -1,0 +1,251 @@
+//! The paper's worked example (Figures 1 and 2): an automatic control
+//! system with inputs `x`, `y`, `z`, output `u` and internal state `v`.
+//!
+//! Five functional elements:
+//!
+//! * `fX`, `fY`, `fZ` — input preprocessors for the sensors `x`, `y` and
+//!   the asynchronous toggle switch `z`;
+//! * `fS` — the output function computing `u` from `x'`, `y'`, `z'` and
+//!   the internal state `v`;
+//! * `fK` — the state estimator feeding `u` back into `v` (the
+//!   `fS → fK → fS` feedback loop of Figure 1).
+//!
+//! Three timing constraints (Figure 2):
+//!
+//! * **periodic x-chain** `(Cx, p_x, d_x)` — sample `x`, recompute `u` via
+//!   `fS`, update `v` via `fK`;
+//! * **periodic y-chain** `(Cy, p_y, d_y)` — likewise for the slower `y`;
+//! * **asynchronous z-chain** `(Cz, p_z, d_z)` — when the operator flips
+//!   the toggle, detect the transition with `fZ` and recompute `u` within
+//!   `d_z`.
+
+use crate::error::ModelError;
+use crate::model::{ElementId, Model, ModelBuilder};
+use crate::task::TaskGraphBuilder;
+use crate::time::Time;
+
+/// Parameters of the control-system example. The paper leaves the
+/// numbers symbolic (`c_X …`, `p_x`, `p_y`, `d_z`); [`Params::default`]
+/// supplies a concrete instantiation consistent with the paper's prose
+/// (`y` much slower than `x`; `z` infrequent compared with both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// Computation times `c_X, c_Y, c_Z, c_S, c_K`.
+    pub c_x: Time,
+    /// See `c_x`.
+    pub c_y: Time,
+    /// See `c_x`.
+    pub c_z: Time,
+    /// See `c_x`.
+    pub c_s: Time,
+    /// See `c_x`.
+    pub c_k: Time,
+    /// Sampling period of input `x`.
+    pub p_x: Time,
+    /// Deadline of the x-chain (defaults to `p_x`).
+    pub d_x: Time,
+    /// Sampling period of input `y` (slower sensor).
+    pub p_y: Time,
+    /// Deadline of the y-chain (defaults to `p_y`).
+    pub d_y: Time,
+    /// Minimum separation between `z` transitions ("changes state very
+    /// infrequently").
+    pub p_z: Time,
+    /// Deadline `d_z` for recomputing `u` after a `z` transition.
+    pub d_z: Time,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            c_x: 1,
+            c_y: 1,
+            c_z: 1,
+            c_s: 2,
+            c_k: 1,
+            p_x: 20,
+            d_x: 20,
+            p_y: 40,
+            d_y: 40,
+            p_z: 60,
+            d_z: 15,
+        }
+    }
+}
+
+/// Element handles of the constructed example, for tests and demos.
+#[derive(Debug, Clone, Copy)]
+pub struct Elements {
+    /// Preprocessor of sensor `x`.
+    pub fx: ElementId,
+    /// Preprocessor of sensor `y`.
+    pub fy: ElementId,
+    /// Detector of the toggle `z`.
+    pub fz: ElementId,
+    /// Output function.
+    pub fs: ElementId,
+    /// State estimator.
+    pub fk: ElementId,
+}
+
+/// Builds the paper's Figure-1/Figure-2 model instance.
+pub fn build(params: Params) -> Result<(Model, Elements), ModelError> {
+    let mut b = ModelBuilder::new();
+    let fx = b.element("fX", params.c_x);
+    let fy = b.element("fY", params.c_y);
+    let fz = b.element("fZ", params.c_z);
+    let fs = b.element("fS", params.c_s);
+    let fk = b.element("fK", params.c_k);
+
+    // Figure 1's data paths: x' / y' / z' into fS; u out of fS into fK;
+    // v out of fK back into fS.
+    b.channel_labeled(fx, fs, "x'");
+    b.channel_labeled(fy, fs, "y'");
+    b.channel_labeled(fz, fs, "z'");
+    b.channel_labeled(fs, fk, "u");
+    b.channel_labeled(fk, fs, "v");
+
+    // Cx: fX -> fS -> fK  (sample x, recompute u, update v)
+    let cx = TaskGraphBuilder::new()
+        .op("x", fx)
+        .op("s", fs)
+        .op("k", fk)
+        .chain(&["x", "s", "k"])
+        .build()?;
+    b.periodic("x-chain", cx, params.p_x, params.d_x);
+
+    // Cy: fY -> fS -> fK
+    let cy = TaskGraphBuilder::new()
+        .op("y", fy)
+        .op("s", fs)
+        .op("k", fk)
+        .chain(&["y", "s", "k"])
+        .build()?;
+    b.periodic("y-chain", cy, params.p_y, params.d_y);
+
+    // Cz: fZ -> fS  (detect transition, recompute u within d_z)
+    let cz = TaskGraphBuilder::new()
+        .op("z", fz)
+        .op("s", fs)
+        .chain(&["z", "s"])
+        .build()?;
+    b.asynchronous("z-chain", cz, params.p_z, params.d_z);
+
+    let model = b.build()?;
+    Ok((
+        model,
+        Elements {
+            fx,
+            fy,
+            fz,
+            fs,
+            fk,
+        },
+    ))
+}
+
+/// Convenience: the default-parameter instance.
+pub fn default_model() -> (Model, Elements) {
+    build(Params::default()).expect("default parameters are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::ConstraintKind;
+
+    #[test]
+    fn default_instance_validates() {
+        let (m, e) = default_model();
+        assert_eq!(m.comm().element_count(), 5);
+        assert_eq!(m.constraints().len(), 3);
+        assert_eq!(m.periodic().count(), 2);
+        assert_eq!(m.asynchronous().count(), 1);
+        assert!(m.comm().has_channel(e.fs, e.fk));
+        assert!(m.comm().has_channel(e.fk, e.fs), "feedback loop present");
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn constraint_computation_times() {
+        let (m, _) = default_model();
+        let comm = m.comm();
+        let by_name = |n: &str| {
+            m.constraints()
+                .iter()
+                .find(|c| c.name == n)
+                .unwrap()
+                .computation_time(comm)
+                .unwrap()
+        };
+        // x-chain: c_x + c_s + c_k = 1 + 2 + 1
+        assert_eq!(by_name("x-chain"), 4);
+        assert_eq!(by_name("y-chain"), 4);
+        // z-chain: c_z + c_s = 1 + 2
+        assert_eq!(by_name("z-chain"), 3);
+    }
+
+    #[test]
+    fn z_chain_is_the_asynchronous_one() {
+        let (m, _) = default_model();
+        let (_, z) = m.asynchronous().next().unwrap();
+        assert_eq!(z.name, "z-chain");
+        assert_eq!(z.kind, ConstraintKind::Asynchronous);
+        assert_eq!(z.deadline, 15);
+    }
+
+    #[test]
+    fn densities_are_theorem3_friendly_by_default() {
+        let (m, _) = default_model();
+        // 4/20 + 4/40 + 3/15 = 0.2 + 0.1 + 0.2 = 0.5 ≤ 1/2
+        assert!(m.deadline_density() <= 0.5 + 1e-9);
+        // and ⌊d/2⌋ ≥ w for each constraint
+        for c in m.constraints() {
+            let w = c.computation_time(m.comm()).unwrap();
+            assert!(c.deadline / 2 >= w, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn custom_params_respected() {
+        let p = Params {
+            c_s: 3,
+            p_x: 10,
+            d_x: 9,
+            ..Params::default()
+        };
+        let (m, e) = build(p).unwrap();
+        assert_eq!(m.comm().wcet(e.fs).unwrap(), 3);
+        let x = m.constraints().iter().find(|c| c.name == "x-chain").unwrap();
+        assert_eq!(x.period, 10);
+        assert_eq!(x.deadline, 9);
+    }
+
+    #[test]
+    fn infeasible_params_rejected() {
+        // deadline shorter than the chain's computation time
+        let p = Params {
+            d_z: 2,
+            ..Params::default()
+        };
+        assert!(matches!(
+            build(p),
+            Err(ModelError::ComputationExceedsDeadline { .. })
+        ));
+    }
+
+    #[test]
+    fn hyperperiod_is_lcm_of_periods() {
+        let (m, _) = default_model();
+        assert_eq!(m.hyperperiod(), crate::time::lcm_all([20u64, 40, 60]));
+    }
+
+    #[test]
+    fn dot_export_of_example() {
+        let (m, _) = default_model();
+        let dot = m.comm().to_dot("mok-figure-1");
+        assert!(dot.contains("fS (2)"));
+        assert!(dot.contains("x'"));
+        assert!(dot.contains("v"));
+    }
+}

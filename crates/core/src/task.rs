@@ -1,0 +1,410 @@
+//! Task graphs — the acyclic precedence graphs `C` of timing constraints.
+//!
+//! Each node of a task graph is an *operation*: one execution of a named
+//! functional element of the communication graph. Each edge is a data
+//! transmission along a communication path. Compatibility with `G` (the
+//! paper's homomorphism condition) is checked by
+//! [`TaskGraph::validate_against`].
+
+use crate::constraint::ConstraintId;
+use crate::error::ModelError;
+use crate::model::{CommGraph, ElementId};
+use crate::time::Time;
+use rtcg_graph::{algo, DiGraph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifier of an operation inside a task graph.
+pub type OpId = NodeId;
+
+/// One operation of a task graph: an execution of `element`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Operation {
+    /// Label unique within the task graph (`x`, `s1`, …).
+    pub label: String,
+    /// The functional element this operation executes.
+    pub element: ElementId,
+}
+
+/// An acyclic task graph compatible with a communication graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskGraph {
+    graph: DiGraph<Operation, ()>,
+}
+
+impl TaskGraph {
+    /// Wraps a raw operation digraph. Prefer [`TaskGraphBuilder`]. The
+    /// graph is checked for acyclicity here; compatibility with a
+    /// communication graph is checked by [`TaskGraph::validate_against`].
+    pub fn from_graph(graph: DiGraph<Operation, ()>) -> Result<Self, ModelError> {
+        if algo::has_cycle(&graph) {
+            return Err(ModelError::CyclicTaskGraph { constraint: None });
+        }
+        Ok(TaskGraph { graph })
+    }
+
+    /// The underlying operation digraph.
+    pub fn graph(&self) -> &DiGraph<Operation, ()> {
+        &self.graph
+    }
+
+    /// Number of operations.
+    pub fn op_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// `(id, operation)` pairs in insertion order.
+    pub fn ops(&self) -> impl Iterator<Item = (OpId, &Operation)> + '_ {
+        self.graph.nodes().map(|n| (n.id, n.weight))
+    }
+
+    /// The operation behind `id`.
+    pub fn op(&self, id: OpId) -> Option<&Operation> {
+        self.graph.node_weight(id)
+    }
+
+    /// Functional element executed by operation `id`.
+    pub fn element_of(&self, id: OpId) -> Option<ElementId> {
+        self.op(id).map(|o| o.element)
+    }
+
+    /// Operation ids in a canonical topological order (the paper's
+    /// "straight-line program is any topological sort").
+    pub fn topo_ops(&self) -> Vec<OpId> {
+        algo::topo_sort(&self.graph).expect("task graphs are acyclic by construction")
+    }
+
+    /// Precedence edges as `(from_op, to_op)` pairs.
+    pub fn precedence_edges(&self) -> impl Iterator<Item = (OpId, OpId)> + '_ {
+        self.graph.edges().map(|e| (e.from, e.to))
+    }
+
+    /// Total computation time: the sum of the weights of all operations'
+    /// elements (the paper's "computation time of a timing constraint").
+    pub fn computation_time(&self, comm: &CommGraph) -> Result<Time, ModelError> {
+        let mut total: Time = 0;
+        for (_, op) in self.ops() {
+            total += comm.wcet(op.element)?;
+        }
+        Ok(total)
+    }
+
+    /// Critical-path length under element weights: a lower bound on the
+    /// span of any execution of this task graph, preemptive or not.
+    pub fn critical_path_time(&self, comm: &CommGraph) -> Result<Time, ModelError> {
+        let mut err = None;
+        let (len, _) = algo::critical_path(&self.graph, |n| {
+            let elem = self.graph.node_weight(n).expect("live node").element;
+            match comm.wcet(elem) {
+                Ok(w) => w,
+                Err(e) => {
+                    err.get_or_insert(e);
+                    0
+                }
+            }
+        })?;
+        match err {
+            Some(e) => Err(e),
+            None => Ok(len),
+        }
+    }
+
+    /// The multiset of functional elements this task graph executes, as a
+    /// map `element → number of operations on it`.
+    pub fn element_usage(&self) -> BTreeMap<ElementId, usize> {
+        let mut m = BTreeMap::new();
+        for (_, op) in self.ops() {
+            *m.entry(op.element).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Validates this task graph against a communication graph: acyclicity
+    /// plus the paper's compatibility (homomorphism) condition — every
+    /// operation names a live element and every precedence edge follows an
+    /// existing communication path.
+    pub fn validate_against(
+        &self,
+        comm: &CommGraph,
+        constraint: Option<ConstraintId>,
+    ) -> Result<(), ModelError> {
+        if algo::has_cycle(&self.graph) {
+            return Err(ModelError::CyclicTaskGraph { constraint });
+        }
+        for (_, op) in self.ops() {
+            if !comm.contains(op.element) {
+                return Err(ModelError::UnknownElement(op.element));
+            }
+        }
+        // Compatibility as an explicit homomorphism: each op is pinned to
+        // its declared element; verify every edge is carried.
+        let h = rtcg_graph::algo::Homomorphism::from_pairs(
+            self.ops().map(|(id, op)| (id, op.element)),
+        );
+        match rtcg_graph::algo::verify_homomorphism(&self.graph, comm.graph(), &h) {
+            Ok(()) => Ok(()),
+            Err(_) => {
+                // locate the offending edge for a precise diagnostic
+                for (u, v) in self.precedence_edges() {
+                    let (eu, ev) = (
+                        self.element_of(u).expect("live op"),
+                        self.element_of(v).expect("live op"),
+                    );
+                    if !comm.has_channel(eu, ev) {
+                        return Err(ModelError::IncompatibleTaskGraph {
+                            constraint: constraint.unwrap_or(ConstraintId::new(u32::MAX)),
+                            from: eu,
+                            to: ev,
+                        });
+                    }
+                }
+                unreachable!("verify failed but all edges present")
+            }
+        }
+    }
+}
+
+/// Fluent builder for [`TaskGraph`] using string labels.
+///
+/// ```
+/// # use rtcg_core::prelude::*;
+/// # let mut mb = ModelBuilder::new();
+/// # let fx = mb.element("fx", 1);
+/// # let fs = mb.element("fs", 1);
+/// let tg = TaskGraphBuilder::new()
+///     .op("x", fx)
+///     .op("s", fs)
+///     .edge("x", "s")
+///     .build()
+///     .unwrap();
+/// assert_eq!(tg.op_count(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct TaskGraphBuilder {
+    ops: Vec<(String, ElementId)>,
+    edges: Vec<(String, String)>,
+}
+
+impl TaskGraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an operation executing `element`, labeled `label`.
+    #[must_use]
+    pub fn op(mut self, label: &str, element: ElementId) -> Self {
+        self.ops.push((label.to_string(), element));
+        self
+    }
+
+    /// Adds a precedence edge between two labeled operations.
+    #[must_use]
+    pub fn edge(mut self, from: &str, to: &str) -> Self {
+        self.edges.push((from.to_string(), to.to_string()));
+        self
+    }
+
+    /// Adds a chain of precedence edges through the given labels.
+    #[must_use]
+    pub fn chain(mut self, labels: &[&str]) -> Self {
+        for w in labels.windows(2) {
+            self.edges.push((w[0].to_string(), w[1].to_string()));
+        }
+        self
+    }
+
+    /// Resolves labels and builds the task graph.
+    pub fn build(self) -> Result<TaskGraph, ModelError> {
+        let mut graph = DiGraph::new();
+        let mut by_label: BTreeMap<String, OpId> = BTreeMap::new();
+        for (label, element) in self.ops {
+            if by_label.contains_key(&label) {
+                return Err(ModelError::DuplicateOpLabel(label));
+            }
+            let id = graph.add_node(Operation {
+                label: label.clone(),
+                element,
+            });
+            by_label.insert(label, id);
+        }
+        for (from, to) in self.edges {
+            let &fu = by_label
+                .get(&from)
+                .ok_or(ModelError::UnknownOpLabel(from))?;
+            let &fv = by_label.get(&to).ok_or(ModelError::UnknownOpLabel(to))?;
+            if !graph.has_edge(fu, fv) {
+                graph.add_edge(fu, fv, ()).map_err(ModelError::from)?;
+            }
+        }
+        TaskGraph::from_graph(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comm_chain3() -> (CommGraph, [ElementId; 3]) {
+        let mut g = CommGraph::new();
+        let a = g.add_element("fa", 1).unwrap();
+        let b = g.add_element("fb", 2).unwrap();
+        let c = g.add_element("fc", 3).unwrap();
+        g.add_channel(a, b).unwrap();
+        g.add_channel(b, c).unwrap();
+        (g, [a, b, c])
+    }
+
+    #[test]
+    fn builder_builds_chain() {
+        let (comm, [a, b, c]) = comm_chain3();
+        let tg = TaskGraphBuilder::new()
+            .op("a", a)
+            .op("b", b)
+            .op("c", c)
+            .chain(&["a", "b", "c"])
+            .build()
+            .unwrap();
+        assert_eq!(tg.op_count(), 3);
+        assert_eq!(tg.precedence_edges().count(), 2);
+        tg.validate_against(&comm, None).unwrap();
+        assert_eq!(tg.computation_time(&comm).unwrap(), 6);
+        assert_eq!(tg.critical_path_time(&comm).unwrap(), 6);
+    }
+
+    #[test]
+    fn parallel_ops_have_shorter_critical_path() {
+        let mut g = CommGraph::new();
+        let a = g.add_element("fa", 2).unwrap();
+        let b = g.add_element("fb", 3).unwrap();
+        // no edges needed: two independent ops
+        let tg = TaskGraphBuilder::new()
+            .op("a", a)
+            .op("b", b)
+            .build()
+            .unwrap();
+        tg.validate_against(&g, None).unwrap();
+        assert_eq!(tg.computation_time(&g).unwrap(), 5);
+        assert_eq!(tg.critical_path_time(&g).unwrap(), 3);
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let (_, [a, ..]) = comm_chain3();
+        let r = TaskGraphBuilder::new().op("x", a).op("x", a).build();
+        assert!(matches!(r, Err(ModelError::DuplicateOpLabel(_))));
+    }
+
+    #[test]
+    fn unknown_label_in_edge_rejected() {
+        let (_, [a, ..]) = comm_chain3();
+        let r = TaskGraphBuilder::new().op("x", a).edge("x", "y").build();
+        assert!(matches!(r, Err(ModelError::UnknownOpLabel(_))));
+    }
+
+    #[test]
+    fn cyclic_task_graph_rejected() {
+        let (_, [a, b, _]) = comm_chain3();
+        let r = TaskGraphBuilder::new()
+            .op("u", a)
+            .op("v", b)
+            .edge("u", "v")
+            .edge("v", "u")
+            .build();
+        assert!(matches!(r, Err(ModelError::CyclicTaskGraph { .. })));
+    }
+
+    #[test]
+    fn incompatible_edge_detected() {
+        let (comm, [a, _, c]) = comm_chain3();
+        // a -> c skips fb; no direct channel exists
+        let tg = TaskGraphBuilder::new()
+            .op("a", a)
+            .op("c", c)
+            .edge("a", "c")
+            .build()
+            .unwrap();
+        match tg.validate_against(&comm, Some(ConstraintId::new(3))) {
+            Err(ModelError::IncompatibleTaskGraph {
+                constraint,
+                from,
+                to,
+            }) => {
+                assert_eq!(constraint, ConstraintId::new(3));
+                assert_eq!(from, a);
+                assert_eq!(to, c);
+            }
+            other => panic!("expected incompatibility, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn op_on_dead_element_detected() {
+        let (comm, _) = comm_chain3();
+        let ghost = ElementId::new(42);
+        let tg = TaskGraphBuilder::new().op("g", ghost).build().unwrap();
+        assert_eq!(
+            tg.validate_against(&comm, None),
+            Err(ModelError::UnknownElement(ghost))
+        );
+        assert!(tg.computation_time(&comm).is_err());
+    }
+
+    #[test]
+    fn repeated_element_use_is_allowed_and_counted() {
+        // two ops on the same element (e.g. a filter applied twice) are
+        // legal when G has a self-loop channel
+        let mut g = CommGraph::new();
+        let a = g.add_element("fa", 2).unwrap();
+        g.add_channel(a, a).unwrap();
+        let tg = TaskGraphBuilder::new()
+            .op("first", a)
+            .op("second", a)
+            .edge("first", "second")
+            .build()
+            .unwrap();
+        tg.validate_against(&g, None).unwrap();
+        assert_eq!(tg.computation_time(&g).unwrap(), 4);
+        assert_eq!(tg.element_usage().get(&a), Some(&2));
+    }
+
+    #[test]
+    fn topo_ops_respect_precedence() {
+        let (_, [a, b, c]) = comm_chain3();
+        let tg = TaskGraphBuilder::new()
+            .op("c", c)
+            .op("a", a)
+            .op("b", b)
+            .edge("a", "b")
+            .edge("b", "c")
+            .build()
+            .unwrap();
+        let order = tg.topo_ops();
+        let label_at = |i: usize| tg.op(order[i]).unwrap().label.clone();
+        assert_eq!(label_at(0), "a");
+        assert_eq!(label_at(1), "b");
+        assert_eq!(label_at(2), "c");
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let (_, [a, b, _]) = comm_chain3();
+        let tg = TaskGraphBuilder::new()
+            .op("a", a)
+            .op("b", b)
+            .edge("a", "b")
+            .edge("a", "b")
+            .build()
+            .unwrap();
+        assert_eq!(tg.precedence_edges().count(), 1);
+    }
+
+    #[test]
+    fn empty_task_graph_is_valid_but_trivial() {
+        let (comm, _) = comm_chain3();
+        let tg = TaskGraphBuilder::new().build().unwrap();
+        tg.validate_against(&comm, None).unwrap();
+        assert_eq!(tg.computation_time(&comm).unwrap(), 0);
+        assert_eq!(tg.op_count(), 0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Discrete time.
+//!
+//! The paper works with integral time instants ("it can be invoked at any
+//! integral time instant t"); we use `u64` ticks throughout. A thin alias
+//! plus helpers keeps signatures readable without the ceremony of a
+//! newtype at every arithmetic site.
+
+/// A point in (or length of) discrete time, in ticks.
+pub type Time = u64;
+
+/// Least common multiple, saturating at `u64::MAX` on overflow.
+pub fn lcm(a: Time, b: Time) -> Time {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let g = gcd(a, b);
+    (a / g).saturating_mul(b)
+}
+
+/// Greatest common divisor (Euclid).
+pub fn gcd(mut a: Time, mut b: Time) -> Time {
+    while b != 0 {
+        let t = b;
+        b = a % b;
+        a = t;
+    }
+    a
+}
+
+/// LCM of an iterator of times; `1` for an empty iterator, `0` if any
+/// element is `0`.
+pub fn lcm_all(times: impl IntoIterator<Item = Time>) -> Time {
+    times.into_iter().fold(1, lcm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(42, 42), 42);
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(1, 9), 9);
+        assert_eq!(lcm(0, 9), 0);
+        assert_eq!(lcm(9, 0), 0);
+        assert_eq!(lcm(7, 7), 7);
+    }
+
+    #[test]
+    fn lcm_saturates() {
+        assert_eq!(lcm(u64::MAX, 2), u64::MAX);
+        assert_eq!(lcm(u64::MAX - 1, u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn lcm_all_folds() {
+        assert_eq!(lcm_all([2, 3, 4]), 12);
+        assert_eq!(lcm_all([] as [Time; 0]), 1);
+        assert_eq!(lcm_all([5]), 5);
+        assert_eq!(lcm_all([2, 0, 4]), 0);
+        assert_eq!(lcm_all([20, 40, 15]), 120);
+    }
+}

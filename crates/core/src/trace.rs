@@ -1,0 +1,584 @@
+//! Execution traces `F : ℕ → V ∪ {φ}` and the execution-containment
+//! semantics of task graphs.
+//!
+//! A [`Trace`] is a finite prefix of an execution trace: one [`Slot`] per
+//! tick, each idle or busy executing one functional element. An element of
+//! weight `w` occupies `w` consecutive slots per execution *instance*
+//! (non-preemptive at element granularity; software pipelining recovers
+//! preemptibility by splitting elements — see [`crate::heuristic::pipeline`]).
+//!
+//! The paper's key semantic notion — "task graph `C` is executed in time
+//! interval `I`" — is decided exactly by [`Trace::executed_within`]: there
+//! must be a set `S` of instances inside `I`, in bijection with the
+//! operations of `C`, such that whenever `C` has an edge `u → v`, the
+//! instance of `u` finishes (and its output is transmitted) before the
+//! instance of `v` starts. [`Trace::earliest_completion`] computes the
+//! earliest time such an execution can complete when all instances must
+//! start at or after a given instant — the primitive on which exact
+//! latency analysis ([`crate::schedule::StaticSchedule::latency`]) rests.
+//!
+//! Both are implemented as exact branch-and-bound searches over instance
+//! assignments. Task graphs are small (a handful of operations), so
+//! exactness is affordable; greedy assignment would be faster but is not
+//! exchange-optimal when operations contend for instances of a shared
+//! element.
+
+use crate::error::ModelError;
+use crate::model::{CommGraph, ElementId};
+use crate::task::{OpId, TaskGraph};
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One tick of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Slot {
+    /// The processor idles (`φ`).
+    Idle,
+    /// The processor executes `element`; `offset` is the tick's position
+    /// within the current execution instance (`0..wcet`).
+    Busy {
+        /// Element being executed.
+        element: ElementId,
+        /// Position within the instance (0-based).
+        offset: u32,
+    },
+}
+
+/// A complete execution instance of a functional element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instance {
+    /// The element executed.
+    pub element: ElementId,
+    /// First tick of the instance.
+    pub start: Time,
+    /// Number of ticks (the element's weight).
+    pub len: Time,
+}
+
+impl Instance {
+    /// One past the last tick of the instance.
+    pub fn finish(&self) -> Time {
+        self.start + self.len
+    }
+}
+
+/// A finite prefix of an execution trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    slots: Vec<Slot>,
+}
+
+impl Trace {
+    /// The empty trace.
+    pub fn new() -> Self {
+        Trace { slots: Vec::new() }
+    }
+
+    /// Builds a trace from raw slots (offsets are trusted; use the `push_*`
+    /// constructors to guarantee well-formedness).
+    pub fn from_slots(slots: Vec<Slot>) -> Self {
+        Trace { slots }
+    }
+
+    /// Length in ticks.
+    pub fn len(&self) -> Time {
+        self.slots.len() as Time
+    }
+
+    /// True if no ticks have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The slot at tick `t`, if within the recorded prefix.
+    pub fn slot(&self, t: Time) -> Option<Slot> {
+        self.slots.get(t as usize).copied()
+    }
+
+    /// Raw slot storage.
+    pub fn slots(&self) -> &[Slot] {
+        &self.slots
+    }
+
+    /// Appends one idle tick.
+    pub fn push_idle(&mut self) {
+        self.slots.push(Slot::Idle);
+    }
+
+    /// Appends one raw slot. For simulators that interleave executions
+    /// (preemption): the caller is responsible for offset bookkeeping;
+    /// torn instances are simply never counted as complete executions.
+    pub fn push_slot_raw(&mut self, slot: Slot) {
+        self.slots.push(slot);
+    }
+
+    /// Appends a complete execution instance of `element` taking `wcet`
+    /// ticks. `wcet` must be positive.
+    pub fn push_execution(&mut self, element: ElementId, wcet: Time) -> Result<(), ModelError> {
+        if wcet == 0 {
+            return Err(ModelError::ZeroWeightScheduled(element));
+        }
+        for k in 0..wcet {
+            self.slots.push(Slot::Busy {
+                element,
+                offset: k as u32,
+            });
+        }
+        Ok(())
+    }
+
+    /// Extracts all execution instances, in start order. An instance is a
+    /// maximal run of busy slots of one element whose offsets count up
+    /// from 0. The extractor is weight-agnostic: a truncated trailing
+    /// execution (e.g. a simulation stopped mid-instance) surfaces as a
+    /// shorter instance; busy slots with no offset-0 start are skipped.
+    pub fn instances(&self) -> Vec<Instance> {
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        let n = self.slots.len();
+        while i < n {
+            match self.slots[i] {
+                Slot::Idle => i += 1,
+                Slot::Busy { element, offset } => {
+                    if offset != 0 {
+                        // mid-instance continuation without a recorded
+                        // start (ill-formed prefix); skip the tick
+                        i += 1;
+                        continue;
+                    }
+                    let start = i;
+                    let mut j = i + 1;
+                    while j < n {
+                        match self.slots[j] {
+                            Slot::Busy {
+                                element: e2,
+                                offset: o2,
+                            } if e2 == element && o2 as usize == j - start => j += 1,
+                            _ => break,
+                        }
+                    }
+                    out.push(Instance {
+                        element,
+                        start: start as Time,
+                        len: (j - start) as Time,
+                    });
+                    i = j;
+                }
+            }
+        }
+        out
+    }
+
+    /// Instances grouped per element, each list sorted by start time.
+    pub fn instances_by_element(&self) -> BTreeMap<ElementId, Vec<Instance>> {
+        let mut m: BTreeMap<ElementId, Vec<Instance>> = BTreeMap::new();
+        for inst in self.instances() {
+            m.entry(inst.element).or_default().push(inst);
+        }
+        m
+    }
+
+    /// Checks the paper's *pipeline ordering* requirement on this trace:
+    /// two executions of the same element have distinct start times and
+    /// the earlier-started finishes earlier. On a single-processor trace
+    /// built from complete instances this holds by construction; the
+    /// checker exists for traces recorded from simulations.
+    pub fn is_pipeline_ordered(&self) -> bool {
+        for insts in self.instances_by_element().values() {
+            for pair in insts.windows(2) {
+                if pair[0].start >= pair[1].start || pair[0].finish() > pair[1].finish() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Decides whether the task graph is *executed within* the window
+    /// `[from, to]` (paper semantics; see module docs). Exact.
+    pub fn executed_within(
+        &self,
+        task: &TaskGraph,
+        comm: &CommGraph,
+        from: Time,
+        to: Time,
+    ) -> Result<bool, ModelError> {
+        match self.earliest_completion(task, comm, from)? {
+            Some(completion) => Ok(completion <= to),
+            None => Ok(false),
+        }
+    }
+
+    /// The earliest time an execution of `task` can complete when every
+    /// instance must start at or after `from`. Returns `None` when no
+    /// complete execution exists in the recorded prefix. Exact
+    /// branch-and-bound over instance assignments.
+    pub fn earliest_completion(
+        &self,
+        task: &TaskGraph,
+        comm: &CommGraph,
+        from: Time,
+    ) -> Result<Option<Time>, ModelError> {
+        // Validate op elements up front so search can use plain lookups,
+        // and record expected weights: only instances of full weight are
+        // complete executions (a trace sliced mid-instance must not count
+        // the truncated remainder).
+        let mut wcets: BTreeMap<ElementId, Time> = BTreeMap::new();
+        for (_, op) in task.ops() {
+            wcets.insert(op.element, comm.wcet(op.element)?);
+        }
+        let ops = task.topo_ops();
+        if ops.is_empty() {
+            // the empty task graph completes immediately
+            return Ok(Some(from));
+        }
+        let by_elem = self.instances_by_element();
+        let searcher = Searcher {
+            task,
+            ops: &ops,
+            by_elem: &by_elem,
+            wcets: &wcets,
+            from,
+        };
+        Ok(searcher.search())
+    }
+}
+
+/// Branch-and-bound search state for `earliest_completion`.
+struct Searcher<'a> {
+    task: &'a TaskGraph,
+    ops: &'a [OpId],
+    by_elem: &'a BTreeMap<ElementId, Vec<Instance>>,
+    wcets: &'a BTreeMap<ElementId, Time>,
+    from: Time,
+}
+
+impl<'a> Searcher<'a> {
+    fn search(&self) -> Option<Time> {
+        let mut chosen: BTreeMap<OpId, Instance> = BTreeMap::new();
+        let mut best: Option<Time> = None;
+        self.dfs(0, 0, &mut chosen, &mut best);
+        best
+    }
+
+    fn dfs(
+        &self,
+        depth: usize,
+        current_max: Time,
+        chosen: &mut BTreeMap<OpId, Instance>,
+        best: &mut Option<Time>,
+    ) {
+        if let Some(b) = *best {
+            if current_max >= b {
+                return; // cannot improve
+            }
+        }
+        if depth == self.ops.len() {
+            *best = Some(match *best {
+                Some(b) => b.min(current_max),
+                None => current_max,
+            });
+            return;
+        }
+        let op = self.ops[depth];
+        let elem = self.task.element_of(op).expect("live op");
+        // lower bound: all predecessors must have finished
+        let mut lb = self.from;
+        for (u, v) in self.task.precedence_edges() {
+            if v == op {
+                if let Some(inst) = chosen.get(&u) {
+                    lb = lb.max(inst.finish());
+                }
+            }
+        }
+        let empty = Vec::new();
+        let candidates = self.by_elem.get(&elem).unwrap_or(&empty);
+        let expected = self.wcets[&elem];
+        for inst in candidates.iter() {
+            if inst.start < lb || inst.len != expected {
+                continue;
+            }
+            // per-element distinctness: no other op already uses this instance
+            if chosen.values().any(|c| c == inst) {
+                continue;
+            }
+            let new_max = current_max.max(inst.finish());
+            if let Some(b) = *best {
+                if new_max >= b {
+                    // instances are sorted by start; later ones only finish
+                    // later (pipeline ordering), so stop scanning
+                    break;
+                }
+            }
+            chosen.insert(op, *inst);
+            self.dfs(depth + 1, new_max, chosen, best);
+            chosen.remove(&op);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskGraphBuilder;
+
+    /// Communication graph a(1) -> b(2) -> c(1), plus a self-loop channel
+    /// on a so repeated-use task graphs are compatible.
+    fn setup() -> (CommGraph, [ElementId; 3]) {
+        let mut g = CommGraph::new();
+        let a = g.add_element("a", 1).unwrap();
+        let b = g.add_element("b", 2).unwrap();
+        let c = g.add_element("c", 1).unwrap();
+        g.add_channel(a, b).unwrap();
+        g.add_channel(b, c).unwrap();
+        g.add_channel(a, a).unwrap();
+        (g, [a, b, c])
+    }
+
+    fn chain_ab(a: ElementId, b: ElementId) -> TaskGraph {
+        TaskGraphBuilder::new()
+            .op("a", a)
+            .op("b", b)
+            .edge("a", "b")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn push_and_instances() {
+        let (_, [a, b, _]) = setup();
+        let mut t = Trace::new();
+        t.push_execution(a, 1).unwrap();
+        t.push_idle();
+        t.push_execution(b, 2).unwrap();
+        assert_eq!(t.len(), 4);
+        let insts = t.instances();
+        assert_eq!(
+            insts,
+            vec![
+                Instance {
+                    element: a,
+                    start: 0,
+                    len: 1
+                },
+                Instance {
+                    element: b,
+                    start: 2,
+                    len: 2
+                },
+            ]
+        );
+        assert_eq!(insts[1].finish(), 4);
+    }
+
+    #[test]
+    fn zero_weight_execution_rejected() {
+        let (_, [a, ..]) = setup();
+        let mut t = Trace::new();
+        assert!(matches!(
+            t.push_execution(a, 0),
+            Err(ModelError::ZeroWeightScheduled(_))
+        ));
+    }
+
+    #[test]
+    fn back_to_back_same_element_instances_split_by_offset() {
+        let (_, [a, ..]) = setup();
+        let mut t = Trace::new();
+        t.push_execution(a, 1).unwrap();
+        t.push_execution(a, 1).unwrap();
+        let insts = t.instances();
+        assert_eq!(insts.len(), 2);
+        assert_eq!(insts[0].start, 0);
+        assert_eq!(insts[1].start, 1);
+    }
+
+    #[test]
+    fn truncated_instance_dropped() {
+        let (_, [_, b, _]) = setup();
+        // only the first tick of b's 2-tick execution was recorded
+        let t = Trace::from_slots(vec![Slot::Busy {
+            element: b,
+            offset: 0,
+        }]);
+        assert_eq!(t.instances().len(), 1);
+        assert_eq!(t.instances()[0].len, 1);
+        // note: a 1-tick prefix of a 2-tick element is surfaced as a
+        // 1-tick instance; schedule-level code always pushes complete
+        // executions, so this only matters for raw simulation dumps.
+    }
+
+    #[test]
+    fn ill_formed_midstream_offset_skipped() {
+        let (_, [a, ..]) = setup();
+        let t = Trace::from_slots(vec![
+            Slot::Busy {
+                element: a,
+                offset: 1,
+            },
+            Slot::Busy {
+                element: a,
+                offset: 0,
+            },
+        ]);
+        let insts = t.instances();
+        assert_eq!(insts.len(), 1);
+        assert_eq!(insts[0].start, 1);
+    }
+
+    #[test]
+    fn pipeline_ordering_holds_for_serial_traces() {
+        let (_, [a, b, _]) = setup();
+        let mut t = Trace::new();
+        t.push_execution(a, 1).unwrap();
+        t.push_execution(b, 2).unwrap();
+        t.push_execution(a, 1).unwrap();
+        assert!(t.is_pipeline_ordered());
+    }
+
+    #[test]
+    fn earliest_completion_simple_chain() {
+        let (comm, [a, b, _]) = setup();
+        let task = chain_ab(a, b);
+        // trace: a | idle | b b  — execution completes at 4
+        let mut t = Trace::new();
+        t.push_execution(a, 1).unwrap();
+        t.push_idle();
+        t.push_execution(b, 2).unwrap();
+        assert_eq!(t.earliest_completion(&task, &comm, 0).unwrap(), Some(4));
+        // from tick 1 the 'a' instance at 0 is unusable → no completion
+        assert_eq!(t.earliest_completion(&task, &comm, 1).unwrap(), None);
+    }
+
+    #[test]
+    fn earliest_completion_picks_earliest_valid_pair() {
+        let (comm, [a, b, _]) = setup();
+        let task = chain_ab(a, b);
+        // a b b a b b  — from 0: completes at 3; from 1: needs a@3, b@4..6
+        let mut t = Trace::new();
+        t.push_execution(a, 1).unwrap();
+        t.push_execution(b, 2).unwrap();
+        t.push_execution(a, 1).unwrap();
+        t.push_execution(b, 2).unwrap();
+        assert_eq!(t.earliest_completion(&task, &comm, 0).unwrap(), Some(3));
+        assert_eq!(t.earliest_completion(&task, &comm, 1).unwrap(), Some(6));
+    }
+
+    #[test]
+    fn precedence_blocks_reordered_instances() {
+        let (comm, [a, b, _]) = setup();
+        let task = chain_ab(a, b);
+        // b b a — b precedes a in the trace, so the chain a→b never executes
+        let mut t = Trace::new();
+        t.push_execution(b, 2).unwrap();
+        t.push_execution(a, 1).unwrap();
+        assert_eq!(t.earliest_completion(&task, &comm, 0).unwrap(), None);
+        assert!(!t.executed_within(&task, &comm, 0, 10).unwrap());
+    }
+
+    #[test]
+    fn executed_within_respects_window_bounds() {
+        let (comm, [a, b, _]) = setup();
+        let task = chain_ab(a, b);
+        let mut t = Trace::new();
+        t.push_idle();
+        t.push_execution(a, 1).unwrap(); // [1,2)
+        t.push_execution(b, 2).unwrap(); // [2,4)
+        assert!(t.executed_within(&task, &comm, 0, 4).unwrap());
+        assert!(t.executed_within(&task, &comm, 1, 4).unwrap());
+        assert!(!t.executed_within(&task, &comm, 2, 4).unwrap(), "a starts at 1 < 2");
+        assert!(!t.executed_within(&task, &comm, 0, 3).unwrap(), "b finishes at 4 > 3");
+    }
+
+    #[test]
+    fn empty_task_graph_completes_immediately() {
+        let (comm, _) = setup();
+        let task = TaskGraphBuilder::new().build().unwrap();
+        let t = Trace::new();
+        assert_eq!(t.earliest_completion(&task, &comm, 7).unwrap(), Some(7));
+        assert!(t.executed_within(&task, &comm, 7, 7).unwrap());
+    }
+
+    #[test]
+    fn distinct_ops_need_distinct_instances() {
+        let (comm, [a, ..]) = setup();
+        // task: two ops on element a in sequence (uses a->a self channel)
+        let task = TaskGraphBuilder::new()
+            .op("a1", a)
+            .op("a2", a)
+            .edge("a1", "a2")
+            .build()
+            .unwrap();
+        // only one instance of a: cannot execute the task
+        let mut t = Trace::new();
+        t.push_execution(a, 1).unwrap();
+        assert_eq!(t.earliest_completion(&task, &comm, 0).unwrap(), None);
+        // two instances: completes at 2
+        t.push_execution(a, 1).unwrap();
+        assert_eq!(t.earliest_completion(&task, &comm, 0).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn parallel_ops_share_window_without_order() {
+        let (comm, [a, b, _]) = setup();
+        // independent ops a and b (no precedence): any order works
+        let task = TaskGraphBuilder::new().op("a", a).op("b", b).build().unwrap();
+        let mut t = Trace::new();
+        t.push_execution(b, 2).unwrap();
+        t.push_execution(a, 1).unwrap();
+        assert_eq!(t.earliest_completion(&task, &comm, 0).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn branch_and_bound_beats_greedy() {
+        // Greedy topo-order assignment can pick instances that starve a
+        // later op; exact search must recover. Task: x -> z and y -> z
+        // where x and y are *the same element* e (two ops on e), and z is
+        // element f. Instances: e@0, e@5, f@6. Greedy assigning the
+        // depth-first op to e@0 works, but if the op order tried e@5
+        // first for the first op, the second op would need an instance
+        // ≥ ... exact search must find the valid assignment regardless.
+        let mut g = CommGraph::new();
+        let e = g.add_element("e", 1).unwrap();
+        let f = g.add_element("f", 1).unwrap();
+        g.add_channel(e, f).unwrap();
+        let task = TaskGraphBuilder::new()
+            .op("x", e)
+            .op("y", e)
+            .op("z", f)
+            .edge("x", "z")
+            .edge("y", "z")
+            .build()
+            .unwrap();
+        let mut t = Trace::new();
+        t.push_execution(e, 1).unwrap(); // e @ 0
+        for _ in 0..4 {
+            t.push_idle();
+        }
+        t.push_execution(e, 1).unwrap(); // e @ 5
+        t.push_execution(f, 1).unwrap(); // f @ 6
+        assert_eq!(t.earliest_completion(&task, &comm_of(&g), 0).unwrap(), Some(7));
+
+        fn comm_of(g: &CommGraph) -> CommGraph {
+            g.clone()
+        }
+    }
+
+    #[test]
+    fn unknown_element_in_task_errors() {
+        let (comm, _) = setup();
+        let ghost = ElementId::new(77);
+        let task = TaskGraphBuilder::new().op("g", ghost).build().unwrap();
+        let t = Trace::new();
+        assert!(t.earliest_completion(&task, &comm, 0).is_err());
+    }
+
+    #[test]
+    fn completion_searches_beyond_window_do_not_panic() {
+        let (comm, [a, b, _]) = setup();
+        let task = chain_ab(a, b);
+        let t = Trace::new();
+        assert_eq!(t.earliest_completion(&task, &comm, 100).unwrap(), None);
+    }
+}

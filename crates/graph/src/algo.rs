@@ -1,0 +1,27 @@
+//! Graph algorithms used by the real-time model layers.
+//!
+//! Everything here is deterministic (insertion-order traversal) and
+//! allocation-conscious but not micro-optimised: model graphs are small.
+//! The submodules group related algorithms:
+//!
+//! * [`topo`] — topological sort, cycle detection, layering.
+//! * [`traversal`] — DFS/BFS orders and reachability from a root.
+//! * [`scc`] — Tarjan strongly-connected components.
+//! * [`reach`] — all-pairs reachability / transitive closure.
+//! * [`paths`] — DAG longest paths (critical paths) and path enumeration.
+//! * [`homomorphism`] — the paper's task-graph *compatibility* check: a
+//!   graph homomorphism from an acyclic pattern into a host graph.
+
+pub mod homomorphism;
+pub mod paths;
+pub mod reach;
+pub mod scc;
+pub mod topo;
+pub mod traversal;
+
+pub use homomorphism::{find_homomorphism, is_compatible, verify_homomorphism, Homomorphism};
+pub use paths::{all_simple_paths, critical_path, longest_path_lengths};
+pub use reach::{reachable_from, transitive_closure, ReachMatrix};
+pub use scc::{condensation_edges, strongly_connected_components};
+pub use topo::{has_cycle, is_dag, topo_layers, topo_sort, topo_sort_subset};
+pub use traversal::{bfs_order, dfs_order, dfs_postorder};

@@ -1,0 +1,381 @@
+//! Graph homomorphism search — the paper's *compatibility* relation.
+//!
+//! Mok defines: a task graph `C` is **compatible** with a communication
+//! graph `G` iff there is a mapping `h` such that (1) every node of `C`
+//! maps to a node of `G`, and (2) every edge `u → v` of `C` maps to an edge
+//! `h(u) → h(v)` of `G`. Note this is a plain homomorphism: `h` need not be
+//! injective (two task-graph operations may execute the same functional
+//! element), and `G` may have nodes and edges that `C` never touches.
+//!
+//! Search is backtracking with candidate ordering by most-constrained node
+//! first; task graphs are tiny (a handful of operations) so this is cheap.
+
+use crate::digraph::{DiGraph, NodeId};
+use crate::error::GraphError;
+use std::collections::BTreeMap;
+
+/// A homomorphism from a pattern graph into a host graph: the image of each
+/// live pattern node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Homomorphism {
+    map: BTreeMap<NodeId, NodeId>,
+}
+
+impl Homomorphism {
+    /// Builds a homomorphism from explicit pairs. Use
+    /// [`verify_homomorphism`] to check it against a pattern/host pair.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (NodeId, NodeId)>) -> Self {
+        Homomorphism {
+            map: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Image of pattern node `n`, if mapped.
+    pub fn image(&self, n: NodeId) -> Option<NodeId> {
+        self.map.get(&n).copied()
+    }
+
+    /// Iterator over `(pattern_node, host_node)` pairs in pattern-id order.
+    pub fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.map.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Number of mapped pattern nodes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no node is mapped.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Checks whether `h` is a valid homomorphism from `pattern` into `host`:
+/// total on live pattern nodes, images live in the host, and every pattern
+/// edge carried to a host edge.
+pub fn verify_homomorphism<N1, E1, N2, E2>(
+    pattern: &DiGraph<N1, E1>,
+    host: &DiGraph<N2, E2>,
+    h: &Homomorphism,
+) -> Result<(), GraphError> {
+    for n in pattern.node_ids() {
+        let img = h.image(n).ok_or(GraphError::NoHomomorphism(n))?;
+        if !host.contains_node(img) {
+            return Err(GraphError::InvalidNode(img));
+        }
+    }
+    for e in pattern.edges() {
+        let (fu, fv) = (
+            h.image(e.from).ok_or(GraphError::NoHomomorphism(e.from))?,
+            h.image(e.to).ok_or(GraphError::NoHomomorphism(e.to))?,
+        );
+        if !host.has_edge(fu, fv) {
+            return Err(GraphError::NoHomomorphism(e.from));
+        }
+    }
+    Ok(())
+}
+
+/// Searches for a homomorphism from `pattern` into `host` subject to a
+/// per-node candidate filter.
+///
+/// `candidates(p)` returns the host nodes that pattern node `p` may map to
+/// — the model layer uses this to force each task-graph operation onto its
+/// declared functional element; pass `|_| host.node_ids().collect()` for an
+/// unconstrained search. Returns the first mapping found (deterministic
+/// order) or `Err(NoHomomorphism(p))` naming a pattern node that could not
+/// be placed.
+pub fn find_homomorphism<N1, E1, N2, E2>(
+    pattern: &DiGraph<N1, E1>,
+    host: &DiGraph<N2, E2>,
+    mut candidates: impl FnMut(NodeId) -> Vec<NodeId>,
+) -> Result<Homomorphism, GraphError> {
+    let pnodes: Vec<NodeId> = pattern.node_ids().collect();
+    if pnodes.is_empty() {
+        return Ok(Homomorphism::from_pairs([]));
+    }
+    // candidate domains, filtered to live host nodes
+    let mut domains: Vec<(NodeId, Vec<NodeId>)> = Vec::with_capacity(pnodes.len());
+    for &p in &pnodes {
+        let dom: Vec<NodeId> = candidates(p)
+            .into_iter()
+            .filter(|&h| host.contains_node(h))
+            .collect();
+        if dom.is_empty() {
+            return Err(GraphError::NoHomomorphism(p));
+        }
+        domains.push((p, dom));
+    }
+    // most-constrained-first ordering (stable for determinism)
+    domains.sort_by_key(|(p, dom)| (dom.len(), *p));
+
+    let mut assignment: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+    if backtrack(pattern, host, &domains, 0, &mut assignment) {
+        Ok(Homomorphism { map: assignment })
+    } else {
+        Err(GraphError::NoHomomorphism(domains[0].0))
+    }
+}
+
+fn backtrack<N1, E1, N2, E2>(
+    pattern: &DiGraph<N1, E1>,
+    host: &DiGraph<N2, E2>,
+    domains: &[(NodeId, Vec<NodeId>)],
+    depth: usize,
+    assignment: &mut BTreeMap<NodeId, NodeId>,
+) -> bool {
+    if depth == domains.len() {
+        return true;
+    }
+    let (p, ref dom) = domains[depth];
+    'cands: for &cand in dom {
+        // check consistency with already-assigned neighbours of p
+        for e in pattern.out_edges(p) {
+            if let Some(&img) = assignment.get(&e.to) {
+                if !host.has_edge(cand, img) {
+                    continue 'cands;
+                }
+            }
+        }
+        for e in pattern.in_edges(p) {
+            if let Some(&img) = assignment.get(&e.from) {
+                if !host.has_edge(img, cand) {
+                    continue 'cands;
+                }
+            }
+        }
+        // self-loop in the pattern requires one in the host
+        if pattern.has_edge(p, p) && !host.has_edge(cand, cand) {
+            continue 'cands;
+        }
+        assignment.insert(p, cand);
+        if backtrack(pattern, host, domains, depth + 1, assignment) {
+            return true;
+        }
+        assignment.remove(&p);
+    }
+    false
+}
+
+/// Convenience: is `pattern` compatible with `host` under the candidate
+/// filter? (Paper's compatibility relation.)
+pub fn is_compatible<N1, E1, N2, E2>(
+    pattern: &DiGraph<N1, E1>,
+    host: &DiGraph<N2, E2>,
+    candidates: impl FnMut(NodeId) -> Vec<NodeId>,
+) -> bool {
+    find_homomorphism(pattern, host, candidates).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn any<N, E>(host: &DiGraph<N, E>) -> impl FnMut(NodeId) -> Vec<NodeId> + '_ {
+        move |_| host.node_ids().collect()
+    }
+
+    #[test]
+    fn chain_maps_into_chain() {
+        let mut p: DiGraph<(), ()> = DiGraph::new();
+        let p0 = p.add_node(());
+        let p1 = p.add_node(());
+        p.add_edge(p0, p1, ()).unwrap();
+
+        let mut h: DiGraph<(), ()> = DiGraph::new();
+        let h0 = h.add_node(());
+        let h1 = h.add_node(());
+        let h2 = h.add_node(());
+        h.add_edge(h0, h1, ()).unwrap();
+        h.add_edge(h1, h2, ()).unwrap();
+
+        let m = find_homomorphism(&p, &h, any(&h)).unwrap();
+        verify_homomorphism(&p, &h, &m).unwrap();
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn empty_pattern_trivially_compatible() {
+        let p: DiGraph<(), ()> = DiGraph::new();
+        let mut h: DiGraph<(), ()> = DiGraph::new();
+        h.add_node(());
+        let m = find_homomorphism(&p, &h, any(&h)).unwrap();
+        assert!(m.is_empty());
+        verify_homomorphism(&p, &h, &m).unwrap();
+    }
+
+    #[test]
+    fn pattern_edge_missing_in_host_fails() {
+        let mut p: DiGraph<(), ()> = DiGraph::new();
+        let p0 = p.add_node(());
+        let p1 = p.add_node(());
+        p.add_edge(p0, p1, ()).unwrap();
+
+        let mut h: DiGraph<(), ()> = DiGraph::new();
+        h.add_node(());
+        h.add_node(()); // two isolated host nodes: no edge to map onto
+
+        assert!(!is_compatible(&p, &h, any(&h)));
+    }
+
+    #[test]
+    fn homomorphism_may_be_non_injective() {
+        // pattern a -> b can map onto a single host self-loop node
+        let mut p: DiGraph<(), ()> = DiGraph::new();
+        let pa = p.add_node(());
+        let pb = p.add_node(());
+        p.add_edge(pa, pb, ()).unwrap();
+
+        let mut h: DiGraph<(), ()> = DiGraph::new();
+        let loopn = h.add_node(());
+        h.add_edge(loopn, loopn, ()).unwrap();
+
+        let m = find_homomorphism(&p, &h, any(&h)).unwrap();
+        assert_eq!(m.image(pa), Some(loopn));
+        assert_eq!(m.image(pb), Some(loopn));
+        verify_homomorphism(&p, &h, &m).unwrap();
+    }
+
+    #[test]
+    fn candidate_filter_pins_images() {
+        // pattern chain p0 -> p1; host chain h0 -> h1 -> h2.
+        // pin p0 to h1 so the only valid image of p1 is h2.
+        let mut p: DiGraph<(), ()> = DiGraph::new();
+        let p0 = p.add_node(());
+        let p1 = p.add_node(());
+        p.add_edge(p0, p1, ()).unwrap();
+
+        let mut h: DiGraph<(), ()> = DiGraph::new();
+        let h0 = h.add_node(());
+        let h1 = h.add_node(());
+        let h2 = h.add_node(());
+        h.add_edge(h0, h1, ()).unwrap();
+        h.add_edge(h1, h2, ()).unwrap();
+
+        let m = find_homomorphism(&p, &h, |n| {
+            if n == p0 {
+                vec![h1]
+            } else {
+                vec![h0, h1, h2]
+            }
+        })
+        .unwrap();
+        assert_eq!(m.image(p0), Some(h1));
+        assert_eq!(m.image(p1), Some(h2));
+    }
+
+    #[test]
+    fn empty_candidate_domain_fails_fast() {
+        let mut p: DiGraph<(), ()> = DiGraph::new();
+        let p0 = p.add_node(());
+        let mut h: DiGraph<(), ()> = DiGraph::new();
+        h.add_node(());
+        match find_homomorphism(&p, &h, |_| vec![]) {
+            Err(GraphError::NoHomomorphism(n)) => assert_eq!(n, p0),
+            other => panic!("expected NoHomomorphism, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_loop_pattern_needs_self_loop_host() {
+        let mut p: DiGraph<(), ()> = DiGraph::new();
+        let p0 = p.add_node(());
+        p.add_edge(p0, p0, ()).unwrap();
+
+        let mut h: DiGraph<(), ()> = DiGraph::new();
+        let a = h.add_node(());
+        let b = h.add_node(());
+        h.add_edge(a, b, ()).unwrap();
+        assert!(!is_compatible(&p, &h, any(&h)));
+
+        h.add_edge(b, b, ()).unwrap();
+        let m = find_homomorphism(&p, &h, any(&h)).unwrap();
+        assert_eq!(m.image(p0), Some(b));
+    }
+
+    #[test]
+    fn verify_rejects_partial_mapping() {
+        let mut p: DiGraph<(), ()> = DiGraph::new();
+        let p0 = p.add_node(());
+        let p1 = p.add_node(());
+        p.add_edge(p0, p1, ()).unwrap();
+        let mut h: DiGraph<(), ()> = DiGraph::new();
+        let h0 = h.add_node(());
+        let m = Homomorphism::from_pairs([(p0, h0)]);
+        assert!(verify_homomorphism(&p, &h, &m).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_dead_image() {
+        let mut p: DiGraph<(), ()> = DiGraph::new();
+        let p0 = p.add_node(());
+        let mut h: DiGraph<(), ()> = DiGraph::new();
+        let h0 = h.add_node(());
+        h.remove_node(h0);
+        let m = Homomorphism::from_pairs([(p0, h0)]);
+        assert!(verify_homomorphism(&p, &h, &m).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_unmapped_edge() {
+        let mut p: DiGraph<(), ()> = DiGraph::new();
+        let p0 = p.add_node(());
+        let p1 = p.add_node(());
+        p.add_edge(p0, p1, ()).unwrap();
+        let mut h: DiGraph<(), ()> = DiGraph::new();
+        let h0 = h.add_node(());
+        let h1 = h.add_node(());
+        // no edge h0 -> h1
+        let m = Homomorphism::from_pairs([(p0, h0), (p1, h1)]);
+        assert!(verify_homomorphism(&p, &h, &m).is_err());
+    }
+
+    #[test]
+    fn diamond_pattern_into_diamond_host() {
+        let build = |g: &mut DiGraph<(), ()>| {
+            let a = g.add_node(());
+            let b = g.add_node(());
+            let c = g.add_node(());
+            let d = g.add_node(());
+            for (u, v) in [(a, b), (a, c), (b, d), (c, d)] {
+                g.add_edge(u, v, ()).unwrap();
+            }
+            [a, b, c, d]
+        };
+        let mut p = DiGraph::new();
+        build(&mut p);
+        let mut h = DiGraph::new();
+        build(&mut h);
+        let m = find_homomorphism(&p, &h, any(&h)).unwrap();
+        verify_homomorphism(&p, &h, &m).unwrap();
+    }
+
+    #[test]
+    fn backtracking_explores_alternatives() {
+        // pattern: p0 -> p1 -> p2 (chain of 3)
+        // host: fork a -> b, a -> c, c -> d. Only a -> c -> d embeds a
+        // 3-chain; the search must backtrack away from a -> b.
+        let mut p: DiGraph<(), ()> = DiGraph::new();
+        let p0 = p.add_node(());
+        let p1 = p.add_node(());
+        let p2 = p.add_node(());
+        p.add_edge(p0, p1, ()).unwrap();
+        p.add_edge(p1, p2, ()).unwrap();
+
+        let mut h: DiGraph<(), ()> = DiGraph::new();
+        let a = h.add_node(());
+        let b = h.add_node(());
+        let c = h.add_node(());
+        let d = h.add_node(());
+        h.add_edge(a, b, ()).unwrap();
+        h.add_edge(a, c, ()).unwrap();
+        h.add_edge(c, d, ()).unwrap();
+
+        let m = find_homomorphism(&p, &h, any(&h)).unwrap();
+        verify_homomorphism(&p, &h, &m).unwrap();
+        assert_eq!(m.image(p0), Some(a));
+        assert_eq!(m.image(p1), Some(c));
+        assert_eq!(m.image(p2), Some(d));
+    }
+}

@@ -1,0 +1,264 @@
+//! DAG path analysis: weighted longest (critical) paths and bounded simple
+//! path enumeration.
+//!
+//! The *critical path* of a task graph under node weights is a lower bound
+//! on the time any single processor needs between the task graph's start
+//! and completion; the schedulers use it for quick infeasibility pruning.
+
+use crate::digraph::{DiGraph, NodeId};
+use crate::error::GraphError;
+
+/// Longest-path length (sum of node weights along the path, including both
+/// endpoints) ending at each node, where per-node weights come from
+/// `weight_of`. Returns a dense table indexed by `NodeId::index()`; entries
+/// of dead nodes are 0. Errors on cyclic graphs.
+pub fn longest_path_lengths<N, E>(
+    g: &DiGraph<N, E>,
+    mut weight_of: impl FnMut(NodeId) -> u64,
+) -> Result<Vec<u64>, GraphError> {
+    let order = crate::algo::topo::topo_sort(g)?;
+    let mut best = vec![0u64; g.node_bound()];
+    for &n in &order {
+        let w = weight_of(n);
+        let pred_best = g
+            .predecessors(n)
+            .map(|p| best[p.index()])
+            .max()
+            .unwrap_or(0);
+        best[n.index()] = pred_best + w;
+    }
+    Ok(best)
+}
+
+/// The critical path of a DAG: the heaviest node-weighted path, returned as
+/// `(total_weight, nodes_along_the_path)`. Empty graphs give `(0, [])`.
+pub fn critical_path<N, E>(
+    g: &DiGraph<N, E>,
+    mut weight_of: impl FnMut(NodeId) -> u64,
+) -> Result<(u64, Vec<NodeId>), GraphError> {
+    let order = crate::algo::topo::topo_sort(g)?;
+    if order.is_empty() {
+        return Ok((0, Vec::new()));
+    }
+    let mut best = vec![0u64; g.node_bound()];
+    let mut parent: Vec<Option<NodeId>> = vec![None; g.node_bound()];
+    for &n in &order {
+        let w = weight_of(n);
+        let mut pb = 0u64;
+        let mut pn = None;
+        for p in g.predecessors(n) {
+            if best[p.index()] >= pb && (pn.is_none() || best[p.index()] > pb) {
+                pb = best[p.index()];
+                pn = Some(p);
+            }
+        }
+        best[n.index()] = pb + w;
+        parent[n.index()] = pn;
+    }
+    let end = order
+        .iter()
+        .copied()
+        .max_by_key(|n| best[n.index()])
+        .expect("non-empty order");
+    let mut path = vec![end];
+    let mut cur = end;
+    while let Some(p) = parent[cur.index()] {
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    Ok((best[end.index()], path))
+}
+
+/// Enumerates all simple paths from `from` to `to`, capped at `max_paths`
+/// results (protection against exponential blowup). Paths are returned as
+/// node sequences including both endpoints; the zero-length path is
+/// included when `from == to`.
+pub fn all_simple_paths<N, E>(
+    g: &DiGraph<N, E>,
+    from: NodeId,
+    to: NodeId,
+    max_paths: usize,
+) -> Result<Vec<Vec<NodeId>>, GraphError> {
+    if !g.contains_node(from) {
+        return Err(GraphError::InvalidNode(from));
+    }
+    if !g.contains_node(to) {
+        return Err(GraphError::InvalidNode(to));
+    }
+    let mut results = Vec::new();
+    let mut path = vec![from];
+    let mut on_path = vec![false; g.node_bound()];
+    on_path[from.index()] = true;
+    dfs_paths(g, to, max_paths, &mut path, &mut on_path, &mut results);
+    Ok(results)
+}
+
+fn dfs_paths<N, E>(
+    g: &DiGraph<N, E>,
+    to: NodeId,
+    max_paths: usize,
+    path: &mut Vec<NodeId>,
+    on_path: &mut [bool],
+    results: &mut Vec<Vec<NodeId>>,
+) {
+    if results.len() >= max_paths {
+        return;
+    }
+    let cur = *path.last().expect("path never empty");
+    if cur == to {
+        results.push(path.clone());
+        return;
+    }
+    let succs: Vec<NodeId> = g.successors(cur).collect();
+    for s in succs {
+        if on_path[s.index()] {
+            continue;
+        }
+        path.push(s);
+        on_path[s.index()] = true;
+        dfs_paths(g, to, max_paths, path, on_path, results);
+        on_path[s.index()] = false;
+        path.pop();
+        if results.len() >= max_paths {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weighted_diamond() -> (DiGraph<u64, ()>, [NodeId; 4]) {
+        let mut g = DiGraph::new();
+        let a = g.add_node(1);
+        let b = g.add_node(5);
+        let c = g.add_node(2);
+        let d = g.add_node(1);
+        for (u, v) in [(a, b), (a, c), (b, d), (c, d)] {
+            g.add_edge(u, v, ()).unwrap();
+        }
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn longest_paths_accumulate_weights() {
+        let (g, [a, b, c, d]) = weighted_diamond();
+        let w = |n: NodeId| *g.node_weight(n).unwrap();
+        let lens = longest_path_lengths(&g, w).unwrap();
+        assert_eq!(lens[a.index()], 1);
+        assert_eq!(lens[b.index()], 6);
+        assert_eq!(lens[c.index()], 3);
+        assert_eq!(lens[d.index()], 7); // a + b + d = 1+5+1
+    }
+
+    #[test]
+    fn critical_path_takes_heavy_branch() {
+        let (g, [a, b, _c, d]) = weighted_diamond();
+        let w = |n: NodeId| *g.node_weight(n).unwrap();
+        let (len, path) = critical_path(&g, w).unwrap();
+        assert_eq!(len, 7);
+        assert_eq!(path, vec![a, b, d]);
+    }
+
+    #[test]
+    fn critical_path_of_single_node() {
+        let mut g: DiGraph<u64, ()> = DiGraph::new();
+        let a = g.add_node(42);
+        let (len, path) = critical_path(&g, |n| *g.node_weight(n).unwrap()).unwrap();
+        assert_eq!(len, 42);
+        assert_eq!(path, vec![a]);
+    }
+
+    #[test]
+    fn critical_path_of_empty_graph() {
+        let g: DiGraph<u64, ()> = DiGraph::new();
+        let (len, path) = critical_path(&g, |_| 0).unwrap();
+        assert_eq!(len, 0);
+        assert!(path.is_empty());
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut g: DiGraph<u64, ()> = DiGraph::new();
+        let a = g.add_node(1);
+        let b = g.add_node(1);
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(b, a, ()).unwrap();
+        assert!(longest_path_lengths(&g, |_| 1).is_err());
+        assert!(critical_path(&g, |_| 1).is_err());
+    }
+
+    #[test]
+    fn zero_weights_allowed() {
+        let (g, [_, _, _, d]) = weighted_diamond();
+        let lens = longest_path_lengths(&g, |_| 0).unwrap();
+        assert_eq!(lens[d.index()], 0);
+    }
+
+    #[test]
+    fn simple_paths_diamond_has_two() {
+        let (g, [a, b, c, d]) = weighted_diamond();
+        let paths = all_simple_paths(&g, a, d, 100).unwrap();
+        assert_eq!(paths.len(), 2);
+        assert!(paths.contains(&vec![a, b, d]));
+        assert!(paths.contains(&vec![a, c, d]));
+    }
+
+    #[test]
+    fn simple_paths_cap_respected() {
+        // ladder graph with 2^5 paths; cap at 7
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let mut prev = g.add_node(());
+        let first = prev;
+        for _ in 0..5 {
+            let up = g.add_node(());
+            let down = g.add_node(());
+            let join = g.add_node(());
+            g.add_edge(prev, up, ()).unwrap();
+            g.add_edge(prev, down, ()).unwrap();
+            g.add_edge(up, join, ()).unwrap();
+            g.add_edge(down, join, ()).unwrap();
+            prev = join;
+        }
+        let paths = all_simple_paths(&g, first, prev, 7).unwrap();
+        assert_eq!(paths.len(), 7);
+        let all = all_simple_paths(&g, first, prev, usize::MAX).unwrap();
+        assert_eq!(all.len(), 32);
+    }
+
+    #[test]
+    fn path_to_self_is_trivial() {
+        let (g, [a, ..]) = weighted_diamond();
+        let paths = all_simple_paths(&g, a, a, 10).unwrap();
+        assert_eq!(paths, vec![vec![a]]);
+    }
+
+    #[test]
+    fn no_path_yields_empty() {
+        let (g, [_, b, c, _]) = weighted_diamond();
+        assert!(all_simple_paths(&g, b, c, 10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn paths_reject_dead_endpoints() {
+        let (mut g, [a, b, ..]) = weighted_diamond();
+        g.remove_node(b);
+        assert!(all_simple_paths(&g, a, b, 10).is_err());
+        assert!(all_simple_paths(&g, b, a, 10).is_err());
+    }
+
+    #[test]
+    fn simple_paths_avoid_cycles() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(b, a, ()).unwrap();
+        g.add_edge(b, c, ()).unwrap();
+        let paths = all_simple_paths(&g, a, c, 10).unwrap();
+        assert_eq!(paths, vec![vec![a, b, c]]);
+    }
+}

@@ -1,0 +1,261 @@
+//! Reachability and transitive closure.
+//!
+//! Compatibility checking and shared-operation analysis both ask "can data
+//! produced at `u` reach `v`?". For model-sized graphs a dense bitset matrix
+//! is the simplest correct answer.
+
+use crate::digraph::{DiGraph, NodeId};
+use crate::error::GraphError;
+
+/// Dense reachability matrix over raw node indices.
+///
+/// `reaches(u, v)` answers whether a directed path `u → … → v` with at
+/// least one edge exists (i.e. this is the *strict* transitive closure;
+/// `reaches(u, u)` is true only if `u` lies on a cycle).
+#[derive(Debug, Clone)]
+pub struct ReachMatrix {
+    bound: usize,
+    bits: Vec<u64>,
+    words_per_row: usize,
+}
+
+impl ReachMatrix {
+    fn new(bound: usize) -> Self {
+        let words_per_row = bound.div_ceil(64).max(1);
+        ReachMatrix {
+            bound,
+            bits: vec![0; words_per_row * bound.max(1)],
+            words_per_row,
+        }
+    }
+
+    fn set(&mut self, u: usize, v: usize) {
+        let row = u * self.words_per_row;
+        self.bits[row + v / 64] |= 1 << (v % 64);
+    }
+
+    fn row(&self, u: usize) -> &[u64] {
+        &self.bits[u * self.words_per_row..(u + 1) * self.words_per_row]
+    }
+
+    /// True if a non-empty directed path from `u` to `v` exists.
+    pub fn reaches(&self, u: NodeId, v: NodeId) -> bool {
+        if u.index() >= self.bound || v.index() >= self.bound {
+            return false;
+        }
+        let row = u.index() * self.words_per_row;
+        self.bits[row + v.index() / 64] & (1 << (v.index() % 64)) != 0
+    }
+
+    /// All node indices reachable from `u` via a non-empty path.
+    pub fn reachable_set(&self, u: NodeId) -> Vec<NodeId> {
+        if u.index() >= self.bound {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (w, &word) in self.row(u.index()).iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.push(NodeId::new((w * 64 + b) as u32));
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+}
+
+/// Computes the strict transitive closure of `g`.
+///
+/// Runs one BFS per node over the bit-rows (effectively a blocked
+/// Floyd–Warshall on a DAG order when possible): `O(V·E/64)` words touched.
+pub fn transitive_closure<N, E>(g: &DiGraph<N, E>) -> ReachMatrix {
+    let bound = g.node_bound();
+    let mut m = ReachMatrix::new(bound);
+    // process nodes in reverse topological order when acyclic so each row
+    // can be unioned from successor rows in one pass; fall back to per-node
+    // BFS when cyclic.
+    match crate::algo::topo::topo_sort(g) {
+        Ok(order) => {
+            for &n in order.iter().rev() {
+                let mut row = vec![0u64; m.words_per_row];
+                for s in g.successors(n) {
+                    row[s.index() / 64] |= 1 << (s.index() % 64);
+                    let srow_start = s.index() * m.words_per_row;
+                    for (w, cell) in row.iter_mut().enumerate() {
+                        *cell |= m.bits[srow_start + w];
+                    }
+                }
+                let start = n.index() * m.words_per_row;
+                m.bits[start..start + m.words_per_row].copy_from_slice(&row);
+            }
+        }
+        Err(_) => {
+            for n in g.node_ids() {
+                for r in bfs_reach(g, n) {
+                    m.set(n.index(), r.index());
+                }
+            }
+        }
+    }
+    m
+}
+
+fn bfs_reach<N, E>(g: &DiGraph<N, E>, root: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.node_bound()];
+    let mut queue = std::collections::VecDeque::new();
+    let mut out = Vec::new();
+    for s in g.successors(root) {
+        if !seen[s.index()] {
+            seen[s.index()] = true;
+            queue.push_back(s);
+        }
+    }
+    while let Some(n) = queue.pop_front() {
+        out.push(n);
+        for s in g.successors(n) {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                queue.push_back(s);
+            }
+        }
+    }
+    out
+}
+
+/// Nodes reachable from `root` via a non-empty directed path.
+pub fn reachable_from<N, E>(g: &DiGraph<N, E>, root: NodeId) -> Result<Vec<NodeId>, GraphError> {
+    if !g.contains_node(root) {
+        return Err(GraphError::InvalidNode(root));
+    }
+    Ok(bfs_reach(g, root))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_closure() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(b, c, ()).unwrap();
+        let m = transitive_closure(&g);
+        assert!(m.reaches(a, b));
+        assert!(m.reaches(a, c));
+        assert!(m.reaches(b, c));
+        assert!(!m.reaches(c, a));
+        assert!(!m.reaches(b, a));
+        assert!(!m.reaches(a, a), "strict closure: no path a->a");
+    }
+
+    #[test]
+    fn cycle_closure_includes_self() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(b, a, ()).unwrap();
+        let m = transitive_closure(&g);
+        assert!(m.reaches(a, a));
+        assert!(m.reaches(b, b));
+        assert!(m.reaches(a, b));
+        assert!(m.reaches(b, a));
+    }
+
+    #[test]
+    fn reachable_set_matches_matrix() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let ids: Vec<_> = (0..10).map(|_| g.add_node(())).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], ()).unwrap();
+        }
+        let m = transitive_closure(&g);
+        let set = m.reachable_set(ids[0]);
+        assert_eq!(set.len(), 9);
+        for &n in &ids[1..] {
+            assert!(set.contains(&n));
+        }
+    }
+
+    #[test]
+    fn reachable_from_excludes_root_without_cycle() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        assert_eq!(reachable_from(&g, a).unwrap(), vec![b]);
+        assert_eq!(reachable_from(&g, b).unwrap(), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn reachable_from_rejects_dead_node() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        g.remove_node(a);
+        assert!(reachable_from(&g, a).is_err());
+    }
+
+    #[test]
+    fn large_graph_bitset_boundaries() {
+        // >64 nodes exercises multi-word rows
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let ids: Vec<_> = (0..130).map(|_| g.add_node(())).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], ()).unwrap();
+        }
+        let m = transitive_closure(&g);
+        assert!(m.reaches(ids[0], ids[129]));
+        assert!(m.reaches(ids[63], ids[64]));
+        assert!(m.reaches(ids[0], ids[64]));
+        assert!(!m.reaches(ids[129], ids[0]));
+        assert_eq!(m.reachable_set(ids[0]).len(), 129);
+    }
+
+    #[test]
+    fn out_of_range_queries_are_false() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        let m = transitive_closure(&g);
+        assert!(!m.reaches(NodeId::new(5), NodeId::new(6)));
+        assert!(m.reachable_set(NodeId::new(5)).is_empty());
+    }
+
+    #[test]
+    fn diamond_closure() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        for (u, v) in [(a, b), (a, c), (b, d), (c, d)] {
+            g.add_edge(u, v, ()).unwrap();
+        }
+        let m = transitive_closure(&g);
+        assert!(m.reaches(a, d));
+        assert!(!m.reaches(b, c));
+        assert!(!m.reaches(c, b));
+    }
+
+    #[test]
+    fn cyclic_and_acyclic_paths_agree() {
+        // graph with a cycle off to the side: closure must still be right
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(b, c, ()).unwrap();
+        g.add_edge(c, b, ()).unwrap(); // cycle b <-> c
+        g.add_edge(c, d, ()).unwrap();
+        let m = transitive_closure(&g);
+        assert!(m.reaches(a, d));
+        assert!(m.reaches(b, b));
+        assert!(m.reaches(c, c));
+        assert!(!m.reaches(a, a));
+        assert!(!m.reaches(d, a));
+    }
+}

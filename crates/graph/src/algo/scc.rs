@@ -1,0 +1,252 @@
+//! Strongly connected components (Tarjan) and DAG condensation.
+//!
+//! The communication graph of the model may be cyclic (feedback loops such
+//! as `f_S → f_K → f_S` in the paper's control example). Model validation
+//! uses SCCs to report *which* feedback loops exist, and condensation turns
+//! the communication graph into a DAG of component clusters for structural
+//! analysis.
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Computes strongly connected components with Tarjan's algorithm
+/// (iterative formulation; no recursion so deep graphs cannot overflow the
+/// stack). Components are returned in reverse topological order of the
+/// condensation — i.e. a component appears before any component it can
+/// reach — and node order inside a component is discovery order.
+pub fn strongly_connected_components<N, E>(g: &DiGraph<N, E>) -> Vec<Vec<NodeId>> {
+    const UNVISITED: usize = usize::MAX;
+
+    let bound = g.node_bound();
+    let mut index = vec![UNVISITED; bound];
+    let mut lowlink = vec![0usize; bound];
+    let mut on_stack = vec![false; bound];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components: Vec<Vec<NodeId>> = Vec::new();
+
+    // explicit DFS state machine: (node, iterator position over successors)
+    struct Frame {
+        node: NodeId,
+        succs: Vec<NodeId>,
+        next: usize,
+    }
+
+    for root in g.node_ids() {
+        if index[root.index()] != UNVISITED {
+            continue;
+        }
+        let mut frames = vec![Frame {
+            node: root,
+            succs: g.successors(root).collect(),
+            next: 0,
+        }];
+        index[root.index()] = next_index;
+        lowlink[root.index()] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root.index()] = true;
+
+        while let Some(frame) = frames.last_mut() {
+            let v = frame.node;
+            if frame.next < frame.succs.len() {
+                let w = frame.succs[frame.next];
+                frame.next += 1;
+                if index[w.index()] == UNVISITED {
+                    index[w.index()] = next_index;
+                    lowlink[w.index()] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w.index()] = true;
+                    frames.push(Frame {
+                        node: w,
+                        succs: g.successors(w).collect(),
+                        next: 0,
+                    });
+                } else if on_stack[w.index()] {
+                    lowlink[v.index()] = lowlink[v.index()].min(index[w.index()]);
+                }
+            } else {
+                // leaving v
+                if lowlink[v.index()] == index[v.index()] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w.index()] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.reverse();
+                    components.push(comp);
+                }
+                frames.pop();
+                if let Some(parent) = frames.last() {
+                    let p = parent.node;
+                    lowlink[p.index()] = lowlink[p.index()].min(lowlink[v.index()]);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Edges of the condensation: pairs `(i, j)` meaning component `i` has an
+/// edge into component `j`, with indices into the vector returned by
+/// [`strongly_connected_components`]. Duplicates are collapsed.
+pub fn condensation_edges<N, E>(
+    g: &DiGraph<N, E>,
+    components: &[Vec<NodeId>],
+) -> Vec<(usize, usize)> {
+    let mut comp_of = vec![usize::MAX; g.node_bound()];
+    for (ci, comp) in components.iter().enumerate() {
+        for &n in comp {
+            comp_of[n.index()] = ci;
+        }
+    }
+    let mut out: Vec<(usize, usize)> = Vec::new();
+    for e in g.edges() {
+        let (ci, cj) = (comp_of[e.from.index()], comp_of[e.to.index()]);
+        if ci != cj && ci != usize::MAX && cj != usize::MAX {
+            out.push((ci, cj));
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::topo::is_dag;
+
+    #[test]
+    fn dag_yields_singleton_components() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(b, c, ()).unwrap();
+        let comps = strongly_connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert!(comps.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn two_cycle_is_one_component() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(b, a, ()).unwrap();
+        let comps = strongly_connected_components(&g);
+        assert_eq!(comps.len(), 1);
+        let mut c = comps[0].clone();
+        c.sort();
+        assert_eq!(c, vec![a, b]);
+    }
+
+    #[test]
+    fn feedback_loop_like_paper_example() {
+        // fS <-> fK feedback, with fX, fY feeding fS and u leaving fS
+        let mut g: DiGraph<&str, ()> = DiGraph::new();
+        let fx = g.add_node("fx");
+        let fy = g.add_node("fy");
+        let fs = g.add_node("fs");
+        let fk = g.add_node("fk");
+        g.add_edge(fx, fs, ()).unwrap();
+        g.add_edge(fy, fs, ()).unwrap();
+        g.add_edge(fs, fk, ()).unwrap();
+        g.add_edge(fk, fs, ()).unwrap();
+        let comps = strongly_connected_components(&g);
+        // components: {fx}, {fy}, {fs, fk}
+        assert_eq!(comps.len(), 3);
+        let big = comps.iter().find(|c| c.len() == 2).expect("feedback scc");
+        let mut big = big.clone();
+        big.sort();
+        assert_eq!(big, vec![fs, fk]);
+    }
+
+    #[test]
+    fn reverse_topological_component_order() {
+        // a -> b -> c chain: SCC order must list c's component first
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(b, c, ()).unwrap();
+        let comps = strongly_connected_components(&g);
+        assert_eq!(comps, vec![vec![c], vec![b], vec![a]]);
+    }
+
+    #[test]
+    fn condensation_is_acyclic() {
+        // two 2-cycles connected by an edge
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(b, a, ()).unwrap();
+        g.add_edge(c, d, ()).unwrap();
+        g.add_edge(d, c, ()).unwrap();
+        g.add_edge(b, c, ()).unwrap();
+        let comps = strongly_connected_components(&g);
+        assert_eq!(comps.len(), 2);
+        let edges = condensation_edges(&g, &comps);
+        assert_eq!(edges.len(), 1);
+        // rebuild condensation and verify DAG-ness
+        let mut cg: DiGraph<usize, ()> = DiGraph::new();
+        let ids: Vec<_> = (0..comps.len()).map(|i| cg.add_node(i)).collect();
+        for (i, j) in edges {
+            cg.add_edge(ids[i], ids[j], ()).unwrap();
+        }
+        assert!(is_dag(&cg));
+    }
+
+    #[test]
+    fn self_loop_single_component() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, a, ()).unwrap();
+        let comps = strongly_connected_components(&g);
+        assert_eq!(comps, vec![vec![a]]);
+        // self-loop edge does not appear in condensation
+        assert!(condensation_edges(&g, &comps).is_empty());
+    }
+
+    #[test]
+    fn empty_graph_no_components() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        assert!(strongly_connected_components(&g).is_empty());
+    }
+
+    #[test]
+    fn large_cycle_one_component() {
+        let mut g: DiGraph<usize, ()> = DiGraph::new();
+        let ids: Vec<_> = (0..100).map(|i| g.add_node(i)).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], ()).unwrap();
+        }
+        g.add_edge(ids[99], ids[0], ()).unwrap();
+        let comps = strongly_connected_components(&g);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 100);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        // iterative Tarjan must survive a 100k-node chain
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let ids: Vec<_> = (0..100_000).map(|_| g.add_node(())).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], ()).unwrap();
+        }
+        let comps = strongly_connected_components(&g);
+        assert_eq!(comps.len(), 100_000);
+    }
+}

@@ -1,0 +1,280 @@
+//! Topological ordering and acyclicity checks.
+//!
+//! Task graphs in the Mok model must be acyclic; the straight-line program
+//! synthesis of the paper ("any topological sort of the operations in the
+//! task graph") is exactly [`topo_sort`]. Kahn's algorithm with an
+//! insertion-ordered work queue keeps results deterministic, so synthesized
+//! programs are identical run-to-run.
+
+use crate::digraph::{DiGraph, NodeId};
+use crate::error::GraphError;
+use std::collections::VecDeque;
+
+/// Computes a topological order of all live nodes.
+///
+/// Returns `Err(CycleDetected(n))` with some node `n` on a cycle when the
+/// graph is cyclic. Ties are broken by node-id order, making the result a
+/// canonical order.
+pub fn topo_sort<N, E>(g: &DiGraph<N, E>) -> Result<Vec<NodeId>, GraphError> {
+    topo_sort_subset(g, g.node_ids())
+}
+
+/// Topological sort of an induced subgraph given by `subset`.
+///
+/// Only edges with **both** endpoints in `subset` constrain the order. This
+/// is what the synthesizer needs when it lays out one timing constraint's
+/// task graph, which is a subgraph of the communication graph.
+pub fn topo_sort_subset<N, E>(
+    g: &DiGraph<N, E>,
+    subset: impl IntoIterator<Item = NodeId>,
+) -> Result<Vec<NodeId>, GraphError> {
+    let members: Vec<NodeId> = subset.into_iter().collect();
+    let mut in_set = vec![false; g.node_bound()];
+    for &n in &members {
+        if !g.contains_node(n) {
+            return Err(GraphError::InvalidNode(n));
+        }
+        in_set[n.index()] = true;
+    }
+    let mut indeg = vec![0usize; g.node_bound()];
+    for &n in &members {
+        for p in g.predecessors(n) {
+            if in_set[p.index()] {
+                indeg[n.index()] += 1;
+            }
+        }
+    }
+    // Min-heap on NodeId would be asymptotically nicer; for model-scale
+    // graphs a sorted ready list is simpler and still deterministic.
+    let mut ready: VecDeque<NodeId> = {
+        let mut r: Vec<NodeId> = members
+            .iter()
+            .copied()
+            .filter(|n| indeg[n.index()] == 0)
+            .collect();
+        r.sort();
+        r.into()
+    };
+    let mut order = Vec::with_capacity(members.len());
+    while let Some(n) = ready.pop_front() {
+        order.push(n);
+        let mut newly: Vec<NodeId> = Vec::new();
+        for s in g.successors(n) {
+            if in_set[s.index()] {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    newly.push(s);
+                }
+            }
+        }
+        newly.sort();
+        // keep deterministic order: merge the newly-ready nodes
+        for s in newly {
+            ready.push_back(s);
+        }
+    }
+    if order.len() != members.len() {
+        // some node kept a positive in-degree: it lies on a cycle
+        let culprit = members
+            .iter()
+            .copied()
+            .find(|n| indeg[n.index()] > 0)
+            .expect("cycle implies positive in-degree node");
+        return Err(GraphError::CycleDetected(culprit));
+    }
+    Ok(order)
+}
+
+/// True if the graph contains at least one directed cycle.
+pub fn has_cycle<N, E>(g: &DiGraph<N, E>) -> bool {
+    topo_sort(g).is_err()
+}
+
+/// True if the graph is a DAG (no directed cycles).
+pub fn is_dag<N, E>(g: &DiGraph<N, E>) -> bool {
+    !has_cycle(g)
+}
+
+/// Partitions a DAG into *layers*: layer 0 holds the sources; layer `k`
+/// holds nodes whose longest incoming path from any source has `k` edges.
+///
+/// The layering is the backbone of software pipelining (stage `k` of a
+/// pipelined functional element corresponds to layer `k` of its expansion).
+pub fn topo_layers<N, E>(g: &DiGraph<N, E>) -> Result<Vec<Vec<NodeId>>, GraphError> {
+    let order = topo_sort(g)?;
+    let mut depth = vec![0usize; g.node_bound()];
+    let mut max_depth = 0usize;
+    for &n in &order {
+        for p in g.predecessors(n) {
+            depth[n.index()] = depth[n.index()].max(depth[p.index()] + 1);
+        }
+        max_depth = max_depth.max(depth[n.index()]);
+    }
+    let mut layers = vec![Vec::new(); if order.is_empty() { 0 } else { max_depth + 1 }];
+    for &n in &order {
+        layers[depth[n.index()]].push(n);
+    }
+    Ok(layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear(n: usize) -> (DiGraph<usize, ()>, Vec<NodeId>) {
+        let mut g = DiGraph::new();
+        let ids: Vec<NodeId> = (0..n).map(|i| g.add_node(i)).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], ()).unwrap();
+        }
+        (g, ids)
+    }
+
+    #[test]
+    fn empty_graph_sorts_to_empty() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        assert_eq!(topo_sort(&g).unwrap(), Vec::<NodeId>::new());
+        assert!(is_dag(&g));
+        assert_eq!(topo_layers(&g).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn chain_sorts_in_order() {
+        let (g, ids) = linear(6);
+        assert_eq!(topo_sort(&g).unwrap(), ids);
+    }
+
+    #[test]
+    fn reversed_insertion_still_topological() {
+        // add nodes in reverse, edges pointing "up" the id space
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let c = g.add_node(());
+        let b = g.add_node(());
+        let a = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(b, c, ()).unwrap();
+        let order = topo_sort(&g).unwrap();
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(a) < pos(b));
+        assert!(pos(b) < pos(c));
+    }
+
+    #[test]
+    fn diamond_respects_all_precedences() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        for (u, v) in [(a, b), (a, c), (b, d), (c, d)] {
+            g.add_edge(u, v, ()).unwrap();
+        }
+        let order = topo_sort(&g).unwrap();
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], a);
+        assert_eq!(order[3], d);
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let (mut g, ids) = linear(3);
+        g.add_edge(ids[2], ids[0], ()).unwrap();
+        match topo_sort(&g) {
+            Err(GraphError::CycleDetected(_)) => {}
+            other => panic!("expected cycle, got {other:?}"),
+        }
+        assert!(has_cycle(&g));
+        assert!(!is_dag(&g));
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, a, ()).unwrap();
+        assert!(has_cycle(&g));
+    }
+
+    #[test]
+    fn subset_sort_ignores_outside_edges() {
+        // a -> b -> c, and subset {a, c}: no constraint between them,
+        // so canonical order is id order.
+        let (g, ids) = linear(3);
+        let order = topo_sort_subset(&g, [ids[0], ids[2]]).unwrap();
+        assert_eq!(order, vec![ids[0], ids[2]]);
+    }
+
+    #[test]
+    fn subset_sort_breaks_cycles_outside_subset() {
+        // cycle a -> b -> a, but subset {a} alone is fine
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(b, a, ()).unwrap();
+        assert!(has_cycle(&g));
+        assert_eq!(topo_sort_subset(&g, [a]).unwrap(), vec![a]);
+    }
+
+    #[test]
+    fn subset_sort_rejects_dead_node() {
+        let (mut g, ids) = linear(2);
+        g.remove_node(ids[1]);
+        assert_eq!(
+            topo_sort_subset(&g, [ids[1]]),
+            Err(GraphError::InvalidNode(ids[1]))
+        );
+    }
+
+    #[test]
+    fn layers_of_chain_are_singletons() {
+        let (g, ids) = linear(4);
+        let layers = topo_layers(&g).unwrap();
+        assert_eq!(layers.len(), 4);
+        for (i, layer) in layers.iter().enumerate() {
+            assert_eq!(layer, &vec![ids[i]]);
+        }
+    }
+
+    #[test]
+    fn layers_of_diamond() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        for (u, v) in [(a, b), (a, c), (b, d), (c, d)] {
+            g.add_edge(u, v, ()).unwrap();
+        }
+        let layers = topo_layers(&g).unwrap();
+        assert_eq!(layers, vec![vec![a], vec![b, c], vec![d]]);
+    }
+
+    #[test]
+    fn layers_use_longest_path_depth() {
+        // a -> b -> c and a -> c: c must be in layer 2, not 1
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(b, c, ()).unwrap();
+        g.add_edge(a, c, ()).unwrap();
+        let layers = topo_layers(&g).unwrap();
+        assert_eq!(layers, vec![vec![a], vec![b], vec![c]]);
+    }
+
+    #[test]
+    fn disconnected_components_all_sorted() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(b, c, ()).unwrap();
+        let order = topo_sort(&g).unwrap();
+        assert_eq!(order.len(), 3);
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(b) < pos(c));
+        let _ = pos(a); // a is present somewhere
+    }
+}

@@ -1,0 +1,168 @@
+//! Depth-first and breadth-first traversal orders.
+
+use crate::digraph::{DiGraph, NodeId};
+use crate::error::GraphError;
+
+/// Nodes in depth-first preorder from `root`, following out-edges in
+/// insertion order. Each node appears at most once.
+pub fn dfs_order<N, E>(g: &DiGraph<N, E>, root: NodeId) -> Result<Vec<NodeId>, GraphError> {
+    if !g.contains_node(root) {
+        return Err(GraphError::InvalidNode(root));
+    }
+    let mut seen = vec![false; g.node_bound()];
+    let mut order = Vec::new();
+    let mut stack = vec![root];
+    while let Some(n) = stack.pop() {
+        if seen[n.index()] {
+            continue;
+        }
+        seen[n.index()] = true;
+        order.push(n);
+        // push successors reversed so insertion order is visited first
+        let succs: Vec<NodeId> = g.successors(n).collect();
+        for s in succs.into_iter().rev() {
+            if !seen[s.index()] {
+                stack.push(s);
+            }
+        }
+    }
+    Ok(order)
+}
+
+/// Nodes in depth-first *postorder* from `root` (children before parents).
+pub fn dfs_postorder<N, E>(g: &DiGraph<N, E>, root: NodeId) -> Result<Vec<NodeId>, GraphError> {
+    if !g.contains_node(root) {
+        return Err(GraphError::InvalidNode(root));
+    }
+    // iterative two-phase DFS
+    #[derive(Clone, Copy)]
+    enum Phase {
+        Enter(NodeId),
+        Exit(NodeId),
+    }
+    let mut seen = vec![false; g.node_bound()];
+    let mut order = Vec::new();
+    let mut stack = vec![Phase::Enter(root)];
+    while let Some(phase) = stack.pop() {
+        match phase {
+            Phase::Enter(n) => {
+                if seen[n.index()] {
+                    continue;
+                }
+                seen[n.index()] = true;
+                stack.push(Phase::Exit(n));
+                let succs: Vec<NodeId> = g.successors(n).collect();
+                for s in succs.into_iter().rev() {
+                    if !seen[s.index()] {
+                        stack.push(Phase::Enter(s));
+                    }
+                }
+            }
+            Phase::Exit(n) => order.push(n),
+        }
+    }
+    Ok(order)
+}
+
+/// Nodes in breadth-first order from `root`.
+pub fn bfs_order<N, E>(g: &DiGraph<N, E>, root: NodeId) -> Result<Vec<NodeId>, GraphError> {
+    if !g.contains_node(root) {
+        return Err(GraphError::InvalidNode(root));
+    }
+    let mut seen = vec![false; g.node_bound()];
+    let mut order = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    seen[root.index()] = true;
+    queue.push_back(root);
+    while let Some(n) = queue.pop_front() {
+        order.push(n);
+        for s in g.successors(n) {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                queue.push_back(s);
+            }
+        }
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// a -> b -> d, a -> c, c -> d
+    fn sample() -> (DiGraph<(), ()>, [NodeId; 4]) {
+        let mut g = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(a, c, ()).unwrap();
+        g.add_edge(b, d, ()).unwrap();
+        g.add_edge(c, d, ()).unwrap();
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn dfs_preorder_visits_first_branch_first() {
+        let (g, [a, b, c, d]) = sample();
+        assert_eq!(dfs_order(&g, a).unwrap(), vec![a, b, d, c]);
+        assert_eq!(dfs_order(&g, c).unwrap(), vec![c, d]);
+    }
+
+    #[test]
+    fn dfs_postorder_children_before_parents() {
+        let (g, [a, b, c, d]) = sample();
+        let post = dfs_postorder(&g, a).unwrap();
+        let pos = |n: NodeId| post.iter().position(|&x| x == n).unwrap();
+        assert!(pos(d) < pos(b));
+        assert!(pos(b) < pos(a));
+        assert!(pos(c) < pos(a));
+        assert_eq!(post.len(), 4);
+    }
+
+    #[test]
+    fn bfs_level_order() {
+        let (g, [a, b, c, d]) = sample();
+        assert_eq!(bfs_order(&g, a).unwrap(), vec![a, b, c, d]);
+    }
+
+    #[test]
+    fn traversals_reject_dead_root() {
+        let (mut g, [a, ..]) = sample();
+        g.remove_node(a);
+        assert!(dfs_order(&g, a).is_err());
+        assert!(dfs_postorder(&g, a).is_err());
+        assert!(bfs_order(&g, a).is_err());
+    }
+
+    #[test]
+    fn traversal_handles_cycles() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(b, a, ()).unwrap();
+        assert_eq!(dfs_order(&g, a).unwrap(), vec![a, b]);
+        assert_eq!(bfs_order(&g, a).unwrap(), vec![a, b]);
+        assert_eq!(dfs_postorder(&g, a).unwrap(), vec![b, a]);
+    }
+
+    #[test]
+    fn single_node_traversals() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        assert_eq!(dfs_order(&g, a).unwrap(), vec![a]);
+        assert_eq!(bfs_order(&g, a).unwrap(), vec![a]);
+        assert_eq!(dfs_postorder(&g, a).unwrap(), vec![a]);
+    }
+
+    #[test]
+    fn unreachable_nodes_not_visited() {
+        let (g, [_, b, c, d]) = sample();
+        let order = bfs_order(&g, b).unwrap();
+        assert_eq!(order, vec![b, d]);
+        assert!(!order.contains(&c));
+    }
+}

@@ -1,0 +1,660 @@
+//! Arena-based directed graph with stable, copyable identifiers.
+//!
+//! [`DiGraph`] stores nodes and edges in flat vectors and exposes them
+//! through [`NodeId`] / [`EdgeId`] handles. Removing a node or edge leaves a
+//! tombstone, so every identifier handed out remains valid-or-dead for the
+//! lifetime of the graph and never silently re-points at different data.
+//! Dead identifiers are detected by all accessors.
+
+use crate::error::GraphError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Stable handle to a node of a [`DiGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Builds a `NodeId` from a raw index. Mostly useful in tests and when
+    /// deserializing schedules whose provenance is already trusted.
+    pub const fn new(ix: u32) -> Self {
+        NodeId(ix)
+    }
+
+    /// Raw index of this node in its graph's arena.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Stable handle to an edge of a [`DiGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(u32);
+
+impl EdgeId {
+    /// Builds an `EdgeId` from a raw index.
+    pub const fn new(ix: u32) -> Self {
+        EdgeId(ix)
+    }
+
+    /// Raw index of this edge in its graph's arena.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct NodeSlot<N> {
+    weight: Option<N>,
+    /// Outgoing edge ids, in insertion order.
+    out: Vec<EdgeId>,
+    /// Incoming edge ids, in insertion order.
+    inc: Vec<EdgeId>,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct EdgeSlot<E> {
+    weight: Option<E>,
+    from: NodeId,
+    to: NodeId,
+}
+
+/// A directed multigraph with `N`-weighted nodes and `E`-weighted edges.
+///
+/// Parallel edges and self-loops are representable (the real-time model's
+/// communication graph has a self-feedback path `f_S → f_K → f_S`, and the
+/// compatibility relation does not forbid parallel communication paths);
+/// algorithms that need simple or acyclic graphs check and report instead of
+/// assuming.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DiGraph<N, E> {
+    nodes: Vec<NodeSlot<N>>,
+    edges: Vec<EdgeSlot<E>>,
+    live_nodes: usize,
+    live_edges: usize,
+}
+
+impl<N, E> Default for DiGraph<N, E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Borrowed view of a live node: its id and weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeRef<'a, N> {
+    /// Identifier of the node.
+    pub id: NodeId,
+    /// Node weight (payload).
+    pub weight: &'a N,
+}
+
+/// Borrowed view of a live edge: its id, endpoints and weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeRef<'a, E> {
+    /// Identifier of the edge.
+    pub id: EdgeId,
+    /// Source endpoint.
+    pub from: NodeId,
+    /// Target endpoint.
+    pub to: NodeId,
+    /// Edge weight (payload).
+    pub weight: &'a E,
+}
+
+impl<N, E> DiGraph<N, E> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        DiGraph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            live_nodes: 0,
+            live_edges: 0,
+        }
+    }
+
+    /// Creates an empty graph with room for `nodes` nodes and `edges` edges.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        DiGraph {
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+            live_nodes: 0,
+            live_edges: 0,
+        }
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.live_nodes
+    }
+
+    /// Number of live edges.
+    pub fn edge_count(&self) -> usize {
+        self.live_edges
+    }
+
+    /// True if the graph has no live nodes.
+    pub fn is_empty(&self) -> bool {
+        self.live_nodes == 0
+    }
+
+    /// Upper bound (exclusive) on raw node indices ever allocated. Useful
+    /// for sizing dense side tables indexed by `NodeId::index()`.
+    pub fn node_bound(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Upper bound (exclusive) on raw edge indices ever allocated.
+    pub fn edge_bound(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a node carrying `weight` and returns its identifier.
+    pub fn add_node(&mut self, weight: N) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeSlot {
+            weight: Some(weight),
+            out: Vec::new(),
+            inc: Vec::new(),
+        });
+        self.live_nodes += 1;
+        id
+    }
+
+    /// Adds a directed edge `from → to` carrying `weight`.
+    ///
+    /// Returns an error if either endpoint is dead or out of range.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, weight: E) -> Result<EdgeId, GraphError> {
+        if !self.contains_node(from) {
+            return Err(GraphError::InvalidNode(from));
+        }
+        if !self.contains_node(to) {
+            return Err(GraphError::InvalidNode(to));
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(EdgeSlot {
+            weight: Some(weight),
+            from,
+            to,
+        });
+        self.nodes[from.index()].out.push(id);
+        self.nodes[to.index()].inc.push(id);
+        self.live_edges += 1;
+        Ok(id)
+    }
+
+    /// Adds an edge only if no parallel `from → to` edge already exists.
+    pub fn add_edge_unique(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        weight: E,
+    ) -> Result<EdgeId, GraphError> {
+        if self.find_edge(from, to).is_some() {
+            return Err(GraphError::DuplicateEdge { from, to });
+        }
+        self.add_edge(from, to, weight)
+    }
+
+    /// True if `id` names a live node.
+    pub fn contains_node(&self, id: NodeId) -> bool {
+        self.nodes
+            .get(id.index())
+            .is_some_and(|s| s.weight.is_some())
+    }
+
+    /// True if `id` names a live edge.
+    pub fn contains_edge(&self, id: EdgeId) -> bool {
+        self.edges
+            .get(id.index())
+            .is_some_and(|s| s.weight.is_some())
+    }
+
+    /// Weight of node `id`, if live.
+    pub fn node_weight(&self, id: NodeId) -> Option<&N> {
+        self.nodes.get(id.index()).and_then(|s| s.weight.as_ref())
+    }
+
+    /// Mutable weight of node `id`, if live.
+    pub fn node_weight_mut(&mut self, id: NodeId) -> Option<&mut N> {
+        self.nodes
+            .get_mut(id.index())
+            .and_then(|s| s.weight.as_mut())
+    }
+
+    /// Weight of edge `id`, if live.
+    pub fn edge_weight(&self, id: EdgeId) -> Option<&E> {
+        self.edges.get(id.index()).and_then(|s| s.weight.as_ref())
+    }
+
+    /// Mutable weight of edge `id`, if live.
+    pub fn edge_weight_mut(&mut self, id: EdgeId) -> Option<&mut E> {
+        self.edges
+            .get_mut(id.index())
+            .and_then(|s| s.weight.as_mut())
+    }
+
+    /// Endpoints `(from, to)` of edge `id`, if live.
+    pub fn edge_endpoints(&self, id: EdgeId) -> Option<(NodeId, NodeId)> {
+        let slot = self.edges.get(id.index())?;
+        slot.weight.as_ref()?;
+        Some((slot.from, slot.to))
+    }
+
+    /// First live edge `from → to`, if any (ignores parallel duplicates).
+    pub fn find_edge(&self, from: NodeId, to: NodeId) -> Option<EdgeId> {
+        let slot = self.nodes.get(from.index())?;
+        slot.weight.as_ref()?;
+        slot.out
+            .iter()
+            .copied()
+            .find(|&e| self.edges[e.index()].weight.is_some() && self.edges[e.index()].to == to)
+    }
+
+    /// True if a live edge `from → to` exists.
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.find_edge(from, to).is_some()
+    }
+
+    /// Removes node `id`, all its incident edges, and returns its weight.
+    pub fn remove_node(&mut self, id: NodeId) -> Option<N> {
+        if !self.contains_node(id) {
+            return None;
+        }
+        let incident: Vec<EdgeId> = self.nodes[id.index()]
+            .out
+            .iter()
+            .chain(self.nodes[id.index()].inc.iter())
+            .copied()
+            .collect();
+        for e in incident {
+            self.remove_edge(e);
+        }
+        self.live_nodes -= 1;
+        self.nodes[id.index()].weight.take()
+    }
+
+    /// Removes edge `id` and returns its weight.
+    pub fn remove_edge(&mut self, id: EdgeId) -> Option<E> {
+        let slot = self.edges.get_mut(id.index())?;
+        let w = slot.weight.take()?;
+        let (from, to) = (slot.from, slot.to);
+        self.nodes[from.index()].out.retain(|&e| e != id);
+        self.nodes[to.index()].inc.retain(|&e| e != id);
+        self.live_edges -= 1;
+        Some(w)
+    }
+
+    /// Iterator over live nodes in insertion order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeRef<'_, N>> + '_ {
+        self.nodes.iter().enumerate().filter_map(|(ix, s)| {
+            s.weight.as_ref().map(|w| NodeRef {
+                id: NodeId(ix as u32),
+                weight: w,
+            })
+        })
+    }
+
+    /// Iterator over live node ids in insertion order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().enumerate().filter_map(|(ix, s)| {
+            if s.weight.is_some() {
+                Some(NodeId(ix as u32))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Iterator over live edges in insertion order.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeRef<'_, E>> + '_ {
+        self.edges.iter().enumerate().filter_map(|(ix, s)| {
+            s.weight.as_ref().map(|w| EdgeRef {
+                id: EdgeId(ix as u32),
+                from: s.from,
+                to: s.to,
+                weight: w,
+            })
+        })
+    }
+
+    /// Iterator over live edge ids in insertion order.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edges.iter().enumerate().filter_map(|(ix, s)| {
+            if s.weight.is_some() {
+                Some(EdgeId(ix as u32))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Successor node ids of `id` (one entry per outgoing edge, so parallel
+    /// edges yield repeats), in insertion order.
+    pub fn successors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out_edges(id).map(|e| e.to)
+    }
+
+    /// Predecessor node ids of `id`, in insertion order.
+    pub fn predecessors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.in_edges(id).map(|e| e.from)
+    }
+
+    /// Live outgoing edges of `id`, in insertion order.
+    pub fn out_edges(&self, id: NodeId) -> impl Iterator<Item = EdgeRef<'_, E>> + '_ {
+        let list: &[EdgeId] = self
+            .nodes
+            .get(id.index())
+            .filter(|s| s.weight.is_some())
+            .map(|s| s.out.as_slice())
+            .unwrap_or(&[]);
+        list.iter().filter_map(move |&e| {
+            let slot = &self.edges[e.index()];
+            slot.weight.as_ref().map(|w| EdgeRef {
+                id: e,
+                from: slot.from,
+                to: slot.to,
+                weight: w,
+            })
+        })
+    }
+
+    /// Live incoming edges of `id`, in insertion order.
+    pub fn in_edges(&self, id: NodeId) -> impl Iterator<Item = EdgeRef<'_, E>> + '_ {
+        let list: &[EdgeId] = self
+            .nodes
+            .get(id.index())
+            .filter(|s| s.weight.is_some())
+            .map(|s| s.inc.as_slice())
+            .unwrap_or(&[]);
+        list.iter().filter_map(move |&e| {
+            let slot = &self.edges[e.index()];
+            slot.weight.as_ref().map(|w| EdgeRef {
+                id: e,
+                from: slot.from,
+                to: slot.to,
+                weight: w,
+            })
+        })
+    }
+
+    /// Out-degree of `id` (0 for dead nodes).
+    pub fn out_degree(&self, id: NodeId) -> usize {
+        self.out_edges(id).count()
+    }
+
+    /// In-degree of `id` (0 for dead nodes).
+    pub fn in_degree(&self, id: NodeId) -> usize {
+        self.in_edges(id).count()
+    }
+
+    /// Nodes with in-degree 0 — the sources of the graph.
+    pub fn sources(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|&n| self.in_degree(n) == 0).collect()
+    }
+
+    /// Nodes with out-degree 0 — the sinks of the graph.
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|&n| self.out_degree(n) == 0)
+            .collect()
+    }
+
+    /// Maps node and edge weights into a new graph with identical topology
+    /// **and identical identifiers** (tombstones are preserved).
+    pub fn map<N2, E2>(
+        &self,
+        mut fnode: impl FnMut(NodeId, &N) -> N2,
+        mut fedge: impl FnMut(EdgeId, &E) -> E2,
+    ) -> DiGraph<N2, E2> {
+        DiGraph {
+            nodes: self
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(ix, s)| NodeSlot {
+                    weight: s
+                        .weight
+                        .as_ref()
+                        .map(|w| fnode(NodeId(ix as u32), w)),
+                    out: s.out.clone(),
+                    inc: s.inc.clone(),
+                })
+                .collect(),
+            edges: self
+                .edges
+                .iter()
+                .enumerate()
+                .map(|(ix, s)| EdgeSlot {
+                    weight: s
+                        .weight
+                        .as_ref()
+                        .map(|w| fedge(EdgeId(ix as u32), w)),
+                    from: s.from,
+                    to: s.to,
+                })
+                .collect(),
+            live_nodes: self.live_nodes,
+            live_edges: self.live_edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (DiGraph<u32, &'static str>, [NodeId; 4]) {
+        let mut g = DiGraph::new();
+        let a = g.add_node(1);
+        let b = g.add_node(2);
+        let c = g.add_node(3);
+        let d = g.add_node(4);
+        g.add_edge(a, b, "ab").unwrap();
+        g.add_edge(a, c, "ac").unwrap();
+        g.add_edge(b, d, "bd").unwrap();
+        g.add_edge(c, d, "cd").unwrap();
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn empty_graph_properties() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        assert!(g.is_empty());
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.nodes().count(), 0);
+        assert_eq!(g.edges().count(), 0);
+        assert!(g.sources().is_empty());
+        assert!(g.sinks().is_empty());
+    }
+
+    #[test]
+    fn add_and_query_nodes() {
+        let (g, [a, b, c, d]) = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.node_weight(a), Some(&1));
+        assert_eq!(g.node_weight(d), Some(&4));
+        assert!(g.contains_node(b));
+        assert!(!g.contains_node(NodeId::new(99)));
+        assert_eq!(g.sources(), vec![a]);
+        assert_eq!(g.sinks(), vec![d]);
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.in_degree(d), 2);
+        assert_eq!(g.successors(a).collect::<Vec<_>>(), vec![b, c]);
+        assert_eq!(g.predecessors(d).collect::<Vec<_>>(), vec![b, c]);
+    }
+
+    #[test]
+    fn edge_lookup_and_weights() {
+        let (mut g, [a, b, _c, d]) = diamond();
+        let e = g.find_edge(a, b).unwrap();
+        assert_eq!(g.edge_weight(e), Some(&"ab"));
+        assert_eq!(g.edge_endpoints(e), Some((a, b)));
+        assert!(g.has_edge(a, b));
+        assert!(!g.has_edge(a, d));
+        assert!(!g.has_edge(b, a), "edges are directed");
+        *g.edge_weight_mut(e).unwrap() = "AB";
+        assert_eq!(g.edge_weight(e), Some(&"AB"));
+        *g.node_weight_mut(a).unwrap() = 10;
+        assert_eq!(g.node_weight(a), Some(&10));
+    }
+
+    #[test]
+    fn add_edge_rejects_dead_endpoints() {
+        let mut g: DiGraph<u8, ()> = DiGraph::new();
+        let a = g.add_node(0);
+        let bogus = NodeId::new(7);
+        assert_eq!(
+            g.add_edge(a, bogus, ()),
+            Err(GraphError::InvalidNode(bogus))
+        );
+        assert_eq!(
+            g.add_edge(bogus, a, ()),
+            Err(GraphError::InvalidNode(bogus))
+        );
+        let b = g.add_node(1);
+        g.remove_node(b);
+        assert_eq!(g.add_edge(a, b, ()), Err(GraphError::InvalidNode(b)));
+    }
+
+    #[test]
+    fn unique_edge_rejects_parallel() {
+        let mut g: DiGraph<(), u8> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge_unique(a, b, 1).unwrap();
+        assert_eq!(
+            g.add_edge_unique(a, b, 2),
+            Err(GraphError::DuplicateEdge { from: a, to: b })
+        );
+        // plain add_edge allows the parallel edge
+        g.add_edge(a, b, 3).unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn self_loops_are_representable() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let e = g.add_edge(a, a, ()).unwrap();
+        assert_eq!(g.edge_endpoints(e), Some((a, a)));
+        assert_eq!(g.successors(a).collect::<Vec<_>>(), vec![a]);
+        assert_eq!(g.in_degree(a), 1);
+        assert_eq!(g.out_degree(a), 1);
+    }
+
+    #[test]
+    fn remove_edge_updates_adjacency() {
+        let (mut g, [a, b, _c, d]) = diamond();
+        let e = g.find_edge(a, b).unwrap();
+        assert_eq!(g.remove_edge(e), Some("ab"));
+        assert_eq!(g.edge_count(), 3);
+        assert!(!g.has_edge(a, b));
+        assert!(!g.contains_edge(e));
+        assert_eq!(g.remove_edge(e), None, "double-remove is a no-op");
+        assert_eq!(g.out_degree(a), 1);
+        assert_eq!(g.in_degree(b), 0);
+        // b became a source
+        let mut srcs = g.sources();
+        srcs.sort();
+        assert_eq!(srcs, vec![a, b]);
+        assert_eq!(g.sinks(), vec![d]);
+    }
+
+    #[test]
+    fn remove_node_removes_incident_edges() {
+        let (mut g, [a, b, c, d]) = diamond();
+        assert_eq!(g.remove_node(b), Some(2));
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(!g.contains_node(b));
+        assert_eq!(g.node_weight(b), None);
+        assert_eq!(g.remove_node(b), None);
+        // a -> c -> d still intact
+        assert!(g.has_edge(a, c));
+        assert!(g.has_edge(c, d));
+        // iterators skip the tombstone
+        assert_eq!(g.node_ids().collect::<Vec<_>>(), vec![a, c, d]);
+    }
+
+    #[test]
+    fn ids_stay_stable_after_removal() {
+        let (mut g, [a, b, c, d]) = diamond();
+        g.remove_node(a);
+        // b, c, d keep their identity and weights
+        assert_eq!(g.node_weight(b), Some(&2));
+        assert_eq!(g.node_weight(c), Some(&3));
+        assert_eq!(g.node_weight(d), Some(&4));
+        // new node gets a fresh id beyond the old bound
+        let e = g.add_node(5);
+        assert_eq!(e.index(), 4);
+        assert_eq!(g.node_bound(), 5);
+    }
+
+    #[test]
+    fn map_preserves_ids_and_topology() {
+        let (g, [a, _b, _c, d]) = diamond();
+        let g2 = g.map(|_, &w| w * 10, |_, s| s.len());
+        assert_eq!(g2.node_weight(a), Some(&10));
+        assert_eq!(g2.node_weight(d), Some(&40));
+        assert_eq!(g2.edge_count(), 4);
+        let e = g2.find_edge(a, d);
+        assert!(e.is_none());
+        assert!(g2.has_edge(a, NodeId::new(1)));
+    }
+
+    #[test]
+    fn map_preserves_tombstones() {
+        let (mut g, [_a, b, _c, _d]) = diamond();
+        g.remove_node(b);
+        let g2 = g.map(|_, &w| w, |_, _| ());
+        assert!(!g2.contains_node(b));
+        assert_eq!(g2.node_count(), 3);
+        assert_eq!(g2.edge_count(), 2);
+    }
+
+    #[test]
+    fn with_capacity_starts_empty() {
+        let g: DiGraph<u8, u8> = DiGraph::with_capacity(16, 32);
+        assert!(g.is_empty());
+        assert_eq!(g.node_bound(), 0);
+        assert_eq!(g.edge_bound(), 0);
+    }
+
+    #[test]
+    fn parallel_edges_listed_individually() {
+        let mut g: DiGraph<(), u8> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 1).unwrap();
+        g.add_edge(a, b, 2).unwrap();
+        let ws: Vec<u8> = g.out_edges(a).map(|e| *e.weight).collect();
+        assert_eq!(ws, vec![1, 2]);
+        assert_eq!(g.successors(a).count(), 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (g, [a, _, _, d]) = diamond();
+        let json = serde_json::to_string(&g).unwrap();
+        let g2: DiGraph<u32, String> = serde_json::from_str(&json).unwrap();
+        assert_eq!(g2.node_count(), 4);
+        assert_eq!(g2.node_weight(a), Some(&1));
+        assert!(g2.has_edge(a, NodeId::new(1)));
+        assert_eq!(g2.in_degree(d), 2);
+    }
+}

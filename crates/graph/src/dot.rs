@@ -1,0 +1,125 @@
+//! Graphviz DOT export.
+//!
+//! CONSORT (the paper's ancestor language) had a graphics front-end;
+//! exporting models as DOT gives us the equivalent diagnostic view. Output
+//! is deterministic: nodes and edges are emitted in id order.
+
+use crate::digraph::{DiGraph, EdgeId, NodeId};
+use std::fmt::Write;
+
+/// Renders `g` as a DOT digraph.
+///
+/// `node_label` and `edge_label` supply display labels; empty edge labels
+/// are omitted from the output. Labels are escaped for double-quoted DOT
+/// strings.
+pub fn to_dot<N, E>(
+    g: &DiGraph<N, E>,
+    name: &str,
+    mut node_label: impl FnMut(NodeId, &N) -> String,
+    mut edge_label: impl FnMut(EdgeId, &E) -> String,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    for n in g.nodes() {
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\"];",
+            n.id.index(),
+            escape(&node_label(n.id, n.weight))
+        );
+    }
+    for e in g.edges() {
+        let label = edge_label(e.id, e.weight);
+        if label.is_empty() {
+            let _ = writeln!(out, "  n{} -> n{};", e.from.index(), e.to.index());
+        } else {
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"{}\"];",
+                e.from.index(),
+                e.to.index(),
+                escape(&label)
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let mut g: DiGraph<&str, u32> = DiGraph::new();
+        let a = g.add_node("fx");
+        let b = g.add_node("fs");
+        g.add_edge(a, b, 7).unwrap();
+        let dot = to_dot(&g, "model", |_, w| w.to_string(), |_, w| w.to_string());
+        assert!(dot.starts_with("digraph \"model\" {"));
+        assert!(dot.contains("n0 [label=\"fx\"];"));
+        assert!(dot.contains("n1 [label=\"fs\"];"));
+        assert!(dot.contains("n0 -> n1 [label=\"7\"];"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_edge_labels_omitted() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        let dot = to_dot(&g, "g", |_, _| "x".into(), |_, _| String::new());
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(!dot.contains("label=\"\""));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut g: DiGraph<&str, ()> = DiGraph::new();
+        g.add_node("a\"b\\c\nd");
+        let dot = to_dot(&g, "quo\"te", |_, w| w.to_string(), |_, _| String::new());
+        assert!(dot.contains("digraph \"quo\\\"te\""));
+        assert!(dot.contains("a\\\"b\\\\c\\nd"));
+    }
+
+    #[test]
+    fn dead_nodes_excluded() {
+        let mut g: DiGraph<u8, ()> = DiGraph::new();
+        let a = g.add_node(0);
+        let b = g.add_node(1);
+        g.add_edge(a, b, ()).unwrap();
+        g.remove_node(a);
+        let dot = to_dot(&g, "g", |_, w| w.to_string(), |_, _| String::new());
+        assert!(!dot.contains("n0 "));
+        assert!(!dot.contains("->"));
+        assert!(dot.contains("n1 "));
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let build = || {
+            let mut g: DiGraph<u8, ()> = DiGraph::new();
+            let a = g.add_node(0);
+            let b = g.add_node(1);
+            let c = g.add_node(2);
+            g.add_edge(a, b, ()).unwrap();
+            g.add_edge(a, c, ()).unwrap();
+            to_dot(&g, "g", |_, w| w.to_string(), |_, _| String::new())
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,82 @@
+//! Error type shared by all graph operations.
+
+use crate::digraph::{EdgeId, NodeId};
+use std::fmt;
+
+/// Errors produced by graph construction and graph algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node identifier does not name a live node in this graph.
+    InvalidNode(NodeId),
+    /// An edge identifier does not name a live edge in this graph.
+    InvalidEdge(EdgeId),
+    /// An operation that requires an acyclic graph found a cycle; the
+    /// payload is one node known to lie on a cycle.
+    CycleDetected(NodeId),
+    /// A duplicate edge between the same endpoints was rejected by an
+    /// operation that requires simple graphs.
+    DuplicateEdge {
+        /// Source endpoint of the offending edge.
+        from: NodeId,
+        /// Target endpoint of the offending edge.
+        to: NodeId,
+    },
+    /// A homomorphism/compatibility check failed; the payload names the
+    /// pattern node that could not be mapped.
+    NoHomomorphism(NodeId),
+    /// Generator parameters were inconsistent (e.g. zero layers).
+    BadGeneratorParams(&'static str),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::InvalidNode(n) => write!(f, "invalid node id {n:?}"),
+            GraphError::InvalidEdge(e) => write!(f, "invalid edge id {e:?}"),
+            GraphError::CycleDetected(n) => {
+                write!(f, "graph contains a cycle through node {n:?}")
+            }
+            GraphError::DuplicateEdge { from, to } => {
+                write!(f, "duplicate edge {from:?} -> {to:?}")
+            }
+            GraphError::NoHomomorphism(n) => {
+                write!(f, "no compatible mapping exists for pattern node {n:?}")
+            }
+            GraphError::BadGeneratorParams(msg) => {
+                write!(f, "bad generator parameters: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::InvalidNode(NodeId::new(3));
+        assert!(e.to_string().contains("invalid node"));
+        let e = GraphError::CycleDetected(NodeId::new(0));
+        assert!(e.to_string().contains("cycle"));
+        let e = GraphError::DuplicateEdge {
+            from: NodeId::new(1),
+            to: NodeId::new(2),
+        };
+        assert!(e.to_string().contains("duplicate"));
+        let e = GraphError::NoHomomorphism(NodeId::new(9));
+        assert!(e.to_string().contains("mapping"));
+        let e = GraphError::BadGeneratorParams("layers must be > 0");
+        assert!(e.to_string().contains("layers"));
+        let e = GraphError::InvalidEdge(EdgeId::new(7));
+        assert!(e.to_string().contains("edge id"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&GraphError::InvalidNode(NodeId::new(0)));
+    }
+}

@@ -1,0 +1,259 @@
+//! Deterministic graph generators for tests, examples and experiments.
+//!
+//! Every generator takes explicit structural parameters; the random DAG
+//! generator additionally takes a caller-provided `next_u64` closure so the
+//! crate itself needs no RNG dependency (callers pass a seeded
+//! `rand_chacha` stream; experiments stay reproducible).
+
+use crate::digraph::{DiGraph, NodeId};
+use crate::error::GraphError;
+
+/// A directed chain `0 → 1 → … → n-1` with node weights from `weight_of`.
+pub fn chain<N>(n: usize, mut weight_of: impl FnMut(usize) -> N) -> (DiGraph<N, ()>, Vec<NodeId>) {
+    let mut g = DiGraph::with_capacity(n, n.saturating_sub(1));
+    let ids: Vec<NodeId> = (0..n).map(|i| g.add_node(weight_of(i))).collect();
+    for w in ids.windows(2) {
+        g.add_edge(w[0], w[1], ()).expect("fresh nodes are live");
+    }
+    (g, ids)
+}
+
+/// A fan-out star: one hub with `leaves` out-neighbours.
+pub fn star_out<N>(
+    leaves: usize,
+    mut weight_of: impl FnMut(usize) -> N,
+) -> (DiGraph<N, ()>, NodeId, Vec<NodeId>) {
+    let mut g = DiGraph::with_capacity(leaves + 1, leaves);
+    let hub = g.add_node(weight_of(0));
+    let ids: Vec<NodeId> = (0..leaves).map(|i| g.add_node(weight_of(i + 1))).collect();
+    for &l in &ids {
+        g.add_edge(hub, l, ()).expect("fresh nodes are live");
+    }
+    (g, hub, ids)
+}
+
+/// A fan-in star: `leaves` nodes all feeding one sink.
+pub fn star_in<N>(
+    leaves: usize,
+    mut weight_of: impl FnMut(usize) -> N,
+) -> (DiGraph<N, ()>, Vec<NodeId>, NodeId) {
+    let mut g = DiGraph::with_capacity(leaves + 1, leaves);
+    let ids: Vec<NodeId> = (0..leaves).map(|i| g.add_node(weight_of(i))).collect();
+    let sink = g.add_node(weight_of(leaves));
+    for &l in &ids {
+        g.add_edge(l, sink, ()).expect("fresh nodes are live");
+    }
+    (g, ids, sink)
+}
+
+/// A graph plus its per-layer node ids, as returned by [`layered`].
+pub type LayeredDag<N> = (DiGraph<N, ()>, Vec<Vec<NodeId>>);
+
+/// A layered DAG: `layers[i]` nodes in layer `i`, with every node of layer
+/// `i` connected to every node of layer `i+1` when `dense`, or to one node
+/// (round-robin) otherwise. Returns the per-layer node ids.
+pub fn layered<N>(
+    layers: &[usize],
+    dense: bool,
+    mut weight_of: impl FnMut(usize, usize) -> N,
+) -> Result<LayeredDag<N>, GraphError> {
+    if layers.is_empty() || layers.contains(&0) {
+        return Err(GraphError::BadGeneratorParams(
+            "layered: need >=1 layer, all layers non-empty",
+        ));
+    }
+    let mut g = DiGraph::new();
+    let ids: Vec<Vec<NodeId>> = layers
+        .iter()
+        .enumerate()
+        .map(|(li, &cnt)| (0..cnt).map(|i| g.add_node(weight_of(li, i))).collect())
+        .collect();
+    for li in 0..ids.len() - 1 {
+        let (cur, next) = (&ids[li], &ids[li + 1]);
+        if dense {
+            for &u in cur {
+                for &v in next {
+                    g.add_edge(u, v, ()).expect("fresh nodes are live");
+                }
+            }
+        } else {
+            for (i, &u) in cur.iter().enumerate() {
+                let v = next[i % next.len()];
+                g.add_edge(u, v, ()).expect("fresh nodes are live");
+            }
+        }
+    }
+    Ok((g, ids))
+}
+
+/// A random DAG on `n` nodes: each ordered pair `(i, j)` with `i < j` gets
+/// an edge with probability `edge_permille / 1000`, decided by bits pulled
+/// from `next_u64`. Edges always point from lower to higher insertion
+/// index, so the result is acyclic by construction.
+pub fn random_dag<N>(
+    n: usize,
+    edge_permille: u32,
+    mut weight_of: impl FnMut(usize) -> N,
+    mut next_u64: impl FnMut() -> u64,
+) -> (DiGraph<N, ()>, Vec<NodeId>) {
+    let mut g = DiGraph::new();
+    let ids: Vec<NodeId> = (0..n).map(|i| g.add_node(weight_of(i))).collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if (next_u64() % 1000) < edge_permille as u64 {
+                g.add_edge(ids[i], ids[j], ()).expect("fresh nodes");
+            }
+        }
+    }
+    (g, ids)
+}
+
+/// A binary in-tree of given `depth` (a reduction tree): `2^depth` leaves
+/// funnel into one root. Returns `(graph, leaves, root)`.
+pub fn reduction_tree<N>(
+    depth: u32,
+    mut weight_of: impl FnMut(usize) -> N,
+) -> (DiGraph<N, ()>, Vec<NodeId>, NodeId) {
+    let mut g = DiGraph::new();
+    let mut counter = 0usize;
+    let mut level: Vec<NodeId> = (0..(1usize << depth))
+        .map(|_| {
+            let id = g.add_node(weight_of(counter));
+            counter += 1;
+            id
+        })
+        .collect();
+    let leaves = level.clone();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len() / 2);
+        for pair in level.chunks(2) {
+            let parent = g.add_node(weight_of(counter));
+            counter += 1;
+            for &c in pair {
+                g.add_edge(c, parent, ()).expect("fresh nodes");
+            }
+            next.push(parent);
+        }
+        level = next;
+    }
+    let root = level[0];
+    (g, leaves, root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn chain_shape() {
+        let (g, ids) = chain(5, |i| i as u64);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert!(algo::is_dag(&g));
+        assert_eq!(g.sources(), vec![ids[0]]);
+        assert_eq!(g.sinks(), vec![ids[4]]);
+        assert_eq!(g.node_weight(ids[3]), Some(&3));
+    }
+
+    #[test]
+    fn chain_of_zero_and_one() {
+        let (g0, ids0) = chain(0, |_| ());
+        assert!(g0.is_empty());
+        assert!(ids0.is_empty());
+        let (g1, ids1) = chain(1, |_| ());
+        assert_eq!(g1.node_count(), 1);
+        assert_eq!(g1.edge_count(), 0);
+        assert_eq!(ids1.len(), 1);
+    }
+
+    #[test]
+    fn star_out_shape() {
+        let (g, hub, leaves) = star_out(4, |_| ());
+        assert_eq!(g.out_degree(hub), 4);
+        assert!(leaves.iter().all(|&l| g.in_degree(l) == 1));
+        assert_eq!(g.sources(), vec![hub]);
+    }
+
+    #[test]
+    fn star_in_shape() {
+        let (g, leaves, sink) = star_in(3, |_| ());
+        assert_eq!(g.in_degree(sink), 3);
+        assert!(leaves.iter().all(|&l| g.out_degree(l) == 1));
+        assert_eq!(g.sinks(), vec![sink]);
+    }
+
+    #[test]
+    fn layered_dense_edge_count() {
+        let (g, ids) = layered(&[2, 3, 2], true, |_, _| ()).unwrap();
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 2 * 3 + 3 * 2);
+        assert!(algo::is_dag(&g));
+        assert_eq!(ids[0].len(), 2);
+        assert_eq!(ids[1].len(), 3);
+    }
+
+    #[test]
+    fn layered_sparse_edge_count() {
+        let (g, _) = layered(&[4, 2], false, |_, _| ()).unwrap();
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn layered_rejects_bad_params() {
+        assert!(layered::<()>(&[], true, |_, _| ()).is_err());
+        assert!(layered::<()>(&[2, 0, 1], true, |_, _| ()).is_err());
+    }
+
+    #[test]
+    fn random_dag_is_acyclic_and_deterministic() {
+        let mk = || {
+            let mut state = 0xDEADBEEFu64;
+            random_dag(20, 300, |i| i, move || {
+                // xorshift for the test; real callers pass rand_chacha
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            })
+        };
+        let (g1, _) = mk();
+        let (g2, _) = mk();
+        assert!(algo::is_dag(&g1));
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        let e1: Vec<_> = g1.edges().map(|e| (e.from, e.to)).collect();
+        let e2: Vec<_> = g2.edges().map(|e| (e.from, e.to)).collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn random_dag_extremes() {
+        let (g, _) = random_dag(10, 0, |_| (), || 999);
+        assert_eq!(g.edge_count(), 0);
+        let (g, _) = random_dag(10, 1000, |_| (), || 0);
+        assert_eq!(g.edge_count(), 45); // complete DAG on 10 nodes
+    }
+
+    #[test]
+    fn reduction_tree_shape() {
+        let (g, leaves, root) = reduction_tree(3, |_| ());
+        assert_eq!(leaves.len(), 8);
+        assert_eq!(g.node_count(), 15);
+        assert_eq!(g.edge_count(), 14);
+        assert!(algo::is_dag(&g));
+        assert_eq!(g.sinks(), vec![root]);
+        assert_eq!(g.sources().len(), 8);
+        // every leaf reaches the root
+        let m = algo::transitive_closure(&g);
+        for &l in &leaves {
+            assert!(m.reaches(l, root));
+        }
+    }
+
+    #[test]
+    fn reduction_tree_depth_zero() {
+        let (g, leaves, root) = reduction_tree(0, |_| ());
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(leaves, vec![root]);
+    }
+}

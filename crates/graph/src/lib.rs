@@ -1,0 +1,50 @@
+//! # rtcg-graph — directed-graph substrate for the `rtcg` workspace
+//!
+//! A small, dependency-free directed-graph library built for the
+//! graph-based real-time computation model of Mok (ICPP 1985). The paper's
+//! model `M = (G, T)` is made of a *communication graph* `G` and a set of
+//! acyclic *task graphs* compatible with `G`; everything the higher layers
+//! need — stable node identities, weighted nodes, topological order, cycle
+//! detection, reachability, and subgraph-homomorphism ("compatibility")
+//! checking — lives here.
+//!
+//! ## Design notes
+//!
+//! * [`DiGraph`] is an index-arena graph: nodes and edges are stored in
+//!   `Vec`s and addressed by [`NodeId`] / [`EdgeId`] newtypes over `u32`.
+//!   Removal is tombstone-based so identifiers stay stable; this matters
+//!   because the real-time model stores `NodeId`s inside timing constraints
+//!   and schedules.
+//! * All algorithms are deterministic: iteration order is insertion order,
+//!   never hash order, so synthesized schedules are reproducible run-to-run.
+//! * The crate deliberately avoids `unsafe`; graphs here are small
+//!   (hundreds of functional elements), so clarity beats micro-optimisation.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use rtcg_graph::{DiGraph, algo};
+//!
+//! let mut g: DiGraph<&str, ()> = DiGraph::new();
+//! let a = g.add_node("sample");
+//! let b = g.add_node("filter");
+//! let c = g.add_node("actuate");
+//! g.add_edge(a, b, ()).unwrap();
+//! g.add_edge(b, c, ()).unwrap();
+//!
+//! let order = algo::topo_sort(&g).unwrap();
+//! assert_eq!(order, vec![a, b, c]);
+//! assert!(!algo::has_cycle(&g));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algo;
+pub mod digraph;
+pub mod dot;
+pub mod error;
+pub mod generate;
+
+pub use digraph::{DiGraph, EdgeId, EdgeRef, NodeId, NodeRef};
+pub use error::GraphError;

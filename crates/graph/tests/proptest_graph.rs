@@ -1,0 +1,131 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use rtcg_graph::{algo, generate, DiGraph, NodeId};
+
+/// Strategy: a random DAG described by (n, permille, seed).
+fn dag_params() -> impl Strategy<Value = (usize, u32, u64)> {
+    (1usize..40, 0u32..1000, any::<u64>())
+}
+
+fn build_dag(n: usize, permille: u32, seed: u64) -> DiGraph<usize, ()> {
+    let mut state = seed | 1;
+    let (g, _) = generate::random_dag(n, permille, |i| i, move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    });
+    g
+}
+
+proptest! {
+    #[test]
+    fn random_dags_are_acyclic((n, p, seed) in dag_params()) {
+        let g = build_dag(n, p, seed);
+        prop_assert!(algo::is_dag(&g));
+    }
+
+    #[test]
+    fn topo_sort_respects_every_edge((n, p, seed) in dag_params()) {
+        let g = build_dag(n, p, seed);
+        let order = algo::topo_sort(&g).unwrap();
+        prop_assert_eq!(order.len(), g.node_count());
+        let pos: Vec<usize> = {
+            let mut v = vec![0; g.node_bound()];
+            for (i, &nid) in order.iter().enumerate() {
+                v[nid.index()] = i;
+            }
+            v
+        };
+        for e in g.edges() {
+            prop_assert!(pos[e.from.index()] < pos[e.to.index()],
+                "edge {:?}->{:?} violated", e.from, e.to);
+        }
+    }
+
+    #[test]
+    fn closure_agrees_with_bfs((n, p, seed) in dag_params()) {
+        let g = build_dag(n, p, seed);
+        let m = algo::transitive_closure(&g);
+        for u in g.node_ids() {
+            let bfs: std::collections::BTreeSet<NodeId> =
+                algo::reachable_from(&g, u).unwrap().into_iter().collect();
+            let mat: std::collections::BTreeSet<NodeId> =
+                m.reachable_set(u).into_iter().collect();
+            prop_assert_eq!(bfs, mat);
+        }
+    }
+
+    #[test]
+    fn layers_are_a_valid_topological_partition((n, p, seed) in dag_params()) {
+        let g = build_dag(n, p, seed);
+        let layers = algo::topo_layers(&g).unwrap();
+        let total: usize = layers.iter().map(|l| l.len()).sum();
+        prop_assert_eq!(total, g.node_count());
+        let mut layer_of = vec![usize::MAX; g.node_bound()];
+        for (li, layer) in layers.iter().enumerate() {
+            for &nid in layer {
+                layer_of[nid.index()] = li;
+            }
+        }
+        for e in g.edges() {
+            prop_assert!(layer_of[e.from.index()] < layer_of[e.to.index()]);
+        }
+    }
+
+    #[test]
+    fn scc_of_dag_is_all_singletons((n, p, seed) in dag_params()) {
+        let g = build_dag(n, p, seed);
+        let comps = algo::strongly_connected_components(&g);
+        prop_assert_eq!(comps.len(), g.node_count());
+        prop_assert!(comps.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn identity_homomorphism_always_found((n, p, seed) in dag_params()) {
+        // a graph is always compatible with itself when each node is pinned
+        // to itself
+        let g = build_dag(n, p, seed);
+        let h = algo::find_homomorphism(&g, &g, |x| vec![x]).unwrap();
+        algo::verify_homomorphism(&g, &g, &h).unwrap();
+        for x in g.node_ids() {
+            prop_assert_eq!(h.image(x), Some(x));
+        }
+    }
+
+    #[test]
+    fn critical_path_is_max_of_longest_lengths((n, p, seed) in dag_params()) {
+        let g = build_dag(n, p, seed);
+        let w = |nid: NodeId| (nid.index() as u64 % 7) + 1;
+        let lens = algo::longest_path_lengths(&g, w).unwrap();
+        let (best, path) = algo::critical_path(&g, w).unwrap();
+        let max_len = g.node_ids().map(|nid| lens[nid.index()]).max().unwrap_or(0);
+        prop_assert_eq!(best, max_len);
+        // path total weight equals reported length
+        let total: u64 = path.iter().map(|&nid| w(nid)).sum();
+        prop_assert_eq!(total, best);
+        // path is connected
+        for pair in path.windows(2) {
+            prop_assert!(g.has_edge(pair[0], pair[1]));
+        }
+    }
+
+    #[test]
+    fn node_removal_keeps_invariants((n, p, seed) in dag_params(), victim in any::<prop::sample::Index>()) {
+        let mut g = build_dag(n, p, seed);
+        let ids: Vec<NodeId> = g.node_ids().collect();
+        let v = ids[victim.index(ids.len())];
+        let before_nodes = g.node_count();
+        let incident = g.in_degree(v) + g.out_degree(v);
+        let before_edges = g.edge_count();
+        g.remove_node(v);
+        prop_assert_eq!(g.node_count(), before_nodes - 1);
+        prop_assert_eq!(g.edge_count(), before_edges - incident);
+        prop_assert!(algo::is_dag(&g));
+        // no dangling edge references the dead node
+        for e in g.edges() {
+            prop_assert!(e.from != v && e.to != v);
+        }
+    }
+}

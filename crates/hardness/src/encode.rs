@@ -1,0 +1,142 @@
+//! Encoding 3-PARTITION structure into the scheduling model.
+//!
+//! The construction (a reconstruction — the paper only names the
+//! reduction source):
+//!
+//! * a **clock** constraint: non-pipelinable element `κ` of weight 1 with
+//!   deadline `B + 2`, forcing a `κ` execution to start within every
+//!   `B+1` ticks and thereby carving time into *frames* of at most `B`
+//!   non-clock ticks;
+//! * one **item** constraint per 3-PARTITION item `aⱼ`: a single
+//!   operation on a non-pipelinable element of weight `aⱼ` (atomic — it
+//!   must fit entirely inside one frame) with deadline `(m+1)(B+1)`, so
+//!   each item must recur once per rotation of the `m` frames.
+//!
+//! All item deadlines are equal and the clock's differs — the syntactic
+//! shape of Theorem 2(ii)'s restriction. A yes-instance of 3-PARTITION
+//! gives an explicit *witness schedule* — frames `[κ, x, y, z]` per
+//! triple — which [`witness_schedule`] constructs and the tests verify
+//! against the exact latency analysis. (The converse direction — that
+//! no-instances are always infeasible — is the part of the reduction the
+//! paper leaves unproven; the experiments therefore measure solver cost,
+//! not oracle agreement, on this family.)
+
+use crate::three_partition::ThreePartition;
+use rtcg_core::model::{Model, ModelBuilder};
+use rtcg_core::schedule::{Action, StaticSchedule};
+use rtcg_core::task::TaskGraphBuilder;
+
+/// Encodes a 3-PARTITION instance as a scheduling model (see module
+/// docs). Returns the model; element 0 is the clock, element `j+1`
+/// carries item `j`.
+pub fn encode_three_partition(inst: &ThreePartition) -> Result<Model, rtcg_core::ModelError> {
+    let m = inst.m() as u64;
+    let b = inst.bound;
+    let mut builder = ModelBuilder::new();
+    let clock = builder.element_unpipelinable("clock", 1);
+    let tg = TaskGraphBuilder::new().op("k", clock).build()?;
+    builder.asynchronous("clock", tg, b + 2, b + 2);
+    for (j, &a) in inst.items.iter().enumerate() {
+        let e = builder.element_unpipelinable(&format!("item{j}"), a);
+        let tg = TaskGraphBuilder::new().op("o", e).build()?;
+        let d = (m + 1) * (b + 1);
+        builder.asynchronous(&format!("item{j}"), tg, d, d);
+    }
+    builder.build()
+}
+
+/// Builds the witness schedule for a solved instance: for each triple
+/// `(x, y, z)` of the partition, a frame `[κ, x, y, z]`.
+pub fn witness_schedule(
+    model: &Model,
+    partition: &[[usize; 3]],
+) -> Result<StaticSchedule, rtcg_core::ModelError> {
+    let comm = model.comm();
+    let clock = comm.lookup("clock")?;
+    let mut actions = Vec::new();
+    for triple in partition {
+        actions.push(Action::Run(clock));
+        for &j in triple {
+            actions.push(Action::Run(comm.lookup(&format!("item{j}"))?));
+        }
+    }
+    Ok(StaticSchedule::new(actions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::three_partition::solve_three_partition;
+
+    #[test]
+    fn encoding_shape_matches_restriction_ii() {
+        let inst = ThreePartition::generate_yes(2, 1);
+        let m = encode_three_partition(&inst).unwrap();
+        // single-operation task graphs
+        assert!(m.constraints().iter().all(|c| c.task.op_count() == 1));
+        // all but one deadline equal
+        let mut deadlines: Vec<u64> = m.constraints().iter().map(|c| c.deadline).collect();
+        deadlines.sort_unstable();
+        let distinct: std::collections::BTreeSet<u64> = deadlines.iter().copied().collect();
+        assert_eq!(distinct.len(), 2);
+        assert_eq!(
+            deadlines.iter().filter(|&&d| d == deadlines[0]).count(),
+            1,
+            "exactly one (the clock) differs"
+        );
+        // no element pipelinable
+        assert!(m
+            .comm()
+            .elements()
+            .all(|(_, e)| !e.pipelinable || e.wcet <= 1));
+    }
+
+    #[test]
+    fn witness_of_yes_instance_is_feasible() {
+        for (mm, seed) in [(1usize, 0u64), (2, 1), (3, 2)] {
+            let inst = ThreePartition::generate_yes(mm, seed);
+            let partition = solve_three_partition(&inst).expect("yes-instance");
+            let model = encode_three_partition(&inst).unwrap();
+            let schedule = witness_schedule(&model, &partition).unwrap();
+            let report = schedule.feasibility(&model).unwrap();
+            assert!(report.is_feasible(), "m={mm} seed={seed}\n{report}");
+        }
+    }
+
+    #[test]
+    fn witness_duration_is_m_frames() {
+        let inst = ThreePartition::generate_yes(2, 3);
+        let partition = solve_three_partition(&inst).unwrap();
+        let model = encode_three_partition(&inst).unwrap();
+        let schedule = witness_schedule(&model, &partition).unwrap();
+        // duration = m(B+1) = 2 * 21 = 42
+        assert_eq!(schedule.duration(model.comm()).unwrap(), 42);
+    }
+
+    #[test]
+    fn wrong_partition_breaks_the_clock() {
+        // putting four items in one frame exceeds B, so the clock gap
+        // grows past B+1 and its latency check fails
+        let inst = ThreePartition::generate_yes(2, 5);
+        let model = encode_three_partition(&inst).unwrap();
+        let comm = model.comm();
+        let clock = comm.lookup("clock").unwrap();
+        let mut actions = vec![Action::Run(clock)];
+        for j in 0..4 {
+            actions.push(Action::Run(comm.lookup(&format!("item{j}")).unwrap()));
+        }
+        actions.push(Action::Run(clock));
+        for j in 4..6 {
+            actions.push(Action::Run(comm.lookup(&format!("item{j}")).unwrap()));
+        }
+        let schedule = StaticSchedule::new(actions);
+        let report = schedule.feasibility(&model).unwrap();
+        assert!(!report.is_feasible());
+        // and the violated constraint is the clock
+        let bad: Vec<&str> = report
+            .violations()
+            .map(|c| c.name.as_str())
+            .collect();
+        assert!(bad.contains(&"clock"), "{bad:?}");
+    }
+}

@@ -1,0 +1,38 @@
+//! # rtcg-hardness — Theorem 2's restricted families, executable
+//!
+//! **Theorem 2 (Mok 1985).** Deciding whether a feasible static schedule
+//! exists is strongly NP-hard even when (i) all functional elements have
+//! unit computation time and all task graphs are chains of length 1 or
+//! 3, or (ii) every task graph is a single operation, all but one of the
+//! deadlines are the same, and elements cannot be pipelined. The paper
+//! names the reductions (3-PARTITION and CYCLIC ORDERING, from Garey &
+//! Johnson) but — as is usual for a conference summary — gives no
+//! construction.
+//!
+//! What a reproduction *can* do is (a) build the restricted instance
+//! families the theorem talks about, (b) connect them to 3-PARTITION
+//! structure where the connection is constructive (a yes-instance of
+//! 3-PARTITION yields an explicit witness schedule for the encoded
+//! model, verified by exact latency analysis), and (c) measure the
+//! exponential blowup of the complete deciders on these families — the
+//! observable signature of the hardness claim. That is what this crate
+//! provides:
+//!
+//! * [`three_partition`] — 3-PARTITION instances: seeded yes-instance
+//!   generator and an exact (exponential) solver;
+//! * [`encode`] — the 3-PARTITION → scheduling encoding with witness
+//!   schedules (frame structure carved by a clock constraint);
+//! * [`families`] — scale-parameterized instance families matching the
+//!   syntactic restrictions of Theorem 2(i) and 2(ii), at the
+//!   feasibility boundary where search cost peaks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod encode;
+pub mod families;
+pub mod three_partition;
+
+pub use encode::{encode_three_partition, witness_schedule};
+pub use families::{chain_family, single_op_family};
+pub use three_partition::{solve_three_partition, ThreePartition};

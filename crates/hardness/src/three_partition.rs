@@ -1,0 +1,228 @@
+//! 3-PARTITION instances, generation and exact solving.
+//!
+//! 3-PARTITION (Garey & Johnson, SP15): given `3m` positive integers
+//! summing to `mB`, each strictly between `B/4` and `B/2`, can they be
+//! partitioned into `m` triples each summing exactly to `B`? Strongly
+//! NP-complete — the reduction source the paper cites for Theorem 2(i).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A 3-PARTITION instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreePartition {
+    /// The `3m` items.
+    pub items: Vec<u64>,
+    /// The triple target `B`.
+    pub bound: u64,
+}
+
+impl ThreePartition {
+    /// Number of triples `m`.
+    pub fn m(&self) -> usize {
+        self.items.len() / 3
+    }
+
+    /// Structural validity: `3m` items, sum `mB`, each in `(B/4, B/2)`.
+    pub fn is_well_formed(&self) -> bool {
+        let m = self.m();
+        if self.items.len() != 3 * m || m == 0 {
+            return false;
+        }
+        let sum: u64 = self.items.iter().sum();
+        if sum != m as u64 * self.bound {
+            return false;
+        }
+        // strict bounds: B/4 < a < B/2 (use 4a > B and 2a < B)
+        self.items
+            .iter()
+            .all(|&a| 4 * a > self.bound && 2 * a < self.bound)
+    }
+
+    /// Generates a seeded *yes*-instance with `m` triples: each triple is
+    /// built by splitting `B` into three parts within the strict bounds.
+    pub fn generate_yes(m: usize, seed: u64) -> ThreePartition {
+        assert!(m >= 1, "need at least one triple");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        // Pick B large enough that the open interval (B/4, B/2) has room:
+        // B = 20 gives items in (5, 10) i.e. {6..9}; x+y+z = 20 with all
+        // in {6,7,8} has solutions (6,6,8),(6,7,7). Randomize per triple.
+        let bound = 20u64;
+        let mut items = Vec::with_capacity(3 * m);
+        for _ in 0..m {
+            let triple = if rng.gen_bool(0.5) {
+                [6u64, 6, 8]
+            } else {
+                [6u64, 7, 7]
+            };
+            let mut t = triple;
+            // shuffle within the triple
+            for i in (1..3).rev() {
+                let j = rng.gen_range(0..=i);
+                t.swap(i, j);
+            }
+            items.extend_from_slice(&t);
+        }
+        // shuffle the whole list
+        for i in (1..items.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            items.swap(i, j);
+        }
+        ThreePartition { items, bound }
+    }
+
+    /// Builds an instance that is (usually) a *no*-instance by perturbing
+    /// a yes-instance: swap weight between two items of different triples
+    /// so all structural bounds still hold but triple sums break. Note
+    /// the result may occasionally still be solvable; callers that need a
+    /// certified no-instance must run [`solve_three_partition`].
+    pub fn perturb(mut self) -> ThreePartition {
+        // change one 8 into 9 and one 7 (or 6) into 6 (or 7 into 6): keep
+        // the sum. items are in {6,7,8}; find an 8 and a 7, make 9 and 6.
+        let hi = self.items.iter().position(|&a| a == 8);
+        let lo = self.items.iter().position(|&a| a == 7);
+        if let (Some(h), Some(l)) = (hi, lo) {
+            self.items[h] = 9;
+            self.items[l] = 6;
+        }
+        self
+    }
+}
+
+/// Exact 3-PARTITION solver: backtracking over triples (first-item
+/// anchored to break symmetry). Returns the partition as a list of index
+/// triples, or `None`.
+pub fn solve_three_partition(inst: &ThreePartition) -> Option<Vec<[usize; 3]>> {
+    if !inst.is_well_formed() {
+        return None;
+    }
+    let n = inst.items.len();
+    let mut used = vec![false; n];
+    let mut out = Vec::with_capacity(inst.m());
+    if backtrack(inst, &mut used, &mut out) {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+fn backtrack(inst: &ThreePartition, used: &mut [bool], out: &mut Vec<[usize; 3]>) -> bool {
+    // anchor: lowest unused index must be in the next triple
+    let first = match used.iter().position(|&u| !u) {
+        Some(i) => i,
+        None => return true,
+    };
+    used[first] = true;
+    let n = inst.items.len();
+    for j in (first + 1)..n {
+        if used[j] || inst.items[first] + inst.items[j] >= inst.bound {
+            continue;
+        }
+        used[j] = true;
+        let need = inst.bound - inst.items[first] - inst.items[j];
+        for k in (j + 1)..n {
+            if used[k] || inst.items[k] != need {
+                continue;
+            }
+            used[k] = true;
+            out.push([first, j, k]);
+            if backtrack(inst, used, out) {
+                return true;
+            }
+            out.pop();
+            used[k] = false;
+        }
+        used[j] = false;
+    }
+    used[first] = false;
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_instances_are_well_formed_and_solvable() {
+        for m in 1..=5 {
+            for seed in 0..5 {
+                let inst = ThreePartition::generate_yes(m, seed);
+                assert!(inst.is_well_formed(), "m={m} seed={seed}");
+                let sol = solve_three_partition(&inst)
+                    .unwrap_or_else(|| panic!("yes-instance unsolvable m={m} seed={seed}"));
+                assert_eq!(sol.len(), m);
+                // verify the partition
+                let mut used = vec![false; inst.items.len()];
+                for t in &sol {
+                    let sum: u64 = t.iter().map(|&i| inst.items[i]).sum();
+                    assert_eq!(sum, inst.bound);
+                    for &i in t {
+                        assert!(!used[i]);
+                        used[i] = true;
+                    }
+                }
+                assert!(used.iter().all(|&u| u));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ThreePartition::generate_yes(3, 7);
+        let b = ThreePartition::generate_yes(3, 7);
+        assert_eq!(a, b);
+        let c = ThreePartition::generate_yes(3, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn perturbed_instances_often_unsolvable() {
+        // Perturbation makes an item of 9 and 6: a 9 must pair to 20 with
+        // (6,5)-style splits that don't exist in {6..9} ∪ {9}: 9+6+5? 5
+        // missing; 9+6+6 = 21 ≠ 20... only 9 + 5 + 6 works; no 5 exists →
+        // always unsolvable after a successful perturb.
+        let mut hits = 0;
+        for seed in 0..10 {
+            let inst = ThreePartition::generate_yes(3, seed).perturb();
+            if inst.items.contains(&9) {
+                assert!(solve_three_partition(&inst).is_none(), "seed {seed}");
+                hits += 1;
+            }
+        }
+        assert!(hits > 0, "perturbation never applied");
+    }
+
+    #[test]
+    fn malformed_instances_rejected() {
+        let bad = ThreePartition {
+            items: vec![6, 7],
+            bound: 20,
+        };
+        assert!(!bad.is_well_formed());
+        assert!(solve_three_partition(&bad).is_none());
+
+        let bad_sum = ThreePartition {
+            items: vec![6, 6, 9],
+            bound: 20,
+        };
+        assert!(!bad_sum.is_well_formed());
+
+        let out_of_range = ThreePartition {
+            items: vec![10, 5, 5],
+            bound: 20,
+        };
+        assert!(!out_of_range.is_well_formed());
+    }
+
+    #[test]
+    fn single_triple_instance() {
+        let inst = ThreePartition {
+            items: vec![6, 6, 8],
+            bound: 20,
+        };
+        assert!(inst.is_well_formed());
+        let sol = solve_three_partition(&inst).unwrap();
+        assert_eq!(sol, vec![[0, 1, 2]]);
+    }
+}

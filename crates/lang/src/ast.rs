@@ -1,0 +1,104 @@
+//! Abstract syntax of the specification language.
+
+use crate::diag::Span;
+
+/// A whole specification: a sequence of items.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Spec {
+    /// Items in source order.
+    pub items: Vec<Item>,
+}
+
+/// One top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `element NAME wcet N [nopipeline];`
+    Element(ElementDecl),
+    /// `channel A -> B [label "v"];`
+    Channel(ChannelDecl),
+    /// `periodic|asynchronous NAME period N deadline N { ... }`
+    Constraint(ConstraintDecl),
+}
+
+/// A functional-element declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElementDecl {
+    /// Element name.
+    pub name: String,
+    /// Worst-case computation time.
+    pub wcet: u64,
+    /// True when marked `nopipeline`.
+    pub nopipeline: bool,
+    /// Source span.
+    pub span: Span,
+}
+
+/// A communication-path declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelDecl {
+    /// Source element name.
+    pub from: String,
+    /// Target element name.
+    pub to: String,
+    /// Optional value label.
+    pub label: Option<String>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// Kind keyword of a constraint block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintKindAst {
+    /// `periodic`
+    Periodic,
+    /// `asynchronous`
+    Asynchronous,
+}
+
+/// A timing-constraint block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstraintDecl {
+    /// Constraint name.
+    pub name: String,
+    /// Periodic or asynchronous.
+    pub kind: ConstraintKindAst,
+    /// Period / minimum separation.
+    pub period: u64,
+    /// Relative deadline.
+    pub deadline: u64,
+    /// Operation declarations.
+    pub ops: Vec<OpDecl>,
+    /// Precedence chains (each a list of op labels).
+    pub chains: Vec<Vec<String>>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// `op LABEL: ELEMENT;`
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpDecl {
+    /// Operation label (unique within the block).
+    pub label: String,
+    /// Element name it executes.
+    pub element: String,
+    /// Source span.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ast_constructs() {
+        let spec = Spec {
+            items: vec![Item::Element(ElementDecl {
+                name: "fX".into(),
+                wcet: 1,
+                nopipeline: false,
+                span: Span::default(),
+            })],
+        };
+        assert_eq!(spec.items.len(), 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Spanned diagnostics for the specification language.
+
+use std::fmt;
+
+/// A byte range in the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Start byte offset (inclusive).
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// 1-based (line, column) of the span start in `src`.
+    pub fn line_col(&self, src: &str) -> (usize, usize) {
+        let mut line = 1;
+        let mut col = 1;
+        for (i, ch) in src.char_indices() {
+            if i >= self.start {
+                break;
+            }
+            if ch == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+}
+
+/// Errors from lexing, parsing or elaboration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LangError {
+    /// A character the lexer cannot start a token with.
+    UnexpectedChar {
+        /// The offending character.
+        ch: char,
+        /// Where it occurred.
+        span: Span,
+    },
+    /// A string literal without a closing quote.
+    UnterminatedString {
+        /// Where the literal started.
+        span: Span,
+    },
+    /// An integer literal out of range.
+    BadInteger {
+        /// Where it occurred.
+        span: Span,
+    },
+    /// The parser expected something else.
+    Expected {
+        /// Human description of the expectation.
+        what: &'static str,
+        /// What was found instead.
+        found: String,
+        /// Where.
+        span: Span,
+    },
+    /// Elaboration failed (unknown names, duplicate declarations, model
+    /// validation).
+    Semantic {
+        /// Description.
+        message: String,
+        /// Where (best effort).
+        span: Span,
+    },
+}
+
+impl LangError {
+    /// The source span the error points at.
+    pub fn span(&self) -> Span {
+        match self {
+            LangError::UnexpectedChar { span, .. }
+            | LangError::UnterminatedString { span }
+            | LangError::BadInteger { span }
+            | LangError::Expected { span, .. }
+            | LangError::Semantic { span, .. } => *span,
+        }
+    }
+
+    /// Renders the error with line/column resolved against the source.
+    pub fn render(&self, src: &str) -> String {
+        let (line, col) = self.span().line_col(src);
+        format!("{line}:{col}: {self}")
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::UnexpectedChar { ch, .. } => write!(f, "unexpected character `{ch}`"),
+            LangError::UnterminatedString { .. } => write!(f, "unterminated string literal"),
+            LangError::BadInteger { .. } => write!(f, "integer literal out of range"),
+            LangError::Expected { what, found, .. } => {
+                write!(f, "expected {what}, found `{found}`")
+            }
+            LangError::Semantic { message, .. } => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_resolution() {
+        let src = "abc\ndef\nghi";
+        assert_eq!(Span::new(0, 1).line_col(src), (1, 1));
+        assert_eq!(Span::new(4, 5).line_col(src), (2, 1));
+        assert_eq!(Span::new(6, 7).line_col(src), (2, 3));
+        assert_eq!(Span::new(10, 11).line_col(src), (3, 3));
+    }
+
+    #[test]
+    fn merge_covers_both() {
+        let s = Span::new(3, 5).merge(Span::new(1, 4));
+        assert_eq!(s, Span::new(1, 5));
+    }
+
+    #[test]
+    fn render_prefixes_position() {
+        let e = LangError::Expected {
+            what: "`;`",
+            found: "eof".into(),
+            span: Span::new(4, 5),
+        };
+        let r = e.render("abc\nd");
+        assert!(r.starts_with("2:"), "{r}");
+        assert!(r.contains("expected"));
+    }
+}

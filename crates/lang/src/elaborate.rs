@@ -1,0 +1,178 @@
+//! Elaboration: AST → `rtcg_core::Model`.
+//!
+//! This is the paper's step (2): "for each problem instance, translate
+//! the design specifications into an instance of the formal model for
+//! resource allocation and other analysis." Name resolution and model
+//! validation errors are reported with source spans.
+
+use crate::ast::*;
+use crate::diag::{LangError, Span};
+use rtcg_core::model::{CommGraph, ElementId, Model};
+use rtcg_core::task::TaskGraphBuilder;
+use std::collections::BTreeMap;
+
+/// Elaborates a parsed specification into a validated model.
+pub fn elaborate(spec: &Spec) -> Result<Model, LangError> {
+    let mut comm = CommGraph::new();
+    let mut elements: BTreeMap<String, ElementId> = BTreeMap::new();
+
+    // pass 1: elements
+    for item in &spec.items {
+        if let Item::Element(e) = item {
+            let id = comm
+                .add_element_full(e.name.clone(), e.wcet, !e.nopipeline)
+                .map_err(|err| semantic(err.to_string(), e.span))?;
+            elements.insert(e.name.clone(), id);
+        }
+    }
+    // pass 2: channels
+    for item in &spec.items {
+        if let Item::Channel(c) = item {
+            let from = lookup(&elements, &c.from, c.span)?;
+            let to = lookup(&elements, &c.to, c.span)?;
+            comm.add_channel_labeled(from, to, c.label.clone())
+                .map_err(|err| semantic(err.to_string(), c.span))?;
+        }
+    }
+    // pass 3: constraints
+    let mut constraints = Vec::new();
+    for item in &spec.items {
+        if let Item::Constraint(c) = item {
+            let mut seen = BTreeMap::new();
+            let mut b = TaskGraphBuilder::new();
+            for op in &c.ops {
+                if seen.insert(op.label.clone(), op.span).is_some() {
+                    return Err(semantic(
+                        format!("operation label `{}` defined twice", op.label),
+                        op.span,
+                    ));
+                }
+                let elem = lookup(&elements, &op.element, op.span)?;
+                b = b.op(&op.label, elem);
+            }
+            for chain in &c.chains {
+                for w in chain.windows(2) {
+                    for lbl in w {
+                        if !seen.contains_key(lbl) {
+                            return Err(semantic(
+                                format!("unknown operation label `{lbl}` in chain"),
+                                c.span,
+                            ));
+                        }
+                    }
+                    b = b.edge(&w[0], &w[1]);
+                }
+            }
+            let task = b.build().map_err(|err| semantic(err.to_string(), c.span))?;
+            constraints.push(rtcg_core::TimingConstraint {
+                name: c.name.clone(),
+                task,
+                period: c.period,
+                deadline: c.deadline,
+                kind: match c.kind {
+                    ConstraintKindAst::Periodic => rtcg_core::ConstraintKind::Periodic,
+                    ConstraintKindAst::Asynchronous => rtcg_core::ConstraintKind::Asynchronous,
+                },
+            });
+        }
+    }
+    Model::new(comm, constraints).map_err(|err| semantic(err.to_string(), Span::default()))
+}
+
+fn lookup(
+    elements: &BTreeMap<String, ElementId>,
+    name: &str,
+    span: Span,
+) -> Result<ElementId, LangError> {
+    elements
+        .get(name)
+        .copied()
+        .ok_or_else(|| semantic(format!("unknown functional element `{name}`"), span))
+}
+
+fn semantic(message: String, span: Span) -> LangError {
+    LangError::Semantic { message, span }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn elab(src: &str) -> Result<Model, LangError> {
+        elaborate(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn minimal_model() {
+        let m = elab("element e wcet 1; periodic c period 4 deadline 4 { op a: e; }").unwrap();
+        assert_eq!(m.comm().element_count(), 1);
+        assert_eq!(m.constraints().len(), 1);
+    }
+
+    #[test]
+    fn nopipeline_respected() {
+        let m = elab("element e wcet 3 nopipeline; periodic c period 9 deadline 9 { op a: e; }")
+            .unwrap();
+        let id = m.comm().lookup("e").unwrap();
+        assert!(!m.comm().element(id).unwrap().pipelinable);
+    }
+
+    #[test]
+    fn duplicate_element_rejected() {
+        let err = elab("element e wcet 1; element e wcet 2;").unwrap_err();
+        assert!(err.to_string().contains("twice"), "{err}");
+    }
+
+    #[test]
+    fn unknown_channel_endpoint_rejected() {
+        let err = elab("element a wcet 1; channel a -> ghost;").unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn duplicate_op_label_rejected() {
+        let err = elab(
+            "element e wcet 1; periodic c period 4 deadline 4 { op a: e; op a: e; }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("twice"));
+    }
+
+    #[test]
+    fn unknown_chain_label_rejected() {
+        let err = elab(
+            "element e wcet 1; periodic c period 4 deadline 4 { op a: e; a -> ghost; }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn incompatible_edge_rejected_at_validation() {
+        // op chain a -> b but no channel between their elements
+        let err = elab(
+            "element ea wcet 1; element eb wcet 1;\
+             periodic c period 8 deadline 8 { op a: ea; op b: eb; a -> b; }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("communication"), "{err}");
+    }
+
+    #[test]
+    fn compatible_chain_accepted() {
+        let m = elab(
+            "element ea wcet 1; element eb wcet 1; channel ea -> eb;\
+             periodic c period 8 deadline 8 { op a: ea; op b: eb; a -> b; }",
+        )
+        .unwrap();
+        assert_eq!(m.constraints()[0].task.precedence_edges().count(), 1);
+    }
+
+    #[test]
+    fn zero_deadline_rejected() {
+        let err = elab("element e wcet 1; periodic c period 4 deadline 0 { op a: e; }")
+            .unwrap_err();
+        assert!(err.to_string().contains("deadline"), "{err}");
+    }
+}

@@ -1,0 +1,301 @@
+//! Hand-written lexer for the specification language.
+
+use crate::diag::{LangError, Span};
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Unsigned integer literal.
+    Int(u64),
+    /// Double-quoted string literal (contents, unescaped).
+    Str(String),
+    /// `->`
+    Arrow,
+    /// `:`
+    Colon,
+    /// `=`
+    Eq,
+    /// `;`
+    Semi,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Display form used in diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => s.clone(),
+            Tok::Int(n) => n.to_string(),
+            Tok::Str(s) => format!("\"{s}\""),
+            Tok::Arrow => "->".into(),
+            Tok::Colon => ":".into(),
+            Tok::Eq => "=".into(),
+            Tok::Semi => ";".into(),
+            Tok::LBrace => "{".into(),
+            Tok::RBrace => "}".into(),
+            Tok::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Kind and payload.
+    pub tok: Tok,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Lexes the whole source into tokens (ending with `Eof`). `//` comments
+/// run to end of line.
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        match c {
+            ';' => {
+                out.push(Token {
+                    tok: Tok::Semi,
+                    span: Span::new(start, start + 1),
+                });
+                i += 1;
+            }
+            ':' => {
+                out.push(Token {
+                    tok: Tok::Colon,
+                    span: Span::new(start, start + 1),
+                });
+                i += 1;
+            }
+            '=' => {
+                out.push(Token {
+                    tok: Tok::Eq,
+                    span: Span::new(start, start + 1),
+                });
+                i += 1;
+            }
+            '{' => {
+                out.push(Token {
+                    tok: Tok::LBrace,
+                    span: Span::new(start, start + 1),
+                });
+                i += 1;
+            }
+            '}' => {
+                out.push(Token {
+                    tok: Tok::RBrace,
+                    span: Span::new(start, start + 1),
+                });
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'>') => {
+                out.push(Token {
+                    tok: Tok::Arrow,
+                    span: Span::new(start, start + 2),
+                });
+                i += 2;
+            }
+            '"' => {
+                i += 1;
+                let content_start = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(LangError::UnterminatedString {
+                        span: Span::new(start, bytes.len()),
+                    });
+                }
+                let content = src[content_start..i].to_string();
+                i += 1;
+                out.push(Token {
+                    tok: Tok::Str(content),
+                    span: Span::new(start, i),
+                });
+            }
+            c if c.is_ascii_digit() => {
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let n: u64 = text.parse().map_err(|_| LangError::BadInteger {
+                    span: Span::new(start, i),
+                })?;
+                out.push(Token {
+                    tok: Tok::Int(n),
+                    span: Span::new(start, i),
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    if ch.is_ascii_alphanumeric() || ch == '_' {
+                        i += 1;
+                    } else if ch == '-'
+                        && bytes.get(i + 1).is_some_and(|&b| {
+                            (b as char).is_ascii_alphanumeric() || b == b'_'
+                        })
+                    {
+                        // interior dash of a name like `x-chain`; a dash
+                        // followed by `>` (or anything else) still ends
+                        // the identifier so `a->b` lexes as arrow
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    span: Span::new(start, i),
+                });
+            }
+            other => {
+                return Err(LangError::UnexpectedChar {
+                    ch: other,
+                    span: Span::new(start, start + 1),
+                });
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        span: Span::new(src.len(), src.len()),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("element fX wcet 3;"),
+            vec![
+                Tok::Ident("element".into()),
+                Tok::Ident("fX".into()),
+                Tok::Ident("wcet".into()),
+                Tok::Int(3),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn arrows_and_braces() {
+        assert_eq!(
+            kinds("a -> b { }"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Arrow,
+                Tok::Ident("b".into()),
+                Tok::LBrace,
+                Tok::RBrace,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_comments() {
+        assert_eq!(
+            kinds("label \"x'\" // trailing comment\n;"),
+            vec![
+                Tok::Ident("label".into()),
+                Tok::Str("x'".into()),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string() {
+        assert!(matches!(
+            lex("\"abc"),
+            Err(LangError::UnterminatedString { .. })
+        ));
+    }
+
+    #[test]
+    fn unexpected_character() {
+        match lex("element €") {
+            Err(LangError::UnexpectedChar { ch, .. }) => assert_eq!(ch as u32, 0xE2), // first utf8 byte
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn huge_integer_rejected() {
+        assert!(matches!(
+            lex("99999999999999999999999999"),
+            Err(LangError::BadInteger { .. })
+        ));
+    }
+
+    #[test]
+    fn spans_are_accurate() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 5));
+        assert_eq!(toks[2].span, Span::new(5, 5));
+    }
+
+    #[test]
+    fn lone_dash_is_an_error() {
+        assert!(matches!(
+            lex("a - b"),
+            Err(LangError::UnexpectedChar { ch: '-', .. })
+        ));
+    }
+
+    #[test]
+    fn dashed_identifiers_lex_whole() {
+        assert_eq!(
+            kinds("x-chain"),
+            vec![Tok::Ident("x-chain".into()), Tok::Eof]
+        );
+        // but arrows still cut identifiers, spaced or not
+        assert_eq!(
+            kinds("a->b"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Arrow,
+                Tok::Ident("b".into()),
+                Tok::Eof
+            ]
+        );
+        // trailing dash ends the identifier and errors on its own
+        assert!(matches!(
+            lex("x- y"),
+            Err(LangError::UnexpectedChar { ch: '-', .. })
+        ));
+    }
+}

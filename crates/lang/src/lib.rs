@@ -1,0 +1,121 @@
+//! # rtcg-lang — a requirements-specification language for the model
+//!
+//! The paper: "the requirements specification language employed by the
+//! end user is of only secondary importance in so far as it permits a
+//! precise translation of user requirements into an instance of our
+//! graph-based model." This crate is such a front end, flavoured after
+//! CONSORT's function-block structure: a small declarative text format
+//! that elaborates to an [`rtcg_core::Model`].
+//!
+//! ## Syntax
+//!
+//! ```text
+//! // the paper's control system (Figures 1 and 2)
+//! element fX wcet 1;
+//! element fS wcet 2;
+//! element fK wcet 1;
+//! channel fX -> fS label "x'";
+//! channel fS -> fK label "u";
+//! channel fK -> fS label "v";
+//!
+//! periodic xchain period 20 deadline 20 {
+//!     op x: fX;
+//!     op s: fS;
+//!     op k: fK;
+//!     x -> s -> k;
+//! }
+//! ```
+//!
+//! `element NAME wcet N [nopipeline];` declares a functional element;
+//! `channel A -> B [label "v"];` a communication path; a constraint block
+//! declares labeled operations (`op LABEL: ELEMENT;`) and precedence
+//! chains (`a -> b -> c;`). `const NAME = N;` binds a named time
+//! constant usable anywhere an integer is expected (declare before use).
+//! Use [`parse_model`] for the one-call path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod diag;
+pub mod elaborate;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+
+pub use diag::{LangError, Span};
+pub use elaborate::elaborate;
+pub use parser::parse;
+pub use pretty::render_model;
+
+/// Parses and elaborates a specification in one call.
+pub fn parse_model(src: &str) -> Result<rtcg_core::Model, LangError> {
+    let spec = parse(src)?;
+    elaborate(&spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MOK: &str = r#"
+        // the paper's control system
+        element fX wcet 1;
+        element fY wcet 1;
+        element fZ wcet 1;
+        element fS wcet 2;
+        element fK wcet 1;
+        channel fX -> fS label "x'";
+        channel fY -> fS label "y'";
+        channel fZ -> fS label "z'";
+        channel fS -> fK label "u";
+        channel fK -> fS label "v";
+
+        periodic xchain period 20 deadline 20 {
+            op x: fX; op s: fS; op k: fK;
+            x -> s -> k;
+        }
+        periodic ychain period 40 deadline 40 {
+            op y: fY; op s: fS; op k: fK;
+            y -> s -> k;
+        }
+        asynchronous zchain period 60 deadline 15 {
+            op z: fZ; op s: fS;
+            z -> s;
+        }
+    "#;
+
+    #[test]
+    fn full_example_round_trips_to_model() {
+        let m = parse_model(MOK).unwrap();
+        assert_eq!(m.comm().element_count(), 5);
+        assert_eq!(m.constraints().len(), 3);
+        assert_eq!(m.periodic().count(), 2);
+        assert_eq!(m.asynchronous().count(), 1);
+        let z = m.constraints().iter().find(|c| c.name == "zchain").unwrap();
+        assert_eq!(z.deadline, 15);
+        assert_eq!(z.task.op_count(), 2);
+        // equivalent to the built-in canonical instance
+        let (builtin, _) = rtcg_core::mok_example::default_model();
+        assert_eq!(
+            m.deadline_density(),
+            builtin.deadline_density()
+        );
+    }
+
+    #[test]
+    fn parse_errors_carry_spans() {
+        let err = parse_model("element fX wcet;").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("expected"), "{text}");
+    }
+
+    #[test]
+    fn semantic_errors_surface() {
+        let err = parse_model(
+            "element fX wcet 1;\nperiodic c period 4 deadline 4 { op a: fNope; }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("fNope"), "{err}");
+    }
+}

@@ -1,0 +1,372 @@
+//! Recursive-descent parser for the specification language.
+
+use crate::ast::*;
+use crate::diag::{LangError, Span};
+use crate::lexer::{lex, Tok, Token};
+use std::collections::BTreeMap;
+
+/// Parses a full specification.
+///
+/// `const NAME = INT;` declarations bind named time constants; any
+/// position expecting an integer (wcet, period, deadline) also accepts a
+/// previously declared constant name. Constants are resolved during
+/// parsing and do not appear in the AST.
+pub fn parse(src: &str) -> Result<Spec, LangError> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        consts: BTreeMap::new(),
+    };
+    let mut items = Vec::new();
+    while !p.at_eof() {
+        if let Some(item) = p.item()? {
+            items.push(item);
+        }
+    }
+    Ok(Spec { items })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    consts: BTreeMap<String, u64>,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn at_eof(&self) -> bool {
+        self.peek().tok == Tok::Eof
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expected(&self, what: &'static str) -> LangError {
+        LangError::Expected {
+            what,
+            found: self.peek().tok.describe(),
+            span: self.peek().span,
+        }
+    }
+
+    fn expect_tok(&mut self, tok: Tok, what: &'static str) -> Result<Span, LangError> {
+        if self.peek().tok == tok {
+            Ok(self.bump().span)
+        } else {
+            Err(self.expected(what))
+        }
+    }
+
+    fn ident(&mut self, what: &'static str) -> Result<(String, Span), LangError> {
+        match &self.peek().tok {
+            Tok::Ident(s) => {
+                let s = s.clone();
+                let span = self.bump().span;
+                Ok((s, span))
+            }
+            _ => Err(self.expected(what)),
+        }
+    }
+
+    fn keyword(&mut self, kw: &'static str) -> Result<Span, LangError> {
+        match &self.peek().tok {
+            Tok::Ident(s) if s == kw => Ok(self.bump().span),
+            _ => Err(self.expected(kw)),
+        }
+    }
+
+    fn item(&mut self) -> Result<Option<Item>, LangError> {
+        match &self.peek().tok {
+            Tok::Ident(s) if s == "const" => {
+                self.const_decl()?;
+                Ok(None)
+            }
+            Tok::Ident(s) if s == "element" => self.element_decl().map(Item::Element).map(Some),
+            Tok::Ident(s) if s == "channel" => self.channel_decl().map(Item::Channel).map(Some),
+            Tok::Ident(s) if s == "periodic" || s == "asynchronous" => {
+                self.constraint_decl().map(Item::Constraint).map(Some)
+            }
+            _ => Err(self.expected(
+                "`const`, `element`, `channel`, `periodic` or `asynchronous`",
+            )),
+        }
+    }
+
+    /// `const NAME = INT;` — binds a named time constant.
+    fn const_decl(&mut self) -> Result<(), LangError> {
+        self.keyword("const")?;
+        let (name, span) = self.ident("constant name")?;
+        self.expect_tok(Tok::Eq, "`=`")?;
+        let (value, _) = self.int_or_const("constant value")?;
+        self.expect_tok(Tok::Semi, "`;`")?;
+        if self.consts.insert(name.clone(), value).is_some() {
+            return Err(LangError::Semantic {
+                message: format!("constant `{name}` defined twice"),
+                span,
+            });
+        }
+        Ok(())
+    }
+
+    /// An integer literal or a previously declared constant name.
+    fn int_or_const(&mut self, what: &'static str) -> Result<(u64, Span), LangError> {
+        match &self.peek().tok {
+            Tok::Int(n) => {
+                let n = *n;
+                let span = self.bump().span;
+                Ok((n, span))
+            }
+            Tok::Ident(name) => match self.consts.get(name) {
+                Some(&v) => {
+                    let span = self.bump().span;
+                    Ok((v, span))
+                }
+                None => Err(LangError::Semantic {
+                    message: format!("unknown constant `{name}`"),
+                    span: self.peek().span,
+                }),
+            },
+            _ => Err(self.expected(what)),
+        }
+    }
+
+    fn element_decl(&mut self) -> Result<ElementDecl, LangError> {
+        let start = self.keyword("element")?;
+        let (name, _) = self.ident("element name")?;
+        self.keyword("wcet")?;
+        let (wcet, _) = self.int_or_const("wcet value")?;
+        let nopipeline = if matches!(&self.peek().tok, Tok::Ident(s) if s == "nopipeline") {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let end = self.expect_tok(Tok::Semi, "`;`")?;
+        Ok(ElementDecl {
+            name,
+            wcet,
+            nopipeline,
+            span: start.merge(end),
+        })
+    }
+
+    fn channel_decl(&mut self) -> Result<ChannelDecl, LangError> {
+        let start = self.keyword("channel")?;
+        let (from, _) = self.ident("source element")?;
+        self.expect_tok(Tok::Arrow, "`->`")?;
+        let (to, _) = self.ident("target element")?;
+        let label = if matches!(&self.peek().tok, Tok::Ident(s) if s == "label") {
+            self.bump();
+            match &self.peek().tok {
+                Tok::Str(s) => {
+                    let s = s.clone();
+                    self.bump();
+                    Some(s)
+                }
+                _ => return Err(self.expected("label string")),
+            }
+        } else {
+            None
+        };
+        let end = self.expect_tok(Tok::Semi, "`;`")?;
+        Ok(ChannelDecl {
+            from,
+            to,
+            label,
+            span: start.merge(end),
+        })
+    }
+
+    fn constraint_decl(&mut self) -> Result<ConstraintDecl, LangError> {
+        let (kind, start) = match &self.peek().tok {
+            Tok::Ident(s) if s == "periodic" => (ConstraintKindAst::Periodic, self.bump().span),
+            Tok::Ident(s) if s == "asynchronous" => {
+                (ConstraintKindAst::Asynchronous, self.bump().span)
+            }
+            _ => return Err(self.expected("`periodic` or `asynchronous`")),
+        };
+        let (name, _) = self.ident("constraint name")?;
+        self.keyword("period")?;
+        let (period, _) = self.int_or_const("period value")?;
+        self.keyword("deadline")?;
+        let (deadline, _) = self.int_or_const("deadline value")?;
+        self.expect_tok(Tok::LBrace, "`{`")?;
+        let mut ops = Vec::new();
+        let mut chains = Vec::new();
+        loop {
+            match &self.peek().tok {
+                Tok::RBrace => break,
+                Tok::Ident(s) if s == "op" => {
+                    let ostart = self.bump().span;
+                    let (label, _) = self.ident("operation label")?;
+                    self.expect_tok(Tok::Colon, "`:`")?;
+                    let (element, _) = self.ident("element name")?;
+                    let oend = self.expect_tok(Tok::Semi, "`;`")?;
+                    ops.push(OpDecl {
+                        label,
+                        element,
+                        span: ostart.merge(oend),
+                    });
+                }
+                Tok::Ident(_) => {
+                    // precedence chain: a -> b -> c ;
+                    let mut chain = Vec::new();
+                    let (first, _) = self.ident("operation label")?;
+                    chain.push(first);
+                    while self.peek().tok == Tok::Arrow {
+                        self.bump();
+                        let (next, _) = self.ident("operation label")?;
+                        chain.push(next);
+                    }
+                    self.expect_tok(Tok::Semi, "`;`")?;
+                    if chain.len() < 2 {
+                        return Err(self.expected("`->` (chains need at least two labels)"));
+                    }
+                    chains.push(chain);
+                }
+                _ => return Err(self.expected("`op`, a precedence chain, or `}`")),
+            }
+        }
+        let end = self.expect_tok(Tok::RBrace, "`}`")?;
+        Ok(ConstraintDecl {
+            name,
+            kind,
+            period,
+            deadline,
+            ops,
+            chains,
+            span: start.merge(end),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_element() {
+        let spec = parse("element fX wcet 2 nopipeline;").unwrap();
+        match &spec.items[0] {
+            Item::Element(e) => {
+                assert_eq!(e.name, "fX");
+                assert_eq!(e.wcet, 2);
+                assert!(e.nopipeline);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_channel_with_label() {
+        let spec = parse("channel a -> b label \"u\";").unwrap();
+        match &spec.items[0] {
+            Item::Channel(c) => {
+                assert_eq!(c.from, "a");
+                assert_eq!(c.to, "b");
+                assert_eq!(c.label.as_deref(), Some("u"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_constraint_block() {
+        let spec = parse(
+            "periodic c period 10 deadline 8 { op a: fa; op b: fb; a -> b; }",
+        )
+        .unwrap();
+        match &spec.items[0] {
+            Item::Constraint(c) => {
+                assert_eq!(c.name, "c");
+                assert_eq!(c.kind, ConstraintKindAst::Periodic);
+                assert_eq!(c.period, 10);
+                assert_eq!(c.deadline, 8);
+                assert_eq!(c.ops.len(), 2);
+                assert_eq!(c.chains, vec![vec!["a".to_string(), "b".to_string()]]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_hop_chain() {
+        let spec =
+            parse("asynchronous z period 6 deadline 6 { op a: fa; op b: fb; op c: fc; a -> b -> c; }")
+                .unwrap();
+        match &spec.items[0] {
+            Item::Constraint(c) => {
+                assert_eq!(c.kind, ConstraintKindAst::Asynchronous);
+                assert_eq!(c.chains[0].len(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_semicolon_reported() {
+        let err = parse("element fX wcet 2").unwrap_err();
+        assert!(matches!(err, LangError::Expected { what: "`;`", .. }));
+    }
+
+    #[test]
+    fn stray_token_reported() {
+        let err = parse("widget fX;").unwrap_err();
+        assert!(err.to_string().contains("element"));
+    }
+
+    #[test]
+    fn chain_of_one_rejected() {
+        let err = parse("periodic c period 2 deadline 2 { op a: fa; a; }").unwrap_err();
+        assert!(err.to_string().contains("->"), "{err}");
+    }
+
+    #[test]
+    fn constants_resolve_in_all_positions() {
+        let spec = parse(
+            "const P = 20; const W = 2;\n\
+             element fS wcet W;\n\
+             periodic c period P deadline P { op s: fS; }",
+        )
+        .unwrap();
+        match (&spec.items[0], &spec.items[1]) {
+            (Item::Element(e), Item::Constraint(c)) => {
+                assert_eq!(e.wcet, 2);
+                assert_eq!(c.period, 20);
+                assert_eq!(c.deadline, 20);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn constants_chain_and_shadow_rules() {
+        // a const may be defined from an earlier const
+        let spec = parse("const A = 4; const B = A; element e wcet B;").unwrap();
+        match &spec.items[0] {
+            Item::Element(e) => assert_eq!(e.wcet, 4),
+            other => panic!("{other:?}"),
+        }
+        // redefinition is an error
+        let err = parse("const A = 1; const A = 2;").unwrap_err();
+        assert!(err.to_string().contains("twice"), "{err}");
+        // forward references are errors
+        let err = parse("element e wcet FUTURE; const FUTURE = 1;").unwrap_err();
+        assert!(err.to_string().contains("FUTURE"), "{err}");
+    }
+
+    #[test]
+    fn empty_source_is_empty_spec() {
+        assert_eq!(parse("").unwrap().items.len(), 0);
+        assert_eq!(parse("  // just a comment\n").unwrap().items.len(), 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property test: any generated model survives render → parse → elaborate.
+
+use proptest::prelude::*;
+use rtcg_core::model::{Model, ModelBuilder};
+use rtcg_core::task::TaskGraphBuilder;
+use rtcg_lang::{parse_model, render_model};
+
+/// Strategy: a model described by per-constraint (chain length 1..=3,
+/// weight 1..=3, deadline slack 0..=20, periodic?) tuples.
+fn model_spec() -> impl Strategy<Value = Vec<(usize, u64, u64, bool)>> {
+    prop::collection::vec(
+        (1usize..=3, 1u64..=3, 0u64..=20, any::<bool>()),
+        1..=4,
+    )
+}
+
+fn build(spec: &[(usize, u64, u64, bool)]) -> Model {
+    let mut b = ModelBuilder::new();
+    for (ci, &(len, w, slack, periodic)) in spec.iter().enumerate() {
+        let mut tb = TaskGraphBuilder::new();
+        let mut prev = None;
+        for k in 0..len {
+            let e = b.element(&format!("e{ci}_{k}"), w);
+            tb = tb.op(&format!("o{k}"), e);
+            if let Some(p) = prev {
+                b.channel(p, e);
+                tb = tb.edge(&format!("o{}", k - 1), &format!("o{k}"));
+            }
+            prev = Some(e);
+        }
+        let total = len as u64 * w;
+        let d = total + slack;
+        let task = tb.build().unwrap();
+        if periodic {
+            b.periodic(&format!("c-{ci}"), task, d.max(1), d.max(1));
+        } else {
+            b.asynchronous(&format!("c-{ci}"), task, d.max(1), d.max(1));
+        }
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn render_parse_round_trip(spec in model_spec()) {
+        let m = build(&spec);
+        let text = render_model(&m);
+        let m2 = parse_model(&text)
+            .unwrap_or_else(|e| panic!("{}\n---\n{text}", e.render(&text)));
+        prop_assert_eq!(m.comm().element_count(), m2.comm().element_count());
+        prop_assert_eq!(m.constraints().len(), m2.constraints().len());
+        prop_assert!((m.deadline_density() - m2.deadline_density()).abs() < 1e-12);
+        prop_assert_eq!(m.hyperperiod(), m2.hyperperiod());
+        for (c1, c2) in m.constraints().iter().zip(m2.constraints()) {
+            prop_assert_eq!(&c1.name, &c2.name);
+            prop_assert_eq!(c1.period, c2.period);
+            prop_assert_eq!(c1.deadline, c2.deadline);
+            prop_assert_eq!(c1.kind, c2.kind);
+            prop_assert_eq!(c1.task.op_count(), c2.task.op_count());
+            prop_assert_eq!(
+                c1.task.precedence_edges().count(),
+                c2.task.precedence_edges().count()
+            );
+            prop_assert_eq!(
+                c1.task.computation_time(m.comm()).unwrap(),
+                c2.task.computation_time(m2.comm()).unwrap()
+            );
+        }
+        // second round trip is a fixed point textually
+        let text2 = render_model(&m2);
+        prop_assert_eq!(text, text2);
+    }
+}

@@ -1,0 +1,417 @@
+//! Building and solving the per-processor and bus sub-problems.
+//!
+//! Each processor gets a single-processor model: its elements, the
+//! channels among them, and one asynchronous constraint per fragment
+//! placed on it (arrival of the predecessor stage's message is the
+//! invocation — arrivals at arbitrary instants with minimum separation
+//! `p` are exactly the asynchronous semantics, so the fragment's
+//! verified latency bounds its stage time from *any* arrival). The bus
+//! gets the paper's "similar-looking problem": a model whose elements
+//! are transfers (`weight = number of values carried`, pipelinable — a
+//! packet per value) and whose constraints are the messages with their
+//! sliced deadlines.
+//!
+//! End-to-end: invocation → stage 0 completes within its verified
+//! latency → boundary-0 transfer within its verified latency → … ;
+//! summing verified latencies along the chain bounds the response from
+//! any invocation, so `Σ latencies ≤ d` certifies the constraint.
+
+use crate::error::MultiError;
+use crate::partition::{Placement, ProcessorId};
+use crate::slice::{slice_constraints, SlicedConstraint};
+use rtcg_core::constraint::ConstraintId;
+use rtcg_core::heuristic::{synthesize_with, SynthesisConfig, SynthesisOutcome};
+use rtcg_core::model::{CommGraph, Model};
+use rtcg_core::task::TaskGraphBuilder;
+use rtcg_core::time::Time;
+
+/// End-to-end verdict for one constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EndToEnd {
+    /// The constraint.
+    pub constraint: ConstraintId,
+    /// Its name.
+    pub name: String,
+    /// Sum of verified per-stage and per-boundary latencies.
+    pub bound: Time,
+    /// The original deadline.
+    pub deadline: Time,
+    /// `bound ≤ deadline`.
+    pub ok: bool,
+}
+
+/// Result of multiprocessor synthesis.
+#[derive(Debug)]
+pub struct MultiSynthesis {
+    /// The slicing used.
+    pub sliced: Vec<SlicedConstraint>,
+    /// Per-processor synthesis outcomes (index = processor id). `None`
+    /// for processors with no work.
+    pub cpus: Vec<Option<SynthesisOutcome>>,
+    /// Bus synthesis outcome (`None` when no constraint crosses
+    /// processors).
+    pub bus: Option<SynthesisOutcome>,
+    /// Composed end-to-end verdicts, one per constraint.
+    pub end_to_end: Vec<EndToEnd>,
+}
+
+impl MultiSynthesis {
+    /// True iff every constraint's composed bound meets its deadline.
+    pub fn all_ok(&self) -> bool {
+        self.end_to_end.iter().all(|e| e.ok)
+    }
+}
+
+/// Decomposes and synthesizes (see module docs).
+pub fn synthesize_multi(
+    model: &Model,
+    placement: &Placement,
+    config: SynthesisConfig,
+) -> Result<MultiSynthesis, MultiError> {
+    model.validate().map_err(MultiError::from)?;
+    let sliced = slice_constraints(model, placement)?;
+    let comm = model.comm();
+
+    // ----- per-processor sub-models -----
+    let mut cpus: Vec<Option<SynthesisOutcome>> = Vec::with_capacity(placement.n_processors());
+    // per (constraint, stage): verified latency, filled after synthesis
+    let mut stage_latency: std::collections::BTreeMap<(usize, usize), Time> =
+        std::collections::BTreeMap::new();
+
+    for pix in 0..placement.n_processors() {
+        let proc = ProcessorId(pix as u32);
+        let local_elems = placement.elements_on(proc);
+        // sub communication graph: local elements + channels among them
+        let mut sub = CommGraph::new();
+        for &e in &local_elems {
+            let fe = comm.element(e).expect("placed element exists");
+            sub.add_element_full(fe.name.clone(), fe.wcet, fe.pipelinable)
+                .map_err(MultiError::from)?;
+        }
+        for edge in comm.graph().edges() {
+            if local_elems.contains(&edge.from) && local_elems.contains(&edge.to) {
+                let from = sub.lookup(comm.name(edge.from)).map_err(MultiError::from)?;
+                let to = sub.lookup(comm.name(edge.to)).map_err(MultiError::from)?;
+                sub.add_channel_labeled(from, to, edge.weight.label.clone())
+                    .map_err(MultiError::from)?;
+            }
+        }
+        // fragment constraints on this processor
+        let mut constraints = Vec::new();
+        let mut owners: Vec<(usize, usize)> = Vec::new();
+        for (sc_ix, sc) in sliced.iter().enumerate() {
+            let c = model.constraint(sc.constraint).expect("valid id");
+            for frag in &sc.fragments {
+                if frag.processor != proc || frag.computation == 0 {
+                    continue;
+                }
+                // induced task subgraph on the fragment's ops
+                let mut tb = TaskGraphBuilder::new();
+                for &op in &frag.ops {
+                    let o = c.task.op(op).expect("live op");
+                    let elem = sub
+                        .lookup(comm.name(o.element))
+                        .map_err(MultiError::from)?;
+                    tb = tb.op(&o.label, elem);
+                }
+                for (u, v) in c.task.precedence_edges() {
+                    if frag.ops.contains(&u) && frag.ops.contains(&v) {
+                        let lu = c.task.op(u).expect("live").label.clone();
+                        let lv = c.task.op(v).expect("live").label.clone();
+                        tb = tb.edge(&lu, &lv);
+                    }
+                }
+                let task = tb.build().map_err(MultiError::from)?;
+                constraints.push(rtcg_core::TimingConstraint {
+                    name: format!("{}#{}", c.name, frag.stage),
+                    task,
+                    period: c.period,
+                    deadline: frag.slice,
+                    kind: rtcg_core::ConstraintKind::Asynchronous,
+                });
+                owners.push((sc_ix, frag.stage));
+            }
+        }
+        if constraints.is_empty() {
+            cpus.push(None);
+            continue;
+        }
+        let sub_model = Model::new(sub, constraints).map_err(MultiError::from)?;
+        let outcome = synthesize_with(&sub_model, config).map_err(|e| {
+            MultiError::SubproblemInfeasible {
+                which: format!("cpu{pix}"),
+                reason: e.to_string(),
+            }
+        })?;
+        let report = outcome
+            .schedule
+            .feasibility(outcome.model())
+            .map_err(MultiError::from)?;
+        for (check, &(sc_ix, stage)) in report.checks.iter().zip(&owners) {
+            let lat = check.latency.expect("feasible outcome has finite latency");
+            stage_latency.insert((sc_ix, stage), lat);
+        }
+        cpus.push(Some(outcome));
+    }
+
+    // ----- the bus sub-model: the "similar-looking problem" -----
+    let mut bus_comm = CommGraph::new();
+    let mut bus_constraints = Vec::new();
+    let mut bus_owners: Vec<(usize, usize)> = Vec::new();
+    for (sc_ix, sc) in sliced.iter().enumerate() {
+        let c = model.constraint(sc.constraint).expect("valid id");
+        for msg in &sc.messages {
+            if msg.edges == 0 {
+                continue;
+            }
+            let elem = bus_comm
+                .add_element(
+                    format!("xfer_{}_{}", c.name, msg.boundary),
+                    msg.edges as Time,
+                )
+                .map_err(MultiError::from)?;
+            let task = TaskGraphBuilder::new()
+                .op("x", elem)
+                .build()
+                .map_err(MultiError::from)?;
+            bus_constraints.push(rtcg_core::TimingConstraint {
+                name: format!("{}@{}", c.name, msg.boundary),
+                task,
+                period: c.period,
+                deadline: msg.slice,
+                kind: rtcg_core::ConstraintKind::Asynchronous,
+            });
+            bus_owners.push((sc_ix, msg.boundary));
+        }
+    }
+    let mut message_latency: std::collections::BTreeMap<(usize, usize), Time> =
+        std::collections::BTreeMap::new();
+    let bus = if bus_constraints.is_empty() {
+        None
+    } else {
+        let bus_model = Model::new(bus_comm, bus_constraints).map_err(MultiError::from)?;
+        let outcome =
+            synthesize_with(&bus_model, config).map_err(|e| MultiError::SubproblemInfeasible {
+                which: "bus".to_string(),
+                reason: e.to_string(),
+            })?;
+        let report = outcome
+            .schedule
+            .feasibility(outcome.model())
+            .map_err(MultiError::from)?;
+        for (check, &(sc_ix, boundary)) in report.checks.iter().zip(&bus_owners) {
+            let lat = check.latency.expect("feasible outcome has finite latency");
+            message_latency.insert((sc_ix, boundary), lat);
+        }
+        Some(outcome)
+    };
+
+    // ----- end-to-end composition -----
+    let mut end_to_end = Vec::with_capacity(sliced.len());
+    for (sc_ix, sc) in sliced.iter().enumerate() {
+        let c = model.constraint(sc.constraint).expect("valid id");
+        let mut bound: Time = 0;
+        for frag in &sc.fragments {
+            if frag.computation > 0 {
+                bound += stage_latency
+                    .get(&(sc_ix, frag.stage))
+                    .copied()
+                    .unwrap_or(frag.slice);
+            }
+        }
+        for msg in &sc.messages {
+            if msg.edges > 0 {
+                bound += message_latency
+                    .get(&(sc_ix, msg.boundary))
+                    .copied()
+                    .unwrap_or(msg.slice);
+            }
+        }
+        end_to_end.push(EndToEnd {
+            constraint: sc.constraint,
+            name: c.name.clone(),
+            bound,
+            deadline: c.deadline,
+            ok: bound <= c.deadline,
+        });
+    }
+
+    Ok(MultiSynthesis {
+        sliced,
+        cpus,
+        bus,
+        end_to_end,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{balance_load, Placement};
+    use rtcg_core::model::ModelBuilder;
+    use rtcg_core::task::TaskGraphBuilder;
+
+    fn cfg() -> SynthesisConfig {
+        SynthesisConfig {
+            max_hyperperiod: 200_000,
+            game_state_budget: 50_000,
+        }
+    }
+
+    /// chain a(1) -> b(2) -> c(1) with a generous deadline, split across
+    /// two processors (b alone on cpu1).
+    fn split_chain(d: u64) -> (Model, Placement) {
+        let mut bld = ModelBuilder::new();
+        let a = bld.element("a", 1);
+        let b = bld.element("b", 2);
+        let c = bld.element("c", 1);
+        bld.channel(a, b).channel(b, c);
+        let tg = TaskGraphBuilder::new()
+            .op("a", a)
+            .op("b", b)
+            .op("c", c)
+            .chain(&["a", "b", "c"])
+            .build()
+            .unwrap();
+        bld.asynchronous("chain", tg, d, d);
+        let m = bld.build().unwrap();
+        let mut p = Placement::new(2).unwrap();
+        p.assign(a, ProcessorId(0)).unwrap();
+        p.assign(b, ProcessorId(1)).unwrap();
+        p.assign(c, ProcessorId(0)).unwrap();
+        (m, p)
+    }
+
+    #[test]
+    fn split_chain_synthesizes_end_to_end() {
+        let (m, p) = split_chain(40);
+        let out = synthesize_multi(&m, &p, cfg()).unwrap();
+        assert!(out.all_ok(), "{:?}", out.end_to_end);
+        assert_eq!(out.end_to_end.len(), 1);
+        assert!(out.end_to_end[0].bound <= 40);
+        // both processors and the bus have schedules
+        assert!(out.cpus[0].is_some());
+        assert!(out.cpus[1].is_some());
+        assert!(out.bus.is_some());
+    }
+
+    #[test]
+    fn local_model_needs_no_bus() {
+        let (m, _) = split_chain(40);
+        let ids: Vec<_> = m.comm().element_ids().collect();
+        let mut p = Placement::new(2).unwrap();
+        for &e in &ids {
+            p.assign(e, ProcessorId(0)).unwrap();
+        }
+        let out = synthesize_multi(&m, &p, cfg()).unwrap();
+        assert!(out.bus.is_none());
+        assert!(out.cpus[0].is_some());
+        assert!(out.cpus[1].is_none());
+        assert!(out.all_ok());
+    }
+
+    #[test]
+    fn composed_bound_is_sum_of_verified_latencies() {
+        let (m, p) = split_chain(60);
+        let out = synthesize_multi(&m, &p, cfg()).unwrap();
+        let e = &out.end_to_end[0];
+        // bound must be strictly tighter than the naive sum of slices
+        // (verified latencies ≤ slices)
+        let slices = out.sliced[0].total_slices();
+        assert!(e.bound <= slices, "bound {} > slices {}", e.bound, slices);
+        assert!(e.ok);
+    }
+
+    #[test]
+    fn mok_example_on_two_processors() {
+        // widen d_z: the z-chain must cross processors and pay for
+        // staging; the default 15 is too tight for a split fS
+        let params = rtcg_core::mok_example::Params {
+            d_z: 30,
+            p_z: 30,
+            ..Default::default()
+        };
+        let (m, _) = rtcg_core::mok_example::build(params).unwrap();
+        let placement = balance_load(&m, 2).unwrap();
+        match synthesize_multi(&m, &placement, cfg()) {
+            Ok(out) => assert!(out.all_ok(), "{:?}", out.end_to_end),
+            Err(MultiError::DeadlineTooTight { .. })
+            | Err(MultiError::SubproblemInfeasible { .. }) => {
+                // acceptable: the balanced placement may split a chain too
+                // finely — single-processor placement must then work
+                let ids: Vec<_> = m.comm().element_ids().collect();
+                let mut p1 = Placement::new(2).unwrap();
+                for &e in &ids {
+                    p1.assign(e, ProcessorId(0)).unwrap();
+                }
+                let out = synthesize_multi(&m, &p1, cfg()).unwrap();
+                assert!(out.all_ok());
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_subproblem_reported() {
+        // overload one processor: two heavy same-processor constraints
+        // with deadlines that fit alone but not together
+        let mut bld = ModelBuilder::new();
+        let a = bld.element("a", 2);
+        let b = bld.element("b", 2);
+        let ta = TaskGraphBuilder::new().op("a", a).build().unwrap();
+        let tb = TaskGraphBuilder::new().op("b", b).build().unwrap();
+        bld.asynchronous("ca", ta, 5, 5);
+        bld.asynchronous("cb", tb, 5, 5);
+        let m = bld.build().unwrap();
+        let mut p = Placement::new(2).unwrap();
+        p.assign(a, ProcessorId(0)).unwrap();
+        p.assign(b, ProcessorId(0)).unwrap();
+        // density 2/5 + 2/5 ... on slices = full deadlines: 0.8 —
+        // feasible? latency needs ≥ 2w: [a b] duration 4, worst-case
+        // latency for a: s=1 → a@4..6 → 5 ✓ OK it may be feasible. Use
+        // tighter: d=4 each → w=2, d=4: single fits (2w ≤ 4) but both
+        // together need a+b in every 4-window: 4 ticks of work per
+        // 4-window at zero idle — the window sliding makes it
+        // impossible.
+        let mut bld = ModelBuilder::new();
+        let a = bld.element("a", 2);
+        let b = bld.element("b", 2);
+        let ta = TaskGraphBuilder::new().op("a", a).build().unwrap();
+        let tb = TaskGraphBuilder::new().op("b", b).build().unwrap();
+        bld.asynchronous("ca", ta, 4, 4);
+        bld.asynchronous("cb", tb, 4, 4);
+        let m2 = bld.build().unwrap();
+        let mut p2 = Placement::new(1).unwrap();
+        for e in m2.comm().element_ids().collect::<Vec<_>>() {
+            p2.assign(e, ProcessorId(0)).unwrap();
+        }
+        match synthesize_multi(&m2, &p2, cfg()) {
+            Err(MultiError::SubproblemInfeasible { which, .. }) => {
+                assert_eq!(which, "cpu0");
+            }
+            other => panic!("expected infeasible cpu0, got {other:?}"),
+        }
+        let _ = (m, p);
+    }
+
+    #[test]
+    fn more_processors_shrink_per_cpu_load() {
+        // four independent constraints: with 4 processors each gets its
+        // own, and every end-to-end bound is the local latency
+        let mut bld = ModelBuilder::new();
+        let mut elems = Vec::new();
+        for i in 0..4 {
+            let e = bld.element(&format!("e{i}"), 2);
+            let tg = TaskGraphBuilder::new().op("o", e).build().unwrap();
+            bld.asynchronous(&format!("c{i}"), tg, 12, 12);
+            elems.push(e);
+        }
+        let m = bld.build().unwrap();
+        let p = balance_load(&m, 4).unwrap();
+        let out = synthesize_multi(&m, &p, cfg()).unwrap();
+        assert!(out.all_ok());
+        assert!(out.bus.is_none(), "independent constraints never cross");
+        let used = out.cpus.iter().filter(|c| c.is_some()).count();
+        assert_eq!(used, 4);
+    }
+}

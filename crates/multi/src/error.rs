@@ -1,0 +1,95 @@
+//! Error type for multiprocessor decomposition.
+
+use rtcg_core::constraint::ConstraintId;
+use rtcg_core::model::ElementId;
+use std::fmt;
+
+/// Errors from partitioning, slicing and multiprocessor synthesis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MultiError {
+    /// Zero processors requested.
+    NoProcessors,
+    /// An element was not assigned to any processor.
+    Unplaced(ElementId),
+    /// A processor id is out of range.
+    UnknownProcessor(usize),
+    /// A constraint's deadline is too small to slice across its
+    /// fragments and messages (every stage needs at least its
+    /// computation time; every message at least one tick).
+    DeadlineTooTight {
+        /// The constraint that cannot be sliced.
+        constraint: ConstraintId,
+        /// Minimum end-to-end time the fragment chain needs.
+        needed: u64,
+        /// The available deadline.
+        deadline: u64,
+    },
+    /// A sub-problem failed to synthesize.
+    SubproblemInfeasible {
+        /// Which sub-problem: `"cpu<k>"` or `"bus"`.
+        which: String,
+        /// The underlying reason.
+        reason: String,
+    },
+    /// A model-level error.
+    Model(rtcg_core::ModelError),
+}
+
+impl fmt::Display for MultiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MultiError::NoProcessors => write!(f, "need at least one processor"),
+            MultiError::Unplaced(e) => write!(f, "element {e:?} not assigned to a processor"),
+            MultiError::UnknownProcessor(p) => write!(f, "unknown processor #{p}"),
+            MultiError::DeadlineTooTight {
+                constraint,
+                needed,
+                deadline,
+            } => write!(
+                f,
+                "constraint {constraint:?}: fragment chain needs {needed} ticks end to end \
+                 but deadline is {deadline}"
+            ),
+            MultiError::SubproblemInfeasible { which, reason } => {
+                write!(f, "sub-problem `{which}` infeasible: {reason}")
+            }
+            MultiError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MultiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MultiError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rtcg_core::ModelError> for MultiError {
+    fn from(e: rtcg_core::ModelError) -> Self {
+        MultiError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(MultiError::NoProcessors.to_string().contains("processor"));
+        let e = MultiError::DeadlineTooTight {
+            constraint: ConstraintId::new(1),
+            needed: 9,
+            deadline: 5,
+        };
+        assert!(e.to_string().contains('9'));
+        let e = MultiError::SubproblemInfeasible {
+            which: "bus".into(),
+            reason: "overload".into(),
+        };
+        assert!(e.to_string().contains("bus"));
+    }
+}

@@ -1,0 +1,43 @@
+//! # rtcg-multi — multiprocessor decomposition
+//!
+//! The paper closes its results section with: *"We have also taken care
+//! in formulating the graph-based model such that for a multiprocessor
+//! architecture, the synthesis problem can be decomposed into a set of
+//! single processor synthesis problems and a similar-looking problem for
+//! scheduling the communication network. We shall report this work in
+//! another paper."* This crate implements that decomposition as the
+//! sentence describes it:
+//!
+//! 1. [`partition`] — assign functional elements to processors
+//!    (explicitly, or by greedy load balancing over per-element demand).
+//! 2. [`mod@slice`] — cut each timing constraint's task graph at
+//!    cross-processor edges into per-processor *fragments* plus
+//!    inter-processor *messages*, and split the end-to-end deadline into
+//!    per-stage slices (proportional to computation, with every message
+//!    given a fixed network slice).
+//! 3. [`decompose`] — build one single-processor sub-model per processor
+//!    (fragments become asynchronous constraints with their sliced
+//!    deadlines — an invocation of a fragment is the arrival of its
+//!    predecessor's message, which may happen at any instant, which is
+//!    exactly the asynchronous-constraint semantics) and one *bus* model
+//!    in which each message is a transfer element (weight = number of
+//!    values carried, pipelinable — one packet per value) with
+//!    its own sliced deadline: the paper's "similar-looking problem".
+//! 4. Per-sub-model synthesis reuses [`rtcg_core::heuristic::synthesize`]
+//!    verbatim; [`MultiSynthesis::end_to_end`](decompose::MultiSynthesis::end_to_end) composes
+//!    the verified per-stage latencies along every constraint's fragment
+//!    chain and checks the sum against the original deadline — a sound
+//!    (conservative) end-to-end guarantee.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decompose;
+pub mod error;
+pub mod partition;
+pub mod slice;
+
+pub use decompose::{synthesize_multi, EndToEnd, MultiSynthesis};
+pub use error::MultiError;
+pub use partition::{balance_load, Placement, ProcessorId};
+pub use slice::{slice_constraints, Fragment, Message, SlicedConstraint};

@@ -1,0 +1,338 @@
+//! Cutting task graphs at processor boundaries and slicing deadlines.
+//!
+//! A constraint's operations are serialized into *stages* (maximal runs
+//! of same-processor operations along the canonical topological order);
+//! between consecutive stages, every task edge leaving the finished
+//! stage becomes a *message* on the communication network. The
+//! end-to-end deadline is split into per-stage and per-boundary slices:
+//! each slice must cover at least twice its stage's computation time
+//! (the single-processor feasibility threshold for an atomic recurrence,
+//! cf. Theorem 3's `⌊d/2⌋ ≥ w` condition), and remaining slack is spread
+//! over the stages proportionally to their computation.
+
+use crate::error::MultiError;
+use crate::partition::{Placement, ProcessorId};
+use rtcg_core::constraint::ConstraintId;
+use rtcg_core::model::Model;
+use rtcg_core::task::OpId;
+use rtcg_core::time::Time;
+
+/// One same-processor stage of a constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fragment {
+    /// The source constraint.
+    pub constraint: ConstraintId,
+    /// Stage index along the chain (0-based).
+    pub stage: usize,
+    /// The processor the stage runs on.
+    pub processor: ProcessorId,
+    /// Operations of the stage, in topological order.
+    pub ops: Vec<OpId>,
+    /// Computation time of the stage.
+    pub computation: Time,
+    /// Deadline slice assigned to the stage.
+    pub slice: Time,
+}
+
+/// The inter-processor transfer between stage `boundary` and
+/// `boundary + 1` of a constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// The source constraint.
+    pub constraint: ConstraintId,
+    /// Boundary index (after stage `boundary`).
+    pub boundary: usize,
+    /// Number of task-graph edges carried (each one data value).
+    pub edges: usize,
+    /// Deadline slice assigned to the transfer.
+    pub slice: Time,
+}
+
+/// A constraint cut into fragments and messages with sliced deadlines.
+#[derive(Debug, Clone)]
+pub struct SlicedConstraint {
+    /// The source constraint.
+    pub constraint: ConstraintId,
+    /// Stages in chain order.
+    pub fragments: Vec<Fragment>,
+    /// Boundaries in chain order (`fragments.len() - 1` of them).
+    pub messages: Vec<Message>,
+    /// Minimum end-to-end time the slicing needed.
+    pub minimum: Time,
+}
+
+impl SlicedConstraint {
+    /// Sum of all slices — never exceeds the original deadline.
+    pub fn total_slices(&self) -> Time {
+        self.fragments.iter().map(|f| f.slice).sum::<Time>()
+            + self.messages.iter().map(|m| m.slice).sum::<Time>()
+    }
+
+    /// True when the whole constraint lives on one processor.
+    pub fn is_local(&self) -> bool {
+        self.fragments.len() == 1
+    }
+}
+
+/// Slices every constraint of the model under the placement.
+pub fn slice_constraints(
+    model: &Model,
+    placement: &Placement,
+) -> Result<Vec<SlicedConstraint>, MultiError> {
+    placement.validate_total(model)?;
+    let comm = model.comm();
+    let mut out = Vec::with_capacity(model.constraints().len());
+    for (cid, c) in model.constraints_enumerated() {
+        // stages: maximal same-processor runs along the topo order
+        let order = c.task.topo_ops();
+        let mut stages: Vec<(ProcessorId, Vec<OpId>)> = Vec::new();
+        for op in order {
+            let elem = c.task.element_of(op).expect("live op");
+            let proc = placement.processor_of(elem)?;
+            match stages.last_mut() {
+                Some((p, ops)) if *p == proc => ops.push(op),
+                _ => stages.push((proc, vec![op])),
+            }
+        }
+        if stages.is_empty() {
+            // an empty task graph: one empty local stage with full slice
+            out.push(SlicedConstraint {
+                constraint: cid,
+                fragments: vec![],
+                messages: vec![],
+                minimum: 0,
+            });
+            continue;
+        }
+        // per-stage computation and per-boundary edge counts
+        let computations: Vec<Time> = stages
+            .iter()
+            .map(|(_, ops)| {
+                ops.iter()
+                    .map(|&op| {
+                        comm.wcet(c.task.element_of(op).expect("live op"))
+                            .expect("validated model")
+                    })
+                    .sum()
+            })
+            .collect();
+        let mut edge_counts: Vec<usize> = vec![0; stages.len().saturating_sub(1)];
+        let stage_of_op = |op: OpId| -> usize {
+            stages
+                .iter()
+                .position(|(_, ops)| ops.contains(&op))
+                .expect("op in some stage")
+        };
+        for (u, v) in c.task.precedence_edges() {
+            let (su, sv) = (stage_of_op(u), stage_of_op(v));
+            if su != sv {
+                // the edge is transmitted at the boundary after its source
+                edge_counts[su] += 1;
+                debug_assert!(sv > su, "topological stages");
+            }
+        }
+        // minimum slices: 2·w per stage (w>0), 2·edges per boundary
+        let stage_min: Vec<Time> = computations
+            .iter()
+            .map(|&w| if w == 0 { 0 } else { 2 * w })
+            .collect();
+        let msg_min: Vec<Time> = edge_counts.iter().map(|&e| 2 * e as Time).collect();
+        let minimum: Time = stage_min.iter().sum::<Time>() + msg_min.iter().sum::<Time>();
+        if minimum > c.deadline {
+            return Err(MultiError::DeadlineTooTight {
+                constraint: cid,
+                needed: minimum,
+                deadline: c.deadline,
+            });
+        }
+        // distribute slack over stages AND boundaries proportionally to
+        // their computation / transfer volume — starving the bus of
+        // slack makes its sub-problem infeasible at high fan-out
+        let slack = c.deadline - minimum;
+        let total_w: Time = computations.iter().sum::<Time>()
+            + edge_counts.iter().map(|&e| e as Time).sum::<Time>();
+        let total_w = total_w.max(1);
+        let mut stage_slices: Vec<Time> = stage_min.clone();
+        let mut msg_slices: Vec<Time> = msg_min.clone();
+        let mut given: Time = 0;
+        for (k, &w) in computations.iter().enumerate() {
+            let extra = slack * w / total_w;
+            stage_slices[k] += extra;
+            given += extra;
+        }
+        for (k, &e) in edge_counts.iter().enumerate() {
+            let extra = slack * e as Time / total_w;
+            msg_slices[k] += extra;
+            given += extra;
+        }
+        // leftover (rounding) goes to the first stage with work
+        if let Some(first) = stage_slices.iter_mut().zip(&computations).find(|(_, &w)| w > 0) {
+            *first.0 += slack - given;
+        }
+
+        let fragments: Vec<Fragment> = stages
+            .iter()
+            .enumerate()
+            .map(|(k, (proc, ops))| Fragment {
+                constraint: cid,
+                stage: k,
+                processor: *proc,
+                ops: ops.clone(),
+                computation: computations[k],
+                slice: stage_slices[k],
+            })
+            .collect();
+        let messages: Vec<Message> = edge_counts
+            .iter()
+            .enumerate()
+            .map(|(k, &edges)| Message {
+                constraint: cid,
+                boundary: k,
+                edges,
+                slice: msg_slices[k],
+            })
+            .collect();
+        out.push(SlicedConstraint {
+            constraint: cid,
+            fragments,
+            messages,
+            minimum,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Placement;
+    use rtcg_core::model::ModelBuilder;
+    use rtcg_core::task::TaskGraphBuilder;
+
+    /// chain a(1) -> b(2) -> c(1), deadline d; placement splits b onto
+    /// processor 1.
+    fn split_chain(d: u64) -> (Model, Placement) {
+        let mut bld = ModelBuilder::new();
+        let a = bld.element("a", 1);
+        let b = bld.element("b", 2);
+        let c = bld.element("c", 1);
+        bld.channel(a, b).channel(b, c);
+        let tg = TaskGraphBuilder::new()
+            .op("a", a)
+            .op("b", b)
+            .op("c", c)
+            .chain(&["a", "b", "c"])
+            .build()
+            .unwrap();
+        bld.asynchronous("chain", tg, d, d);
+        let m = bld.build().unwrap();
+        let mut p = Placement::new(2).unwrap();
+        p.assign(a, ProcessorId(0)).unwrap();
+        p.assign(b, ProcessorId(1)).unwrap();
+        p.assign(c, ProcessorId(0)).unwrap();
+        (m, p)
+    }
+
+    #[test]
+    fn three_stage_cut() {
+        let (m, p) = split_chain(40);
+        let sliced = slice_constraints(&m, &p).unwrap();
+        let sc = &sliced[0];
+        assert_eq!(sc.fragments.len(), 3);
+        assert_eq!(sc.messages.len(), 2);
+        assert_eq!(
+            sc.fragments.iter().map(|f| f.computation).collect::<Vec<_>>(),
+            vec![1, 2, 1]
+        );
+        assert_eq!(
+            sc.fragments.iter().map(|f| f.processor).collect::<Vec<_>>(),
+            vec![ProcessorId(0), ProcessorId(1), ProcessorId(0)]
+        );
+        assert!(sc.messages.iter().all(|m| m.edges == 1));
+        // minimum = 2(1+2+1) + 2(1+1) = 12
+        assert_eq!(sc.minimum, 12);
+        assert!(sc.total_slices() <= 40);
+        // every slice covers its stage's minimum
+        for f in &sc.fragments {
+            assert!(f.slice >= 2 * f.computation);
+        }
+        assert!(!sc.is_local());
+    }
+
+    #[test]
+    fn slack_distributed_to_heavier_stages() {
+        let (m, p) = split_chain(40);
+        let sc = &slice_constraints(&m, &p).unwrap()[0];
+        // stage b (w=2) gets at least as much as stages a and c (w=1)
+        assert!(sc.fragments[1].slice >= sc.fragments[0].slice.max(sc.fragments[2].slice) - 1);
+        // slack fully used: total equals deadline
+        assert_eq!(sc.total_slices(), 40);
+    }
+
+    #[test]
+    fn tight_deadline_rejected() {
+        let (m, p) = split_chain(11); // minimum is 12
+        assert!(matches!(
+            slice_constraints(&m, &p),
+            Err(MultiError::DeadlineTooTight {
+                needed: 12,
+                deadline: 11,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn local_constraint_single_fragment() {
+        let (m, _) = split_chain(40);
+        let ids: Vec<_> = m.comm().element_ids().collect();
+        let mut p = Placement::new(2).unwrap();
+        for &e in &ids {
+            p.assign(e, ProcessorId(1)).unwrap();
+        }
+        let sc = &slice_constraints(&m, &p).unwrap()[0];
+        assert!(sc.is_local());
+        assert_eq!(sc.fragments.len(), 1);
+        assert!(sc.messages.is_empty());
+        assert_eq!(sc.fragments[0].slice, 40, "whole deadline stays local");
+    }
+
+    #[test]
+    fn fan_in_edges_counted_per_boundary() {
+        // x -> s, y -> s with x,y on cpu0 and s on cpu1: one stage pair,
+        // boundary carries both edges
+        let mut bld = ModelBuilder::new();
+        let x = bld.element("x", 1);
+        let y = bld.element("y", 1);
+        let s = bld.element("s", 1);
+        bld.channel(x, s).channel(y, s);
+        let tg = TaskGraphBuilder::new()
+            .op("x", x)
+            .op("y", y)
+            .op("s", s)
+            .edge("x", "s")
+            .edge("y", "s")
+            .build()
+            .unwrap();
+        bld.asynchronous("fan", tg, 30, 30);
+        let m = bld.build().unwrap();
+        let mut p = Placement::new(2).unwrap();
+        p.assign(x, ProcessorId(0)).unwrap();
+        p.assign(y, ProcessorId(0)).unwrap();
+        p.assign(s, ProcessorId(1)).unwrap();
+        let sc = &slice_constraints(&m, &p).unwrap()[0];
+        assert_eq!(sc.fragments.len(), 2);
+        assert_eq!(sc.messages.len(), 1);
+        assert_eq!(sc.messages[0].edges, 2);
+    }
+
+    #[test]
+    fn unplaced_element_rejected() {
+        let (m, _) = split_chain(40);
+        let p = Placement::new(2).unwrap();
+        assert!(matches!(
+            slice_constraints(&m, &p),
+            Err(MultiError::Unplaced(_))
+        ));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for deadline slicing and placement.
+
+use proptest::prelude::*;
+use rtcg_core::model::{Model, ModelBuilder};
+use rtcg_core::task::TaskGraphBuilder;
+use rtcg_multi::{balance_load, slice_constraints, Placement, ProcessorId};
+
+/// Strategy: a chain model description — per-stage weights (1..=3) plus
+/// deadline slack beyond the slicing minimum.
+fn chain_spec() -> impl Strategy<Value = (Vec<u64>, u64, u64)> {
+    (
+        prop::collection::vec(1u64..=3, 1..=5),
+        0u64..40,
+        1u64..4, // processors
+    )
+}
+
+fn build_chain(weights: &[u64], slack: u64) -> Model {
+    let mut b = ModelBuilder::new();
+    let mut tb = TaskGraphBuilder::new();
+    let mut prev = None;
+    for (k, &w) in weights.iter().enumerate() {
+        let e = b.element(&format!("e{k}"), w);
+        tb = tb.op(&format!("o{k}"), e);
+        if let Some(p) = prev {
+            b.channel(p, e);
+            tb = tb.edge(&format!("o{}", k - 1), &format!("o{k}"));
+        }
+        prev = Some(e);
+    }
+    // worst-case slicing minimum: 2·Σw for stages + 2·(len-1) for
+    // messages if every op lands on its own processor
+    let min: u64 = 2 * weights.iter().sum::<u64>() + 2 * (weights.len() as u64 - 1);
+    let d = min + slack;
+    b.asynchronous("chain", tb.build().unwrap(), d, d);
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn slicing_invariants((weights, slack, cpus) in chain_spec()) {
+        let model = build_chain(&weights, slack);
+        let placement = balance_load(&model, cpus as usize).unwrap();
+        let sliced = slice_constraints(&model, &placement).unwrap();
+        prop_assert_eq!(sliced.len(), 1);
+        let sc = &sliced[0];
+        let c = &model.constraints()[0];
+
+        // fragments partition the operations
+        let total_ops: usize = sc.fragments.iter().map(|f| f.ops.len()).sum();
+        prop_assert_eq!(total_ops, c.task.op_count());
+
+        // message count = fragment count - 1 on a chain
+        prop_assert_eq!(sc.messages.len(), sc.fragments.len().saturating_sub(1));
+
+        // slices cover the minimums and never exceed the deadline
+        for f in &sc.fragments {
+            prop_assert!(f.slice >= 2 * f.computation || f.computation == 0);
+        }
+        for (m, _) in sc.messages.iter().zip(&sc.fragments) {
+            prop_assert!(m.slice >= 2 * m.edges as u64);
+        }
+        prop_assert!(sc.total_slices() <= c.deadline,
+            "slices {} > deadline {}", sc.total_slices(), c.deadline);
+
+        // computation is conserved across fragments
+        let frag_comp: u64 = sc.fragments.iter().map(|f| f.computation).sum();
+        prop_assert_eq!(frag_comp, c.task.computation_time(model.comm()).unwrap());
+
+        // consecutive fragments live on different processors
+        for pair in sc.fragments.windows(2) {
+            prop_assert_ne!(pair[0].processor, pair[1].processor);
+        }
+    }
+
+    #[test]
+    fn balanced_placement_is_total((weights, slack, cpus) in chain_spec()) {
+        let model = build_chain(&weights, slack);
+        let placement = balance_load(&model, cpus as usize).unwrap();
+        placement.validate_total(&model).unwrap();
+        // every assignment names a valid processor
+        for e in model.comm().element_ids() {
+            let p = placement.processor_of(e).unwrap();
+            prop_assert!(p.index() < cpus as usize);
+        }
+    }
+
+    #[test]
+    fn single_processor_slicing_is_identity_like((weights, slack, _) in chain_spec()) {
+        let model = build_chain(&weights, slack);
+        let mut placement = Placement::new(1).unwrap();
+        for e in model.comm().element_ids().collect::<Vec<_>>() {
+            placement.assign(e, ProcessorId(0)).unwrap();
+        }
+        let sliced = slice_constraints(&model, &placement).unwrap();
+        let sc = &sliced[0];
+        prop_assert!(sc.is_local());
+        prop_assert!(sc.messages.is_empty());
+        // a local constraint keeps its whole deadline
+        prop_assert_eq!(sc.fragments[0].slice, model.constraints()[0].deadline);
+    }
+}

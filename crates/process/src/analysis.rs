@@ -1,0 +1,280 @@
+//! Classical schedulability analysis for process sets.
+//!
+//! These are the \[MOK 83\]-era results the paper leans on ("The
+//! scheduling results for process-based models, e.g., \[MOK 83\] can now
+//! be applied to implement the resulting set of processes"):
+//!
+//! * utilization and the Liu–Layland rate-monotonic bound
+//!   `U ≤ n(2^{1/n} − 1)`;
+//! * exact fixed-priority response-time analysis (RM/DM);
+//! * the EDF processor-demand criterion, exact for constrained-deadline
+//!   synchronous periodic sets.
+
+use crate::error::ProcessError;
+use crate::process::{ProcessId, ProcessSet};
+
+/// Total utilization `Σ wcet/period`.
+pub fn utilization(set: &ProcessSet) -> f64 {
+    set.processes().iter().map(|p| p.utilization()).sum()
+}
+
+/// The Liu–Layland rate-monotonic utilization bound for `n` processes:
+/// `n(2^{1/n} − 1)`; 1.0 for `n = 0`.
+pub fn liu_layland_bound(n: usize) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    let n = n as f64;
+    n * (2f64.powf(1.0 / n) - 1.0)
+}
+
+/// Sufficient RM test: utilization at most the Liu–Layland bound
+/// (requires implicit deadlines; returns `false` — "cannot conclude" —
+/// when some deadline differs from its period).
+pub fn rm_schedulable_by_bound(set: &ProcessSet) -> bool {
+    if set
+        .processes()
+        .iter()
+        .any(|p| p.deadline != p.period)
+    {
+        return false;
+    }
+    utilization(set) <= liu_layland_bound(set.len()) + 1e-12
+}
+
+/// Exact worst-case response time of `id` under the given fixed-priority
+/// order (earlier in `order` = higher priority), by the standard
+/// fixed-point iteration `R = w + Σ_{hp} ⌈R/p_j⌉ w_j`. Returns `None`
+/// when the iteration diverges past the deadline (unschedulable) and an
+/// error for unknown ids.
+pub fn response_time(
+    set: &ProcessSet,
+    order: &[ProcessId],
+    id: ProcessId,
+) -> Result<Option<u64>, ProcessError> {
+    let me = set.get(id)?;
+    let my_pos = order
+        .iter()
+        .position(|&x| x == id)
+        .ok_or(ProcessError::UnknownProcess(id.index()))?;
+    let higher: Vec<&crate::process::Process> = order[..my_pos]
+        .iter()
+        .map(|&hid| set.get(hid))
+        .collect::<Result<_, _>>()?;
+    let mut r = me.wcet;
+    loop {
+        let interference: u64 = higher
+            .iter()
+            .map(|h| r.div_ceil(h.period) * h.wcet)
+            .sum();
+        let next = me.wcet + interference;
+        if next == r {
+            return Ok(Some(r));
+        }
+        if next > me.deadline {
+            return Ok(None);
+        }
+        r = next;
+    }
+}
+
+/// Exact fixed-priority schedulability under rate-monotonic priorities:
+/// every process's worst-case response time is within its deadline.
+/// (Exact for synchronous, constrained-deadline sets.)
+pub fn rm_schedulable_exact(set: &ProcessSet) -> Result<bool, ProcessError> {
+    let order = set.rm_order();
+    for &id in &order {
+        match response_time(set, &order, id)? {
+            Some(r) if r <= set.get(id)?.deadline => {}
+            _ => return Ok(false),
+        }
+    }
+    Ok(true)
+}
+
+/// EDF processor-demand criterion: `∀ t ∈ testing set: dbf(t) ≤ t`,
+/// where `dbf(t) = Σᵢ max(0, ⌊(t − Dᵢ)/Pᵢ⌋ + 1)·wᵢ`. Exact for
+/// synchronous periodic sets with constrained deadlines. The testing set
+/// is all absolute deadlines up to `min(hyperperiod + max D, horizon_cap)`;
+/// exceeding the cap errors with `BudgetExhausted`.
+pub fn edf_schedulable(set: &ProcessSet, horizon_cap: u64) -> Result<bool, ProcessError> {
+    if set.is_empty() {
+        return Ok(true);
+    }
+    if utilization(set) > 1.0 + 1e-12 {
+        return Ok(false);
+    }
+    let max_d = set.processes().iter().map(|p| p.deadline).max().unwrap();
+    let horizon = set.hyperperiod().saturating_add(max_d);
+    if horizon > horizon_cap {
+        return Err(ProcessError::BudgetExhausted("EDF demand-bound horizon"));
+    }
+    // testing set: absolute deadlines kP + D ≤ horizon
+    let mut points: Vec<u64> = Vec::new();
+    for p in set.processes() {
+        let mut t = p.deadline;
+        while t <= horizon {
+            points.push(t);
+            t += p.period;
+        }
+    }
+    points.sort_unstable();
+    points.dedup();
+    for &t in &points {
+        let demand: u64 = set
+            .processes()
+            .iter()
+            .map(|p| {
+                if t >= p.deadline {
+                    ((t - p.deadline) / p.period + 1) * p.wcet
+                } else {
+                    0
+                }
+            })
+            .sum();
+        if demand > t {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::{Process, ProcessKind};
+
+    fn mk(specs: &[(u64, u64, u64)]) -> ProcessSet {
+        let mut s = ProcessSet::new();
+        for (i, &(w, p, d)) in specs.iter().enumerate() {
+            s.add(Process {
+                name: format!("p{i}"),
+                wcet: w,
+                period: p,
+                deadline: d,
+                kind: ProcessKind::Periodic,
+            })
+            .unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn liu_layland_values() {
+        assert!((liu_layland_bound(1) - 1.0).abs() < 1e-9);
+        assert!((liu_layland_bound(2) - 0.8284271).abs() < 1e-6);
+        assert!((liu_layland_bound(3) - 0.7797631).abs() < 1e-6);
+        // limit ln 2 ≈ 0.693
+        assert!(liu_layland_bound(1000) > 0.693);
+        assert!(liu_layland_bound(1000) < 0.694);
+        assert_eq!(liu_layland_bound(0), 1.0);
+    }
+
+    #[test]
+    fn utilization_sums() {
+        let s = mk(&[(1, 4, 4), (2, 8, 8)]);
+        assert!((utilization(&s) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rm_bound_test() {
+        // U = 0.5 ≤ LL(2) ≈ 0.828 → pass
+        let s = mk(&[(1, 4, 4), (2, 8, 8)]);
+        assert!(rm_schedulable_by_bound(&s));
+        // constrained deadline ≠ period → bound test inapplicable
+        let s = mk(&[(1, 4, 3)]);
+        assert!(!rm_schedulable_by_bound(&s));
+        // U over the bound but under 1: bound says no (inconclusive)
+        let s = mk(&[(4, 8, 8), (4, 9, 9)]);
+        assert!(utilization(&s) > liu_layland_bound(2));
+        assert!(!rm_schedulable_by_bound(&s));
+    }
+
+    #[test]
+    fn response_time_classic_example() {
+        // textbook: w/p = (1,4), (2,6), (3,13) RM-order
+        let s = mk(&[(1, 4, 4), (2, 6, 6), (3, 13, 13)]);
+        let order = s.rm_order();
+        assert_eq!(
+            response_time(&s, &order, order[0]).unwrap(),
+            Some(1)
+        );
+        assert_eq!(
+            response_time(&s, &order, order[1]).unwrap(),
+            Some(3)
+        );
+        // p2: R = 3 + ⌈R/4⌉1 + ⌈R/6⌉2; fixed point:
+        // R0=3 → 3+1+2=6 → 3+2+2=7 → 3+2+4=9 → 3+3+4=10 → 3+3+4=10 ✓
+        assert_eq!(
+            response_time(&s, &order, order[2]).unwrap(),
+            Some(10)
+        );
+        assert!(rm_schedulable_exact(&s).unwrap());
+    }
+
+    #[test]
+    fn response_time_detects_miss() {
+        // two processes each needing 3 of every 4 ticks — hopeless
+        let s = mk(&[(3, 4, 4), (3, 4, 4)]);
+        let order = s.rm_order();
+        assert_eq!(response_time(&s, &order, order[1]).unwrap(), None);
+        assert!(!rm_schedulable_exact(&s).unwrap());
+    }
+
+    #[test]
+    fn rm_beats_bound_sometimes() {
+        // harmonic periods: U = 1.0 > LL bound but RM-exact passes
+        let s = mk(&[(1, 2, 2), (2, 4, 4)]);
+        assert!(!rm_schedulable_by_bound(&s));
+        assert!(rm_schedulable_exact(&s).unwrap());
+    }
+
+    #[test]
+    fn edf_demand_criterion() {
+        // U = 1.0 implicit deadlines → EDF schedulable
+        let s = mk(&[(1, 2, 2), (2, 4, 4)]);
+        assert!(edf_schedulable(&s, 1_000_000).unwrap());
+        // over-utilized → no
+        let s = mk(&[(3, 4, 4), (2, 4, 4)]);
+        assert!(!edf_schedulable(&s, 1_000_000).unwrap());
+        // constrained deadlines force failure despite U < 1
+        let s = mk(&[(2, 10, 2), (2, 10, 3)]);
+        assert!(!edf_schedulable(&s, 1_000_000).unwrap());
+        // and a feasible constrained set passes
+        let s = mk(&[(1, 10, 2), (1, 10, 3)]);
+        assert!(edf_schedulable(&s, 1_000_000).unwrap());
+    }
+
+    #[test]
+    fn edf_horizon_budget() {
+        let s = mk(&[(1, 9973, 9973), (1, 9967, 9967)]);
+        assert!(matches!(
+            edf_schedulable(&s, 10),
+            Err(ProcessError::BudgetExhausted(_))
+        ));
+    }
+
+    #[test]
+    fn empty_set_schedulable_everywhere() {
+        let s = ProcessSet::new();
+        assert!(rm_schedulable_by_bound(&s));
+        assert!(rm_schedulable_exact(&s).unwrap());
+        assert!(edf_schedulable(&s, 10).unwrap());
+        assert_eq!(utilization(&s), 0.0);
+    }
+
+    #[test]
+    fn edf_dominates_rm() {
+        // any RM-schedulable implicit-deadline set is EDF-schedulable
+        for specs in [
+            vec![(1u64, 4u64, 4u64), (2, 6, 6), (3, 13, 13)],
+            vec![(1, 2, 2), (2, 4, 4)],
+            vec![(2, 5, 5), (1, 7, 7), (1, 11, 11)],
+        ] {
+            let s = mk(&specs);
+            if rm_schedulable_exact(&s).unwrap() {
+                assert!(edf_schedulable(&s, 10_000_000).unwrap(), "{specs:?}");
+            }
+        }
+    }
+}

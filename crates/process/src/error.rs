@@ -1,0 +1,79 @@
+//! Error type for the process-model crate.
+
+use std::fmt;
+
+/// Errors produced by process-set construction and analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProcessError {
+    /// A process identifier is out of range.
+    UnknownProcess(usize),
+    /// A process was declared with zero period.
+    ZeroPeriod(String),
+    /// A process was declared with zero deadline.
+    ZeroDeadline(String),
+    /// A process's computation time exceeds its deadline.
+    ComputationExceedsDeadline {
+        /// Offending process name.
+        name: String,
+        /// Computation time.
+        computation: u64,
+        /// Deadline.
+        deadline: u64,
+    },
+    /// Analysis horizon exceeded a budget (e.g. huge hyperperiod).
+    BudgetExhausted(&'static str),
+    /// A model-level error surfaced during naive synthesis.
+    Model(rtcg_core::ModelError),
+}
+
+impl fmt::Display for ProcessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProcessError::UnknownProcess(i) => write!(f, "unknown process #{i}"),
+            ProcessError::ZeroPeriod(n) => write!(f, "process `{n}` has zero period"),
+            ProcessError::ZeroDeadline(n) => write!(f, "process `{n}` has zero deadline"),
+            ProcessError::ComputationExceedsDeadline {
+                name,
+                computation,
+                deadline,
+            } => write!(
+                f,
+                "process `{name}`: computation {computation} > deadline {deadline}"
+            ),
+            ProcessError::BudgetExhausted(what) => write!(f, "budget exhausted during {what}"),
+            ProcessError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProcessError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProcessError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rtcg_core::ModelError> for ProcessError {
+    fn from(e: rtcg_core::ModelError) -> Self {
+        ProcessError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ProcessError::UnknownProcess(3).to_string().contains('3'));
+        assert!(ProcessError::ZeroPeriod("p".into()).to_string().contains("p"));
+        let e = ProcessError::ComputationExceedsDeadline {
+            name: "q".into(),
+            computation: 9,
+            deadline: 4,
+        };
+        assert!(e.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,36 @@
+//! # rtcg-process — the process-based baseline model of \[MOK 83\]
+//!
+//! The paper contrasts its graph-based model with *process-based models*:
+//! "critical timing constraints are specified by permitting a process to
+//! have a deadline and/or repetition period attribute" and cites the
+//! author's dissertation for scheduling results. This crate is that
+//! baseline substrate, built from scratch:
+//!
+//! * [`process`] — periodic/sporadic process sets with computation time,
+//!   period and deadline attributes;
+//! * [`analysis`] — classical schedulability analysis: utilization, the
+//!   Liu–Layland rate-monotonic bound, exact response-time analysis for
+//!   fixed priorities, and the EDF processor-demand criterion;
+//! * [`naive`] — the paper's *straightforward* synthesis: "map each
+//!   periodic/asynchronous timing constraint `(C,p,d)` into a
+//!   periodic/asynchronous process `T'` where the body of `T'` is a
+//!   straight-line program which is any topological sort of the
+//!   operations in the task graph `C`", with monitors guarding functional
+//!   elements shared between constraints. This is the baseline the
+//!   latency-scheduling experiments (E6) compare against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod error;
+pub mod naive;
+pub mod process;
+
+pub use analysis::{
+    edf_schedulable, liu_layland_bound, rm_schedulable_by_bound, rm_schedulable_exact,
+    response_time, utilization,
+};
+pub use error::ProcessError;
+pub use naive::{naive_synthesis, NaiveSynthesis, SynthesizedProcess};
+pub use process::{Process, ProcessId, ProcessKind, ProcessSet};

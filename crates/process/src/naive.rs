@@ -1,0 +1,267 @@
+//! The paper's naive process synthesis ("Synthesis Techniques", ¶1).
+//!
+//! "A straightforward way to implement an instance of our graph-based
+//! model is to map each periodic/asynchronous timing constraint `(C,p,d)`
+//! into a periodic/asynchronous (i.e., demand driven) process `T'` where
+//! the body of `T'` consists of a straight-line program which is any
+//! topological sort of the operations in the task graph `C`. The
+//! computation time `c` of the process `T'` is then the computation time
+//! of `C`. In order to enforce pipeline ordering, we create a monitor for
+//! each functional element that occurs in two or more timing
+//! constraints."
+//!
+//! "However, this approach is inefficient since it does not take
+//! advantage of operations that are common to two or more timing
+//! constraints. For example, if `p_x` is equal to `p_y` […] there is no
+//! reason why `f_S` should be executed twice per period."
+//!
+//! [`naive_synthesis`] performs exactly this mapping and quantifies the
+//! inefficiency: [`NaiveSynthesis::redundant_work_rate`] measures the
+//! processor time per tick spent re-executing shared elements that a
+//! merged (latency-scheduled) implementation runs once.
+
+use crate::error::ProcessError;
+use crate::process::{Process, ProcessId, ProcessKind, ProcessSet};
+use rtcg_core::constraint::ConstraintKind;
+use rtcg_core::model::{ElementId, Model};
+
+/// One synthesized process: the straight-line body plus its attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthesizedProcess {
+    /// Index in the generated [`ProcessSet`].
+    pub id: ProcessId,
+    /// The straight-line body: element executions in topological order.
+    pub body: Vec<ElementId>,
+    /// Elements of the body that are guarded by monitors (shared with
+    /// another constraint's process).
+    pub monitored: Vec<ElementId>,
+}
+
+/// Output of the naive synthesis.
+#[derive(Debug, Clone)]
+pub struct NaiveSynthesis {
+    /// The generated process set (one process per timing constraint, in
+    /// declaration order).
+    pub set: ProcessSet,
+    /// Straight-line bodies and monitor annotations, parallel to `set`.
+    pub programs: Vec<SynthesizedProcess>,
+    /// Elements for which a monitor was created (used by ≥ 2 constraints).
+    pub monitors: Vec<ElementId>,
+}
+
+impl NaiveSynthesis {
+    /// Long-run processor demand (time per tick) of the naive
+    /// implementation, with every constraint invoked at its maximum rate:
+    /// `Σᵢ wᵢ/pᵢ`.
+    pub fn demand_rate(&self) -> f64 {
+        crate::analysis::utilization(&self.set)
+    }
+
+    /// Long-run processor demand of an implementation that executes each
+    /// *shared* element once per "round" at the fastest participating
+    /// rate instead of once per constraint — the paper's motivating
+    /// saving. Elements used by a single constraint are unchanged.
+    pub fn merged_demand_rate(&self, model: &Model) -> Result<f64, ProcessError> {
+        let comm = model.comm();
+        let mut rate = 0.0;
+        // per element: max over constraints of (count·1/p) instead of sum
+        let mut per_elem: std::collections::BTreeMap<ElementId, f64> =
+            std::collections::BTreeMap::new();
+        for c in model.constraints() {
+            for (elem, count) in c.task.element_usage() {
+                let r = count as f64 / c.period as f64;
+                let e = per_elem.entry(elem).or_insert(0.0);
+                if r > *e {
+                    *e = r;
+                }
+            }
+        }
+        for (elem, r) in per_elem {
+            rate += comm.wcet(elem).map_err(ProcessError::from)? as f64 * r;
+        }
+        Ok(rate)
+    }
+
+    /// Processor time per tick wasted on redundant executions of shared
+    /// elements: `demand_rate − merged_demand_rate`.
+    pub fn redundant_work_rate(&self, model: &Model) -> Result<f64, ProcessError> {
+        Ok(self.demand_rate() - self.merged_demand_rate(model)?)
+    }
+}
+
+/// Maps each timing constraint of the model to a process (see module
+/// docs).
+pub fn naive_synthesis(model: &Model) -> Result<NaiveSynthesis, ProcessError> {
+    model.validate().map_err(ProcessError::from)?;
+    let comm = model.comm();
+
+    // elements used by ≥ 2 constraints get monitors
+    let shared: Vec<ElementId> = rtcg_core::analysis::shared_elements(model);
+
+    let mut set = ProcessSet::new();
+    let mut programs = Vec::with_capacity(model.constraints().len());
+    for c in model.constraints() {
+        let body: Vec<ElementId> = c
+            .task
+            .topo_ops()
+            .into_iter()
+            .map(|op| c.task.element_of(op).expect("live op"))
+            .collect();
+        let wcet = c.task.computation_time(comm).map_err(ProcessError::from)?;
+        let id = set.add(Process {
+            name: c.name.clone(),
+            wcet,
+            period: c.period,
+            deadline: c.deadline,
+            kind: match c.kind {
+                ConstraintKind::Periodic => ProcessKind::Periodic,
+                ConstraintKind::Asynchronous => ProcessKind::Sporadic,
+            },
+        })?;
+        let monitored: Vec<ElementId> = body
+            .iter()
+            .copied()
+            .filter(|e| shared.contains(e))
+            .collect();
+        programs.push(SynthesizedProcess {
+            id,
+            body,
+            monitored,
+        });
+    }
+    Ok(NaiveSynthesis {
+        set,
+        programs,
+        monitors: shared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcg_core::model::ModelBuilder;
+    use rtcg_core::task::TaskGraphBuilder;
+
+    /// The paper's p_x == p_y situation: two chains sharing fS (and fK).
+    fn shared_fs_model(px: u64, py: u64) -> Model {
+        let mut b = ModelBuilder::new();
+        let fx = b.element("fx", 1);
+        let fy = b.element("fy", 1);
+        let fs = b.element("fs", 2);
+        b.channel(fx, fs).channel(fy, fs);
+        let tx = TaskGraphBuilder::new()
+            .op("x", fx)
+            .op("s", fs)
+            .edge("x", "s")
+            .build()
+            .unwrap();
+        let ty = TaskGraphBuilder::new()
+            .op("y", fy)
+            .op("s", fs)
+            .edge("y", "s")
+            .build()
+            .unwrap();
+        b.periodic("cx", tx, px, px);
+        b.periodic("cy", ty, py, py);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn one_process_per_constraint() {
+        let m = shared_fs_model(10, 10);
+        let n = naive_synthesis(&m).unwrap();
+        assert_eq!(n.set.len(), 2);
+        assert_eq!(n.programs.len(), 2);
+        assert_eq!(n.set.processes()[0].name, "cx");
+        assert_eq!(n.set.processes()[0].wcet, 3); // fx + fs
+        assert_eq!(n.set.processes()[1].wcet, 3);
+    }
+
+    #[test]
+    fn bodies_are_topological() {
+        let m = shared_fs_model(10, 10);
+        let n = naive_synthesis(&m).unwrap();
+        let comm = m.comm();
+        let names: Vec<&str> = n.programs[0]
+            .body
+            .iter()
+            .map(|&e| comm.name(e))
+            .collect();
+        assert_eq!(names, vec!["fx", "fs"]);
+    }
+
+    #[test]
+    fn shared_element_gets_monitor() {
+        let m = shared_fs_model(10, 10);
+        let n = naive_synthesis(&m).unwrap();
+        assert_eq!(n.monitors.len(), 1);
+        assert_eq!(m.comm().name(n.monitors[0]), "fs");
+        // both programs mark fs as monitored
+        for prog in &n.programs {
+            assert_eq!(prog.monitored.len(), 1);
+        }
+    }
+
+    #[test]
+    fn paper_inefficiency_quantified() {
+        // p_x == p_y == 10: naive runs fs twice per 10 ticks, merged once.
+        let m = shared_fs_model(10, 10);
+        let n = naive_synthesis(&m).unwrap();
+        // naive: (1+2)/10 + (1+2)/10 = 0.6
+        assert!((n.demand_rate() - 0.6).abs() < 1e-9);
+        // merged: fx 1/10 + fy 1/10 + fs 2/10 = 0.4
+        assert!((n.merged_demand_rate(&m).unwrap() - 0.4).abs() < 1e-9);
+        // redundancy = one extra fs per period = 0.2
+        assert!((n.redundant_work_rate(&m).unwrap() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_sharing_no_redundancy() {
+        let mut b = ModelBuilder::new();
+        let a = b.element("a", 1);
+        let c = b.element("c", 1);
+        let ta = TaskGraphBuilder::new().op("a", a).build().unwrap();
+        let tc = TaskGraphBuilder::new().op("c", c).build().unwrap();
+        b.periodic("ca", ta, 4, 4);
+        b.periodic("cc", tc, 6, 6);
+        let m = b.build().unwrap();
+        let n = naive_synthesis(&m).unwrap();
+        assert!(n.monitors.is_empty());
+        assert!(n.redundant_work_rate(&m).unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn different_rates_share_at_fastest() {
+        // p_x = 5, p_y = 10: merged fs rate = max(1/5, 1/10) = 1/5
+        let m = shared_fs_model(5, 10);
+        let n = naive_synthesis(&m).unwrap();
+        // naive: 3/5 + 3/10 = 0.9 ; merged: 1/5 + 1/10 + 2/5 = 0.7
+        assert!((n.demand_rate() - 0.9).abs() < 1e-9);
+        assert!((n.merged_demand_rate(&m).unwrap() - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn asynchronous_constraints_become_sporadic() {
+        let mut b = ModelBuilder::new();
+        let z = b.element("z", 1);
+        let tz = TaskGraphBuilder::new().op("z", z).build().unwrap();
+        b.asynchronous("cz", tz, 7, 5);
+        let m = b.build().unwrap();
+        let n = naive_synthesis(&m).unwrap();
+        assert_eq!(n.set.processes()[0].kind, ProcessKind::Sporadic);
+        assert_eq!(n.set.processes()[0].period, 7);
+        assert_eq!(n.set.processes()[0].deadline, 5);
+    }
+
+    #[test]
+    fn mok_example_synthesis() {
+        let (m, _) = rtcg_core::mok_example::default_model();
+        let n = naive_synthesis(&m).unwrap();
+        assert_eq!(n.set.len(), 3);
+        // fS and fK are shared between x-chain and y-chain
+        let names: Vec<&str> = n.monitors.iter().map(|&e| m.comm().name(e)).collect();
+        assert!(names.contains(&"fS"));
+        assert!(names.contains(&"fK"));
+        assert!(n.redundant_work_rate(&m).unwrap() > 0.0);
+    }
+}

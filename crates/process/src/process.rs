@@ -1,0 +1,195 @@
+//! Periodic/sporadic process sets — the \[MOK 83\] task model.
+
+use crate::error::ProcessError;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a process within a [`ProcessSet`] (declaration index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessId(pub u32);
+
+impl ProcessId {
+    /// Raw index into the set.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Invocation discipline of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProcessKind {
+    /// Released every `period` ticks starting at time 0.
+    Periodic,
+    /// Released at arbitrary instants with at least `period` separation
+    /// (analysed at its worst-case, maximum-rate arrival pattern).
+    Sporadic,
+}
+
+/// A process with the classical real-time attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Process {
+    /// Human-readable name.
+    pub name: String,
+    /// Worst-case computation time per release.
+    pub wcet: u64,
+    /// Period (periodic) or minimum inter-arrival separation (sporadic).
+    pub period: u64,
+    /// Relative deadline.
+    pub deadline: u64,
+    /// Periodic or sporadic.
+    pub kind: ProcessKind,
+}
+
+impl Process {
+    /// Utilization `wcet / period` of this process.
+    pub fn utilization(&self) -> f64 {
+        self.wcet as f64 / self.period as f64
+    }
+
+    /// True when the relative deadline is at most the period
+    /// ("constrained deadline").
+    pub fn constrained(&self) -> bool {
+        self.deadline <= self.period
+    }
+}
+
+/// An ordered collection of processes (one processor).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessSet {
+    processes: Vec<Process>,
+}
+
+impl ProcessSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a process after validating its attributes.
+    pub fn add(&mut self, p: Process) -> Result<ProcessId, ProcessError> {
+        if p.period == 0 {
+            return Err(ProcessError::ZeroPeriod(p.name));
+        }
+        if p.deadline == 0 {
+            return Err(ProcessError::ZeroDeadline(p.name));
+        }
+        if p.wcet > p.deadline {
+            return Err(ProcessError::ComputationExceedsDeadline {
+                name: p.name,
+                computation: p.wcet,
+                deadline: p.deadline,
+            });
+        }
+        let id = ProcessId(self.processes.len() as u32);
+        self.processes.push(p);
+        Ok(id)
+    }
+
+    /// All processes in declaration order.
+    pub fn processes(&self) -> &[Process] {
+        &self.processes
+    }
+
+    /// The process behind `id`.
+    pub fn get(&self, id: ProcessId) -> Result<&Process, ProcessError> {
+        self.processes
+            .get(id.index())
+            .ok_or(ProcessError::UnknownProcess(id.index()))
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.processes.is_empty()
+    }
+
+    /// Hyperperiod (LCM of periods); 1 for an empty set.
+    pub fn hyperperiod(&self) -> u64 {
+        rtcg_core::time::lcm_all(self.processes.iter().map(|p| p.period))
+    }
+
+    /// Process ids ordered by *rate-monotonic* priority (shorter period =
+    /// higher priority; ties by declaration order).
+    pub fn rm_order(&self) -> Vec<ProcessId> {
+        let mut ids: Vec<ProcessId> = (0..self.processes.len() as u32).map(ProcessId).collect();
+        ids.sort_by_key(|id| (self.processes[id.index()].period, id.0));
+        ids
+    }
+
+    /// Process ids ordered by *deadline-monotonic* priority (shorter
+    /// relative deadline = higher priority; ties by declaration order).
+    pub fn dm_order(&self) -> Vec<ProcessId> {
+        let mut ids: Vec<ProcessId> = (0..self.processes.len() as u32).map(ProcessId).collect();
+        ids.sort_by_key(|id| (self.processes[id.index()].deadline, id.0));
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(name: &str, wcet: u64, period: u64, deadline: u64) -> Process {
+        Process {
+            name: name.into(),
+            wcet,
+            period,
+            deadline,
+            kind: ProcessKind::Periodic,
+        }
+    }
+
+    #[test]
+    fn add_and_query() {
+        let mut s = ProcessSet::new();
+        let a = s.add(p("a", 1, 4, 4)).unwrap();
+        let b = s.add(p("b", 2, 6, 5)).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(a).unwrap().name, "a");
+        assert_eq!(s.get(b).unwrap().deadline, 5);
+        assert!(s.get(ProcessId(9)).is_err());
+        assert_eq!(s.hyperperiod(), 12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_attributes() {
+        let mut s = ProcessSet::new();
+        assert!(matches!(
+            s.add(p("z", 1, 0, 4)),
+            Err(ProcessError::ZeroPeriod(_))
+        ));
+        assert!(matches!(
+            s.add(p("z", 1, 4, 0)),
+            Err(ProcessError::ZeroDeadline(_))
+        ));
+        assert!(matches!(
+            s.add(p("z", 5, 8, 4)),
+            Err(ProcessError::ComputationExceedsDeadline { .. })
+        ));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn priority_orders() {
+        let mut s = ProcessSet::new();
+        let a = s.add(p("a", 1, 10, 3)).unwrap();
+        let b = s.add(p("b", 1, 5, 5)).unwrap();
+        let c = s.add(p("c", 1, 5, 4)).unwrap();
+        // RM: shortest period first; tie between b and c broken by index
+        assert_eq!(s.rm_order(), vec![b, c, a]);
+        // DM: shortest deadline first: a(3), c(4), b(5)
+        assert_eq!(s.dm_order(), vec![a, c, b]);
+    }
+
+    #[test]
+    fn utilization_and_constrained() {
+        let proc = p("a", 2, 8, 6);
+        assert!((proc.utilization() - 0.25).abs() < 1e-9);
+        assert!(proc.constrained());
+        let proc = p("b", 2, 4, 6);
+        assert!(!proc.constrained());
+    }
+}

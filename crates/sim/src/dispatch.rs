@@ -1,0 +1,279 @@
+//! Micro-dispatchers: the per-tick cost of run-time scheduling.
+//!
+//! "Even though optimal static schedules are hard to compute in general
+//! … the run-time scheduler is very efficient once a feasible static
+//! schedule has been found off-line." This module isolates exactly that
+//! cost so E7 can measure it: the table-driven dispatcher does one array
+//! read per tick; a dynamic EDF dispatcher maintains a binary heap of
+//! ready jobs; an LLF dispatcher must rescan laxities every tick (laxity
+//! changes as time passes, so a heap cannot be kept valid).
+
+use rtcg_core::model::ElementId;
+use rtcg_core::schedule::{Action, StaticSchedule};
+use rtcg_core::time::Time;
+use std::collections::BinaryHeap;
+
+/// A per-tick dispatcher: returns what to run at each tick.
+pub trait Dispatcher {
+    /// Advance one tick and return the element to execute (or `None` to
+    /// idle).
+    fn next(&mut self) -> Option<ElementId>;
+}
+
+/// Table-driven dispatcher: O(1) array read per tick (round-robin over
+/// the expanded static schedule).
+#[derive(Debug, Clone)]
+pub struct TableDispatcher {
+    slots: Vec<Option<ElementId>>,
+    pos: usize,
+}
+
+impl TableDispatcher {
+    /// Expands a static schedule into per-tick slots. `wcet_of` supplies
+    /// element weights.
+    pub fn new(schedule: &StaticSchedule, mut wcet_of: impl FnMut(ElementId) -> Time) -> Self {
+        let mut slots = Vec::new();
+        for &a in schedule.actions() {
+            match a {
+                Action::Idle => slots.push(None),
+                Action::Run(e) => {
+                    for _ in 0..wcet_of(e).max(1) {
+                        slots.push(Some(e));
+                    }
+                }
+            }
+        }
+        TableDispatcher { slots, pos: 0 }
+    }
+
+    /// Table length in ticks.
+    pub fn period(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl Dispatcher for TableDispatcher {
+    fn next(&mut self) -> Option<ElementId> {
+        let out = self.slots[self.pos];
+        self.pos += 1;
+        if self.pos == self.slots.len() {
+            self.pos = 0;
+        }
+        out
+    }
+}
+
+/// A synthetic ready job for the dynamic dispatchers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadyJob {
+    /// Element to run.
+    pub element: ElementId,
+    /// Absolute deadline.
+    pub deadline: Time,
+    /// Remaining work.
+    pub remaining: Time,
+    /// Release period (the job re-releases this long after its release).
+    pub period: Time,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HeapEntry {
+    deadline: Time,
+    ix: usize,
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-deadline-first
+        other
+            .deadline
+            .cmp(&self.deadline)
+            .then(other.ix.cmp(&self.ix))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// EDF dispatcher over a fixed set of periodic jobs: heap pop/push per
+/// tick, O(log n).
+#[derive(Debug, Clone)]
+pub struct EdfDispatcher {
+    jobs: Vec<ReadyJob>,
+    heap: BinaryHeap<HeapEntry>,
+    now: Time,
+}
+
+impl EdfDispatcher {
+    /// Builds a dispatcher over synthetic periodic jobs (each re-released
+    /// `period` after completion).
+    pub fn new(jobs: Vec<ReadyJob>) -> Self {
+        let heap = jobs
+            .iter()
+            .enumerate()
+            .map(|(ix, j)| HeapEntry {
+                deadline: j.deadline,
+                ix,
+            })
+            .collect();
+        EdfDispatcher { jobs, heap, now: 0 }
+    }
+}
+
+impl Dispatcher for EdfDispatcher {
+    fn next(&mut self) -> Option<ElementId> {
+        self.now += 1;
+        let entry = self.heap.pop()?;
+        let job = &mut self.jobs[entry.ix];
+        let elem = job.element;
+        job.remaining = job.remaining.saturating_sub(1);
+        if job.remaining == 0 {
+            // re-release the next instance
+            job.deadline += job.period;
+            job.remaining = job.period / 2 + 1;
+        }
+        self.heap.push(HeapEntry {
+            deadline: job.deadline,
+            ix: entry.ix,
+        });
+        Some(elem)
+    }
+}
+
+/// LLF dispatcher: linear scan per tick, O(n) (laxity decays with time,
+/// invalidating any precomputed order).
+#[derive(Debug, Clone)]
+pub struct LlfDispatcher {
+    jobs: Vec<ReadyJob>,
+    now: Time,
+}
+
+impl LlfDispatcher {
+    /// Builds a dispatcher over synthetic periodic jobs.
+    pub fn new(jobs: Vec<ReadyJob>) -> Self {
+        LlfDispatcher { jobs, now: 0 }
+    }
+}
+
+impl Dispatcher for LlfDispatcher {
+    fn next(&mut self) -> Option<ElementId> {
+        self.now += 1;
+        let now = self.now;
+        let ix = self
+            .jobs
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, j)| (j.deadline.saturating_sub(now + j.remaining), *i))
+            .map(|(i, _)| i)?;
+        let job = &mut self.jobs[ix];
+        let elem = job.element;
+        job.remaining = job.remaining.saturating_sub(1);
+        if job.remaining == 0 {
+            job.deadline += job.period;
+            job.remaining = job.period / 2 + 1;
+        }
+        Some(elem)
+    }
+}
+
+/// Builds `n` synthetic ready jobs for dispatcher benchmarks.
+pub fn synthetic_jobs(n: usize) -> Vec<ReadyJob> {
+    (0..n)
+        .map(|i| ReadyJob {
+            element: ElementId::new(i as u32),
+            deadline: (i as Time + 2) * 3,
+            remaining: (i as Time % 5) + 1,
+            period: (i as Time % 7) * 2 + 4,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_dispatcher_cycles() {
+        let e = ElementId::new(0);
+        let s = StaticSchedule::new(vec![Action::Run(e), Action::Idle]);
+        let mut d = TableDispatcher::new(&s, |_| 2);
+        assert_eq!(d.period(), 3);
+        assert_eq!(d.next(), Some(e));
+        assert_eq!(d.next(), Some(e));
+        assert_eq!(d.next(), None);
+        // wraps around
+        assert_eq!(d.next(), Some(e));
+    }
+
+    #[test]
+    fn edf_dispatcher_picks_earliest_deadline() {
+        let jobs = vec![
+            ReadyJob {
+                element: ElementId::new(0),
+                deadline: 10,
+                remaining: 3,
+                period: 10,
+            },
+            ReadyJob {
+                element: ElementId::new(1),
+                deadline: 5,
+                remaining: 2,
+                period: 10,
+            },
+        ];
+        let mut d = EdfDispatcher::new(jobs);
+        assert_eq!(d.next(), Some(ElementId::new(1)));
+        assert_eq!(d.next(), Some(ElementId::new(1)));
+        // job 1 re-released with deadline 15; job 0 (dl 10) now earliest
+        assert_eq!(d.next(), Some(ElementId::new(0)));
+    }
+
+    #[test]
+    fn llf_dispatcher_picks_least_laxity() {
+        let jobs = vec![
+            ReadyJob {
+                element: ElementId::new(0),
+                deadline: 20,
+                remaining: 1,
+                period: 8,
+            },
+            ReadyJob {
+                element: ElementId::new(1),
+                deadline: 10,
+                remaining: 8,
+                period: 8,
+            },
+        ];
+        // laxities at t=1: job0: 20-1-1=18, job1: 10-1-8=1 → job1
+        let mut d = LlfDispatcher::new(jobs);
+        assert_eq!(d.next(), Some(ElementId::new(1)));
+    }
+
+    #[test]
+    fn dispatchers_never_stall_on_nonempty_jobs() {
+        let mut edf = EdfDispatcher::new(synthetic_jobs(16));
+        let mut llf = LlfDispatcher::new(synthetic_jobs(16));
+        for _ in 0..10_000 {
+            assert!(edf.next().is_some());
+            assert!(llf.next().is_some());
+        }
+    }
+
+    #[test]
+    fn synthetic_jobs_well_formed() {
+        let jobs = synthetic_jobs(32);
+        assert_eq!(jobs.len(), 32);
+        assert!(jobs.iter().all(|j| j.remaining >= 1 && j.period >= 4));
+    }
+
+    #[test]
+    fn empty_dispatchers_idle() {
+        let mut edf = EdfDispatcher::new(vec![]);
+        assert_eq!(edf.next(), None);
+        let mut llf = LlfDispatcher::new(vec![]);
+        assert_eq!(llf.next(), None);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for the simulation crate.
+
+use std::fmt;
+
+/// Errors produced by simulators and generators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Horizon must be positive.
+    ZeroHorizon,
+    /// The number of arrival streams did not match the number of
+    /// processes/constraints.
+    ArrivalStreamMismatch {
+        /// Streams supplied.
+        got: usize,
+        /// Streams expected.
+        expected: usize,
+    },
+    /// A process body referenced an element missing from the graph.
+    Model(rtcg_core::ModelError),
+    /// A process-set error.
+    Process(rtcg_process::ProcessError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ZeroHorizon => write!(f, "simulation horizon must be positive"),
+            SimError::ArrivalStreamMismatch { got, expected } => {
+                write!(f, "expected {expected} arrival streams, got {got}")
+            }
+            SimError::Model(e) => write!(f, "model error: {e}"),
+            SimError::Process(e) => write!(f, "process error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Model(e) => Some(e),
+            SimError::Process(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rtcg_core::ModelError> for SimError {
+    fn from(e: rtcg_core::ModelError) -> Self {
+        SimError::Model(e)
+    }
+}
+
+impl From<rtcg_process::ProcessError> for SimError {
+    fn from(e: rtcg_process::ProcessError) -> Self {
+        SimError::Process(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(SimError::ZeroHorizon.to_string().contains("horizon"));
+        let e = SimError::ArrivalStreamMismatch { got: 1, expected: 3 };
+        assert!(e.to_string().contains('3'));
+    }
+}

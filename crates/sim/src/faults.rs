@@ -1,0 +1,285 @@
+//! Fault injection over execution traces.
+//!
+//! The paper's conclusion proposes "devis\[ing\] more domain-specific
+//! fault-tolerance techniques" on top of the model, reasoning about "the
+//! data values that are being passed along the edges". The prerequisite
+//! for any such technique is knowing how a schedule *degrades* when
+//! executions are lost — an element instance that produces a garbage
+//! value (a transient fault) is, for timing purposes, an execution that
+//! never happened. This module injects exactly that: it erases selected
+//! instances from a trace (turning their slots idle) and re-runs the
+//! exact window analysis, measuring how many faults a schedule absorbs
+//! before constraints start missing — its *fault margin*.
+
+use crate::error::SimError;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rtcg_core::model::{ElementId, Model};
+use rtcg_core::time::Time;
+use rtcg_core::trace::{Slot, Trace};
+
+/// Which instances to erase.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultPlan {
+    /// Erase each instance independently with probability
+    /// `permille/1000`, from a seeded RNG.
+    Random {
+        /// Per-instance drop probability in permille.
+        permille: u32,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Erase every instance of the element that *starts* in
+    /// `[from, to)`.
+    Window {
+        /// Element whose instances are hit.
+        element: ElementId,
+        /// Window start (inclusive).
+        from: Time,
+        /// Window end (exclusive).
+        to: Time,
+    },
+    /// Erase the `k`-th instance (in start order) of the element.
+    Nth {
+        /// Element whose instance is hit.
+        element: ElementId,
+        /// 0-based instance index.
+        k: usize,
+    },
+}
+
+/// Applies the plan: returns the degraded trace and the number of
+/// instances erased.
+pub fn inject(trace: &Trace, plan: &FaultPlan) -> (Trace, usize) {
+    let instances = trace.instances();
+    let mut doomed: Vec<(Time, Time)> = Vec::new(); // [start, finish)
+    match plan {
+        FaultPlan::Random { permille, seed } => {
+            let mut rng = ChaCha8Rng::seed_from_u64(*seed);
+            for inst in &instances {
+                if rng.gen_range(0..1000) < *permille {
+                    doomed.push((inst.start, inst.finish()));
+                }
+            }
+        }
+        FaultPlan::Window { element, from, to } => {
+            for inst in &instances {
+                if inst.element == *element && inst.start >= *from && inst.start < *to {
+                    doomed.push((inst.start, inst.finish()));
+                }
+            }
+        }
+        FaultPlan::Nth { element, k } => {
+            if let Some(inst) = instances
+                .iter()
+                .filter(|i| i.element == *element)
+                .nth(*k)
+            {
+                doomed.push((inst.start, inst.finish()));
+            }
+        }
+    }
+    let mut slots = trace.slots().to_vec();
+    for &(a, b) in &doomed {
+        for slot in slots.iter_mut().take(b as usize).skip(a as usize) {
+            *slot = Slot::Idle;
+        }
+    }
+    (Trace::from_slots(slots), doomed.len())
+}
+
+/// Outcome of checking a degraded trace against a model's asynchronous
+/// constraints over every window inside `[0, horizon)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradationReport {
+    /// Windows checked.
+    pub windows: usize,
+    /// Windows missing an execution after the faults.
+    pub violated: usize,
+}
+
+impl DegradationReport {
+    /// True when no window was violated.
+    pub fn intact(&self) -> bool {
+        self.violated == 0
+    }
+}
+
+/// Checks every deadline window of every asynchronous constraint whose
+/// window closes within the trace.
+pub fn check_degradation(
+    model: &Model,
+    trace: &Trace,
+) -> Result<DegradationReport, SimError> {
+    let comm = model.comm();
+    let mut windows = 0usize;
+    let mut violated = 0usize;
+    for (_, c) in model.asynchronous() {
+        let d = c.deadline;
+        if trace.len() < d {
+            continue;
+        }
+        for s in 0..=(trace.len() - d) {
+            windows += 1;
+            if !trace.executed_within(&c.task, comm, s, s + d)? {
+                violated += 1;
+            }
+        }
+    }
+    Ok(DegradationReport { windows, violated })
+}
+
+/// The *fault margin* of a schedule w.r.t. one element: the largest
+/// number of consecutive instances of `element` (starting from the
+/// `k`-th) that can be erased before some window of some asynchronous
+/// constraint misses. Returns the count (capped at `cap`).
+pub fn fault_margin(
+    model: &Model,
+    trace: &Trace,
+    element: ElementId,
+    cap: usize,
+) -> Result<usize, SimError> {
+    let total = trace
+        .instances()
+        .iter()
+        .filter(|i| i.element == element)
+        .count();
+    // pick a mid-trace anchor so edge effects don't flatter the result
+    let anchor = total / 3;
+    for k in 0..cap.min(total.saturating_sub(anchor)) {
+        // erase k+1 consecutive instances starting at the anchor; after
+        // each erasure the surviving instances shift down, so erasing at
+        // the fixed anchor index walks forward through consecutive ones
+        let mut degraded = trace.clone();
+        for _ in 0..=k {
+            let (t, _) = inject(&degraded, &FaultPlan::Nth { element, k: anchor });
+            degraded = t;
+        }
+        let report = check_degradation(model, &degraded)?;
+        if !report.intact() {
+            return Ok(k);
+        }
+    }
+    Ok(cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcg_core::model::ModelBuilder;
+    use rtcg_core::schedule::{Action, StaticSchedule};
+    use rtcg_core::task::TaskGraphBuilder;
+
+    /// Single unit constraint, schedule [e φ], slack-rich deadline.
+    fn setup(d: u64) -> (Model, Trace) {
+        let mut b = ModelBuilder::new();
+        let e = b.element("e", 1);
+        let tg = TaskGraphBuilder::new().op("o", e).build().unwrap();
+        b.asynchronous("c", tg, d, d);
+        let m = b.build().unwrap();
+        let s = StaticSchedule::new(vec![Action::Run(e), Action::Idle]);
+        let t = s.expand(m.comm(), 20).unwrap();
+        (m, t)
+    }
+
+    #[test]
+    fn nth_injection_erases_one_instance() {
+        let (m, t) = setup(6);
+        let e = m.comm().lookup("e").unwrap();
+        let before = t.instances().len();
+        let (t2, n) = inject(&t, &FaultPlan::Nth { element: e, k: 3 });
+        assert_eq!(n, 1);
+        assert_eq!(t2.instances().len(), before - 1);
+        // the erased instance was at start 6 (period 2, k=3)
+        assert!(t2.instances().iter().all(|i| i.start != 6));
+    }
+
+    #[test]
+    fn window_injection_erases_range() {
+        let (m, t) = setup(6);
+        let e = m.comm().lookup("e").unwrap();
+        let (t2, n) = inject(
+            &t,
+            &FaultPlan::Window {
+                element: e,
+                from: 4,
+                to: 12,
+            },
+        );
+        // instances start at 0,2,4,...: starts 4,6,8,10 erased
+        assert_eq!(n, 4);
+        assert!(t2.instances().iter().all(|i| i.start < 4 || i.start >= 12));
+    }
+
+    #[test]
+    fn random_injection_is_seeded() {
+        let (_, t) = setup(6);
+        let plan = FaultPlan::Random {
+            permille: 300,
+            seed: 7,
+        };
+        let (a, na) = inject(&t, &plan);
+        let (b, nb) = inject(&t, &plan);
+        assert_eq!(na, nb);
+        assert_eq!(a, b);
+        assert!(na > 0, "300 permille over 20 instances should hit");
+    }
+
+    #[test]
+    fn degradation_detected_exactly_when_window_breaks() {
+        // d=3: instances every 2 ticks; erasing ONE creates a gap of 4
+        // between surviving starts: window of 3 between them misses
+        let (m, t) = setup(3);
+        let e = m.comm().lookup("e").unwrap();
+        assert!(check_degradation(&m, &t).unwrap().intact());
+        let (t2, _) = inject(&t, &FaultPlan::Nth { element: e, k: 5 });
+        let rep = check_degradation(&m, &t2).unwrap();
+        assert!(!rep.intact(), "{rep:?}");
+
+        // d=6: one erased instance still leaves an execution in every
+        // 6-window (gap 4 + span 1 ≤ 6)
+        let (m, t) = setup(6);
+        let e = m.comm().lookup("e").unwrap();
+        let (t2, _) = inject(&t, &FaultPlan::Nth { element: e, k: 5 });
+        assert!(check_degradation(&m, &t2).unwrap().intact());
+    }
+
+    #[test]
+    fn fault_margin_tracks_slack() {
+        // more deadline slack → absorbs more consecutive faults
+        let (m3, t3) = setup(3);
+        let e3 = m3.comm().lookup("e").unwrap();
+        let (m9, t9) = setup(9);
+        let e9 = m9.comm().lookup("e").unwrap();
+        let margin_tight = fault_margin(&m3, &t3, e3, 8).unwrap();
+        let margin_loose = fault_margin(&m9, &t9, e9, 8).unwrap();
+        assert!(margin_loose > margin_tight, "{margin_loose} vs {margin_tight}");
+        assert_eq!(margin_tight, 0, "d=3 tolerates no loss");
+        // d=9: gap after k losses = 2(k+1); need 2(k+1)+1 ≤ 9 → k ≤ 3
+        assert_eq!(margin_loose, 3);
+    }
+
+    #[test]
+    fn chain_constraints_degrade_through_any_member() {
+        let mut b = ModelBuilder::new();
+        let u = b.element("u", 1);
+        let v = b.element("v", 1);
+        b.channel(u, v);
+        let tg = TaskGraphBuilder::new()
+            .op("u", u)
+            .op("v", v)
+            .edge("u", "v")
+            .build()
+            .unwrap();
+        // d = 3 is exactly the schedule's latency: zero slack, so any
+        // lost execution must break some window
+        b.asynchronous("chain", tg, 3, 3);
+        let m = b.build().unwrap();
+        let s = StaticSchedule::new(vec![Action::Run(u), Action::Run(v)]);
+        let t = s.expand(m.comm(), 20).unwrap();
+        assert!(check_degradation(&m, &t).unwrap().intact());
+        // killing a v instance breaks windows even though u is intact
+        let (t2, _) = inject(&t, &FaultPlan::Nth { element: v, k: 6 });
+        assert!(!check_degradation(&m, &t2).unwrap().intact());
+    }
+}

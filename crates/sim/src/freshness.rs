@@ -1,0 +1,325 @@
+//! Data-freshness analysis over execution traces.
+//!
+//! The paper's closing research direction: "we can pose the problems of
+//! maintaining the logical integrity of real-time systems in terms of
+//! relations on the data values that are being passed along the edges of
+//! the communication graph". The executable core of that idea is *data
+//! age*: the execution semantics say a consumer uses "the latest output"
+//! of each producer, so for every consumer instance and each in-channel
+//! we can compute how stale the consumed value was — and for any
+//! source→sink path, the end-to-end *reaction latency* (how old the
+//! source sample embedded in a sink output can be).
+//!
+//! A control engineer reads these as the sample-age guarantees of the
+//! synthesized schedule — the quantity that determines control-loop
+//! phase margin.
+
+use crate::error::SimError;
+use rtcg_core::model::{CommGraph, ElementId};
+use rtcg_core::time::Time;
+use rtcg_core::trace::{Instance, Trace};
+
+/// Age statistics of the values consumed by one element from one
+/// producer over a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelFreshness {
+    /// Producing element.
+    pub from: ElementId,
+    /// Consuming element.
+    pub to: ElementId,
+    /// Number of consumer instances that had a value available.
+    pub samples: usize,
+    /// Consumer instances that ran before any producer output existed.
+    pub starved: usize,
+    /// Worst age at consumption start: `consumer.start − producer.finish`
+    /// of the latest completed producer instance.
+    pub worst_age: Option<Time>,
+    /// Sum of ages (for averaging).
+    pub total_age: Time,
+}
+
+impl ChannelFreshness {
+    /// Mean age over sampled consumptions.
+    pub fn mean_age(&self) -> Option<f64> {
+        if self.samples == 0 {
+            None
+        } else {
+            Some(self.total_age as f64 / self.samples as f64)
+        }
+    }
+}
+
+/// Computes freshness for one communication channel over a trace: each
+/// complete consumer instance uses the latest producer instance that
+/// finished at or before the consumer's start (the paper's "latest
+/// output" rule).
+pub fn channel_freshness(
+    trace: &Trace,
+    comm: &CommGraph,
+    from: ElementId,
+    to: ElementId,
+) -> Result<ChannelFreshness, SimError> {
+    let w_from = comm.wcet(from)?;
+    let w_to = comm.wcet(to)?;
+    let by_elem = trace.instances_by_element();
+    let empty: Vec<Instance> = Vec::new();
+    let producers: Vec<&Instance> = by_elem
+        .get(&from)
+        .unwrap_or(&empty)
+        .iter()
+        .filter(|i| i.len == w_from)
+        .collect();
+    let consumers: Vec<&Instance> = by_elem
+        .get(&to)
+        .unwrap_or(&empty)
+        .iter()
+        .filter(|i| i.len == w_to)
+        .collect();
+
+    let mut out = ChannelFreshness {
+        from,
+        to,
+        samples: 0,
+        starved: 0,
+        worst_age: None,
+        total_age: 0,
+    };
+    for c in consumers {
+        // latest producer finishing at or before the consumer's start
+        let latest = producers
+            .iter()
+            .take_while(|p| p.finish() <= c.start)
+            .last();
+        match latest {
+            Some(p) => {
+                let age = c.start - p.finish();
+                out.samples += 1;
+                out.total_age += age;
+                out.worst_age = Some(out.worst_age.map_or(age, |w| w.max(age)));
+            }
+            None => out.starved += 1,
+        }
+    }
+    Ok(out)
+}
+
+/// Worst-case *reaction latency* of a producer→consumer chain over a
+/// trace: the maximum, over complete sink instances (that were not
+/// starved), of `sink.finish − source.finish` where the source value is
+/// propagated through the chain by the latest-output rule at every hop.
+///
+/// `path` lists the elements of the chain (length ≥ 2). Returns `None`
+/// when no sink instance had a fully-propagated value.
+pub fn reaction_latency(
+    trace: &Trace,
+    comm: &CommGraph,
+    path: &[ElementId],
+) -> Result<Option<Time>, SimError> {
+    if path.len() < 2 {
+        return Ok(Some(0));
+    }
+    for &e in path {
+        comm.wcet(e)?;
+    }
+    let by_elem = trace.instances_by_element();
+    let empty: Vec<Instance> = Vec::new();
+    let complete = |e: ElementId| -> Vec<Instance> {
+        let w = comm.wcet(e).expect("validated");
+        by_elem
+            .get(&e)
+            .unwrap_or(&empty)
+            .iter()
+            .filter(|i| i.len == w)
+            .copied()
+            .collect()
+    };
+    let sink_instances = complete(*path.last().expect("len >= 2"));
+    let mut worst: Option<Time> = None;
+    'sink: for sink in &sink_instances {
+        // walk backwards: at each hop, the latest upstream instance
+        // finishing at or before the downstream instance's start
+        let mut downstream = *sink;
+        for &hop in path[..path.len() - 1].iter().rev() {
+            let ups = complete(hop);
+            let latest = ups
+                .iter()
+                .take_while(|p| p.finish() <= downstream.start)
+                .last()
+                .copied();
+            match latest {
+                Some(p) => downstream = p,
+                None => continue 'sink, // starved somewhere upstream
+            }
+        }
+        let latency = sink.finish() - downstream.finish();
+        worst = Some(worst.map_or(latency, |w| w.max(latency)));
+    }
+    Ok(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcg_core::model::CommGraph;
+
+    fn comm() -> (CommGraph, ElementId, ElementId, ElementId) {
+        let mut g = CommGraph::new();
+        let a = g.add_element("a", 1).unwrap();
+        let b = g.add_element("b", 1).unwrap();
+        let c = g.add_element("c", 2).unwrap();
+        g.add_channel(a, b).unwrap();
+        g.add_channel(b, c).unwrap();
+        (g, a, b, c)
+    }
+
+    #[test]
+    fn fresh_consumption_zero_age() {
+        let (g, a, b, _) = comm();
+        let mut t = Trace::new();
+        t.push_execution(a, 1).unwrap(); // finishes 1
+        t.push_execution(b, 1).unwrap(); // starts 1 — age 0
+        let f = channel_freshness(&t, &g, a, b).unwrap();
+        assert_eq!(f.samples, 1);
+        assert_eq!(f.starved, 0);
+        assert_eq!(f.worst_age, Some(0));
+        assert_eq!(f.mean_age(), Some(0.0));
+    }
+
+    #[test]
+    fn stale_consumption_measured() {
+        let (g, a, b, _) = comm();
+        let mut t = Trace::new();
+        t.push_execution(a, 1).unwrap(); // [0,1)
+        for _ in 0..4 {
+            t.push_idle();
+        }
+        t.push_execution(b, 1).unwrap(); // starts 5 — age 4
+        t.push_execution(a, 1).unwrap(); // [6,7)
+        t.push_execution(b, 1).unwrap(); // starts 7 — age 0
+        let f = channel_freshness(&t, &g, a, b).unwrap();
+        assert_eq!(f.samples, 2);
+        assert_eq!(f.worst_age, Some(4));
+        assert_eq!(f.mean_age(), Some(2.0));
+    }
+
+    #[test]
+    fn starvation_counted() {
+        let (g, a, b, _) = comm();
+        let mut t = Trace::new();
+        t.push_execution(b, 1).unwrap(); // no producer yet
+        t.push_execution(a, 1).unwrap();
+        t.push_execution(b, 1).unwrap();
+        let f = channel_freshness(&t, &g, a, b).unwrap();
+        assert_eq!(f.starved, 1);
+        assert_eq!(f.samples, 1);
+    }
+
+    #[test]
+    fn latest_output_rule_takes_newest() {
+        let (g, a, b, _) = comm();
+        let mut t = Trace::new();
+        t.push_execution(a, 1).unwrap(); // [0,1)
+        t.push_execution(a, 1).unwrap(); // [1,2) — the latest
+        t.push_idle();
+        t.push_execution(b, 1).unwrap(); // starts 3 — age 1 (not 2)
+        let f = channel_freshness(&t, &g, a, b).unwrap();
+        assert_eq!(f.worst_age, Some(1));
+    }
+
+    #[test]
+    fn in_flight_producer_not_used() {
+        let (g, _, b, c) = comm();
+        // c is mid-execution when b... reversed: use b -> c channel;
+        // b finishes exactly at c's start → usable (finish ≤ start)
+        let mut t = Trace::new();
+        t.push_execution(b, 1).unwrap(); // [0,1)
+        t.push_execution(c, 2).unwrap(); // starts 1
+        let f = channel_freshness(&t, &g, b, c).unwrap();
+        assert_eq!(f.samples, 1);
+        assert_eq!(f.worst_age, Some(0));
+    }
+
+    #[test]
+    fn reaction_latency_over_chain() {
+        let (g, a, b, c) = comm();
+        let mut t = Trace::new();
+        t.push_execution(a, 1).unwrap(); // a: [0,1)
+        t.push_idle();
+        t.push_execution(b, 1).unwrap(); // b: [2,3) consumed a@[0,1)
+        t.push_idle();
+        t.push_execution(c, 2).unwrap(); // c: [4,6) consumed b@[2,3)
+        let r = reaction_latency(&t, &g, &[a, b, c]).unwrap();
+        // source a finishes 1, sink c finishes 6 → reaction 5
+        assert_eq!(r, Some(5));
+    }
+
+    #[test]
+    fn reaction_latency_none_when_starved() {
+        let (g, a, b, c) = comm();
+        let mut t = Trace::new();
+        t.push_execution(b, 1).unwrap();
+        t.push_execution(c, 2).unwrap(); // b had no 'a' input
+        let r = reaction_latency(&t, &g, &[a, b, c]).unwrap();
+        assert_eq!(r, None);
+    }
+
+    #[test]
+    fn reaction_latency_picks_worst_sink() {
+        let (g, a, b, _) = comm();
+        let mut t = Trace::new();
+        t.push_execution(a, 1).unwrap(); // [0,1)
+        t.push_execution(b, 1).unwrap(); // [1,2): reaction 1
+        for _ in 0..5 {
+            t.push_idle();
+        }
+        t.push_execution(b, 1).unwrap(); // [7,8): still consumes a@[0,1) → 7
+        let r = reaction_latency(&t, &g, &[a, b]).unwrap();
+        assert_eq!(r, Some(7));
+    }
+
+    #[test]
+    fn trivial_paths() {
+        let (g, a, ..) = comm();
+        let t = Trace::new();
+        assert_eq!(reaction_latency(&t, &g, &[a]).unwrap(), Some(0));
+        assert_eq!(reaction_latency(&t, &g, &[]).unwrap(), Some(0));
+    }
+
+    #[test]
+    fn unknown_elements_error() {
+        let (g, a, ..) = comm();
+        let t = Trace::new();
+        let ghost = ElementId::new(99);
+        assert!(channel_freshness(&t, &g, a, ghost).is_err());
+        assert!(reaction_latency(&t, &g, &[a, ghost]).is_err());
+    }
+
+    #[test]
+    fn schedule_freshness_end_to_end() {
+        // the quickstart-style pipeline: measure sample age under the
+        // synthesized schedule
+        use rtcg_core::model::ModelBuilder;
+        use rtcg_core::task::TaskGraphBuilder;
+        let mut bld = ModelBuilder::new();
+        let s = bld.element("sense", 1);
+        let f = bld.element("filter", 1);
+        bld.channel(s, f);
+        let tg = TaskGraphBuilder::new()
+            .op("s", s)
+            .op("f", f)
+            .edge("s", "f")
+            .build()
+            .unwrap();
+        bld.periodic("loop", tg, 8, 8);
+        let m = bld.build().unwrap();
+        let out = rtcg_core::heuristic::synthesize(&m).unwrap();
+        let trace = out.schedule.expand(out.model().comm(), 10).unwrap();
+        let ns = out.model().comm().lookup("sense").unwrap();
+        let nf = out.model().comm().lookup("filter").unwrap();
+        let fr = channel_freshness(&trace, out.model().comm(), ns, nf).unwrap();
+        assert!(fr.samples > 0);
+        assert!(fr.worst_age.unwrap() <= 8, "{fr:?}");
+        let r = reaction_latency(&trace, out.model().comm(), &[ns, nf]).unwrap();
+        assert!(r.unwrap() <= 16, "{r:?}");
+    }
+}

@@ -1,0 +1,129 @@
+//! ASCII Gantt rendering of execution traces.
+//!
+//! CONSORT had a graphics front end; the terminal equivalent for this
+//! library is a per-element timeline — one row per functional element,
+//! one column per tick — used by the CLI and the examples to make
+//! synthesized schedules inspectable at a glance.
+
+use rtcg_core::model::CommGraph;
+use rtcg_core::time::Time;
+use rtcg_core::trace::{Slot, Trace};
+use std::fmt::Write;
+
+/// Renders `trace[from..to)` as an ASCII Gantt chart. Each element used
+/// in the window gets a row; `#` marks the first tick of an execution
+/// instance, `=` continuation ticks, `.` idle. A tick ruler is printed
+/// every 10 columns.
+pub fn render_gantt(trace: &Trace, comm: &CommGraph, from: Time, to: Time) -> String {
+    let to = to.min(trace.len());
+    let from = from.min(to);
+    let width = (to - from) as usize;
+    let mut rows: Vec<(String, Vec<u8>)> = Vec::new();
+    let mut row_of = std::collections::BTreeMap::new();
+    for t in from..to {
+        if let Some(Slot::Busy { element, offset }) = trace.slot(t) {
+            let ix = *row_of.entry(element).or_insert_with(|| {
+                rows.push((comm.name(element).to_string(), vec![b'.'; width]));
+                rows.len() - 1
+            });
+            rows[ix].1[(t - from) as usize] = if offset == 0 { b'#' } else { b'=' };
+        }
+    }
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    let name_w = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(4).max(4);
+    let mut out = String::new();
+    // ruler
+    let _ = write!(out, "{:>name_w$} ", "tick");
+    for col in 0..width {
+        let t = from + col as Time;
+        out.push(if t.is_multiple_of(10) { '|' } else { ' ' });
+    }
+    out.push('\n');
+    for (name, cells) in &rows {
+        let _ = write!(out, "{name:>name_w$} ");
+        out.push_str(std::str::from_utf8(cells).expect("ascii"));
+        out.push('\n');
+    }
+    if rows.is_empty() {
+        let _ = writeln!(out, "{:>name_w$} (all idle)", "");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcg_core::model::CommGraph;
+
+    fn setup() -> (CommGraph, rtcg_core::ElementId, rtcg_core::ElementId) {
+        let mut g = CommGraph::new();
+        let a = g.add_element("alpha", 1).unwrap();
+        let b = g.add_element("b", 2).unwrap();
+        (g, a, b)
+    }
+
+    #[test]
+    fn rows_show_instances() {
+        let (g, a, b) = setup();
+        let mut t = Trace::new();
+        t.push_execution(a, 1).unwrap();
+        t.push_execution(b, 2).unwrap();
+        t.push_idle();
+        let s = render_gantt(&t, &g, 0, 4);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3); // ruler + 2 rows
+        let alpha = lines.iter().find(|l| l.contains("alpha")).unwrap();
+        assert!(alpha.ends_with("#..."));
+        let brow = lines.iter().find(|l| l.trim_start().starts_with("b ")).unwrap();
+        assert!(brow.ends_with(".#=."));
+    }
+
+    #[test]
+    fn window_clamps_to_trace() {
+        let (g, a, _) = setup();
+        let mut t = Trace::new();
+        t.push_execution(a, 1).unwrap();
+        let s = render_gantt(&t, &g, 0, 100);
+        assert!(s.contains('#'));
+        let s = render_gantt(&t, &g, 50, 100);
+        assert!(s.contains("idle") || !s.contains('#'));
+    }
+
+    #[test]
+    fn empty_trace_renders_idle() {
+        let (g, ..) = setup();
+        let t = Trace::new();
+        let s = render_gantt(&t, &g, 0, 10);
+        assert!(s.contains("all idle"));
+    }
+
+    #[test]
+    fn ruler_marks_decades() {
+        let (g, a, _) = setup();
+        let mut t = Trace::new();
+        for _ in 0..25 {
+            t.push_execution(a, 1).unwrap();
+        }
+        let s = render_gantt(&t, &g, 0, 25);
+        let ruler = s.lines().next().unwrap();
+        // pipes at ticks 0, 10, 20 (columns offset by the name gutter)
+        assert_eq!(ruler.matches('|').count(), 3);
+    }
+
+    #[test]
+    fn deterministic_row_order() {
+        let (g, a, b) = setup();
+        let mut t = Trace::new();
+        t.push_execution(b, 2).unwrap();
+        t.push_execution(a, 1).unwrap();
+        let s = render_gantt(&t, &g, 0, 3);
+        let lines: Vec<&str> = s.lines().collect();
+        // sorted by name: alpha before b
+        let ia = lines.iter().position(|l| l.contains("alpha")).unwrap();
+        let ib = lines
+            .iter()
+            .position(|l| l.trim_start().starts_with("b "))
+            .unwrap();
+        assert!(ia < ib);
+    }
+}

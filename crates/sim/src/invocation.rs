@@ -1,0 +1,205 @@
+//! Invocation-stream generators.
+//!
+//! A timing constraint is exercised by a stream of invocation instants.
+//! Periodic constraints are invoked every `p` from time 0; asynchronous
+//! constraints may be invoked "at any integral time instant t with the
+//! provision that two successive invocations […] must be at least p time
+//! units apart". The patterns here cover the cases the experiments need:
+//! the adversarial maximum-rate pattern (which latency analysis is tight
+//! against), seeded-random sporadic traffic, and bursts.
+
+use crate::error::SimError;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rtcg_core::time::Time;
+
+/// An invocation pattern for one constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvocationPattern {
+    /// Invoked every `period` ticks starting at `offset`.
+    Periodic {
+        /// Period.
+        period: Time,
+        /// First invocation instant.
+        offset: Time,
+    },
+    /// Sporadic at the maximum legal rate: every `separation` ticks from
+    /// `offset` — the worst case.
+    SporadicMaxRate {
+        /// Minimum separation.
+        separation: Time,
+        /// First invocation instant.
+        offset: Time,
+    },
+    /// Sporadic with random gaps: after each invocation the next gap is
+    /// uniform in `[separation, separation + spread]`, from a seeded RNG.
+    SporadicRandom {
+        /// Minimum separation.
+        separation: Time,
+        /// Maximum extra delay on top of the separation.
+        spread: Time,
+        /// RNG seed (streams are reproducible).
+        seed: u64,
+    },
+    /// Bursts of `burst_len` invocations `separation` apart, then a quiet
+    /// gap of `quiet` ticks.
+    SporadicBurst {
+        /// Minimum separation within a burst.
+        separation: Time,
+        /// Invocations per burst.
+        burst_len: usize,
+        /// Quiet time between bursts.
+        quiet: Time,
+    },
+}
+
+impl InvocationPattern {
+    /// Generates all invocation instants strictly below `horizon`.
+    pub fn generate(&self, horizon: Time) -> Result<Vec<Time>, SimError> {
+        if horizon == 0 {
+            return Err(SimError::ZeroHorizon);
+        }
+        let mut out = Vec::new();
+        match *self {
+            InvocationPattern::Periodic { period, offset }
+            | InvocationPattern::SporadicMaxRate {
+                separation: period,
+                offset,
+            } => {
+                let mut t = offset;
+                while t < horizon {
+                    out.push(t);
+                    t += period.max(1);
+                }
+            }
+            InvocationPattern::SporadicRandom {
+                separation,
+                spread,
+                seed,
+            } => {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let mut t: Time = rng.gen_range(0..=separation.max(1));
+                while t < horizon {
+                    out.push(t);
+                    let gap = separation + rng.gen_range(0..=spread);
+                    t += gap.max(1);
+                }
+            }
+            InvocationPattern::SporadicBurst {
+                separation,
+                burst_len,
+                quiet,
+            } => {
+                let mut t: Time = 0;
+                'outer: loop {
+                    for _ in 0..burst_len.max(1) {
+                        if t >= horizon {
+                            break 'outer;
+                        }
+                        out.push(t);
+                        t += separation.max(1);
+                    }
+                    t += quiet;
+                    if t >= horizon {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Verifies the minimum-separation contract of a stream.
+    pub fn respects_separation(stream: &[Time], separation: Time) -> bool {
+        stream.windows(2).all(|w| w[1] - w[0] >= separation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_stream() {
+        let p = InvocationPattern::Periodic {
+            period: 5,
+            offset: 2,
+        };
+        assert_eq!(p.generate(20).unwrap(), vec![2, 7, 12, 17]);
+    }
+
+    #[test]
+    fn max_rate_stream() {
+        let p = InvocationPattern::SporadicMaxRate {
+            separation: 4,
+            offset: 0,
+        };
+        let s = p.generate(13).unwrap();
+        assert_eq!(s, vec![0, 4, 8, 12]);
+        assert!(InvocationPattern::respects_separation(&s, 4));
+    }
+
+    #[test]
+    fn random_stream_reproducible_and_legal() {
+        let p = InvocationPattern::SporadicRandom {
+            separation: 3,
+            spread: 4,
+            seed: 42,
+        };
+        let a = p.generate(200).unwrap();
+        let b = p.generate(200).unwrap();
+        assert_eq!(a, b, "seeded streams are reproducible");
+        assert!(!a.is_empty());
+        assert!(InvocationPattern::respects_separation(&a, 3));
+        assert!(a.iter().all(|&t| t < 200));
+
+        let c = InvocationPattern::SporadicRandom {
+            separation: 3,
+            spread: 4,
+            seed: 43,
+        }
+        .generate(200)
+        .unwrap();
+        assert_ne!(a, c, "different seeds differ");
+    }
+
+    #[test]
+    fn burst_stream_shape() {
+        let p = InvocationPattern::SporadicBurst {
+            separation: 2,
+            burst_len: 3,
+            quiet: 10,
+        };
+        let s = p.generate(40).unwrap();
+        // bursts at 0,2,4 then next burst starts at 4+2+10=16: 16,18,20; 32,34,36
+        assert_eq!(s, vec![0, 2, 4, 16, 18, 20, 32, 34, 36]);
+        assert!(InvocationPattern::respects_separation(&s, 2));
+    }
+
+    #[test]
+    fn zero_horizon_rejected() {
+        let p = InvocationPattern::Periodic {
+            period: 5,
+            offset: 0,
+        };
+        assert_eq!(p.generate(0), Err(SimError::ZeroHorizon));
+    }
+
+    #[test]
+    fn degenerate_parameters_terminate() {
+        // separation 0 is clamped to 1 so generation terminates
+        let p = InvocationPattern::SporadicMaxRate {
+            separation: 0,
+            offset: 0,
+        };
+        let s = p.generate(5).unwrap();
+        assert_eq!(s.len(), 5);
+        let p = InvocationPattern::SporadicBurst {
+            separation: 0,
+            burst_len: 0,
+            quiet: 0,
+        };
+        let s = p.generate(5).unwrap();
+        assert!(!s.is_empty());
+    }
+}

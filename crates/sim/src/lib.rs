@@ -1,0 +1,46 @@
+//! # rtcg-sim — discrete-time execution simulation
+//!
+//! The run-time half of the methodology: given a synthesized artifact (a
+//! static schedule table or a set of processes), *run* it against
+//! invocation streams and verify the timing constraints actually hold.
+//!
+//! * [`invocation`] — invocation-stream generators: periodic, sporadic at
+//!   maximum rate (the adversarial pattern latency analysis assumes),
+//!   seeded-random sporadic, and bursty sporadic.
+//! * [`table`] — the table-driven cyclic executor generated from a
+//!   feasible static schedule, with online verification that every
+//!   invocation's deadline window contains an execution of its task
+//!   graph.
+//! * [`dynamic`] — a preemptive/non-preemptive process simulator running
+//!   EDF, RM, DM, LLF or FIFO over a \[MOK 83\] process set: job
+//!   releases, response times, deadline misses.
+//! * [`dispatch`] — micro-dispatchers (table lookup vs heap-based EDF vs
+//!   scan-based LLF) isolating the per-tick scheduling cost that the
+//!   paper's "the run-time scheduler is very efficient" claim is about
+//!   (benchmarked in E7).
+//! * [`freshness`] — data-age and reaction-latency analysis over traces:
+//!   the executable core of the paper's "logical integrity as relations
+//!   on data values passed along the edges" research direction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dispatch;
+pub mod dynamic;
+pub mod error;
+pub mod faults;
+pub mod freshness;
+pub mod gantt;
+pub mod invocation;
+pub mod monitors;
+pub mod table;
+
+pub use dispatch::{Dispatcher, EdfDispatcher, LlfDispatcher, TableDispatcher};
+pub use dynamic::{simulate_processes, Policy, Preemption, ProcessSim, SimOutcome};
+pub use error::SimError;
+pub use faults::{check_degradation, fault_margin, inject, DegradationReport, FaultPlan};
+pub use freshness::{channel_freshness, reaction_latency, ChannelFreshness};
+pub use gantt::render_gantt;
+pub use invocation::InvocationPattern;
+pub use monitors::{simulate_with_monitors, BlockingStats, MonitorOutcome, MonitorSim};
+pub use table::{run_table_executor, TableRun};

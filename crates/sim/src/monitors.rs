@@ -1,0 +1,479 @@
+//! Monitor contention simulation.
+//!
+//! The naive process synthesis guards every shared functional element
+//! with a monitor (\[HOAR 74\]); a process executing a guarded element
+//! holds its monitor for the element's whole computation time, blocking
+//! any other process that reaches an element guarded by the same
+//! monitor — classic priority inversion. "We can reduce the size of
+//! critical sections by software pipelining": after pipelining, each
+//! unit-time sub-function is its own critical section, so the worst
+//! blocking imposed on a high-priority process drops from the element's
+//! full weight to one tick. This simulator measures exactly that.
+//!
+//! Semantics: tick-preemptive scheduling (EDF or RM); a job that has
+//! begun a monitored element holds the monitor until the element
+//! completes; a job whose *next* unit would enter a held monitor is not
+//! runnable; each tick the highest-priority ready-but-blocked job
+//! accrues one tick of blocking.
+
+use crate::dynamic::Policy;
+use crate::error::SimError;
+use rtcg_core::model::{CommGraph, ElementId};
+use rtcg_core::time::Time;
+use rtcg_core::trace::{Slot, Trace};
+use rtcg_process::ProcessSet;
+use rtcg_synth::MonitorId;
+use std::collections::BTreeMap;
+
+/// Input to the monitor-aware simulator.
+#[derive(Debug, Clone)]
+pub struct MonitorSim<'a> {
+    /// Process attributes.
+    pub set: &'a ProcessSet,
+    /// Element weights.
+    pub comm: &'a CommGraph,
+    /// Straight-line bodies (element sequences).
+    pub bodies: &'a [Vec<ElementId>],
+    /// Release instants per process.
+    pub arrivals: &'a [Vec<Time>],
+    /// Which elements are guarded, and by which monitor.
+    pub monitored: &'a BTreeMap<ElementId, MonitorId>,
+}
+
+/// Per-process contention statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockingStats {
+    /// Process name.
+    pub name: String,
+    /// Jobs released.
+    pub released: usize,
+    /// Jobs that missed their deadline.
+    pub missed: usize,
+    /// Total ticks this process's top-priority job sat blocked on a
+    /// monitor held by a lower-priority job.
+    pub blocked_ticks: Time,
+    /// Longest single blocking episode.
+    pub max_blocking: Time,
+}
+
+/// Result of a monitor-aware simulation.
+#[derive(Debug, Clone)]
+pub struct MonitorOutcome {
+    /// Execution trace.
+    pub trace: Trace,
+    /// Per-process statistics.
+    pub stats: Vec<BlockingStats>,
+}
+
+impl MonitorOutcome {
+    /// True iff no deadline was missed.
+    pub fn no_misses(&self) -> bool {
+        self.stats.iter().all(|s| s.missed == 0)
+    }
+
+    /// Worst blocking episode across all processes.
+    pub fn worst_blocking(&self) -> Time {
+        self.stats.iter().map(|s| s.max_blocking).max().unwrap_or(0)
+    }
+}
+
+struct Job {
+    proc_ix: usize,
+    release: Time,
+    abs_deadline: Time,
+    slots: Vec<(ElementId, u32)>,
+    progress: usize,
+    seq: usize,
+    current_block: Time,
+}
+
+impl Job {
+    fn remaining(&self) -> usize {
+        self.slots.len() - self.progress
+    }
+
+    fn next_slot(&self) -> (ElementId, u32) {
+        self.slots[self.progress]
+    }
+}
+
+/// Runs the monitor-aware simulation for `horizon` ticks under `policy`
+/// (EDF or RM; other policies error with `ZeroHorizon`-style misuse is
+/// not possible — they are simply mapped to their priority rules too).
+pub fn simulate_with_monitors(
+    input: &MonitorSim<'_>,
+    policy: Policy,
+    horizon: Time,
+) -> Result<MonitorOutcome, SimError> {
+    if horizon == 0 {
+        return Err(SimError::ZeroHorizon);
+    }
+    let n = input.set.len();
+    if input.bodies.len() != n {
+        return Err(SimError::ArrivalStreamMismatch {
+            got: input.bodies.len(),
+            expected: n,
+        });
+    }
+    if input.arrivals.len() != n {
+        return Err(SimError::ArrivalStreamMismatch {
+            got: input.arrivals.len(),
+            expected: n,
+        });
+    }
+    let mut expanded: Vec<Vec<(ElementId, u32)>> = Vec::with_capacity(n);
+    for body in input.bodies {
+        let mut slots = Vec::new();
+        for &e in body {
+            let w = input.comm.wcet(e)?;
+            for k in 0..w {
+                slots.push((e, k as u32));
+            }
+        }
+        expanded.push(slots);
+    }
+    let rm = input.set.rm_order();
+    let dm = input.set.dm_order();
+
+    let mut pending: Vec<Job> = Vec::new();
+    let mut trace = Trace::new();
+    let mut stats: Vec<BlockingStats> = input
+        .set
+        .processes()
+        .iter()
+        .map(|p| BlockingStats {
+            name: p.name.clone(),
+            released: 0,
+            missed: 0,
+            blocked_ticks: 0,
+            max_blocking: 0,
+        })
+        .collect();
+    let mut cursor = vec![0usize; n];
+    let mut seq = 0usize;
+    // monitor -> seq of the holding job
+    let mut held: BTreeMap<MonitorId, usize> = BTreeMap::new();
+
+    for now in 0..horizon {
+        // releases
+        for (ix, stream) in input.arrivals.iter().enumerate() {
+            while cursor[ix] < stream.len() && stream[cursor[ix]] == now {
+                pending.push(Job {
+                    proc_ix: ix,
+                    release: now,
+                    abs_deadline: now + input.set.processes()[ix].deadline,
+                    slots: expanded[ix].clone(),
+                    progress: 0,
+                    seq,
+                    current_block: 0,
+                });
+                seq += 1;
+                stats[ix].released += 1;
+                cursor[ix] += 1;
+            }
+        }
+        // deadline misses: abort, releasing any monitor held
+        let mut i = 0;
+        while i < pending.len() {
+            if pending[i].abs_deadline <= now && pending[i].remaining() > 0 {
+                stats[pending[i].proc_ix].missed += 1;
+                let s = pending[i].seq;
+                held.retain(|_, &mut holder| holder != s);
+                pending.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        if pending.is_empty() {
+            trace.push_idle();
+            continue;
+        }
+        // priority order of all pending jobs
+        let prio = |j: &Job| -> (u64, usize) {
+            match policy {
+                Policy::Edf => (j.abs_deadline, j.seq),
+                Policy::Rm => (
+                    rm.iter().position(|id| id.index() == j.proc_ix).unwrap() as u64,
+                    j.seq,
+                ),
+                Policy::Dm => (
+                    dm.iter().position(|id| id.index() == j.proc_ix).unwrap() as u64,
+                    j.seq,
+                ),
+                Policy::Llf => (
+                    j.abs_deadline
+                        .saturating_sub(now + j.remaining() as u64),
+                    j.seq,
+                ),
+                Policy::Fifo => (j.release, j.seq),
+            }
+        };
+        let mut order: Vec<usize> = (0..pending.len()).collect();
+        order.sort_by_key(|&ix| prio(&pending[ix]));
+
+        // a job is runnable unless its next slot enters a monitor held
+        // by a different job
+        let runnable = |j: &Job, held: &BTreeMap<MonitorId, usize>| -> bool {
+            let (elem, offset) = j.next_slot();
+            if offset > 0 {
+                return true; // continuing an element it already holds
+            }
+            match input.monitored.get(&elem) {
+                Some(m) => held.get(m).is_none_or(|&holder| holder == j.seq),
+                None => true,
+            }
+        };
+        let chosen = order.iter().copied().find(|&ix| runnable(&pending[ix], &held));
+        // blocking accounting: every job with higher priority than the
+        // chosen one that was blocked on a monitor accrues a tick
+        if let Some(chosen_ix) = chosen {
+            let chosen_pos = order.iter().position(|&x| x == chosen_ix).unwrap();
+            for &ix in &order[..chosen_pos] {
+                let j = &mut pending[ix];
+                j.current_block += 1;
+                let st = &mut stats[j.proc_ix];
+                st.blocked_ticks += 1;
+                st.max_blocking = st.max_blocking.max(j.current_block);
+            }
+            // run the chosen job one tick
+            let job = &mut pending[chosen_ix];
+            job.current_block = 0;
+            let (elem, offset) = job.next_slot();
+            let w = input.comm.wcet(elem)?;
+            if offset == 0 {
+                if let Some(&m) = input.monitored.get(&elem) {
+                    held.insert(m, job.seq);
+                }
+            }
+            trace.push_slot_raw(Slot::Busy {
+                element: elem,
+                offset,
+            });
+            job.progress += 1;
+            if offset as u64 + 1 == w {
+                // element finished: release its monitor
+                if let Some(&m) = input.monitored.get(&elem) {
+                    if held.get(&m) == Some(&job.seq) {
+                        held.remove(&m);
+                    }
+                }
+            }
+            if job.remaining() == 0 {
+                pending.remove(chosen_ix);
+            }
+        } else {
+            // total deadlock cannot happen with properly nested single
+            // monitors; defensive: idle
+            trace.push_idle();
+        }
+    }
+    Ok(MonitorOutcome { trace, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcg_process::{Process, ProcessKind};
+
+    /// Two processes sharing element `s` (weight w_s, monitored):
+    /// lo (releases at 0, body [s, tail]) and hi (releases at 1, body
+    /// [s]). hi has the earlier deadline → EDF prefers it, but lo holds
+    /// the monitor for w_s ticks.
+    type Scenario = (
+        ProcessSet,
+        CommGraph,
+        Vec<Vec<ElementId>>,
+        Vec<Vec<Time>>,
+        BTreeMap<ElementId, MonitorId>,
+    );
+
+    fn setup(w_s: u64, pipelined: bool) -> Scenario {
+        let mut comm = CommGraph::new();
+        let mut monitored = BTreeMap::new();
+        let mut lo_body = Vec::new();
+        let mut hi_body = Vec::new();
+        if pipelined {
+            // w_s unit stages, each its own critical section under the
+            // same monitor
+            for k in 0..w_s {
+                let st = comm.add_element(format!("s{k}"), 1).unwrap();
+                monitored.insert(st, MonitorId(0));
+                lo_body.push(st);
+                hi_body.push(st);
+            }
+        } else {
+            let s = comm.add_element("s", w_s).unwrap();
+            monitored.insert(s, MonitorId(0));
+            lo_body.push(s);
+            hi_body.push(s);
+        }
+        let tail = comm.add_element("tail", 2).unwrap();
+        lo_body.push(tail);
+        let mut set = ProcessSet::new();
+        set.add(Process {
+            name: "lo".into(),
+            wcet: w_s + 2,
+            period: 100,
+            deadline: 100,
+            kind: ProcessKind::Sporadic,
+        })
+        .unwrap();
+        set.add(Process {
+            name: "hi".into(),
+            wcet: w_s,
+            period: 100,
+            deadline: 20,
+            kind: ProcessKind::Sporadic,
+        })
+        .unwrap();
+        let arrivals = vec![vec![0], vec![1]];
+        (set, comm, vec![lo_body, hi_body], arrivals, monitored)
+    }
+
+    fn run(w_s: u64, pipelined: bool) -> MonitorOutcome {
+        let (set, comm, bodies, arrivals, monitored) = setup(w_s, pipelined);
+        let input = MonitorSim {
+            set: &set,
+            comm: &comm,
+            bodies: &bodies,
+            arrivals: &arrivals,
+            monitored: &monitored,
+        };
+        simulate_with_monitors(&input, Policy::Edf, 60).unwrap()
+    }
+
+    #[test]
+    fn atomic_critical_section_blocks_for_full_weight() {
+        let out = run(4, false);
+        // hi releases at 1 while lo is 1 tick into its 4-tick s → hi
+        // blocks for the remaining 3 ticks
+        let hi = &out.stats[1];
+        assert_eq!(hi.max_blocking, 3, "{:?}", out.stats);
+        assert!(out.no_misses());
+    }
+
+    #[test]
+    fn pipelined_critical_sections_block_one_tick() {
+        let out = run(4, true);
+        let hi = &out.stats[1];
+        assert!(
+            hi.max_blocking <= 1,
+            "pipelined blocking should be ≤ 1, got {:?}",
+            out.stats
+        );
+        assert!(out.no_misses());
+    }
+
+    #[test]
+    fn blocking_grows_with_section_weight() {
+        for w in [2u64, 4, 6] {
+            let atomic = run(w, false).stats[1].max_blocking;
+            let piped = run(w, true).stats[1].max_blocking;
+            assert_eq!(atomic, w - 1, "atomic w={w}");
+            assert!(piped <= 1, "pipelined w={w}");
+        }
+    }
+
+    #[test]
+    fn unmonitored_elements_never_block() {
+        let (set, comm, bodies, arrivals, _) = setup(4, false);
+        let empty = BTreeMap::new();
+        let input = MonitorSim {
+            set: &set,
+            comm: &comm,
+            bodies: &bodies,
+            arrivals: &arrivals,
+            monitored: &empty,
+        };
+        let out = simulate_with_monitors(&input, Policy::Edf, 60).unwrap();
+        // without monitors, hi preempts mid-element: zero blocking
+        assert_eq!(out.stats[1].blocked_ticks, 0);
+    }
+
+    #[test]
+    fn monitor_released_on_deadline_abort() {
+        // lo's job misses its deadline while holding the monitor; hi
+        // must still get in afterwards
+        let mut comm = CommGraph::new();
+        let s = comm.add_element("s", 10).unwrap();
+        let mut monitored = BTreeMap::new();
+        monitored.insert(s, MonitorId(0));
+        let mut set = ProcessSet::new();
+        set.add(Process {
+            name: "lo".into(),
+            wcet: 10,
+            period: 100,
+            deadline: 10, // will start at 0, hi preempts → lo misses
+            kind: ProcessKind::Sporadic,
+        })
+        .unwrap();
+        set.add(Process {
+            name: "hi".into(),
+            wcet: 10,
+            period: 100,
+            deadline: 40,
+            kind: ProcessKind::Sporadic,
+        })
+        .unwrap();
+        let bodies = vec![vec![s], vec![s]];
+        let arrivals: Vec<Vec<Time>> = vec![vec![0], vec![2]];
+        let input = MonitorSim {
+            set: &set,
+            comm: &comm,
+            bodies: &bodies,
+            arrivals: &arrivals,
+            monitored: &monitored,
+        };
+        // EDF: lo's deadline (10) < hi's (42) → lo runs; but lo cannot
+        // finish 10 ticks by t=10 if hi... actually lo CAN: it runs
+        // 0..10 and completes exactly at its deadline. Use RM instead:
+        // hi has shorter... simplest: give lo deadline 5 → aborted at 5
+        let mut set2 = ProcessSet::new();
+        set2.add(Process {
+            name: "lo".into(),
+            wcet: 5,
+            period: 100,
+            deadline: 5,
+            kind: ProcessKind::Sporadic,
+        })
+        .unwrap();
+        set2.add(Process {
+            name: "hi".into(),
+            wcet: 10,
+            period: 100,
+            deadline: 40,
+            kind: ProcessKind::Sporadic,
+        })
+        .unwrap();
+        // lo's body is 10 ticks of s but wcet 5 → it can never finish;
+        // it is aborted at t=5 holding the monitor
+        let input2 = MonitorSim {
+            set: &set2,
+            comm: &comm,
+            bodies: &bodies,
+            arrivals: &arrivals,
+            monitored: &monitored,
+        };
+        let out = simulate_with_monitors(&input2, Policy::Edf, 60).unwrap();
+        assert_eq!(out.stats[0].missed, 1);
+        // hi completed despite lo's abort while holding the monitor
+        assert_eq!(out.stats[1].missed, 0, "{:?}", out.stats);
+        let _ = input;
+    }
+
+    #[test]
+    fn input_validation() {
+        let (set, comm, bodies, _, monitored) = setup(2, false);
+        let input = MonitorSim {
+            set: &set,
+            comm: &comm,
+            bodies: &bodies,
+            arrivals: &[],
+            monitored: &monitored,
+        };
+        assert!(matches!(
+            simulate_with_monitors(&input, Policy::Edf, 10),
+            Err(SimError::ArrivalStreamMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for program synthesis.
+
+use rtcg_core::constraint::ConstraintId;
+use std::fmt;
+
+/// Errors produced by synthesis transforms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthError {
+    /// Merging the given constraints would create a precedence cycle
+    /// (their shared operations are ordered inconsistently).
+    MergeCreatesCycle {
+        /// The constraints whose merge failed.
+        constraints: Vec<ConstraintId>,
+    },
+    /// The constraint list for a merge was empty.
+    NothingToMerge,
+    /// A constraint id was out of range.
+    UnknownConstraint(ConstraintId),
+    /// A model-level error surfaced during synthesis.
+    Model(rtcg_core::ModelError),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::MergeCreatesCycle { constraints } => {
+                write!(f, "merging constraints {constraints:?} creates a cycle")
+            }
+            SynthError::NothingToMerge => write!(f, "no constraints given to merge"),
+            SynthError::UnknownConstraint(c) => write!(f, "unknown constraint {c:?}"),
+            SynthError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SynthError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rtcg_core::ModelError> for SynthError {
+    fn from(e: rtcg_core::ModelError) -> Self {
+        SynthError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_subject() {
+        let e = SynthError::MergeCreatesCycle {
+            constraints: vec![ConstraintId::new(0), ConstraintId::new(1)],
+        };
+        assert!(e.to_string().contains("cycle"));
+        assert!(SynthError::NothingToMerge.to_string().contains("merge"));
+    }
+}

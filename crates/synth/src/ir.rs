@@ -1,0 +1,261 @@
+//! Straight-line program intermediate representation.
+//!
+//! A synthesized process body is a sequence of statements: calls to
+//! functional elements, data sends along communication paths, and monitor
+//! acquire/release brackets around calls to shared elements. The IR is
+//! deliberately flat — the paper's "straight-line program".
+
+use rtcg_core::model::{CommGraph, ElementId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a monitor (one per shared functional element).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MonitorId(pub u32);
+
+/// One statement of a straight-line program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// Execute a functional element (one operation of the task graph).
+    Call {
+        /// Operation label from the task graph (for diagnostics).
+        label: String,
+        /// Element to execute.
+        element: ElementId,
+    },
+    /// Transmit the latest output of `from` to `to` (a task-graph edge).
+    Send {
+        /// Producing element.
+        from: ElementId,
+        /// Consuming element.
+        to: ElementId,
+    },
+    /// Enter the critical section of a monitor.
+    Acquire(MonitorId),
+    /// Leave the critical section of a monitor.
+    Release(MonitorId),
+}
+
+/// A straight-line program: the body of one synthesized process.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    /// Name (usually the source constraint's name).
+    pub name: String,
+    /// Statement sequence.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new(name: impl Into<String>) -> Self {
+        Program {
+            name: name.into(),
+            stmts: Vec::new(),
+        }
+    }
+
+    /// Total computation time of the program: the sum of weights of all
+    /// called elements (sends and monitor operations are free, as in the
+    /// paper's single-processor model).
+    pub fn computation_time(&self, comm: &CommGraph) -> Result<u64, rtcg_core::ModelError> {
+        let mut total = 0;
+        for s in &self.stmts {
+            if let Stmt::Call { element, .. } = s {
+                total += comm.wcet(*element)?;
+            }
+        }
+        Ok(total)
+    }
+
+    /// Number of `Call` statements.
+    pub fn call_count(&self) -> usize {
+        self.stmts
+            .iter()
+            .filter(|s| matches!(s, Stmt::Call { .. }))
+            .count()
+    }
+
+    /// Checks structural well-formedness: monitor brackets are properly
+    /// nested and non-overlapping, and every acquire is released.
+    pub fn monitors_well_bracketed(&self) -> bool {
+        let mut stack: Vec<MonitorId> = Vec::new();
+        for s in &self.stmts {
+            match s {
+                Stmt::Acquire(m) => {
+                    if stack.contains(m) {
+                        return false; // re-entrant acquire
+                    }
+                    stack.push(*m);
+                }
+                Stmt::Release(m)
+                    if stack.pop() != Some(*m) => {
+                        return false; // mismatched release
+                    }
+                _ => {}
+            }
+        }
+        stack.is_empty()
+    }
+
+    /// Pretty-prints the program with element names resolved.
+    pub fn display(&self, comm: &CommGraph) -> String {
+        let mut out = String::new();
+        use std::fmt::Write;
+        let _ = writeln!(out, "process {} {{", self.name);
+        let mut indent = 1usize;
+        for s in &self.stmts {
+            match s {
+                Stmt::Acquire(m) => {
+                    let _ = writeln!(out, "{}acquire monitor_{};", "  ".repeat(indent), m.0);
+                    indent += 1;
+                }
+                Stmt::Release(m) => {
+                    indent = indent.saturating_sub(1).max(1);
+                    let _ = writeln!(out, "{}release monitor_{};", "  ".repeat(indent), m.0);
+                }
+                Stmt::Call { label, element } => {
+                    let _ = writeln!(
+                        out,
+                        "{}call {}();   // op {}",
+                        "  ".repeat(indent),
+                        comm.name(*element),
+                        label
+                    );
+                }
+                Stmt::Send { from, to } => {
+                    let _ = writeln!(
+                        out,
+                        "{}send {} -> {};",
+                        "  ".repeat(indent),
+                        comm.name(*from),
+                        comm.name(*to)
+                    );
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl fmt::Display for MonitorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "monitor_{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcg_core::model::CommGraph;
+
+    fn comm() -> (CommGraph, ElementId, ElementId) {
+        let mut g = CommGraph::new();
+        let a = g.add_element("fa", 2).unwrap();
+        let b = g.add_element("fb", 1).unwrap();
+        g.add_channel(a, b).unwrap();
+        (g, a, b)
+    }
+
+    #[test]
+    fn computation_time_counts_calls_only() {
+        let (g, a, b) = comm();
+        let p = Program {
+            name: "p".into(),
+            stmts: vec![
+                Stmt::Call {
+                    label: "a".into(),
+                    element: a,
+                },
+                Stmt::Send { from: a, to: b },
+                Stmt::Call {
+                    label: "b".into(),
+                    element: b,
+                },
+            ],
+        };
+        assert_eq!(p.computation_time(&g).unwrap(), 3);
+        assert_eq!(p.call_count(), 2);
+    }
+
+    #[test]
+    fn bracket_checking() {
+        let (_, a, _) = comm();
+        let call = Stmt::Call {
+            label: "a".into(),
+            element: a,
+        };
+        let ok = Program {
+            name: "ok".into(),
+            stmts: vec![
+                Stmt::Acquire(MonitorId(0)),
+                call.clone(),
+                Stmt::Release(MonitorId(0)),
+            ],
+        };
+        assert!(ok.monitors_well_bracketed());
+
+        let unclosed = Program {
+            name: "bad".into(),
+            stmts: vec![Stmt::Acquire(MonitorId(0)), call.clone()],
+        };
+        assert!(!unclosed.monitors_well_bracketed());
+
+        let crossed = Program {
+            name: "bad".into(),
+            stmts: vec![
+                Stmt::Acquire(MonitorId(0)),
+                Stmt::Acquire(MonitorId(1)),
+                Stmt::Release(MonitorId(0)),
+                Stmt::Release(MonitorId(1)),
+            ],
+        };
+        assert!(!crossed.monitors_well_bracketed());
+
+        let reentrant = Program {
+            name: "bad".into(),
+            stmts: vec![
+                Stmt::Acquire(MonitorId(0)),
+                Stmt::Acquire(MonitorId(0)),
+                Stmt::Release(MonitorId(0)),
+                Stmt::Release(MonitorId(0)),
+            ],
+        };
+        assert!(!reentrant.monitors_well_bracketed());
+    }
+
+    #[test]
+    fn display_renders_structure() {
+        let (g, a, b) = comm();
+        let p = Program {
+            name: "xchain".into(),
+            stmts: vec![
+                Stmt::Acquire(MonitorId(0)),
+                Stmt::Call {
+                    label: "a".into(),
+                    element: a,
+                },
+                Stmt::Release(MonitorId(0)),
+                Stmt::Send { from: a, to: b },
+            ],
+        };
+        let text = p.display(&g);
+        assert!(text.contains("process xchain"));
+        assert!(text.contains("acquire monitor_0"));
+        assert!(text.contains("call fa()"));
+        assert!(text.contains("send fa -> fb"));
+    }
+
+    #[test]
+    fn unknown_element_errors() {
+        let (g, ..) = comm();
+        let p = Program {
+            name: "p".into(),
+            stmts: vec![Stmt::Call {
+                label: "x".into(),
+                element: ElementId::new(55),
+            }],
+        };
+        assert!(p.computation_time(&g).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! # rtcg-synth — program synthesis for the graph-based model
+//!
+//! The paper's "Synthesis Techniques" section, executable:
+//!
+//! * [`ir`] — a straight-line program IR: element calls, data sends,
+//!   monitor acquire/release.
+//! * [`straightline`] — "the body of `T'` consists of a straight-line
+//!   program which is any topological sort of the operations in the task
+//!   graph `C`", with monitors inserted around every functional element
+//!   shared by two or more constraints (enforcing pipeline ordering).
+//! * [`pipelining`] — "to improve efficiency, we can reduce the size of
+//!   critical sections by software pipelining": the program-level
+//!   transform that splits a monitored call into a chain of unit-stage
+//!   calls, each with its own short critical section.
+//! * [`merge`] — the shared-operation merging that motivates latency
+//!   scheduling: "if `p_x` is equal to `p_y` … there is no reason why
+//!   `f_S` should be executed twice per period". Merges compatible task
+//!   graphs into one, unifying shared operations.
+//! * [`codegen`] — pseudo-code emission for synthesized processes and the
+//!   table-driven run-time scheduler.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codegen;
+pub mod error;
+pub mod ir;
+pub mod latency;
+pub mod merge;
+pub mod pipelining;
+pub mod straightline;
+
+pub use error::SynthError;
+pub use ir::{MonitorId, Program, Stmt};
+pub use latency::{latency_synthesize, LatencyOutcome};
+pub use merge::{merge_constraints, MergedTask};
+pub use pipelining::{max_critical_section, pipeline_program};
+pub use straightline::{synthesize_program, synthesize_programs};

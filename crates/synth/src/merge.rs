@@ -1,0 +1,276 @@
+//! Shared-operation merging across timing constraints.
+//!
+//! The paper's motivation for latency scheduling: "if `p_x` is equal to
+//! `p_y` in the example control system, then there is no reason why `f_S`
+//! should be executed twice per period. In the process model, there are
+//! two distinct calls to `f_S` and so the redundant work cannot be
+//! avoided."
+//!
+//! [`merge_constraints`] builds the *merged task graph* of a set of
+//! constraints: operations on the same functional element are unified
+//! (first occurrence per element, in declaration order), edges are the
+//! union of the source edges, and the result must stay acyclic. One
+//! execution of the merged graph serves every source constraint at once,
+//! saving the shared elements' work.
+
+use crate::error::SynthError;
+use rtcg_core::constraint::ConstraintId;
+use rtcg_core::model::{ElementId, Model};
+use rtcg_core::task::{OpId, TaskGraph, TaskGraphBuilder};
+use std::collections::BTreeMap;
+
+/// A merged task graph plus bookkeeping.
+#[derive(Debug, Clone)]
+pub struct MergedTask {
+    /// The merged graph (compatible with the model's communication graph
+    /// whenever the sources were).
+    pub task: TaskGraph,
+    /// The constraints merged, in the order given.
+    pub sources: Vec<ConstraintId>,
+    /// For each source constraint, the map from its op ids to merged-op
+    /// labels.
+    pub op_map: Vec<BTreeMap<OpId, String>>,
+    /// Computation time of the merged graph.
+    pub merged_computation: u64,
+    /// Sum of the sources' separate computation times.
+    pub separate_computation: u64,
+}
+
+impl MergedTask {
+    /// Work saved per execution by merging (`separate − merged`).
+    pub fn saving(&self) -> u64 {
+        self.separate_computation - self.merged_computation
+    }
+
+    /// Saving as a fraction of the separate work (0 when nothing shared).
+    pub fn saving_fraction(&self) -> f64 {
+        if self.separate_computation == 0 {
+            return 0.0;
+        }
+        self.saving() as f64 / self.separate_computation as f64
+    }
+}
+
+/// Merges the task graphs of the given constraints (see module docs).
+///
+/// Unification rule: all operations on the same functional element across
+/// (and within) the sources collapse to one merged operation per element
+/// *occurrence index*: the k-th op on element `e` of any source maps to
+/// merged op `e@k`. This preserves multiplicity (a constraint running an
+/// element twice still runs it twice) while sharing across constraints.
+pub fn merge_constraints(
+    model: &Model,
+    ids: &[ConstraintId],
+) -> Result<MergedTask, SynthError> {
+    if ids.is_empty() {
+        return Err(SynthError::NothingToMerge);
+    }
+    let comm = model.comm();
+    let mut builder = TaskGraphBuilder::new();
+    let mut merged_labels: Vec<String> = Vec::new(); // labels added so far
+    let mut label_elements: BTreeMap<String, ElementId> = BTreeMap::new();
+    let mut op_map: Vec<BTreeMap<OpId, String>> = Vec::new();
+    let mut separate_computation = 0u64;
+    let mut edges: Vec<(String, String)> = Vec::new();
+
+    for &cid in ids {
+        let c = model.constraint(cid).map_err(SynthError::from)?;
+        separate_computation += c.task.computation_time(comm).map_err(SynthError::from)?;
+        // occurrence index per element within THIS constraint
+        let mut occurrence: BTreeMap<ElementId, usize> = BTreeMap::new();
+        let mut this_map: BTreeMap<OpId, String> = BTreeMap::new();
+        for op_id in c.task.topo_ops() {
+            let elem = c.task.element_of(op_id).expect("live op");
+            let k = {
+                let e = occurrence.entry(elem).or_insert(0);
+                let k = *e;
+                *e += 1;
+                k
+            };
+            let label = format!("{}@{k}", comm.name(elem));
+            if !merged_labels.contains(&label) {
+                builder = builder.op(&label, elem);
+                merged_labels.push(label.clone());
+                label_elements.insert(label.clone(), elem);
+            }
+            this_map.insert(op_id, label);
+        }
+        for (u, v) in c.task.precedence_edges() {
+            edges.push((this_map[&u].clone(), this_map[&v].clone()));
+        }
+        op_map.push(this_map);
+    }
+    edges.sort();
+    edges.dedup();
+    for (u, v) in edges {
+        builder = builder.edge(&u, &v);
+    }
+    let task = match builder.build() {
+        Ok(t) => t,
+        Err(rtcg_core::ModelError::CyclicTaskGraph { .. }) => {
+            return Err(SynthError::MergeCreatesCycle {
+                constraints: ids.to_vec(),
+            })
+        }
+        Err(e) => return Err(SynthError::Model(e)),
+    };
+    let merged_computation = task.computation_time(comm).map_err(SynthError::from)?;
+    Ok(MergedTask {
+        task,
+        sources: ids.to_vec(),
+        op_map,
+        merged_computation,
+        separate_computation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcg_core::model::ModelBuilder;
+    use rtcg_core::task::TaskGraphBuilder;
+
+    fn cid(i: u32) -> ConstraintId {
+        ConstraintId::new(i)
+    }
+
+    /// x-chain and y-chain sharing fS and fK (the paper's p_x == p_y case).
+    fn paper_like_model() -> Model {
+        let (m, _) = rtcg_core::mok_example::default_model();
+        m
+    }
+
+    #[test]
+    fn merging_xy_chains_shares_fs_fk() {
+        let m = paper_like_model();
+        let merged = merge_constraints(&m, &[cid(0), cid(1)]).unwrap();
+        // separate: (1+2+1) + (1+2+1) = 8; merged: fx+fy+fs+fk = 1+1+2+1 = 5
+        assert_eq!(merged.separate_computation, 8);
+        assert_eq!(merged.merged_computation, 5);
+        assert_eq!(merged.saving(), 3);
+        assert!((merged.saving_fraction() - 3.0 / 8.0).abs() < 1e-9);
+        // merged graph is compatible with G
+        merged.task.validate_against(m.comm(), None).unwrap();
+        // 4 ops: fX@0, fY@0, fS@0, fK@0
+        assert_eq!(merged.task.op_count(), 4);
+    }
+
+    #[test]
+    fn merged_edges_union_precedences() {
+        let m = paper_like_model();
+        let merged = merge_constraints(&m, &[cid(0), cid(1)]).unwrap();
+        let comm = m.comm();
+        // expect edges fX->fS, fY->fS, fS->fK in the merged graph
+        let mut found = std::collections::BTreeSet::new();
+        for (u, v) in merged.task.precedence_edges() {
+            let nu = comm.name(merged.task.element_of(u).unwrap()).to_string();
+            let nv = comm.name(merged.task.element_of(v).unwrap()).to_string();
+            found.insert((nu, nv));
+        }
+        assert!(found.contains(&("fX".into(), "fS".into())));
+        assert!(found.contains(&("fY".into(), "fS".into())));
+        assert!(found.contains(&("fS".into(), "fK".into())));
+        assert_eq!(found.len(), 3);
+    }
+
+    #[test]
+    fn op_map_covers_every_source_op() {
+        let m = paper_like_model();
+        let merged = merge_constraints(&m, &[cid(0), cid(1)]).unwrap();
+        for (i, &cid_) in merged.sources.iter().enumerate() {
+            let c = m.constraint(cid_).unwrap();
+            assert_eq!(merged.op_map[i].len(), c.task.op_count());
+        }
+    }
+
+    #[test]
+    fn multiplicity_preserved_within_a_constraint() {
+        // one constraint calls e twice; merging with another single-call
+        // constraint must keep two ops on e
+        let mut b = ModelBuilder::new();
+        let e = b.element("e", 1);
+        b.channel(e, e);
+        let t2 = TaskGraphBuilder::new()
+            .op("a", e)
+            .op("b", e)
+            .edge("a", "b")
+            .build()
+            .unwrap();
+        let t1 = TaskGraphBuilder::new().op("c", e).build().unwrap();
+        b.asynchronous("two", t2, 8, 8);
+        b.asynchronous("one", t1, 8, 8);
+        let m = b.build().unwrap();
+        let merged = merge_constraints(&m, &[cid(0), cid(1)]).unwrap();
+        assert_eq!(merged.task.op_count(), 2, "e@0 and e@1");
+        assert_eq!(merged.merged_computation, 2);
+        assert_eq!(merged.separate_computation, 3);
+    }
+
+    #[test]
+    fn conflicting_orders_rejected() {
+        // constraint A: u before v; constraint B: v before u → merge cycle
+        let mut b = ModelBuilder::new();
+        let u = b.element("u", 1);
+        let v = b.element("v", 1);
+        b.channel(u, v).channel(v, u);
+        let ta = TaskGraphBuilder::new()
+            .op("u", u)
+            .op("v", v)
+            .edge("u", "v")
+            .build()
+            .unwrap();
+        let tb = TaskGraphBuilder::new()
+            .op("v", v)
+            .op("u", u)
+            .edge("v", "u")
+            .build()
+            .unwrap();
+        b.asynchronous("a", ta, 8, 8);
+        b.asynchronous("b", tb, 8, 8);
+        let m = b.build().unwrap();
+        assert!(matches!(
+            merge_constraints(&m, &[cid(0), cid(1)]),
+            Err(SynthError::MergeCreatesCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_merge_rejected() {
+        let m = paper_like_model();
+        assert!(matches!(
+            merge_constraints(&m, &[]),
+            Err(SynthError::NothingToMerge)
+        ));
+    }
+
+    #[test]
+    fn unknown_constraint_rejected() {
+        let m = paper_like_model();
+        assert!(merge_constraints(&m, &[cid(99)]).is_err());
+    }
+
+    #[test]
+    fn singleton_merge_is_identity_like() {
+        let m = paper_like_model();
+        let merged = merge_constraints(&m, &[cid(2)]).unwrap();
+        assert_eq!(merged.saving(), 0);
+        assert_eq!(
+            merged.merged_computation,
+            m.constraint(cid(2))
+                .unwrap()
+                .computation_time(m.comm())
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn merge_all_three_paper_constraints() {
+        let m = paper_like_model();
+        let merged = merge_constraints(&m, &[cid(0), cid(1), cid(2)]).unwrap();
+        // all five elements appear once: 1+1+1+2+1 = 6
+        assert_eq!(merged.merged_computation, 6);
+        // separate: 4 + 4 + 3 = 11
+        assert_eq!(merged.separate_computation, 11);
+        merged.task.validate_against(m.comm(), None).unwrap();
+    }
+}

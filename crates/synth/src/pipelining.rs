@@ -1,0 +1,204 @@
+//! Program-level software pipelining: shrinking critical sections.
+//!
+//! "To improve efficiency, we can reduce the size of critical sections by
+//! software pipelining, i.e., decomposing a functional element into a
+//! chain of sub-functions each of which has the same computation time."
+//!
+//! [`pipeline_program`] rewrites a straight-line program over a pipelined
+//! model (see [`rtcg_core::heuristic::pipeline`]): each monitored call to
+//! a split element becomes a chain of stage calls, *each stage bracketed
+//! by its own monitor acquire/release*, so the longest critical section
+//! shrinks from the element's full weight to one tick.
+//! [`max_critical_section`] measures the effect.
+
+use crate::ir::{MonitorId, Program, Stmt};
+use rtcg_core::heuristic::pipeline::Pipelined;
+use rtcg_core::model::CommGraph;
+use std::collections::BTreeMap;
+
+/// Rewrites `program` (written against the *original* model) into the
+/// pipelined model's element space: calls to split elements become stage
+/// chains; monitored calls get per-stage brackets; sends re-attach to the
+/// boundary stages. `monitor_of` is keyed by **original** element ids.
+pub fn pipeline_program(
+    program: &Program,
+    pipelined: &Pipelined,
+    monitor_of: &BTreeMap<rtcg_core::model::ElementId, MonitorId>,
+) -> Program {
+    let mut out = Program::new(program.name.clone());
+    for stmt in &program.stmts {
+        match stmt {
+            Stmt::Call { label, element } => {
+                let stages = pipelined
+                    .stages_of(*element)
+                    .expect("program element exists in pipelined model");
+                let monitor = monitor_of.get(element).copied();
+                for (k, &stage) in stages.iter().enumerate() {
+                    if let Some(m) = monitor {
+                        out.stmts.push(Stmt::Acquire(m));
+                    }
+                    out.stmts.push(Stmt::Call {
+                        label: if stages.len() == 1 {
+                            label.clone()
+                        } else {
+                            format!("{label}/{k}")
+                        },
+                        element: stage,
+                    });
+                    if let Some(m) = monitor {
+                        out.stmts.push(Stmt::Release(m));
+                    }
+                }
+            }
+            Stmt::Send { from, to } => {
+                let from_last = *pipelined
+                    .stages_of(*from)
+                    .expect("known element")
+                    .last()
+                    .expect("non-empty");
+                let to_first = *pipelined
+                    .stages_of(*to)
+                    .expect("known element")
+                    .first()
+                    .expect("non-empty");
+                out.stmts.push(Stmt::Send {
+                    from: from_last,
+                    to: to_first,
+                });
+            }
+            // existing brackets are dropped: the rewrite re-brackets each
+            // stage individually
+            Stmt::Acquire(_) | Stmt::Release(_) => {}
+        }
+    }
+    out
+}
+
+/// Longest critical section of a program, in ticks of computation between
+/// an acquire and its matching release. Zero when no monitors are used.
+pub fn max_critical_section(program: &Program, comm: &CommGraph) -> u64 {
+    let mut max = 0u64;
+    let mut current: Vec<(MonitorId, u64)> = Vec::new();
+    for s in &program.stmts {
+        match s {
+            Stmt::Acquire(m) => current.push((*m, 0)),
+            Stmt::Release(m) => {
+                if let Some(pos) = current.iter().rposition(|(mm, _)| mm == m) {
+                    let (_, acc) = current.remove(pos);
+                    max = max.max(acc);
+                }
+            }
+            Stmt::Call { element, .. } => {
+                let w = comm.wcet(*element).unwrap_or(0);
+                for (_, acc) in current.iter_mut() {
+                    *acc += w;
+                }
+            }
+            Stmt::Send { .. } => {}
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::straightline::synthesize_programs;
+    use rtcg_core::heuristic::pipeline::pipeline_model;
+    use rtcg_core::model::ModelBuilder;
+    use rtcg_core::task::TaskGraphBuilder;
+
+    /// Model with a heavy shared element s(3) used by two constraints.
+    fn heavy_shared() -> rtcg_core::model::Model {
+        let mut b = ModelBuilder::new();
+        let x = b.element("x", 1);
+        let y = b.element("y", 1);
+        let s = b.element("s", 3);
+        b.channel(x, s).channel(y, s);
+        let tx = TaskGraphBuilder::new()
+            .op("x", x)
+            .op("s", s)
+            .edge("x", "s")
+            .build()
+            .unwrap();
+        let ty = TaskGraphBuilder::new()
+            .op("y", y)
+            .op("s", s)
+            .edge("y", "s")
+            .build()
+            .unwrap();
+        b.periodic("cx", tx, 12, 12);
+        b.periodic("cy", ty, 12, 12);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn critical_section_shrinks_to_unit() {
+        let m = heavy_shared();
+        let (programs, monitors) = synthesize_programs(&m).unwrap();
+        // before pipelining: the monitored s-call holds the lock 3 ticks
+        assert_eq!(max_critical_section(&programs[0], m.comm()), 3);
+
+        let pipelined = pipeline_model(&m).unwrap();
+        let rewritten = pipeline_program(&programs[0], &pipelined, &monitors);
+        assert!(rewritten.monitors_well_bracketed());
+        assert_eq!(
+            max_critical_section(&rewritten, pipelined.model.comm()),
+            1,
+            "per-stage brackets shrink the critical section to one tick"
+        );
+        // total work unchanged
+        assert_eq!(
+            rewritten.computation_time(pipelined.model.comm()).unwrap(),
+            programs[0].computation_time(m.comm()).unwrap()
+        );
+    }
+
+    #[test]
+    fn stage_calls_are_chained_and_labeled() {
+        let m = heavy_shared();
+        let (programs, monitors) = synthesize_programs(&m).unwrap();
+        let pipelined = pipeline_model(&m).unwrap();
+        let rewritten = pipeline_program(&programs[0], &pipelined, &monitors);
+        let labels: Vec<&str> = rewritten
+            .stmts
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Call { label, .. } => Some(label.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(labels, vec!["x", "s/0", "s/1", "s/2"]);
+    }
+
+    #[test]
+    fn sends_reattach_to_boundary_stages() {
+        let m = heavy_shared();
+        let (programs, monitors) = synthesize_programs(&m).unwrap();
+        let pipelined = pipeline_model(&m).unwrap();
+        let rewritten = pipeline_program(&programs[0], &pipelined, &monitors);
+        let comm = pipelined.model.comm();
+        let send = rewritten
+            .stmts
+            .iter()
+            .find_map(|s| match s {
+                Stmt::Send { from, to } => Some((*from, *to)),
+                _ => None,
+            })
+            .expect("send present");
+        assert_eq!(comm.name(send.0), "x");
+        assert_eq!(comm.name(send.1), "s/0");
+    }
+
+    #[test]
+    fn unmonitored_programs_have_zero_critical_section() {
+        let mut b = ModelBuilder::new();
+        let u = b.element("u", 2);
+        let tg = TaskGraphBuilder::new().op("u", u).build().unwrap();
+        b.periodic("c", tg, 8, 8);
+        let m = b.build().unwrap();
+        let (programs, monitors) = synthesize_programs(&m).unwrap();
+        assert!(monitors.is_empty());
+        assert_eq!(max_critical_section(&programs[0], m.comm()), 0);
+    }
+}

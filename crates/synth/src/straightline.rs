@@ -1,0 +1,162 @@
+//! Straight-line program generation from task graphs.
+//!
+//! "The body of `T'` consists of a straight-line program which is any
+//! topological sort of the operations in the task graph `C`." Sends are
+//! emitted immediately after the producing call (the latest output must
+//! reach each consumer before the consumer executes — on a straight-line
+//! single-processor body, emitting sends right after the producer
+//! trivially satisfies this). Calls to shared elements are bracketed by
+//! their monitor.
+
+use crate::error::SynthError;
+use crate::ir::{MonitorId, Program, Stmt};
+use rtcg_core::model::{ElementId, Model};
+use rtcg_core::task::TaskGraph;
+use std::collections::BTreeMap;
+
+/// Generates the straight-line program of one task graph.
+///
+/// `monitor_of` maps each shared element to its monitor; calls to mapped
+/// elements are wrapped in acquire/release.
+pub fn synthesize_program(
+    name: &str,
+    task: &TaskGraph,
+    monitor_of: &BTreeMap<ElementId, MonitorId>,
+) -> Program {
+    let mut prog = Program::new(name);
+    for op_id in task.topo_ops() {
+        let op = task.op(op_id).expect("live op");
+        let monitor = monitor_of.get(&op.element).copied();
+        if let Some(m) = monitor {
+            prog.stmts.push(Stmt::Acquire(m));
+        }
+        prog.stmts.push(Stmt::Call {
+            label: op.label.clone(),
+            element: op.element,
+        });
+        if let Some(m) = monitor {
+            prog.stmts.push(Stmt::Release(m));
+        }
+        // transmissions of this op's output, in successor order
+        for (u, v) in task.precedence_edges() {
+            if u == op_id {
+                prog.stmts.push(Stmt::Send {
+                    from: op.element,
+                    to: task.element_of(v).expect("live op"),
+                });
+            }
+        }
+    }
+    prog
+}
+
+/// Generates one program per timing constraint of the model, creating a
+/// monitor for each element shared by two or more constraints (the
+/// paper's rule for enforcing pipeline ordering). Returns the programs in
+/// constraint order plus the monitor table.
+pub fn synthesize_programs(
+    model: &Model,
+) -> Result<(Vec<Program>, BTreeMap<ElementId, MonitorId>), SynthError> {
+    model.validate().map_err(SynthError::from)?;
+    let shared = rtcg_core::analysis::shared_elements(model);
+    let monitor_of: BTreeMap<ElementId, MonitorId> = shared
+        .into_iter()
+        .enumerate()
+        .map(|(i, e)| (e, MonitorId(i as u32)))
+        .collect();
+    let programs = model
+        .constraints()
+        .iter()
+        .map(|c| synthesize_program(&c.name, &c.task, &monitor_of))
+        .collect();
+    Ok((programs, monitor_of))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcg_core::model::ModelBuilder;
+    use rtcg_core::task::TaskGraphBuilder;
+
+    #[test]
+    fn chain_program_order_and_sends() {
+        let mut b = ModelBuilder::new();
+        let u = b.element("u", 1);
+        let v = b.element("v", 1);
+        b.channel(u, v);
+        let tg = TaskGraphBuilder::new()
+            .op("first", u)
+            .op("second", v)
+            .edge("first", "second")
+            .build()
+            .unwrap();
+        let p = synthesize_program("c", &tg, &BTreeMap::new());
+        // call u; send u->v; call v
+        assert_eq!(p.stmts.len(), 3);
+        assert!(matches!(&p.stmts[0], Stmt::Call { label, .. } if label == "first"));
+        assert!(matches!(&p.stmts[1], Stmt::Send { .. }));
+        assert!(matches!(&p.stmts[2], Stmt::Call { label, .. } if label == "second"));
+        assert!(p.monitors_well_bracketed());
+        drop(b);
+    }
+
+    #[test]
+    fn monitors_wrap_shared_calls() {
+        let (m, _) = rtcg_core::mok_example::default_model();
+        let (programs, monitors) = synthesize_programs(&m).unwrap();
+        assert_eq!(programs.len(), 3);
+        // fS and fK shared → two monitors
+        assert_eq!(monitors.len(), 2);
+        // the x-chain program brackets its fS call
+        let px = &programs[0];
+        assert!(px.monitors_well_bracketed());
+        let fs = m.comm().lookup("fS").unwrap();
+        let fs_mon = monitors[&fs];
+        let pos_acq = px
+            .stmts
+            .iter()
+            .position(|s| *s == Stmt::Acquire(fs_mon))
+            .expect("acquire present");
+        assert!(matches!(
+            &px.stmts[pos_acq + 1],
+            Stmt::Call { element, .. } if *element == fs
+        ));
+        assert_eq!(px.stmts[pos_acq + 2], Stmt::Release(fs_mon));
+    }
+
+    #[test]
+    fn computation_time_matches_constraint() {
+        let (m, _) = rtcg_core::mok_example::default_model();
+        let (programs, _) = synthesize_programs(&m).unwrap();
+        for (prog, c) in programs.iter().zip(m.constraints()) {
+            assert_eq!(
+                prog.computation_time(m.comm()).unwrap(),
+                c.computation_time(m.comm()).unwrap(),
+                "{}",
+                c.name
+            );
+        }
+    }
+
+    #[test]
+    fn programs_render() {
+        let (m, _) = rtcg_core::mok_example::default_model();
+        let (programs, _) = synthesize_programs(&m).unwrap();
+        let text = programs[2].display(m.comm());
+        assert!(text.contains("process z-chain"));
+        assert!(text.contains("call fZ()"));
+        assert!(text.contains("send fZ -> fS"));
+    }
+
+    #[test]
+    fn parallel_ops_all_emitted() {
+        let mut b = ModelBuilder::new();
+        let u = b.element("u", 1);
+        let v = b.element("v", 1);
+        let tg = TaskGraphBuilder::new().op("u", u).op("v", v).build().unwrap();
+        let p = synthesize_program("c", &tg, &BTreeMap::new());
+        assert_eq!(p.call_count(), 2);
+        assert!(!p.stmts.iter().any(|s| matches!(s, Stmt::Send { .. })));
+        drop(b);
+    }
+}

@@ -1,0 +1,37 @@
+//! # rtcg — graph-based computation model for hard-real-time systems
+//!
+//! Façade crate re-exporting the whole workspace: a reproduction of
+//! **A. K. Mok, "A Graph-Based Computation Model for Real-Time Systems",
+//! ICPP 1985**. See the README for the architecture and `DESIGN.md` for
+//! the paper-to-module map.
+//!
+//! * [`core`] — the model `M = (G, T)`, execution-trace semantics, static
+//!   schedules, exact latency analysis, feasibility deciders (simulation
+//!   game, bounded exact search) and Theorem-3 heuristic synthesis.
+//! * [`graph`] — the directed-graph substrate.
+//! * [`process`] — the process-based baseline of \[MOK 83\] (RM/DM/EDF/LLF).
+//! * [`synth`] — program synthesis: straight-line code, monitors,
+//!   software pipelining, shared-operation merging.
+//! * [`sim`] — discrete-time simulator, invocation generators, run-time
+//!   schedulers (table-driven and dynamic).
+//! * [`lang`] — a CONSORT-flavoured requirements-specification language.
+//! * [`hardness`] — NP-hardness experiment kit (Theorem 2 reductions).
+//! * [`multi`] — the paper's deferred multiprocessor decomposition:
+//!   partitioning, deadline slicing, per-processor synthesis and the
+//!   "similar-looking" communication-network scheduling problem.
+
+#![forbid(unsafe_code)]
+
+pub use rtcg_core as core;
+pub use rtcg_graph as graph;
+pub use rtcg_hardness as hardness;
+pub use rtcg_lang as lang;
+pub use rtcg_multi as multi;
+pub use rtcg_process as process;
+pub use rtcg_sim as sim;
+pub use rtcg_synth as synth;
+
+/// Prelude: the types most applications need.
+pub mod prelude {
+    pub use rtcg_core::prelude::*;
+}

@@ -1,0 +1,236 @@
+//! Cross-validation between independent implementations of the same
+//! question: the simulation game vs the exact string search vs the
+//! heuristic synthesizer, and schedulability analysis vs the dynamic
+//! simulator.
+
+use rtcg::core::feasibility::{exact, game, quick_infeasible};
+use rtcg::core::heuristic::{synthesize_with, SynthesisConfig};
+use rtcg::core::model::CommGraph;
+use rtcg::prelude::*;
+use rtcg::process::{edf_schedulable, rm_schedulable_exact, utilization};
+use rtcg::sim::dynamic::{simulate_processes, Policy, Preemption, ProcessSim};
+
+fn single_op_model(specs: &[(u64, u64)]) -> Model {
+    let mut b = ModelBuilder::new();
+    for (i, &(w, d)) in specs.iter().enumerate() {
+        let e = b.element(&format!("e{i}"), w);
+        let tg = TaskGraphBuilder::new().op("o", e).build().unwrap();
+        b.asynchronous(&format!("c{i}"), tg, d, d);
+    }
+    b.build().unwrap()
+}
+
+/// Exhaustive family of tiny instances for decider agreement.
+fn tiny_instances() -> Vec<Vec<(u64, u64)>> {
+    let mut cases = Vec::new();
+    for w0 in 1..=2u64 {
+        for d0 in w0..=4u64 {
+            cases.push(vec![(w0, d0)]);
+            for d1 in 1..=4u64 {
+                cases.push(vec![(w0, d0), (1, d1)]);
+            }
+        }
+    }
+    cases
+}
+
+#[test]
+fn game_and_search_agree_on_tiny_instances() {
+    for specs in tiny_instances() {
+        let m = single_op_model(&specs);
+        let g = game::solve_game(&m, game::GameConfig::default()).unwrap();
+        let s = exact::find_feasible(
+            &m,
+            exact::SearchConfig {
+                max_len: 5,
+                node_budget: 20_000_000,
+            },
+        )
+        .unwrap();
+        match (&g, &s.schedule) {
+            (game::GameOutcome::Feasible { .. }, Some(_)) => {}
+            (game::GameOutcome::Infeasible { .. }, None) => {
+                assert!(s.exhausted_bound, "search must have exhausted: {specs:?}");
+            }
+            (g, sched) => panic!("disagreement on {specs:?}: {g:?} vs {sched:?}"),
+        }
+    }
+}
+
+#[test]
+fn heuristic_success_implies_game_feasible() {
+    // whenever the heuristic returns a schedule, the instance is
+    // feasible; the complete decider must agree (on the pipelined model)
+    for specs in tiny_instances() {
+        let m = single_op_model(&specs);
+        let cfg = SynthesisConfig {
+            max_hyperperiod: 10_000,
+            game_state_budget: 0, // pure constructive strategies
+        };
+        if let Ok(out) = synthesize_with(&m, cfg) {
+            let report = out.schedule.feasibility(out.model()).unwrap();
+            assert!(report.is_feasible());
+            let g = game::solve_game(out.model(), game::GameConfig::default()).unwrap();
+            assert!(
+                matches!(g, game::GameOutcome::Feasible { .. }),
+                "heuristic found a schedule the game denies: {specs:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn quick_bounds_never_reject_feasible_instances() {
+    for specs in tiny_instances() {
+        let m = single_op_model(&specs);
+        if quick_infeasible(&m).unwrap().is_some() {
+            let g = game::solve_game(&m, game::GameConfig::default()).unwrap();
+            assert!(
+                matches!(g, game::GameOutcome::Infeasible { .. }),
+                "bounds rejected a feasible instance: {specs:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn game_schedules_always_verify() {
+    for specs in tiny_instances() {
+        let m = single_op_model(&specs);
+        let g = game::solve_game(&m, game::GameConfig::default()).unwrap();
+        if let Some(s) = g.schedule() {
+            let report = s.feasibility(&m).unwrap();
+            assert!(report.is_feasible(), "lasso schedule failed: {specs:?}");
+        }
+    }
+}
+
+fn sim_inputs(
+    set: &rtcg::process::ProcessSet,
+    horizon: u64,
+) -> (CommGraph, Vec<Vec<rtcg::core::ElementId>>, Vec<Vec<u64>>) {
+    let mut comm = CommGraph::new();
+    let mut bodies = Vec::new();
+    let mut arrivals = Vec::new();
+    for (i, p) in set.processes().iter().enumerate() {
+        let e = comm.add_element(format!("e{i}"), p.wcet).unwrap();
+        bodies.push(vec![e]);
+        arrivals.push(
+            (0..)
+                .map(|k| k * p.period)
+                .take_while(|&t| t < horizon)
+                .collect(),
+        );
+    }
+    (comm, bodies, arrivals)
+}
+
+#[test]
+fn edf_analysis_matches_edf_simulation() {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xCAFE);
+    let mut tested = 0;
+    for _ in 0..80 {
+        let n = rng.gen_range(2..5usize);
+        let mut set = rtcg::process::ProcessSet::new();
+        for i in 0..n {
+            let period = [4u64, 6, 8, 12][rng.gen_range(0..4)];
+            let wcet = rng.gen_range(1..=period.min(5));
+            set.add(rtcg::process::Process {
+                name: format!("p{i}"),
+                wcet,
+                period,
+                deadline: period,
+                kind: rtcg::process::ProcessKind::Periodic,
+            })
+            .unwrap();
+        }
+        if utilization(&set) > 1.5 {
+            continue;
+        }
+        tested += 1;
+        let predicted = edf_schedulable(&set, 1_000_000).unwrap();
+        let horizon = set.hyperperiod() * 3;
+        let (comm, bodies, arrivals) = sim_inputs(&set, horizon);
+        let input = ProcessSim {
+            set: &set,
+            comm: &comm,
+            bodies: &bodies,
+            arrivals: &arrivals,
+        };
+        let out = simulate_processes(&input, Policy::Edf, Preemption::Tick, horizon).unwrap();
+        assert_eq!(
+            out.no_misses(),
+            predicted,
+            "EDF analysis vs sim disagree: {:?} (U={})",
+            set.processes(),
+            utilization(&set)
+        );
+    }
+    assert!(tested >= 40, "too few testable sets generated");
+}
+
+#[test]
+fn rm_analysis_matches_rm_simulation() {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xBEEF);
+    for _ in 0..60 {
+        let n = rng.gen_range(2..5usize);
+        let mut set = rtcg::process::ProcessSet::new();
+        for i in 0..n {
+            let period = [4u64, 6, 8, 12][rng.gen_range(0..4)];
+            let wcet = rng.gen_range(1..=period.min(4));
+            set.add(rtcg::process::Process {
+                name: format!("p{i}"),
+                wcet,
+                period,
+                deadline: period,
+                kind: rtcg::process::ProcessKind::Periodic,
+            })
+            .unwrap();
+        }
+        let predicted = rm_schedulable_exact(&set).unwrap();
+        let horizon = set.hyperperiod() * 3;
+        let (comm, bodies, arrivals) = sim_inputs(&set, horizon);
+        let input = ProcessSim {
+            set: &set,
+            comm: &comm,
+            bodies: &bodies,
+            arrivals: &arrivals,
+        };
+        let out = simulate_processes(&input, Policy::Rm, Preemption::Tick, horizon).unwrap();
+        assert_eq!(
+            out.no_misses(),
+            predicted,
+            "RM analysis vs sim disagree: {:?}",
+            set.processes()
+        );
+    }
+}
+
+#[test]
+fn hardness_witnesses_agree_with_game_on_tiny_encodings() {
+    use rtcg::hardness::{encode_three_partition, ThreePartition};
+    // the smallest well-formed instance (B = 9, items {3,3,3}) keeps the
+    // game's history horizon at 20 ticks; both deciders must say feasible
+    let inst = ThreePartition {
+        items: vec![3, 3, 3],
+        bound: 9,
+    };
+    assert!(inst.is_well_formed());
+    let model = encode_three_partition(&inst).unwrap();
+    let g = game::solve_game(
+        &model,
+        game::GameConfig {
+            state_budget: 2_000_000,
+            frontier: Default::default(),
+        },
+    )
+    .unwrap();
+    match g {
+        game::GameOutcome::Feasible { ref schedule, .. } => {
+            assert!(schedule.feasibility(&model).unwrap().is_feasible());
+        }
+        other => panic!("expected feasible, got {other:?}"),
+    }
+}

@@ -1,0 +1,203 @@
+//! End-to-end integration: specification text → model → synthesis →
+//! exact verification → run-time execution, across all the workspace
+//! crates.
+
+use rtcg::core::heuristic::synthesize;
+use rtcg::core::mok_example;
+use rtcg::lang::parse_model;
+use rtcg::process::naive_synthesis;
+use rtcg::sim::invocation::InvocationPattern;
+use rtcg::sim::table::run_table_executor;
+use rtcg::synth::latency::latency_synthesize;
+use rtcg::synth::straightline::synthesize_programs;
+
+const SPEC: &str = r#"
+    element fX wcet 1;
+    element fY wcet 1;
+    element fZ wcet 1;
+    element fS wcet 2;
+    element fK wcet 1;
+    channel fX -> fS; channel fY -> fS; channel fZ -> fS;
+    channel fS -> fK; channel fK -> fS;
+    periodic xchain period 20 deadline 20 { op x: fX; op s: fS; op k: fK; x -> s -> k; }
+    periodic ychain period 40 deadline 40 { op y: fY; op s: fS; op k: fK; y -> s -> k; }
+    asynchronous zchain period 60 deadline 15 { op z: fZ; op s: fS; z -> s; }
+"#;
+
+fn adversarial_patterns(m: &rtcg::core::Model) -> Vec<InvocationPattern> {
+    m.constraints()
+        .iter()
+        .map(|c| {
+            if c.is_periodic() {
+                InvocationPattern::Periodic {
+                    period: c.period,
+                    offset: 0,
+                }
+            } else {
+                InvocationPattern::SporadicMaxRate {
+                    separation: c.period,
+                    offset: 11,
+                }
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn spec_text_to_running_system() {
+    let model = parse_model(SPEC).expect("spec parses");
+    let outcome = synthesize(&model).expect("synthesizable");
+    let m = outcome.model();
+    let report = outcome.schedule.feasibility(m).expect("analyzable");
+    assert!(report.is_feasible(), "{report}");
+    let run = run_table_executor(m, &outcome.schedule, &adversarial_patterns(m), 12_000)
+        .expect("executes");
+    assert!(run.all_met(), "{:?}", run.outcomes);
+    assert!(run.trace.is_pipeline_ordered());
+}
+
+#[test]
+fn spec_equals_builtin_example() {
+    let from_text = parse_model(SPEC).unwrap();
+    let (builtin, _) = mok_example::default_model();
+    assert_eq!(
+        from_text.comm().element_count(),
+        builtin.comm().element_count()
+    );
+    assert_eq!(from_text.constraints().len(), builtin.constraints().len());
+    assert!((from_text.deadline_density() - builtin.deadline_density()).abs() < 1e-12);
+    assert_eq!(from_text.hyperperiod(), builtin.hyperperiod());
+}
+
+#[test]
+fn observed_responses_never_exceed_analyzed_latency() {
+    // the latency bound is an upper bound on every observed response
+    let (model, _) = mok_example::default_model();
+    let outcome = synthesize(&model).unwrap();
+    let m = outcome.model();
+    let report = outcome.schedule.feasibility(m).unwrap();
+    let run = run_table_executor(m, &outcome.schedule, &adversarial_patterns(m), 20_000).unwrap();
+    for (check, observed) in report.checks.iter().zip(&run.outcomes) {
+        let bound = check.latency.expect("finite");
+        if let Some(worst) = observed.worst_response {
+            assert!(
+                worst <= bound,
+                "{}: observed {} > analyzed {}",
+                check.name,
+                worst,
+                bound
+            );
+        }
+    }
+}
+
+#[test]
+fn naive_process_mapping_preserves_constraint_attributes() {
+    let (model, _) = mok_example::default_model();
+    let naive = naive_synthesis(&model).unwrap();
+    for (proc_, c) in naive.set.processes().iter().zip(model.constraints()) {
+        assert_eq!(proc_.name, c.name);
+        assert_eq!(proc_.period, c.period);
+        assert_eq!(proc_.deadline, c.deadline);
+        assert_eq!(
+            proc_.wcet,
+            c.computation_time(model.comm()).unwrap()
+        );
+    }
+    // generated programs compile to the same computation times
+    let (programs, _) = synthesize_programs(&model).unwrap();
+    for (p, c) in programs.iter().zip(model.constraints()) {
+        assert_eq!(
+            p.computation_time(model.comm()).unwrap(),
+            c.computation_time(model.comm()).unwrap()
+        );
+        assert!(p.monitors_well_bracketed());
+    }
+}
+
+#[test]
+fn merged_latency_scheduling_on_equal_period_example() {
+    // the paper's p_x = p_y variant: merged synthesis shares fS and fK
+    let params = mok_example::Params {
+        p_y: 20,
+        d_y: 20,
+        ..Default::default()
+    };
+    let (model, _) = mok_example::build(params).unwrap();
+    let merged = latency_synthesize(&model).expect("merged synthesis");
+    assert_eq!(merged.groups_merged, 1);
+    let report = merged.schedule.feasibility(&merged.analysis_model).unwrap();
+    assert!(report.is_feasible(), "{report}");
+
+    // and it runs: adversarial invocations against the merged table
+    let run = run_table_executor(
+        &merged.analysis_model,
+        &merged.schedule,
+        &adversarial_patterns(&merged.analysis_model),
+        12_000,
+    )
+    .unwrap();
+    assert!(run.all_met(), "{:?}", run.outcomes);
+
+    // merged table does strictly less work than the unmerged one
+    let plain = synthesize(&model).unwrap();
+    let merged_busy = merged
+        .schedule
+        .busy_fraction(merged.analysis_model.comm())
+        .unwrap();
+    let plain_busy = plain.schedule.busy_fraction(plain.model().comm()).unwrap();
+    assert!(
+        merged_busy < plain_busy,
+        "merged {merged_busy} vs plain {plain_busy}"
+    );
+}
+
+#[test]
+fn parameter_sweep_of_the_example_stays_feasible() {
+    // tighten d_z progressively; synthesis must hold while the chain
+    // still fits and report infeasible-or-fail gracefully when it can't
+    for d_z in [15u64, 10, 8, 6] {
+        let params = mok_example::Params {
+            d_z,
+            ..Default::default()
+        };
+        let (model, _) = mok_example::build(params).unwrap();
+        match synthesize(&model) {
+            Ok(out) => {
+                let report = out.schedule.feasibility(out.model()).unwrap();
+                assert!(report.is_feasible(), "d_z={d_z}\n{report}");
+            }
+            Err(e) => {
+                // acceptable only for genuinely tight deadlines
+                assert!(d_z <= 6, "synthesis failed at generous d_z={d_z}: {e}");
+            }
+        }
+    }
+}
+
+#[test]
+fn infeasible_specs_are_rejected_not_mis_scheduled() {
+    // density > 1 — no schedule can exist; the pipeline must say so
+    let spec = r#"
+        element a wcet 2; element b wcet 2;
+        asynchronous ca period 3 deadline 3 { op o: a; }
+        asynchronous cb period 3 deadline 3 { op o: b; }
+    "#;
+    let model = parse_model(spec).unwrap();
+    assert!(synthesize(&model).is_err());
+}
+
+#[test]
+fn dot_and_codegen_outputs_are_consistent() {
+    let (model, _) = mok_example::default_model();
+    let dot = model.comm().to_dot("m");
+    for (_, e) in model.comm().elements() {
+        assert!(dot.contains(&e.name), "DOT missing {}", e.name);
+    }
+    let outcome = synthesize(&model).unwrap();
+    let table = rtcg::synth::codegen::render_table_scheduler(
+        outcome.model().comm(),
+        &outcome.schedule,
+    );
+    assert!(table.contains(&format!("[Entry; {}]", outcome.schedule.len())));
+}

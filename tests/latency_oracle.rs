@@ -1,0 +1,145 @@
+//! Oracle test: `StaticSchedule::latency` against a brute-force
+//! implementation of the paper's definition.
+//!
+//! Definition: `L` has latency `k` w.r.t. `(C, p, d)` iff the round-robin
+//! trace contains an execution of `C` in every window of length `≥ k`.
+//! The brute force below takes the definition literally: expand many
+//! repetitions, and for each candidate `k` check every window start
+//! within one period via `executed_within`. Agreement across randomized
+//! models and schedules pins the production implementation (which uses
+//! earliest-completion analysis and a tighter horizon bound) to the
+//! definition.
+
+use proptest::prelude::*;
+use rtcg::core::schedule::{Action, StaticSchedule};
+use rtcg::core::trace::Trace;
+use rtcg::prelude::*;
+
+fn single_op_model(specs: &[(u64, u64)]) -> Model {
+    let mut b = ModelBuilder::new();
+    for (i, &(w, d)) in specs.iter().enumerate() {
+        let e = b.element(&format!("e{i}"), w);
+        let tg = TaskGraphBuilder::new().op("o", e).build().unwrap();
+        b.asynchronous(&format!("c{i}"), tg, d, d);
+    }
+    b.build().unwrap()
+}
+
+/// Chain model: one constraint whose task graph is a chain over fresh
+/// unit elements; stresses precedence in the window checker.
+fn chain_model(len: usize, d: u64) -> Model {
+    let mut b = ModelBuilder::new();
+    let mut tb = TaskGraphBuilder::new();
+    let mut prev = None;
+    for k in 0..len {
+        let e = b.element(&format!("e{k}"), 1);
+        tb = tb.op(&format!("o{k}"), e);
+        if let Some(p) = prev {
+            b.channel(p, e);
+            tb = tb.edge(&format!("o{}", k - 1), &format!("o{k}"));
+        }
+        prev = Some(e);
+    }
+    b.asynchronous("chain", tb.build().unwrap(), d, d);
+    b.build().unwrap()
+}
+
+/// Brute-force latency: smallest k ≤ cap such that every window
+/// [s, s+k] with s in one period contains an execution; None if none.
+fn brute_force_latency(
+    model: &Model,
+    schedule: &StaticSchedule,
+    task: &rtcg::core::TaskGraph,
+    cap: u64,
+) -> Option<u64> {
+    let comm = model.comm();
+    let period = schedule.duration(comm).unwrap();
+    // expand generously: cap + period windows must be fully recorded
+    let reps = ((cap + 2 * period) / period + 2) as usize;
+    let trace: Trace = schedule.expand(comm, reps).unwrap();
+    'k: for k in 0..=cap {
+        for s in 0..period {
+            if !trace.executed_within(task, comm, s, s + k).unwrap() {
+                continue 'k;
+            }
+        }
+        return Some(k);
+    }
+    None
+}
+
+fn to_schedule(model: &Model, symbols: &[usize]) -> StaticSchedule {
+    let ids: Vec<ElementId> = model.comm().element_ids().collect();
+    StaticSchedule::new(
+        symbols
+            .iter()
+            .map(|&s| {
+                if s == 0 {
+                    Action::Idle
+                } else {
+                    Action::Run(ids[(s - 1) % ids.len()])
+                }
+            })
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn latency_matches_brute_force_single_ops(
+        specs in prop::collection::vec(
+            (1u64..=2).prop_flat_map(|w| (Just(w), w..=5u64)), 1..=2),
+        symbols in prop::collection::vec(0usize..=2, 1..=4),
+    ) {
+        let model = single_op_model(&specs);
+        let schedule = to_schedule(&model, &symbols);
+        let period = schedule.duration(model.comm()).unwrap();
+        // cap large enough to cover any finite latency of these tiny
+        // schedules: latency ≤ (ops+1)·2·period by the horizon argument
+        let cap = 6 * period + 10;
+        for c in model.constraints() {
+            let fast = schedule.latency(model.comm(), &c.task).unwrap();
+            let brute = brute_force_latency(&model, &schedule, &c.task, cap);
+            prop_assert_eq!(fast, brute, "schedule {:?}", symbols);
+        }
+    }
+
+    #[test]
+    fn latency_matches_brute_force_chains(
+        len in 2usize..=3,
+        d in 4u64..=10,
+        symbols in prop::collection::vec(0usize..=3, 1..=5),
+    ) {
+        let model = chain_model(len, d.max(len as u64));
+        let schedule = to_schedule(&model, &symbols);
+        let period = schedule.duration(model.comm()).unwrap();
+        let cap = 2 * (len as u64 + 1) * period + 10;
+        let c = &model.constraints()[0];
+        let fast = schedule.latency(model.comm(), &c.task).unwrap();
+        let brute = brute_force_latency(&model, &schedule, &c.task, cap);
+        prop_assert_eq!(fast, brute, "len {} schedule {:?}", len, symbols);
+    }
+}
+
+#[test]
+fn latency_oracle_on_known_cases() {
+    // hand-checked values double-covering the proptest
+    let model = single_op_model(&[(1, 4)]);
+    let e = model.comm().element_ids().next().unwrap();
+    // [e φ φ]: worst window starts at s=1, next e spans [3,4) → latency 3
+    let s = StaticSchedule::new(vec![Action::Run(e), Action::Idle, Action::Idle]);
+    let c = &model.constraints()[0];
+    assert_eq!(s.latency(model.comm(), &c.task).unwrap(), Some(3));
+    assert_eq!(brute_force_latency(&model, &s, &c.task, 40), Some(3));
+
+    let model = chain_model(2, 8);
+    let ids: Vec<_> = model.comm().element_ids().collect();
+    // reversed order forces the chain to straddle repetitions
+    let s = StaticSchedule::new(vec![Action::Run(ids[1]), Action::Run(ids[0])]);
+    let c = &model.constraints()[0];
+    let fast = s.latency(model.comm(), &c.task).unwrap();
+    assert_eq!(fast, brute_force_latency(&model, &s, &c.task, 60));
+    assert_eq!(fast, Some(3));
+}

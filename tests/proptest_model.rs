@@ -1,0 +1,208 @@
+//! Property-based tests on the core semantic invariants.
+
+use proptest::prelude::*;
+use rtcg::core::heuristic::pipeline::pipeline_model;
+use rtcg::core::schedule::{Action, StaticSchedule};
+use rtcg::prelude::*;
+
+/// Strategy: specs for 1-3 single-op asynchronous constraints, each
+/// (weight 1-2, deadline w..=6).
+fn constraint_specs() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec(
+        (1u64..=2).prop_flat_map(|w| (Just(w), w..=6u64)),
+        1..=3,
+    )
+}
+
+fn single_op_model(specs: &[(u64, u64)]) -> Model {
+    let mut b = ModelBuilder::new();
+    for (i, &(w, d)) in specs.iter().enumerate() {
+        let e = b.element(&format!("e{i}"), w);
+        let tg = TaskGraphBuilder::new().op("o", e).build().unwrap();
+        b.asynchronous(&format!("c{i}"), tg, d, d);
+    }
+    b.build().unwrap()
+}
+
+/// Strategy: a random schedule over the model's elements (symbol 0 =
+/// idle, k = element k-1), 1..=6 actions.
+fn schedule_symbols(n_elems: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0..=n_elems, 1..=6)
+}
+
+fn to_schedule(model: &Model, symbols: &[usize]) -> StaticSchedule {
+    let ids: Vec<ElementId> = model.comm().element_ids().collect();
+    StaticSchedule::new(
+        symbols
+            .iter()
+            .map(|&s| {
+                if s == 0 {
+                    Action::Idle
+                } else {
+                    Action::Run(ids[(s - 1) % ids.len()])
+                }
+            })
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Latency is invariant under rotation of the schedule string —
+    /// round-robin repetition erases the starting point.
+    #[test]
+    fn latency_invariant_under_rotation(
+        specs in constraint_specs(),
+        symbols in schedule_symbols(3),
+        rot in 0usize..6,
+    ) {
+        let model = single_op_model(&specs);
+        let s1 = to_schedule(&model, &symbols);
+        let mut rotated = symbols.clone();
+        rotated.rotate_left(rot % symbols.len());
+        let s2 = to_schedule(&model, &rotated);
+        for c in model.constraints() {
+            let l1 = s1.latency(model.comm(), &c.task).unwrap();
+            let l2 = s2.latency(model.comm(), &c.task).unwrap();
+            prop_assert_eq!(l1, l2, "rotation changed latency");
+        }
+    }
+
+    /// Doubling the schedule string (S -> SS) never changes the
+    /// generated infinite trace, hence never the latency.
+    #[test]
+    fn latency_invariant_under_doubling(
+        specs in constraint_specs(),
+        symbols in schedule_symbols(3),
+    ) {
+        let model = single_op_model(&specs);
+        let s1 = to_schedule(&model, &symbols);
+        let doubled: Vec<usize> =
+            symbols.iter().chain(symbols.iter()).copied().collect();
+        let s2 = to_schedule(&model, &doubled);
+        for c in model.constraints() {
+            prop_assert_eq!(
+                s1.latency(model.comm(), &c.task).unwrap(),
+                s2.latency(model.comm(), &c.task).unwrap()
+            );
+        }
+    }
+
+    /// Inserting an idle action never decreases any latency.
+    #[test]
+    fn idle_insertion_is_monotone(
+        specs in constraint_specs(),
+        symbols in schedule_symbols(3),
+        pos in 0usize..7,
+    ) {
+        let model = single_op_model(&specs);
+        let s1 = to_schedule(&model, &symbols);
+        let mut padded = symbols.clone();
+        padded.insert(pos % (symbols.len() + 1), 0);
+        let s2 = to_schedule(&model, &padded);
+        for c in model.constraints() {
+            let l1 = s1.latency(model.comm(), &c.task).unwrap();
+            let l2 = s2.latency(model.comm(), &c.task).unwrap();
+            match (l1, l2) {
+                (None, _) => {} // infinite stays infinite or stays none
+                (Some(a), Some(b)) => prop_assert!(b >= a,
+                    "padding reduced latency {a} -> {b}"),
+                (Some(_), None) => prop_assert!(false, "padding made latency infinite"),
+            }
+        }
+    }
+
+    /// The feasibility verdict equals "every latency ≤ its deadline".
+    #[test]
+    fn feasibility_is_latency_vs_deadline(
+        specs in constraint_specs(),
+        symbols in schedule_symbols(3),
+    ) {
+        let model = single_op_model(&specs);
+        let s = to_schedule(&model, &symbols);
+        let report = s.feasibility(&model).unwrap();
+        let manual = model.constraints().iter().all(|c| {
+            matches!(
+                s.latency(model.comm(), &c.task).unwrap(),
+                Some(l) if l <= c.deadline
+            )
+        });
+        prop_assert_eq!(report.is_feasible(), manual);
+    }
+
+    /// Pipelining preserves computation times, densities and constraint
+    /// attributes.
+    #[test]
+    fn pipelining_preserves_model_quantities(specs in constraint_specs()) {
+        let model = single_op_model(&specs);
+        let p = pipeline_model(&model).unwrap();
+        prop_assert_eq!(model.constraints().len(), p.model.constraints().len());
+        for (c0, c1) in model.constraints().iter().zip(p.model.constraints()) {
+            prop_assert_eq!(
+                c0.task.computation_time(model.comm()).unwrap(),
+                c1.task.computation_time(p.model.comm()).unwrap()
+            );
+            prop_assert_eq!(c0.period, c1.period);
+            prop_assert_eq!(c0.deadline, c1.deadline);
+        }
+        prop_assert!((model.deadline_density() - p.model.deadline_density()).abs() < 1e-12);
+        prop_assert!(p.all_unit_weight());
+    }
+
+    /// Heuristic synthesis output always verifies, and within the
+    /// Theorem-3 region it always succeeds.
+    #[test]
+    fn synthesis_verifies_and_theorem3_holds(specs in constraint_specs()) {
+        let model = single_op_model(&specs);
+        let in_region = rtcg::core::heuristic::theorem3_applies(&model).unwrap();
+        match rtcg::core::heuristic::synthesize(&model) {
+            Ok(out) => {
+                let report = out.schedule.feasibility(out.model()).unwrap();
+                prop_assert!(report.is_feasible());
+            }
+            Err(_) => {
+                prop_assert!(!in_region, "Theorem-3 instance failed: {specs:?}");
+            }
+        }
+    }
+
+    /// Trace round-trip: expanding a schedule and re-reading instances
+    /// yields exactly the schedule's run actions, pipeline-ordered.
+    #[test]
+    fn expansion_round_trips_instances(
+        specs in constraint_specs(),
+        symbols in schedule_symbols(3),
+        reps in 1usize..4,
+    ) {
+        let model = single_op_model(&specs);
+        let s = to_schedule(&model, &symbols);
+        let trace = s.expand(model.comm(), reps).unwrap();
+        prop_assert!(trace.is_pipeline_ordered());
+        let runs_per_rep = s
+            .actions()
+            .iter()
+            .filter(|a| matches!(a, Action::Run(_)))
+            .count();
+        prop_assert_eq!(trace.instances().len(), runs_per_rep * reps);
+        prop_assert_eq!(trace.len(), s.duration(model.comm()).unwrap() * reps as u64);
+    }
+
+    /// The sharing-aware density bound is sound: strictly above 1 the
+    /// complete game decider must agree there is no schedule.
+    #[test]
+    fn density_bound_soundness(specs in constraint_specs()) {
+        let model = single_op_model(&specs);
+        if rtcg::core::feasibility::quick_infeasible(&model).unwrap().is_some() {
+            let g = rtcg::core::feasibility::game::solve_game(
+                &model,
+                rtcg::core::feasibility::game::GameConfig { state_budget: 500_000, frontier: Default::default() },
+            )
+            .unwrap();
+            prop_assert!(
+                !matches!(g, rtcg::core::feasibility::game::GameOutcome::Feasible { .. }),
+                "bound rejected a feasible instance: {specs:?}"
+            );
+        }
+    }
+}
