@@ -40,7 +40,12 @@ fn bench_dynamic_simulation(c: &mut Criterion) {
         for (i, p) in set.processes().iter().enumerate() {
             let e = comm.add_element(format!("e{i}"), p.wcet).unwrap();
             bodies.push(vec![e]);
-            arrivals.push((0..).map(|k| k * p.period).take_while(|&t| t < 1000).collect());
+            arrivals.push(
+                (0..)
+                    .map(|k| k * p.period)
+                    .take_while(|&t| t < 1000)
+                    .collect(),
+            );
         }
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{policy:?}")),
@@ -61,5 +66,10 @@ fn bench_dynamic_simulation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rm_exact, bench_edf_demand, bench_dynamic_simulation);
+criterion_group!(
+    benches,
+    bench_rm_exact,
+    bench_edf_demand,
+    bench_dynamic_simulation
+);
 criterion_main!(benches);

@@ -6,12 +6,17 @@ use rtcg_graph::{algo, generate, DiGraph};
 
 fn sized_dag(n: usize) -> DiGraph<usize, ()> {
     let mut state = 0x5EEDu64;
-    let (g, _) = generate::random_dag(n, 80, |i| i, move || {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        state
-    });
+    let (g, _) = generate::random_dag(
+        n,
+        80,
+        |i| i,
+        move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        },
+    );
     g
 }
 

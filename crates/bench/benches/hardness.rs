@@ -106,18 +106,12 @@ fn bench_parallel_search(c: &mut Criterion) {
         b.iter(|| exact::find_feasible(&model, cfg).unwrap())
     });
     for threads in [2usize, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("par", threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| {
-                    rtcg_core::feasibility::parallel::find_feasible_parallel(
-                        &model, cfg, threads,
-                    )
+        group.bench_with_input(BenchmarkId::new("par", threads), &threads, |b, &threads| {
+            b.iter(|| {
+                rtcg_core::feasibility::parallel::find_feasible_parallel(&model, cfg, threads)
                     .unwrap()
-                })
-            },
-        );
+            })
+        });
     }
     group.finish();
 }

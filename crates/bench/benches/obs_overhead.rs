@@ -1,0 +1,138 @@
+//! Overhead of the observability layer on the hottest instrumented
+//! path, `simulate_processes` (1000 ticks, 6 processes, tick-preemptive
+//! EDF).
+//!
+//! The production default is **no recorder installed**: every
+//! instrumentation site is one atomic load + branch (the "no-op"
+//! path). That configuration can't be diffed against a truly
+//! uninstrumented build inside one binary, so this bench bounds it
+//! instead: it counts the guarded sites one simulation actually
+//! executes, measures the per-site cost with a tight probe loop, and
+//! reports `sites x cost / runtime` — the acceptance target is <2%.
+//!
+//! For contrast it also measures the *diagnostic* configuration where a
+//! [`rtcg_obs::NopRecorder`] is installed, paying a virtual call per
+//! site. Install order matters (`set_recorder` is one-way), so the
+//! uninstalled measurements run first.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rtcg_bench::gen::random_process_set;
+use rtcg_core::model::CommGraph;
+use rtcg_sim::dynamic::{simulate_processes, Policy, Preemption, ProcessSim, SimOutcome};
+use std::time::Instant;
+
+static NOP: rtcg_obs::NopRecorder = rtcg_obs::NopRecorder;
+
+struct SimFixture {
+    set: rtcg_process::ProcessSet,
+    comm: CommGraph,
+    bodies: Vec<Vec<rtcg_core::model::ElementId>>,
+    arrivals: Vec<Vec<u64>>,
+}
+
+fn fixture() -> SimFixture {
+    let set = random_process_set(6, 0.8, 3);
+    let mut comm = CommGraph::new();
+    let mut bodies = Vec::new();
+    let mut arrivals: Vec<Vec<u64>> = Vec::new();
+    for (i, p) in set.processes().iter().enumerate() {
+        let e = comm.add_element(format!("e{i}"), p.wcet).unwrap();
+        bodies.push(vec![e]);
+        arrivals.push(
+            (0..)
+                .map(|k| k * p.period)
+                .take_while(|&t| t < 1000)
+                .collect(),
+        );
+    }
+    SimFixture {
+        set,
+        comm,
+        bodies,
+        arrivals,
+    }
+}
+
+fn run(f: &SimFixture) -> SimOutcome {
+    let input = ProcessSim {
+        set: &f.set,
+        comm: &f.comm,
+        bodies: &f.bodies,
+        arrivals: &f.arrivals,
+    };
+    simulate_processes(&input, Policy::Edf, Preemption::Tick, 1000).unwrap()
+}
+
+/// Mean seconds per call over `iters` calls (after `warmup` calls).
+fn time_runs(f: &SimFixture, warmup: usize, iters: usize) -> f64 {
+    for _ in 0..warmup {
+        black_box(run(f));
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(run(f));
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let f = fixture();
+
+    // guarded sites one run executes: 1 histogram per completion, 1
+    // event per preemption, 1 span (2 guards: begin + drop), and the
+    // end-of-run aggregate counters
+    let out = run(&f);
+    let completions: usize = out.stats.iter().map(|s| s.completed).sum();
+    let sites = completions + out.preemptions + 2 + 6;
+
+    let uninstalled = time_runs(&f, 20, 200);
+
+    // per-site cost of the no-op path: probe loop over one guarded
+    // counter site (recorder still uninstalled here)
+    let probe_n = 100_000u64;
+    let probe_start = Instant::now();
+    for i in 0..probe_n {
+        rtcg_obs::counter!("bench.site_probe", black_box(i) & 1);
+    }
+    let per_site = probe_start.elapsed().as_secs_f64() / probe_n as f64;
+
+    let _ = rtcg_obs::set_recorder(&NOP);
+    let nop_installed = time_runs(&f, 20, 200);
+
+    println!(
+        "obs_overhead/simulate_1k_ticks/uninstalled {:.3} µs/iter",
+        uninstalled * 1e6
+    );
+    println!(
+        "obs_overhead/simulate_1k_ticks/nop_installed {:.3} µs/iter ({:+.1}% vs uninstalled)",
+        nop_installed * 1e6,
+        (nop_installed / uninstalled - 1.0) * 100.0
+    );
+    println!(
+        "obs_overhead/site_probe {:.2} ns/site ({} sites/run)",
+        per_site * 1e9,
+        sites
+    );
+    let bound = sites as f64 * per_site / uninstalled * 100.0;
+    println!("obs_overhead/noop_path_bound {bound:.2}% of runtime (target <2%)");
+    assert!(
+        bound < 2.0,
+        "no-op recorder overhead bound {bound:.2}% exceeds 2%"
+    );
+
+    // keep a criterion-reported probe so `cargo bench` output has the
+    // standard ns/iter line for regression eyeballs
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(50);
+    group.bench_function("site_probe_1k_counters", |b| {
+        b.iter(|| {
+            for i in 0..1000u64 {
+                rtcg_obs::counter!("bench.site_probe", black_box(i) & 1);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -42,5 +42,10 @@ fn bench_program_synthesis(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_naive_synthesis, bench_merge, bench_program_synthesis);
+criterion_group!(
+    benches,
+    bench_naive_synthesis,
+    bench_merge,
+    bench_program_synthesis
+);
 criterion_main!(benches);

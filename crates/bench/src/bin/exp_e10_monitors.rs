@@ -72,6 +72,7 @@ fn scenario(w: u64, pipelined: bool) -> Scenario {
 }
 
 fn main() {
+    let _metrics = rtcg_bench::init_metrics_from_env();
     println!("E10 (extension): monitor blocking vs software pipelining");
     println!();
     let mut t = Table::new(&[

@@ -25,6 +25,7 @@ fn unit_model(deadlines: &[u64]) -> Model {
 }
 
 fn main() {
+    let _metrics = rtcg_bench::init_metrics_from_env();
     println!("E11 (ablation): heuristic vs compacted vs optimal table length");
     println!();
     let mut t = Table::new(&[

@@ -16,6 +16,7 @@ use rtcg_core::task::TaskGraphBuilder;
 use rtcg_sim::faults::fault_margin;
 
 fn main() {
+    let _metrics = rtcg_bench::init_metrics_from_env();
     println!("E12 (extension): fault margins — consecutive lost executions absorbed");
     println!();
 

@@ -12,6 +12,7 @@ use rtcg_sim::invocation::InvocationPattern;
 use rtcg_sim::table::run_table_executor;
 
 fn main() {
+    let _metrics = rtcg_bench::init_metrics_from_env();
     let (model, _) = mok_example::default_model();
     println!("E1: Mok (ICPP 1985) Figures 1-2 — automatic control system");
     println!();
@@ -30,7 +31,15 @@ fn main() {
     println!();
 
     let report = outcome.schedule.feasibility(m).expect("analyzable");
-    let mut t = Table::new(&["constraint", "kind", "p", "d", "latency", "slack", "verdict"]);
+    let mut t = Table::new(&[
+        "constraint",
+        "kind",
+        "p",
+        "d",
+        "latency",
+        "slack",
+        "verdict",
+    ]);
     for c in &report.checks {
         let constraint = m.constraint(c.constraint).unwrap();
         t.row(&[
@@ -48,7 +57,14 @@ fn main() {
 
     // end-to-end: run the table executor against adversarial + random z
     println!("run-time validation (table executor, 10000 ticks):");
-    let mut t = Table::new(&["pattern", "constraint", "checked", "met", "missed", "worst resp"]);
+    let mut t = Table::new(&[
+        "pattern",
+        "constraint",
+        "checked",
+        "met",
+        "missed",
+        "worst resp",
+    ]);
     fn adversarial(c: &rtcg_core::TimingConstraint) -> InvocationPattern {
         if c.is_periodic() {
             InvocationPattern::Periodic {

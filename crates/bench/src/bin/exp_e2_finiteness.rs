@@ -25,6 +25,7 @@ fn single_op_model(specs: &[(u64, u64)]) -> Model {
 }
 
 fn main() {
+    let _metrics = rtcg_bench::init_metrics_from_env();
     println!("E2: Theorem 1 — the simulation game and finite static schedules");
     println!();
 

@@ -18,6 +18,7 @@ use rtcg_hardness::{
 };
 
 fn main() {
+    let _metrics = rtcg_bench::init_metrics_from_env();
     println!("E3: Theorem 2(i) — 3-PARTITION structure and chain-family blowup");
     println!();
 
@@ -99,7 +100,11 @@ fn main() {
             } else {
                 "budget".into()
             },
-            if witness_ok { "yes".into() } else { "NO".into() },
+            if witness_ok {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
             format!("{secs:.4}"),
         ]);
         if let Some(s) = &out.schedule {

@@ -13,6 +13,7 @@ use rtcg_core::feasibility::{exact, game};
 use rtcg_hardness::single_op_family;
 
 fn main() {
+    let _metrics = rtcg_bench::init_metrics_from_env();
     println!("E4: Theorem 2(ii) — single-op family (clock + atomic items)");
     println!();
     let mut t = Table::new(&[

@@ -18,6 +18,7 @@ use rtcg_core::heuristic::{
 };
 
 fn main() {
+    let _metrics = rtcg_bench::init_metrics_from_env();
     println!("E5: Theorem 3 sufficiency sweep (random chain models, 60 trials/bucket)");
     println!();
     let trials = 60u64;

@@ -19,6 +19,7 @@ use rtcg_synth::latency::latency_synthesize_with;
 use rtcg_synth::merge_constraints;
 
 fn main() {
+    let _metrics = rtcg_bench::init_metrics_from_env();
     println!("E6: shared-operation savings — naive process mapping vs merging");
     println!();
     let mut t = Table::new(&[

@@ -28,6 +28,7 @@ fn measure_ns(mut f: impl FnMut()) -> f64 {
 }
 
 fn main() {
+    let _metrics = rtcg_bench::init_metrics_from_env();
     println!("E7: per-tick dispatch cost (ns/tick, best of 5 batches)");
     println!();
     let mut t = Table::new(&["jobs n", "table", "EDF heap", "LLF scan", "LLF/table"]);

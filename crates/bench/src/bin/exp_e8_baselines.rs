@@ -8,12 +8,11 @@
 
 use rtcg_bench::{gen::random_process_set, Table};
 use rtcg_core::model::CommGraph;
-use rtcg_process::{
-    edf_schedulable, rm_schedulable_by_bound, rm_schedulable_exact, utilization,
-};
+use rtcg_process::{edf_schedulable, rm_schedulable_by_bound, rm_schedulable_exact, utilization};
 use rtcg_sim::dynamic::{simulate_processes, Policy, Preemption, ProcessSim};
 
 fn main() {
+    let _metrics = rtcg_bench::init_metrics_from_env();
     println!("E8: RM vs EDF schedulability over utilization (400 sets/bucket, n=5)");
     println!();
     let buckets: &[(f64, f64)] = &[
@@ -53,13 +52,7 @@ fn main() {
         }
     }
 
-    let mut t = Table::new(&[
-        "utilization",
-        "sets",
-        "RM bound %",
-        "RM exact %",
-        "EDF %",
-    ]);
+    let mut t = Table::new(&["utilization", "sets", "RM bound %", "RM exact %", "EDF %"]);
     for (bix, &(lo, hi)) in buckets.iter().enumerate() {
         let (n, ll, rm, edf) = counts[bix];
         let pct = |x: usize| {
@@ -94,7 +87,12 @@ fn main() {
         for (i, p) in set.processes().iter().enumerate() {
             let e = comm.add_element(format!("e{i}"), p.wcet).unwrap();
             bodies.push(vec![e]);
-            arrivals.push((0..).map(|k| k * p.period).take_while(|&t| t < horizon).collect());
+            arrivals.push(
+                (0..)
+                    .map(|k| k * p.period)
+                    .take_while(|&t| t < horizon)
+                    .collect(),
+            );
         }
         let input = ProcessSim {
             set: &set,

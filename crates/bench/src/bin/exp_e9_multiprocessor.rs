@@ -36,6 +36,7 @@ fn pipeline(stages: usize, d: u64) -> Model {
 }
 
 fn main() {
+    let _metrics = rtcg_bench::init_metrics_from_env();
     println!("E9 (extension): multiprocessor decomposition sweep");
     println!();
     let cfg = SynthesisConfig {
@@ -66,10 +67,7 @@ fn main() {
                         .bus
                         .as_ref()
                         .map(|b| {
-                            format!(
-                                "{:.2}",
-                                b.schedule.busy_fraction(b.model().comm()).unwrap()
-                            )
+                            format!("{:.2}", b.schedule.busy_fraction(b.model().comm()).unwrap())
                         })
                         .unwrap_or_else(|| "-".into());
                     t.row(&[
@@ -125,10 +123,7 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
-    let path: Vec<_> = names
-        .iter()
-        .map(|n| m.comm().lookup(n).unwrap())
-        .collect();
+    let path: Vec<_> = names.iter().map(|n| m.comm().lookup(n).unwrap()).collect();
     // the element list of a pipelined model is chain-ordered per stage;
     // use the first/last with an existing channel path where possible
     if let Ok(Some(r)) = reaction_latency(&trace, m.comm(), &path[..2.min(path.len())]) {

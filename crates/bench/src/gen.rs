@@ -161,10 +161,7 @@ mod tests {
         for &target in &[0.3, 0.7, 0.95] {
             let s = random_process_set(6, target, 5);
             let u = rtcg_process::utilization(&s);
-            assert!(
-                (u - target).abs() < 0.3,
-                "target {target} measured {u}"
-            );
+            assert!((u - target).abs() < 0.3, "target {target} measured {u}");
         }
     }
 

@@ -9,9 +9,11 @@
 #![warn(missing_docs)]
 
 pub mod gen;
+pub mod obs;
 pub mod table;
 
 pub use gen::{random_async_model, random_process_set, shared_core_model};
+pub use obs::init_from_env as init_metrics_from_env;
 pub use table::Table;
 
 use std::time::Instant;

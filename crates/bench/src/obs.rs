@@ -1,0 +1,43 @@
+//! Opt-in metrics emission for the `exp_e*` experiment binaries.
+//!
+//! Setting `RTCG_METRICS=<path>` installs an in-memory [`rtcg_obs`]
+//! recorder for the run; when the guard returned by [`init_from_env`]
+//! drops at the end of `main`, everything collected is written to the
+//! path as JSON Lines (one metric object per line, `"type"` field
+//! discriminating counter/gauge/histogram/span/event). `RTCG_METRICS=-`
+//! writes to stdout instead. Unset: no recorder is installed and every
+//! instrumentation site stays on its uninstalled fast path, so default
+//! experiment timings are unperturbed.
+
+use rtcg_obs::MemoryRecorder;
+use std::io::Write;
+
+/// Drop guard that dumps collected metrics when `main` returns.
+pub struct MetricsDump {
+    rec: &'static MemoryRecorder,
+    path: String,
+}
+
+impl Drop for MetricsDump {
+    fn drop(&mut self) {
+        let jsonl = self.rec.metrics_jsonl();
+        if self.path == "-" {
+            let _ = std::io::stdout().write_all(jsonl.as_bytes());
+        } else {
+            match std::fs::write(&self.path, jsonl) {
+                Ok(()) => eprintln!("metrics written to {}", self.path),
+                Err(e) => eprintln!("cannot write metrics to {}: {e}", self.path),
+            }
+        }
+    }
+}
+
+/// Installs the recorder iff `RTCG_METRICS` is set; returns the dump
+/// guard to hold for the duration of `main`.
+pub fn init_from_env() -> Option<MetricsDump> {
+    let path = std::env::var("RTCG_METRICS").ok()?;
+    Some(MetricsDump {
+        rec: MemoryRecorder::install(),
+        path,
+    })
+}

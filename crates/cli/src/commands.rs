@@ -9,7 +9,7 @@ use rtcg_sim::invocation::InvocationPattern;
 use rtcg_sim::table::run_table_executor;
 use rtcg_synth::latency::latency_synthesize;
 
-fn load(path: &str) -> Result<(String, Model), CliError> {
+pub(crate) fn load(path: &str) -> Result<(String, Model), CliError> {
     let src = std::fs::read_to_string(path)
         .map_err(|e| CliError::Input(format!("cannot read `{path}`: {e}")))?;
     let model = rtcg_lang::parse_model(&src)
@@ -48,7 +48,11 @@ pub fn check(path: &str) -> Result<(), CliError> {
         println!(
             "  {:<16} {:<12} p={:<6} d={:<6} w={}",
             c.name,
-            if c.is_periodic() { "periodic" } else { "asynchronous" },
+            if c.is_periodic() {
+                "periodic"
+            } else {
+                "asynchronous"
+            },
             c.period,
             c.deadline,
             w
@@ -57,8 +61,19 @@ pub fn check(path: &str) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `rtcg synthesize [--merged] [--gantt N]`.
+/// `rtcg synthesize [--merged] [--gantt N] [--metrics] [--trace-out F]`.
 pub fn synthesize(path: &str, flags: &[String]) -> Result<(), CliError> {
+    let rec = crate::profile::recorder_for(flags);
+    let result = synthesize_inner(path, flags);
+    if let Some(rec) = rec {
+        // emit even when synthesis failed: the trace shows *where* the
+        // pipeline spent its time before giving up
+        crate::profile::emit(rec, flags)?;
+    }
+    result
+}
+
+fn synthesize_inner(path: &str, flags: &[String]) -> Result<(), CliError> {
     let (_, model) = load(path)?;
     let gantt_ticks = flag_value(flags, "--gantt")?;
     if flags.iter().any(|f| f == "--merged") {
@@ -112,14 +127,25 @@ fn print_schedule(
     Ok(())
 }
 
-/// `rtcg simulate --ticks N [--seed S]`.
+/// `rtcg simulate --ticks N [--seed S] [--metrics] [--trace-out F]`.
 pub fn simulate(path: &str, flags: &[String]) -> Result<(), CliError> {
-    let (_, model) = load(path)?;
-    let ticks = flag_value(flags, "--ticks")?
-        .ok_or_else(|| CliError::Usage("simulate requires --ticks N".into()))?;
-    let seed = flag_value(flags, "--seed")?.unwrap_or(0);
-    let out = core_synthesize(&model).map_err(|e| CliError::Infeasible(e.to_string()))?;
-    let m = out.model();
+    let rec = crate::profile::recorder_for(flags);
+    let result = simulate_inner(path, flags);
+    if let Some(rec) = rec {
+        crate::profile::emit(rec, flags)?;
+    }
+    result
+}
+
+/// Synthesis-independent simulation core shared with `rtcg profile`:
+/// periodic constraints invoke on their period, asynchronous ones from a
+/// seeded sporadic stream.
+pub(crate) fn run_simulation(
+    m: &Model,
+    schedule: &rtcg_core::StaticSchedule,
+    ticks: u64,
+    seed: u64,
+) -> Result<rtcg_sim::table::TableRun, CliError> {
     let patterns: Vec<InvocationPattern> = m
         .constraints()
         .iter()
@@ -138,8 +164,16 @@ pub fn simulate(path: &str, flags: &[String]) -> Result<(), CliError> {
             }
         })
         .collect();
-    let run = run_table_executor(m, &out.schedule, &patterns, ticks)
-        .map_err(|e| CliError::Input(e.to_string()))?;
+    run_table_executor(m, schedule, &patterns, ticks).map_err(|e| CliError::Input(e.to_string()))
+}
+
+fn simulate_inner(path: &str, flags: &[String]) -> Result<(), CliError> {
+    let (_, model) = load(path)?;
+    let ticks = flag_value(flags, "--ticks")?
+        .ok_or_else(|| CliError::Usage("simulate requires --ticks N".into()))?;
+    let seed = flag_value(flags, "--seed")?.unwrap_or(0);
+    let out = core_synthesize(&model).map_err(|e| CliError::Infeasible(e.to_string()))?;
+    let run = run_simulation(out.model(), &out.schedule, ticks, seed)?;
     println!("simulated {ticks} ticks (seed {seed}):");
     for o in &run.outcomes {
         println!(
@@ -148,8 +182,7 @@ pub fn simulate(path: &str, flags: &[String]) -> Result<(), CliError> {
             o.checked,
             o.met,
             o.missed,
-            o.worst_response
-                .map_or("-".to_string(), |r| r.to_string())
+            o.worst_response.map_or("-".to_string(), |r| r.to_string())
         );
     }
     if run.all_met() {
@@ -209,7 +242,7 @@ pub fn codegen(path: &str) -> Result<(), CliError> {
     Ok(())
 }
 
-fn flag_value(flags: &[String], name: &str) -> Result<Option<u64>, CliError> {
+pub(crate) fn flag_value(flags: &[String], name: &str) -> Result<Option<u64>, CliError> {
     match flags.iter().position(|f| f == name) {
         None => Ok(None),
         Some(ix) => {

@@ -5,6 +5,7 @@
 //! rtcg check <spec.rtcg>               validate a specification
 //! rtcg synthesize <spec.rtcg> [--merged] [--gantt N]
 //! rtcg simulate <spec.rtcg> --ticks N [--seed S]
+//! rtcg profile <spec.rtcg> [--ticks N]
 //! rtcg sensitivity <spec.rtcg>
 //! rtcg dot <spec.rtcg>
 //! rtcg codegen <spec.rtcg>
@@ -17,6 +18,7 @@
 use std::process::ExitCode;
 
 mod commands;
+mod profile;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,13 +43,19 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   rtcg check <spec.rtcg>
-  rtcg synthesize <spec.rtcg> [--merged] [--gantt N]
-  rtcg simulate <spec.rtcg> --ticks N [--seed S]
+  rtcg synthesize <spec.rtcg> [--merged] [--gantt N] [--metrics] [--trace-out FILE]
+  rtcg simulate <spec.rtcg> --ticks N [--seed S] [--metrics] [--trace-out FILE]
+  rtcg profile <spec.rtcg> [--ticks N] [--trace-out FILE]
   rtcg sensitivity <spec.rtcg>
   rtcg dot <spec.rtcg>
-  rtcg codegen <spec.rtcg>";
+  rtcg codegen <spec.rtcg>
+
+observability:
+  --metrics          print a counters/spans/histograms summary after the run
+  --trace-out FILE   write a Chrome trace_event JSON (Perfetto, chrome://tracing)";
 
 /// CLI error categories (mapped to exit codes).
+#[derive(Debug)]
 pub enum CliError {
     /// Bad invocation.
     Usage(String),
@@ -65,6 +73,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "check" => commands::check(rest(args)?),
         "synthesize" => commands::synthesize(rest(args)?, &args[2..]),
         "simulate" => commands::simulate(rest(args)?, &args[2..]),
+        "profile" => profile::profile(rest(args)?, &args[2..]),
         "sensitivity" => commands::sensitivity(rest(args)?),
         "dot" => commands::dot(rest(args)?),
         "codegen" => commands::codegen(rest(args)?),

@@ -1,0 +1,263 @@
+//! `rtcg profile` and the shared `--metrics` / `--trace-out` plumbing.
+//!
+//! Profiling installs an in-memory [`rtcg_obs`] recorder, drives the
+//! whole toolchain over one spec — necessary-condition bounds, a
+//! budget-capped exact search, heuristic synthesis, and a table-executor
+//! simulation — and prints what the instrumentation collected: counters,
+//! span timings, and latency histograms. `--trace-out` additionally
+//! dumps a Chrome `trace_event` JSON loadable in Perfetto or
+//! chrome://tracing.
+
+use crate::commands::{load, run_simulation};
+use crate::CliError;
+use rtcg_core::feasibility::{find_feasible, quick_infeasible, SearchConfig};
+use rtcg_core::heuristic::synthesize as core_synthesize;
+use rtcg_obs::MemoryRecorder;
+
+/// Aligned-text table (same shape as the bench crate's experiment
+/// tables: padded columns, dashed rule under the header).
+struct Table {
+    header: Vec<&'static str>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    fn new(header: &[&'static str]) -> Self {
+        Table {
+            header: header.to_vec(),
+            rows: Vec::new(),
+        }
+    }
+
+    fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(cell);
+                line.push_str(&" ".repeat(widths[i] - cell.len()));
+            }
+            line.trim_end().to_string()
+        };
+        let header: Vec<String> = self.header.iter().map(|h| h.to_string()).collect();
+        let mut out = fmt(&header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Installs the in-memory recorder when `--metrics` or `--trace-out` is
+/// present. Returns `None` when neither flag asks for observability.
+pub fn recorder_for(flags: &[String]) -> Option<&'static MemoryRecorder> {
+    let wanted = flags.iter().any(|f| f == "--metrics") || flags.iter().any(|f| f == "--trace-out");
+    if wanted {
+        Some(MemoryRecorder::install())
+    } else {
+        None
+    }
+}
+
+/// Emits whatever the flags asked for: a Chrome trace file for
+/// `--trace-out FILE`, a metrics summary table for `--metrics`.
+pub fn emit(rec: &MemoryRecorder, flags: &[String]) -> Result<(), CliError> {
+    if let Some(path) = flag_str(flags, "--trace-out")? {
+        std::fs::write(&path, rec.chrome_trace_json())
+            .map_err(|e| CliError::Input(format!("cannot write `{path}`: {e}")))?;
+        eprintln!("trace written to {path} (open in Perfetto or chrome://tracing)");
+    }
+    if flags.iter().any(|f| f == "--metrics") {
+        print!("{}", render_metrics(rec));
+    }
+    Ok(())
+}
+
+/// Renders the recorder's current contents as summary tables.
+pub fn render_metrics(rec: &MemoryRecorder) -> String {
+    let snap = rec.snapshot();
+    let mut out = String::new();
+
+    if !snap.counters.is_empty() {
+        let mut t = Table::new(&["counter", "value"]);
+        for (name, v) in &snap.counters {
+            t.row(vec![name.to_string(), v.to_string()]);
+        }
+        out.push_str("\ncounters:\n");
+        out.push_str(&t.render());
+    }
+
+    if !snap.spans.is_empty() {
+        // aggregate spans by name, preserving first-seen order
+        let mut names: Vec<&'static str> = Vec::new();
+        for s in &snap.spans {
+            if !names.contains(&s.name) {
+                names.push(s.name);
+            }
+        }
+        let mut t = Table::new(&["span", "cat", "count", "total"]);
+        for name in names {
+            let count = snap.spans.iter().filter(|s| s.name == name).count();
+            let cat = snap
+                .spans
+                .iter()
+                .find(|s| s.name == name)
+                .map_or("", |s| s.cat);
+            let total = snap.span_total(name);
+            t.row(vec![
+                name.to_string(),
+                cat.to_string(),
+                count.to_string(),
+                format!("{:.3}ms", total.as_secs_f64() * 1e3),
+            ]);
+        }
+        out.push_str("\nspans:\n");
+        out.push_str(&t.render());
+    }
+
+    if !snap.histograms.is_empty() {
+        let mut t = Table::new(&["histogram", "count", "mean", "p50", "p99", "max"]);
+        for h in &snap.histograms {
+            t.row(vec![
+                h.name.to_string(),
+                h.count.to_string(),
+                format!("{:.1}", h.mean()),
+                h.percentile(50.0).to_string(),
+                h.percentile(99.0).to_string(),
+                h.max.to_string(),
+            ]);
+        }
+        out.push_str("\nhistograms:\n");
+        out.push_str(&t.render());
+    }
+
+    if !snap.events.is_empty() {
+        out.push_str(&format!(
+            "\n{} instant event(s) recorded\n",
+            snap.events.len()
+        ));
+    }
+    out
+}
+
+/// `rtcg profile <spec.rtcg> [--ticks N] [--trace-out FILE]` — run the
+/// full pipeline under the recorder and print the metrics summary.
+pub fn profile(path: &str, flags: &[String]) -> Result<(), CliError> {
+    let rec = MemoryRecorder::install();
+    let (_, model) = load(path)?;
+    let ticks = crate::commands::flag_value(flags, "--ticks")?.unwrap_or(1000);
+
+    println!("profiling {path}:");
+
+    // 1. necessary-condition bounds
+    let bound = quick_infeasible(&model).map_err(|e| CliError::Input(e.to_string()))?;
+    println!(
+        "  bounds: {}",
+        bound.map_or("pass".to_string(), |r| format!("infeasible ({r})"))
+    );
+
+    // 2. budget-capped exact search (profiling wants node counts, not an
+    //    exhaustive answer, so the budget is deliberately small)
+    let search = find_feasible(
+        &model,
+        SearchConfig {
+            max_len: 8,
+            node_budget: 50_000,
+        },
+    )
+    .map_err(|e| CliError::Input(e.to_string()))?;
+    println!(
+        "  exact search: {} nodes, {} candidates, schedule {}",
+        search.nodes_visited,
+        search.candidates_checked,
+        if search.schedule.is_some() {
+            "found"
+        } else if search.exhausted_bound {
+            "none within bound"
+        } else {
+            "budget exhausted"
+        }
+    );
+
+    // 3. heuristic synthesis + 4. table-executor simulation
+    match core_synthesize(&model) {
+        Ok(out) => {
+            println!(
+                "  synthesis: {} ({} actions)",
+                out.strategy,
+                out.schedule.len()
+            );
+            let run = run_simulation(out.model(), &out.schedule, ticks, 0)?;
+            println!(
+                "  simulation: {ticks} ticks, {} windows checked, {} missed",
+                run.total_checked(),
+                run.outcomes.iter().map(|o| o.missed).sum::<usize>()
+            );
+        }
+        Err(e) => println!("  synthesis: infeasible ({e})"),
+    }
+
+    print!("{}", render_metrics(rec));
+
+    if let Some(out) = flag_str(flags, "--trace-out")? {
+        std::fs::write(&out, rec.chrome_trace_json())
+            .map_err(|e| CliError::Input(format!("cannot write `{out}`: {e}")))?;
+        println!("\ntrace written to {out} (open in Perfetto or chrome://tracing)");
+    }
+    Ok(())
+}
+
+/// Extracts a string-valued `--flag VALUE` pair.
+pub fn flag_str(flags: &[String], name: &str) -> Result<Option<String>, CliError> {
+    match flags.iter().position(|f| f == name) {
+        None => Ok(None),
+        Some(ix) => flags
+            .get(ix + 1)
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| CliError::Usage(format!("{name} needs a value"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(&["name", "v"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].chars().all(|c| c == '-'));
+        let off = lines[0].find('v').unwrap();
+        assert_eq!(lines[2].find('1'), Some(off));
+    }
+
+    #[test]
+    fn flag_str_parses() {
+        let flags = vec!["--trace-out".to_string(), "t.json".to_string()];
+        assert_eq!(flag_str(&flags, "--trace-out").unwrap().unwrap(), "t.json");
+        assert!(flag_str(&flags, "--other").unwrap().is_none());
+        assert!(flag_str(&flags[..1], "--trace-out").is_err());
+    }
+}

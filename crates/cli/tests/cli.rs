@@ -130,7 +130,14 @@ fn synthesize_infeasible_exits_3() {
 #[test]
 fn simulate_meets_deadlines() {
     let spec = write_spec(GOOD_SPEC);
-    let out = rtcg(&["simulate", spec.path_str(), "--ticks", "2000", "--seed", "7"]);
+    let out = rtcg(&[
+        "simulate",
+        spec.path_str(),
+        "--ticks",
+        "2000",
+        "--seed",
+        "7",
+    ]);
     assert!(out.status.success(), "{out:?}");
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("all deadlines met"));
@@ -205,4 +212,89 @@ fn merged_synthesis_flag() {
     assert!(out.status.success(), "{out:?}");
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("1 group(s) merged"), "{stdout}");
+}
+
+#[test]
+fn profile_prints_metrics_tables() {
+    let spec = write_spec(GOOD_SPEC);
+    let out = rtcg(&["profile", spec.path_str()]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("counters:"), "{stdout}");
+    assert!(stdout.contains("spans:"), "{stdout}");
+    // acceptance: nonzero search-node and sim-tick counters
+    let counter = |name: &str| -> u64 {
+        stdout
+            .lines()
+            .find(|l| l.starts_with(name))
+            .unwrap_or_else(|| panic!("missing counter {name}: {stdout}"))
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    assert!(counter("search.nodes_expanded") > 0);
+    assert!(counter("sim.ticks") > 0);
+}
+
+#[test]
+fn profile_trace_out_writes_valid_json() {
+    let spec = write_spec(GOOD_SPEC);
+    let trace = spec.path.with_extension("trace.json");
+    let out = rtcg(&[
+        "profile",
+        spec.path_str(),
+        "--ticks",
+        "200",
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let body = std::fs::read_to_string(&trace).expect("trace file exists");
+    std::fs::remove_file(&trace).ok();
+    let v: serde_json::Value = serde_json::from_str(&body).expect("valid JSON");
+    let events = v["traceEvents"].as_array().expect("traceEvents array");
+    assert!(!events.is_empty());
+}
+
+#[test]
+fn simulate_trace_out_round_trips() {
+    let spec = write_spec(GOOD_SPEC);
+    let trace = spec.path.with_extension("sim-trace.json");
+    let out = rtcg(&[
+        "simulate",
+        spec.path_str(),
+        "--ticks",
+        "1000",
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let body = std::fs::read_to_string(&trace).expect("trace file exists");
+    std::fs::remove_file(&trace).ok();
+    // serde_json round-trip: parse, re-serialize, parse again
+    let v: serde_json::Value = serde_json::from_str(&body).expect("valid JSON");
+    let again: serde_json::Value =
+        serde_json::from_str(&serde_json::to_string(&v).unwrap()).unwrap();
+    assert_eq!(v, again);
+    let events = v["traceEvents"].as_array().expect("traceEvents array");
+    assert!(events.iter().any(|e| e["ph"] == "X"), "has span events");
+}
+
+#[test]
+fn simulate_metrics_prints_summary() {
+    let spec = write_spec(GOOD_SPEC);
+    let out = rtcg(&["simulate", spec.path_str(), "--ticks", "500", "--metrics"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("counters:"), "{stdout}");
+    assert!(stdout.contains("sim.ticks"), "{stdout}");
+}
+
+#[test]
+fn trace_out_requires_value() {
+    let spec = write_spec(GOOD_SPEC);
+    let out = rtcg(&["simulate", spec.path_str(), "--ticks", "100", "--trace-out"]);
+    assert_eq!(out.status.code(), Some(1));
 }

@@ -24,7 +24,10 @@ pub struct ScheduleStats {
 }
 
 /// Computes summary statistics (runs a full feasibility analysis).
-pub fn schedule_stats(model: &Model, schedule: &StaticSchedule) -> Result<ScheduleStats, ModelError> {
+pub fn schedule_stats(
+    model: &Model,
+    schedule: &StaticSchedule,
+) -> Result<ScheduleStats, ModelError> {
     let report = schedule.feasibility(model)?;
     let min_slack = report
         .checks

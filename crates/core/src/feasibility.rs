@@ -25,5 +25,5 @@ pub mod parallel;
 
 pub use bounds::{density_lower_bound, quick_infeasible, InfeasibleReason};
 pub use exact::{find_feasible, SearchConfig, SearchOutcome};
-pub use parallel::find_feasible_parallel;
 pub use game::{solve_game, GameConfig, GameOutcome};
+pub use parallel::find_feasible_parallel;

@@ -79,10 +79,12 @@ pub fn density_lower_bound(model: &Model) -> Result<f64, ModelError> {
 /// Runs all cheap necessary conditions; `Ok(Some(reason))` means the
 /// instance certainly has no feasible static schedule.
 pub fn quick_infeasible(model: &Model) -> Result<Option<InfeasibleReason>, ModelError> {
+    let _span = rtcg_obs::span!("feasibility.bounds", "search");
     let comm = model.comm();
     for c in model.constraints() {
         let w = c.computation_time(comm)?;
         if w > c.deadline {
+            rtcg_obs::counter!("bounds.quick_rejections");
             return Ok(Some(InfeasibleReason::SpanExceedsDeadline {
                 name: c.name.clone(),
                 computation: w,
@@ -92,6 +94,7 @@ pub fn quick_infeasible(model: &Model) -> Result<Option<InfeasibleReason>, Model
     }
     let bound = density_lower_bound(model)?;
     if bound > 1.0 + 1e-9 {
+        rtcg_obs::counter!("bounds.quick_rejections");
         return Ok(Some(InfeasibleReason::DensityExceedsOne { bound }));
     }
     Ok(None)
@@ -100,8 +103,8 @@ pub fn quick_infeasible(model: &Model) -> Result<Option<InfeasibleReason>, Model
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{CommGraph, Model};
     use crate::constraint::{ConstraintKind, TimingConstraint};
+    use crate::model::{CommGraph, Model};
     use crate::task::TaskGraphBuilder;
 
     /// A model with one element `e(w)` and `n` asynchronous single-op

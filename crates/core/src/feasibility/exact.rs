@@ -53,6 +53,7 @@ pub struct SearchOutcome {
 /// Searches for a feasible static schedule of at most `config.max_len`
 /// actions. Complete up to the bound.
 pub fn find_feasible(model: &Model, config: SearchConfig) -> Result<SearchOutcome, ModelError> {
+    let _span = rtcg_obs::span!("feasibility.exact", "search");
     // Alphabet: elements actually used by constraints, in id order.
     let mut used: Vec<ElementId> = Vec::new();
     for c in model.constraints() {
@@ -82,9 +83,7 @@ pub fn find_feasible(model: &Model, config: SearchConfig) -> Result<SearchOutcom
     let n = used.len();
     for len in 1..=config.max_len {
         let mut string = vec![0usize; len];
-        if search_level(
-            model, &used, &mut string, 0, len, n, config, &mut out,
-        )? {
+        if search_level(model, &used, &mut string, 0, len, n, config, &mut out)? {
             return Ok(out);
         }
         if !out.exhausted_bound {
@@ -118,7 +117,16 @@ pub(crate) fn search_subtree(
     }
     let mut string = vec![0usize; len];
     string[0] = first;
-    search_level(model, used, &mut string, 1, len, n_symbols, config, &mut out)?;
+    search_level(
+        model,
+        used,
+        &mut string,
+        1,
+        len,
+        n_symbols,
+        config,
+        &mut out,
+    )?;
     Ok(out)
 }
 
@@ -136,21 +144,25 @@ fn search_level(
     out: &mut SearchOutcome,
 ) -> Result<bool, ModelError> {
     out.nodes_visited += 1;
+    rtcg_obs::counter!("search.nodes_expanded");
     if out.nodes_visited + out.candidates_checked > config.node_budget {
         out.exhausted_bound = false;
         return Ok(false);
     }
     if depth == len {
         if !is_canonical_rotation(string) {
+            rtcg_obs::counter!("search.nodes_pruned");
             return Ok(false);
         }
         // every used element must appear, else some latency is infinite
         for sym in 1..=n_symbols {
             if !string.contains(&sym) {
+                rtcg_obs::counter!("search.nodes_pruned");
                 return Ok(false);
             }
         }
         out.candidates_checked += 1;
+        rtcg_obs::counter!("search.candidates_checked");
         let schedule = StaticSchedule::new(
             string
                 .iter()

@@ -152,6 +152,7 @@ impl ColorMap {
 /// result holds with minor modifications otherwise — periodic constraints
 /// are handled by [`crate::schedule::StaticSchedule::feasibility`].)
 pub fn solve_game(model: &Model, config: GameConfig) -> Result<GameOutcome, ModelError> {
+    let _span = rtcg_obs::span!("feasibility.game", "search");
     let comm = model.comm();
     let async_constraints: Vec<_> = model.asynchronous().map(|(_, c)| c).collect();
     if async_constraints.is_empty() {
@@ -201,6 +202,7 @@ pub fn solve_game(model: &Model, config: GameConfig) -> Result<GameOutcome, Mode
     solver.dfs(init);
 
     let states_expanded = solver.colors.len();
+    rtcg_obs::counter!("game.states_expanded", states_expanded as u64);
     if let Some(cycle) = solver.cycle {
         return Ok(GameOutcome::Feasible {
             schedule: StaticSchedule::new(cycle),
@@ -258,6 +260,7 @@ impl<'a> GameSolver<'a> {
             .chain(self.used.iter().map(|&e| Action::Run(e)))
             .collect();
         for mv in moves {
+            rtcg_obs::counter!("game.moves_tried");
             if self.apply_checked(mv) {
                 let next = self.current_state();
                 match self.colors.get(&next) {
@@ -464,7 +467,10 @@ mod tests {
         let m = single_op_model(&[(1, 6), (1, 6), (1, 6)]);
         let out = solve_game(
             &m,
-            GameConfig { state_budget: 1, frontier: Default::default() },
+            GameConfig {
+                state_budget: 1,
+                frontier: Default::default(),
+            },
         )
         .unwrap();
         // with budget 1 the solver can barely move; either it got lucky
@@ -476,7 +482,11 @@ mod tests {
 
     #[test]
     fn ordered_frontier_agrees_with_hashed() {
-        for specs in [vec![(1u64, 3u64)], vec![(1, 4), (1, 4)], vec![(2, 3), (2, 3)]] {
+        for specs in [
+            vec![(1u64, 3u64)],
+            vec![(1, 4), (1, 4)],
+            vec![(2, 3), (2, 3)],
+        ] {
             let m = single_op_model(&specs);
             let hashed = solve_game(
                 &m,

@@ -27,6 +27,7 @@ pub fn find_feasible_parallel(
     config: SearchConfig,
     threads: usize,
 ) -> Result<SearchOutcome, ModelError> {
+    let _span = rtcg_obs::span!("feasibility.parallel", "search");
     let threads = threads.max(1);
     let mut used: Vec<ElementId> = Vec::new();
     for c in model.constraints() {
@@ -56,7 +57,7 @@ pub fn find_feasible_parallel(
         // winner index: lowest first-symbol subtree that found a schedule
         let winner = AtomicUsize::new(usize::MAX);
         let mut results: Vec<Result<SearchOutcome, ModelError>> = Vec::with_capacity(subtrees);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(subtrees);
             for (chunk_ix, chunk) in (0..subtrees)
                 .collect::<Vec<_>>()
@@ -68,7 +69,7 @@ pub fn find_feasible_parallel(
                 let winner = &winner;
                 handles.push((
                     chunk_ix,
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut locals = Vec::with_capacity(chunk.len());
                         for first in chunk {
                             // cancelled by a success in a lower subtree
@@ -106,8 +107,7 @@ pub fn find_feasible_parallel(
             }
             collected.sort_by_key(|(first, _)| *first);
             results = collected.into_iter().map(|(_, r)| r).collect();
-        })
-        .expect("scope join");
+        });
 
         // combine in subtree order
         let mut found: Option<StaticSchedule> = None;

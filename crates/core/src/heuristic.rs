@@ -111,19 +111,25 @@ pub fn synthesize_with(
     model: &Model,
     config: SynthesisConfig,
 ) -> Result<SynthesisOutcome, ModelError> {
+    let _span = rtcg_obs::span!("heuristic.synthesize", "synthesis");
     model.validate()?;
     if let Some(reason) = quick_infeasible(model)? {
         return Err(ModelError::Infeasible {
             reason: reason.to_string(),
         });
     }
-    let pipelined = pipeline_model(model)?;
+    let pipelined = {
+        let _span = rtcg_obs::span!("heuristic.pipeline", "synthesis");
+        pipeline_model(model)?
+    };
 
     if pipelined.all_unit_weight() {
         for (strategy, name) in [
             (SplitStrategy::Half, "edf-half"),
             (SplitStrategy::WidePeriod, "edf-wide"),
         ] {
+            rtcg_obs::counter!("synth.strategy_attempts");
+            let _span = rtcg_obs::Span::begin(name, "synthesis");
             match generate_edf_schedule(&pipelined.model, strategy, config.max_hyperperiod) {
                 Ok(schedule) => {
                     let report = schedule.feasibility(&pipelined.model)?;
@@ -144,6 +150,7 @@ pub fn synthesize_with(
     }
 
     if config.game_state_budget > 0 {
+        rtcg_obs::counter!("synth.strategy_attempts");
         let outcome = game::solve_game(
             &pipelined.model,
             game::GameConfig {
@@ -173,6 +180,7 @@ pub fn synthesize_with(
 /// Post-pass: greedily removes idle actions while the schedule stays
 /// feasible (an ablation knob — shorter tables, tighter latencies).
 pub fn compact(model: &Model, schedule: &StaticSchedule) -> Result<StaticSchedule, ModelError> {
+    let _span = rtcg_obs::span!("heuristic.compact", "synthesis");
     let mut current = schedule.clone();
     loop {
         let mut improved = false;
@@ -243,11 +251,7 @@ mod tests {
     fn synthesize_single_constraint() {
         let m = async_model(&[(1, 4, 4)]);
         let out = synthesize(&m).unwrap();
-        assert!(out
-            .schedule
-            .feasibility(out.model())
-            .unwrap()
-            .is_feasible());
+        assert!(out.schedule.feasibility(out.model()).unwrap().is_feasible());
     }
 
     #[test]
@@ -256,11 +260,7 @@ mod tests {
         let m = async_model(&[(1, 6, 6), (1, 6, 6), (1, 6, 6)]);
         assert!(theorem3_applies(&m).unwrap());
         let out = synthesize(&m).unwrap();
-        assert!(out
-            .schedule
-            .feasibility(out.model())
-            .unwrap()
-            .is_feasible());
+        assert!(out.schedule.feasibility(out.model()).unwrap().is_feasible());
     }
 
     #[test]
@@ -269,20 +269,13 @@ mod tests {
         let m = async_model(&[(2, 10, 10)]);
         let out = synthesize(&m).unwrap();
         assert!(out.model().comm().element_count() >= 2, "pipelined");
-        assert!(out
-            .schedule
-            .feasibility(out.model())
-            .unwrap()
-            .is_feasible());
+        assert!(out.schedule.feasibility(out.model()).unwrap().is_feasible());
     }
 
     #[test]
     fn synthesize_rejects_infeasible_density() {
         let m = async_model(&[(2, 3, 3), (2, 3, 3)]);
-        assert!(matches!(
-            synthesize(&m),
-            Err(ModelError::Infeasible { .. })
-        ));
+        assert!(matches!(synthesize(&m), Err(ModelError::Infeasible { .. })));
     }
 
     #[test]

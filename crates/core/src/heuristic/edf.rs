@@ -395,10 +395,7 @@ mod tests {
         for deadlines in cases {
             let specs: Vec<(u64, u64)> = deadlines.iter().map(|&d| (1, d)).collect();
             let m = unit_async_model(&specs);
-            assert!(
-                m.deadline_density() <= 0.5 + 1e-9,
-                "bad case {deadlines:?}"
-            );
+            assert!(m.deadline_density() <= 0.5 + 1e-9, "bad case {deadlines:?}");
             let s = generate_edf_schedule(&m, SplitStrategy::Half, 1_000_000)
                 .unwrap_or_else(|e| panic!("Half failed on {deadlines:?}: {e}"));
             assert!(

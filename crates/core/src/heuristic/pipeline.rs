@@ -179,7 +179,12 @@ mod tests {
         assert_eq!(p.model.comm().element_count(), 4);
         assert!(p.all_unit_weight());
         // names carry stage suffixes
-        let names: Vec<&str> = p.model.comm().elements().map(|(_, e)| e.name.as_str()).collect();
+        let names: Vec<&str> = p
+            .model
+            .comm()
+            .elements()
+            .map(|(_, e)| e.name.as_str())
+            .collect();
         assert!(names.contains(&"s/0"));
         assert!(names.contains(&"s/2"));
         assert!(names.contains(&"a"));
@@ -209,10 +214,7 @@ mod tests {
         // ops: a + 3 stages of s
         assert_eq!(c.task.op_count(), 4);
         // computation time preserved
-        assert_eq!(
-            c.task.computation_time(p.model.comm()).unwrap(),
-            4
-        );
+        assert_eq!(c.task.computation_time(p.model.comm()).unwrap(), 4);
         p.model.validate().unwrap();
         // precedence is a simple chain a -> s/0 -> s/1 -> s/2
         assert_eq!(c.task.precedence_edges().count(), 3);
@@ -227,7 +229,10 @@ mod tests {
         let m = b.build().unwrap();
         let p = pipeline_model(&m).unwrap();
         assert_eq!(p.model.comm().element_count(), 1);
-        assert_eq!(p.model.comm().name(p.model.comm().lookup("x").unwrap()), "x");
+        assert_eq!(
+            p.model.comm().name(p.model.comm().lookup("x").unwrap()),
+            "x"
+        );
         assert!(p.all_unit_weight());
     }
 

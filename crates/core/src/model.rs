@@ -58,7 +58,11 @@ impl CommGraph {
     }
 
     /// Adds a functional element with the given unique name and weight.
-    pub fn add_element(&mut self, name: impl Into<String>, wcet: Time) -> Result<ElementId, ModelError> {
+    pub fn add_element(
+        &mut self,
+        name: impl Into<String>,
+        wcet: Time,
+    ) -> Result<ElementId, ModelError> {
         self.add_element_full(name, wcet, true)
     }
 

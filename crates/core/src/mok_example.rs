@@ -132,16 +132,7 @@ pub fn build(params: Params) -> Result<(Model, Elements), ModelError> {
     b.asynchronous("z-chain", cz, params.p_z, params.d_z);
 
     let model = b.build()?;
-    Ok((
-        model,
-        Elements {
-            fx,
-            fy,
-            fz,
-            fs,
-            fk,
-        },
-    ))
+    Ok((model, Elements { fx, fy, fz, fs, fk }))
 }
 
 /// Convenience: the default-parameter instance.
@@ -216,7 +207,11 @@ mod tests {
         };
         let (m, e) = build(p).unwrap();
         assert_eq!(m.comm().wcet(e.fs).unwrap(), 3);
-        let x = m.constraints().iter().find(|c| c.name == "x-chain").unwrap();
+        let x = m
+            .constraints()
+            .iter()
+            .find(|c| c.name == "x-chain")
+            .unwrap();
         assert_eq!(x.period, 10);
         assert_eq!(x.deadline, 9);
     }

@@ -211,7 +211,11 @@ impl StaticSchedule {
                         name: c.name.clone(),
                         kind: c.kind,
                         deadline: c.deadline,
-                        latency: if worst == Time::MAX { None } else { Some(worst) },
+                        latency: if worst == Time::MAX {
+                            None
+                        } else {
+                            Some(worst)
+                        },
                         ok,
                     }
                 }
@@ -408,10 +412,7 @@ mod tests {
             s.latency(m.comm(), &task),
             Err(ModelError::EmptySchedule)
         ));
-        assert!(matches!(
-            s.feasibility(&m),
-            Err(ModelError::EmptySchedule)
-        ));
+        assert!(matches!(s.feasibility(&m), Err(ModelError::EmptySchedule)));
     }
 
     #[test]

@@ -112,10 +112,7 @@ pub fn deadline_sensitivities(
 /// Maximum uniform tightening: the largest integer percentage `pct ≤
 /// 100` such that scaling *every* deadline to `⌈d·pct/100⌉` still
 /// synthesizes. Returns 0 when even the declared deadlines fail.
-pub fn max_uniform_tightening(
-    model: &Model,
-    config: SynthesisConfig,
-) -> Result<u32, ModelError> {
+pub fn max_uniform_tightening(model: &Model, config: SynthesisConfig) -> Result<u32, ModelError> {
     let scaled = |pct: u32| -> Result<Option<Model>, ModelError> {
         let mut constraints = model.constraints().to_vec();
         for c in &mut constraints {

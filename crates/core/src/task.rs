@@ -138,9 +138,8 @@ impl TaskGraph {
         }
         // Compatibility as an explicit homomorphism: each op is pinned to
         // its declared element; verify every edge is carried.
-        let h = rtcg_graph::algo::Homomorphism::from_pairs(
-            self.ops().map(|(id, op)| (id, op.element)),
-        );
+        let h =
+            rtcg_graph::algo::Homomorphism::from_pairs(self.ops().map(|(id, op)| (id, op.element)));
         match rtcg_graph::algo::verify_homomorphism(&self.graph, comm.graph(), &h) {
             Ok(()) => Ok(()),
             Err(_) => {

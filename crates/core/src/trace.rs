@@ -487,8 +487,14 @@ mod tests {
         t.push_execution(b, 2).unwrap(); // [2,4)
         assert!(t.executed_within(&task, &comm, 0, 4).unwrap());
         assert!(t.executed_within(&task, &comm, 1, 4).unwrap());
-        assert!(!t.executed_within(&task, &comm, 2, 4).unwrap(), "a starts at 1 < 2");
-        assert!(!t.executed_within(&task, &comm, 0, 3).unwrap(), "b finishes at 4 > 3");
+        assert!(
+            !t.executed_within(&task, &comm, 2, 4).unwrap(),
+            "a starts at 1 < 2"
+        );
+        assert!(
+            !t.executed_within(&task, &comm, 0, 3).unwrap(),
+            "b finishes at 4 > 3"
+        );
     }
 
     #[test]
@@ -523,7 +529,11 @@ mod tests {
     fn parallel_ops_share_window_without_order() {
         let (comm, [a, b, _]) = setup();
         // independent ops a and b (no precedence): any order works
-        let task = TaskGraphBuilder::new().op("a", a).op("b", b).build().unwrap();
+        let task = TaskGraphBuilder::new()
+            .op("a", a)
+            .op("b", b)
+            .build()
+            .unwrap();
         let mut t = Trace::new();
         t.push_execution(b, 2).unwrap();
         t.push_execution(a, 1).unwrap();
@@ -558,7 +568,10 @@ mod tests {
         }
         t.push_execution(e, 1).unwrap(); // e @ 5
         t.push_execution(f, 1).unwrap(); // f @ 6
-        assert_eq!(t.earliest_completion(&task, &comm_of(&g), 0).unwrap(), Some(7));
+        assert_eq!(
+            t.earliest_completion(&task, &comm_of(&g), 0).unwrap(),
+            Some(7)
+        );
 
         fn comm_of(g: &CommGraph) -> CommGraph {
             g.clone()

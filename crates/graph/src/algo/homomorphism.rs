@@ -253,13 +253,17 @@ mod tests {
         h.add_edge(h0, h1, ()).unwrap();
         h.add_edge(h1, h2, ()).unwrap();
 
-        let m = find_homomorphism(&p, &h, |n| {
-            if n == p0 {
-                vec![h1]
-            } else {
-                vec![h0, h1, h2]
-            }
-        })
+        let m = find_homomorphism(
+            &p,
+            &h,
+            |n| {
+                if n == p0 {
+                    vec![h1]
+                } else {
+                    vec![h0, h1, h2]
+                }
+            },
+        )
         .unwrap();
         assert_eq!(m.image(p0), Some(h1));
         assert_eq!(m.image(p1), Some(h2));

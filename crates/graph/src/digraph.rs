@@ -402,7 +402,9 @@ impl<N, E> DiGraph<N, E> {
 
     /// Nodes with in-degree 0 — the sources of the graph.
     pub fn sources(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&n| self.in_degree(n) == 0).collect()
+        self.node_ids()
+            .filter(|&n| self.in_degree(n) == 0)
+            .collect()
     }
 
     /// Nodes with out-degree 0 — the sinks of the graph.
@@ -425,10 +427,7 @@ impl<N, E> DiGraph<N, E> {
                 .iter()
                 .enumerate()
                 .map(|(ix, s)| NodeSlot {
-                    weight: s
-                        .weight
-                        .as_ref()
-                        .map(|w| fnode(NodeId(ix as u32), w)),
+                    weight: s.weight.as_ref().map(|w| fnode(NodeId(ix as u32), w)),
                     out: s.out.clone(),
                     inc: s.inc.clone(),
                 })
@@ -438,10 +437,7 @@ impl<N, E> DiGraph<N, E> {
                 .iter()
                 .enumerate()
                 .map(|(ix, s)| EdgeSlot {
-                    weight: s
-                        .weight
-                        .as_ref()
-                        .map(|w| fedge(EdgeId(ix as u32), w)),
+                    weight: s.weight.as_ref().map(|w| fedge(EdgeId(ix as u32), w)),
                     from: s.from,
                     to: s.to,
                 })

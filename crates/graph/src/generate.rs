@@ -209,13 +209,18 @@ mod tests {
     fn random_dag_is_acyclic_and_deterministic() {
         let mk = || {
             let mut state = 0xDEADBEEFu64;
-            random_dag(20, 300, |i| i, move || {
-                // xorshift for the test; real callers pass rand_chacha
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                state
-            })
+            random_dag(
+                20,
+                300,
+                |i| i,
+                move || {
+                    // xorshift for the test; real callers pass rand_chacha
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state
+                },
+            )
         };
         let (g1, _) = mk();
         let (g2, _) = mk();

@@ -10,12 +10,17 @@ fn dag_params() -> impl Strategy<Value = (usize, u32, u64)> {
 
 fn build_dag(n: usize, permille: u32, seed: u64) -> DiGraph<usize, ()> {
     let mut state = seed | 1;
-    let (g, _) = generate::random_dag(n, permille, |i| i, move || {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        state
-    });
+    let (g, _) = generate::random_dag(
+        n,
+        permille,
+        |i| i,
+        move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        },
+    );
     g
 }
 

@@ -133,10 +133,7 @@ mod tests {
         let report = schedule.feasibility(&model).unwrap();
         assert!(!report.is_feasible());
         // and the violated constraint is the clock
-        let bad: Vec<&str> = report
-            .violations()
-            .map(|c| c.name.as_str())
-            .collect();
+        let bad: Vec<&str> = report.violations().map(|c| c.name.as_str()).collect();
         assert!(bad.contains(&"clock"), "{bad:?}");
     }
 }

@@ -137,8 +137,6 @@ mod tests {
     #[test]
     fn families_grow_monotonically() {
         assert!(chain_family(4).comm().element_count() > chain_family(2).comm().element_count());
-        assert!(
-            single_op_family(4).constraints().len() > single_op_family(2).constraints().len()
-        );
+        assert!(single_op_family(4).constraints().len() > single_op_family(2).constraints().len());
     }
 }

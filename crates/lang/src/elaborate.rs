@@ -132,19 +132,15 @@ mod tests {
 
     #[test]
     fn duplicate_op_label_rejected() {
-        let err = elab(
-            "element e wcet 1; periodic c period 4 deadline 4 { op a: e; op a: e; }",
-        )
-        .unwrap_err();
+        let err = elab("element e wcet 1; periodic c period 4 deadline 4 { op a: e; op a: e; }")
+            .unwrap_err();
         assert!(err.to_string().contains("twice"));
     }
 
     #[test]
     fn unknown_chain_label_rejected() {
-        let err = elab(
-            "element e wcet 1; periodic c period 4 deadline 4 { op a: e; a -> ghost; }",
-        )
-        .unwrap_err();
+        let err = elab("element e wcet 1; periodic c period 4 deadline 4 { op a: e; a -> ghost; }")
+            .unwrap_err();
         assert!(err.to_string().contains("ghost"));
     }
 
@@ -171,8 +167,8 @@ mod tests {
 
     #[test]
     fn zero_deadline_rejected() {
-        let err = elab("element e wcet 1; periodic c period 4 deadline 0 { op a: e; }")
-            .unwrap_err();
+        let err =
+            elab("element e wcet 1; periodic c period 4 deadline 0 { op a: e; }").unwrap_err();
         assert!(err.to_string().contains("deadline"), "{err}");
     }
 }

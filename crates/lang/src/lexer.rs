@@ -153,9 +153,9 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                     if ch.is_ascii_alphanumeric() || ch == '_' {
                         i += 1;
                     } else if ch == '-'
-                        && bytes.get(i + 1).is_some_and(|&b| {
-                            (b as char).is_ascii_alphanumeric() || b == b'_'
-                        })
+                        && bytes
+                            .get(i + 1)
+                            .is_some_and(|&b| (b as char).is_ascii_alphanumeric() || b == b'_')
                     {
                         // interior dash of a name like `x-chain`; a dash
                         // followed by `>` (or anything else) still ends

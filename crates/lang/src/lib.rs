@@ -97,10 +97,7 @@ mod tests {
         assert_eq!(z.task.op_count(), 2);
         // equivalent to the built-in canonical instance
         let (builtin, _) = rtcg_core::mok_example::default_model();
-        assert_eq!(
-            m.deadline_density(),
-            builtin.deadline_density()
-        );
+        assert_eq!(m.deadline_density(), builtin.deadline_density());
     }
 
     #[test]
@@ -112,10 +109,9 @@ mod tests {
 
     #[test]
     fn semantic_errors_surface() {
-        let err = parse_model(
-            "element fX wcet 1;\nperiodic c period 4 deadline 4 { op a: fNope; }",
-        )
-        .unwrap_err();
+        let err =
+            parse_model("element fX wcet 1;\nperiodic c period 4 deadline 4 { op a: fNope; }")
+                .unwrap_err();
         assert!(err.to_string().contains("fNope"), "{err}");
     }
 }

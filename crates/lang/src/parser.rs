@@ -95,9 +95,7 @@ impl Parser {
             Tok::Ident(s) if s == "periodic" || s == "asynchronous" => {
                 self.constraint_decl().map(Item::Constraint).map(Some)
             }
-            _ => Err(self.expected(
-                "`const`, `element`, `channel`, `periodic` or `asynchronous`",
-            )),
+            _ => Err(self.expected("`const`, `element`, `channel`, `periodic` or `asynchronous`")),
         }
     }
 
@@ -281,10 +279,8 @@ mod tests {
 
     #[test]
     fn parses_constraint_block() {
-        let spec = parse(
-            "periodic c period 10 deadline 8 { op a: fa; op b: fb; a -> b; }",
-        )
-        .unwrap();
+        let spec =
+            parse("periodic c period 10 deadline 8 { op a: fa; op b: fb; a -> b; }").unwrap();
         match &spec.items[0] {
             Item::Constraint(c) => {
                 assert_eq!(c.name, "c");
@@ -300,9 +296,10 @@ mod tests {
 
     #[test]
     fn multi_hop_chain() {
-        let spec =
-            parse("asynchronous z period 6 deadline 6 { op a: fa; op b: fb; op c: fc; a -> b -> c; }")
-                .unwrap();
+        let spec = parse(
+            "asynchronous z period 6 deadline 6 { op a: fa; op b: fb; op c: fc; a -> b -> c; }",
+        )
+        .unwrap();
         match &spec.items[0] {
             Item::Constraint(c) => {
                 assert_eq!(c.kind, ConstraintKindAst::Asynchronous);

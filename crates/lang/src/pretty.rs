@@ -23,7 +23,12 @@ pub fn render_model(model: &Model) -> String {
     }
     out.push('\n');
     for edge in comm.graph().edges() {
-        let _ = write!(out, "channel {} -> {}", comm.name(edge.from), comm.name(edge.to));
+        let _ = write!(
+            out,
+            "channel {} -> {}",
+            comm.name(edge.from),
+            comm.name(edge.to)
+        );
         if let Some(label) = &edge.weight.label {
             let _ = write!(out, " label \"{label}\"");
         }

@@ -8,10 +8,7 @@ use rtcg_lang::{parse_model, render_model};
 /// Strategy: a model described by per-constraint (chain length 1..=3,
 /// weight 1..=3, deadline slack 0..=20, periodic?) tuples.
 fn model_spec() -> impl Strategy<Value = Vec<(usize, u64, u64, bool)>> {
-    prop::collection::vec(
-        (1usize..=3, 1u64..=3, 0u64..=20, any::<bool>()),
-        1..=4,
-    )
+    prop::collection::vec((1usize..=3, 1u64..=3, 0u64..=20, any::<bool>()), 1..=4)
 }
 
 fn build(spec: &[(usize, u64, u64, bool)]) -> Model {

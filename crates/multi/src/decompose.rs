@@ -109,9 +109,7 @@ pub fn synthesize_multi(
                 let mut tb = TaskGraphBuilder::new();
                 for &op in &frag.ops {
                     let o = c.task.op(op).expect("live op");
-                    let elem = sub
-                        .lookup(comm.name(o.element))
-                        .map_err(MultiError::from)?;
+                    let elem = sub.lookup(comm.name(o.element)).map_err(MultiError::from)?;
                     tb = tb.op(&o.label, elem);
                 }
                 for (u, v) in c.task.precedence_edges() {
@@ -137,12 +135,11 @@ pub fn synthesize_multi(
             continue;
         }
         let sub_model = Model::new(sub, constraints).map_err(MultiError::from)?;
-        let outcome = synthesize_with(&sub_model, config).map_err(|e| {
-            MultiError::SubproblemInfeasible {
+        let outcome =
+            synthesize_with(&sub_model, config).map_err(|e| MultiError::SubproblemInfeasible {
                 which: format!("cpu{pix}"),
                 reason: e.to_string(),
-            }
-        })?;
+            })?;
         let report = outcome
             .schedule
             .feasibility(outcome.model())

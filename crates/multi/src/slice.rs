@@ -166,7 +166,11 @@ pub fn slice_constraints(
             given += extra;
         }
         // leftover (rounding) goes to the first stage with work
-        if let Some(first) = stage_slices.iter_mut().zip(&computations).find(|(_, &w)| w > 0) {
+        if let Some(first) = stage_slices
+            .iter_mut()
+            .zip(&computations)
+            .find(|(_, &w)| w > 0)
+        {
             *first.0 += slack - given;
         }
 
@@ -241,7 +245,10 @@ mod tests {
         assert_eq!(sc.fragments.len(), 3);
         assert_eq!(sc.messages.len(), 2);
         assert_eq!(
-            sc.fragments.iter().map(|f| f.computation).collect::<Vec<_>>(),
+            sc.fragments
+                .iter()
+                .map(|f| f.computation)
+                .collect::<Vec<_>>(),
             vec![1, 2, 1]
         );
         assert_eq!(

@@ -1,0 +1,285 @@
+//! Zero-dependency observability for the rtcg workspace.
+//!
+//! The layer is deliberately std-only (the workspace builds with no
+//! registry access): spans are [`std::time::Instant`] pairs, counters
+//! are plain `u64`s aggregated under a mutex in the collecting
+//! recorder, histograms use fixed power-of-two buckets.
+//!
+//! The design follows the `log` crate: instrumented code talks to a
+//! process-global [`Recorder`] installed once via [`set_recorder`].
+//! When nothing is installed — the default for every library consumer —
+//! each instrumentation site costs one relaxed-ish atomic load and a
+//! branch, with no allocation and no time query. The macros
+//! ([`counter!`], [`gauge!`], [`histogram!`], [`event!`], [`span!`])
+//! compile to that guarded call.
+//!
+//! ```
+//! let recorder = rtcg_obs::MemoryRecorder::install();
+//! {
+//!     let _timer = rtcg_obs::span!("search.exact", "feasibility");
+//!     rtcg_obs::counter!("search.nodes_expanded");
+//!     rtcg_obs::counter!("search.nodes_expanded", 41);
+//! }
+//! let snap = recorder.snapshot();
+//! assert_eq!(snap.counter("search.nodes_expanded"), 42);
+//! assert_eq!(snap.spans.len(), 1);
+//! ```
+
+mod memory;
+mod trace;
+
+pub use memory::{HistogramSnapshot, MemoryRecorder, MetricsSnapshot, HISTOGRAM_BUCKETS};
+pub use trace::{chrome_trace_json, metrics_jsonl, EventRecord, SpanRecord};
+
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Sink for instrumentation produced by the rtcg crates.
+///
+/// All methods default to no-ops so recorders only override what they
+/// collect. Metric names are `&'static str` by design: instrumentation
+/// sites name their metrics statically, which keeps the uninstalled
+/// path allocation-free and lets recorders key registries by pointer
+/// without copying.
+pub trait Recorder: Sync {
+    /// Adds `delta` to a monotonic counter.
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Sets a point-in-time gauge.
+    fn gauge_set(&self, name: &'static str, value: i64) {
+        let _ = (name, value);
+    }
+
+    /// Records one observation into a histogram.
+    fn histogram_record(&self, name: &'static str, value: u64) {
+        let _ = (name, value);
+    }
+
+    /// Records a completed span. `start` is the offset from [`epoch`];
+    /// `dur` is the span's length.
+    fn span_complete(&self, name: &'static str, cat: &'static str, start: Duration, dur: Duration) {
+        let _ = (name, cat, start, dur);
+    }
+
+    /// Records an instantaneous event, optionally carrying a value
+    /// (e.g. the tick at which a fault was injected).
+    fn event(&self, name: &'static str, cat: &'static str, at: Duration, value: Option<i64>) {
+        let _ = (name, cat, at, value);
+    }
+}
+
+/// The always-discarding recorder; what the world sees before
+/// [`set_recorder`] is called.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NopRecorder;
+
+impl Recorder for NopRecorder {}
+
+// `&'static dyn Recorder` is a fat pointer and cannot live in an
+// AtomicPtr directly; a leaked cell holding it can.
+struct RecorderCell(&'static dyn Recorder);
+
+static RECORDER: AtomicPtr<RecorderCell> = AtomicPtr::new(std::ptr::null_mut());
+
+/// Error returned when a recorder is already installed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetRecorderError;
+
+impl std::fmt::Display for SetRecorderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("a global recorder is already installed")
+    }
+}
+
+impl std::error::Error for SetRecorderError {}
+
+/// Installs the process-global recorder. First caller wins; later
+/// calls fail so an installed collector is never silently replaced.
+pub fn set_recorder(r: &'static dyn Recorder) -> Result<(), SetRecorderError> {
+    // Pin the epoch no later than installation so span offsets are
+    // never negative relative to it.
+    let _ = epoch();
+    let cell = Box::into_raw(Box::new(RecorderCell(r)));
+    RECORDER
+        .compare_exchange(
+            std::ptr::null_mut(),
+            cell,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        )
+        .map(|_| ())
+        .map_err(|_| {
+            // Lost the race; reclaim our cell.
+            drop(unsafe { Box::from_raw(cell) });
+            SetRecorderError
+        })
+}
+
+/// The installed recorder, if any. This is the hot-path guard: one
+/// atomic load and a null check.
+#[inline]
+pub fn recorder() -> Option<&'static dyn Recorder> {
+    let p = RECORDER.load(Ordering::Acquire);
+    if p.is_null() {
+        None
+    } else {
+        // Safety: the cell was leaked by set_recorder and never freed
+        // after a successful install.
+        Some(unsafe { (*p).0 })
+    }
+}
+
+/// The process time origin all span/event offsets are measured from.
+/// Fixed at the first call (which [`set_recorder`] guarantees happens
+/// no later than installation).
+pub fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// RAII span timer: measures from construction to drop and reports to
+/// the recorder that was installed at construction time. When no
+/// recorder is installed the guard holds no timestamp and drop does
+/// nothing.
+#[must_use = "a span measures until it is dropped; binding it to _ ends it immediately"]
+pub struct Span {
+    name: &'static str,
+    cat: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Starts a span. Prefer the [`span!`] macro.
+    pub fn begin(name: &'static str, cat: &'static str) -> Span {
+        Span {
+            name,
+            cat,
+            start: recorder().map(|_| Instant::now()),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            if let Some(r) = recorder() {
+                r.span_complete(
+                    self.name,
+                    self.cat,
+                    start.saturating_duration_since(epoch()),
+                    start.elapsed(),
+                );
+            }
+        }
+    }
+}
+
+/// Increments a named counter: `counter!("search.nodes_expanded")` or
+/// `counter!("sim.ticks", horizon)`.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {
+        $crate::counter!($name, 1u64)
+    };
+    ($name:expr, $delta:expr) => {
+        if let Some(__r) = $crate::recorder() {
+            __r.counter_add($name, $delta as u64);
+        }
+    };
+}
+
+/// Sets a named gauge: `gauge!("sim.ready_queue_len", len)`.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr, $value:expr) => {
+        if let Some(__r) = $crate::recorder() {
+            __r.gauge_set($name, $value as i64);
+        }
+    };
+}
+
+/// Records a histogram observation: `histogram!("sim.block_ticks", n)`.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr, $value:expr) => {
+        if let Some(__r) = $crate::recorder() {
+            __r.histogram_record($name, $value as u64);
+        }
+    };
+}
+
+/// Records an instantaneous event, optionally with a value:
+/// `event!("sim.fault_injected", "faults")` or
+/// `event!("sim.fault_injected", "faults", tick)`.
+#[macro_export]
+macro_rules! event {
+    ($name:expr, $cat:expr) => {
+        if let Some(__r) = $crate::recorder() {
+            __r.event(
+                $name,
+                $cat,
+                std::time::Instant::now().saturating_duration_since($crate::epoch()),
+                None,
+            );
+        }
+    };
+    ($name:expr, $cat:expr, $value:expr) => {
+        if let Some(__r) = $crate::recorder() {
+            __r.event(
+                $name,
+                $cat,
+                std::time::Instant::now().saturating_duration_since($crate::epoch()),
+                Some($value as i64),
+            );
+        }
+    };
+}
+
+/// Opens an RAII span: `let _t = span!("feasibility.exact", "search");`.
+/// The category defaults to `"rtcg"`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::Span::begin($name, "rtcg")
+    };
+    ($name:expr, $cat:expr) => {
+        $crate::Span::begin($name, $cat)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nop_recorder_accepts_everything() {
+        let r = NopRecorder;
+        r.counter_add("c", 1);
+        r.gauge_set("g", -3);
+        r.histogram_record("h", 9);
+        r.span_complete("s", "cat", Duration::ZERO, Duration::from_micros(5));
+        r.event("e", "cat", Duration::ZERO, Some(7));
+    }
+
+    #[test]
+    fn uninstalled_macros_are_inert() {
+        // The global registry may be populated by other tests in this
+        // binary; only exercise the guard when it is actually empty.
+        if recorder().is_none() {
+            counter!("never.recorded");
+            gauge!("never.recorded", 1);
+            histogram!("never.recorded", 1);
+            event!("never.recorded", "t");
+            let span = span!("never.recorded");
+            assert!(span.start.is_none());
+        }
+    }
+
+    #[test]
+    fn epoch_is_stable() {
+        assert_eq!(epoch(), epoch());
+    }
+}

@@ -1,0 +1,382 @@
+//! The collecting recorder: aggregates counters, gauges, histograms,
+//! spans, and events in memory for later snapshot/export.
+
+use crate::trace::{EventRecord, SpanRecord};
+use crate::Recorder;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Number of power-of-two histogram buckets: bucket 0 holds the value
+/// 0, bucket `i >= 1` holds values in `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+#[derive(Debug, Clone)]
+struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[bucket_index(value)] += 1;
+    }
+}
+
+fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Upper bound (inclusive) of a bucket, for percentile estimates.
+fn bucket_upper(ix: usize) -> u64 {
+    if ix == 0 {
+        0
+    } else if ix >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << ix) - 1
+    }
+}
+
+/// Read-only view of one histogram at snapshot time.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: &'static str,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (saturating).
+    pub sum: u64,
+    /// Smallest observed value.
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Per-bucket observation counts; see [`HISTOGRAM_BUCKETS`].
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimated `p`-th percentile (0.0..=100.0): the upper bound of
+    /// the bucket containing that rank, clamped to the observed max.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (ix, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(ix).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Everything a [`MemoryRecorder`] has collected, frozen at one
+/// moment. All lists are sorted by name (spans/events by time).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Last-write-wins gauges.
+    pub gauges: Vec<(&'static str, i64)>,
+    /// Histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Completed spans in completion order.
+    pub spans: Vec<SpanRecord>,
+    /// Instantaneous events in emission order.
+    pub events: Vec<EventRecord>,
+}
+
+impl MetricsSnapshot {
+    /// The value of a counter, 0 if never incremented.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The value of a gauge, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The named histogram, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Total time spent in spans with this name.
+    pub fn span_total(&self, name: &str) -> Duration {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.dur)
+            .sum()
+    }
+}
+
+/// A [`Recorder`] that aggregates everything in memory.
+///
+/// Collection-side cost is a mutex acquisition per call — fine for a
+/// profiler, irrelevant for production since the default state is "no
+/// recorder installed" and instrumentation sites short-circuit before
+/// reaching any recorder.
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    gauges: Mutex<BTreeMap<&'static str, i64>>,
+    histograms: Mutex<BTreeMap<&'static str, Histogram>>,
+    spans: Mutex<Vec<SpanRecord>>,
+    events: Mutex<Vec<EventRecord>>,
+}
+
+impl MemoryRecorder {
+    /// A fresh, empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Leaks a fresh recorder, installs it globally, and returns it.
+    /// If a recorder is already installed this panics — installation
+    /// is once-per-process by design (see [`crate::set_recorder`]).
+    pub fn install() -> &'static MemoryRecorder {
+        let r: &'static MemoryRecorder = Box::leak(Box::new(MemoryRecorder::new()));
+        crate::set_recorder(r).expect("a global recorder is already installed");
+        r
+    }
+
+    /// Freezes current state into a snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(&n, &v)| (n, v))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(&n, &v)| (n, v))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(&name, h)| HistogramSnapshot {
+                    name,
+                    count: h.count,
+                    sum: h.sum,
+                    min: if h.count == 0 { 0 } else { h.min },
+                    max: h.max,
+                    buckets: h.buckets,
+                })
+                .collect(),
+            spans: self.spans.lock().unwrap().clone(),
+            events: self.events.lock().unwrap().clone(),
+        }
+    }
+
+    /// Clears all collected data (counters, gauges, histograms, spans,
+    /// events). Lets one installed recorder serve several measured
+    /// phases.
+    pub fn reset(&self) {
+        self.counters.lock().unwrap().clear();
+        self.gauges.lock().unwrap().clear();
+        self.histograms.lock().unwrap().clear();
+        self.spans.lock().unwrap().clear();
+        self.events.lock().unwrap().clear();
+    }
+
+    /// Renders collected spans and events as Chrome `trace_event` JSON.
+    pub fn chrome_trace_json(&self) -> String {
+        crate::trace::chrome_trace_json(&self.snapshot())
+    }
+
+    /// Renders collected metrics as JSON Lines, one metric per line.
+    pub fn metrics_jsonl(&self) -> String {
+        crate::trace::metrics_jsonl(&self.snapshot())
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        *self.counters.lock().unwrap().entry(name).or_insert(0) += delta;
+    }
+
+    fn gauge_set(&self, name: &'static str, value: i64) {
+        self.gauges.lock().unwrap().insert(name, value);
+    }
+
+    fn histogram_record(&self, name: &'static str, value: u64) {
+        self.histograms
+            .lock()
+            .unwrap()
+            .entry(name)
+            .or_insert_with(Histogram::new)
+            .record(value);
+    }
+
+    fn span_complete(&self, name: &'static str, cat: &'static str, start: Duration, dur: Duration) {
+        self.spans.lock().unwrap().push(SpanRecord {
+            name,
+            cat,
+            start,
+            dur,
+        });
+    }
+
+    fn event(&self, name: &'static str, cat: &'static str, at: Duration, value: Option<i64>) {
+        self.events.lock().unwrap().push(EventRecord {
+            name,
+            cat,
+            at,
+            value,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = MemoryRecorder::new();
+        r.counter_add("a", 1);
+        r.counter_add("a", 2);
+        r.counter_add("b", 5);
+        let s = r.snapshot();
+        assert_eq!(s.counter("a"), 3);
+        assert_eq!(s.counter("b"), 5);
+        assert_eq!(s.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_take_last_value() {
+        let r = MemoryRecorder::new();
+        r.gauge_set("g", 10);
+        r.gauge_set("g", -4);
+        assert_eq!(r.snapshot().gauge("g"), Some(-4));
+        assert_eq!(r.snapshot().gauge("missing"), None);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(10), 1023);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_stats_and_percentiles() {
+        let r = MemoryRecorder::new();
+        for v in [0u64, 1, 1, 2, 3, 8, 100] {
+            r.histogram_record("h", v);
+        }
+        let s = r.snapshot();
+        let h = s.histogram("h").unwrap();
+        assert_eq!(h.count, 7);
+        assert_eq!(h.sum, 115);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 100);
+        assert!((h.mean() - 115.0 / 7.0).abs() < 1e-9);
+        // rank math: p0 -> first non-empty bucket, p100 -> max
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(100.0), 100);
+        // 4 of 7 observations are <= 3, so the median lands in bucket
+        // [2,3]
+        assert_eq!(h.percentile(50.0), 3);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = HistogramSnapshot {
+            name: "empty",
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        };
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(50.0), 0);
+    }
+
+    #[test]
+    fn spans_and_events_are_kept_in_order() {
+        let r = MemoryRecorder::new();
+        r.span_complete("a", "c", Duration::from_micros(1), Duration::from_micros(2));
+        r.span_complete("b", "c", Duration::from_micros(5), Duration::from_micros(1));
+        r.event("e", "c", Duration::from_micros(3), Some(42));
+        let s = r.snapshot();
+        assert_eq!(s.spans.len(), 2);
+        assert_eq!(s.spans[0].name, "a");
+        assert_eq!(s.span_total("a"), Duration::from_micros(2));
+        assert_eq!(s.events.len(), 1);
+        assert_eq!(s.events[0].value, Some(42));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let r = MemoryRecorder::new();
+        r.counter_add("a", 1);
+        r.gauge_set("g", 1);
+        r.histogram_record("h", 1);
+        r.span_complete("s", "c", Duration::ZERO, Duration::ZERO);
+        r.event("e", "c", Duration::ZERO, None);
+        r.reset();
+        let s = r.snapshot();
+        assert!(s.counters.is_empty());
+        assert!(s.gauges.is_empty());
+        assert!(s.histograms.is_empty());
+        assert!(s.spans.is_empty());
+        assert!(s.events.is_empty());
+    }
+}

@@ -1,0 +1,216 @@
+//! Export formats: Chrome `trace_event` JSON (loadable in
+//! `chrome://tracing` or Perfetto) and JSON Lines metrics dumps.
+//!
+//! JSON is emitted by hand — the obs layer must stay std-only — but
+//! both formats are strict JSON and round-trip through any parser.
+
+use crate::memory::MetricsSnapshot;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One completed span as reported to a recorder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name.
+    pub name: &'static str,
+    /// Category (Chrome trace `cat` field).
+    pub cat: &'static str,
+    /// Offset from [`crate::epoch`].
+    pub start: Duration,
+    /// Span length.
+    pub dur: Duration,
+}
+
+/// One instantaneous event as reported to a recorder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Event name.
+    pub name: &'static str,
+    /// Category.
+    pub cat: &'static str,
+    /// Offset from [`crate::epoch`].
+    pub at: Duration,
+    /// Optional payload (e.g. a tick number).
+    pub value: Option<i64>,
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders a snapshot's spans and events in Chrome `trace_event`
+/// format: complete (`"ph":"X"`) events for spans, instant (`"ph":"i"`)
+/// events for point events, timestamps in microseconds since
+/// [`crate::epoch`].
+pub fn chrome_trace_json(snap: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for s in &snap.spans {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":");
+        push_json_string(&mut out, s.name);
+        out.push_str(",\"cat\":");
+        push_json_string(&mut out, s.cat);
+        let _ = write!(
+            out,
+            ",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":1}}",
+            s.start.as_micros(),
+            s.dur.as_micros().max(1)
+        );
+    }
+    for e in &snap.events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":");
+        push_json_string(&mut out, e.name);
+        out.push_str(",\"cat\":");
+        push_json_string(&mut out, e.cat);
+        let _ = write!(
+            out,
+            ",\"ph\":\"i\",\"s\":\"g\",\"ts\":{},\"pid\":1,\"tid\":1",
+            e.at.as_micros()
+        );
+        if let Some(v) = e.value {
+            let _ = write!(out, ",\"args\":{{\"value\":{v}}}");
+        }
+        out.push('}');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Renders a snapshot as JSON Lines: one object per metric with a
+/// `"type"` discriminator (`counter` / `gauge` / `histogram` / `span`
+/// / `event`). Span and event times are in microseconds.
+pub fn metrics_jsonl(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        out.push_str("{\"type\":\"counter\",\"name\":");
+        push_json_string(&mut out, name);
+        let _ = writeln!(out, ",\"value\":{v}}}");
+    }
+    for (name, v) in &snap.gauges {
+        out.push_str("{\"type\":\"gauge\",\"name\":");
+        push_json_string(&mut out, name);
+        let _ = writeln!(out, ",\"value\":{v}}}");
+    }
+    for h in &snap.histograms {
+        out.push_str("{\"type\":\"histogram\",\"name\":");
+        push_json_string(&mut out, h.name);
+        let _ = writeln!(
+            out,
+            ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p99\":{}}}",
+            h.count,
+            h.sum,
+            h.min,
+            h.max,
+            h.percentile(50.0),
+            h.percentile(99.0)
+        );
+    }
+    for s in &snap.spans {
+        out.push_str("{\"type\":\"span\",\"name\":");
+        push_json_string(&mut out, s.name);
+        out.push_str(",\"cat\":");
+        push_json_string(&mut out, s.cat);
+        let _ = writeln!(
+            out,
+            ",\"ts_us\":{},\"dur_us\":{}}}",
+            s.start.as_micros(),
+            s.dur.as_micros()
+        );
+    }
+    for e in &snap.events {
+        out.push_str("{\"type\":\"event\",\"name\":");
+        push_json_string(&mut out, e.name);
+        out.push_str(",\"cat\":");
+        push_json_string(&mut out, e.cat);
+        let _ = write!(out, ",\"ts_us\":{}", e.at.as_micros());
+        if let Some(v) = e.value {
+            let _ = write!(out, ",\"value\":{v}");
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemoryRecorder;
+    use crate::Recorder;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let r = MemoryRecorder::new();
+        r.counter_add("search.nodes_expanded", 12);
+        r.gauge_set("sim.ready", 3);
+        r.histogram_record("sim.block_ticks", 4);
+        r.span_complete(
+            "feasibility.exact",
+            "search",
+            Duration::from_micros(10),
+            Duration::from_micros(250),
+        );
+        r.event(
+            "sim.fault_injected",
+            "faults",
+            Duration::from_micros(40),
+            Some(7),
+        );
+        r.snapshot()
+    }
+
+    #[test]
+    fn chrome_trace_has_expected_fields() {
+        let json = chrome_trace_json(&sample_snapshot());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"name\":\"feasibility.exact\""));
+        assert!(json.contains("\"ts\":10"));
+        assert!(json.contains("\"dur\":250"));
+        assert!(json.contains("\"args\":{\"value\":7}"));
+    }
+
+    #[test]
+    fn empty_snapshot_still_valid_shape() {
+        let json = chrome_trace_json(&MetricsSnapshot::default());
+        assert_eq!(json, "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}");
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let jsonl = metrics_jsonl(&sample_snapshot());
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(lines[0].contains("\"type\":\"counter\""));
+        assert!(jsonl.contains("\"value\":12"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        push_json_string(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

@@ -1,0 +1,92 @@
+//! The Chrome `trace_event` exporter must produce JSON that a strict
+//! parser accepts — validated here with serde_json (dev-dependency
+//! only; the obs crate itself stays dependency-free).
+//!
+//! Installing a recorder is process-global and one-way, so every test
+//! in this binary shares the single installed `MemoryRecorder`.
+
+use rtcg_obs::MemoryRecorder;
+use std::sync::OnceLock;
+
+fn recorder() -> &'static MemoryRecorder {
+    static REC: OnceLock<&'static MemoryRecorder> = OnceLock::new();
+    REC.get_or_init(MemoryRecorder::install)
+}
+
+fn populate() -> &'static MemoryRecorder {
+    let rec = recorder();
+    rec.reset();
+    {
+        let _outer = rtcg_obs::span!("outer \"quoted\" name", "search");
+        let _inner = rtcg_obs::span!("inner", "search");
+        rtcg_obs::counter!("trace.counter", 3);
+        rtcg_obs::gauge!("trace.gauge", -7);
+        rtcg_obs::histogram!("trace.hist", 42);
+        rtcg_obs::event!("trace.event\\with\\backslashes", "sim");
+        rtcg_obs::event!("trace.plain_event", "sim", 99);
+    }
+    rec
+}
+
+#[test]
+fn chrome_trace_parses_with_serde_json() {
+    let rec = populate();
+    let json = rec.chrome_trace_json();
+    let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    assert_eq!(v["displayTimeUnit"], "ms");
+    let events = v["traceEvents"].as_array().expect("traceEvents array");
+    // 2 spans (ph:X) + 2 instant events (ph:i)
+    assert_eq!(events.iter().filter(|e| e["ph"] == "X").count(), 2);
+    assert_eq!(events.iter().filter(|e| e["ph"] == "i").count(), 2);
+    for e in events {
+        assert!(e["name"].is_string());
+        assert!(e["cat"].is_string());
+        assert!(e["ts"].is_number());
+        assert_eq!(e["pid"], 1);
+        assert_eq!(e["tid"], 1);
+    }
+    // escaping survived the round trip
+    assert!(events.iter().any(|e| e["name"] == "outer \"quoted\" name"));
+    assert!(events
+        .iter()
+        .any(|e| e["name"] == "trace.event\\with\\backslashes"));
+}
+
+#[test]
+fn span_durations_are_microseconds_and_ordered() {
+    let rec = populate();
+    let json = rec.chrome_trace_json();
+    let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+    let spans: Vec<&serde_json::Value> = v["traceEvents"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter(|e| e["ph"] == "X")
+        .collect();
+    for s in &spans {
+        assert!(s["dur"].as_u64().unwrap() >= 1, "dur floored to 1µs");
+    }
+    // the inner span completes (and is recorded) before the outer one
+    let ix = |name: &str| {
+        spans
+            .iter()
+            .position(|s| s["name"].as_str().unwrap().contains(name))
+            .unwrap()
+    };
+    assert!(ix("inner") < ix("outer"));
+}
+
+#[test]
+fn metrics_jsonl_lines_parse_individually() {
+    let rec = populate();
+    let jsonl = rec.metrics_jsonl();
+    let mut types = std::collections::BTreeSet::new();
+    for line in jsonl.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("each line valid");
+        types.insert(v["type"].as_str().expect("type tag").to_string());
+        assert!(v["name"].is_string());
+    }
+    for t in ["counter", "gauge", "histogram", "span", "event"] {
+        assert!(types.contains(t), "missing {t} line in:\n{jsonl}");
+    }
+}

@@ -1,0 +1,66 @@
+//! The uninstalled ("no-op") hot path must not allocate.
+//!
+//! A counting global allocator wraps the system one; with no recorder
+//! installed, driving every macro through its fast path must leave the
+//! allocation counter untouched. This test binary must never install a
+//! recorder, so it lives alone in its own integration-test crate —
+//! don't add recorder-installing tests here.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn uninstalled_macros_do_not_allocate() {
+    assert!(rtcg_obs::recorder().is_none(), "test requires no recorder");
+    // warm anything lazily initialized (the epoch Instant) outside the
+    // measured window
+    let _ = rtcg_obs::epoch();
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..10_000u64 {
+        rtcg_obs::counter!("alloc.test.counter");
+        rtcg_obs::counter!("alloc.test.counter", i & 3);
+        rtcg_obs::gauge!("alloc.test.gauge", i as i64);
+        rtcg_obs::histogram!("alloc.test.hist", i);
+        rtcg_obs::event!("alloc.test.event", "test", i);
+        let _span = rtcg_obs::span!("alloc.test.span", "test");
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "no-op instrumentation path allocated {} time(s)",
+        after - before
+    );
+}
+
+#[test]
+fn uninstalled_span_records_no_time() {
+    // Span with no recorder holds no Instant: dropping it is free and
+    // must not allocate either
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..1000 {
+        let s = rtcg_obs::Span::begin("alloc.test.direct", "test");
+        drop(s);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0);
+}

@@ -32,11 +32,7 @@ pub fn liu_layland_bound(n: usize) -> f64 {
 /// (requires implicit deadlines; returns `false` — "cannot conclude" —
 /// when some deadline differs from its period).
 pub fn rm_schedulable_by_bound(set: &ProcessSet) -> bool {
-    if set
-        .processes()
-        .iter()
-        .any(|p| p.deadline != p.period)
-    {
+    if set.processes().iter().any(|p| p.deadline != p.period) {
         return false;
     }
     utilization(set) <= liu_layland_bound(set.len()) + 1e-12
@@ -63,10 +59,7 @@ pub fn response_time(
         .collect::<Result<_, _>>()?;
     let mut r = me.wcet;
     loop {
-        let interference: u64 = higher
-            .iter()
-            .map(|h| r.div_ceil(h.period) * h.wcet)
-            .sum();
+        let interference: u64 = higher.iter().map(|h| r.div_ceil(h.period) * h.wcet).sum();
         let next = me.wcet + interference;
         if next == r {
             return Ok(Some(r));
@@ -195,20 +188,11 @@ mod tests {
         // textbook: w/p = (1,4), (2,6), (3,13) RM-order
         let s = mk(&[(1, 4, 4), (2, 6, 6), (3, 13, 13)]);
         let order = s.rm_order();
-        assert_eq!(
-            response_time(&s, &order, order[0]).unwrap(),
-            Some(1)
-        );
-        assert_eq!(
-            response_time(&s, &order, order[1]).unwrap(),
-            Some(3)
-        );
+        assert_eq!(response_time(&s, &order, order[0]).unwrap(), Some(1));
+        assert_eq!(response_time(&s, &order, order[1]).unwrap(), Some(3));
         // p2: R = 3 + ⌈R/4⌉1 + ⌈R/6⌉2; fixed point:
         // R0=3 → 3+1+2=6 → 3+2+2=7 → 3+2+4=9 → 3+3+4=10 → 3+3+4=10 ✓
-        assert_eq!(
-            response_time(&s, &order, order[2]).unwrap(),
-            Some(10)
-        );
+        assert_eq!(response_time(&s, &order, order[2]).unwrap(), Some(10));
         assert!(rm_schedulable_exact(&s).unwrap());
     }
 

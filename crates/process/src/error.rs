@@ -68,7 +68,9 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert!(ProcessError::UnknownProcess(3).to_string().contains('3'));
-        assert!(ProcessError::ZeroPeriod("p".into()).to_string().contains("p"));
+        assert!(ProcessError::ZeroPeriod("p".into())
+            .to_string()
+            .contains("p"));
         let e = ProcessError::ComputationExceedsDeadline {
             name: "q".into(),
             computation: 9,

@@ -28,8 +28,8 @@ pub mod naive;
 pub mod process;
 
 pub use analysis::{
-    edf_schedulable, liu_layland_bound, rm_schedulable_by_bound, rm_schedulable_exact,
-    response_time, utilization,
+    edf_schedulable, liu_layland_bound, response_time, rm_schedulable_by_bound,
+    rm_schedulable_exact, utilization,
 };
 pub use error::ProcessError;
 pub use naive::{naive_synthesis, NaiveSynthesis, SynthesizedProcess};

@@ -182,11 +182,7 @@ mod tests {
         let m = shared_fs_model(10, 10);
         let n = naive_synthesis(&m).unwrap();
         let comm = m.comm();
-        let names: Vec<&str> = n.programs[0]
-            .body
-            .iter()
-            .map(|&e| comm.name(e))
-            .collect();
+        let names: Vec<&str> = n.programs[0].body.iter().map(|&e| comm.name(e)).collect();
         assert_eq!(names, vec!["fx", "fs"]);
     }
 

@@ -43,6 +43,11 @@ impl TableDispatcher {
                 }
             }
         }
+        // Counters go on construction, not in `next()`: E7 measures the
+        // per-tick dispatch at nanosecond scale and even a guarded no-op
+        // would distort it.
+        rtcg_obs::counter!("dispatch.tables_built");
+        rtcg_obs::counter!("dispatch.table_slots", slots.len() as u64);
         TableDispatcher { slots, pos: 0 }
     }
 
@@ -119,6 +124,7 @@ impl EdfDispatcher {
                 ix,
             })
             .collect();
+        rtcg_obs::counter!("dispatch.edf_jobs", jobs.len() as u64);
         EdfDispatcher { jobs, heap, now: 0 }
     }
 }
@@ -154,6 +160,7 @@ pub struct LlfDispatcher {
 impl LlfDispatcher {
     /// Builds a dispatcher over synthetic periodic jobs.
     pub fn new(jobs: Vec<ReadyJob>) -> Self {
+        rtcg_obs::counter!("dispatch.llf_jobs", jobs.len() as u64);
         LlfDispatcher { jobs, now: 0 }
     }
 }

@@ -116,6 +116,7 @@ pub fn simulate_processes(
     if horizon == 0 {
         return Err(SimError::ZeroHorizon);
     }
+    let _span = rtcg_obs::span!("sim.dynamic", "sim");
     let n = input.set.len();
     if input.bodies.len() != n {
         return Err(SimError::ArrivalStreamMismatch {
@@ -167,6 +168,10 @@ pub fn simulate_processes(
         })
         .collect();
     let mut preemptions = 0usize;
+    // obs counters are accumulated locally and emitted once after the
+    // loop: a recorder call per tick would dominate the ~50ns tick cost
+    let mut idle_ticks = 0u64;
+    let mut dispatch_decisions = 0u64;
     let mut seq = 0usize;
     let mut arrival_cursor = vec![0usize; n];
     let mut running: Option<usize> = None; // index into pending
@@ -206,11 +211,13 @@ pub fn simulate_processes(
             }
         }
         if pending.is_empty() {
+            idle_ticks += 1;
             trace.push_idle();
             running = None;
             continue;
         }
         // pick the job to run this tick
+        dispatch_decisions += 1;
         let preferred = pick(&pending, policy, now, &rm, &dm, &prio_of);
         let chosen = match (running, preemption) {
             (Some(r), Preemption::None) => r,
@@ -226,6 +233,7 @@ pub fn simulate_processes(
         if let Some(r) = running {
             if r != chosen && pending[r].remaining() > 0 {
                 preemptions += 1;
+                rtcg_obs::event!("sim.preemption", "sim", now);
             }
         }
         let job = &mut pending[chosen];
@@ -241,16 +249,32 @@ pub fn simulate_processes(
         job.progress += 1;
         if job.remaining() == 0 {
             let resp = now + 1 - job.release;
+            rtcg_obs::histogram!("sim.response_time", resp);
             let ix = job.proc_ix;
             stats[ix].completed += 1;
-            stats[ix].worst_response =
-                Some(stats[ix].worst_response.map_or(resp, |w| w.max(resp)));
+            stats[ix].worst_response = Some(stats[ix].worst_response.map_or(resp, |w| w.max(resp)));
             pending.remove(chosen);
             running = None;
         } else {
             running = Some(chosen);
         }
     }
+    rtcg_obs::counter!("sim.ticks", horizon);
+    rtcg_obs::counter!("sim.idle_ticks", idle_ticks);
+    rtcg_obs::counter!("sim.dispatch_decisions", dispatch_decisions);
+    rtcg_obs::counter!("sim.preemptions", preemptions as u64);
+    rtcg_obs::counter!(
+        "sim.jobs_released",
+        stats.iter().map(|s| s.released as u64).sum::<u64>()
+    );
+    rtcg_obs::counter!(
+        "sim.jobs_completed",
+        stats.iter().map(|s| s.completed as u64).sum::<u64>()
+    );
+    rtcg_obs::counter!(
+        "sim.deadline_misses",
+        stats.iter().map(|s| s.missed as u64).sum::<u64>()
+    );
     Ok(SimOutcome {
         trace,
         stats,
@@ -425,8 +449,7 @@ mod tests {
         // element-boundary preemption: the 6-tick element is atomic, so a
         // short job released one tick after it starts waits 5 ticks and
         // completes with response 6 > 4 → misses appear
-        let nb =
-            simulate_processes(&input, Policy::Edf, Preemption::ElementBoundary, 240).unwrap();
+        let nb = simulate_processes(&input, Policy::Edf, Preemption::ElementBoundary, 240).unwrap();
         assert!(!nb.no_misses(), "{:?}", nb.stats);
     }
 

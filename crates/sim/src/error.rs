@@ -63,7 +63,10 @@ mod tests {
     #[test]
     fn display() {
         assert!(SimError::ZeroHorizon.to_string().contains("horizon"));
-        let e = SimError::ArrivalStreamMismatch { got: 1, expected: 3 };
+        let e = SimError::ArrivalStreamMismatch {
+            got: 1,
+            expected: 3,
+        };
         assert!(e.to_string().contains('3'));
     }
 }

@@ -70,21 +70,19 @@ pub fn inject(trace: &Trace, plan: &FaultPlan) -> (Trace, usize) {
             }
         }
         FaultPlan::Nth { element, k } => {
-            if let Some(inst) = instances
-                .iter()
-                .filter(|i| i.element == *element)
-                .nth(*k)
-            {
+            if let Some(inst) = instances.iter().filter(|i| i.element == *element).nth(*k) {
                 doomed.push((inst.start, inst.finish()));
             }
         }
     }
     let mut slots = trace.slots().to_vec();
     for &(a, b) in &doomed {
+        rtcg_obs::event!("sim.fault_injected", "faults", a);
         for slot in slots.iter_mut().take(b as usize).skip(a as usize) {
             *slot = Slot::Idle;
         }
     }
+    rtcg_obs::counter!("sim.faults_injected", doomed.len() as u64);
     (Trace::from_slots(slots), doomed.len())
 }
 
@@ -107,10 +105,8 @@ impl DegradationReport {
 
 /// Checks every deadline window of every asynchronous constraint whose
 /// window closes within the trace.
-pub fn check_degradation(
-    model: &Model,
-    trace: &Trace,
-) -> Result<DegradationReport, SimError> {
+pub fn check_degradation(model: &Model, trace: &Trace) -> Result<DegradationReport, SimError> {
+    let _span = rtcg_obs::span!("sim.check_degradation", "faults");
     let comm = model.comm();
     let mut windows = 0usize;
     let mut violated = 0usize;
@@ -139,6 +135,7 @@ pub fn fault_margin(
     element: ElementId,
     cap: usize,
 ) -> Result<usize, SimError> {
+    let _span = rtcg_obs::span!("sim.fault_margin", "faults");
     let total = trace
         .instances()
         .iter()
@@ -253,10 +250,114 @@ mod tests {
         let e9 = m9.comm().lookup("e").unwrap();
         let margin_tight = fault_margin(&m3, &t3, e3, 8).unwrap();
         let margin_loose = fault_margin(&m9, &t9, e9, 8).unwrap();
-        assert!(margin_loose > margin_tight, "{margin_loose} vs {margin_tight}");
+        assert!(
+            margin_loose > margin_tight,
+            "{margin_loose} vs {margin_tight}"
+        );
         assert_eq!(margin_tight, 0, "d=3 tolerates no loss");
         // d=9: gap after k losses = 2(k+1); need 2(k+1)+1 ≤ 9 → k ≤ 3
         assert_eq!(margin_loose, 3);
+    }
+
+    #[test]
+    fn empty_window_plan_erases_nothing() {
+        let (m, t) = setup(6);
+        let e = m.comm().lookup("e").unwrap();
+        // from == to: the window is empty by construction
+        let (t2, n) = inject(
+            &t,
+            &FaultPlan::Window {
+                element: e,
+                from: 8,
+                to: 8,
+            },
+        );
+        assert_eq!(n, 0);
+        assert_eq!(t2, t);
+        // permille 0: random plan that can never fire
+        let (t3, n3) = inject(
+            &t,
+            &FaultPlan::Random {
+                permille: 0,
+                seed: 1,
+            },
+        );
+        assert_eq!(n3, 0);
+        assert_eq!(t3, t);
+    }
+
+    #[test]
+    fn fault_at_tick_zero_erases_first_instance() {
+        let (m, t) = setup(6);
+        let e = m.comm().lookup("e").unwrap();
+        let (t2, n) = inject(&t, &FaultPlan::Nth { element: e, k: 0 });
+        assert_eq!(n, 1);
+        // the very first slot is now idle, later instances untouched
+        assert!(t2.instances().iter().all(|i| i.start != 0));
+        assert_eq!(t2.instances().len(), t.instances().len() - 1);
+        // a window anchored at tick 0 now only sees the survivor at 2
+        assert!(check_degradation(&m, &t2).unwrap().intact());
+    }
+
+    #[test]
+    fn all_slots_faulted_leaves_empty_trace() {
+        let (m, t) = setup(6);
+        let e = m.comm().lookup("e").unwrap();
+        let (t2, n) = inject(
+            &t,
+            &FaultPlan::Window {
+                element: e,
+                from: 0,
+                to: t.len(),
+            },
+        );
+        assert_eq!(n, t.instances().len());
+        assert!(t2.instances().is_empty());
+        // every deadline window must now be violated
+        let rep = check_degradation(&m, &t2).unwrap();
+        assert!(rep.windows > 0);
+        assert_eq!(rep.violated, rep.windows);
+    }
+
+    #[test]
+    fn nth_beyond_last_instance_is_noop() {
+        let (m, t) = setup(6);
+        let e = m.comm().lookup("e").unwrap();
+        let count = t.instances().len();
+        let (t2, n) = inject(
+            &t,
+            &FaultPlan::Nth {
+                element: e,
+                k: count + 5,
+            },
+        );
+        assert_eq!(n, 0);
+        assert_eq!(t2, t);
+    }
+
+    #[test]
+    fn fault_margin_with_zero_cap_or_absent_element() {
+        let (m, t) = setup(9);
+        let e = m.comm().lookup("e").unwrap();
+        // cap 0: nothing to probe, margin is the cap
+        assert_eq!(fault_margin(&m, &t, e, 0).unwrap(), 0);
+        // an element with no instances in the trace: the probe loop has
+        // nothing to erase, so the schedule absorbs the full cap
+        let ghost = rtcg_core::model::ElementId::new(99);
+        assert_eq!(fault_margin(&m, &t, ghost, 4).unwrap(), 4);
+    }
+
+    #[test]
+    fn check_degradation_short_trace_checks_no_windows() {
+        // deadline longer than the trace: no window closes inside it
+        let (m, _) = setup(50);
+        let short = {
+            let s = StaticSchedule::new(vec![Action::Idle]);
+            s.expand(m.comm(), 10).unwrap()
+        };
+        let rep = check_degradation(&m, &short).unwrap();
+        assert_eq!(rep.windows, 0);
+        assert!(rep.intact());
     }
 
     #[test]

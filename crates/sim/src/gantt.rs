@@ -74,7 +74,10 @@ mod tests {
         assert_eq!(lines.len(), 3); // ruler + 2 rows
         let alpha = lines.iter().find(|l| l.contains("alpha")).unwrap();
         assert!(alpha.ends_with("#..."));
-        let brow = lines.iter().find(|l| l.trim_start().starts_with("b ")).unwrap();
+        let brow = lines
+            .iter()
+            .find(|l| l.trim_start().starts_with("b "))
+            .unwrap();
         assert!(brow.ends_with(".#=."));
     }
 

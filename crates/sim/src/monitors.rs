@@ -108,6 +108,7 @@ pub fn simulate_with_monitors(
     if horizon == 0 {
         return Err(SimError::ZeroHorizon);
     }
+    let _span = rtcg_obs::span!("sim.monitors", "sim");
     let n = input.set.len();
     if input.bodies.len() != n {
         return Err(SimError::ArrivalStreamMismatch {
@@ -201,8 +202,7 @@ pub fn simulate_with_monitors(
                     j.seq,
                 ),
                 Policy::Llf => (
-                    j.abs_deadline
-                        .saturating_sub(now + j.remaining() as u64),
+                    j.abs_deadline.saturating_sub(now + j.remaining() as u64),
                     j.seq,
                 ),
                 Policy::Fifo => (j.release, j.seq),
@@ -223,7 +223,10 @@ pub fn simulate_with_monitors(
                 None => true,
             }
         };
-        let chosen = order.iter().copied().find(|&ix| runnable(&pending[ix], &held));
+        let chosen = order
+            .iter()
+            .copied()
+            .find(|&ix| runnable(&pending[ix], &held));
         // blocking accounting: every job with higher priority than the
         // chosen one that was blocked on a monitor accrues a tick
         if let Some(chosen_ix) = chosen {
@@ -231,6 +234,10 @@ pub fn simulate_with_monitors(
             for &ix in &order[..chosen_pos] {
                 let j = &mut pending[ix];
                 j.current_block += 1;
+                rtcg_obs::counter!("sim.monitor_block_ticks");
+                if j.current_block == 1 {
+                    rtcg_obs::event!("sim.monitor_block", "sim", now);
+                }
                 let st = &mut stats[j.proc_ix];
                 st.blocked_ticks += 1;
                 st.max_blocking = st.max_blocking.max(j.current_block);
@@ -265,6 +272,12 @@ pub fn simulate_with_monitors(
             // total deadlock cannot happen with properly nested single
             // monitors; defensive: idle
             trace.push_idle();
+        }
+    }
+    rtcg_obs::counter!("sim.ticks", horizon);
+    for st in &stats {
+        if st.max_blocking > 0 {
+            rtcg_obs::histogram!("sim.max_blocking", st.max_blocking);
         }
     }
     Ok(MonitorOutcome { trace, stats })

@@ -65,6 +65,7 @@ pub fn run_table_executor(
     if horizon == 0 {
         return Err(SimError::ZeroHorizon);
     }
+    let _span = rtcg_obs::span!("sim.table_executor", "sim");
     if patterns.len() != model.constraints().len() {
         return Err(SimError::ArrivalStreamMismatch {
             got: patterns.len(),
@@ -97,11 +98,14 @@ pub fn run_table_executor(
                 Some(done) if done <= t + c.deadline => {
                     met += 1;
                     let resp = done - t;
+                    rtcg_obs::histogram!("sim.response_time", resp);
                     worst = Some(worst.map_or(resp, |w: Time| w.max(resp)));
                 }
                 _ => missed += 1,
             }
         }
+        rtcg_obs::counter!("sim.windows_checked", stream.len() as u64);
+        rtcg_obs::counter!("sim.windows_missed", missed as u64);
         outcomes.push(ConstraintOutcome {
             name: c.name.clone(),
             checked: stream.len(),
@@ -111,6 +115,7 @@ pub fn run_table_executor(
         });
         invocations.push(stream);
     }
+    rtcg_obs::counter!("sim.ticks", horizon);
     Ok(TableRun {
         trace,
         invocations,

@@ -16,7 +16,9 @@ use std::fmt::Write;
 pub fn render_process_system(model: &Model, programs: &[Program]) -> String {
     let comm = model.comm();
     let mut out = String::new();
-    let _ = writeln!(out, "// synthesized from graph-based model: {} elements, {} constraints",
+    let _ = writeln!(
+        out,
+        "// synthesized from graph-based model: {} elements, {} constraints",
         comm.element_count(),
         model.constraints().len()
     );
@@ -28,7 +30,11 @@ pub fn render_process_system(model: &Model, programs: &[Program]) -> String {
             c.name,
             c.period,
             c.deadline,
-            if c.is_periodic() { "periodic" } else { "asynchronous" }
+            if c.is_periodic() {
+                "periodic"
+            } else {
+                "asynchronous"
+            }
         );
         out.push_str(&prog.display(comm));
         let _ = writeln!(out);
@@ -88,11 +94,7 @@ mod tests {
     #[test]
     fn table_scheduler_renders_actions() {
         let (m, e) = rtcg_core::mok_example::default_model();
-        let s = StaticSchedule::new(vec![
-            Action::Run(e.fx),
-            Action::Idle,
-            Action::Run(e.fs),
-        ]);
+        let s = StaticSchedule::new(vec![Action::Run(e.fx), Action::Idle, Action::Run(e.fs)]);
         let text = render_table_scheduler(m.comm(), &s);
         assert!(text.contains("Entry::Run(fX)"));
         assert!(text.contains("Entry::Idle"));

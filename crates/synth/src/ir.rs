@@ -87,10 +87,9 @@ impl Program {
                     }
                     stack.push(*m);
                 }
-                Stmt::Release(m)
-                    if stack.pop() != Some(*m) => {
-                        return false; // mismatched release
-                    }
+                Stmt::Release(m) if stack.pop() != Some(*m) => {
+                    return false; // mismatched release
+                }
                 _ => {}
             }
         }

@@ -48,6 +48,7 @@ pub fn latency_synthesize_with(
     model: &Model,
     config: SynthesisConfig,
 ) -> Result<LatencyOutcome, SynthError> {
+    let _span = rtcg_obs::span!("synth.latency", "synthesis");
     model.validate().map_err(SynthError::from)?;
 
     // group periodic constraints by period
@@ -95,6 +96,7 @@ pub fn latency_synthesize_with(
         merged_constraints.push(model.constraint(id).expect("valid id").clone());
     }
 
+    rtcg_obs::counter!("synth.groups_merged", groups_merged as u64);
     let merged_model =
         Model::new(model.comm().clone(), merged_constraints).map_err(SynthError::from)?;
 
@@ -181,10 +183,7 @@ mod tests {
             .schedule
             .busy_fraction(merged.analysis_model.comm())
             .unwrap();
-        let pb = plain
-            .schedule
-            .busy_fraction(plain.model().comm())
-            .unwrap();
+        let pb = plain.schedule.busy_fraction(plain.model().comm()).unwrap();
         assert!(mb < pb, "merged {mb} should beat unmerged {pb}");
     }
 

@@ -58,13 +58,12 @@ impl MergedTask {
 /// *occurrence index*: the k-th op on element `e` of any source maps to
 /// merged op `e@k`. This preserves multiplicity (a constraint running an
 /// element twice still runs it twice) while sharing across constraints.
-pub fn merge_constraints(
-    model: &Model,
-    ids: &[ConstraintId],
-) -> Result<MergedTask, SynthError> {
+pub fn merge_constraints(model: &Model, ids: &[ConstraintId]) -> Result<MergedTask, SynthError> {
     if ids.is_empty() {
         return Err(SynthError::NothingToMerge);
     }
+    let _span = rtcg_obs::span!("synth.merge", "synthesis");
+    rtcg_obs::counter!("synth.merge_calls");
     let comm = model.comm();
     let mut builder = TaskGraphBuilder::new();
     let mut merged_labels: Vec<String> = Vec::new(); // labels added so far

@@ -25,6 +25,7 @@ pub fn pipeline_program(
     pipelined: &Pipelined,
     monitor_of: &BTreeMap<rtcg_core::model::ElementId, MonitorId>,
 ) -> Program {
+    let _span = rtcg_obs::span!("synth.pipeline_program", "synthesis");
     let mut out = Program::new(program.name.clone());
     for stmt in &program.stmts {
         match stmt {

@@ -153,7 +153,11 @@ mod tests {
         let mut b = ModelBuilder::new();
         let u = b.element("u", 1);
         let v = b.element("v", 1);
-        let tg = TaskGraphBuilder::new().op("u", u).op("v", v).build().unwrap();
+        let tg = TaskGraphBuilder::new()
+            .op("u", u)
+            .op("v", v)
+            .build()
+            .unwrap();
         let p = synthesize_program("c", &tg, &BTreeMap::new());
         assert_eq!(p.call_count(), 2);
         assert!(!p.stmts.iter().any(|s| matches!(s, Stmt::Send { .. })));

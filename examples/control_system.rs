@@ -25,7 +25,11 @@ fn main() {
             c.name,
             c.period,
             c.deadline,
-            if c.is_periodic() { "periodic" } else { "asynchronous" },
+            if c.is_periodic() {
+                "periodic"
+            } else {
+                "asynchronous"
+            },
             c.computation_time(model.comm()).unwrap()
         );
     }

@@ -101,7 +101,10 @@ fn main() {
     let auto = balance_load(&model, 2).expect("balances");
     match synthesize_multi(&model, &auto, cfg) {
         Ok(out2) => {
-            println!("\nautomatic load-balanced placement also verifies: {}", out2.all_ok());
+            println!(
+                "\nautomatic load-balanced placement also verifies: {}",
+                out2.all_ok()
+            );
         }
         Err(e) => println!("\nautomatic placement fails ({e}) — placement matters!"),
     }

@@ -38,7 +38,11 @@ fn main() {
     }
     let model = b.build().expect("model validates");
 
-    println!("robot arm: {} elements, {} joint loops", model.comm().element_count(), 3);
+    println!(
+        "robot arm: {} elements, {} joint loops",
+        model.comm().element_count(),
+        3
+    );
 
     // naive process mapping duplicates the IK solve per joint
     let naive = naive_synthesis(&model).expect("synthesizes");
@@ -72,13 +76,20 @@ fn main() {
 
     // and latency scheduling produces a verified table
     let outcome = synthesize(&model).expect("synthesizable");
-    let report = outcome.schedule.feasibility(outcome.model()).expect("analyzable");
+    let report = outcome
+        .schedule
+        .feasibility(outcome.model())
+        .expect("analyzable");
     print!("{report}");
     assert!(report.is_feasible());
     println!(
         "table: {} actions, busy {:.1}% (vs naive demand {:.1}%)",
         outcome.schedule.len(),
-        100.0 * outcome.schedule.busy_fraction(outcome.model().comm()).unwrap(),
+        100.0
+            * outcome
+                .schedule
+                .busy_fraction(outcome.model().comm())
+                .unwrap(),
         100.0 * naive.demand_rate()
     );
     println!("robot arm OK");

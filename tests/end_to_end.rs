@@ -99,10 +99,7 @@ fn naive_process_mapping_preserves_constraint_attributes() {
         assert_eq!(proc_.name, c.name);
         assert_eq!(proc_.period, c.period);
         assert_eq!(proc_.deadline, c.deadline);
-        assert_eq!(
-            proc_.wcet,
-            c.computation_time(model.comm()).unwrap()
-        );
+        assert_eq!(proc_.wcet, c.computation_time(model.comm()).unwrap());
     }
     // generated programs compile to the same computation times
     let (programs, _) = synthesize_programs(&model).unwrap();
@@ -195,9 +192,7 @@ fn dot_and_codegen_outputs_are_consistent() {
         assert!(dot.contains(&e.name), "DOT missing {}", e.name);
     }
     let outcome = synthesize(&model).unwrap();
-    let table = rtcg::synth::codegen::render_table_scheduler(
-        outcome.model().comm(),
-        &outcome.schedule,
-    );
+    let table =
+        rtcg::synth::codegen::render_table_scheduler(outcome.model().comm(), &outcome.schedule);
     assert!(table.contains(&format!("[Entry; {}]", outcome.schedule.len())));
 }

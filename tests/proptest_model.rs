@@ -8,10 +8,7 @@ use rtcg::prelude::*;
 /// Strategy: specs for 1-3 single-op asynchronous constraints, each
 /// (weight 1-2, deadline w..=6).
 fn constraint_specs() -> impl Strategy<Value = Vec<(u64, u64)>> {
-    prop::collection::vec(
-        (1u64..=2).prop_flat_map(|w| (Just(w), w..=6u64)),
-        1..=3,
-    )
+    prop::collection::vec((1u64..=2).prop_flat_map(|w| (Just(w), w..=6u64)), 1..=3)
 }
 
 fn single_op_model(specs: &[(u64, u64)]) -> Model {

@@ -1,0 +1,217 @@
+//! Workspace-local stand-in for the subset of `criterion` this
+//! repository uses.
+//!
+//! Same API shape as upstream — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup`] with `sample_size` / `bench_function` /
+//! `bench_with_input` / `finish`, [`BenchmarkId`], [`Bencher::iter`],
+//! [`black_box`] and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — but with a plain wall-clock measurement loop instead of
+//! statistical analysis: each benchmark is warmed up once, timed over a
+//! capped batch, and the mean per-iteration time is printed as
+//! `group/id ... <time>`.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier. Not a compiler fence like upstream's, but
+/// enough to keep results "used" so the closure isn't optimised away.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    /// Marks the group complete (upstream parity; measurement already
+    /// happened per-benchmark).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            iterations: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+            iters_run: 0,
+        };
+        f(&mut bencher);
+        let per_iter = if bencher.iters_run > 0 {
+            bencher.elapsed.as_nanos() as f64 / bencher.iters_run as f64
+        } else {
+            0.0
+        };
+        println!("{}/{:<24} {}", self.name, id, format_nanos(per_iter));
+    }
+}
+
+/// Passed to benchmark closures; `iter` does the timing.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+    iters_run: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it once untimed as warm-up and then
+    /// `sample_size` timed iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters_run += self.iterations;
+    }
+}
+
+fn format_nanos(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs/iter", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns/iter")
+    }
+}
+
+/// Declares a group-runner function from a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from a list of group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_accumulates_time() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(10);
+        let mut count = 0u64;
+        group.bench_function("count", |b| b.iter(|| count += 1));
+        // warm-up + 10 timed iterations
+        assert_eq!(count, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_forms_render() {
+        assert_eq!(BenchmarkId::new("par", 8).to_string(), "par/8");
+        assert_eq!(BenchmarkId::from_parameter("hashed").to_string(), "hashed");
+    }
+}

@@ -1,0 +1,414 @@
+//! Workspace-local stand-in for the subset of `proptest` this
+//! repository uses.
+//!
+//! Provides the [`Strategy`] trait over ranges / tuples / collections,
+//! [`any`] via an [`Arbitrary`] bound, `prop::collection::vec`,
+//! `prop::sample::Index`, the [`proptest!`] macro (with the optional
+//! `#![proptest_config(...)]` inner attribute) and the `prop_assert*`
+//! macros. Differences from upstream: no shrinking (a failing case
+//! panics with the generated input attached via a drop guard), and the
+//! per-test RNG seed is a deterministic hash of the test name, so runs
+//! are reproducible.
+
+use rand::{RngCore, SeedableRng};
+
+/// The generator driving each test case.
+pub type TestRng = rand::SmallRng;
+
+/// Configuration block accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps each drawn value through `f` to build a dependent strategy
+    /// and draws from that (e.g. a deadline range that starts at the
+    /// drawn weight).
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Maps each drawn value through a plain function.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { base: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// A fixed value is a strategy for itself (proptest's `Just` spirit, used
+/// for literal sizes).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $ix:tt),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$ix.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — an arbitrary value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// The `prop::` namespace mirrored from upstream.
+pub mod prop {
+    use super::*;
+
+    /// Collection strategies.
+    pub mod collection {
+        use super::*;
+
+        /// Strategy for `Vec<S::Value>` with a size drawn from a range.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S, R> {
+            element: S,
+            size: R,
+        }
+
+        /// `prop::collection::vec(element, size_range)`.
+        pub fn vec<S: Strategy, R>(element: S, size: R) -> VecStrategy<S, R> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S, std::ops::Range<usize>> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let n = rand::Rng::gen_range(rng, self.size.clone());
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S, std::ops::RangeInclusive<usize>> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let n = rand::Rng::gen_range(rng, self.size.clone());
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S, usize> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                (0..self.size).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling helpers.
+    pub mod sample {
+        use super::*;
+
+        /// An index into a not-yet-known collection: stores raw entropy,
+        /// maps it into `[0, len)` when the length is known.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Index(u64);
+
+        impl Index {
+            /// The index modulo `len`. Panics if `len == 0`.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index on empty collection");
+                (self.0 % len as u64) as usize
+            }
+        }
+
+        impl Arbitrary for Index {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                Index(rng.next_u64())
+            }
+        }
+    }
+}
+
+/// Everything a test file needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+// ---------------------------------------------------------------------
+// runtime plumbing for the proptest! macro
+
+/// FNV-1a over the test name: a stable per-test RNG seed.
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Builds the per-test generator.
+pub fn rng_for(test_name: &str, case: u32) -> TestRng {
+    TestRng::seed_from_u64(seed_for(test_name) ^ ((case as u64) << 32))
+}
+
+/// Drop guard that reports the failing case's input when the body
+/// panics (the stand-in's replacement for shrinking).
+pub struct CaseReporter {
+    /// `Debug` rendering of the generated inputs.
+    pub desc: String,
+    /// Case number.
+    pub case: u32,
+    /// Disarmed once the case passes.
+    pub armed: bool,
+}
+
+impl Drop for CaseReporter {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest: case #{} failed with input: {}",
+                self.case, self.desc
+            );
+        }
+    }
+}
+
+/// Property-based test harness macro.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop_holds((a, b) in (0u32..10, 0u32..10), ix in any::<u64>()) {
+///         prop_assert!(a < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg); $($rest)*);
+    };
+    (@cfg ($cfg:expr); $($(#[$attr:meta])* fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::rng_for(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    let __vals = ( $($crate::Strategy::generate(&$strat, &mut __rng),)+ );
+                    let mut __reporter = $crate::CaseReporter {
+                        desc: format!("{:?}", __vals),
+                        case: __case,
+                        armed: true,
+                    };
+                    let ($($pat,)+) = __vals;
+                    { $body }
+                    __reporter.armed = false;
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// `prop_assert!` — assert inside a property (panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `prop_assert_eq!` — equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `prop_assert_ne!` — inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        assert_eq!(crate::seed_for("a::b"), crate::seed_for("a::b"));
+        assert_ne!(crate::seed_for("a::b"), crate::seed_for("a::c"));
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..10, y in 0usize..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn tuples_and_vecs_compose(
+            (a, b, c) in (1usize..5, 0u32..100, any::<bool>()),
+            v in prop::collection::vec((0u64..9, any::<u8>()), 1..=6),
+            ix in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!((1..5).contains(&a));
+            prop_assert!(b < 100);
+            let _ = c;
+            prop_assert!(!v.is_empty() && v.len() <= 6);
+            prop_assert!(v.iter().all(|&(n, _)| n < 9));
+            prop_assert!(ix.index(v.len()) < v.len());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+        #[test]
+        fn config_attribute_is_accepted(x in 0u8..=255) {
+            let _ = x;
+        }
+    }
+}

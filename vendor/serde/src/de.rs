@@ -1,0 +1,51 @@
+//! Deserialization error type and helpers shared by the derive macro.
+
+use crate::value::Value;
+use std::fmt;
+
+/// A deserialization error: what was expected and what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error with a literal message.
+    pub fn msg(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    /// "expected X, found Y" with the found value's type name.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        Error {
+            msg: format!("expected {what}, found {}", found.kind()),
+        }
+    }
+
+    /// A missing object field.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Error {
+            msg: format!("missing field `{field}` while deserializing {ty}"),
+        }
+    }
+
+    /// An unknown enum variant.
+    pub fn unknown_variant(ty: &str, variant: &str) -> Self {
+        Error {
+            msg: format!("unknown variant `{variant}` of {ty}"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Looks up a required field of an object value (used by derived impls).
+pub fn field<'v>(v: &'v Value, ty: &str, name: &str) -> Result<&'v Value, Error> {
+    v.get(name).ok_or_else(|| Error::missing_field(ty, name))
+}

@@ -1,0 +1,284 @@
+//! The JSON-shaped value tree at the center of the vendored serde stack.
+
+use std::fmt;
+
+/// A dynamically-typed JSON-like value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer (JSON number without fraction or exponent).
+    Int(i64),
+    /// An unsigned integer too large for `i64`, or any non-negative
+    /// integer produced by serializing unsigned types.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object: insertion-ordered key/value pairs.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(u) => Some(*u),
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is any kind of number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Alias for [`Value::as_arr`] (serde_json spelling).
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        self.as_arr()
+    }
+
+    /// The value as an object (pair list), if it is one.
+    pub fn as_obj(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// True when the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// True when the value is a string.
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::Str(_))
+    }
+
+    /// True when the value is any JSON number.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::UInt(_) | Value::Float(_))
+    }
+
+    /// True when the value is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Arr(_))
+    }
+
+    /// True when the value is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Obj(_))
+    }
+
+    /// Member lookup on objects: the first pair with this key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_obj()
+            .and_then(|o| o.iter().find(|(k, _)| k == key))
+            .map(|(_, v)| v)
+    }
+
+    /// Element lookup on arrays.
+    pub fn get_index(&self, ix: usize) -> Option<&Value> {
+        self.as_arr().and_then(|a| a.get(ix))
+    }
+
+    /// One-word description of the value's type, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, ix: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get_index(ix).unwrap_or(&NULL)
+    }
+}
+
+// Literal comparisons (`v["ph"] == "X"`, `v["pid"] == 1`), mirroring
+// serde_json's PartialEq impls against primitive types.
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+macro_rules! eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                if *other >= 0 {
+                    self.as_u64() == Some(*other as u64)
+                } else {
+                    self.as_i64() == Some(*other as i64)
+                }
+            }
+        }
+    )*};
+}
+macro_rules! eq_uint {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_u64() == Some(*other as u64)
+            }
+        }
+    )*};
+}
+eq_int!(i8, i16, i32, i64, isize);
+eq_uint!(u8, u16, u32, u64, usize);
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_json(self, f)
+    }
+}
+
+/// Writes `v` as compact JSON.
+fn write_json(v: &Value, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match v {
+        Value::Null => f.write_str("null"),
+        Value::Bool(b) => write!(f, "{b}"),
+        Value::Int(i) => write!(f, "{i}"),
+        Value::UInt(u) => write!(f, "{u}"),
+        Value::Float(x) => {
+            if x.is_finite() {
+                // Debug gives the shortest representation that reparses
+                // as the same f64 and always keeps a `.0` or exponent.
+                write!(f, "{x:?}")
+            } else {
+                f.write_str("null")
+            }
+        }
+        Value::Str(s) => write_json_string(s, f),
+        Value::Arr(items) => {
+            f.write_str("[")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write_json(item, f)?;
+            }
+            f.write_str("]")
+        }
+        Value::Obj(pairs) => {
+            f.write_str("{")?;
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write_json_string(k, f)?;
+                f.write_str(":")?;
+                write_json(val, f)?;
+            }
+            f.write_str("}")
+        }
+    }
+}
+
+/// Writes a JSON string literal with full escaping.
+pub(crate) fn write_json_string(s: &str, f: &mut impl fmt::Write) -> fmt::Result {
+    f.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            '\u{08}' => f.write_str("\\b")?,
+            '\u{0C}' => f.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_char(c)?,
+        }
+    }
+    f.write_char('"')
+}

@@ -1,0 +1,432 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! the shapes this repository actually declares: named structs, tuple
+//! structs (newtype included), unit structs, and enums mixing unit,
+//! tuple and struct variants — all optionally generic over type
+//! parameters. Parsing is done directly on the `proc_macro` token
+//! stream (no `syn`/`quote`, which are unavailable offline); generated
+//! code is assembled as text and re-parsed, which rustc checks like any
+//! other code.
+//!
+//! Unsupported (and unused in this repo): lifetimes, const generics,
+//! `where` clauses, unions, and `#[serde(...)]` field attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Which trait is being derived.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    derive(input, Mode::Ser)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    derive(input, Mode::De)
+}
+
+fn derive(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = parse_item(input).expect("serde_derive: unsupported item shape");
+    let code = match mode {
+        Mode::Ser => gen_serialize(&item),
+        Mode::De => gen_deserialize(&item),
+    };
+    code.parse()
+        .expect("serde_derive: generated code must parse")
+}
+
+// ---------------------------------------------------------------------
+// item model + parsing
+
+struct Item {
+    name: String,
+    /// Type parameter names, in declaration order.
+    generics: Vec<String>,
+    body: Body,
+}
+
+enum Body {
+    /// `struct S;`
+    Unit,
+    /// `struct S(T1, ...);` — arity recorded.
+    Tuple(usize),
+    /// `struct S { f1: T1, ... }` — field names recorded.
+    Named(Vec<String>),
+    /// `enum E { ... }`.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+enum VariantBody {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Option<Item> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut ix = 0;
+    skip_attrs_and_vis(&tokens, &mut ix);
+    let keyword = ident_at(&tokens, ix)?;
+    ix += 1;
+    let name = ident_at(&tokens, ix)?;
+    ix += 1;
+    let generics = parse_generics(&tokens, &mut ix);
+    let body = match keyword.as_str() {
+        "struct" => match tokens.get(ix) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Named(parse_field_names(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Tuple(split_top_level(g.stream()).len())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+            None => Body::Unit,
+            _ => return None,
+        },
+        "enum" => match tokens.get(ix) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream())?)
+            }
+            _ => return None,
+        },
+        _ => return None,
+    };
+    Some(Item {
+        name,
+        generics,
+        body,
+    })
+}
+
+fn ident_at(tokens: &[TokenTree], ix: usize) -> Option<String> {
+    match tokens.get(ix) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Skips leading `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], ix: &mut usize) {
+    loop {
+        match tokens.get(*ix) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *ix += 1;
+                if matches!(tokens.get(*ix), Some(TokenTree::Group(_))) {
+                    *ix += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *ix += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*ix) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *ix += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `<A, B: Bound, ...>` if present, returning the parameter names.
+fn parse_generics(tokens: &[TokenTree], ix: &mut usize) -> Vec<String> {
+    match tokens.get(*ix) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Vec::new(),
+    }
+    *ix += 1;
+    let mut depth = 1usize;
+    let mut params = Vec::new();
+    let mut expect_name = true;
+    while let Some(tok) = tokens.get(*ix) {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    *ix += 1;
+                    return params;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_name = true,
+            TokenTree::Ident(id) if depth == 1 && expect_name => {
+                params.push(id.to_string());
+                expect_name = false;
+            }
+            _ => {}
+        }
+        *ix += 1;
+    }
+    params
+}
+
+/// Splits a token stream at top-level commas (angle-bracket aware).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle = 0usize;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle = angle.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                chunks.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tok);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Field names of a named-struct body.
+fn parse_field_names(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .filter_map(|chunk| {
+            let mut ix = 0;
+            skip_attrs_and_vis(&chunk, &mut ix);
+            ident_at(&chunk, ix)
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Option<Vec<Variant>> {
+    let mut variants = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut ix = 0;
+        skip_attrs_and_vis(&chunk, &mut ix);
+        let name = ident_at(&chunk, ix)?;
+        ix += 1;
+        let body = match chunk.get(ix) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantBody::Named(parse_field_names(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                VariantBody::Tuple(split_top_level(g.stream()).len())
+            }
+            // `= discriminant` or nothing
+            _ => VariantBody::Unit,
+        };
+        variants.push(Variant { name, body });
+    }
+    Some(variants)
+}
+
+// ---------------------------------------------------------------------
+// code generation
+
+/// `impl<A: ::serde::Trait, ...> ::serde::Trait for Name<A, ...>`.
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    let bounds = if item.generics.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "<{}>",
+            item.generics
+                .iter()
+                .map(|g| format!("{g}: ::serde::{trait_name}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    };
+    let args = if item.generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.generics.join(", "))
+    };
+    format!("impl{bounds} ::serde::{trait_name} for {}{args}", item.name)
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Unit => "::serde::value::Value::Null".to_string(),
+        Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::value::Value::Arr(::std::vec![{items}])")
+        }
+        Body::Named(fields) => named_fields_to_obj(fields, |f| format!("&self.{f}")),
+        Body::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.body {
+                        VariantBody::Unit => format!(
+                            "{name}::{vname} => ::serde::value::Value::Str(\
+                             ::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantBody::Tuple(n) => {
+                            let binders = (0..*n)
+                                .map(|i| format!("__f{i}"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items = (0..*n)
+                                    .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ");
+                                format!("::serde::value::Value::Arr(::std::vec![{items}])")
+                            };
+                            format!(
+                                "{name}::{vname}({binders}) => \
+                                 ::serde::value::Value::Obj(::std::vec![(\
+                                 ::std::string::String::from(\"{vname}\"), {inner})]),"
+                            )
+                        }
+                        VariantBody::Named(fields) => {
+                            let binders = fields.join(", ");
+                            let inner = named_fields_to_obj(fields, |f| f.to_string());
+                            format!(
+                                "{name}::{vname} {{ {binders} }} => \
+                                 ::serde::value::Value::Obj(::std::vec![(\
+                                 ::std::string::String::from(\"{vname}\"), {inner})]),"
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "{} {{\n fn to_value(&self) -> ::serde::value::Value {{\n {body}\n }}\n}}",
+        impl_header(item, "Serialize")
+    )
+}
+
+/// `Value::Obj(vec![("f", to_value(<expr(f)>)), ...])`.
+fn named_fields_to_obj(fields: &[String], expr: impl Fn(&str) -> String) -> String {
+    let pairs = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::to_value({}))",
+                expr(f)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("::serde::value::Value::Obj(::std::vec![{pairs}])")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Unit => format!(
+            "match __v {{\n ::serde::value::Value::Null => ::std::result::Result::Ok({name}),\n \
+             other => ::std::result::Result::Err(::serde::de::Error::expected(\"null\", other)),\n }}"
+        ),
+        Body::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        ),
+        Body::Tuple(n) => format!(
+            "{{ let __arr = __v.as_arr().ok_or_else(|| \
+             ::serde::de::Error::expected(\"array\", __v))?;\n \
+             if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+             ::serde::de::Error::msg(\"tuple struct arity mismatch\")); }}\n \
+             ::std::result::Result::Ok({name}({fields})) }}",
+            fields = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Body::Named(fields) => format!(
+            "::std::result::Result::Ok({name} {{ {} }})",
+            named_fields_from_obj(name, fields, "__v")
+        ),
+        Body::Enum(variants) => {
+            let unit_arms = variants
+                .iter()
+                .filter(|v| matches!(v.body, VariantBody::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect::<Vec<_>>()
+                .join("\n");
+            let data_arms = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.body {
+                        VariantBody::Unit => None,
+                        VariantBody::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        VariantBody::Tuple(n) => Some(format!(
+                            "\"{vname}\" => {{ let __arr = __inner.as_arr().ok_or_else(|| \
+                             ::serde::de::Error::expected(\"array\", __inner))?;\n \
+                             if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::de::Error::msg(\"tuple variant arity mismatch\")); }}\n \
+                             ::std::result::Result::Ok({name}::{vname}({fields})) }}",
+                            fields = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        )),
+                        VariantBody::Named(fields) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {} }}),",
+                            named_fields_from_obj(&format!("{name}::{vname}"), fields, "__inner")
+                        )),
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "match __v {{\n \
+                 ::serde::value::Value::Str(__s) => match __s.as_str() {{\n {unit_arms}\n \
+                 __other => ::std::result::Result::Err(\
+                 ::serde::de::Error::unknown_variant(\"{name}\", __other)),\n }},\n \
+                 ::serde::value::Value::Obj(__pairs) if __pairs.len() == 1 => {{\n \
+                 let (__tag, __inner) = &__pairs[0];\n \
+                 match __tag.as_str() {{\n {data_arms}\n \
+                 __other => ::std::result::Result::Err(\
+                 ::serde::de::Error::unknown_variant(\"{name}\", __other)),\n }}\n }},\n \
+                 __other => ::std::result::Result::Err(\
+                 ::serde::de::Error::expected(\"enum value\", __other)),\n }}"
+            )
+        }
+    };
+    format!(
+        "{} {{\n fn from_value(__v: &::serde::value::Value) -> \
+         ::std::result::Result<Self, ::serde::de::Error> {{\n {body}\n }}\n}}",
+        impl_header(item, "Deserialize")
+    )
+}
+
+/// `f: from_value(field(<src>, "Ty", "f")?)?, ...`.
+fn named_fields_from_obj(ty: &str, fields: &[String], src: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(\
+                 ::serde::de::field({src}, \"{ty}\", \"{f}\")?)?"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
