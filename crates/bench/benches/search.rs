@@ -1,0 +1,73 @@
+//! Criterion bench for the branch-and-bound exact search: pruned search
+//! vs the seed generate-and-filter enumerator on the Theorem 2(i)
+//! hardness family, and thread scaling of the work-queue parallel
+//! search. Each group prints the node/candidate counters once so the
+//! pruning factor is visible next to the timings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtcg_core::feasibility::exact::reference::find_feasible_reference;
+use rtcg_core::feasibility::{find_feasible, find_feasible_parallel, SearchConfig};
+use rtcg_hardness::families::{chain_family_with_deadline, single_op_family};
+
+fn bench_pruning_vs_reference(c: &mut Criterion) {
+    // Infeasible 2-chain instance (deadline below the boundary): both
+    // searches must *prove* bounded infeasibility, which maximizes
+    // enumeration effort and therefore the pruning win.
+    let model = chain_family_with_deadline(2, 7);
+    let cfg = SearchConfig {
+        max_len: 7,
+        node_budget: u64::MAX / 2,
+    };
+
+    let bb = find_feasible(&model, cfg).unwrap();
+    let rf = find_feasible_reference(&model, cfg).unwrap();
+    assert_eq!(bb.schedule.is_some(), rf.schedule.is_some());
+    println!(
+        "pruning on chain_family(2, d=7): b&b {} nodes / {} candidates, \
+         reference {} nodes / {} candidates ({}x fewer candidates)",
+        bb.nodes_visited,
+        bb.candidates_checked,
+        rf.nodes_visited,
+        rf.candidates_checked,
+        rf.candidates_checked / bb.candidates_checked.max(1),
+    );
+
+    let mut group = c.benchmark_group("exact_search_pruning");
+    group.sample_size(10);
+    group.bench_function("branch_and_bound", |b| {
+        b.iter(|| find_feasible(&model, cfg).unwrap())
+    });
+    group.bench_function("reference", |b| {
+        b.iter(|| find_feasible_reference(&model, cfg).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    // Feasible single-op instance whose last length holds nearly all
+    // the work — the stress case for the depth-3 work-unit queue.
+    let model = single_op_family(5);
+    let cfg = SearchConfig {
+        max_len: 10,
+        node_budget: u64::MAX / 2,
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("thread scaling on single_op_family(5): {cores} core(s) available");
+
+    let mut group = c.benchmark_group("exact_search_threads");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("threads", 1), |b| {
+        b.iter(|| find_feasible(&model, cfg).unwrap())
+    });
+    for threads in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| b.iter(|| find_feasible_parallel(&model, cfg, threads).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning_vs_reference, bench_thread_scaling);
+criterion_main!(benches);

@@ -9,7 +9,7 @@
 //! over `n` and their cost recorded.
 
 use rtcg_bench::{time_it, Table};
-use rtcg_core::feasibility::{exact, game};
+use rtcg_core::feasibility::{exact, game, parallel};
 use rtcg_hardness::single_op_family;
 
 fn main() {
@@ -25,6 +25,7 @@ fn main() {
         "search nodes",
         "search verdict",
         "search (s)",
+        "par x4 (s)",
     ]);
     for n in 1..=4usize {
         let model = single_op_family(n);
@@ -69,6 +70,12 @@ fn main() {
             (None, true) => "no≤bound",
             (None, false) => "budget",
         };
+        let cfg = exact::SearchConfig {
+            max_len,
+            node_budget: 60_000_000,
+        };
+        let (p, ps) = time_it(|| parallel::find_feasible_parallel(&model, cfg, 4).unwrap());
+        assert_eq!(s.schedule, p.schedule, "parallel must replay sequential");
         t.row(&[
             n.to_string(),
             d_common.to_string(),
@@ -78,6 +85,7 @@ fn main() {
             s.nodes_visited.to_string(),
             sv.to_string(),
             format!("{ss:.4}"),
+            format!("{ps:.4}"),
         ]);
     }
     println!("{}", t.render());

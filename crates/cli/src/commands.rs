@@ -61,7 +61,8 @@ pub fn check(path: &str) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `rtcg synthesize [--merged] [--gantt N] [--metrics] [--trace-out F]`.
+/// `rtcg synthesize [--merged|--exact] [--threads N] [--max-len L]
+/// [--budget B] [--gantt N] [--metrics] [--trace-out F]`.
 pub fn synthesize(path: &str, flags: &[String]) -> Result<(), CliError> {
     let rec = crate::profile::recorder_for(flags);
     let result = synthesize_inner(path, flags);
@@ -83,6 +84,44 @@ fn synthesize_inner(path: &str, flags: &[String]) -> Result<(), CliError> {
             out.strategy, out.groups_merged
         );
         print_schedule(&out.analysis_model, &out.schedule, gantt_ticks)
+    } else if flags.iter().any(|f| f == "--exact") {
+        let threads = flag_value(flags, "--threads")?.unwrap_or(1).max(1) as usize;
+        let mut cfg = rtcg_core::feasibility::SearchConfig::default();
+        if let Some(l) = flag_value(flags, "--max-len")? {
+            cfg.max_len = l as usize;
+        }
+        if let Some(b) = flag_value(flags, "--budget")? {
+            cfg.node_budget = b;
+        }
+        let out = if threads > 1 {
+            rtcg_core::feasibility::find_feasible_parallel(&model, cfg, threads)
+        } else {
+            rtcg_core::feasibility::find_feasible(&model, cfg)
+        }
+        .map_err(|e| CliError::Input(e.to_string()))?;
+        println!(
+            "exact search ({} thread(s), max len {}, budget {}): {} nodes, {} candidates{}",
+            threads,
+            cfg.max_len,
+            cfg.node_budget,
+            out.nodes_visited,
+            out.candidates_checked,
+            if out.exhausted_bound {
+                ""
+            } else {
+                " — budget exhausted"
+            }
+        );
+        match out.schedule {
+            Some(s) => print_schedule(&model, &s, gantt_ticks),
+            None if out.exhausted_bound => Err(CliError::Infeasible(format!(
+                "no feasible schedule of length <= {}",
+                cfg.max_len
+            ))),
+            None => Err(CliError::Infeasible(
+                "search budget exhausted before a schedule was found".into(),
+            )),
+        }
     } else {
         let out = core_synthesize(&model).map_err(|e| CliError::Infeasible(e.to_string()))?;
         println!("latency scheduling ({}):", out.strategy);

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! rtcg check <spec.rtcg>               validate a specification
-//! rtcg synthesize <spec.rtcg> [--merged] [--gantt N]
+//! rtcg synthesize <spec.rtcg> [--merged|--exact] [--threads N] [--gantt N]
 //! rtcg simulate <spec.rtcg> --ticks N [--seed S]
 //! rtcg profile <spec.rtcg> [--ticks N]
 //! rtcg sensitivity <spec.rtcg>
@@ -43,12 +43,18 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   rtcg check <spec.rtcg>
-  rtcg synthesize <spec.rtcg> [--merged] [--gantt N] [--metrics] [--trace-out FILE]
+  rtcg synthesize <spec.rtcg> [--merged|--exact] [--threads N] [--max-len L]
+                  [--budget B] [--gantt N] [--metrics] [--trace-out FILE]
   rtcg simulate <spec.rtcg> --ticks N [--seed S] [--metrics] [--trace-out FILE]
   rtcg profile <spec.rtcg> [--ticks N] [--trace-out FILE]
   rtcg sensitivity <spec.rtcg>
   rtcg dot <spec.rtcg>
   rtcg codegen <spec.rtcg>
+
+exact search (synthesize --exact):
+  --threads N        parallel search workers (default 1)
+  --max-len L        maximum schedule length in actions (default 10)
+  --budget B         search charge budget: nodes + candidates (default 5000000)
 
 observability:
   --metrics          print a counters/spans/histograms summary after the run

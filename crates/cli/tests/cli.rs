@@ -215,6 +215,53 @@ fn merged_synthesis_flag() {
 }
 
 #[test]
+fn synthesize_exact_finds_schedule() {
+    let spec = write_spec(GOOD_SPEC);
+    let out = rtcg(&["synthesize", spec.path_str(), "--exact"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("exact search (1 thread"), "{stdout}");
+    assert!(stdout.contains("schedule:"));
+    assert!(stdout.contains("OK"));
+    assert!(!stdout.contains("VIOLATED"));
+}
+
+#[test]
+fn synthesize_exact_parallel_matches_sequential() {
+    let spec = write_spec(GOOD_SPEC);
+    let seq = rtcg(&["synthesize", spec.path_str(), "--exact"]);
+    let par = rtcg(&["synthesize", spec.path_str(), "--exact", "--threads", "2"]);
+    assert!(seq.status.success(), "{seq:?}");
+    assert!(par.status.success(), "{par:?}");
+    let schedule_line = |out: &std::process::Output| {
+        String::from_utf8(out.stdout.clone())
+            .unwrap()
+            .lines()
+            .find(|l| l.starts_with('['))
+            .map(str::to_string)
+            .expect("schedule line")
+    };
+    assert_eq!(schedule_line(&seq), schedule_line(&par));
+}
+
+#[test]
+fn synthesize_exact_budget_exhaustion_exits_3() {
+    let spec = write_spec(GOOD_SPEC);
+    let out = rtcg(&[
+        "synthesize",
+        spec.path_str(),
+        "--exact",
+        "--budget",
+        "1",
+        "--max-len",
+        "3",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("budget"), "{stderr}");
+}
+
+#[test]
 fn profile_prints_metrics_tables() {
     let spec = write_spec(GOOD_SPEC);
     let out = rtcg(&["profile", spec.path_str()]);

@@ -1,17 +1,22 @@
 //! Deciding whether a feasible static schedule exists.
 //!
-//! Three tools, matching the paper's three results:
+//! Four tools, matching the paper's results:
 //!
 //! * [`bounds`] — cheap necessary conditions (density and span bounds)
-//!   used to reject obviously infeasible instances before any search.
-//! * [`exact`] — complete search over static-schedule strings up to a
-//!   length bound. Exponential, as Theorem 2 (strong NP-hardness) says it
-//!   must be in the worst case; the hardness experiments (E3/E4) measure
-//!   exactly this blowup.
-//! * [`parallel`] — the same search fanned out over threads (the
-//!   enumeration tree is embarrassingly parallel at its root), with a
-//!   deterministic index-ordered early-exit rule so the returned
-//!   schedule matches the sequential one.
+//!   used to reject obviously infeasible instances before any search,
+//!   plus the [`bounds::PrefixPruner`] the exact search consults at
+//!   every enumeration node.
+//! * [`exact`] — complete branch-and-bound over canonical (necklace)
+//!   prefixes up to a length bound. Still exponential, as Theorem 2
+//!   (strong NP-hardness) says it must be in the worst case — the
+//!   hardness experiments (E3/E4) measure exactly this blowup — but
+//!   interior-node pruning, incremental prefix bounds, and cached leaf
+//!   evaluation cut the constant by orders of magnitude over the seed
+//!   enumerator (preserved as [`exact::reference`]).
+//! * [`parallel`] — the same search fanned out over a work queue of
+//!   prefix subtrees with one global atomic budget; deterministic
+//!   replay makes its verdict, schedule, and counters bit-identical to
+//!   the sequential search.
 //! * [`game`] — the *finite simulation game* behind Theorem 1: a safety
 //!   game over bounded trace suffixes whose winning strategy, found as a
 //!   lasso in the state graph, *is* a feasible static schedule. A
@@ -23,7 +28,7 @@ pub mod exact;
 pub mod game;
 pub mod parallel;
 
-pub use bounds::{density_lower_bound, quick_infeasible, InfeasibleReason};
-pub use exact::{find_feasible, SearchConfig, SearchOutcome};
+pub use bounds::{density_lower_bound, quick_infeasible, InfeasibleReason, PrefixPruner};
+pub use exact::{find_feasible, is_canonical_rotation, SearchConfig, SearchOutcome};
 pub use game::{solve_game, GameConfig, GameOutcome};
 pub use parallel::find_feasible_parallel;

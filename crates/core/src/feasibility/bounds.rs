@@ -6,7 +6,8 @@
 //! constraints, not a sum.
 
 use crate::error::ModelError;
-use crate::model::Model;
+use crate::model::{ElementId, Model};
+use crate::time::Time;
 use std::fmt;
 
 /// Why an instance is certainly infeasible.
@@ -98,6 +99,138 @@ pub fn quick_infeasible(model: &Model) -> Result<Option<InfeasibleReason>, Model
         return Ok(Some(InfeasibleReason::DensityExceedsOne { bound }));
     }
     Ok(None)
+}
+
+/// Incremental bounds over a *committed prefix* of the exact search's
+/// symbol string (symbol `0` = idle, symbols `1..=n` = the used elements
+/// in id order — the same encoding as [`super::exact`]).
+///
+/// All bounds are *sound for the leaf filter the search applies*: they
+/// only reject prefixes none of whose completions can be a feasible
+/// candidate **that contains every used element**. Two layers:
+///
+/// 1. **Remaining-symbols bound** — a prefix missing `k` used elements
+///    with fewer than `k` slots left can never satisfy the all-present
+///    leaf check.
+/// 2. **Max-gap latency bound** — in a cycle of duration `T` containing
+///    `m` executions of element `e`, the largest start-to-start gap is at
+///    least `⌈T/m⌉` (pigeonhole over the circular gaps, which sum to
+///    `T`), so a request arriving just after a start waits at least
+///    `⌈T/m⌉ + w(e) − 1` for a fresh completion of its op on `e`. The
+///    task as a whole then still owes the work *downstream* of that op:
+///    on a uniprocessor the descendant ops' instances occupy disjoint
+///    ticks after it, so for an asynchronous constraint `c` with an op
+///    `o` on `e`, `latency(c) ≥ ⌈T/m(e)⌉ + w(e) − 1 + D(o)` where `D(o)`
+///    sums the weights of `o`'s (distinct) descendants. Per element we
+///    precompute the *effective deadline* `min_{c, o on e} (d_c − D(o))`
+///    and prune when the gap bound exceeds it. From a prefix we know
+///    `T ≥ duration + Σ_{missing} w + (remaining − missing)` (every
+///    remaining slot costs ≥ 1 tick, missing elements cost their full
+///    weight) and `m(e) ≤ counts[e] + remaining − |missing \ {e}|`
+///    (every other missing element claims a slot), and `⌈·/·⌉` is
+///    monotone, so the bound applied at `(T_min, m_max)` proves every
+///    completion infeasible. This generalizes the "partial duration vs
+///    tightest deadline" bound: with `m_max = 1` it degenerates to
+///    `T_min + w(e) − 1 + D > d`.
+///
+/// The gap bound applies only to **asynchronous** deadlines: periodic
+/// window starts are fixed at multiples of the period, not adversarial,
+/// so a periodic constraint can meet its deadline despite a large gap
+/// elsewhere in the cycle.
+#[derive(Debug, Clone)]
+pub struct PrefixPruner {
+    /// Per symbol (index 0 = idle): ticks one occurrence adds.
+    weight: Vec<Time>,
+    /// Per symbol: tightest *effective* asynchronous deadline — the
+    /// minimum over asynchronous constraints `c` and ops `o` on the
+    /// element of `d_c − downstream_work(o)`; `Time::MAX` when no
+    /// asynchronous constraint uses it (idle, or periodic-only element).
+    tightest_async: Vec<Time>,
+}
+
+impl PrefixPruner {
+    /// Builds the pruner for the search alphabet `{φ} ∪ used`.
+    pub fn new(model: &Model, used: &[ElementId]) -> Result<Self, ModelError> {
+        let comm = model.comm();
+        let mut weight = Vec::with_capacity(used.len() + 1);
+        weight.push(1); // idle
+        for &e in used {
+            weight.push(comm.wcet(e)?);
+        }
+        let mut tightest_async = vec![Time::MAX; used.len() + 1];
+        for (_, c) in model.asynchronous() {
+            let mut succ: std::collections::BTreeMap<crate::task::OpId, Vec<crate::task::OpId>> =
+                std::collections::BTreeMap::new();
+            for (from, to) in c.task.precedence_edges() {
+                succ.entry(from).or_default().push(to);
+            }
+            for (op_id, op) in c.task.ops() {
+                let Some(pos) = used.iter().position(|&u| u == op.element) else {
+                    continue;
+                };
+                // distinct-descendant work of this op (uniprocessor:
+                // descendants occupy disjoint ticks after it completes)
+                let mut seen = std::collections::BTreeSet::new();
+                let mut stack: Vec<_> = succ.get(&op_id).cloned().unwrap_or_default();
+                let mut downstream: Time = 0;
+                while let Some(o) = stack.pop() {
+                    if seen.insert(o) {
+                        let elem = c.task.element_of(o).expect("op exists");
+                        downstream += comm.wcet(elem)?;
+                        stack.extend(succ.get(&o).into_iter().flatten().copied());
+                    }
+                }
+                let eff = c.deadline.saturating_sub(downstream);
+                let t = &mut tightest_async[pos + 1];
+                *t = (*t).min(eff);
+            }
+        }
+        Ok(PrefixPruner {
+            weight,
+            tightest_async,
+        })
+    }
+
+    /// Number of non-idle symbols.
+    pub fn n_symbols(&self) -> usize {
+        self.weight.len() - 1
+    }
+
+    /// Ticks one occurrence of `sym` adds to the schedule duration.
+    pub fn weight(&self, sym: usize) -> Time {
+        self.weight[sym]
+    }
+
+    /// True unless no completion of the prefix — `counts[s]` occurrences
+    /// of each symbol, total `duration` ticks, `remaining` open slots —
+    /// can be a feasible all-elements-present candidate.
+    pub fn viable(&self, counts: &[u64], duration: Time, remaining: usize) -> bool {
+        let n = self.n_symbols();
+        let mut missing = 0u64;
+        let mut missing_weight: Time = 0;
+        for (&c, &w) in counts[1..=n].iter().zip(&self.weight[1..=n]) {
+            if c == 0 {
+                missing += 1;
+                missing_weight += w;
+            }
+        }
+        if missing > remaining as u64 {
+            return false;
+        }
+        let t_min = duration + missing_weight + (remaining as u64 - missing);
+        for (s, &d) in self.tightest_async.iter().enumerate().skip(1) {
+            if d == Time::MAX {
+                continue;
+            }
+            let m_max = counts[s] + remaining as u64 - missing + u64::from(counts[s] == 0);
+            debug_assert!(m_max >= 1);
+            let gap_lb = t_min.div_ceil(m_max);
+            if gap_lb + self.weight[s] - 1 > d {
+                return false;
+            }
+        }
+        true
+    }
 }
 
 #[cfg(test)]
@@ -246,5 +379,79 @@ mod tests {
         let m = single_element_model(1, &[]);
         assert_eq!(density_lower_bound(&m).unwrap(), 0.0);
         assert_eq!(quick_infeasible(&m).unwrap(), None);
+    }
+
+    fn used_elements(m: &Model) -> Vec<crate::model::ElementId> {
+        let mut used = Vec::new();
+        for c in m.constraints() {
+            for (_, op) in c.task.ops() {
+                if !used.contains(&op.element) {
+                    used.push(op.element);
+                }
+            }
+        }
+        used.sort();
+        used
+    }
+
+    #[test]
+    fn pruner_rejects_when_missing_symbols_exceed_slots() {
+        let m = single_element_model(1, &[10, 10]);
+        let used = used_elements(&m);
+        let p = PrefixPruner::new(&m, &used).unwrap();
+        assert_eq!(p.n_symbols(), 1); // shared element
+                                      // prefix [φ φ], 0 slots left, element never placed
+        assert!(!p.viable(&[2, 0], 2, 0));
+        // one slot left is enough
+        assert!(p.viable(&[2, 0], 2, 1));
+    }
+
+    #[test]
+    fn pruner_gap_bound_matches_hand_computation() {
+        // e(1), async d=2. Committed prefix [φ φ e] (duration 3), no
+        // slots left: the single execution gives max gap 3 → latency
+        // 3 > 2, prune. With one more slot a second execution could
+        // halve the gap: ⌈4/2⌉ + 1 − 1 = 2 ≤ 2, keep.
+        let m = single_element_model(1, &[2]);
+        let used = used_elements(&m);
+        let p = PrefixPruner::new(&m, &used).unwrap();
+        assert!(!p.viable(&[2, 1], 3, 0));
+        assert!(p.viable(&[2, 1], 3, 1));
+        // bare [e] is viable
+        assert!(p.viable(&[0, 1], 1, 0));
+    }
+
+    #[test]
+    fn pruner_counts_missing_weight_in_duration() {
+        // a(1) d=3 and b(5) only under a *periodic* constraint: placing
+        // b is mandatory (all-present) and costs 5 ticks, so any
+        // completion of prefix [a] with 1 slot left lasts ≥ 6 ticks with
+        // one `a` → gap 6 → latency 6 > 3. The periodic element itself
+        // must not trigger the gap bound.
+        let mut g = CommGraph::new();
+        let a = g.add_element("a", 1).unwrap();
+        let b = g.add_element("b", 5).unwrap();
+        let ca = TimingConstraint {
+            name: "ca".into(),
+            task: TaskGraphBuilder::new().op("a", a).build().unwrap(),
+            period: 3,
+            deadline: 3,
+            kind: ConstraintKind::Asynchronous,
+        };
+        let cb = TimingConstraint {
+            name: "cb".into(),
+            task: TaskGraphBuilder::new().op("b", b).build().unwrap(),
+            period: 12,
+            deadline: 12,
+            kind: ConstraintKind::Periodic,
+        };
+        let m = Model::new(g, vec![ca, cb]).unwrap();
+        let used = used_elements(&m);
+        let p = PrefixPruner::new(&m, &used).unwrap();
+        // counts: [idle, a, b]
+        assert!(!p.viable(&[0, 1, 0], 1, 1));
+        // with 3 slots a second `a` fits: T_min = 1+5+2 = 8, m_max(a) =
+        // 1+3−1 = 3 → ⌈8/3⌉ = 3 ≤ 3: viable
+        assert!(p.viable(&[0, 1, 0], 1, 3));
     }
 }

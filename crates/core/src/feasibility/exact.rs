@@ -1,28 +1,65 @@
-//! Complete bounded search for a feasible static schedule.
+//! Complete bounded search for a feasible static schedule, as
+//! branch-and-bound over canonical prefixes.
 //!
-//! Enumerates action strings of increasing length over the alphabet
-//! `{φ} ∪ {elements used by some constraint}`, pruning rotations (a
-//! static schedule's feasibility is invariant under rotation, so only the
-//! lexicographically-minimal rotation of each string is checked), and
-//! runs the exact feasibility analysis on each candidate.
+//! A static schedule's feasibility is invariant under rotation, so only
+//! the lexicographically-minimal rotation (the *necklace*) of each
+//! action string needs checking. The seed enumerator generated every
+//! string and filtered at the leaf; this search instead walks only
+//! prefixes of necklaces, in lexicographic order, using the classic
+//! FKM step: at position `t` with current prefix period `p`, the
+//! allowed symbols are `string[t-p]` (period stays `p`) or anything
+//! larger (period becomes `t+1`), and a completed string is a necklace
+//! iff `len % p == 0`. Layered on top:
 //!
-//! This is intentionally exponential: Theorem 2 proves the problem is
-//! strongly NP-hard even for severely restricted instances, and the E3/E4
-//! hardness experiments measure this procedure's blowup on the two
-//! reduction families. For honest use, note that failure at a given
-//! `max_len` only certifies "no feasible schedule of at most that many
-//! actions"; the [`super::game`] solver gives a complete verdict.
+//! * **prefix bounds** ([`super::bounds::PrefixPruner`]) — a prefix
+//!   dies as soon as the missing elements cannot fit in the remaining
+//!   slots or the max-gap latency bound already exceeds a tightest
+//!   asynchronous deadline;
+//! * **dead root subtrees** — a necklace containing every used element
+//!   starts with its minimum symbol, which is `φ` or the first
+//!   element, so root symbols `≥ 2` are never explored;
+//! * **short lengths** — strings shorter than the number of used
+//!   elements cannot contain them all, so the length loop starts at
+//!   `n_used`;
+//! * **cached leaf evaluation** ([`crate::schedule::FeasibilityCache`])
+//!   — one trace expansion and one instance index per candidate, with
+//!   the asynchronous scan short-circuiting on the first miss.
+//!
+//! The search is still intentionally exponential: Theorem 2 proves the
+//! problem strongly NP-hard even for severely restricted instances, and
+//! the E3/E4 hardness experiments measure this procedure's blowup on
+//! the two reduction families. For honest use, note that failure at a
+//! given `max_len` only certifies "no feasible schedule of at most that
+//! many actions"; the [`super::game`] solver gives a complete verdict.
+//!
+//! The seed enumerator survives as [`reference::find_feasible_reference`]
+//! — the oracle for differential tests and the baseline the `search`
+//! bench compares against.
+//!
+//! # Budget semantics
+//!
+//! `SearchConfig::node_budget` caps *charge units*: one unit per
+//! enumeration node entered (a symbol placed at a position, pruned or
+//! not) plus one per candidate evaluated. The search stops — with
+//! `exhausted_bound = false` — when a charge would exceed the cap. The
+//! sequential and parallel searches share this accounting exactly (see
+//! [`super::parallel`]), so their verdicts, schedules, and counters are
+//! identical by construction.
 
+use super::bounds::PrefixPruner;
 use crate::error::ModelError;
 use crate::model::{ElementId, Model};
-use crate::schedule::{Action, StaticSchedule};
+use crate::schedule::{Action, FeasibilityCache, StaticSchedule};
+use crate::time::Time;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Search configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct SearchConfig {
     /// Maximum schedule length in actions.
     pub max_len: usize,
-    /// Abort after this many candidate strings have been examined.
+    /// Abort after this many charge units (nodes entered + candidates
+    /// evaluated).
     pub node_budget: u64,
 }
 
@@ -42,7 +79,8 @@ pub struct SearchOutcome {
     pub schedule: Option<StaticSchedule>,
     /// Number of candidate strings examined (feasibility-checked).
     pub candidates_checked: u64,
-    /// Number of enumeration nodes visited (including pruned prefixes).
+    /// Number of enumeration nodes visited (symbol placements,
+    /// including ones the prefix bounds immediately pruned).
     pub nodes_visited: u64,
     /// True if the search ran to completion (budget not exhausted). When
     /// `schedule` is `None` and `exhausted_bound` is true, no feasible
@@ -50,152 +88,420 @@ pub struct SearchOutcome {
     pub exhausted_bound: bool,
 }
 
+impl SearchOutcome {
+    fn empty() -> Self {
+        SearchOutcome {
+            schedule: None,
+            candidates_checked: 0,
+            nodes_visited: 0,
+            exhausted_bound: true,
+        }
+    }
+}
+
+/// Shared, immutable context of one search: alphabet and bounds.
+pub(crate) struct SearchCtx<'m> {
+    model: &'m Model,
+    used: Vec<ElementId>,
+    pruner: PrefixPruner,
+}
+
+impl<'m> SearchCtx<'m> {
+    pub(crate) fn new(model: &'m Model) -> Result<Self, ModelError> {
+        // Alphabet: elements actually used by constraints, in id order.
+        let mut used: Vec<ElementId> = Vec::new();
+        for c in model.constraints() {
+            for (_, op) in c.task.ops() {
+                if !used.contains(&op.element) {
+                    used.push(op.element);
+                }
+            }
+        }
+        used.sort();
+        let pruner = PrefixPruner::new(model, &used)?;
+        Ok(SearchCtx {
+            model,
+            used,
+            pruner,
+        })
+    }
+
+    /// Non-idle symbol count.
+    pub(crate) fn n(&self) -> usize {
+        self.used.len()
+    }
+
+    /// Shortest length worth enumerating: every used element must
+    /// appear in a candidate, so anything shorter rejects outright.
+    pub(crate) fn start_len(&self) -> usize {
+        self.used.len().max(1)
+    }
+
+    pub(crate) fn model(&self) -> &'m Model {
+        self.model
+    }
+
+    fn action(&self, sym: usize) -> Action {
+        if sym == 0 {
+            Action::Idle
+        } else {
+            Action::Run(self.used[sym - 1])
+        }
+    }
+}
+
+/// One independent unit of search work: all necklaces of one length
+/// sharing a short canonical prefix.
+#[derive(Debug, Clone)]
+pub(crate) struct WorkUnit {
+    /// The committed prefix (up to [`UNIT_DEPTH`] symbols).
+    pub prefix: Vec<usize>,
+    /// FKM period of the prefix.
+    pub period: usize,
+}
+
+/// Prefix depth of the work-unit decomposition. Depth 3 yields `O(n²)`
+/// units per length — fine-grained enough that no single subtree
+/// dominates the parallel makespan, coarse enough that queue traffic is
+/// noise.
+const UNIT_DEPTH: usize = 3;
+
+/// The FKM-valid prefix decomposition of one length's necklace tree, in
+/// lexicographic order. Root symbols `≥ 2` are omitted: a necklace
+/// starts with its minimum symbol, and a candidate containing all used
+/// elements has minimum symbol `0` (idle present) or `1`.
+pub(crate) fn work_units(n: usize, len: usize) -> Vec<WorkUnit> {
+    fn rec(
+        prefix: &mut Vec<usize>,
+        period: usize,
+        depth: usize,
+        n: usize,
+        units: &mut Vec<WorkUnit>,
+    ) {
+        if prefix.len() == depth {
+            units.push(WorkUnit {
+                prefix: prefix.clone(),
+                period,
+            });
+            return;
+        }
+        let t = prefix.len();
+        let base = prefix[t - period];
+        for s in base..=n {
+            let next_period = if s == base { period } else { t + 1 };
+            prefix.push(s);
+            rec(prefix, next_period, depth, n, units);
+            prefix.pop();
+        }
+    }
+    let depth = len.min(UNIT_DEPTH);
+    let mut units = Vec::new();
+    for s0 in 0..=n.min(1) {
+        let mut prefix = vec![s0];
+        rec(&mut prefix, 1, depth, n, &mut units);
+    }
+    units
+}
+
+/// A pool of charge units shared by parallel workers.
+pub(crate) struct TokenPool(AtomicU64);
+
+impl TokenPool {
+    pub(crate) fn new(tokens: u64) -> Self {
+        TokenPool(AtomicU64::new(tokens))
+    }
+
+    /// Takes up to `want` tokens, returning how many were acquired.
+    pub(crate) fn take(&self, want: u64) -> u64 {
+        let mut got = 0;
+        let _ = self
+            .0
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |avail| {
+                got = avail.min(want);
+                Some(avail - got)
+            });
+        got
+    }
+
+    pub(crate) fn put(&self, tokens: u64) {
+        self.0.fetch_add(tokens, Ordering::AcqRel);
+    }
+}
+
+/// Tokens drawn from the pool at a time; amortizes contention without
+/// letting one worker hoard much of a tight budget.
+const POOL_BATCH: u64 = 256;
+
+/// Where a subtree's charge units come from.
+pub(crate) enum Budget<'a> {
+    /// Sequential: a fixed allowance (global cap minus spend so far).
+    Cap { credit: u64 },
+    /// Parallel: batches drawn from a shared pool.
+    Pool { pool: &'a TokenPool, credit: u64 },
+}
+
+impl Budget<'_> {
+    /// Tries to spend one charge unit; `false` means starved.
+    fn charge(&mut self) -> bool {
+        match self {
+            Budget::Cap { credit } => {
+                if *credit == 0 {
+                    return false;
+                }
+                *credit -= 1;
+                true
+            }
+            Budget::Pool { pool, credit } => {
+                if *credit == 0 {
+                    *credit = pool.take(POOL_BATCH);
+                    if *credit == 0 {
+                        return false;
+                    }
+                }
+                *credit -= 1;
+                true
+            }
+        }
+    }
+
+    /// Returns unspent credit to the pool (no-op for caps).
+    pub(crate) fn release(self) {
+        if let Budget::Pool { pool, credit } = self {
+            pool.put(credit);
+        }
+    }
+}
+
+/// How a subtree run ended.
+pub(crate) enum SubtreeEnd {
+    /// Exhaustively enumerated, no feasible candidate.
+    Done,
+    /// Lexicographically-first feasible candidate of the subtree.
+    Found(StaticSchedule),
+    /// Budget ran out mid-subtree.
+    Starved,
+    /// A lower-indexed unit's success cancelled this one.
+    Cancelled,
+}
+
+/// Charge-exact outcome of one [`WorkUnit`] run.
+pub(crate) struct SubtreeResult {
+    pub nodes: u64,
+    pub candidates: u64,
+    pub end: SubtreeEnd,
+}
+
+struct Dfs<'a, 'b, 'm> {
+    ctx: &'a SearchCtx<'m>,
+    cache: &'a mut FeasibilityCache,
+    string: Vec<usize>,
+    counts: Vec<u64>,
+    duration: Time,
+    len: usize,
+    budget: &'a mut Budget<'b>,
+    cancel: Option<(&'a AtomicUsize, usize)>,
+    nodes: u64,
+    candidates: u64,
+}
+
+impl Dfs<'_, '_, '_> {
+    fn cancelled(&self) -> bool {
+        self.cancel
+            .is_some_and(|(winner, ix)| winner.load(Ordering::Acquire) < ix)
+    }
+
+    /// Places `sym` at `depth`, charging one node; `Ok(true)` means the
+    /// resulting prefix survives the bounds and should be descended.
+    fn place(&mut self, depth: usize, sym: usize) -> Result<bool, SubtreeEnd> {
+        if !self.budget.charge() {
+            return Err(SubtreeEnd::Starved);
+        }
+        self.nodes += 1;
+        rtcg_obs::counter!("search.nodes_expanded");
+        self.string[depth] = sym;
+        self.counts[sym] += 1;
+        self.duration += self.ctx.pruner.weight(sym);
+        if self
+            .ctx
+            .pruner
+            .viable(&self.counts, self.duration, self.len - depth - 1)
+        {
+            Ok(true)
+        } else {
+            rtcg_obs::counter!("search.nodes_pruned");
+            Ok(false)
+        }
+    }
+
+    fn unplace(&mut self, sym: usize) {
+        self.counts[sym] -= 1;
+        self.duration -= self.ctx.pruner.weight(sym);
+    }
+
+    /// DFS below a placed prefix of `depth` symbols with FKM period
+    /// `period`. Stops at the first feasible candidate.
+    fn run(&mut self, depth: usize, period: usize) -> Result<SubtreeEnd, ModelError> {
+        if depth == self.len {
+            if !self.len.is_multiple_of(period) {
+                // not a necklace: some rotation is smaller
+                rtcg_obs::counter!("search.nodes_pruned");
+                return Ok(SubtreeEnd::Done);
+            }
+            if !self.budget.charge() {
+                return Ok(SubtreeEnd::Starved);
+            }
+            self.candidates += 1;
+            rtcg_obs::counter!("search.candidates_checked");
+            let actions: Vec<Action> = self.string.iter().map(|&s| self.ctx.action(s)).collect();
+            if self.cache.check(self.ctx.model, &actions)? {
+                return Ok(SubtreeEnd::Found(StaticSchedule::new(actions)));
+            }
+            return Ok(SubtreeEnd::Done);
+        }
+        if self.cancelled() {
+            return Ok(SubtreeEnd::Cancelled);
+        }
+        let base = self.string[depth - period];
+        for sym in base..=self.ctx.n() {
+            let next_period = if sym == base { period } else { depth + 1 };
+            match self.place(depth, sym) {
+                Err(end) => return Ok(end),
+                Ok(true) => {
+                    let end = self.run(depth + 1, next_period)?;
+                    self.unplace(sym);
+                    if !matches!(end, SubtreeEnd::Done) {
+                        return Ok(end);
+                    }
+                }
+                Ok(false) => self.unplace(sym),
+            }
+        }
+        Ok(SubtreeEnd::Done)
+    }
+}
+
+/// Runs one work unit to completion (or starvation/cancellation) under
+/// the given budget. Charge accounting is deterministic: the same unit
+/// with enough budget always reports the same `nodes`/`candidates`.
+pub(crate) fn run_unit(
+    ctx: &SearchCtx,
+    cache: &mut FeasibilityCache,
+    len: usize,
+    unit: &WorkUnit,
+    budget: &mut Budget<'_>,
+    cancel: Option<(&AtomicUsize, usize)>,
+) -> Result<SubtreeResult, ModelError> {
+    let mut dfs = Dfs {
+        ctx,
+        cache,
+        string: vec![0; len],
+        counts: vec![0; ctx.n() + 1],
+        duration: 0,
+        len,
+        budget,
+        cancel,
+        nodes: 0,
+        candidates: 0,
+    };
+    let mut end = SubtreeEnd::Done;
+    let mut period = 1usize;
+    let mut alive = true;
+    for (t, &sym) in unit.prefix.iter().enumerate() {
+        if dfs.cancelled() {
+            end = SubtreeEnd::Cancelled;
+            alive = false;
+            break;
+        }
+        if t > 0 {
+            debug_assert!(sym >= dfs.string[t - period]);
+            if sym != dfs.string[t - period] {
+                period = t + 1;
+            }
+        }
+        match dfs.place(t, sym) {
+            Err(e) => {
+                end = e;
+                alive = false;
+                break;
+            }
+            Ok(true) => {}
+            Ok(false) => {
+                alive = false;
+                break;
+            }
+        }
+    }
+    debug_assert!(unit.prefix.is_empty() || period == unit.period || !alive);
+    if alive {
+        end = dfs.run(unit.prefix.len(), unit.period)?;
+    }
+    Ok(SubtreeResult {
+        nodes: dfs.nodes,
+        candidates: dfs.candidates,
+        end,
+    })
+}
+
+/// Sequential engine: processes work units in lexicographic order from
+/// `(start_len, start_unit)` onward, accumulating into `out`, stopping
+/// at the first feasible schedule or when the global budget trips.
+///
+/// This is both the whole sequential search (started from the top) and
+/// the deterministic fallback the parallel search resumes into, so the
+/// two stay bit-identical.
+pub(crate) fn resume_sequential(
+    ctx: &SearchCtx,
+    config: SearchConfig,
+    start_len: usize,
+    start_unit: usize,
+    out: &mut SearchOutcome,
+) -> Result<(), ModelError> {
+    let mut cache = FeasibilityCache::new(ctx.model());
+    for len in start_len..=config.max_len {
+        let units = work_units(ctx.n(), len);
+        let from = if len == start_len { start_unit } else { 0 };
+        for unit in &units[from.min(units.len())..] {
+            let spent = out.nodes_visited + out.candidates_checked;
+            let mut budget = Budget::Cap {
+                credit: config.node_budget.saturating_sub(spent),
+            };
+            let r = run_unit(ctx, &mut cache, len, unit, &mut budget, None)?;
+            out.nodes_visited += r.nodes;
+            out.candidates_checked += r.candidates;
+            match r.end {
+                SubtreeEnd::Done => {}
+                SubtreeEnd::Found(s) => {
+                    out.schedule = Some(s);
+                    return Ok(());
+                }
+                SubtreeEnd::Starved => {
+                    out.exhausted_bound = false;
+                    return Ok(());
+                }
+                SubtreeEnd::Cancelled => unreachable!("sequential run has no cancel token"),
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Searches for a feasible static schedule of at most `config.max_len`
 /// actions. Complete up to the bound.
 pub fn find_feasible(model: &Model, config: SearchConfig) -> Result<SearchOutcome, ModelError> {
     let _span = rtcg_obs::span!("feasibility.exact", "search");
-    // Alphabet: elements actually used by constraints, in id order.
-    let mut used: Vec<ElementId> = Vec::new();
-    for c in model.constraints() {
-        for (_, op) in c.task.ops() {
-            if !used.contains(&op.element) {
-                used.push(op.element);
-            }
-        }
-    }
-    used.sort();
-
-    let mut out = SearchOutcome {
-        schedule: None,
-        candidates_checked: 0,
-        nodes_visited: 0,
-        exhausted_bound: true,
-    };
-
+    let mut out = SearchOutcome::empty();
     if model.constraints().is_empty() {
         // any schedule is trivially feasible; return a single idle
         out.schedule = Some(StaticSchedule::new(vec![Action::Idle]));
         return Ok(out);
     }
-
-    // symbols: 0 = Idle, 1..=n = used elements. Lexicographic order on
-    // symbol indices defines the canonical-rotation pruning.
-    let n = used.len();
-    for len in 1..=config.max_len {
-        let mut string = vec![0usize; len];
-        if search_level(model, &used, &mut string, 0, len, n, config, &mut out)? {
-            return Ok(out);
-        }
-        if !out.exhausted_bound {
-            return Ok(out);
-        }
-    }
+    let ctx = SearchCtx::new(model)?;
+    resume_sequential(&ctx, config, ctx.start_len(), 0, &mut out)?;
     Ok(out)
-}
-
-/// Searches only the subtree where the first symbol is `first` — the
-/// unit of work of [`super::parallel::find_feasible_parallel`]. Within
-/// the subtree the enumeration is identical to the sequential search,
-/// so the first schedule found is the lexicographically smallest of the
-/// subtree.
-pub(crate) fn search_subtree(
-    model: &Model,
-    used: &[ElementId],
-    first: usize,
-    len: usize,
-    n_symbols: usize,
-    config: SearchConfig,
-) -> Result<SearchOutcome, ModelError> {
-    let mut out = SearchOutcome {
-        schedule: None,
-        candidates_checked: 0,
-        nodes_visited: 0,
-        exhausted_bound: true,
-    };
-    if len == 0 {
-        return Ok(out);
-    }
-    let mut string = vec![0usize; len];
-    string[0] = first;
-    search_level(
-        model,
-        used,
-        &mut string,
-        1,
-        len,
-        n_symbols,
-        config,
-        &mut out,
-    )?;
-    Ok(out)
-}
-
-/// Depth-first enumeration of strings of exactly `len` symbols. Returns
-/// `Ok(true)` when a feasible schedule has been found.
-#[allow(clippy::too_many_arguments)]
-fn search_level(
-    model: &Model,
-    used: &[ElementId],
-    string: &mut Vec<usize>,
-    depth: usize,
-    len: usize,
-    n_symbols: usize,
-    config: SearchConfig,
-    out: &mut SearchOutcome,
-) -> Result<bool, ModelError> {
-    out.nodes_visited += 1;
-    rtcg_obs::counter!("search.nodes_expanded");
-    if out.nodes_visited + out.candidates_checked > config.node_budget {
-        out.exhausted_bound = false;
-        return Ok(false);
-    }
-    if depth == len {
-        if !is_canonical_rotation(string) {
-            rtcg_obs::counter!("search.nodes_pruned");
-            return Ok(false);
-        }
-        // every used element must appear, else some latency is infinite
-        for sym in 1..=n_symbols {
-            if !string.contains(&sym) {
-                rtcg_obs::counter!("search.nodes_pruned");
-                return Ok(false);
-            }
-        }
-        out.candidates_checked += 1;
-        rtcg_obs::counter!("search.candidates_checked");
-        let schedule = StaticSchedule::new(
-            string
-                .iter()
-                .map(|&s| {
-                    if s == 0 {
-                        Action::Idle
-                    } else {
-                        Action::Run(used[s - 1])
-                    }
-                })
-                .collect(),
-        );
-        let report = schedule.feasibility(model)?;
-        if report.is_feasible() {
-            out.schedule = Some(schedule);
-            return Ok(true);
-        }
-        return Ok(false);
-    }
-    for sym in 0..=n_symbols {
-        string[depth] = sym;
-        if search_level(model, used, string, depth + 1, len, n_symbols, config, out)? {
-            return Ok(true);
-        }
-        if !out.exhausted_bound {
-            return Ok(false);
-        }
-    }
-    Ok(false)
 }
 
 /// True if `s` is lexicographically minimal among all its rotations.
-fn is_canonical_rotation(s: &[usize]) -> bool {
+pub fn is_canonical_rotation(s: &[usize]) -> bool {
     let n = s.len();
     for shift in 1..n {
         for i in 0..n {
@@ -209,6 +515,115 @@ fn is_canonical_rotation(s: &[usize]) -> bool {
         }
     }
     true
+}
+
+pub mod reference {
+    //! The seed enumerator, kept verbatim as a differential-testing
+    //! oracle and bench baseline: generate-and-filter over *all* strings
+    //! with canonicity and element-coverage checked at the leaf, and the
+    //! full (uncached) feasibility analysis per candidate.
+
+    use super::{is_canonical_rotation, SearchConfig, SearchOutcome};
+    use crate::error::ModelError;
+    use crate::model::{ElementId, Model};
+    use crate::schedule::{Action, StaticSchedule};
+
+    /// Seed behaviour of [`super::find_feasible`]: same verdicts and
+    /// returned schedules (up to budget accounting), vastly more work.
+    pub fn find_feasible_reference(
+        model: &Model,
+        config: SearchConfig,
+    ) -> Result<SearchOutcome, ModelError> {
+        let mut used: Vec<ElementId> = Vec::new();
+        for c in model.constraints() {
+            for (_, op) in c.task.ops() {
+                if !used.contains(&op.element) {
+                    used.push(op.element);
+                }
+            }
+        }
+        used.sort();
+
+        let mut out = SearchOutcome {
+            schedule: None,
+            candidates_checked: 0,
+            nodes_visited: 0,
+            exhausted_bound: true,
+        };
+        if model.constraints().is_empty() {
+            out.schedule = Some(StaticSchedule::new(vec![Action::Idle]));
+            return Ok(out);
+        }
+        let n = used.len();
+        for len in 1..=config.max_len {
+            let mut string = vec![0usize; len];
+            if search_level(model, &used, &mut string, 0, len, n, config, &mut out)? {
+                return Ok(out);
+            }
+            if !out.exhausted_bound {
+                return Ok(out);
+            }
+        }
+        Ok(out)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn search_level(
+        model: &Model,
+        used: &[ElementId],
+        string: &mut Vec<usize>,
+        depth: usize,
+        len: usize,
+        n_symbols: usize,
+        config: SearchConfig,
+        out: &mut SearchOutcome,
+    ) -> Result<bool, ModelError> {
+        out.nodes_visited += 1;
+        if out.nodes_visited + out.candidates_checked > config.node_budget {
+            out.exhausted_bound = false;
+            return Ok(false);
+        }
+        if depth == len {
+            if !is_canonical_rotation(string) {
+                return Ok(false);
+            }
+            // every used element must appear, else some latency is infinite
+            for sym in 1..=n_symbols {
+                if !string.contains(&sym) {
+                    return Ok(false);
+                }
+            }
+            out.candidates_checked += 1;
+            let schedule = StaticSchedule::new(
+                string
+                    .iter()
+                    .map(|&s| {
+                        if s == 0 {
+                            Action::Idle
+                        } else {
+                            Action::Run(used[s - 1])
+                        }
+                    })
+                    .collect(),
+            );
+            let report = schedule.feasibility(model)?;
+            if report.is_feasible() {
+                out.schedule = Some(schedule);
+                return Ok(true);
+            }
+            return Ok(false);
+        }
+        for sym in 0..=n_symbols {
+            string[depth] = sym;
+            if search_level(model, used, string, depth + 1, len, n_symbols, config, out)? {
+                return Ok(true);
+            }
+            if !out.exhausted_bound {
+                return Ok(false);
+            }
+        }
+        Ok(false)
+    }
 }
 
 #[cfg(test)]
@@ -336,5 +751,91 @@ mod tests {
         let o2 = find_feasible(&m2, c).unwrap();
         let o3 = find_feasible(&m3, c).unwrap();
         assert!(o3.nodes_visited >= o2.nodes_visited);
+    }
+
+    #[test]
+    fn agrees_with_reference_on_seed_scenarios() {
+        // verdict + schedule parity with the generate-and-filter oracle
+        for specs in [
+            vec![(1u64, 2u64)],
+            vec![(1, 3), (1, 3)],
+            vec![(1, 4), (1, 4)],
+            vec![(2, 3), (2, 3)],
+            vec![(2, 5), (1, 5)],
+            vec![(1, 6), (1, 6), (1, 6)],
+        ] {
+            let m = single_op_model(&specs);
+            let cfg = SearchConfig {
+                max_len: 5,
+                node_budget: 50_000_000,
+            };
+            let bb = find_feasible(&m, cfg).unwrap();
+            let rf = reference::find_feasible_reference(&m, cfg).unwrap();
+            assert_eq!(
+                bb.schedule.as_ref().map(|s| s.actions().to_vec()),
+                rf.schedule.as_ref().map(|s| s.actions().to_vec()),
+                "{specs:?}"
+            );
+            assert_eq!(bb.exhausted_bound, rf.exhausted_bound, "{specs:?}");
+            assert!(
+                bb.candidates_checked <= rf.candidates_checked,
+                "{specs:?}: b&b checked more candidates ({} > {})",
+                bb.candidates_checked,
+                rf.candidates_checked
+            );
+        }
+    }
+
+    #[test]
+    fn short_lengths_are_skipped() {
+        // 3 used elements → nothing of length < 3 is enumerated; the
+        // reference burns nodes on lengths 1–2 regardless
+        let m = single_op_model(&[(1, 12), (1, 12), (1, 12)]);
+        let cfg = SearchConfig {
+            max_len: 2,
+            node_budget: 1_000_000,
+        };
+        let out = find_feasible(&m, cfg).unwrap();
+        assert_eq!(out.nodes_visited, 0);
+        assert_eq!(out.candidates_checked, 0);
+        assert!(out.exhausted_bound);
+        let rf = reference::find_feasible_reference(&m, cfg).unwrap();
+        assert!(rf.nodes_visited > 0);
+        assert_eq!(rf.schedule.is_none(), out.schedule.is_none());
+    }
+
+    #[test]
+    fn work_units_cover_only_live_roots() {
+        let units = work_units(3, 4);
+        // roots 0 and 1 only; prefixes lex-ordered
+        assert!(units.iter().all(|u| u.prefix[0] <= 1));
+        let prefixes: Vec<Vec<usize>> = units.iter().map(|u| u.prefix.clone()).collect();
+        let mut sorted = prefixes.clone();
+        sorted.sort();
+        assert_eq!(prefixes, sorted);
+        // [0,0,0] has period 1; [0,0,1] has period 3 (break at depth 2)
+        assert_eq!(units[0].prefix, vec![0, 0, 0]);
+        assert_eq!(units[0].period, 1);
+        assert_eq!(units[1].prefix, vec![0, 0, 1]);
+        assert_eq!(units[1].period, 3);
+        // FKM invariant: each prefix replays the transition rule
+        // (symbol at t is string[t-p] keeping period p, or larger
+        // resetting the period to t+1) and ends at the stored period
+        for u in &units {
+            let mut p = 1;
+            for (t, &s) in u.prefix.iter().enumerate().skip(1) {
+                assert!(s >= u.prefix[t - p], "{:?} not FKM-valid", u.prefix);
+                if s != u.prefix[t - p] {
+                    p = t + 1;
+                }
+            }
+            assert_eq!(p, u.period, "{:?} period mismatch", u.prefix);
+        }
+        // short searches truncate the unit depth to the length
+        let units1 = work_units(2, 1);
+        assert_eq!(units1.len(), 2);
+        assert_eq!(units1[0].prefix, vec![0]);
+        let units2 = work_units(2, 2);
+        assert!(units2.iter().all(|u| u.prefix.len() == 2));
     }
 }

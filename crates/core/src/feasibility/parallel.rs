@@ -1,27 +1,40 @@
-//! Parallel exact search — the same complete procedure as
+//! Parallel exact search — the same branch-and-bound as
 //! [`super::exact`], fanned out across threads.
 //!
-//! The enumeration tree is embarrassingly parallel at its root: the
-//! subtree under each first symbol is independent. Each worker thread
-//! owns one or more first-symbol subtrees and runs the sequential search
-//! under a per-subtree node budget (so verdicts stay deterministic
-//! regardless of interleaving). Determinism of the *returned schedule*
-//! is preserved with an index-ordered early-exit rule: a success in
-//! subtree `i` cancels only subtrees with index `> i`, and the final
-//! answer is the success with the lowest subtree index — exactly what
-//! the sequential search would have returned at that length.
+//! Each length's necklace tree splits into the depth-2 prefix
+//! [`WorkUnit`]s of [`super::exact::work_units`]. Workers claim units
+//! off a shared queue (an atomic cursor, lowest index first) and charge
+//! their work against one **global** [`TokenPool`] initialized to the
+//! budget left over from earlier lengths — so the whole run spends at
+//! most `node_budget` charge units, exactly like the sequential search,
+//! instead of the seed's per-subtree-per-length budget shares that let
+//! every length restart with a full allowance.
+//!
+//! Determinism is by *replay*, not by luck: a success in unit `i`
+//! cancels only units `> i`, and after the join the results are walked
+//! in lexicographic unit order, re-applying the sequential budget
+//! arithmetic. The walk accepts fully-completed units while their
+//! cumulative spend fits the budget; the moment it meets a unit that
+//! starved, was cancelled, or would overflow the budget, it falls back
+//! to [`super::exact::resume_sequential`] from exactly that unit with
+//! exactly the remaining budget. The sequential engine *is* the replay
+//! continuation, so verdict, returned schedule, `exhausted_bound`, and
+//! both counters are identical to [`super::exact::find_feasible`] by
+//! construction — races can only change how much speculative work is
+//! thrown away, never the answer.
 
-use super::exact::{search_subtree, SearchConfig, SearchOutcome};
+use super::exact::{
+    resume_sequential, run_unit, work_units, Budget, SearchConfig, SearchCtx, SearchOutcome,
+    SubtreeEnd, SubtreeResult, TokenPool,
+};
 use crate::error::ModelError;
-use crate::model::{ElementId, Model};
-use crate::schedule::{Action, StaticSchedule};
+use crate::model::Model;
+use crate::schedule::{Action, FeasibilityCache, StaticSchedule};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Parallel variant of [`super::exact::find_feasible`]. `threads = 1`
-/// degrades to the sequential behaviour. Verdicts and returned schedules
-/// are deterministic; `nodes_visited` counts all work actually performed
-/// (which shrinks when cancellation wins races, so treat it as a lower
-/// bound when comparing runs).
+/// delegates to the sequential search. Verdict, schedule, and all
+/// counters are deterministic and equal to the sequential search's.
 pub fn find_feasible_parallel(
     model: &Model,
     config: SearchConfig,
@@ -29,16 +42,6 @@ pub fn find_feasible_parallel(
 ) -> Result<SearchOutcome, ModelError> {
     let _span = rtcg_obs::span!("feasibility.parallel", "search");
     let threads = threads.max(1);
-    let mut used: Vec<ElementId> = Vec::new();
-    for c in model.constraints() {
-        for (_, op) in c.task.ops() {
-            if !used.contains(&op.element) {
-                used.push(op.element);
-            }
-        }
-    }
-    used.sort();
-
     let mut out = SearchOutcome {
         schedule: None,
         candidates_checked: 0,
@@ -49,87 +52,99 @@ pub fn find_feasible_parallel(
         out.schedule = Some(StaticSchedule::new(vec![Action::Idle]));
         return Ok(out);
     }
-    let n = used.len();
-    let subtrees = n + 1; // one per first symbol (idle + each element)
-    let per_subtree_budget = (config.node_budget / subtrees as u64).max(1);
+    let ctx = SearchCtx::new(model)?;
+    if threads == 1 {
+        resume_sequential(&ctx, config, ctx.start_len(), 0, &mut out)?;
+        return Ok(out);
+    }
 
-    for len in 1..=config.max_len {
-        // winner index: lowest first-symbol subtree that found a schedule
+    for len in ctx.start_len()..=config.max_len {
+        let units = work_units(ctx.n(), len);
+        let spent = out.nodes_visited + out.candidates_checked;
+        let pool = TokenPool::new(config.node_budget.saturating_sub(spent));
+        let cursor = AtomicUsize::new(0);
         let winner = AtomicUsize::new(usize::MAX);
-        let mut results: Vec<Result<SearchOutcome, ModelError>> = Vec::with_capacity(subtrees);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(subtrees);
-            for (chunk_ix, chunk) in (0..subtrees)
-                .collect::<Vec<_>>()
-                .chunks(subtrees.div_ceil(threads))
-                .enumerate()
-            {
-                let chunk: Vec<usize> = chunk.to_vec();
-                let used = &used;
-                let winner = &winner;
-                handles.push((
-                    chunk_ix,
-                    scope.spawn(move || {
-                        let mut locals = Vec::with_capacity(chunk.len());
-                        for first in chunk {
-                            // cancelled by a success in a lower subtree
-                            if winner.load(Ordering::Acquire) < first {
-                                locals.push((
-                                    first,
-                                    Ok(SearchOutcome {
-                                        schedule: None,
-                                        candidates_checked: 0,
-                                        nodes_visited: 0,
-                                        exhausted_bound: true,
-                                    }),
-                                ));
-                                continue;
-                            }
-                            let sub_config = SearchConfig {
-                                max_len: len,
-                                node_budget: per_subtree_budget,
-                            };
-                            let r = search_subtree(model, used, first, len, n, sub_config);
-                            if let Ok(o) = &r {
-                                if o.schedule.is_some() {
-                                    winner.fetch_min(first, Ordering::AcqRel);
-                                }
-                            }
-                            locals.push((first, r));
-                        }
-                        locals
-                    }),
-                ));
-            }
-            let mut collected: Vec<(usize, Result<SearchOutcome, ModelError>)> = Vec::new();
-            for (_, h) in handles {
-                collected.extend(h.join().expect("search worker panicked"));
-            }
-            collected.sort_by_key(|(first, _)| *first);
-            results = collected.into_iter().map(|(_, r)| r).collect();
-        });
 
-        // combine in subtree order
-        let mut found: Option<StaticSchedule> = None;
-        for r in results {
-            let o = r?;
-            out.nodes_visited += o.nodes_visited;
-            out.candidates_checked += o.candidates_checked;
-            if !o.exhausted_bound {
-                out.exhausted_bound = false;
+        let mut results: Vec<Option<Result<SubtreeResult, ModelError>>> =
+            (0..units.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let ctx = &ctx;
+                let units = &units;
+                let pool = &pool;
+                let cursor = &cursor;
+                let winner = &winner;
+                handles.push(scope.spawn(move || {
+                    let mut cache = FeasibilityCache::new(model);
+                    let mut locals = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::AcqRel);
+                        if i >= units.len() {
+                            return locals;
+                        }
+                        if winner.load(Ordering::Acquire) < i {
+                            locals.push((
+                                i,
+                                Ok(SubtreeResult {
+                                    nodes: 0,
+                                    candidates: 0,
+                                    end: SubtreeEnd::Cancelled,
+                                }),
+                            ));
+                            continue;
+                        }
+                        let mut budget = Budget::Pool { pool, credit: 0 };
+                        let r = run_unit(
+                            ctx,
+                            &mut cache,
+                            len,
+                            &units[i],
+                            &mut budget,
+                            Some((winner, i)),
+                        );
+                        budget.release();
+                        if let Ok(res) = &r {
+                            if matches!(res.end, SubtreeEnd::Found(_)) {
+                                winner.fetch_min(i, Ordering::AcqRel);
+                            }
+                        }
+                        locals.push((i, r));
+                    }
+                }));
             }
-            if found.is_none() {
-                if let Some(s) = o.schedule {
-                    found = Some(s);
+            for h in handles {
+                for (i, r) in h.join().expect("search worker panicked") {
+                    results[i] = Some(r);
                 }
             }
-        }
-        if let Some(s) = found {
-            out.schedule = Some(s);
-            return Ok(out);
-        }
-        if !out.exhausted_bound {
-            return Ok(out);
+        });
+
+        // Deterministic replay in unit order: accept completed units
+        // while the sequential budget arithmetic holds; otherwise hand
+        // over to the sequential engine from this exact point.
+        for (i, slot) in results.into_iter().enumerate() {
+            let r = slot.expect("every unit is claimed")?;
+            let new_spent = out.nodes_visited + out.candidates_checked + r.nodes + r.candidates;
+            let fits = new_spent <= config.node_budget;
+            match r.end {
+                SubtreeEnd::Done if fits => {
+                    out.nodes_visited += r.nodes;
+                    out.candidates_checked += r.candidates;
+                }
+                SubtreeEnd::Found(s) if fits => {
+                    out.nodes_visited += r.nodes;
+                    out.candidates_checked += r.candidates;
+                    out.schedule = Some(s);
+                    return Ok(out);
+                }
+                // starved, cancelled, or would trip the budget mid-unit:
+                // the sequential engine reproduces the exact outcome
+                _ => {
+                    resume_sequential(&ctx, config, len, i, &mut out)?;
+                    return Ok(out);
+                }
+            }
         }
     }
     Ok(out)
@@ -205,6 +220,8 @@ mod tests {
         let b = find_feasible_parallel(&m, cfg, 4).unwrap();
         assert_eq!(a.schedule, b.schedule);
         assert_eq!(a.exhausted_bound, b.exhausted_bound);
+        assert_eq!(a.nodes_visited, b.nodes_visited);
+        assert_eq!(a.candidates_checked, b.candidates_checked);
     }
 
     #[test]
@@ -213,5 +230,37 @@ mod tests {
         let cfg = SearchConfig::default();
         let out = find_feasible_parallel(&m, cfg, 4).unwrap();
         assert!(out.schedule.is_some());
+    }
+
+    /// The seed leaked budget: `per_subtree_budget` was recomputed from
+    /// the full `node_budget` inside every per-length iteration, so a
+    /// nominally tiny budget did up to `max_len ×` more work than the
+    /// sequential search and the `exhausted_bound` verdicts diverged.
+    /// Now seq and par must agree on *everything* under any budget.
+    #[test]
+    fn tight_budgets_keep_seq_par_parity() {
+        let models = [
+            single_op_model(&[(1, 4), (1, 4)]),
+            single_op_model(&[(1, 6), (1, 6), (1, 6)]),
+            single_op_model(&[(2, 3), (2, 3)]),
+            single_op_model(&[(2, 7), (1, 7), (1, 9)]),
+        ];
+        for (mi, m) in models.iter().enumerate() {
+            for budget in [2u64, 7, 25, 100, 10_000] {
+                let cfg = SearchConfig {
+                    max_len: 5,
+                    node_budget: budget,
+                };
+                let seq = find_feasible(m, cfg).unwrap();
+                for threads in [2usize, 4] {
+                    let par = find_feasible_parallel(m, cfg, threads).unwrap();
+                    let tag = format!("model {mi} budget {budget} threads {threads}");
+                    assert_eq!(seq.schedule, par.schedule, "{tag}");
+                    assert_eq!(seq.exhausted_bound, par.exhausted_bound, "{tag}");
+                    assert_eq!(seq.nodes_visited, par.nodes_visited, "{tag}");
+                    assert_eq!(seq.candidates_checked, par.candidates_checked, "{tag}");
+                }
+            }
+        }
     }
 }

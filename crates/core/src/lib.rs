@@ -97,7 +97,7 @@ pub mod trace;
 pub use constraint::{ConstraintId, ConstraintKind, TimingConstraint};
 pub use error::ModelError;
 pub use model::{CommGraph, ElementId, Model, ModelBuilder};
-pub use schedule::{Action, FeasibilityReport, StaticSchedule};
+pub use schedule::{Action, FeasibilityCache, FeasibilityReport, StaticSchedule};
 pub use task::{OpId, TaskGraph, TaskGraphBuilder};
 pub use time::Time;
 pub use trace::{Instance, Slot, Trace};

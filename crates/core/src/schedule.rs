@@ -79,20 +79,7 @@ impl StaticSchedule {
     /// Total duration of one repetition in ticks: idles count 1, runs
     /// count their element's weight.
     pub fn duration(&self, comm: &CommGraph) -> Result<Time, ModelError> {
-        let mut total: Time = 0;
-        for &a in &self.actions {
-            total += match a {
-                Action::Idle => 1,
-                Action::Run(e) => {
-                    let w = comm.wcet(e)?;
-                    if w == 0 {
-                        return Err(ModelError::ZeroWeightScheduled(e));
-                    }
-                    w
-                }
-            };
-        }
-        Ok(total)
+        duration_of(&self.actions, comm)
     }
 
     /// Fraction of ticks spent executing (vs idling) in one repetition.
@@ -108,15 +95,19 @@ impl StaticSchedule {
     /// Expands `repetitions` round-robin repetitions into a trace.
     pub fn expand(&self, comm: &CommGraph, repetitions: usize) -> Result<Trace, ModelError> {
         let mut t = Trace::new();
-        for _ in 0..repetitions {
-            for &a in &self.actions {
-                match a {
-                    Action::Idle => t.push_idle(),
-                    Action::Run(e) => t.push_execution(e, comm.wcet(e)?)?,
-                }
-            }
-        }
+        self.expand_into(comm, repetitions, &mut t)?;
         Ok(t)
+    }
+
+    /// [`Self::expand`] into a caller-provided buffer (cleared first),
+    /// so candidate-heavy search loops can reuse one allocation.
+    pub fn expand_into(
+        &self,
+        comm: &CommGraph,
+        repetitions: usize,
+        out: &mut Trace,
+    ) -> Result<(), ModelError> {
+        expand_actions_into(&self.actions, comm, repetitions, out)
     }
 
     /// Exact latency of this schedule w.r.t. a task graph: the least `k`
@@ -182,27 +173,33 @@ impl StaticSchedule {
                         kind: c.kind,
                         deadline: c.deadline,
                         latency: lat,
+                        missed_windows: 0,
                         ok: lat.is_some_and(|l| l <= c.deadline),
                     }
                 }
                 ConstraintKind::Periodic => {
                     let trace = periodic_trace.as_ref().expect("expanded above");
-                    // check every invocation window inside the joint period
+                    // check every invocation window inside the joint
+                    // period; windows with no completion at all are
+                    // counted separately so one unserved window does not
+                    // swallow the finite worst response of the others
                     let n_windows = joint / c.period;
                     let mut ok = true;
-                    let mut worst: Time = 0;
+                    let mut worst: Option<Time> = None;
+                    let mut missed: u64 = 0;
                     for k in 0..n_windows {
                         let t0 = k * c.period;
                         match trace.earliest_completion(&c.task, comm, t0)? {
                             Some(done) => {
-                                worst = worst.max(done - t0);
+                                let response = done - t0;
+                                worst = Some(worst.map_or(response, |w| w.max(response)));
                                 if done > t0 + c.deadline {
                                     ok = false;
                                 }
                             }
                             None => {
                                 ok = false;
-                                worst = Time::MAX;
+                                missed += 1;
                             }
                         }
                     }
@@ -211,11 +208,8 @@ impl StaticSchedule {
                         name: c.name.clone(),
                         kind: c.kind,
                         deadline: c.deadline,
-                        latency: if worst == Time::MAX {
-                            None
-                        } else {
-                            Some(worst)
-                        },
+                        latency: worst,
+                        missed_windows: missed,
                         ok,
                     }
                 }
@@ -239,6 +233,165 @@ impl StaticSchedule {
     }
 }
 
+/// Duration in ticks of one repetition of an action string.
+pub(crate) fn duration_of(actions: &[Action], comm: &CommGraph) -> Result<Time, ModelError> {
+    let mut total: Time = 0;
+    for &a in actions {
+        total += match a {
+            Action::Idle => 1,
+            Action::Run(e) => {
+                let w = comm.wcet(e)?;
+                if w == 0 {
+                    return Err(ModelError::ZeroWeightScheduled(e));
+                }
+                w
+            }
+        };
+    }
+    Ok(total)
+}
+
+/// Expands `repetitions` round-robin repetitions of an action string
+/// into `out` (cleared first).
+pub(crate) fn expand_actions_into(
+    actions: &[Action],
+    comm: &CommGraph,
+    repetitions: usize,
+    out: &mut Trace,
+) -> Result<(), ModelError> {
+    out.clear();
+    for _ in 0..repetitions {
+        for &a in actions {
+            match a {
+                Action::Idle => out.push_idle(),
+                Action::Run(e) => out.push_execution(e, comm.wcet(e)?)?,
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reusable yes/no feasibility checker for many candidate action strings
+/// against one model — the leaf evaluation of the exact search.
+///
+/// Verdicts are identical to [`StaticSchedule::feasibility`], but the
+/// work per candidate is much lower:
+///
+/// * one trace expansion per candidate (the longest horizon any
+///   constraint needs) instead of one per constraint, into a reused
+///   buffer;
+/// * the instance index is built once per candidate instead of once per
+///   window start (the unbatched analysis re-extracts instances inside
+///   every `earliest_completion` call);
+/// * asynchronous constraints are scanned tightest-deadline first and
+///   the scan short-circuits on the first deadline miss or unserved
+///   window.
+///
+/// Per-constraint horizons reproduce the per-constraint trace lengths
+/// `feasibility` would have expanded, so an instance that would have
+/// been truncated there is invisible here too.
+#[derive(Debug, Clone)]
+pub struct FeasibilityCache {
+    /// Asynchronous constraints as (index, deadline, repetitions needed
+    /// for exact latency), sorted by deadline ascending.
+    asyn: Vec<(usize, Time, usize)>,
+    /// Periodic constraints as (index, period, deadline).
+    periodic: Vec<(usize, Time, Time)>,
+    /// LCM of all periodic periods (1 when there are none).
+    periodic_lcm: Time,
+    /// Largest periodic deadline.
+    max_periodic_deadline: Time,
+    trace: Trace,
+}
+
+impl FeasibilityCache {
+    /// Precomputes the per-constraint scan order and horizons.
+    pub fn new(model: &Model) -> Self {
+        let mut asyn = Vec::new();
+        let mut periodic = Vec::new();
+        let mut periodic_lcm: Time = 1;
+        let mut max_periodic_deadline: Time = 0;
+        for (ix, c) in model.constraints().iter().enumerate() {
+            match c.kind {
+                ConstraintKind::Asynchronous => {
+                    let reps = 2 * (c.task.op_count() + 1) + 1;
+                    asyn.push((ix, c.deadline, reps));
+                }
+                ConstraintKind::Periodic => {
+                    periodic.push((ix, c.period, c.deadline));
+                    periodic_lcm = lcm(periodic_lcm, c.period);
+                    max_periodic_deadline = max_periodic_deadline.max(c.deadline);
+                }
+            }
+        }
+        asyn.sort_by_key(|&(_, d, _)| d);
+        FeasibilityCache {
+            asyn,
+            periodic,
+            periodic_lcm,
+            max_periodic_deadline,
+            trace: Trace::new(),
+        }
+    }
+
+    /// True iff `StaticSchedule::new(actions.to_vec()).feasibility(model)`
+    /// would report feasible.
+    pub fn check(&mut self, model: &Model, actions: &[Action]) -> Result<bool, ModelError> {
+        let comm = model.comm();
+        let period = duration_of(actions, comm)?;
+        if actions.is_empty() || period == 0 {
+            return Err(ModelError::EmptySchedule);
+        }
+        let (joint, reps_periodic) = if self.periodic.is_empty() {
+            (period, 0usize)
+        } else {
+            let joint = lcm(period, self.periodic_lcm);
+            (
+                joint,
+                ((joint + self.max_periodic_deadline) / period) as usize + 2,
+            )
+        };
+        let reps_needed = self
+            .asyn
+            .iter()
+            .map(|&(_, _, r)| r)
+            .max()
+            .unwrap_or(0)
+            .max(reps_periodic);
+        expand_actions_into(actions, comm, reps_needed, &mut self.trace)?;
+        let by_elem = self.trace.instances_by_element();
+
+        for &(ix, deadline, reps) in &self.asyn {
+            let task = &model.constraints()[ix].task;
+            let horizon = reps as Time * period;
+            for s in 0..period {
+                match crate::trace::earliest_completion_indexed(task, comm, s, &by_elem, horizon)? {
+                    Some(done) if done - s <= deadline => {}
+                    _ => return Ok(false),
+                }
+            }
+        }
+        let periodic_horizon = reps_periodic as Time * period;
+        for &(ix, p, deadline) in &self.periodic {
+            let task = &model.constraints()[ix].task;
+            for k in 0..joint / p {
+                let t0 = k * p;
+                match crate::trace::earliest_completion_indexed(
+                    task,
+                    comm,
+                    t0,
+                    &by_elem,
+                    periodic_horizon,
+                )? {
+                    Some(done) if done <= t0 + deadline => {}
+                    _ => return Ok(false),
+                }
+            }
+        }
+        Ok(true)
+    }
+}
+
 /// Outcome of checking one constraint against a schedule.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ConstraintCheck {
@@ -251,18 +404,23 @@ pub struct ConstraintCheck {
     /// Its deadline.
     pub deadline: Time,
     /// Measured latency (asynchronous) or worst response over invocation
-    /// windows (periodic); `None` = never executed.
+    /// windows that completed (periodic); `None` = no window (or no
+    /// trace suffix) ever completed an execution.
     pub latency: Option<Time>,
+    /// Periodic only: invocation windows with no completion at all.
+    /// Windows that completed late are reflected in `latency`/`ok`, not
+    /// here. Always 0 for asynchronous constraints.
+    pub missed_windows: u64,
     /// Whether the constraint is satisfied.
     pub ok: bool,
 }
 
 impl ConstraintCheck {
-    /// Slack between deadline and measured latency (None when violated or
-    /// never executed).
+    /// Slack between deadline and measured latency (None when violated,
+    /// never executed, or any invocation window went unserved).
     pub fn slack(&self) -> Option<Time> {
         match self.latency {
-            Some(l) if l <= self.deadline => Some(self.deadline - l),
+            Some(l) if self.ok => Some(self.deadline - l),
             _ => None,
         }
     }
@@ -292,7 +450,7 @@ impl fmt::Display for FeasibilityReport {
         for c in &self.checks {
             writeln!(
                 f,
-                "{:12} {:>4} d={:<6} latency={:<8} {}",
+                "{:12} {:>4} d={:<6} latency={:<8} {}{}",
                 c.name,
                 match c.kind {
                     ConstraintKind::Periodic => "per",
@@ -304,6 +462,11 @@ impl fmt::Display for FeasibilityReport {
                     None => "∞".to_string(),
                 },
                 if c.ok { "OK" } else { "VIOLATED" },
+                if c.missed_windows > 0 {
+                    format!(" ({} windows unserved)", c.missed_windows)
+                } else {
+                    String::new()
+                },
             )?;
         }
         Ok(())
@@ -530,5 +693,92 @@ mod tests {
         // [4,7) → latency 6
         let (_, c) = m.constraints_enumerated().next().unwrap();
         assert_eq!(s.latency(m.comm(), &c.task).unwrap(), Some(6));
+    }
+
+    #[test]
+    fn periodic_missed_window_does_not_swallow_finite_worst() {
+        // One unit element, periodic constraint with period 4 and a task
+        // of three independent ops on it (three distinct executions
+        // needed). Schedule [e φφφφφφφ] has duration 8: the window at
+        // t0=0 completes (e@0, e@8, e@16 → done 17, late but finite)
+        // while the window at t0=4 only sees two more executions inside
+        // the analysed horizon and is unserved. The report must keep the
+        // finite worst response and count the unserved window separately
+        // instead of printing ∞.
+        let mut b = ModelBuilder::new();
+        let e = b.element("e", 1);
+        let tg = TaskGraphBuilder::new()
+            .op("x", e)
+            .op("y", e)
+            .op("z", e)
+            .build()
+            .unwrap();
+        b.periodic("p", tg, 4, 3);
+        let m = b.build().unwrap();
+        let mut actions = vec![Action::Run(e)];
+        actions.extend(std::iter::repeat_n(Action::Idle, 7));
+        let s = StaticSchedule::new(actions);
+        let r = s.feasibility(&m).unwrap();
+        assert!(!r.is_feasible());
+        let check = &r.checks[0];
+        assert_eq!(check.latency, Some(17), "finite worst kept: {r}");
+        assert_eq!(check.missed_windows, 1);
+        assert!(!check.ok);
+        assert_eq!(check.slack(), None);
+        assert!(r.to_string().contains("unserved"), "{r}");
+    }
+
+    #[test]
+    fn feasibility_cache_agrees_with_full_analysis() {
+        // Mixed async + periodic model; sweep every action string of
+        // length ≤ 3 over {φ, a, b} and compare verdicts.
+        let mut b = ModelBuilder::new();
+        let ea = b.element("a", 1);
+        let eb = b.element("b", 2);
+        b.channel(ea, eb);
+        let chain = TaskGraphBuilder::new()
+            .op("a", ea)
+            .op("b", eb)
+            .edge("a", "b")
+            .build()
+            .unwrap();
+        b.asynchronous("chain", chain, 7, 7);
+        let single = TaskGraphBuilder::new().op("b", eb).build().unwrap();
+        b.periodic("beat", single, 6, 5);
+        let m = b.build().unwrap();
+
+        let symbols = [Action::Idle, Action::Run(ea), Action::Run(eb)];
+        let mut cache = FeasibilityCache::new(&m);
+        let mut agree = 0u32;
+        for len in 1..=3usize {
+            let mut idx = vec![0usize; len];
+            loop {
+                let actions: Vec<Action> = idx.iter().map(|&i| symbols[i]).collect();
+                let full = StaticSchedule::new(actions.clone()).feasibility(&m);
+                let fast = cache.check(&m, &actions);
+                match (full, fast) {
+                    (Ok(report), Ok(verdict)) => {
+                        assert_eq!(report.is_feasible(), verdict, "actions {actions:?}");
+                        agree += 1;
+                    }
+                    (Err(_), Err(_)) => {}
+                    (full, fast) => panic!("divergence on {actions:?}: {full:?} vs {fast:?}"),
+                }
+                // odometer increment
+                let mut k = 0;
+                while k < len {
+                    idx[k] += 1;
+                    if idx[k] < symbols.len() {
+                        break;
+                    }
+                    idx[k] = 0;
+                    k += 1;
+                }
+                if k == len {
+                    break;
+                }
+            }
+        }
+        assert!(agree > 20);
     }
 }

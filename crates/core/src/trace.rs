@@ -86,6 +86,12 @@ impl Trace {
         self.slots.len() as Time
     }
 
+    /// Removes all recorded ticks, keeping the allocation (for callers
+    /// that re-expand schedules into one reusable buffer).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+    }
+
     /// True if no ticks have been recorded.
     pub fn is_empty(&self) -> bool {
         self.slots.is_empty()
@@ -220,29 +226,46 @@ impl Trace {
         comm: &CommGraph,
         from: Time,
     ) -> Result<Option<Time>, ModelError> {
-        // Validate op elements up front so search can use plain lookups,
-        // and record expected weights: only instances of full weight are
-        // complete executions (a trace sliced mid-instance must not count
-        // the truncated remainder).
-        let mut wcets: BTreeMap<ElementId, Time> = BTreeMap::new();
-        for (_, op) in task.ops() {
-            wcets.insert(op.element, comm.wcet(op.element)?);
-        }
-        let ops = task.topo_ops();
-        if ops.is_empty() {
-            // the empty task graph completes immediately
-            return Ok(Some(from));
-        }
         let by_elem = self.instances_by_element();
-        let searcher = Searcher {
-            task,
-            ops: &ops,
-            by_elem: &by_elem,
-            wcets: &wcets,
-            from,
-        };
-        Ok(searcher.search())
+        earliest_completion_indexed(task, comm, from, &by_elem, self.len())
     }
+}
+
+/// [`Trace::earliest_completion`] against a pre-built instance index,
+/// considering only instances that finish by `horizon`. The exact search
+/// expands one long trace per candidate schedule and reuses its index
+/// across every constraint and window start; `horizon` reproduces the
+/// per-constraint trace lengths the unbatched analysis would have used
+/// (an instance truncated by a shorter trace must not count).
+pub(crate) fn earliest_completion_indexed(
+    task: &TaskGraph,
+    comm: &CommGraph,
+    from: Time,
+    by_elem: &BTreeMap<ElementId, Vec<Instance>>,
+    horizon: Time,
+) -> Result<Option<Time>, ModelError> {
+    // Validate op elements up front so search can use plain lookups,
+    // and record expected weights: only instances of full weight are
+    // complete executions (a trace sliced mid-instance must not count
+    // the truncated remainder).
+    let mut wcets: BTreeMap<ElementId, Time> = BTreeMap::new();
+    for (_, op) in task.ops() {
+        wcets.insert(op.element, comm.wcet(op.element)?);
+    }
+    let ops = task.topo_ops();
+    if ops.is_empty() {
+        // the empty task graph completes immediately
+        return Ok(Some(from));
+    }
+    let searcher = Searcher {
+        task,
+        ops: &ops,
+        by_elem,
+        wcets: &wcets,
+        from,
+        horizon,
+    };
+    Ok(searcher.search())
 }
 
 /// Branch-and-bound search state for `earliest_completion`.
@@ -252,6 +275,9 @@ struct Searcher<'a> {
     by_elem: &'a BTreeMap<ElementId, Vec<Instance>>,
     wcets: &'a BTreeMap<ElementId, Time>,
     from: Time,
+    /// Instances finishing after this tick are invisible (they would be
+    /// truncated in a trace of this length).
+    horizon: Time,
 }
 
 impl<'a> Searcher<'a> {
@@ -298,6 +324,11 @@ impl<'a> Searcher<'a> {
         for inst in candidates.iter() {
             if inst.start < lb || inst.len != expected {
                 continue;
+            }
+            if inst.finish() > self.horizon {
+                // sorted by start, fixed per-element length: every later
+                // instance also overruns the horizon
+                break;
             }
             // per-element distinctness: no other op already uses this instance
             if chosen.values().any(|c| c == inst) {

@@ -1,0 +1,102 @@
+//! Property tests for the exact-search stack: the canonicity predicate
+//! against a brute-force oracle, and the branch-and-bound search
+//! (sequential and parallel) against the seed generate-and-filter
+//! enumerator on randomized small models.
+
+use proptest::prelude::*;
+use rtcg_core::feasibility::exact::reference::find_feasible_reference;
+use rtcg_core::feasibility::{find_feasible, find_feasible_parallel, SearchConfig};
+use rtcg_core::model::Model;
+use rtcg_core::model::ModelBuilder;
+use rtcg_core::task::TaskGraphBuilder;
+
+/// Brute force: materialize every rotation and compare.
+fn min_rotation_brute(s: &[usize]) -> bool {
+    let n = s.len();
+    (1..n).all(|shift| {
+        let rotated: Vec<usize> = (0..n).map(|i| s[(i + shift) % n]).collect();
+        s <= rotated.as_slice()
+    })
+}
+
+/// Strategy: a small model of 1–3 unit/2-weight elements, each carrying
+/// a single-op asynchronous constraint, plus (for 2+ elements) an
+/// optional 2-chain constraint across the first two elements. Deadlines
+/// straddle the feasibility boundary so both verdicts are exercised.
+fn model_spec() -> impl Strategy<Value = (Vec<(u64, u64)>, Option<u64>, usize)> {
+    (
+        prop::collection::vec((1u64..=2, 2u64..=9), 1..=3),
+        (any::<bool>(), 4u64..=12),
+        1usize..=6,
+    )
+        .prop_map(|(elems, (with_chain, d), max_len)| (elems, with_chain.then_some(d), max_len))
+}
+
+fn build_model(elems: &[(u64, u64)], chain_deadline: Option<u64>) -> Model {
+    let mut b = ModelBuilder::new();
+    let mut ids = Vec::new();
+    for (i, &(w, d)) in elems.iter().enumerate() {
+        let e = b.element(&format!("e{i}"), w);
+        ids.push(e);
+        let tg = TaskGraphBuilder::new().op("o", e).build().unwrap();
+        b.asynchronous(&format!("c{i}"), tg, d, d);
+    }
+    if let (Some(d), true) = (chain_deadline, ids.len() >= 2) {
+        b.channel(ids[0], ids[1]);
+        let tg = TaskGraphBuilder::new()
+            .op("x", ids[0])
+            .op("y", ids[1])
+            .chain(&["x", "y"])
+            .build()
+            .unwrap();
+        b.asynchronous("chain", tg, d, d);
+    }
+    b.build().expect("generated model is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn canonicity_matches_brute_force(s in prop::collection::vec(0usize..=3, 1..=8)) {
+        prop_assert_eq!(
+            rtcg_core::feasibility::is_canonical_rotation(&s),
+            min_rotation_brute(&s),
+            "string {:?}", s
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn branch_and_bound_matches_reference((elems, chain_d, max_len) in model_spec()) {
+        let model = build_model(&elems, chain_d);
+        let cfg = SearchConfig { max_len, node_budget: u64::MAX / 2 };
+
+        let bb = find_feasible(&model, cfg).unwrap();
+        let rf = find_feasible_reference(&model, cfg).unwrap();
+
+        // identical verdict and, when feasible, the identical
+        // (lexicographically first) schedule
+        prop_assert_eq!(
+            bb.schedule.as_ref().map(|s| s.actions().to_vec()),
+            rf.schedule.as_ref().map(|s| s.actions().to_vec())
+        );
+        prop_assert_eq!(bb.exhausted_bound, rf.exhausted_bound);
+        // pruning never *adds* work
+        prop_assert!(bb.candidates_checked <= rf.candidates_checked,
+            "b&b checked {} candidates, reference {}",
+            bb.candidates_checked, rf.candidates_checked);
+
+        // the parallel search replays to the sequential result exactly
+        for threads in [2usize, 4] {
+            let par = find_feasible_parallel(&model, cfg, threads).unwrap();
+            prop_assert_eq!(&bb.schedule, &par.schedule, "threads={}", threads);
+            prop_assert_eq!(bb.exhausted_bound, par.exhausted_bound);
+            prop_assert_eq!(bb.nodes_visited, par.nodes_visited);
+            prop_assert_eq!(bb.candidates_checked, par.candidates_checked);
+        }
+    }
+}

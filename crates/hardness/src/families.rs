@@ -18,8 +18,15 @@ use rtcg_core::task::TaskGraphBuilder;
 /// two consecutive executions of any chain, doubled by the window
 /// sliding — `6` per chain keeps the family feasible but tight.
 pub fn chain_family(n: usize) -> Model {
+    chain_family_with_deadline(n, 5 + 6 * (n.saturating_sub(1)) as u64)
+}
+
+/// [`chain_family`] with an explicit common deadline `d` instead of the
+/// just-feasible boundary value. Tightening `d` below the boundary
+/// yields infeasible instances whose *proof* of infeasibility is where
+/// search effort concentrates — the knob the pruning experiments turn.
+pub fn chain_family_with_deadline(n: usize, d: u64) -> Model {
     let mut b = ModelBuilder::new();
-    let d = 5 + 6 * (n.saturating_sub(1)) as u64;
     for i in 0..n {
         let e0 = b.element(&format!("c{i}a"), 1);
         let e1 = b.element(&format!("c{i}b"), 1);
