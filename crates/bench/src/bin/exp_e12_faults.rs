@@ -10,9 +10,9 @@
 //! control-system example.
 
 use rtcg_bench::Table;
-use rtcg_core::heuristic::synthesize;
 use rtcg_core::model::ModelBuilder;
 use rtcg_core::task::TaskGraphBuilder;
+use rtcg_engine::{AnalysisRequest, Engine};
 use rtcg_sim::faults::fault_margin;
 
 fn main() {
@@ -50,18 +50,33 @@ fn main() {
     }
     println!("{}", t.render());
 
-    // part 2: per-element margins of the synthesized Mok example
+    // part 2: per-element margins of the synthesized Mok example,
+    // routed through the engine — each query re-requests the analysis
+    // and all but the first are served from the result memo
     println!("fault margins of the synthesized control-system schedule:");
     let (model, _) = rtcg_core::mok_example::default_model();
-    let out = synthesize(&model).unwrap();
-    let m = out.model();
-    let trace = out.schedule.expand(m.comm(), 10).unwrap();
+    let req = AnalysisRequest::default();
+    let mut engine = Engine::new();
+    let report = engine.analyze(&model, &req).unwrap();
+    let names: Vec<String> = report
+        .analysis_model
+        .comm()
+        .elements()
+        .map(|(_, e)| e.name.clone())
+        .collect();
     let mut t = Table::new(&["element", "margin (consecutive losses)"]);
-    for (id, e) in m.comm().elements() {
-        let margin = fault_margin(m, &trace, id, 12).unwrap();
-        t.row(&[e.name.clone(), margin.to_string()]);
+    for name in &names {
+        let margin = engine.fault_margin(&model, name, 12, 10, &req).unwrap();
+        t.row(&[name.clone(), margin.to_string()]);
     }
     println!("{}", t.render());
+    let stats = engine.stats();
+    println!(
+        "engine cache: {} hit(s), {} miss(es) across {} fault-margin queries",
+        stats.hits,
+        stats.misses,
+        names.len()
+    );
     println!("E12 expectation: margin grows ~d/2 with deadline slack; the example's");
     println!("elements inherit margins from their constraints' slack (z-chain's");
     println!("elements are tightest).");

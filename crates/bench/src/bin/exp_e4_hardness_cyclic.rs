@@ -9,7 +9,8 @@
 //! over `n` and their cost recorded.
 
 use rtcg_bench::{time_it, Table};
-use rtcg_core::feasibility::{exact, game, parallel};
+use rtcg_core::feasibility::{exact, game};
+use rtcg_engine::{AnalysisRequest, Engine, Verdict};
 use rtcg_hardness::single_op_family;
 
 fn main() {
@@ -52,37 +53,40 @@ fn main() {
             game::GameOutcome::Unknown { states_expanded } => ("unknown", *states_expanded),
         };
         let max_len = 2 * n + 1;
-        let (s, ss) = time_it(|| {
-            exact::find_feasible(
-                &model,
-                exact::SearchConfig {
-                    max_len,
-                    node_budget: 60_000_000,
-                },
-            )
-            .unwrap()
-        });
-        let sv = match (&s.schedule, s.exhausted_bound) {
-            (Some(sched), _) => {
-                assert!(sched.feasibility(&model).unwrap().is_feasible());
-                "feasible"
-            }
-            (None, true) => "no≤bound",
-            (None, false) => "budget",
-        };
-        let cfg = exact::SearchConfig {
+        let mut req = AnalysisRequest::exact();
+        req.search = exact::SearchConfig {
             max_len,
             node_budget: 60_000_000,
         };
-        let (p, ps) = time_it(|| parallel::find_feasible_parallel(&model, cfg, 4).unwrap());
-        assert_eq!(s.schedule, p.schedule, "parallel must replay sequential");
+        let mut engine = Engine::new();
+        let (report, ss) = time_it(|| engine.analyze(&model, &req).unwrap());
+        let stats = report.search.expect("exact mode reports search stats");
+        let sv = match &report.verdict {
+            Verdict::Feasible { schedule, .. } => {
+                assert!(schedule.feasibility(&model).unwrap().is_feasible());
+                "feasible"
+            }
+            Verdict::Infeasible { .. } => "no≤bound",
+            Verdict::Unknown { .. } => "budget",
+        };
+        // fresh engine: the result memo would otherwise serve the
+        // verdict without exercising the parallel search at all
+        let mut par_req = req;
+        par_req.threads = 4;
+        let mut par_engine = Engine::new();
+        let (par_report, ps) = time_it(|| par_engine.analyze(&model, &par_req).unwrap());
+        assert_eq!(
+            report.verdict.schedule(),
+            par_report.verdict.schedule(),
+            "parallel must replay sequential"
+        );
         t.row(&[
             n.to_string(),
             d_common.to_string(),
             gstates.to_string(),
             gv.to_string(),
             format!("{gs:.4}"),
-            s.nodes_visited.to_string(),
+            stats.nodes_visited.to_string(),
             sv.to_string(),
             format!("{ss:.4}"),
             format!("{ps:.4}"),

@@ -1,13 +1,13 @@
 //! Subcommand implementations.
 
 use crate::CliError;
-use rtcg_core::heuristic::{synthesize as core_synthesize, SynthesisConfig};
+use rtcg_core::heuristic::synthesize as core_synthesize;
 use rtcg_core::model::Model;
-use rtcg_core::sensitivity::deadline_sensitivities;
+use rtcg_engine::{AnalysisMode, AnalysisRequest, Engine, EngineError, Verdict};
 use rtcg_sim::gantt::render_gantt;
 use rtcg_sim::invocation::InvocationPattern;
+use rtcg_sim::report::SimReport;
 use rtcg_sim::table::run_table_executor;
-use rtcg_synth::latency::latency_synthesize;
 
 pub(crate) fn load(path: &str) -> Result<(String, Model), CliError> {
     let src = std::fs::read_to_string(path)
@@ -30,8 +30,45 @@ fn summary(model: &Model) -> String {
     )
 }
 
-/// `rtcg check` — parse, validate, report bounds.
-pub fn check(path: &str) -> Result<(), CliError> {
+/// Maps the shared analysis flags onto one [`AnalysisRequest`]:
+/// `--merged`/`--exact` select the mode, `--threads`, `--max-len` and
+/// `--budget` tune the exact search.
+pub(crate) fn request_from_flags(flags: &[String]) -> Result<AnalysisRequest, CliError> {
+    let mut req = AnalysisRequest::default();
+    if flags.iter().any(|f| f == "--merged") {
+        req.mode = AnalysisMode::Merged;
+    }
+    if flags.iter().any(|f| f == "--exact") {
+        req.mode = AnalysisMode::Exact;
+    }
+    req.threads = flag_value(flags, "--threads")?.unwrap_or(1).max(1) as usize;
+    if let Some(l) = flag_value(flags, "--max-len")? {
+        req.search.max_len = l as usize;
+    }
+    if let Some(b) = flag_value(flags, "--budget")? {
+        req.search.node_budget = b;
+    }
+    Ok(req)
+}
+
+pub(crate) fn engine_err(e: EngineError) -> CliError {
+    match e {
+        EngineError::Infeasible(reason) => CliError::Infeasible(reason),
+        other => CliError::Input(other.to_string()),
+    }
+}
+
+pub(crate) fn print_cache_stats(engine: &Engine) {
+    let s = engine.stats();
+    println!(
+        "engine cache: {} hit(s), {} miss(es); leaf evals: {} saved, {} computed; \
+         {} structure session(s), {} candidate memo(s)",
+        s.hits, s.misses, s.leaf_evals_saved, s.leaf_evals_computed, s.sessions, s.memo_candidates
+    );
+}
+
+/// `rtcg check [--cache-stats]` — parse, validate, report bounds.
+pub fn check(path: &str, flags: &[String]) -> Result<(), CliError> {
     let (_, model) = load(path)?;
     println!("{path}: OK");
     println!("{}", summary(&model));
@@ -58,6 +95,20 @@ pub fn check(path: &str) -> Result<(), CliError> {
             w
         );
     }
+    if flags.iter().any(|f| f == "--cache-stats") {
+        // run a full feasibility analysis through the engine so the
+        // stats line reflects a real workload (second run memo-hits)
+        let mut engine = Engine::new();
+        let req = request_from_flags(flags)?;
+        let report = engine.analyze(&model, &req).map_err(engine_err)?;
+        let verdict = match &report.verdict {
+            Verdict::Feasible { strategy, .. } => format!("feasible ({strategy})"),
+            Verdict::Infeasible { reason } => format!("infeasible — {reason}"),
+            Verdict::Unknown { reason } => format!("unknown — {reason}"),
+        };
+        println!("engine verdict: {verdict}");
+        print_cache_stats(&engine);
+    }
     Ok(())
 }
 
@@ -77,55 +128,113 @@ pub fn synthesize(path: &str, flags: &[String]) -> Result<(), CliError> {
 fn synthesize_inner(path: &str, flags: &[String]) -> Result<(), CliError> {
     let (_, model) = load(path)?;
     let gantt_ticks = flag_value(flags, "--gantt")?;
-    if flags.iter().any(|f| f == "--merged") {
-        let out = latency_synthesize(&model).map_err(|e| CliError::Infeasible(e.to_string()))?;
-        println!(
-            "merged latency scheduling ({}; {} group(s) merged):",
-            out.strategy, out.groups_merged
-        );
-        print_schedule(&out.analysis_model, &out.schedule, gantt_ticks)
-    } else if flags.iter().any(|f| f == "--exact") {
-        let threads = flag_value(flags, "--threads")?.unwrap_or(1).max(1) as usize;
-        let mut cfg = rtcg_core::feasibility::SearchConfig::default();
-        if let Some(l) = flag_value(flags, "--max-len")? {
-            cfg.max_len = l as usize;
-        }
-        if let Some(b) = flag_value(flags, "--budget")? {
-            cfg.node_budget = b;
-        }
-        let out = if threads > 1 {
-            rtcg_core::feasibility::find_feasible_parallel(&model, cfg, threads)
-        } else {
-            rtcg_core::feasibility::find_feasible(&model, cfg)
-        }
-        .map_err(|e| CliError::Input(e.to_string()))?;
+    let req = request_from_flags(flags)?;
+    let mut engine = Engine::new();
+    let report = engine.analyze(&model, &req).map_err(engine_err)?;
+    if let (AnalysisMode::Exact, Some(stats)) = (req.mode, report.search) {
         println!(
             "exact search ({} thread(s), max len {}, budget {}): {} nodes, {} candidates{}",
-            threads,
-            cfg.max_len,
-            cfg.node_budget,
-            out.nodes_visited,
-            out.candidates_checked,
-            if out.exhausted_bound {
+            req.threads,
+            req.search.max_len,
+            req.search.node_budget,
+            stats.nodes_visited,
+            stats.candidates_checked,
+            if stats.exhausted_bound {
                 ""
             } else {
                 " — budget exhausted"
             }
         );
-        match out.schedule {
-            Some(s) => print_schedule(&model, &s, gantt_ticks),
-            None if out.exhausted_bound => Err(CliError::Infeasible(format!(
-                "no feasible schedule of length <= {}",
-                cfg.max_len
-            ))),
-            None => Err(CliError::Infeasible(
-                "search budget exhausted before a schedule was found".into(),
-            )),
+    }
+    let result = match &report.verdict {
+        Verdict::Feasible { schedule, strategy } => {
+            match req.mode {
+                AnalysisMode::Heuristic => println!("latency scheduling ({strategy}):"),
+                AnalysisMode::Merged => println!(
+                    "merged latency scheduling ({strategy}, {} group(s) merged):",
+                    report.groups_merged
+                ),
+                AnalysisMode::Exact => {}
+            }
+            print_schedule(&report.analysis_model, schedule, gantt_ticks)
         }
+        Verdict::Infeasible { reason } => Err(CliError::Infeasible(reason.clone())),
+        Verdict::Unknown { reason } => Err(CliError::Infeasible(reason.clone())),
+    };
+    if flags.iter().any(|f| f == "--cache-stats") {
+        print_cache_stats(&engine);
+    }
+    result
+}
+
+/// `rtcg analyze [--merged|--exact] [--threads N] [--max-len L]
+/// [--budget B] [--sweep] [--cache-stats]` — the unified analysis
+/// front end. Without `--sweep`, reports the verdict for the model as
+/// written; with `--sweep`, binary-searches every constraint's minimum
+/// feasible deadline through the engine's incremental cache.
+pub fn analyze(path: &str, flags: &[String]) -> Result<(), CliError> {
+    let (_, model) = load(path)?;
+    let req = request_from_flags(flags)?;
+    let mut engine = Engine::new();
+    if flags.iter().any(|f| f == "--sweep") {
+        println!("deadline sensitivity sweep ({}):", mode_name(req.mode));
+        let rows = engine
+            .deadline_sensitivities(&model, &req)
+            .map_err(engine_err)?;
+        for r in rows {
+            match r.minimum_feasible {
+                Some(min) => println!(
+                    "  {:<16} declared d={:<6} minimum d={:<6} slack={}",
+                    r.name,
+                    r.declared,
+                    min,
+                    r.slack().expect("feasible")
+                ),
+                None => println!("  {:<16} declared d={:<6} INFEASIBLE", r.name, r.declared),
+            }
+        }
+        let pct = engine
+            .max_uniform_tightening(&model, &req)
+            .map_err(engine_err)?;
+        println!("maximum uniform tightening: {pct}% of declared deadlines");
     } else {
-        let out = core_synthesize(&model).map_err(|e| CliError::Infeasible(e.to_string()))?;
-        println!("latency scheduling ({}):", out.strategy);
-        print_schedule(out.model(), &out.schedule, gantt_ticks)
+        let report = engine.analyze(&model, &req).map_err(engine_err)?;
+        if let Some(stats) = report.search {
+            println!(
+                "search: {} nodes, {} candidates{}",
+                stats.nodes_visited,
+                stats.candidates_checked,
+                if stats.exhausted_bound {
+                    ""
+                } else {
+                    " — budget exhausted"
+                }
+            );
+        }
+        let verdict = match &report.verdict {
+            Verdict::Feasible { schedule, strategy } => {
+                println!("feasible ({strategy}):");
+                print_schedule(&report.analysis_model, schedule, None)
+            }
+            Verdict::Infeasible { reason } => Err(CliError::Infeasible(reason.clone())),
+            Verdict::Unknown { reason } => Err(CliError::Infeasible(format!("unknown: {reason}"))),
+        };
+        if flags.iter().any(|f| f == "--cache-stats") {
+            print_cache_stats(&engine);
+        }
+        return verdict;
+    }
+    if flags.iter().any(|f| f == "--cache-stats") {
+        print_cache_stats(&engine);
+    }
+    Ok(())
+}
+
+fn mode_name(mode: AnalysisMode) -> &'static str {
+    match mode {
+        AnalysisMode::Heuristic => "heuristic",
+        AnalysisMode::Merged => "merged",
+        AnalysisMode::Exact => "exact",
     }
 }
 
@@ -146,7 +255,12 @@ fn print_schedule(
                 .busy_fraction(comm)
                 .map_err(|e| CliError::Input(e.to_string()))?
     );
-    println!("{}", schedule.display(comm));
+    println!(
+        "{}",
+        schedule
+            .display(comm)
+            .map_err(|e| CliError::Input(e.to_string()))?
+    );
     let report = schedule
         .feasibility(model)
         .map_err(|e| CliError::Input(e.to_string()))?;
@@ -156,7 +270,10 @@ fn print_schedule(
             .expand(comm, 2)
             .map_err(|e| CliError::Input(e.to_string()))?;
         println!();
-        print!("{}", render_gantt(&trace, comm, 0, n));
+        print!(
+            "{}",
+            render_gantt(&trace, comm, 0, n).map_err(|e| CliError::Input(e.to_string()))?
+        );
     }
     if !report.is_feasible() {
         return Err(CliError::Infeasible(
@@ -214,17 +331,8 @@ fn simulate_inner(path: &str, flags: &[String]) -> Result<(), CliError> {
     let out = core_synthesize(&model).map_err(|e| CliError::Infeasible(e.to_string()))?;
     let run = run_simulation(out.model(), &out.schedule, ticks, seed)?;
     println!("simulated {ticks} ticks (seed {seed}):");
-    for o in &run.outcomes {
-        println!(
-            "  {:<16} invocations={:<6} met={:<6} missed={:<4} worst response={}",
-            o.name,
-            o.checked,
-            o.met,
-            o.missed,
-            o.worst_response.map_or("-".to_string(), |r| r.to_string())
-        );
-    }
-    if run.all_met() {
+    print!("{}", rtcg_sim::report::render_rows(&run));
+    if SimReport::no_misses(&run) {
         println!("all deadlines met");
         Ok(())
     } else {
@@ -232,12 +340,16 @@ fn simulate_inner(path: &str, flags: &[String]) -> Result<(), CliError> {
     }
 }
 
-/// `rtcg sensitivity`.
-pub fn sensitivity(path: &str) -> Result<(), CliError> {
+/// `rtcg sensitivity [--cache-stats]` — kept as an alias for
+/// `rtcg analyze --sweep` (heuristic mode); probes route through the
+/// engine cache.
+pub fn sensitivity(path: &str, flags: &[String]) -> Result<(), CliError> {
     let (_, model) = load(path)?;
-    let config = SynthesisConfig::default();
-    let rows =
-        deadline_sensitivities(&model, config).map_err(|e| CliError::Input(e.to_string()))?;
+    let req = request_from_flags(flags)?;
+    let mut engine = Engine::new();
+    let rows = engine
+        .deadline_sensitivities(&model, &req)
+        .map_err(engine_err)?;
     println!("deadline sensitivity (synthesizer-verified minima):");
     for r in rows {
         match r.minimum_feasible {
@@ -251,9 +363,13 @@ pub fn sensitivity(path: &str) -> Result<(), CliError> {
             None => println!("  {:<16} declared d={:<6} INFEASIBLE", r.name, r.declared),
         }
     }
-    let pct = rtcg_core::sensitivity::max_uniform_tightening(&model, config)
-        .map_err(|e| CliError::Input(e.to_string()))?;
+    let pct = engine
+        .max_uniform_tightening(&model, &req)
+        .map_err(engine_err)?;
     println!("maximum uniform tightening: {pct}% of declared deadlines");
+    if flags.iter().any(|f| f == "--cache-stats") {
+        print_cache_stats(&engine);
+    }
     Ok(())
 }
 
@@ -272,11 +388,13 @@ pub fn codegen(path: &str) -> Result<(), CliError> {
     print!(
         "{}",
         rtcg_synth::codegen::render_process_system(&model, &programs)
+            .map_err(|e| CliError::Input(e.to_string()))?
     );
     let out = core_synthesize(&model).map_err(|e| CliError::Infeasible(e.to_string()))?;
     print!(
         "{}",
         rtcg_synth::codegen::render_table_scheduler(out.model().comm(), &out.schedule)
+            .map_err(|e| CliError::Input(e.to_string()))?
     );
     Ok(())
 }

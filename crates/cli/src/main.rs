@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! rtcg check <spec.rtcg>               validate a specification
+//! rtcg analyze <spec.rtcg> [--exact] [--sweep] [--cache-stats]
 //! rtcg synthesize <spec.rtcg> [--merged|--exact] [--threads N] [--gantt N]
 //! rtcg simulate <spec.rtcg> --ticks N [--seed S]
 //! rtcg profile <spec.rtcg> [--ticks N]
@@ -42,19 +43,26 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  rtcg check <spec.rtcg>
+  rtcg check <spec.rtcg> [--cache-stats]
+  rtcg analyze <spec.rtcg> [--merged|--exact] [--threads N] [--max-len L]
+               [--budget B] [--sweep] [--cache-stats]
   rtcg synthesize <spec.rtcg> [--merged|--exact] [--threads N] [--max-len L]
-                  [--budget B] [--gantt N] [--metrics] [--trace-out FILE]
+                  [--budget B] [--gantt N] [--cache-stats] [--metrics]
+                  [--trace-out FILE]
   rtcg simulate <spec.rtcg> --ticks N [--seed S] [--metrics] [--trace-out FILE]
   rtcg profile <spec.rtcg> [--ticks N] [--trace-out FILE]
-  rtcg sensitivity <spec.rtcg>
+  rtcg sensitivity <spec.rtcg> [--merged|--exact] [--cache-stats]
   rtcg dot <spec.rtcg>
   rtcg codegen <spec.rtcg>
 
-exact search (synthesize --exact):
+analysis (analyze / synthesize / sensitivity):
+  --merged | --exact select the analysis pipeline (default: heuristic)
   --threads N        parallel search workers (default 1)
   --max-len L        maximum schedule length in actions (default 10)
   --budget B         search charge budget: nodes + candidates (default 5000000)
+  --sweep            binary-search each constraint's minimum feasible deadline,
+                     reusing memoized candidate analyses across probes
+  --cache-stats      print engine cache hit/miss and leaf-eval-saved counters
 
 observability:
   --metrics          print a counters/spans/histograms summary after the run
@@ -76,11 +84,12 @@ fn run(args: &[String]) -> Result<(), CliError> {
         return Err(CliError::Usage("missing command".into()));
     };
     match cmd.as_str() {
-        "check" => commands::check(rest(args)?),
+        "check" => commands::check(rest(args)?, &args[2..]),
+        "analyze" => commands::analyze(rest(args)?, &args[2..]),
         "synthesize" => commands::synthesize(rest(args)?, &args[2..]),
         "simulate" => commands::simulate(rest(args)?, &args[2..]),
         "profile" => profile::profile(rest(args)?, &args[2..]),
-        "sensitivity" => commands::sensitivity(rest(args)?),
+        "sensitivity" => commands::sensitivity(rest(args)?, &args[2..]),
         "dot" => commands::dot(rest(args)?),
         "codegen" => commands::codegen(rest(args)?),
         "--help" | "-h" | "help" => {

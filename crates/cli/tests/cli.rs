@@ -345,3 +345,69 @@ fn trace_out_requires_value() {
     let out = rtcg(&["simulate", spec.path_str(), "--ticks", "100", "--trace-out"]);
     assert_eq!(out.status.code(), Some(1));
 }
+
+#[test]
+fn analyze_reports_verdict_and_cache_stats() {
+    let spec = write_spec(GOOD_SPEC);
+    let out = rtcg(&["analyze", spec.path_str(), "--cache-stats"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("feasible"), "{stdout}");
+    assert!(stdout.contains("engine cache:"), "{stdout}");
+}
+
+#[test]
+fn analyze_sweep_lists_every_constraint() {
+    let spec = write_spec(GOOD_SPEC);
+    let out = rtcg(&["analyze", spec.path_str(), "--sweep", "--cache-stats"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("deadline sensitivity sweep"), "{stdout}");
+    assert!(stdout.contains("xchain"), "{stdout}");
+    assert!(stdout.contains("burst"), "{stdout}");
+    assert!(stdout.contains("maximum uniform tightening"), "{stdout}");
+}
+
+#[test]
+fn analyze_infeasible_model_fails() {
+    let spec = write_spec(INFEASIBLE_SPEC);
+    let out = rtcg(&["analyze", spec.path_str()]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("infeasible"), "{stderr}");
+}
+
+#[test]
+fn analyze_exact_sweep_saves_leaf_evals() {
+    // tiny model so the complete exact search stays fast; the sweep's
+    // repeated probes must be served from the candidate memo
+    let spec = write_spec(
+        r#"
+        element a wcet 1; element b wcet 1;
+        asynchronous ca period 6 deadline 4 { op o: a; }
+        asynchronous cb period 6 deadline 4 { op o: b; }
+        "#,
+    );
+    let out = rtcg(&[
+        "analyze",
+        spec.path_str(),
+        "--exact",
+        "--max-len",
+        "4",
+        "--sweep",
+        "--cache-stats",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let saved_line = stdout
+        .lines()
+        .find(|l| l.contains("leaf evals:"))
+        .expect("cache stats line");
+    let saved: u64 = saved_line
+        .split("leaf evals: ")
+        .nth(1)
+        .and_then(|t| t.split(" saved").next())
+        .and_then(|t| t.trim().parse().ok())
+        .expect("saved count");
+    assert!(saved > 0, "{stdout}");
+}

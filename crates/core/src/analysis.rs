@@ -104,10 +104,10 @@ mod tests {
         let m = shared_model();
         let shared = shared_elements(&m);
         assert_eq!(shared.len(), 1);
-        assert_eq!(m.comm().name(shared[0]), "s");
+        assert_eq!(m.comm().name(shared[0]).unwrap(), "s");
         let counts = shared_element_counts(&m);
         assert_eq!(counts.len(), 3);
-        assert!(counts.iter().all(|&(e, n)| if m.comm().name(e) == "s" {
+        assert!(counts.iter().all(|&(e, n)| if m.comm().name(e).unwrap() == "s" {
             n == 2
         } else {
             n == 1

@@ -28,7 +28,12 @@ pub mod exact;
 pub mod game;
 pub mod parallel;
 
-pub use bounds::{density_lower_bound, quick_infeasible, InfeasibleReason, PrefixPruner};
-pub use exact::{find_feasible, is_canonical_rotation, SearchConfig, SearchOutcome};
+pub use bounds::{
+    density_lower_bound, quick_infeasible, InfeasibleReason, PrefixPruner, PrunerTemplate,
+};
+pub use exact::{
+    find_feasible, find_feasible_with, is_canonical_rotation, used_elements, CandidateEval,
+    SearchConfig, SearchOutcome,
+};
 pub use game::{solve_game, GameConfig, GameOutcome};
 pub use parallel::find_feasible_parallel;

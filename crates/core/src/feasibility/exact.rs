@@ -99,6 +99,42 @@ impl SearchOutcome {
     }
 }
 
+/// Evaluates one complete candidate action string at a search leaf.
+///
+/// The contract is strict: `check` must return exactly what
+/// `StaticSchedule::new(actions.to_vec()).feasibility(model)` would
+/// report, for every candidate, or the search's completeness claim (and
+/// the bit-identity between cached and cold analysis) breaks. The
+/// default evaluator is [`FeasibilityCache`]; `rtcg-engine` injects a
+/// memoizing evaluator that reuses per-candidate latencies across
+/// deadline edits of one model structure.
+pub trait CandidateEval {
+    /// True iff `actions` is a feasible schedule for `model`.
+    fn check(&mut self, model: &Model, actions: &[Action]) -> Result<bool, ModelError>;
+}
+
+impl CandidateEval for FeasibilityCache {
+    fn check(&mut self, model: &Model, actions: &[Action]) -> Result<bool, ModelError> {
+        FeasibilityCache::check(self, model, actions)
+    }
+}
+
+/// The search alphabet: elements actually used by constraints, in id
+/// order. Exposed so external evaluators (and bound templates) can be
+/// built against exactly the symbol numbering the search uses.
+pub fn used_elements(model: &Model) -> Vec<ElementId> {
+    let mut used: Vec<ElementId> = Vec::new();
+    for c in model.constraints() {
+        for (_, op) in c.task.ops() {
+            if !used.contains(&op.element) {
+                used.push(op.element);
+            }
+        }
+    }
+    used.sort();
+    used
+}
+
 /// Shared, immutable context of one search: alphabet and bounds.
 pub(crate) struct SearchCtx<'m> {
     model: &'m Model,
@@ -108,17 +144,24 @@ pub(crate) struct SearchCtx<'m> {
 
 impl<'m> SearchCtx<'m> {
     pub(crate) fn new(model: &'m Model) -> Result<Self, ModelError> {
-        // Alphabet: elements actually used by constraints, in id order.
-        let mut used: Vec<ElementId> = Vec::new();
-        for c in model.constraints() {
-            for (_, op) in c.task.ops() {
-                if !used.contains(&op.element) {
-                    used.push(op.element);
-                }
+        Self::with_pruner(model, None)
+    }
+
+    /// Like [`Self::new`], but with a caller-supplied pruner (built
+    /// against [`used_elements`] of the same model). `None` builds one
+    /// from scratch.
+    pub(crate) fn with_pruner(
+        model: &'m Model,
+        pruner: Option<PrefixPruner>,
+    ) -> Result<Self, ModelError> {
+        let used = used_elements(model);
+        let pruner = match pruner {
+            Some(p) => {
+                debug_assert_eq!(p.n_symbols(), used.len());
+                p
             }
-        }
-        used.sort();
-        let pruner = PrefixPruner::new(model, &used)?;
+            None => PrefixPruner::new(model, &used)?,
+        };
         Ok(SearchCtx {
             model,
             used,
@@ -137,9 +180,6 @@ impl<'m> SearchCtx<'m> {
         self.used.len().max(1)
     }
 
-    pub(crate) fn model(&self) -> &'m Model {
-        self.model
-    }
 
     fn action(&self, sym: usize) -> Action {
         if sym == 0 {
@@ -293,7 +333,7 @@ pub(crate) struct SubtreeResult {
 
 struct Dfs<'a, 'b, 'm> {
     ctx: &'a SearchCtx<'m>,
-    cache: &'a mut FeasibilityCache,
+    cache: &'a mut dyn CandidateEval,
     string: Vec<usize>,
     counts: Vec<u64>,
     duration: Time,
@@ -385,7 +425,7 @@ impl Dfs<'_, '_, '_> {
 /// with enough budget always reports the same `nodes`/`candidates`.
 pub(crate) fn run_unit(
     ctx: &SearchCtx,
-    cache: &mut FeasibilityCache,
+    cache: &mut dyn CandidateEval,
     len: usize,
     unit: &WorkUnit,
     budget: &mut Budget<'_>,
@@ -454,9 +494,9 @@ pub(crate) fn resume_sequential(
     config: SearchConfig,
     start_len: usize,
     start_unit: usize,
+    eval: &mut dyn CandidateEval,
     out: &mut SearchOutcome,
 ) -> Result<(), ModelError> {
-    let mut cache = FeasibilityCache::new(ctx.model());
     for len in start_len..=config.max_len {
         let units = work_units(ctx.n(), len);
         let from = if len == start_len { start_unit } else { 0 };
@@ -465,7 +505,7 @@ pub(crate) fn resume_sequential(
             let mut budget = Budget::Cap {
                 credit: config.node_budget.saturating_sub(spent),
             };
-            let r = run_unit(ctx, &mut cache, len, unit, &mut budget, None)?;
+            let r = run_unit(ctx, eval, len, unit, &mut budget, None)?;
             out.nodes_visited += r.nodes;
             out.candidates_checked += r.candidates;
             match r.end {
@@ -488,6 +528,22 @@ pub(crate) fn resume_sequential(
 /// Searches for a feasible static schedule of at most `config.max_len`
 /// actions. Complete up to the bound.
 pub fn find_feasible(model: &Model, config: SearchConfig) -> Result<SearchOutcome, ModelError> {
+    find_feasible_with(model, config, None, &mut FeasibilityCache::new(model))
+}
+
+/// [`find_feasible`] with an injected leaf evaluator and (optionally) a
+/// pre-instantiated pruner — the hook `rtcg-engine` uses to reuse
+/// memoized candidate latencies and deadline-refreshed bounds across
+/// edits of one model structure. With `FeasibilityCache` as the
+/// evaluator and `None` for the pruner this *is* `find_feasible`:
+/// enumeration order, budget accounting, verdicts, schedules, and
+/// counters are identical by construction.
+pub fn find_feasible_with(
+    model: &Model,
+    config: SearchConfig,
+    pruner: Option<PrefixPruner>,
+    eval: &mut dyn CandidateEval,
+) -> Result<SearchOutcome, ModelError> {
     let _span = rtcg_obs::span!("feasibility.exact", "search");
     let mut out = SearchOutcome::empty();
     if model.constraints().is_empty() {
@@ -495,8 +551,8 @@ pub fn find_feasible(model: &Model, config: SearchConfig) -> Result<SearchOutcom
         out.schedule = Some(StaticSchedule::new(vec![Action::Idle]));
         return Ok(out);
     }
-    let ctx = SearchCtx::new(model)?;
-    resume_sequential(&ctx, config, ctx.start_len(), 0, &mut out)?;
+    let ctx = SearchCtx::with_pruner(model, pruner)?;
+    resume_sequential(&ctx, config, ctx.start_len(), 0, eval, &mut out)?;
     Ok(out)
 }
 

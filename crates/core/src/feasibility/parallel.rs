@@ -54,7 +54,8 @@ pub fn find_feasible_parallel(
     }
     let ctx = SearchCtx::new(model)?;
     if threads == 1 {
-        resume_sequential(&ctx, config, ctx.start_len(), 0, &mut out)?;
+        let mut cache = FeasibilityCache::new(model);
+        resume_sequential(&ctx, config, ctx.start_len(), 0, &mut cache, &mut out)?;
         return Ok(out);
     }
 
@@ -141,7 +142,8 @@ pub fn find_feasible_parallel(
                 // starved, cancelled, or would trip the budget mid-unit:
                 // the sequential engine reproduces the exact outcome
                 _ => {
-                    resume_sequential(&ctx, config, len, i, &mut out)?;
+                    let mut cache = FeasibilityCache::new(model);
+                    resume_sequential(&ctx, config, len, i, &mut cache, &mut out)?;
                     return Ok(out);
                 }
             }

@@ -105,8 +105,14 @@ pub use trace::{Instance, Slot, Trace};
 /// Convenience prelude re-exporting the types most programs need.
 pub mod prelude {
     pub use crate::constraint::{ConstraintId, ConstraintKind, TimingConstraint};
+    pub use crate::feasibility::{
+        find_feasible, find_feasible_with, quick_infeasible, CandidateEval, PrefixPruner,
+        PrunerTemplate, SearchConfig, SearchOutcome,
+    };
+    pub use crate::heuristic::{synthesize, synthesize_with, SynthesisConfig, SynthesisOutcome};
     pub use crate::model::{CommGraph, ElementId, Model, ModelBuilder};
-    pub use crate::schedule::{Action, FeasibilityReport, StaticSchedule};
+    pub use crate::schedule::{Action, FeasibilityCache, FeasibilityReport, StaticSchedule};
+    pub use crate::sensitivity::DeadlineSensitivity;
     pub use crate::task::{OpId, TaskGraph, TaskGraphBuilder};
     pub use crate::time::Time;
     pub use crate::trace::Trace;

@@ -126,9 +126,14 @@ impl CommGraph {
             .ok_or(ModelError::UnknownElement(id))
     }
 
-    /// Name of `id` (for reports); `"?"` for unknown ids.
-    pub fn name(&self, id: ElementId) -> &str {
-        self.element(id).map(|e| e.name.as_str()).unwrap_or("?")
+    /// Name of `id` (for reports). A stale or foreign `ElementId` is an
+    /// error, not a placeholder: silently printing `"?"` used to mask
+    /// id-translation bugs between a model and its pipelined/decomposed
+    /// derivatives.
+    pub fn name(&self, id: ElementId) -> Result<&str, ModelError> {
+        self.element(id)
+            .map(|e| e.name.as_str())
+            .ok_or(ModelError::UnknownElement(id))
     }
 
     /// True if `id` names a live element.
@@ -435,8 +440,8 @@ mod tests {
         assert_eq!(g.lookup("fb").unwrap(), b);
         assert!(g.has_channel(a, b));
         assert!(!g.has_channel(b, a));
-        assert_eq!(g.name(a), "fa");
-        assert_eq!(g.name(ElementId::new(99)), "?");
+        assert_eq!(g.name(a).unwrap(), "fa");
+        assert!(g.name(ElementId::new(99)).is_err());
     }
 
     #[test]
@@ -598,6 +603,6 @@ mod tests {
         let m2: Model = serde_json::from_str(&json).unwrap();
         m2.validate().unwrap();
         assert_eq!(m2.constraints().len(), 1);
-        assert_eq!(m2.comm().name(x), "fx");
+        assert_eq!(m2.comm().name(x).unwrap(), "fx");
     }
 }

@@ -219,17 +219,17 @@ impl StaticSchedule {
         Ok(FeasibilityReport { checks })
     }
 
-    /// Pretty-prints the action string using element names.
-    pub fn display(&self, comm: &CommGraph) -> String {
-        let syms: Vec<String> = self
-            .actions
-            .iter()
-            .map(|a| match a {
+    /// Pretty-prints the action string using element names. Errors if
+    /// the schedule references an element the graph does not contain.
+    pub fn display(&self, comm: &CommGraph) -> Result<String, ModelError> {
+        let mut syms: Vec<String> = Vec::with_capacity(self.actions.len());
+        for a in &self.actions {
+            syms.push(match a {
                 Action::Idle => "φ".to_string(),
-                Action::Run(e) => comm.name(*e).to_string(),
-            })
-            .collect();
-        format!("[{}]", syms.join(" "))
+                Action::Run(e) => comm.name(*e)?.to_string(),
+            });
+        }
+        Ok(format!("[{}]", syms.join(" ")))
     }
 }
 
@@ -667,7 +667,10 @@ mod tests {
     fn display_uses_names() {
         let (m, a, b) = pipeline_model(4);
         let s = StaticSchedule::new(vec![Action::Run(a), Action::Idle, Action::Run(b)]);
-        assert_eq!(s.display(m.comm()), "[a φ b]");
+        assert_eq!(s.display(m.comm()).unwrap(), "[a φ b]");
+        // a schedule over a foreign element refuses to render
+        let foreign = StaticSchedule::new(vec![Action::Run(ElementId::new(99))]);
+        assert!(foreign.display(m.comm()).is_err());
     }
 
     #[test]

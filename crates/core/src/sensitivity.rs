@@ -38,7 +38,11 @@ impl DeadlineSensitivity {
     }
 }
 
-fn with_deadline(model: &Model, id: ConstraintId, d: Time) -> Result<Option<Model>, ModelError> {
+/// The model with constraint `id`'s deadline replaced by `d` (all else
+/// unchanged). `Ok(None)` means the edit is definitionally infeasible
+/// (deadline below the constraint's computation time), which binary
+/// searches treat as an infeasible probe rather than an error.
+pub fn with_deadline(model: &Model, id: ConstraintId, d: Time) -> Result<Option<Model>, ModelError> {
     let mut constraints = model.constraints().to_vec();
     let c = &mut constraints[id.index()];
     c.deadline = d;
@@ -46,6 +50,24 @@ fn with_deadline(model: &Model, id: ConstraintId, d: Time) -> Result<Option<Mode
         Ok(m) => Ok(Some(m)),
         // tightening below the computation time is definitionally
         // infeasible, not an error of the analysis
+        Err(ModelError::ComputationExceedsDeadline { .. }) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// The model with *every* deadline scaled to `⌈d·pct/100⌉`. `Ok(None)`
+/// when any scaled deadline hits zero or drops below its constraint's
+/// computation time.
+pub fn with_scaled_deadlines(model: &Model, pct: u32) -> Result<Option<Model>, ModelError> {
+    let mut constraints = model.constraints().to_vec();
+    for c in &mut constraints {
+        c.deadline = ((c.deadline as u128 * pct as u128).div_ceil(100)) as Time;
+        if c.deadline == 0 {
+            return Ok(None);
+        }
+    }
+    match Model::new(model.comm().clone(), constraints) {
+        Ok(m) => Ok(Some(m)),
         Err(ModelError::ComputationExceedsDeadline { .. }) => Ok(None),
         Err(e) => Err(e),
     }
@@ -62,13 +84,32 @@ pub fn min_feasible_deadline(
     id: ConstraintId,
     config: SynthesisConfig,
 ) -> Result<DeadlineSensitivity, ModelError> {
-    let c = model.constraint(id)?;
+    min_feasible_deadline_with(model, id, &mut |m: &Model| {
+        Ok::<_, ModelError>(synthesizable(m, config))
+    })
+}
+
+/// [`min_feasible_deadline`] against an arbitrary feasibility oracle:
+/// the probe models differ from `model` only in constraint `id`'s
+/// deadline, so an incremental oracle (e.g. `rtcg-engine`'s cached
+/// analysis) can reuse state across probes. The oracle must be monotone
+/// in the deadline for the binary search to be sound.
+pub fn min_feasible_deadline_with<E, F>(
+    model: &Model,
+    id: ConstraintId,
+    feasible: &mut F,
+) -> Result<DeadlineSensitivity, E>
+where
+    E: From<ModelError>,
+    F: FnMut(&Model) -> Result<bool, E>,
+{
+    let c = model.constraint(id).map_err(E::from)?;
     let declared = c.deadline;
     let name = c.name.clone();
     // the absolute floor: the constraint's computation time
-    let floor = c.computation_time(model.comm())?.max(1);
+    let floor = c.computation_time(model.comm()).map_err(E::from)?.max(1);
     // feasible at the declared deadline at all?
-    if !synthesizable(model, config) {
+    if !feasible(model)? {
         return Ok(DeadlineSensitivity {
             constraint: id,
             name,
@@ -80,11 +121,11 @@ pub fn min_feasible_deadline(
     let mut hi = declared; // known feasible
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        let feasible = match with_deadline(model, id, mid)? {
-            Some(m) => synthesizable(&m, config),
+        let ok = match with_deadline(model, id, mid).map_err(E::from)? {
+            Some(m) => feasible(&m)?,
             None => false,
         };
-        if feasible {
+        if ok {
             hi = mid;
         } else {
             lo = mid + 1;
@@ -103,9 +144,23 @@ pub fn deadline_sensitivities(
     model: &Model,
     config: SynthesisConfig,
 ) -> Result<Vec<DeadlineSensitivity>, ModelError> {
+    deadline_sensitivities_with(model, &mut |m: &Model| {
+        Ok::<_, ModelError>(synthesizable(m, config))
+    })
+}
+
+/// [`deadline_sensitivities`] against an arbitrary feasibility oracle.
+pub fn deadline_sensitivities_with<E, F>(
+    model: &Model,
+    feasible: &mut F,
+) -> Result<Vec<DeadlineSensitivity>, E>
+where
+    E: From<ModelError>,
+    F: FnMut(&Model) -> Result<bool, E>,
+{
     model
         .constraints_enumerated()
-        .map(|(id, _)| min_feasible_deadline(model, id, config))
+        .map(|(id, _)| min_feasible_deadline_with(model, id, feasible))
         .collect()
 }
 
@@ -113,29 +168,26 @@ pub fn deadline_sensitivities(
 /// 100` such that scaling *every* deadline to `⌈d·pct/100⌉` still
 /// synthesizes. Returns 0 when even the declared deadlines fail.
 pub fn max_uniform_tightening(model: &Model, config: SynthesisConfig) -> Result<u32, ModelError> {
-    let scaled = |pct: u32| -> Result<Option<Model>, ModelError> {
-        let mut constraints = model.constraints().to_vec();
-        for c in &mut constraints {
-            c.deadline = ((c.deadline as u128 * pct as u128).div_ceil(100)) as Time;
-            if c.deadline == 0 {
-                return Ok(None);
-            }
-        }
-        match Model::new(model.comm().clone(), constraints) {
-            Ok(m) => Ok(Some(m)),
-            Err(ModelError::ComputationExceedsDeadline { .. }) => Ok(None),
-            Err(e) => Err(e),
-        }
-    };
-    if !synthesizable(model, config) {
+    max_uniform_tightening_with(model, &mut |m: &Model| {
+        Ok::<_, ModelError>(synthesizable(m, config))
+    })
+}
+
+/// [`max_uniform_tightening`] against an arbitrary feasibility oracle.
+pub fn max_uniform_tightening_with<E, F>(model: &Model, feasible: &mut F) -> Result<u32, E>
+where
+    E: From<ModelError>,
+    F: FnMut(&Model) -> Result<bool, E>,
+{
+    if !feasible(model)? {
         return Ok(0);
     }
     let mut lo = 1u32; // maybe feasible
     let mut hi = 100u32; // known feasible
     while lo < hi {
         let mid = (lo + hi) / 2;
-        let ok = match scaled(mid)? {
-            Some(m) => synthesizable(&m, config),
+        let ok = match with_scaled_deadlines(model, mid).map_err(E::from)? {
+            Some(m) => feasible(&m)?,
             None => false,
         };
         if ok {

@@ -1,0 +1,650 @@
+//! # rtcg-engine — incremental analysis across model edits
+//!
+//! One front door for feasibility analysis and schedule synthesis:
+//! callers describe *what* they want with an [`AnalysisRequest`] and the
+//! [`Engine`] decides how much of the answer it already knows.
+//!
+//! Three layers of reuse, coarsest first:
+//!
+//! 1. **Result memo** — verdicts and schedules keyed by
+//!    `(model fingerprint, request fingerprint)`. An identical question
+//!    about identical content returns the stored [`AnalysisReport`]
+//!    without any analysis.
+//! 2. **Session state** — per *structure* fingerprint (content minus
+//!    periods and deadlines) the engine keeps a
+//!    [`PrunerTemplate`](rtcg_core::feasibility::PrunerTemplate) — the
+//!    deadline-independent part of the exact search's prefix bounds —
+//!    and re-instantiates it per probe instead of re-deriving downstream
+//!    work sums from scratch.
+//! 3. **Candidate memo** — per structure, every candidate action string
+//!    the exact search ever leaf-evaluated keeps its per-constraint
+//!    latencies and periodic window scans ([`memo::SessionMemo`]). A
+//!    deadline probe over the same structure re-derives verdicts from
+//!    those numbers with integer compares instead of trace expansion.
+//!
+//! Everything the engine returns is **bit-identical** to the
+//! corresponding cold call (`heuristic::synthesize_with`,
+//! `latency_synthesize_with`, `find_feasible`/`find_feasible_parallel`):
+//! the memoized evaluator reproduces `FeasibilityCache` verdicts
+//! exactly, and the search enumeration (including budget accounting) is
+//! unchanged. The differential tests pin this.
+//!
+//! Sensitivity analysis and fault margins are re-exposed as engine
+//! methods so their probe loops route through the cache — that is where
+//! the leaf-evaluation savings (`engine.leaf_evals_saved`) come from.
+
+#![forbid(unsafe_code)]
+
+pub mod fingerprint;
+pub mod memo;
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::fmt;
+
+use rtcg_core::feasibility::{
+    find_feasible_parallel, find_feasible_with, quick_infeasible, used_elements, PrunerTemplate,
+    SearchConfig,
+};
+use rtcg_core::heuristic::{synthesize_with, SynthesisConfig};
+use rtcg_core::model::{ElementId, Model};
+use rtcg_core::sensitivity::{
+    deadline_sensitivities_with, max_uniform_tightening_with, min_feasible_deadline_with,
+    DeadlineSensitivity,
+};
+use rtcg_core::{ConstraintId, ModelError, StaticSchedule};
+use rtcg_sim::error::SimError;
+use rtcg_synth::error::SynthError;
+use rtcg_synth::latency::latency_synthesize_with;
+
+use fingerprint::{model_fingerprint, request_fingerprint, structure_fingerprint};
+use memo::{MemoEval, SessionMemo};
+
+/// Which analysis pipeline answers the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalysisMode {
+    /// Theorem-3 heuristic synthesis (`rtcg_core::heuristic`): fast,
+    /// incomplete — failure is *not* an infeasibility proof.
+    Heuristic,
+    /// Shared-operation merging then heuristic synthesis
+    /// (`rtcg_synth::latency`).
+    Merged,
+    /// Bounded exact search (`rtcg_core::feasibility::exact`): complete
+    /// up to `search.max_len`.
+    Exact,
+}
+
+/// One unified options struct for every analysis entry point. The CLI's
+/// `--exact`, `--threads`, `--max-len`, and `--budget` flags map onto
+/// these fields directly.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalysisRequest {
+    /// Pipeline selection.
+    pub mode: AnalysisMode,
+    /// Knobs for the heuristic strategies (used by `Heuristic` and
+    /// `Merged`).
+    pub synthesis: SynthesisConfig,
+    /// Knobs for the exact search (used by `Exact`).
+    pub search: SearchConfig,
+    /// Worker threads for the exact search. Excluded from the request
+    /// fingerprint: the parallel search replays the sequential one bit
+    /// for bit. `threads ≤ 1` enables the candidate memo (the parallel
+    /// path shards its own evaluators).
+    pub threads: usize,
+}
+
+impl Default for AnalysisRequest {
+    fn default() -> Self {
+        AnalysisRequest {
+            mode: AnalysisMode::Heuristic,
+            synthesis: SynthesisConfig::default(),
+            search: SearchConfig::default(),
+            threads: 1,
+        }
+    }
+}
+
+impl AnalysisRequest {
+    /// Request the bounded exact search with default knobs.
+    pub fn exact() -> Self {
+        AnalysisRequest {
+            mode: AnalysisMode::Exact,
+            ..Self::default()
+        }
+    }
+}
+
+/// What the analysis concluded.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// A verified feasible schedule was produced.
+    Feasible {
+        /// The schedule, over [`AnalysisReport::analysis_model`]'s ids.
+        schedule: StaticSchedule,
+        /// Which strategy produced it (`"edf-half"`, `"game"`,
+        /// `"exact"`, …).
+        strategy: &'static str,
+    },
+    /// Proven infeasible: a necessary condition fails, or (`Exact`) the
+    /// complete search exhausted every schedule within the length bound.
+    Infeasible {
+        /// Human-readable proof sketch.
+        reason: String,
+    },
+    /// Analysis gave up without a proof either way (heuristic strategy
+    /// exhaustion, search budget abort).
+    Unknown {
+        /// What ran out.
+        reason: String,
+    },
+}
+
+impl Verdict {
+    /// True iff a feasible schedule was found.
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, Verdict::Feasible { .. })
+    }
+
+    /// The schedule, when feasible.
+    pub fn schedule(&self) -> Option<&StaticSchedule> {
+        match self {
+            Verdict::Feasible { schedule, .. } => Some(schedule),
+            _ => None,
+        }
+    }
+}
+
+/// Counters of one exact search run (absent for heuristic modes).
+#[derive(Debug, Clone, Copy)]
+pub struct SearchStats {
+    /// Enumeration nodes visited.
+    pub nodes_visited: u64,
+    /// Candidate strings leaf-evaluated.
+    pub candidates_checked: u64,
+    /// True iff the search ran to completion of the length bound.
+    pub exhausted_bound: bool,
+}
+
+/// The engine's answer to an [`AnalysisRequest`].
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// The conclusion.
+    pub verdict: Verdict,
+    /// The model the verdict's schedule refers to: the pipelined
+    /// transform for heuristic modes (new element ids!), the input
+    /// model for `Exact`.
+    pub analysis_model: Model,
+    /// Exact-search counters, when `mode == Exact`.
+    pub search: Option<SearchStats>,
+    /// Same-period constraint groups fused by `Merged` mode (0 in the
+    /// other modes).
+    pub groups_merged: usize,
+    /// True when this report was served from the result memo.
+    pub cached: bool,
+}
+
+/// Errors surfaced by the engine: any layer's error, plus a demand for
+/// feasibility ([`Engine::fault_margin`]) that the model cannot meet.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Core model/analysis error.
+    Model(ModelError),
+    /// Synthesis-layer error.
+    Synth(SynthError),
+    /// Simulation-layer error.
+    Sim(SimError),
+    /// The request needs a feasible schedule and analysis did not
+    /// produce one.
+    Infeasible(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Model(e) => write!(f, "{e}"),
+            EngineError::Synth(e) => write!(f, "{e}"),
+            EngineError::Sim(e) => write!(f, "{e}"),
+            EngineError::Infeasible(reason) => write!(f, "no feasible schedule: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ModelError> for EngineError {
+    fn from(e: ModelError) -> Self {
+        EngineError::Model(e)
+    }
+}
+
+impl From<SynthError> for EngineError {
+    fn from(e: SynthError) -> Self {
+        EngineError::Synth(e)
+    }
+}
+
+impl From<SimError> for EngineError {
+    fn from(e: SimError) -> Self {
+        EngineError::Sim(e)
+    }
+}
+
+/// Cache effectiveness counters, cumulative over the engine's lifetime.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Result-memo hits (whole reports served without analysis).
+    pub hits: u64,
+    /// Result-memo misses (analysis actually ran).
+    pub misses: u64,
+    /// Leaf evaluations served entirely from candidate memos.
+    pub leaf_evals_saved: u64,
+    /// Leaf evaluations that needed fresh latency/window computation.
+    pub leaf_evals_computed: u64,
+    /// Distinct model structures with live session state.
+    pub sessions: u64,
+    /// Candidate strings memoized across all sessions.
+    pub memo_candidates: u64,
+}
+
+/// Per-structure incremental state: the deadline-independent pruner
+/// template plus every candidate the search has ever leaf-evaluated.
+struct Session {
+    memo: SessionMemo,
+    template: PrunerTemplate,
+    used: Vec<ElementId>,
+}
+
+/// The cached incremental analysis engine. See the module docs for the
+/// three reuse layers; construction is free, all caching is lazy.
+#[derive(Default)]
+pub struct Engine {
+    results: HashMap<(u64, u64), AnalysisReport>,
+    sessions: HashMap<u64, Session>,
+    hits: u64,
+    misses: u64,
+    leaf_evals_saved: u64,
+    leaf_evals_computed: u64,
+}
+
+impl Engine {
+    /// An engine with empty caches.
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// Current cache counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            hits: self.hits,
+            misses: self.misses,
+            leaf_evals_saved: self.leaf_evals_saved,
+            leaf_evals_computed: self.leaf_evals_computed,
+            sessions: self.sessions.len() as u64,
+            memo_candidates: self.sessions.values().map(|s| s.memo.len() as u64).sum(),
+        }
+    }
+
+    /// Analyzes the model per the request. Reports are bit-identical to
+    /// the corresponding cold call; `cached` distinguishes a memo hit.
+    pub fn analyze(
+        &mut self,
+        model: &Model,
+        req: &AnalysisRequest,
+    ) -> Result<AnalysisReport, EngineError> {
+        model.validate().map_err(EngineError::from)?;
+        let key = (model_fingerprint(model), request_fingerprint(req));
+        if let Some(report) = self.results.get(&key) {
+            self.hits += 1;
+            rtcg_obs::counter!("engine.cache.hit");
+            let mut report = report.clone();
+            report.cached = true;
+            return Ok(report);
+        }
+        self.misses += 1;
+        rtcg_obs::counter!("engine.cache.miss");
+
+        let report = match req.mode {
+            AnalysisMode::Heuristic => self.run_heuristic(model, req)?,
+            AnalysisMode::Merged => self.run_merged(model, req)?,
+            AnalysisMode::Exact => self.run_exact(model, req)?,
+        };
+        self.results.insert(key, report.clone());
+        Ok(report)
+    }
+
+    /// True iff the request concludes feasible — the oracle shape the
+    /// sensitivity binary searches consume.
+    pub fn feasible(&mut self, model: &Model, req: &AnalysisRequest) -> Result<bool, EngineError> {
+        Ok(self.analyze(model, req)?.verdict.is_feasible())
+    }
+
+    fn run_heuristic(
+        &mut self,
+        model: &Model,
+        req: &AnalysisRequest,
+    ) -> Result<AnalysisReport, EngineError> {
+        if let Some(proof) = quick_infeasible(model).map_err(EngineError::from)? {
+            return Ok(AnalysisReport {
+                verdict: Verdict::Infeasible {
+                    reason: proof.to_string(),
+                },
+                analysis_model: model.clone(),
+                search: None,
+                groups_merged: 0,
+                cached: false,
+            });
+        }
+        match synthesize_with(model, req.synthesis) {
+            Ok(out) => Ok(AnalysisReport {
+                verdict: Verdict::Feasible {
+                    schedule: out.schedule,
+                    strategy: out.strategy,
+                },
+                analysis_model: out.pipelined.model,
+                search: None,
+                groups_merged: 0,
+                cached: false,
+            }),
+            // heuristic exhaustion is not a proof of infeasibility
+            Err(ModelError::Infeasible { reason }) => Ok(AnalysisReport {
+                verdict: Verdict::Unknown { reason },
+                analysis_model: model.clone(),
+                search: None,
+                groups_merged: 0,
+                cached: false,
+            }),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn run_merged(
+        &mut self,
+        model: &Model,
+        req: &AnalysisRequest,
+    ) -> Result<AnalysisReport, EngineError> {
+        if let Some(proof) = quick_infeasible(model).map_err(EngineError::from)? {
+            return Ok(AnalysisReport {
+                verdict: Verdict::Infeasible {
+                    reason: proof.to_string(),
+                },
+                analysis_model: model.clone(),
+                search: None,
+                groups_merged: 0,
+                cached: false,
+            });
+        }
+        match latency_synthesize_with(model, req.synthesis) {
+            Ok(out) => Ok(AnalysisReport {
+                verdict: Verdict::Feasible {
+                    schedule: out.schedule,
+                    strategy: out.strategy,
+                },
+                analysis_model: out.analysis_model,
+                search: None,
+                groups_merged: out.groups_merged,
+                cached: false,
+            }),
+            Err(SynthError::Model(ModelError::Infeasible { reason })) => Ok(AnalysisReport {
+                verdict: Verdict::Unknown { reason },
+                analysis_model: model.clone(),
+                search: None,
+                groups_merged: 0,
+                cached: false,
+            }),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn run_exact(
+        &mut self,
+        model: &Model,
+        req: &AnalysisRequest,
+    ) -> Result<AnalysisReport, EngineError> {
+        let outcome = if req.threads > 1 {
+            // the parallel search shards per-worker FeasibilityCaches;
+            // results are replay-identical to the sequential path, so
+            // the result memo still applies — only the candidate memo
+            // does not.
+            find_feasible_parallel(model, req.search, req.threads).map_err(EngineError::from)?
+        } else {
+            let sf = structure_fingerprint(model);
+            let session = match self.sessions.entry(sf) {
+                Entry::Occupied(e) => e.into_mut(),
+                Entry::Vacant(e) => {
+                    let used = used_elements(model);
+                    let template =
+                        PrunerTemplate::new(model, &used).map_err(EngineError::from)?;
+                    e.insert(Session {
+                        memo: SessionMemo::default(),
+                        template,
+                        used,
+                    })
+                }
+            };
+            debug_assert_eq!(
+                session.used,
+                used_elements(model),
+                "structure fingerprint collision: alphabets differ"
+            );
+            let pruner = session.template.instantiate(model);
+            let mut eval = MemoEval::new(model, &mut session.memo);
+            let outcome = find_feasible_with(model, req.search, Some(pruner), &mut eval)
+                .map_err(EngineError::from)?;
+            self.leaf_evals_saved += eval.evals_saved;
+            self.leaf_evals_computed += eval.evals_computed;
+            rtcg_obs::counter!("engine.leaf_evals_saved", eval.evals_saved);
+            rtcg_obs::counter!("engine.leaf_evals_computed", eval.evals_computed);
+            outcome
+        };
+
+        let stats = SearchStats {
+            nodes_visited: outcome.nodes_visited,
+            candidates_checked: outcome.candidates_checked,
+            exhausted_bound: outcome.exhausted_bound,
+        };
+        let verdict = match outcome.schedule {
+            Some(schedule) => Verdict::Feasible {
+                schedule,
+                strategy: "exact",
+            },
+            None if outcome.exhausted_bound => Verdict::Infeasible {
+                reason: format!(
+                    "complete search: no feasible schedule of ≤ {} actions",
+                    req.search.max_len
+                ),
+            },
+            None => Verdict::Unknown {
+                reason: format!("search budget of {} units exhausted", req.search.node_budget),
+            },
+        };
+        Ok(AnalysisReport {
+            verdict,
+            analysis_model: model.clone(),
+            search: Some(stats),
+            groups_merged: 0,
+            cached: false,
+        })
+    }
+
+    /// Minimum feasible deadline of one constraint, binary-searched with
+    /// every probe routed through the cache. Probes share this engine's
+    /// session for the model's structure, so repeated candidate
+    /// evaluations are memo-served.
+    pub fn min_feasible_deadline(
+        &mut self,
+        model: &Model,
+        id: ConstraintId,
+        req: &AnalysisRequest,
+    ) -> Result<DeadlineSensitivity, EngineError> {
+        min_feasible_deadline_with(model, id, &mut |m: &Model| self.feasible(m, req))
+    }
+
+    /// Deadline sensitivity of every constraint, cache-routed.
+    pub fn deadline_sensitivities(
+        &mut self,
+        model: &Model,
+        req: &AnalysisRequest,
+    ) -> Result<Vec<DeadlineSensitivity>, EngineError> {
+        deadline_sensitivities_with(model, &mut |m: &Model| self.feasible(m, req))
+    }
+
+    /// Largest uniform deadline-tightening percentage that stays
+    /// feasible, cache-routed.
+    pub fn max_uniform_tightening(
+        &mut self,
+        model: &Model,
+        req: &AnalysisRequest,
+    ) -> Result<u32, EngineError> {
+        max_uniform_tightening_with(model, &mut |m: &Model| self.feasible(m, req))
+    }
+
+    /// Fault margin of `element` (by name, resolved against the analysis
+    /// model) under the schedule the request produces: how many
+    /// consecutive lost executions the schedule absorbs. `reps` controls
+    /// how far the schedule is expanded for the erasure experiment.
+    pub fn fault_margin(
+        &mut self,
+        model: &Model,
+        element: &str,
+        cap: usize,
+        reps: usize,
+        req: &AnalysisRequest,
+    ) -> Result<usize, EngineError> {
+        let report = self.analyze(model, req)?;
+        let Verdict::Feasible { schedule, .. } = &report.verdict else {
+            return Err(EngineError::Infeasible(format!(
+                "fault margin needs a schedule; analysis of `{element}`'s model concluded {:?}",
+                match &report.verdict {
+                    Verdict::Infeasible { reason } | Verdict::Unknown { reason } => reason.clone(),
+                    Verdict::Feasible { .. } => unreachable!(),
+                }
+            )));
+        };
+        let analysis_model = &report.analysis_model;
+        let id = analysis_model
+            .comm()
+            .lookup(element)
+            .map_err(EngineError::from)?;
+        let trace = schedule
+            .expand(analysis_model.comm(), reps)
+            .map_err(EngineError::from)?;
+        rtcg_sim::faults::fault_margin(analysis_model, &trace, id, cap).map_err(EngineError::from)
+    }
+}
+
+/// Convenience one-shot: analyze without keeping an engine around (no
+/// reuse, but the same unified request/report surface).
+pub fn analyze_once(model: &Model, req: &AnalysisRequest) -> Result<AnalysisReport, EngineError> {
+    Engine::new().analyze(model, req)
+}
+
+/// Everything a caller of the unified API needs.
+pub mod prelude {
+    pub use crate::{
+        analyze_once, AnalysisMode, AnalysisReport, AnalysisRequest, Engine, EngineError,
+        EngineStats, SearchStats, Verdict,
+    };
+    pub use rtcg_core::prelude::*;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_memo_round_trip() {
+        let (m, _) = rtcg_core::mok_example::default_model();
+        let req = AnalysisRequest::default();
+        let mut engine = Engine::new();
+        let first = engine.analyze(&m, &req).unwrap();
+        assert!(!first.cached);
+        let second = engine.analyze(&m, &req).unwrap();
+        assert!(second.cached);
+        assert_eq!(
+            first.verdict.schedule().map(|s| s.actions().to_vec()),
+            second.verdict.schedule().map(|s| s.actions().to_vec())
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn heuristic_matches_cold_synthesize() {
+        let (m, _) = rtcg_core::mok_example::default_model();
+        let cold = rtcg_core::heuristic::synthesize(&m).unwrap();
+        let report = analyze_once(&m, &AnalysisRequest::default()).unwrap();
+        let Verdict::Feasible { schedule, strategy } = &report.verdict else {
+            panic!("mok example synthesizes");
+        };
+        assert_eq!(schedule.actions(), cold.schedule.actions());
+        assert_eq!(*strategy, cold.strategy);
+    }
+
+    #[test]
+    fn unknown_for_heuristic_exhaustion_not_infeasible() {
+        // a model quick bounds accept but the heuristic cannot schedule:
+        // disable every strategy via a zero budget and a tiny hyperperiod
+        let (m, _) = rtcg_core::mok_example::default_model();
+        let req = AnalysisRequest {
+            synthesis: SynthesisConfig {
+                max_hyperperiod: 1,
+                game_state_budget: 0,
+            },
+            ..AnalysisRequest::default()
+        };
+        let report = analyze_once(&m, &req).unwrap();
+        assert!(matches!(report.verdict, Verdict::Unknown { .. }));
+    }
+
+    #[test]
+    fn exact_matches_cold_search() {
+        let (m, _) = rtcg_core::mok_example::default_model();
+        let req = AnalysisRequest {
+            search: SearchConfig {
+                max_len: 6,
+                node_budget: 2_000_000,
+            },
+            ..AnalysisRequest::exact()
+        };
+        let cold = rtcg_core::feasibility::find_feasible(&m, req.search).unwrap();
+        let report = analyze_once(&m, &req).unwrap();
+        let stats = report.search.expect("exact mode reports stats");
+        assert_eq!(stats.candidates_checked, cold.candidates_checked);
+        assert_eq!(stats.nodes_visited, cold.nodes_visited);
+        assert_eq!(stats.exhausted_bound, cold.exhausted_bound);
+        assert_eq!(
+            report.verdict.schedule().map(|s| s.actions().to_vec()),
+            cold.schedule.map(|s| s.actions().to_vec())
+        );
+    }
+
+    #[test]
+    fn fault_margin_routes_through_analysis() {
+        // one unit element with generous slack: the synthesized schedule
+        // must absorb at least one lost execution
+        let mut b = rtcg_core::ModelBuilder::new();
+        let e = b.element("e", 1);
+        let tg = rtcg_core::TaskGraphBuilder::new().op("o", e).build().unwrap();
+        b.asynchronous("c", tg, 9, 9);
+        let m = b.build().unwrap();
+        // exact mode finds the densest schedule [e], which has slack to
+        // spare (the heuristic's half-split schedule deliberately
+        // doesn't)
+        let req = AnalysisRequest {
+            search: SearchConfig {
+                max_len: 3,
+                node_budget: 100_000,
+            },
+            ..AnalysisRequest::exact()
+        };
+        let mut engine = Engine::new();
+        let margin = engine.fault_margin(&m, "e", 12, 40, &req).unwrap();
+        assert!(margin >= 1, "slack 9 absorbs a loss, got {margin}");
+        // unknown element name surfaces a model error
+        assert!(matches!(
+            engine.fault_margin(&m, "nope", 12, 40, &req),
+            Err(EngineError::Model(_))
+        ));
+    }
+}

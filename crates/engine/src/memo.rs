@@ -1,0 +1,286 @@
+//! Per-structure candidate memoization — the leaf evaluator that makes
+//! repeated exact searches over deadline-edited models cheap.
+//!
+//! The key observation: the expensive part of a leaf feasibility check
+//! is *timing-independent*. A candidate action string's latency w.r.t.
+//! an asynchronous constraint's task graph depends only on the string
+//! and the task graph — not on the deadline being probed. Likewise a
+//! periodic constraint's per-window worst response depends on the
+//! window grid (period, joint hyperperiod, analysis horizon) but not on
+//! the deadline. Sensitivity analysis binary-searches deadlines over a
+//! *fixed* structure, so every probe re-evaluates largely the same
+//! candidate strings; memoizing `(candidate, constraint) → latency`
+//! reduces each repeat evaluation to a handful of integer compares.
+//!
+//! [`MemoEval`] implements [`CandidateEval`] with exactly the verdict
+//! semantics of [`rtcg_core::FeasibilityCache`] (the contract the exact
+//! search relies on): same horizons, same window grids, same
+//! comparisons. The differential tests in `tests/differential.rs` pin
+//! this equivalence over random models and edit sequences.
+
+use std::collections::{BTreeMap, HashMap};
+
+use rtcg_core::constraint::ConstraintKind;
+use rtcg_core::feasibility::CandidateEval;
+use rtcg_core::model::Model;
+use rtcg_core::schedule::{Action, StaticSchedule};
+use rtcg_core::time::{lcm, Time};
+use rtcg_core::trace::Trace;
+use rtcg_core::ModelError;
+
+/// `(constraint ix, period, periodic lcm, max periodic deadline)` —
+/// the full shape of a periodic constraint's window grid and analysis
+/// horizon, independent of the probed deadline.
+type WindowGrid = (usize, Time, Time, Time);
+
+/// Memoized analysis of one candidate action string.
+#[derive(Debug, Default)]
+struct CandidateMemo {
+    /// Constraint index → exact latency (`None` = infinite). Valid for
+    /// any deadline/period assignment over the same structure.
+    async_latency: BTreeMap<usize, Option<Time>>,
+    /// `(unserved windows, worst response over served windows)` per
+    /// [`WindowGrid`] key. The key captures everything that shapes the
+    /// window grid and horizon; the value is deadline-independent, so
+    /// the verdict for any probed deadline `d` is reconstructed as
+    /// `unserved == 0 && worst ≤ d`.
+    periodic: BTreeMap<WindowGrid, (u64, Option<Time>)>,
+}
+
+/// All candidate memos for one model structure, shared across every
+/// deadline/period edit of that structure.
+#[derive(Debug, Default)]
+pub struct SessionMemo {
+    candidates: HashMap<Vec<Action>, CandidateMemo>,
+}
+
+impl SessionMemo {
+    /// Number of distinct candidate strings memoized.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// True when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+}
+
+/// Leaf evaluator injected into [`rtcg_core::feasibility::find_feasible_with`]:
+/// serves candidate verdicts from the session memo where possible,
+/// computing (and recording) only what the memo is missing.
+pub struct MemoEval<'m> {
+    memo: &'m mut SessionMemo,
+    /// `(constraint ix, deadline)` for asynchronous constraints, sorted
+    /// by deadline ascending (tightest first, mirroring
+    /// `FeasibilityCache`'s short-circuit order).
+    asyn: Vec<(usize, Time)>,
+    /// `(constraint ix, period, deadline)` for periodic constraints.
+    periodic: Vec<(usize, Time, Time)>,
+    /// LCM of all periodic periods (1 when there are none).
+    periodic_lcm: Time,
+    /// Largest periodic deadline.
+    max_periodic_deadline: Time,
+    /// Candidates whose verdict was served entirely from the memo.
+    pub evals_saved: u64,
+    /// Candidates that needed at least one fresh latency/window scan.
+    pub evals_computed: u64,
+}
+
+impl<'m> MemoEval<'m> {
+    /// Builds the evaluator for one probe model. The constraint scan
+    /// tables are rebuilt per probe (they carry the probe's deadlines);
+    /// the memo persists across probes of the same structure.
+    pub fn new(model: &Model, memo: &'m mut SessionMemo) -> Self {
+        let mut asyn = Vec::new();
+        let mut periodic = Vec::new();
+        let mut periodic_lcm: Time = 1;
+        let mut max_periodic_deadline: Time = 0;
+        for (ix, c) in model.constraints().iter().enumerate() {
+            match c.kind {
+                ConstraintKind::Asynchronous => asyn.push((ix, c.deadline)),
+                ConstraintKind::Periodic => {
+                    periodic.push((ix, c.period, c.deadline));
+                    periodic_lcm = lcm(periodic_lcm, c.period);
+                    max_periodic_deadline = max_periodic_deadline.max(c.deadline);
+                }
+            }
+        }
+        asyn.sort_by_key(|&(_, d)| d);
+        MemoEval {
+            memo,
+            asyn,
+            periodic,
+            periodic_lcm,
+            max_periodic_deadline,
+            evals_saved: 0,
+            evals_computed: 0,
+        }
+    }
+}
+
+impl CandidateEval for MemoEval<'_> {
+    fn check(&mut self, model: &Model, actions: &[Action]) -> Result<bool, ModelError> {
+        let comm = model.comm();
+        let schedule = StaticSchedule::new(actions.to_vec());
+        let period = schedule.duration(comm)?;
+        if actions.is_empty() || period == 0 {
+            return Err(ModelError::EmptySchedule);
+        }
+        let entry = self.memo.candidates.entry(actions.to_vec()).or_default();
+        let mut fresh = false;
+        let mut verdict = true;
+
+        for &(ix, deadline) in &self.asyn {
+            let latency = match entry.async_latency.get(&ix) {
+                Some(&l) => l,
+                None => {
+                    fresh = true;
+                    let l = schedule.latency(comm, &model.constraints()[ix].task)?;
+                    entry.async_latency.insert(ix, l);
+                    l
+                }
+            };
+            if latency.is_none_or(|l| l > deadline) {
+                verdict = false;
+                break;
+            }
+        }
+
+        if verdict && !self.periodic.is_empty() {
+            let joint = lcm(period, self.periodic_lcm);
+            let reps = ((joint + self.max_periodic_deadline) / period) as usize + 2;
+            // expanded lazily, at most once per check, only on memo miss
+            let mut trace: Option<Trace> = None;
+            for &(ix, p, deadline) in &self.periodic {
+                let key = (ix, p, self.periodic_lcm, self.max_periodic_deadline);
+                let (unserved, worst) = match entry.periodic.get(&key) {
+                    Some(&v) => v,
+                    None => {
+                        fresh = true;
+                        if trace.is_none() {
+                            trace = Some(schedule.expand(comm, reps)?);
+                        }
+                        let tr = trace.as_ref().expect("expanded above");
+                        let task = &model.constraints()[ix].task;
+                        let mut unserved = 0u64;
+                        let mut worst: Option<Time> = None;
+                        for k in 0..joint / p {
+                            let t0 = k * p;
+                            match tr.earliest_completion(task, comm, t0)? {
+                                Some(done) => {
+                                    let response = done - t0;
+                                    worst = Some(worst.map_or(response, |w| w.max(response)));
+                                }
+                                None => unserved += 1,
+                            }
+                        }
+                        entry.periodic.insert(key, (unserved, worst));
+                        (unserved, worst)
+                    }
+                };
+                if unserved > 0 || worst.is_none_or(|w| w > deadline) {
+                    verdict = false;
+                    break;
+                }
+            }
+        }
+
+        if fresh {
+            self.evals_computed += 1;
+        } else {
+            self.evals_saved += 1;
+        }
+        Ok(verdict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcg_core::model::ModelBuilder;
+    use rtcg_core::task::TaskGraphBuilder;
+    use rtcg_core::FeasibilityCache;
+
+    /// Mixed async + periodic model matching the FeasibilityCache
+    /// agreement test in core.
+    fn mixed_model(async_d: Time, per_d: Time) -> (Model, Vec<Action>) {
+        let mut b = ModelBuilder::new();
+        let ea = b.element("a", 1);
+        let eb = b.element("b", 2);
+        b.channel(ea, eb);
+        let chain = TaskGraphBuilder::new()
+            .op("a", ea)
+            .op("b", eb)
+            .edge("a", "b")
+            .build()
+            .unwrap();
+        b.asynchronous("chain", chain, async_d, async_d);
+        let single = TaskGraphBuilder::new().op("b", eb).build().unwrap();
+        b.periodic("beat", single, 6, per_d);
+        let m = b.build().unwrap();
+        let symbols = vec![Action::Idle, Action::Run(ea), Action::Run(eb)];
+        (m, symbols)
+    }
+
+    /// Every string of length ≤ 3 over the alphabet, checked against
+    /// FeasibilityCache on the same model — and then re-checked after a
+    /// deadline edit, where the memo serves everything.
+    #[test]
+    fn memo_verdicts_match_feasibility_cache_across_edits() {
+        let (m1, symbols) = mixed_model(7, 5);
+        let (m2, _) = mixed_model(5, 4); // same structure, tighter deadlines
+        let mut memo = SessionMemo::default();
+
+        for model in [&m1, &m2, &m1] {
+            let mut cold = FeasibilityCache::new(model);
+            let mut warm = MemoEval::new(model, &mut memo);
+            for len in 1..=3usize {
+                let mut idx = vec![0usize; len];
+                loop {
+                    let actions: Vec<Action> = idx.iter().map(|&i| symbols[i]).collect();
+                    let a = cold.check(model, &actions);
+                    let b = warm.check(model, &actions);
+                    match (a, b) {
+                        (Ok(x), Ok(y)) => assert_eq!(x, y, "{actions:?}"),
+                        (Err(_), Err(_)) => {}
+                        (a, b) => panic!("divergence on {actions:?}: {a:?} vs {b:?}"),
+                    }
+                    let mut k = 0;
+                    while k < len {
+                        idx[k] += 1;
+                        if idx[k] < symbols.len() {
+                            break;
+                        }
+                        idx[k] = 0;
+                        k += 1;
+                    }
+                    if k == len {
+                        break;
+                    }
+                }
+            }
+        }
+        assert!(!memo.is_empty());
+    }
+
+    /// Second pass over the same model is fully memo-served.
+    #[test]
+    fn repeat_checks_are_saved() {
+        let (m, symbols) = mixed_model(7, 5);
+        let mut memo = SessionMemo::default();
+        let actions = vec![symbols[1], symbols[2]];
+        {
+            let mut eval = MemoEval::new(&m, &mut memo);
+            eval.check(&m, &actions).unwrap();
+            assert_eq!(eval.evals_computed, 1);
+            assert_eq!(eval.evals_saved, 0);
+        }
+        {
+            let mut eval = MemoEval::new(&m, &mut memo);
+            eval.check(&m, &actions).unwrap();
+            assert_eq!(eval.evals_computed, 0);
+            assert_eq!(eval.evals_saved, 1);
+        }
+    }
+}

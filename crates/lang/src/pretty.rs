@@ -26,8 +26,8 @@ pub fn render_model(model: &Model) -> String {
         let _ = write!(
             out,
             "channel {} -> {}",
-            comm.name(edge.from),
-            comm.name(edge.to)
+            comm.name(edge.from).expect("edge endpoint in graph"),
+            comm.name(edge.to).expect("edge endpoint in graph")
         );
         if let Some(label) = &edge.weight.label {
             let _ = write!(out, " label \"{label}\"");
@@ -46,7 +46,12 @@ pub fn render_model(model: &Model) -> String {
             c.name, c.period, c.deadline
         );
         for (_, op) in c.task.ops() {
-            let _ = writeln!(out, "    op {}: {};", op.label, comm.name(op.element));
+            let _ = writeln!(
+                out,
+                "    op {}: {};",
+                op.label,
+                comm.name(op.element).expect("op element in graph")
+            );
         }
         for (u, v) in c.task.precedence_edges() {
             let lu = &c.task.op(u).expect("live op").label;

@@ -90,8 +90,12 @@ pub fn synthesize_multi(
         }
         for edge in comm.graph().edges() {
             if local_elems.contains(&edge.from) && local_elems.contains(&edge.to) {
-                let from = sub.lookup(comm.name(edge.from)).map_err(MultiError::from)?;
-                let to = sub.lookup(comm.name(edge.to)).map_err(MultiError::from)?;
+                let from = sub
+                    .lookup(comm.name(edge.from).map_err(MultiError::from)?)
+                    .map_err(MultiError::from)?;
+                let to = sub
+                    .lookup(comm.name(edge.to).map_err(MultiError::from)?)
+                    .map_err(MultiError::from)?;
                 sub.add_channel_labeled(from, to, edge.weight.label.clone())
                     .map_err(MultiError::from)?;
             }
@@ -109,7 +113,9 @@ pub fn synthesize_multi(
                 let mut tb = TaskGraphBuilder::new();
                 for &op in &frag.ops {
                     let o = c.task.op(op).expect("live op");
-                    let elem = sub.lookup(comm.name(o.element)).map_err(MultiError::from)?;
+                    let elem = sub
+                        .lookup(comm.name(o.element).map_err(MultiError::from)?)
+                        .map_err(MultiError::from)?;
                     tb = tb.op(&o.label, elem);
                 }
                 for (u, v) in c.task.precedence_edges() {

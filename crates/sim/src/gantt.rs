@@ -5,6 +5,7 @@
 //! one column per tick — used by the CLI and the examples to make
 //! synthesized schedules inspectable at a glance.
 
+use crate::error::SimError;
 use rtcg_core::model::CommGraph;
 use rtcg_core::time::Time;
 use rtcg_core::trace::{Slot, Trace};
@@ -13,8 +14,14 @@ use std::fmt::Write;
 /// Renders `trace[from..to)` as an ASCII Gantt chart. Each element used
 /// in the window gets a row; `#` marks the first tick of an execution
 /// instance, `=` continuation ticks, `.` idle. A tick ruler is printed
-/// every 10 columns.
-pub fn render_gantt(trace: &Trace, comm: &CommGraph, from: Time, to: Time) -> String {
+/// every 10 columns. Errors if the trace executes an element the graph
+/// does not contain.
+pub fn render_gantt(
+    trace: &Trace,
+    comm: &CommGraph,
+    from: Time,
+    to: Time,
+) -> Result<String, SimError> {
     let to = to.min(trace.len());
     let from = from.min(to);
     let width = (to - from) as usize;
@@ -22,10 +29,14 @@ pub fn render_gantt(trace: &Trace, comm: &CommGraph, from: Time, to: Time) -> St
     let mut row_of = std::collections::BTreeMap::new();
     for t in from..to {
         if let Some(Slot::Busy { element, offset }) = trace.slot(t) {
-            let ix = *row_of.entry(element).or_insert_with(|| {
-                rows.push((comm.name(element).to_string(), vec![b'.'; width]));
-                rows.len() - 1
-            });
+            let ix = match row_of.get(&element) {
+                Some(&ix) => ix,
+                None => {
+                    rows.push((comm.name(element)?.to_string(), vec![b'.'; width]));
+                    row_of.insert(element, rows.len() - 1);
+                    rows.len() - 1
+                }
+            };
             rows[ix].1[(t - from) as usize] = if offset == 0 { b'#' } else { b'=' };
         }
     }
@@ -47,7 +58,7 @@ pub fn render_gantt(trace: &Trace, comm: &CommGraph, from: Time, to: Time) -> St
     if rows.is_empty() {
         let _ = writeln!(out, "{:>name_w$} (all idle)", "");
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -69,7 +80,7 @@ mod tests {
         t.push_execution(a, 1).unwrap();
         t.push_execution(b, 2).unwrap();
         t.push_idle();
-        let s = render_gantt(&t, &g, 0, 4);
+        let s = render_gantt(&t, &g, 0, 4).unwrap();
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 3); // ruler + 2 rows
         let alpha = lines.iter().find(|l| l.contains("alpha")).unwrap();
@@ -86,9 +97,9 @@ mod tests {
         let (g, a, _) = setup();
         let mut t = Trace::new();
         t.push_execution(a, 1).unwrap();
-        let s = render_gantt(&t, &g, 0, 100);
+        let s = render_gantt(&t, &g, 0, 100).unwrap();
         assert!(s.contains('#'));
-        let s = render_gantt(&t, &g, 50, 100);
+        let s = render_gantt(&t, &g, 50, 100).unwrap();
         assert!(s.contains("idle") || !s.contains('#'));
     }
 
@@ -96,7 +107,7 @@ mod tests {
     fn empty_trace_renders_idle() {
         let (g, ..) = setup();
         let t = Trace::new();
-        let s = render_gantt(&t, &g, 0, 10);
+        let s = render_gantt(&t, &g, 0, 10).unwrap();
         assert!(s.contains("all idle"));
     }
 
@@ -107,7 +118,7 @@ mod tests {
         for _ in 0..25 {
             t.push_execution(a, 1).unwrap();
         }
-        let s = render_gantt(&t, &g, 0, 25);
+        let s = render_gantt(&t, &g, 0, 25).unwrap();
         let ruler = s.lines().next().unwrap();
         // pipes at ticks 0, 10, 20 (columns offset by the name gutter)
         assert_eq!(ruler.matches('|').count(), 3);
@@ -119,7 +130,7 @@ mod tests {
         let mut t = Trace::new();
         t.push_execution(b, 2).unwrap();
         t.push_execution(a, 1).unwrap();
-        let s = render_gantt(&t, &g, 0, 3);
+        let s = render_gantt(&t, &g, 0, 3).unwrap();
         let lines: Vec<&str> = s.lines().collect();
         // sorted by name: alpha before b
         let ia = lines.iter().position(|l| l.contains("alpha")).unwrap();

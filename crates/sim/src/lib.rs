@@ -33,6 +33,7 @@ pub mod freshness;
 pub mod gantt;
 pub mod invocation;
 pub mod monitors;
+pub mod report;
 pub mod table;
 
 pub use dispatch::{Dispatcher, EdfDispatcher, LlfDispatcher, TableDispatcher};
@@ -43,4 +44,5 @@ pub use freshness::{channel_freshness, reaction_latency, ChannelFreshness};
 pub use gantt::render_gantt;
 pub use invocation::InvocationPattern;
 pub use monitors::{simulate_with_monitors, BlockingStats, MonitorOutcome, MonitorSim};
+pub use report::{render_rows, SimReport, SimRow};
 pub use table::{run_table_executor, TableRun};

@@ -1,0 +1,174 @@
+//! One reporting surface for every simulator backend.
+//!
+//! The crate grew three executors with three outcome types —
+//! [`SimOutcome`](crate::dynamic::SimOutcome) (dynamic priority
+//! scheduling), [`MonitorOutcome`](crate::monitors::MonitorOutcome)
+//! (priority scheduling with monitor blocking), and
+//! [`TableRun`](crate::table::TableRun) (the synthesized cyclic
+//! executor) — and every consumer that wanted a verdict had to know
+//! which one it was holding. [`SimReport`] is the convergence point:
+//! did anything miss, what was the worst observed time, and one
+//! uniform row per process/constraint for tabular display.
+
+use crate::dynamic::SimOutcome;
+use crate::monitors::MonitorOutcome;
+use crate::table::TableRun;
+use rtcg_core::time::Time;
+
+/// One uniform line of a simulation report: a process (dynamic
+/// simulators) or a constraint (table executor).
+#[derive(Debug, Clone)]
+pub struct SimRow {
+    /// Process or constraint name.
+    pub name: String,
+    /// Jobs released / invocation windows whose deadline closed within
+    /// the horizon.
+    pub released: usize,
+    /// Jobs or windows that met their deadline.
+    pub met: usize,
+    /// Jobs or windows that missed.
+    pub missed: usize,
+    /// Worst observed time for this row — response time, or longest
+    /// blocking episode for monitor simulations. `None` when nothing
+    /// completed.
+    pub worst: Option<Time>,
+}
+
+/// Uniform verdict surface over simulation outcomes. Consumers (the
+/// CLI, experiment binaries) can render any simulator's result without
+/// matching on its concrete outcome type.
+pub trait SimReport {
+    /// One row per process/constraint, in declaration order.
+    fn rows(&self) -> Vec<SimRow>;
+
+    /// True iff nothing missed a deadline.
+    fn no_misses(&self) -> bool {
+        self.rows().iter().all(|r| r.missed == 0)
+    }
+
+    /// Worst observed time across all rows (see each implementor for
+    /// what "worst" measures).
+    fn worst_case(&self) -> Option<Time> {
+        self.rows().iter().filter_map(|r| r.worst).max()
+    }
+}
+
+impl SimReport for SimOutcome {
+    fn rows(&self) -> Vec<SimRow> {
+        self.stats
+            .iter()
+            .map(|s| SimRow {
+                name: s.name.clone(),
+                released: s.released,
+                met: s.completed,
+                missed: s.missed,
+                worst: s.worst_response,
+            })
+            .collect()
+    }
+}
+
+impl SimReport for MonitorOutcome {
+    /// `worst` per row is the longest blocking episode, the quantity
+    /// monitor simulations exist to measure.
+    fn rows(&self) -> Vec<SimRow> {
+        self.stats
+            .iter()
+            .map(|s| SimRow {
+                name: s.name.clone(),
+                released: s.released,
+                met: s.released.saturating_sub(s.missed),
+                missed: s.missed,
+                worst: Some(s.max_blocking),
+            })
+            .collect()
+    }
+}
+
+impl SimReport for TableRun {
+    fn rows(&self) -> Vec<SimRow> {
+        self.outcomes
+            .iter()
+            .map(|o| SimRow {
+                name: o.name.clone(),
+                released: o.checked,
+                met: o.met,
+                missed: o.missed,
+                worst: o.worst_response,
+            })
+            .collect()
+    }
+}
+
+/// Renders a report as the CLI's standard fixed-width listing.
+pub fn render_rows(report: &dyn SimReport) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for r in report.rows() {
+        let _ = writeln!(
+            out,
+            "  {:<16} invocations={:<6} met={:<6} missed={:<4} worst={}",
+            r.name,
+            r.released,
+            r.met,
+            r.missed,
+            r.worst.map_or("-".to_string(), |w| w.to_string())
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::ConstraintOutcome;
+    use rtcg_core::trace::Trace;
+
+    fn table_run(rows: Vec<ConstraintOutcome>) -> TableRun {
+        TableRun {
+            trace: Trace::new(),
+            invocations: vec![Vec::new(); rows.len()],
+            outcomes: rows,
+        }
+    }
+
+    #[test]
+    fn table_run_report_agrees_with_inherent_methods() {
+        let run = table_run(vec![
+            ConstraintOutcome {
+                name: "a".into(),
+                checked: 10,
+                met: 10,
+                missed: 0,
+                worst_response: Some(3),
+            },
+            ConstraintOutcome {
+                name: "b".into(),
+                checked: 5,
+                met: 4,
+                missed: 1,
+                worst_response: Some(7),
+            },
+        ]);
+        assert_eq!(SimReport::no_misses(&run), run.all_met());
+        assert_eq!(run.worst_case(), Some(7));
+        let rows = run.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].missed, 1);
+        let text = render_rows(&run);
+        assert!(text.contains("a ") && text.contains("worst=7"), "{text}");
+    }
+
+    #[test]
+    fn all_met_run_reports_no_misses() {
+        let run = table_run(vec![ConstraintOutcome {
+            name: "only".into(),
+            checked: 3,
+            met: 3,
+            missed: 0,
+            worst_response: None,
+        }]);
+        assert!(SimReport::no_misses(&run));
+        assert_eq!(run.worst_case(), None);
+    }
+}

@@ -6,6 +6,7 @@
 //! for time-critical applications" artifact of the paper's methodology,
 //! at the level of detail a 1985 code generator would emit.
 
+use crate::error::SynthError;
 use crate::ir::Program;
 use rtcg_core::model::{CommGraph, Model};
 use rtcg_core::schedule::{Action, StaticSchedule};
@@ -13,7 +14,7 @@ use std::fmt::Write;
 
 /// Renders every synthesized process of a model (straight-line bodies
 /// with monitors) as one text unit.
-pub fn render_process_system(model: &Model, programs: &[Program]) -> String {
+pub fn render_process_system(model: &Model, programs: &[Program]) -> Result<String, SynthError> {
     let comm = model.comm();
     let mut out = String::new();
     let _ = writeln!(
@@ -36,17 +37,20 @@ pub fn render_process_system(model: &Model, programs: &[Program]) -> String {
                 "asynchronous"
             }
         );
-        out.push_str(&prog.display(comm));
+        out.push_str(&prog.display(comm)?);
         let _ = writeln!(out);
     }
-    out
+    Ok(out)
 }
 
 /// Renders the table-driven run-time scheduler for a static schedule:
 /// the dispatch table plus the trivial cyclic executor loop — "the
 /// run-time scheduler is very efficient once a feasible static schedule
 /// has been found off-line".
-pub fn render_table_scheduler(comm: &CommGraph, schedule: &StaticSchedule) -> String {
+pub fn render_table_scheduler(
+    comm: &CommGraph,
+    schedule: &StaticSchedule,
+) -> Result<String, SynthError> {
     let mut out = String::new();
     let _ = writeln!(out, "// table-driven cyclic executor");
     let _ = writeln!(out, "const TABLE: [Entry; {}] = [", schedule.len());
@@ -56,7 +60,7 @@ pub fn render_table_scheduler(comm: &CommGraph, schedule: &StaticSchedule) -> St
                 let _ = writeln!(out, "    Entry::Idle,");
             }
             Action::Run(e) => {
-                let _ = writeln!(out, "    Entry::Run({}),", comm.name(*e));
+                let _ = writeln!(out, "    Entry::Run({}),", comm.name(*e).map_err(SynthError::from)?);
             }
         }
     }
@@ -70,7 +74,7 @@ pub fn render_table_scheduler(comm: &CommGraph, schedule: &StaticSchedule) -> St
     let _ = writeln!(out, "        }}");
     let _ = writeln!(out, "    }}");
     let _ = writeln!(out, "}}");
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -82,7 +86,7 @@ mod tests {
     fn process_system_lists_all_constraints() {
         let (m, _) = rtcg_core::mok_example::default_model();
         let (programs, _) = synthesize_programs(&m).unwrap();
-        let text = render_process_system(&m, &programs);
+        let text = render_process_system(&m, &programs).unwrap();
         assert!(text.contains("x-chain"));
         assert!(text.contains("y-chain"));
         assert!(text.contains("z-chain"));
@@ -95,7 +99,7 @@ mod tests {
     fn table_scheduler_renders_actions() {
         let (m, e) = rtcg_core::mok_example::default_model();
         let s = StaticSchedule::new(vec![Action::Run(e.fx), Action::Idle, Action::Run(e.fs)]);
-        let text = render_table_scheduler(m.comm(), &s);
+        let text = render_table_scheduler(m.comm(), &s).unwrap();
         assert!(text.contains("Entry::Run(fX)"));
         assert!(text.contains("Entry::Idle"));
         assert!(text.contains("Entry::Run(fS)"));
@@ -108,8 +112,8 @@ mod tests {
         let (p1, _) = synthesize_programs(&m).unwrap();
         let (p2, _) = synthesize_programs(&m).unwrap();
         assert_eq!(
-            render_process_system(&m, &p1),
-            render_process_system(&m, &p2)
+            render_process_system(&m, &p1).unwrap(),
+            render_process_system(&m, &p2).unwrap()
         );
     }
 }

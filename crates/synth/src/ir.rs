@@ -5,6 +5,7 @@
 //! acquire/release brackets around calls to shared elements. The IR is
 //! deliberately flat — the paper's "straight-line program".
 
+use crate::error::SynthError;
 use rtcg_core::model::{CommGraph, ElementId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -96,8 +97,9 @@ impl Program {
         stack.is_empty()
     }
 
-    /// Pretty-prints the program with element names resolved.
-    pub fn display(&self, comm: &CommGraph) -> String {
+    /// Pretty-prints the program with element names resolved. Errors
+    /// if the program references an element the graph does not contain.
+    pub fn display(&self, comm: &CommGraph) -> Result<String, SynthError> {
         let mut out = String::new();
         use std::fmt::Write;
         let _ = writeln!(out, "process {} {{", self.name);
@@ -117,7 +119,7 @@ impl Program {
                         out,
                         "{}call {}();   // op {}",
                         "  ".repeat(indent),
-                        comm.name(*element),
+                        comm.name(*element).map_err(SynthError::from)?,
                         label
                     );
                 }
@@ -126,14 +128,14 @@ impl Program {
                         out,
                         "{}send {} -> {};",
                         "  ".repeat(indent),
-                        comm.name(*from),
-                        comm.name(*to)
+                        comm.name(*from).map_err(SynthError::from)?,
+                        comm.name(*to).map_err(SynthError::from)?
                     );
                 }
             }
         }
         out.push_str("}\n");
-        out
+        Ok(out)
     }
 }
 
@@ -238,7 +240,7 @@ mod tests {
                 Stmt::Send { from: a, to: b },
             ],
         };
-        let text = p.display(&g);
+        let text = p.display(&g).unwrap();
         assert!(text.contains("process xchain"));
         assert!(text.contains("acquire monitor_0"));
         assert!(text.contains("call fa()"));

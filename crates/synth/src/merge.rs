@@ -86,7 +86,7 @@ pub fn merge_constraints(model: &Model, ids: &[ConstraintId]) -> Result<MergedTa
                 *e += 1;
                 k
             };
-            let label = format!("{}@{k}", comm.name(elem));
+            let label = format!("{}@{k}", comm.name(elem).map_err(SynthError::from)?);
             if !merged_labels.contains(&label) {
                 builder = builder.op(&label, elem);
                 merged_labels.push(label.clone());
@@ -162,8 +162,8 @@ mod tests {
         // expect edges fX->fS, fY->fS, fS->fK in the merged graph
         let mut found = std::collections::BTreeSet::new();
         for (u, v) in merged.task.precedence_edges() {
-            let nu = comm.name(merged.task.element_of(u).unwrap()).to_string();
-            let nv = comm.name(merged.task.element_of(v).unwrap()).to_string();
+            let nu = comm.name(merged.task.element_of(u).unwrap()).unwrap().to_string();
+            let nv = comm.name(merged.task.element_of(v).unwrap()).unwrap().to_string();
             found.insert((nu, nv));
         }
         assert!(found.contains(&("fX".into(), "fS".into())));

@@ -187,8 +187,8 @@ mod tests {
                 _ => None,
             })
             .expect("send present");
-        assert_eq!(comm.name(send.0), "x");
-        assert_eq!(comm.name(send.1), "s/0");
+        assert_eq!(comm.name(send.0).unwrap(), "x");
+        assert_eq!(comm.name(send.1).unwrap(), "s/0");
     }
 
     #[test]

@@ -142,7 +142,7 @@ mod tests {
     fn programs_render() {
         let (m, _) = rtcg_core::mok_example::default_model();
         let (programs, _) = synthesize_programs(&m).unwrap();
-        let text = programs[2].display(m.comm());
+        let text = programs[2].display(m.comm()).unwrap();
         assert!(text.contains("process z-chain"));
         assert!(text.contains("call fZ()"));
         assert!(text.contains("send fZ -> fS"));

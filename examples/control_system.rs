@@ -42,7 +42,7 @@ fn main() {
         naive
             .monitors
             .iter()
-            .map(|&e| model.comm().name(e))
+            .map(|&e| model.comm().name(e).expect("monitor in graph"))
             .collect::<Vec<_>>()
     );
     println!(
@@ -53,18 +53,24 @@ fn main() {
     );
     let (programs, _) = synthesize_programs(&model).expect("programs");
     println!();
-    println!("{}", render_process_system(&model, &programs));
+    println!("{}", render_process_system(&model, &programs).expect("model ids valid"));
 
     println!("=== latency scheduling: the feasible static schedule ===");
     let outcome = synthesize(&model).expect("synthesizable");
     let m = outcome.model();
     println!("strategy: {}", outcome.strategy);
-    println!("schedule: {}", outcome.schedule.display(m.comm()));
+    println!(
+        "schedule: {}",
+        outcome.schedule.display(m.comm()).expect("model ids valid")
+    );
     let report = outcome.schedule.feasibility(m).expect("analyzable");
     print!("{report}");
     assert!(report.is_feasible());
     println!();
 
     println!("=== generated run-time scheduler ===");
-    println!("{}", render_table_scheduler(m.comm(), &outcome.schedule));
+    println!(
+        "{}",
+        render_table_scheduler(m.comm(), &outcome.schedule).expect("model ids valid")
+    );
 }

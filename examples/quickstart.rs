@@ -52,7 +52,7 @@ fn main() {
     println!(
         "schedule ({}): {}",
         outcome.strategy,
-        outcome.schedule.display(m.comm())
+        outcome.schedule.display(m.comm()).expect("model ids valid")
     );
 
     // 4. The guarantee, verified exactly.

@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 pub use rtcg_core as core;
+pub use rtcg_engine as engine;
 pub use rtcg_graph as graph;
 pub use rtcg_hardness as hardness;
 pub use rtcg_lang as lang;
@@ -31,7 +32,12 @@ pub use rtcg_process as process;
 pub use rtcg_sim as sim;
 pub use rtcg_synth as synth;
 
-/// Prelude: the types most applications need.
+/// Prelude: the types most applications need, plus the unified
+/// analysis facade.
 pub mod prelude {
     pub use rtcg_core::prelude::*;
+    pub use rtcg_engine::{
+        analyze_once, AnalysisMode, AnalysisReport, AnalysisRequest, Engine, EngineError,
+        EngineStats, Verdict,
+    };
 }

@@ -193,6 +193,7 @@ fn dot_and_codegen_outputs_are_consistent() {
     }
     let outcome = synthesize(&model).unwrap();
     let table =
-        rtcg::synth::codegen::render_table_scheduler(outcome.model().comm(), &outcome.schedule);
+        rtcg::synth::codegen::render_table_scheduler(outcome.model().comm(), &outcome.schedule)
+            .unwrap();
     assert!(table.contains(&format!("[Entry; {}]", outcome.schedule.len())));
 }
