@@ -1,0 +1,231 @@
+//! Leaf-check throughput: the compiled SoA evaluator
+//! ([`CompiledChecker`]) against the pre-PR cached leaf path
+//! ([`FeasibilityCache`]), on the candidate populations the exact
+//! search actually visits — `chain_family` instances on both sides of
+//! the feasibility boundary and the paper's running example.
+//!
+//! For each scenario the bench generates a deterministic, seeded set of
+//! candidate action strings over the search alphabet, sorts them
+//! lexicographically (consecutive leaves of the necklace DFS share long
+//! prefixes, which is exactly the locality the incremental index
+//! exploits), asserts **verdict equality for every candidate**, then
+//! times full sweeps with each evaluator. The acceptance gate is a ≥3x
+//! candidate-evaluation speedup on every scenario, and the measured
+//! numbers are written to `BENCH_leafcheck.json` at the repo root (path
+//! overridable via `RTCG_BENCH_OUT`) so the perf trajectory is tracked
+//! in-repo. `RTCG_BENCH_QUICK=1` shrinks the sweep for CI smoke runs.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rtcg_core::feasibility::{used_elements, CandidateEval, CompiledChecker};
+use rtcg_core::model::Model;
+use rtcg_core::mok_example;
+use rtcg_core::schedule::{Action, FeasibilityCache};
+use rtcg_hardness::families::{chain_family, chain_family_with_deadline};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Scenario {
+    name: &'static str,
+    model: Model,
+    /// Candidate lengths to draw from (spanning the lengths the search
+    /// enumerates around the boundary).
+    lengths: std::ops::RangeInclusive<usize>,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let (mok, _) = mok_example::default_model();
+    vec![
+        Scenario {
+            name: "chain_family_2_boundary",
+            model: chain_family(2),
+            lengths: 4..=8,
+        },
+        Scenario {
+            name: "chain_family_2_infeasible",
+            model: chain_family_with_deadline(2, 7),
+            lengths: 4..=8,
+        },
+        Scenario {
+            name: "mok_example",
+            model: mok,
+            lengths: 5..=9,
+        },
+    ]
+}
+
+/// Deterministic candidate population: seeded strings over the search
+/// alphabet (idle + used elements), sorted so neighbours share prefixes
+/// the way necklace-DFS leaves do.
+fn candidates(s: &Scenario, count: usize) -> Vec<Vec<Action>> {
+    let used = used_elements(&s.model);
+    let mut rng = ChaCha8Rng::seed_from_u64(0x4c45_4146);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let len = rng.gen_range(s.lengths.clone());
+        let mut actions = Vec::with_capacity(len);
+        // strings biased toward full element coverage (like surviving
+        // B&B leaves): a shuffled pass over all elements, then filler
+        let mut perm: Vec<usize> = (0..used.len()).collect();
+        for i in (1..perm.len()).rev() {
+            perm.swap(i, rng.gen_range(0..=i));
+        }
+        for &ix in perm.iter().take(len) {
+            actions.push(Action::Run(used[ix]));
+        }
+        while actions.len() < len {
+            let sym = rng.gen_range(0..=used.len());
+            actions.push(if sym == 0 {
+                Action::Idle
+            } else {
+                Action::Run(used[sym - 1])
+            });
+        }
+        out.push(actions);
+    }
+    fn sym_key(a: &Action) -> usize {
+        match a {
+            Action::Idle => 0,
+            Action::Run(e) => e.index() + 1,
+        }
+    }
+    out.sort_by_cached_key(|v| v.iter().map(sym_key).collect::<Vec<_>>());
+    out.dedup();
+    out
+}
+
+/// Mean seconds per full sweep over `iters` sweeps.
+fn time_sweeps<E>(eval: &mut E, model: &Model, cands: &[Vec<Action>], iters: usize) -> f64
+where
+    E: CandidateEval + ?Sized,
+{
+    // warmup: one sweep primes caches on both evaluators
+    for c in cands {
+        black_box(eval.check(model, c).unwrap());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        for c in cands {
+            black_box(eval.check(model, c).unwrap());
+        }
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+struct Row {
+    name: &'static str,
+    n_candidates: usize,
+    cache_s: f64,
+    compiled_s: f64,
+    speedup: f64,
+}
+
+fn out_path() -> std::path::PathBuf {
+    match std::env::var_os("RTCG_BENCH_OUT") {
+        Some(p) => p.into(),
+        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_leafcheck.json"),
+    }
+}
+
+fn write_json(rows: &[Row]) {
+    let mut s = String::from(
+        "{\n  \"bench\": \"leafcheck\",\n  \"unit\": \"seconds_per_sweep\",\n  \"scenarios\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{}\", \"candidates\": {}, \"feasibility_cache_s\": {:.9}, \"compiled_checker_s\": {:.9}, \"speedup\": {:.2}}}{}",
+            r.name,
+            r.n_candidates,
+            r.cache_s,
+            r.compiled_s,
+            r.speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ]\n}\n");
+    let path = out_path();
+    std::fs::write(&path, s).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("leafcheck: wrote {}", path.display());
+}
+
+fn bench_leafcheck(c: &mut Criterion) {
+    let quick = std::env::var_os("RTCG_BENCH_QUICK").is_some();
+    let (count, iters) = if quick { (128, 5) } else { (512, 40) };
+
+    let mut rows = Vec::new();
+    let mut group = c.benchmark_group("leafcheck");
+    group.sample_size(10);
+
+    for s in scenarios() {
+        let cands = candidates(&s, count);
+        let mut cache = FeasibilityCache::new(&s.model);
+        let mut compiled = CompiledChecker::new(&s.model).unwrap();
+
+        // the invariant first: verdicts identical on every candidate
+        for cand in &cands {
+            let a = cache.check(&s.model, cand).unwrap();
+            let b = CandidateEval::check(&mut compiled, &s.model, cand).unwrap();
+            assert_eq!(a, b, "verdict divergence on {}: {cand:?}", s.name);
+        }
+
+        let cache_s = time_sweeps(&mut cache, &s.model, &cands, iters);
+        let compiled_s = time_sweeps(&mut compiled, &s.model, &cands, iters);
+        let speedup = cache_s / compiled_s;
+        println!(
+            "leafcheck/{}: {} candidates, cache {:.1} µs/sweep, compiled {:.1} µs/sweep — {:.1}x",
+            s.name,
+            cands.len(),
+            cache_s * 1e6,
+            compiled_s * 1e6,
+            speedup
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("feasibility_cache", s.name),
+            &cands,
+            |b, cands| {
+                b.iter(|| {
+                    for cand in cands {
+                        black_box(cache.check(&s.model, cand).unwrap());
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("compiled_checker", s.name),
+            &cands,
+            |b, cands| {
+                b.iter(|| {
+                    for cand in cands {
+                        black_box(compiled.check(cand).unwrap());
+                    }
+                })
+            },
+        );
+
+        rows.push(Row {
+            name: s.name,
+            n_candidates: cands.len(),
+            cache_s,
+            compiled_s,
+            speedup,
+        });
+    }
+    group.finish();
+
+    write_json(&rows);
+
+    for r in &rows {
+        assert!(
+            r.speedup >= 3.0,
+            "leafcheck/{}: compiled speedup {:.2}x below the 3x acceptance gate",
+            r.name,
+            r.speedup
+        );
+    }
+}
+
+criterion_group!(benches, bench_leafcheck);
+criterion_main!(benches);

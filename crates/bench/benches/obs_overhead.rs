@@ -17,7 +17,9 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rtcg_bench::gen::random_process_set;
+use rtcg_core::feasibility::{find_feasible, SearchConfig};
 use rtcg_core::model::CommGraph;
+use rtcg_hardness::families::chain_family_with_deadline;
 use rtcg_sim::dynamic::{simulate_processes, Policy, Preemption, ProcessSim, SimOutcome};
 use std::time::Instant;
 
@@ -95,6 +97,40 @@ fn bench_obs_overhead(c: &mut Criterion) {
         rtcg_obs::counter!("bench.site_probe", black_box(i) & 1);
     }
     let per_site = probe_start.elapsed().as_secs_f64() / probe_n as f64;
+
+    // Exact-search path: instrumentation is hoisted out of the
+    // enumeration hot loop to per-search aggregates, so one sequential
+    // search executes a *constant* number of guarded sites regardless
+    // of how many nodes it expands — 1 span (2 guards) + 3 aggregate
+    // counters. Bound the no-op overhead the same way as above.
+    // (Must run before `set_recorder`: installation is one-way.)
+    let search_model = chain_family_with_deadline(2, 7);
+    let search_cfg = SearchConfig {
+        max_len: 7,
+        node_budget: u64::MAX / 2,
+    };
+    let search_sites = 2 + 3;
+    let search_iters = 20;
+    for _ in 0..3 {
+        black_box(find_feasible(&search_model, search_cfg).unwrap());
+    }
+    let search_start = Instant::now();
+    for _ in 0..search_iters {
+        black_box(find_feasible(&search_model, search_cfg).unwrap());
+    }
+    let search_runtime = search_start.elapsed().as_secs_f64() / search_iters as f64;
+    let search_bound = search_sites as f64 * per_site / search_runtime * 100.0;
+    println!(
+        "obs_overhead/exact_search {:.1} µs/iter, {} sites/search, \
+         noop bound {:.4}% of runtime (target <2%)",
+        search_runtime * 1e6,
+        search_sites,
+        search_bound
+    );
+    assert!(
+        search_bound < 2.0,
+        "exact-search no-op recorder overhead bound {search_bound:.4}% exceeds 2%"
+    );
 
     let _ = rtcg_obs::set_recorder(&NOP);
     let nop_installed = time_runs(&f, 20, 200);

@@ -107,11 +107,13 @@ mod tests {
         assert_eq!(m.comm().name(shared[0]).unwrap(), "s");
         let counts = shared_element_counts(&m);
         assert_eq!(counts.len(), 3);
-        assert!(counts.iter().all(|&(e, n)| if m.comm().name(e).unwrap() == "s" {
-            n == 2
-        } else {
-            n == 1
-        }));
+        assert!(counts
+            .iter()
+            .all(|&(e, n)| if m.comm().name(e).unwrap() == "s" {
+                n == 2
+            } else {
+                n == 1
+            }));
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   prefix subtrees with one global atomic budget; deterministic
 //!   replay makes its verdict, schedule, and counters bit-identical to
 //!   the sequential search.
+//! * [`compiled`] — the default leaf evaluator behind both searches:
+//!   the model compiled once into flat structure-of-arrays tables, with
+//!   an incremental per-candidate instance index so each leaf check is
+//!   allocation-free and bit-identical to the full analysis.
 //! * [`game`] — the *finite simulation game* behind Theorem 1: a safety
 //!   game over bounded trace suffixes whose winning strategy, found as a
 //!   lasso in the state graph, *is* a feasible static schedule. A
@@ -24,6 +28,7 @@
 //!   an explicit state budget).
 
 pub mod bounds;
+pub mod compiled;
 pub mod exact;
 pub mod game;
 pub mod parallel;
@@ -31,6 +36,7 @@ pub mod parallel;
 pub use bounds::{
     density_lower_bound, quick_infeasible, InfeasibleReason, PrefixPruner, PrunerTemplate,
 };
+pub use compiled::CompiledChecker;
 pub use exact::{
     find_feasible, find_feasible_with, is_canonical_rotation, used_elements, CandidateEval,
     SearchConfig, SearchOutcome,

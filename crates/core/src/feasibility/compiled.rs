@@ -1,0 +1,773 @@
+//! Compiled leaf checker — flat structure-of-arrays kernels and an
+//! incremental trace view for the exact search's candidate-evaluation
+//! hot path.
+//!
+//! After the branch-and-bound rewrite and the engine's memoization, the
+//! remaining per-candidate cost of [`super::exact`] is the leaf check
+//! itself. The classic path ([`crate::schedule::FeasibilityCache`])
+//! still expands every candidate into a [`crate::trace::Trace`]
+//! (`reps × duration` slots), re-extracts an instance index into a
+//! fresh `BTreeMap`, and runs a per-window DFS that allocates a
+//! `BTreeMap` of chosen instances and re-walks `precedence_edges()` at
+//! every node. [`CompiledChecker`] removes all of that by splitting the
+//! work into a *compile* phase (once per search) and a *check* phase
+//! (once per candidate, allocation-free in steady state):
+//!
+//! * **Compile**: every constraint's task graph is topologically sorted
+//!   into flat arrays — one dense `u32` element index and wcet per op,
+//!   predecessor and same-element op lists in CSR form
+//!   ([`CompiledConstraint`]) — and elements are interned to dense
+//!   indices (their arena index in the communication graph) so every
+//!   check-phase lookup is a direct array access. Constraint scan
+//!   order, repetition horizons, and the periodic window grid are
+//!   precomputed exactly as `FeasibilityCache::new` does.
+//!
+//! * **Check**: the candidate action string is *never expanded*. The
+//!   checker maintains an incremental per-element instance-offset index
+//!   (`starts[e]` = start ticks of `e`'s instances within one schedule
+//!   period, in order): appending a symbol pushes one offset and
+//!   advances the running duration, backtracking pops it. Because the
+//!   generated trace is periodic, the instance `k` of element `e` in
+//!   the infinite trace starts at `starts[e][k % m] + (k / m) · T` —
+//!   the window DFS enumerates instances lazily from that closed form
+//!   instead of scanning materialized slots. Candidates arriving from
+//!   the enumerator's DFS share long prefixes, so syncing by
+//!   longest-common-prefix diff performs exactly the append/backtrack
+//!   work of one branch step per enumeration edge (and skips entirely
+//!   the subtrees the pruner rejected before reaching a leaf).
+//!
+//! * **Fast path**: each constraint compiles a `u64` coverage bitset of
+//!   the dense elements its ops require. A candidate whose element set
+//!   (maintained incrementally as a bitset) misses a required element
+//!   cannot execute the task graph in *any* window — all windows are
+//!   rejected before any DFS starts.
+//!
+//! * **Scratch**: the window DFS runs over a per-checker
+//!   [`ScratchArena`] (chosen-instance and finish-time arrays sized at
+//!   compile time). The exact search builds one checker per worker
+//!   thread, so steady-state checks perform zero heap allocations.
+//!
+//! ## The invariant: verdict bit-identity
+//!
+//! `CompiledChecker::check` must return exactly what
+//! `StaticSchedule::new(actions.to_vec()).feasibility(model)?.is_feasible()`
+//! — and therefore what `FeasibilityCache::check` — would return, for
+//! *every* action string, including degenerate ones (elements missing,
+//! unknown ids, zero weights). The exact search's completeness claim,
+//! the parallel search's replay determinism, and the engine's memo
+//! reuse all rest on the leaf evaluator being a pure drop-in. The
+//! differential suites (`schedule.rs`, `tests/proptest_search.rs`,
+//! `rtcg-engine/tests/differential.rs`) pin this equivalence; the
+//! window kernel below mirrors [`crate::trace`]'s branch-and-bound
+//! searcher case for case.
+
+use super::exact::CandidateEval;
+use crate::constraint::ConstraintKind;
+use crate::error::ModelError;
+use crate::model::Model;
+use crate::schedule::Action;
+use crate::time::{lcm, Time};
+
+/// Coverage bit for a dense element index (indices ≥ 64 overflow to a
+/// slow-path list; models that large are far beyond exact-search reach,
+/// but correctness must not depend on that).
+#[inline]
+fn mask_bit(dense: usize) -> u64 {
+    if dense < 64 {
+        1u64 << dense
+    } else {
+        0
+    }
+}
+
+/// One timing constraint compiled to flat arrays (ops in topological
+/// order; all cross-references are topo positions, not `OpId`s).
+#[derive(Debug, Clone)]
+struct CompiledConstraint {
+    /// Index in `model.constraints()` (the memo/report key).
+    ix: usize,
+    /// Deadline probed by `check`.
+    deadline: Time,
+    /// Invocation period (periodic constraints only).
+    period: Time,
+    /// Repetitions sufficient for exact latency (`2(n+1) + 1`).
+    reps: usize,
+    /// Dense element index per op.
+    op_elem: Vec<u32>,
+    /// Element wcet per op (denormalized for locality).
+    op_wcet: Vec<Time>,
+    /// CSR offsets into `preds` (`op_count + 1` entries).
+    pred_off: Vec<u32>,
+    /// Topo positions of each op's direct predecessors.
+    preds: Vec<u32>,
+    /// CSR offsets into `same` (`op_count + 1` entries).
+    same_off: Vec<u32>,
+    /// Earlier topo positions executing the same element (instance
+    /// distinctness checks).
+    same: Vec<u32>,
+    /// Coverage bitset over dense element indices < 64.
+    required_mask: u64,
+    /// Required dense indices ≥ 64 (checked against the index directly).
+    required_overflow: Vec<u32>,
+}
+
+impl CompiledConstraint {
+    fn compile(
+        ix: usize,
+        c: &crate::constraint::TimingConstraint,
+        comm: &crate::model::CommGraph,
+    ) -> Result<Self, ModelError> {
+        let topo = c.task.topo_ops();
+        let n = topo.len();
+        let mut pos_of = std::collections::BTreeMap::new();
+        for (i, &op) in topo.iter().enumerate() {
+            pos_of.insert(op, i);
+        }
+        let mut op_elem = Vec::with_capacity(n);
+        let mut op_wcet = Vec::with_capacity(n);
+        let mut required_mask = 0u64;
+        let mut required_overflow: Vec<u32> = Vec::new();
+        for &op in &topo {
+            let e = c.task.element_of(op).expect("live op");
+            op_wcet.push(comm.wcet(e)?);
+            let dense = e.index();
+            op_elem.push(dense as u32);
+            required_mask |= mask_bit(dense);
+            if dense >= 64 && !required_overflow.contains(&(dense as u32)) {
+                required_overflow.push(dense as u32);
+            }
+        }
+        let mut pred_lists: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (u, v) in c.task.precedence_edges() {
+            pred_lists[pos_of[&v]].push(pos_of[&u] as u32);
+        }
+        let mut pred_off = Vec::with_capacity(n + 1);
+        let mut preds = Vec::new();
+        pred_off.push(0u32);
+        for mut list in pred_lists {
+            list.sort_unstable();
+            preds.extend_from_slice(&list);
+            pred_off.push(preds.len() as u32);
+        }
+        let mut same_off = Vec::with_capacity(n + 1);
+        let mut same = Vec::new();
+        same_off.push(0u32);
+        for i in 0..n {
+            for j in 0..i {
+                if op_elem[j] == op_elem[i] {
+                    same.push(j as u32);
+                }
+            }
+            same_off.push(same.len() as u32);
+        }
+        Ok(CompiledConstraint {
+            ix,
+            deadline: c.deadline,
+            period: c.period,
+            reps: 2 * (n + 1) + 1,
+            op_elem,
+            op_wcet,
+            pred_off,
+            preds,
+            same_off,
+            same,
+            required_mask,
+            required_overflow,
+        })
+    }
+
+    fn op_count(&self) -> usize {
+        self.op_elem.len()
+    }
+}
+
+/// Reusable DFS buffers: one arena per checker, one checker per worker
+/// thread. Sized to the largest compiled task graph, so steady-state
+/// checks never allocate.
+#[derive(Debug, Clone, Default)]
+struct ScratchArena {
+    /// Global instance index chosen for each topo position on the
+    /// current DFS path (valid only for positions above the cursor).
+    chosen: Vec<u64>,
+    /// Finish tick of the chosen instance per topo position.
+    finish: Vec<Time>,
+}
+
+/// Compiled yes/no feasibility checker — the exact search's default
+/// leaf evaluator. Built once per search (or per worker thread) from
+/// one model; verdicts are bit-identical to
+/// [`crate::schedule::FeasibilityCache`] and therefore to
+/// [`crate::schedule::StaticSchedule::feasibility`].
+///
+/// The checker is stateful: it carries the incremental instance index
+/// of the most recently checked candidate and syncs to each new
+/// candidate by longest-common-prefix diff (see module docs). All
+/// public entry points sync first, so calls may mix arbitrary
+/// candidates; consecutive candidates from a DFS enumeration sync in
+/// amortized one append/pop per enumeration edge.
+#[derive(Debug, Clone)]
+pub struct CompiledChecker {
+    /// wcet by dense element index; `None` = no such element in `G`.
+    wcet: Vec<Option<Time>>,
+    /// Asynchronous constraints, tightest deadline first.
+    asyn: Vec<CompiledConstraint>,
+    /// Periodic constraints, declaration order.
+    periodic: Vec<CompiledConstraint>,
+    /// LCM of all periodic periods (1 when there are none).
+    periodic_lcm: Time,
+    /// Largest periodic deadline.
+    max_periodic_deadline: Time,
+    /// Mirror of the candidate the index below describes.
+    cur: Vec<Action>,
+    /// Per dense element: instance start offsets within one schedule
+    /// period, ascending (the incremental SoA trace view).
+    starts: Vec<Vec<Time>>,
+    /// Duration in ticks of one repetition of `cur`.
+    duration: Time,
+    /// Coverage bitset of elements with ≥ 1 instance in `cur`.
+    present_mask: u64,
+    scratch: ScratchArena,
+}
+
+impl CompiledChecker {
+    /// Compiles `model` into flat check tables. Fails only if a
+    /// constraint references an element the communication graph lacks
+    /// (impossible for validated models).
+    pub fn new(model: &Model) -> Result<Self, ModelError> {
+        let comm = model.comm();
+        let n_dense = comm.element_ids().map(|e| e.index() + 1).max().unwrap_or(0);
+        let mut wcet = vec![None; n_dense];
+        for (id, e) in comm.elements() {
+            wcet[id.index()] = Some(e.wcet);
+        }
+        let mut asyn = Vec::new();
+        let mut periodic = Vec::new();
+        let mut periodic_lcm: Time = 1;
+        let mut max_periodic_deadline: Time = 0;
+        let mut max_ops = 0usize;
+        for (ix, c) in model.constraints().iter().enumerate() {
+            let cc = CompiledConstraint::compile(ix, c, comm)?;
+            max_ops = max_ops.max(cc.op_count());
+            match c.kind {
+                ConstraintKind::Asynchronous => asyn.push(cc),
+                ConstraintKind::Periodic => {
+                    periodic_lcm = lcm(periodic_lcm, c.period);
+                    max_periodic_deadline = max_periodic_deadline.max(c.deadline);
+                    periodic.push(cc);
+                }
+            }
+        }
+        asyn.sort_by_key(|c| c.deadline);
+        Ok(CompiledChecker {
+            wcet,
+            asyn,
+            periodic,
+            periodic_lcm,
+            max_periodic_deadline,
+            cur: Vec::new(),
+            starts: vec![Vec::new(); n_dense],
+            duration: 0,
+            present_mask: 0,
+            scratch: ScratchArena {
+                chosen: vec![0; max_ops],
+                finish: vec![0; max_ops],
+            },
+        })
+    }
+
+    /// Syncs the incremental index to `actions` by longest-common-prefix
+    /// diff and returns the schedule duration. Errors (unknown element,
+    /// zero weight) surface at the first offending symbol, exactly like
+    /// [`crate::schedule::StaticSchedule::duration`]; the index then
+    /// holds the valid prefix and self-heals on the next sync.
+    pub fn sync(&mut self, actions: &[Action]) -> Result<Time, ModelError> {
+        let common = self
+            .cur
+            .iter()
+            .zip(actions)
+            .take_while(|(a, b)| *a == *b)
+            .count();
+        while self.cur.len() > common {
+            self.pop();
+        }
+        for &a in &actions[common..] {
+            self.push(a)?;
+        }
+        Ok(self.duration)
+    }
+
+    /// Appends one symbol to the incremental index.
+    fn push(&mut self, a: Action) -> Result<(), ModelError> {
+        match a {
+            Action::Idle => self.duration += 1,
+            Action::Run(e) => {
+                let w = self
+                    .wcet
+                    .get(e.index())
+                    .copied()
+                    .flatten()
+                    .ok_or(ModelError::UnknownElement(e))?;
+                if w == 0 {
+                    return Err(ModelError::ZeroWeightScheduled(e));
+                }
+                let dense = e.index();
+                if self.starts[dense].is_empty() {
+                    self.present_mask |= mask_bit(dense);
+                }
+                self.starts[dense].push(self.duration);
+                self.duration += w;
+            }
+        }
+        self.cur.push(a);
+        Ok(())
+    }
+
+    /// Backtracks the most recently appended symbol.
+    fn pop(&mut self) {
+        match self.cur.pop().expect("pop on empty candidate") {
+            Action::Idle => self.duration -= 1,
+            Action::Run(e) => {
+                let dense = e.index();
+                let start = self.starts[dense].pop().expect("instance recorded");
+                self.duration = start;
+                if self.starts[dense].is_empty() {
+                    self.present_mask &= !mask_bit(dense);
+                }
+            }
+        }
+    }
+
+    /// True iff `StaticSchedule::new(actions.to_vec()).feasibility(model)`
+    /// (for the compiled model) would report feasible.
+    pub fn check(&mut self, actions: &[Action]) -> Result<bool, ModelError> {
+        let period = self.sync(actions)?;
+        if actions.is_empty() || period == 0 {
+            return Err(ModelError::EmptySchedule);
+        }
+        for cc in &self.asyn {
+            if !covered(cc, self.present_mask, &self.starts) {
+                return Ok(false);
+            }
+            let horizon = cc.reps as Time * period;
+            for s in 0..period {
+                match window_completion(cc, &self.starts, period, s, horizon, &mut self.scratch) {
+                    Some(done) if done - s <= cc.deadline => {}
+                    _ => return Ok(false),
+                }
+            }
+        }
+        if !self.periodic.is_empty() {
+            let joint = lcm(period, self.periodic_lcm);
+            let reps = (joint + self.max_periodic_deadline) / period + 2;
+            let horizon = reps * period;
+            for cc in &self.periodic {
+                if !covered(cc, self.present_mask, &self.starts) {
+                    return Ok(false);
+                }
+                for k in 0..joint / cc.period {
+                    let t0 = k * cc.period;
+                    match window_completion(
+                        cc,
+                        &self.starts,
+                        period,
+                        t0,
+                        horizon,
+                        &mut self.scratch,
+                    ) {
+                        Some(done) if done <= t0 + cc.deadline => {}
+                        _ => return Ok(false),
+                    }
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Exact latency of the candidate w.r.t. the asynchronous constraint
+    /// at declaration index `ix` — bit-identical to
+    /// [`crate::schedule::StaticSchedule::latency`] against that
+    /// constraint's task graph. Deadline-independent: this is the value
+    /// the engine's session memo stores.
+    pub fn async_latency(
+        &mut self,
+        actions: &[Action],
+        ix: usize,
+    ) -> Result<Option<Time>, ModelError> {
+        let period = self.sync(actions)?;
+        if actions.is_empty() || period == 0 {
+            return Err(ModelError::EmptySchedule);
+        }
+        let cc = self
+            .asyn
+            .iter()
+            .find(|c| c.ix == ix)
+            .expect("asynchronous constraint index");
+        if !covered(cc, self.present_mask, &self.starts) {
+            // some op's element never runs: every window start fails
+            return Ok(None);
+        }
+        let horizon = cc.reps as Time * period;
+        let mut worst: Time = 0;
+        for s in 0..period {
+            match window_completion(cc, &self.starts, period, s, horizon, &mut self.scratch) {
+                Some(done) => worst = worst.max(done - s),
+                None => return Ok(None),
+            }
+        }
+        Ok(Some(worst))
+    }
+
+    /// `(unserved windows, worst response over served windows)` for the
+    /// periodic constraint at declaration index `ix`, over the joint
+    /// hyperperiod of the candidate and all periodic periods — the
+    /// deadline-independent pair the engine's session memo stores.
+    pub fn periodic_stats(
+        &mut self,
+        actions: &[Action],
+        ix: usize,
+    ) -> Result<(u64, Option<Time>), ModelError> {
+        let period = self.sync(actions)?;
+        if actions.is_empty() || period == 0 {
+            return Err(ModelError::EmptySchedule);
+        }
+        let cc = self
+            .periodic
+            .iter()
+            .find(|c| c.ix == ix)
+            .expect("periodic constraint index");
+        let joint = lcm(period, self.periodic_lcm);
+        let n_windows = joint / cc.period;
+        if !covered(cc, self.present_mask, &self.starts) {
+            return Ok((n_windows, None));
+        }
+        let reps = (joint + self.max_periodic_deadline) / period + 2;
+        let horizon = reps * period;
+        let mut unserved = 0u64;
+        let mut worst: Option<Time> = None;
+        for k in 0..n_windows {
+            let t0 = k * cc.period;
+            match window_completion(cc, &self.starts, period, t0, horizon, &mut self.scratch) {
+                Some(done) => {
+                    let response = done - t0;
+                    worst = Some(worst.map_or(response, |w| w.max(response)));
+                }
+                None => unserved += 1,
+            }
+        }
+        Ok((unserved, worst))
+    }
+}
+
+impl CandidateEval for CompiledChecker {
+    /// `model` must be the model this checker was compiled from; the
+    /// compiled tables are authoritative.
+    fn check(&mut self, _model: &Model, actions: &[Action]) -> Result<bool, ModelError> {
+        CompiledChecker::check(self, actions)
+    }
+}
+
+/// Coverage fast path: every element the constraint's ops require has
+/// at least one instance in the candidate. When this fails, no window
+/// of the generated trace contains an execution, so all window DFSes
+/// are skipped.
+#[inline]
+fn covered(cc: &CompiledConstraint, present_mask: u64, starts: &[Vec<Time>]) -> bool {
+    cc.required_mask & !present_mask == 0
+        && cc
+            .required_overflow
+            .iter()
+            .all(|&e| !starts[e as usize].is_empty())
+}
+
+/// Earliest completion of the compiled task graph when every instance
+/// must start at or after `from` and finish by `horizon` — the compiled
+/// equivalent of [`crate::trace`]'s `earliest_completion_indexed` over
+/// the periodic instance index. Exact branch-and-bound, allocation-free.
+fn window_completion(
+    cc: &CompiledConstraint,
+    starts: &[Vec<Time>],
+    period: Time,
+    from: Time,
+    horizon: Time,
+    scratch: &mut ScratchArena,
+) -> Option<Time> {
+    if cc.op_elem.is_empty() {
+        // the empty task graph completes immediately
+        return Some(from);
+    }
+    let mut best = None;
+    leaf_dfs(cc, starts, period, from, horizon, 0, 0, scratch, &mut best);
+    best
+}
+
+/// One level of the window DFS: assign an instance to the op at topo
+/// position `depth`. Mirrors `trace::Searcher::dfs` exactly — same
+/// lower bound, same skip/break conditions, same bounding — so the
+/// computed minimum is identical; only the instance representation
+/// (closed-form periodic arithmetic vs materialized lists) differs.
+#[allow(clippy::too_many_arguments)]
+fn leaf_dfs(
+    cc: &CompiledConstraint,
+    starts: &[Vec<Time>],
+    period: Time,
+    from: Time,
+    horizon: Time,
+    depth: usize,
+    current_max: Time,
+    scratch: &mut ScratchArena,
+    best: &mut Option<Time>,
+) {
+    if let Some(b) = *best {
+        if current_max >= b {
+            return; // cannot improve
+        }
+    }
+    if depth == cc.op_count() {
+        *best = Some(match *best {
+            Some(b) => b.min(current_max),
+            None => current_max,
+        });
+        return;
+    }
+    let elem = cc.op_elem[depth] as usize;
+    let w = cc.op_wcet[depth];
+    // lower bound: all predecessors must have finished
+    let mut lb = from;
+    for k in cc.pred_off[depth]..cc.pred_off[depth + 1] {
+        lb = lb.max(scratch.finish[cc.preds[k as usize] as usize]);
+    }
+    let occ = &starts[elem];
+    let m = occ.len() as u64;
+    if m == 0 {
+        return;
+    }
+    // first instance starting at or after lb: instance k of the
+    // periodic trace starts at occ[k % m] + (k / m) · period, and
+    // global starts are ascending in k
+    let (mut rep, mut slot) = {
+        let q = lb / period;
+        let rem = lb % period;
+        let i = occ.partition_point(|&x| x < rem);
+        if (i as u64) < m {
+            (q, i)
+        } else {
+            (q + 1, 0)
+        }
+    };
+    loop {
+        let start = occ[slot] + rep * period;
+        let fin = start + w;
+        if fin > horizon {
+            // ascending starts, fixed per-element length: every later
+            // instance also overruns the horizon
+            break;
+        }
+        let inst = rep * m + slot as u64;
+        // per-element distinctness: no earlier op on the same element
+        // already uses this instance
+        let clash = (cc.same_off[depth]..cc.same_off[depth + 1])
+            .any(|k| scratch.chosen[cc.same[k as usize] as usize] == inst);
+        if !clash {
+            let new_max = current_max.max(fin);
+            if let Some(b) = *best {
+                if new_max >= b {
+                    // later instances only finish later: stop scanning
+                    break;
+                }
+            }
+            scratch.chosen[depth] = inst;
+            scratch.finish[depth] = fin;
+            leaf_dfs(
+                cc,
+                starts,
+                period,
+                from,
+                horizon,
+                depth + 1,
+                new_max,
+                scratch,
+                best,
+            );
+        }
+        slot += 1;
+        if slot as u64 == m {
+            slot = 0;
+            rep += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ElementId, ModelBuilder};
+    use crate::schedule::{FeasibilityCache, StaticSchedule};
+    use crate::task::TaskGraphBuilder;
+    use proptest::prelude::*;
+
+    /// Mixed async + periodic model matching the FeasibilityCache
+    /// agreement test in `schedule.rs`.
+    fn mixed_model() -> (Model, Vec<Action>) {
+        let mut b = ModelBuilder::new();
+        let ea = b.element("a", 1);
+        let eb = b.element("b", 2);
+        b.channel(ea, eb);
+        let chain = TaskGraphBuilder::new()
+            .op("a", ea)
+            .op("b", eb)
+            .edge("a", "b")
+            .build()
+            .unwrap();
+        b.asynchronous("chain", chain, 7, 7);
+        let single = TaskGraphBuilder::new().op("b", eb).build().unwrap();
+        b.periodic("beat", single, 6, 5);
+        let m = b.build().unwrap();
+        let symbols = vec![Action::Idle, Action::Run(ea), Action::Run(eb)];
+        (m, symbols)
+    }
+
+    /// Every string of length ≤ 3 over the alphabet: compiled verdicts
+    /// equal both the cached and the full (cold) analysis.
+    #[test]
+    fn compiled_agrees_with_cache_and_full_analysis() {
+        let (m, symbols) = mixed_model();
+        let mut cache = FeasibilityCache::new(&m);
+        let mut compiled = CompiledChecker::new(&m).unwrap();
+        let mut agree = 0u32;
+        for len in 1..=3usize {
+            let mut idx = vec![0usize; len];
+            loop {
+                let actions: Vec<Action> = idx.iter().map(|&i| symbols[i]).collect();
+                let full = StaticSchedule::new(actions.clone()).feasibility(&m);
+                let fast = cache.check(&m, &actions);
+                let comp = compiled.check(&actions);
+                match (full, fast, comp) {
+                    (Ok(report), Ok(a), Ok(b)) => {
+                        assert_eq!(report.is_feasible(), a, "cache vs full on {actions:?}");
+                        assert_eq!(a, b, "compiled vs cache on {actions:?}");
+                        agree += 1;
+                    }
+                    (Err(_), Err(_), Err(_)) => {}
+                    (full, fast, comp) => {
+                        panic!("divergence on {actions:?}: {full:?} vs {fast:?} vs {comp:?}")
+                    }
+                }
+                let mut k = 0;
+                while k < len {
+                    idx[k] += 1;
+                    if idx[k] < symbols.len() {
+                        break;
+                    }
+                    idx[k] = 0;
+                    k += 1;
+                }
+                if k == len {
+                    break;
+                }
+            }
+        }
+        assert!(agree > 20);
+    }
+
+    #[test]
+    fn latency_and_periodic_stats_match_schedule_analysis() {
+        let (m, symbols) = mixed_model();
+        let mut compiled = CompiledChecker::new(&m).unwrap();
+        let candidates = [
+            vec![symbols[1], symbols[2]],
+            vec![symbols[2], symbols[1]],
+            vec![symbols[1], symbols[0], symbols[2]],
+            vec![symbols[2], symbols[2], symbols[1]],
+            vec![symbols[0], symbols[1], symbols[0]],
+        ];
+        for actions in candidates {
+            let s = StaticSchedule::new(actions.clone());
+            // constraint 0 is asynchronous, 1 is periodic
+            let want_latency = s.latency(m.comm(), &m.constraints()[0].task).unwrap();
+            assert_eq!(
+                compiled.async_latency(&actions, 0).unwrap(),
+                want_latency,
+                "{actions:?}"
+            );
+            let report = s.feasibility(&m).unwrap();
+            let beat = &report.checks[1];
+            let (unserved, worst) = compiled.periodic_stats(&actions, 1).unwrap();
+            assert_eq!(unserved, beat.missed_windows, "{actions:?}");
+            assert_eq!(worst, beat.latency, "{actions:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_candidates_error_like_the_cache() {
+        let (m, _) = mixed_model();
+        let mut compiled = CompiledChecker::new(&m).unwrap();
+        assert!(matches!(
+            compiled.check(&[]),
+            Err(ModelError::EmptySchedule)
+        ));
+        assert!(matches!(
+            compiled.check(&[Action::Run(ElementId::new(99))]),
+            Err(ModelError::UnknownElement(_))
+        ));
+        // a failed sync must not poison later checks
+        assert!(compiled.check(&[Action::Idle]).is_ok());
+
+        let mut b = ModelBuilder::new();
+        let z = b.element("z", 0);
+        let good = b.element("g", 1);
+        let tg = TaskGraphBuilder::new().op("g", good).build().unwrap();
+        b.asynchronous("cg", tg, 4, 4);
+        let m0 = b.build().unwrap();
+        let mut compiled = CompiledChecker::new(&m0).unwrap();
+        assert!(matches!(
+            compiled.check(&[Action::Run(good), Action::Run(z)]),
+            Err(ModelError::ZeroWeightScheduled(_))
+        ));
+    }
+
+    #[test]
+    fn coverage_fast_path_rejects_missing_elements() {
+        let (m, symbols) = mixed_model();
+        let mut compiled = CompiledChecker::new(&m).unwrap();
+        // candidate runs only `a`: the chain constraint needs `b` too
+        assert!(!compiled.check(&[symbols[1]]).unwrap());
+        assert_eq!(compiled.async_latency(&[symbols[1]], 0).unwrap(), None);
+        let (unserved, worst) = compiled.periodic_stats(&[symbols[1]], 1).unwrap();
+        assert!(unserved > 0);
+        assert_eq!(worst, None);
+    }
+
+    /// Rebuilds the expected index for an action string from scratch.
+    fn fresh_index(m: &Model, actions: &[Action]) -> (Vec<Vec<Time>>, Time, u64) {
+        let mut c = CompiledChecker::new(m).unwrap();
+        c.sync(actions).unwrap();
+        (c.starts.clone(), c.duration, c.present_mask)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Append-then-backtrack through an arbitrary sequence of
+        /// candidates leaves the incremental index byte-identical to a
+        /// fresh build of the final candidate.
+        #[test]
+        fn incremental_index_matches_fresh_build(
+            seqs in prop::collection::vec(
+                prop::collection::vec(0usize..=2, 0..=8),
+                1..=6,
+            )
+        ) {
+            let (m, symbols) = mixed_model();
+            let mut inc = CompiledChecker::new(&m).unwrap();
+            for seq in &seqs {
+                let actions: Vec<Action> = seq.iter().map(|&i| symbols[i]).collect();
+                inc.sync(&actions).unwrap();
+                let (starts, duration, mask) = fresh_index(&m, &actions);
+                prop_assert_eq!(&inc.starts, &starts, "starts after {:?}", seq);
+                prop_assert_eq!(inc.duration, duration);
+                prop_assert_eq!(inc.present_mask, mask);
+                prop_assert_eq!(&inc.cur, &actions);
+            }
+        }
+    }
+}

@@ -21,9 +21,15 @@
 //! * **short lengths** — strings shorter than the number of used
 //!   elements cannot contain them all, so the length loop starts at
 //!   `n_used`;
-//! * **cached leaf evaluation** ([`crate::schedule::FeasibilityCache`])
-//!   — one trace expansion and one instance index per candidate, with
-//!   the asynchronous scan short-circuiting on the first miss.
+//! * **compiled leaf evaluation** ([`super::compiled::CompiledChecker`])
+//!   — the model compiled once into flat structure-of-arrays tables,
+//!   with an incremental per-candidate instance index (synced by
+//!   longest-common-prefix diff, so consecutive leaves of the DFS pay
+//!   one append/pop per enumeration edge) and an allocation-free
+//!   per-window kernel, with the asynchronous scan short-circuiting on
+//!   the first miss. The previous cached evaluator
+//!   ([`crate::schedule::FeasibilityCache`]) remains as the
+//!   differential baseline.
 //!
 //! The search is still intentionally exponential: Theorem 2 proves the
 //! problem strongly NP-hard even for severely restricted instances, and
@@ -82,6 +88,9 @@ pub struct SearchOutcome {
     /// Number of enumeration nodes visited (symbol placements,
     /// including ones the prefix bounds immediately pruned).
     pub nodes_visited: u64,
+    /// Number of subtrees cut: placements the prefix bounds rejected
+    /// plus completed strings discarded by the necklace filter.
+    pub nodes_pruned: u64,
     /// True if the search ran to completion (budget not exhausted). When
     /// `schedule` is `None` and `exhausted_bound` is true, no feasible
     /// schedule of length `≤ max_len` exists.
@@ -94,6 +103,7 @@ impl SearchOutcome {
             schedule: None,
             candidates_checked: 0,
             nodes_visited: 0,
+            nodes_pruned: 0,
             exhausted_bound: true,
         }
     }
@@ -105,9 +115,10 @@ impl SearchOutcome {
 /// `StaticSchedule::new(actions.to_vec()).feasibility(model)` would
 /// report, for every candidate, or the search's completeness claim (and
 /// the bit-identity between cached and cold analysis) breaks. The
-/// default evaluator is [`FeasibilityCache`]; `rtcg-engine` injects a
-/// memoizing evaluator that reuses per-candidate latencies across
-/// deadline edits of one model structure.
+/// default evaluator is [`super::compiled::CompiledChecker`];
+/// [`FeasibilityCache`] is the retained baseline, and `rtcg-engine`
+/// injects a memoizing evaluator that reuses per-candidate latencies
+/// across deadline edits of one model structure.
 pub trait CandidateEval {
     /// True iff `actions` is a feasible schedule for `model`.
     fn check(&mut self, model: &Model, actions: &[Action]) -> Result<bool, ModelError>;
@@ -179,7 +190,6 @@ impl<'m> SearchCtx<'m> {
     pub(crate) fn start_len(&self) -> usize {
         self.used.len().max(1)
     }
-
 
     fn action(&self, sym: usize) -> Action {
         if sym == 0 {
@@ -328,6 +338,7 @@ pub(crate) enum SubtreeEnd {
 pub(crate) struct SubtreeResult {
     pub nodes: u64,
     pub candidates: u64,
+    pub pruned: u64,
     pub end: SubtreeEnd,
 }
 
@@ -342,6 +353,10 @@ struct Dfs<'a, 'b, 'm> {
     cancel: Option<(&'a AtomicUsize, usize)>,
     nodes: u64,
     candidates: u64,
+    pruned: u64,
+    /// Leaf action buffer, reused across candidates (cloned only when a
+    /// feasible schedule is found).
+    actions_buf: Vec<Action>,
 }
 
 impl Dfs<'_, '_, '_> {
@@ -357,7 +372,6 @@ impl Dfs<'_, '_, '_> {
             return Err(SubtreeEnd::Starved);
         }
         self.nodes += 1;
-        rtcg_obs::counter!("search.nodes_expanded");
         self.string[depth] = sym;
         self.counts[sym] += 1;
         self.duration += self.ctx.pruner.weight(sym);
@@ -368,7 +382,7 @@ impl Dfs<'_, '_, '_> {
         {
             Ok(true)
         } else {
-            rtcg_obs::counter!("search.nodes_pruned");
+            self.pruned += 1;
             Ok(false)
         }
     }
@@ -384,17 +398,18 @@ impl Dfs<'_, '_, '_> {
         if depth == self.len {
             if !self.len.is_multiple_of(period) {
                 // not a necklace: some rotation is smaller
-                rtcg_obs::counter!("search.nodes_pruned");
+                self.pruned += 1;
                 return Ok(SubtreeEnd::Done);
             }
             if !self.budget.charge() {
                 return Ok(SubtreeEnd::Starved);
             }
             self.candidates += 1;
-            rtcg_obs::counter!("search.candidates_checked");
-            let actions: Vec<Action> = self.string.iter().map(|&s| self.ctx.action(s)).collect();
-            if self.cache.check(self.ctx.model, &actions)? {
-                return Ok(SubtreeEnd::Found(StaticSchedule::new(actions)));
+            self.actions_buf.clear();
+            let buf = &mut self.actions_buf;
+            buf.extend(self.string.iter().map(|&s| self.ctx.action(s)));
+            if self.cache.check(self.ctx.model, buf)? {
+                return Ok(SubtreeEnd::Found(StaticSchedule::new(buf.clone())));
             }
             return Ok(SubtreeEnd::Done);
         }
@@ -442,6 +457,8 @@ pub(crate) fn run_unit(
         cancel,
         nodes: 0,
         candidates: 0,
+        pruned: 0,
+        actions_buf: Vec::with_capacity(len),
     };
     let mut end = SubtreeEnd::Done;
     let mut period = 1usize;
@@ -478,6 +495,7 @@ pub(crate) fn run_unit(
     Ok(SubtreeResult {
         nodes: dfs.nodes,
         candidates: dfs.candidates,
+        pruned: dfs.pruned,
         end,
     })
 }
@@ -508,6 +526,7 @@ pub(crate) fn resume_sequential(
             let r = run_unit(ctx, eval, len, unit, &mut budget, None)?;
             out.nodes_visited += r.nodes;
             out.candidates_checked += r.candidates;
+            out.nodes_pruned += r.pruned;
             match r.end {
                 SubtreeEnd::Done => {}
                 SubtreeEnd::Found(s) => {
@@ -528,7 +547,21 @@ pub(crate) fn resume_sequential(
 /// Searches for a feasible static schedule of at most `config.max_len`
 /// actions. Complete up to the bound.
 pub fn find_feasible(model: &Model, config: SearchConfig) -> Result<SearchOutcome, ModelError> {
-    find_feasible_with(model, config, None, &mut FeasibilityCache::new(model))
+    find_feasible_with(
+        model,
+        config,
+        None,
+        &mut super::compiled::CompiledChecker::new(model)?,
+    )
+}
+
+/// Emits the per-search aggregate metrics. Instrumentation lives here —
+/// outside the enumeration hot loop — so the counters cost three calls
+/// per search instead of one per node (see the `obs_overhead` bench).
+pub(crate) fn emit_search_counters(out: &SearchOutcome) {
+    rtcg_obs::counter!("search.nodes_expanded", out.nodes_visited);
+    rtcg_obs::counter!("search.nodes_pruned", out.nodes_pruned);
+    rtcg_obs::counter!("search.candidates_checked", out.candidates_checked);
 }
 
 /// [`find_feasible`] with an injected leaf evaluator and (optionally) a
@@ -549,10 +582,12 @@ pub fn find_feasible_with(
     if model.constraints().is_empty() {
         // any schedule is trivially feasible; return a single idle
         out.schedule = Some(StaticSchedule::new(vec![Action::Idle]));
+        emit_search_counters(&out);
         return Ok(out);
     }
     let ctx = SearchCtx::with_pruner(model, pruner)?;
     resume_sequential(&ctx, config, ctx.start_len(), 0, eval, &mut out)?;
+    emit_search_counters(&out);
     Ok(out)
 }
 
@@ -604,6 +639,7 @@ pub mod reference {
             schedule: None,
             candidates_checked: 0,
             nodes_visited: 0,
+            nodes_pruned: 0,
             exhausted_bound: true,
         };
         if model.constraints().is_empty() {

@@ -23,13 +23,14 @@
 //! construction — races can only change how much speculative work is
 //! thrown away, never the answer.
 
+use super::compiled::CompiledChecker;
 use super::exact::{
-    resume_sequential, run_unit, work_units, Budget, SearchConfig, SearchCtx, SearchOutcome,
-    SubtreeEnd, SubtreeResult, TokenPool,
+    emit_search_counters, resume_sequential, run_unit, work_units, Budget, SearchConfig, SearchCtx,
+    SearchOutcome, SubtreeEnd, SubtreeResult, TokenPool,
 };
 use crate::error::ModelError;
 use crate::model::Model;
-use crate::schedule::{Action, FeasibilityCache, StaticSchedule};
+use crate::schedule::{Action, StaticSchedule};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Parallel variant of [`super::exact::find_feasible`]. `threads = 1`
@@ -41,11 +42,22 @@ pub fn find_feasible_parallel(
     threads: usize,
 ) -> Result<SearchOutcome, ModelError> {
     let _span = rtcg_obs::span!("feasibility.parallel", "search");
+    let out = search(model, config, threads)?;
+    emit_search_counters(&out);
+    Ok(out)
+}
+
+fn search(
+    model: &Model,
+    config: SearchConfig,
+    threads: usize,
+) -> Result<SearchOutcome, ModelError> {
     let threads = threads.max(1);
     let mut out = SearchOutcome {
         schedule: None,
         candidates_checked: 0,
         nodes_visited: 0,
+        nodes_pruned: 0,
         exhausted_bound: true,
     };
     if model.constraints().is_empty() {
@@ -53,8 +65,11 @@ pub fn find_feasible_parallel(
         return Ok(out);
     }
     let ctx = SearchCtx::new(model)?;
+    // compiled once; each worker clones the flat tables (cheap) so its
+    // incremental candidate index and scratch arena are thread-local
+    let proto = CompiledChecker::new(model)?;
     if threads == 1 {
-        let mut cache = FeasibilityCache::new(model);
+        let mut cache = proto;
         resume_sequential(&ctx, config, ctx.start_len(), 0, &mut cache, &mut out)?;
         return Ok(out);
     }
@@ -76,8 +91,9 @@ pub fn find_feasible_parallel(
                 let pool = &pool;
                 let cursor = &cursor;
                 let winner = &winner;
+                let proto = &proto;
                 handles.push(scope.spawn(move || {
-                    let mut cache = FeasibilityCache::new(model);
+                    let mut cache = proto.clone();
                     let mut locals = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::AcqRel);
@@ -90,6 +106,7 @@ pub fn find_feasible_parallel(
                                 Ok(SubtreeResult {
                                     nodes: 0,
                                     candidates: 0,
+                                    pruned: 0,
                                     end: SubtreeEnd::Cancelled,
                                 }),
                             ));
@@ -132,17 +149,19 @@ pub fn find_feasible_parallel(
                 SubtreeEnd::Done if fits => {
                     out.nodes_visited += r.nodes;
                     out.candidates_checked += r.candidates;
+                    out.nodes_pruned += r.pruned;
                 }
                 SubtreeEnd::Found(s) if fits => {
                     out.nodes_visited += r.nodes;
                     out.candidates_checked += r.candidates;
+                    out.nodes_pruned += r.pruned;
                     out.schedule = Some(s);
                     return Ok(out);
                 }
                 // starved, cancelled, or would trip the budget mid-unit:
                 // the sequential engine reproduces the exact outcome
                 _ => {
-                    let mut cache = FeasibilityCache::new(model);
+                    let mut cache = CompiledChecker::new(model)?;
                     resume_sequential(&ctx, config, len, i, &mut cache, &mut out)?;
                     return Ok(out);
                 }
@@ -223,6 +242,7 @@ mod tests {
         assert_eq!(a.schedule, b.schedule);
         assert_eq!(a.exhausted_bound, b.exhausted_bound);
         assert_eq!(a.nodes_visited, b.nodes_visited);
+        assert_eq!(a.nodes_pruned, b.nodes_pruned);
         assert_eq!(a.candidates_checked, b.candidates_checked);
     }
 
@@ -260,6 +280,7 @@ mod tests {
                     assert_eq!(seq.schedule, par.schedule, "{tag}");
                     assert_eq!(seq.exhausted_bound, par.exhausted_bound, "{tag}");
                     assert_eq!(seq.nodes_visited, par.nodes_visited, "{tag}");
+                    assert_eq!(seq.nodes_pruned, par.nodes_pruned, "{tag}");
                     assert_eq!(seq.candidates_checked, par.candidates_checked, "{tag}");
                 }
             }

@@ -230,7 +230,10 @@ mod tests {
         let p = pipeline_model(&m).unwrap();
         assert_eq!(p.model.comm().element_count(), 1);
         assert_eq!(
-            p.model.comm().name(p.model.comm().lookup("x").unwrap()).unwrap(),
+            p.model
+                .comm()
+                .name(p.model.comm().lookup("x").unwrap())
+                .unwrap(),
             "x"
         );
         assert!(p.all_unit_weight());

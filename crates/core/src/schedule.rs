@@ -222,14 +222,21 @@ impl StaticSchedule {
     /// Pretty-prints the action string using element names. Errors if
     /// the schedule references an element the graph does not contain.
     pub fn display(&self, comm: &CommGraph) -> Result<String, ModelError> {
-        let mut syms: Vec<String> = Vec::with_capacity(self.actions.len());
-        for a in &self.actions {
-            syms.push(match a {
-                Action::Idle => "φ".to_string(),
-                Action::Run(e) => comm.name(*e)?.to_string(),
-            });
+        use std::fmt::Write;
+        // single pre-sized buffer: "[" + symbols + separators + "]"
+        let mut s = String::with_capacity(2 + 2 * self.actions.len());
+        s.push('[');
+        for (i, a) in self.actions.iter().enumerate() {
+            if i > 0 {
+                s.push(' ');
+            }
+            match a {
+                Action::Idle => s.push('φ'),
+                Action::Run(e) => write!(s, "{}", comm.name(*e)?).expect("write to String"),
+            }
         }
-        Ok(format!("[{}]", syms.join(" ")))
+        s.push(']');
+        Ok(s)
     }
 }
 
@@ -671,6 +678,33 @@ mod tests {
         // a schedule over a foreign element refuses to render
         let foreign = StaticSchedule::new(vec![Action::Run(ElementId::new(99))]);
         assert!(foreign.display(m.comm()).is_err());
+    }
+
+    #[test]
+    fn display_renders_idle_runs_and_edges() {
+        let (m, a, _) = pipeline_model(4);
+        // empty schedule: just the brackets, no separators
+        assert_eq!(StaticSchedule::new(vec![]).display(m.comm()).unwrap(), "[]");
+        // single idle, and idle at both edges around a run
+        assert_eq!(
+            StaticSchedule::new(vec![Action::Idle])
+                .display(m.comm())
+                .unwrap(),
+            "[φ]"
+        );
+        assert_eq!(
+            StaticSchedule::new(vec![Action::Idle, Action::Run(a), Action::Idle])
+                .display(m.comm())
+                .unwrap(),
+            "[φ a φ]"
+        );
+        // consecutive idles keep exactly one space between symbols
+        assert_eq!(
+            StaticSchedule::new(vec![Action::Idle, Action::Idle])
+                .display(m.comm())
+                .unwrap(),
+            "[φ φ]"
+        );
     }
 
     #[test]

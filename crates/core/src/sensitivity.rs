@@ -42,7 +42,11 @@ impl DeadlineSensitivity {
 /// unchanged). `Ok(None)` means the edit is definitionally infeasible
 /// (deadline below the constraint's computation time), which binary
 /// searches treat as an infeasible probe rather than an error.
-pub fn with_deadline(model: &Model, id: ConstraintId, d: Time) -> Result<Option<Model>, ModelError> {
+pub fn with_deadline(
+    model: &Model,
+    id: ConstraintId,
+    d: Time,
+) -> Result<Option<Model>, ModelError> {
     let mut constraints = model.constraints().to_vec();
     let c = &mut constraints[id.index()];
     c.deadline = d;

@@ -459,6 +459,72 @@ mod tests {
     }
 
     #[test]
+    fn truncated_and_ill_formed_interleaved_by_element() {
+        let (_, [a, b, c]) = setup();
+        // tick 0: orphan continuation of b (no offset-0 start) → skipped
+        // tick 1: complete 1-tick a
+        // ticks 2-3: b starts but its offset-2 tick never arrives —
+        //            truncated to len 2 by the idle at tick 4
+        // tick 5: another orphan continuation (of a this time)
+        // ticks 6-7: b restarts cleanly after the garbage
+        // tick 8: c starts at the trace edge (trailing truncation)
+        let t = Trace::from_slots(vec![
+            Slot::Busy {
+                element: b,
+                offset: 1,
+            },
+            Slot::Busy {
+                element: a,
+                offset: 0,
+            },
+            Slot::Busy {
+                element: b,
+                offset: 0,
+            },
+            Slot::Busy {
+                element: b,
+                offset: 1,
+            },
+            Slot::Idle,
+            Slot::Busy {
+                element: a,
+                offset: 2,
+            },
+            Slot::Busy {
+                element: b,
+                offset: 0,
+            },
+            Slot::Busy {
+                element: b,
+                offset: 1,
+            },
+            Slot::Busy {
+                element: c,
+                offset: 0,
+            },
+        ]);
+        let by_elem = t.instances_by_element();
+        // orphan continuations (ticks 0 and 5) appear in no group
+        let a_insts = &by_elem[&a];
+        assert_eq!(a_insts.len(), 1);
+        assert_eq!((a_insts[0].start, a_insts[0].len), (1, 1));
+        let b_insts = &by_elem[&b];
+        assert_eq!(b_insts.len(), 2);
+        assert_eq!((b_insts[0].start, b_insts[0].len), (2, 2));
+        assert_eq!((b_insts[1].start, b_insts[1].len), (6, 2));
+        let c_insts = &by_elem[&c];
+        assert_eq!(c_insts.len(), 1);
+        assert_eq!((c_insts[0].start, c_insts[0].len), (8, 1));
+        // grouping loses nothing relative to the flat extractor
+        let flat = t.instances().len();
+        assert_eq!(flat, by_elem.values().map(Vec::len).sum::<usize>());
+        // per-element lists stay sorted by start
+        assert!(by_elem
+            .values()
+            .all(|v| v.windows(2).all(|p| p[0].start < p[1].start)));
+    }
+
+    #[test]
     fn pipeline_ordering_holds_for_serial_traces() {
         let (_, [a, b, _]) = setup();
         let mut t = Trace::new();

@@ -1,13 +1,25 @@
 //! Property tests for the exact-search stack: the canonicity predicate
-//! against a brute-force oracle, and the branch-and-bound search
+//! against a brute-force oracle, the branch-and-bound search
 //! (sequential and parallel) against the seed generate-and-filter
-//! enumerator on randomized small models.
+//! enumerator on randomized small models, and the three leaf evaluators
+//! ([`CompiledChecker`], [`FeasibilityCache`], full cold analysis)
+//! against each other on randomized candidate strings.
+//!
+//! Because `find_feasible` now runs on `CompiledChecker` and
+//! `find_feasible_reference` is the seed's cold `StaticSchedule`
+//! analysis, `branch_and_bound_matches_reference` doubles as an
+//! end-to-end differential of the compiled leaf path: verdicts,
+//! schedules, and counters must all survive the evaluator swap.
 
 use proptest::prelude::*;
 use rtcg_core::feasibility::exact::reference::find_feasible_reference;
-use rtcg_core::feasibility::{find_feasible, find_feasible_parallel, SearchConfig};
+use rtcg_core::feasibility::{
+    find_feasible, find_feasible_parallel, find_feasible_with, CandidateEval, CompiledChecker,
+    SearchConfig,
+};
 use rtcg_core::model::Model;
 use rtcg_core::model::ModelBuilder;
+use rtcg_core::schedule::{Action, FeasibilityCache, StaticSchedule};
 use rtcg_core::task::TaskGraphBuilder;
 
 /// Brute force: materialize every rotation and compare.
@@ -96,7 +108,80 @@ proptest! {
             prop_assert_eq!(&bb.schedule, &par.schedule, "threads={}", threads);
             prop_assert_eq!(bb.exhausted_bound, par.exhausted_bound);
             prop_assert_eq!(bb.nodes_visited, par.nodes_visited);
+            prop_assert_eq!(bb.nodes_pruned, par.nodes_pruned);
             prop_assert_eq!(bb.candidates_checked, par.candidates_checked);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Three-way leaf differential: for arbitrary candidate strings
+    /// (including degenerate ones), the compiled checker, the cached
+    /// checker, and the full cold analysis agree verdict-for-verdict —
+    /// and error-for-error. One compiled checker is reused across the
+    /// whole sequence, so its incremental prefix-diff sync is exercised
+    /// against stateless evaluators.
+    #[test]
+    fn leaf_evaluators_agree(
+        (elems, chain_d, _) in model_spec(),
+        seqs in prop::collection::vec(prop::collection::vec(0usize..=3, 0..=6), 1..=12),
+    ) {
+        let model = build_model(&elems, chain_d);
+        let used = rtcg_core::feasibility::used_elements(&model);
+        let mut cache = FeasibilityCache::new(&model);
+        let mut compiled = CompiledChecker::new(&model).unwrap();
+        for seq in &seqs {
+            let actions: Vec<Action> = seq
+                .iter()
+                .map(|&s| {
+                    if s == 0 {
+                        Action::Idle
+                    } else {
+                        Action::Run(used[(s - 1) % used.len()])
+                    }
+                })
+                .collect();
+            let cold = StaticSchedule::new(actions.clone()).feasibility(&model);
+            let cached = cache.check(&model, &actions);
+            let comp = CandidateEval::check(&mut compiled, &model, &actions);
+            match (cold, cached, comp) {
+                (Ok(report), Ok(a), Ok(b)) => {
+                    prop_assert_eq!(report.is_feasible(), a, "cache vs cold on {:?}", actions);
+                    prop_assert_eq!(a, b, "compiled vs cache on {:?}", actions);
+                }
+                (Err(_), Err(_), Err(_)) => {}
+                (cold, cached, comp) => prop_assert!(
+                    false,
+                    "divergence on {:?}: {:?} vs {:?} vs {:?}",
+                    actions, cold, cached, comp
+                ),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Swapping the search's leaf evaluator between the compiled
+    /// default and the cached baseline changes nothing observable:
+    /// schedule, verdict, bound status, and all three counters are
+    /// bit-identical.
+    #[test]
+    fn compiled_and_cached_searches_are_bit_identical(
+        (elems, chain_d, max_len) in model_spec(),
+    ) {
+        let model = build_model(&elems, chain_d);
+        let cfg = SearchConfig { max_len, node_budget: u64::MAX / 2 };
+        let comp = find_feasible(&model, cfg).unwrap();
+        let mut cache = FeasibilityCache::new(&model);
+        let cached = find_feasible_with(&model, cfg, None, &mut cache).unwrap();
+        prop_assert_eq!(&comp.schedule, &cached.schedule);
+        prop_assert_eq!(comp.exhausted_bound, cached.exhausted_bound);
+        prop_assert_eq!(comp.nodes_visited, cached.nodes_visited);
+        prop_assert_eq!(comp.nodes_pruned, cached.nodes_pruned);
+        prop_assert_eq!(comp.candidates_checked, cached.candidates_checked);
     }
 }

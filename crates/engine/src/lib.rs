@@ -412,8 +412,7 @@ impl Engine {
                 Entry::Occupied(e) => e.into_mut(),
                 Entry::Vacant(e) => {
                     let used = used_elements(model);
-                    let template =
-                        PrunerTemplate::new(model, &used).map_err(EngineError::from)?;
+                    let template = PrunerTemplate::new(model, &used).map_err(EngineError::from)?;
                     e.insert(Session {
                         memo: SessionMemo::default(),
                         template,
@@ -427,7 +426,7 @@ impl Engine {
                 "structure fingerprint collision: alphabets differ"
             );
             let pruner = session.template.instantiate(model);
-            let mut eval = MemoEval::new(model, &mut session.memo);
+            let mut eval = MemoEval::new(model, &mut session.memo).map_err(EngineError::from)?;
             let outcome = find_feasible_with(model, req.search, Some(pruner), &mut eval)
                 .map_err(EngineError::from)?;
             self.leaf_evals_saved += eval.evals_saved;
@@ -454,7 +453,10 @@ impl Engine {
                 ),
             },
             None => Verdict::Unknown {
-                reason: format!("search budget of {} units exhausted", req.search.node_budget),
+                reason: format!(
+                    "search budget of {} units exhausted",
+                    req.search.node_budget
+                ),
             },
         };
         Ok(AnalysisReport {
@@ -625,7 +627,10 @@ mod tests {
         // must absorb at least one lost execution
         let mut b = rtcg_core::ModelBuilder::new();
         let e = b.element("e", 1);
-        let tg = rtcg_core::TaskGraphBuilder::new().op("o", e).build().unwrap();
+        let tg = rtcg_core::TaskGraphBuilder::new()
+            .op("o", e)
+            .build()
+            .unwrap();
         b.asynchronous("c", tg, 9, 9);
         let m = b.build().unwrap();
         // exact mode finds the densest schedule [e], which has slack to

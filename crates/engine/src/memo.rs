@@ -15,17 +15,21 @@
 //! [`MemoEval`] implements [`CandidateEval`] with exactly the verdict
 //! semantics of [`rtcg_core::FeasibilityCache`] (the contract the exact
 //! search relies on): same horizons, same window grids, same
-//! comparisons. The differential tests in `tests/differential.rs` pin
-//! this equivalence over random models and edit sequences.
+//! comparisons. Memo *misses* are computed by the compiled leaf kernel
+//! ([`rtcg_core::feasibility::CompiledChecker`]) — its
+//! `async_latency`/`periodic_stats` are pinned bit-identical to the
+//! classic `StaticSchedule` analysis, so the memoized values are
+//! representation-independent. The differential tests in
+//! `tests/differential.rs` pin this equivalence over random models and
+//! edit sequences.
 
 use std::collections::{BTreeMap, HashMap};
 
 use rtcg_core::constraint::ConstraintKind;
-use rtcg_core::feasibility::CandidateEval;
+use rtcg_core::feasibility::{CandidateEval, CompiledChecker};
 use rtcg_core::model::Model;
-use rtcg_core::schedule::{Action, StaticSchedule};
+use rtcg_core::schedule::Action;
 use rtcg_core::time::{lcm, Time};
-use rtcg_core::trace::Trace;
 use rtcg_core::ModelError;
 
 /// `(constraint ix, period, periodic lcm, max periodic deadline)` —
@@ -71,6 +75,9 @@ impl SessionMemo {
 /// computing (and recording) only what the memo is missing.
 pub struct MemoEval<'m> {
     memo: &'m mut SessionMemo,
+    /// Compiled kernel that computes memo misses (and keeps the
+    /// incremental candidate index warm across consecutive leaves).
+    compiled: CompiledChecker,
     /// `(constraint ix, deadline)` for asynchronous constraints, sorted
     /// by deadline ascending (tightest first, mirroring
     /// `FeasibilityCache`'s short-circuit order).
@@ -91,7 +98,8 @@ impl<'m> MemoEval<'m> {
     /// Builds the evaluator for one probe model. The constraint scan
     /// tables are rebuilt per probe (they carry the probe's deadlines);
     /// the memo persists across probes of the same structure.
-    pub fn new(model: &Model, memo: &'m mut SessionMemo) -> Self {
+    pub fn new(model: &Model, memo: &'m mut SessionMemo) -> Result<Self, ModelError> {
+        let compiled = CompiledChecker::new(model)?;
         let mut asyn = Vec::new();
         let mut periodic = Vec::new();
         let mut periodic_lcm: Time = 1;
@@ -107,23 +115,22 @@ impl<'m> MemoEval<'m> {
             }
         }
         asyn.sort_by_key(|&(_, d)| d);
-        MemoEval {
+        Ok(MemoEval {
             memo,
+            compiled,
             asyn,
             periodic,
             periodic_lcm,
             max_periodic_deadline,
             evals_saved: 0,
             evals_computed: 0,
-        }
+        })
     }
 }
 
 impl CandidateEval for MemoEval<'_> {
-    fn check(&mut self, model: &Model, actions: &[Action]) -> Result<bool, ModelError> {
-        let comm = model.comm();
-        let schedule = StaticSchedule::new(actions.to_vec());
-        let period = schedule.duration(comm)?;
+    fn check(&mut self, _model: &Model, actions: &[Action]) -> Result<bool, ModelError> {
+        let period = self.compiled.sync(actions)?;
         if actions.is_empty() || period == 0 {
             return Err(ModelError::EmptySchedule);
         }
@@ -136,7 +143,7 @@ impl CandidateEval for MemoEval<'_> {
                 Some(&l) => l,
                 None => {
                     fresh = true;
-                    let l = schedule.latency(comm, &model.constraints()[ix].task)?;
+                    let l = self.compiled.async_latency(actions, ix)?;
                     entry.async_latency.insert(ix, l);
                     l
                 }
@@ -147,36 +154,16 @@ impl CandidateEval for MemoEval<'_> {
             }
         }
 
-        if verdict && !self.periodic.is_empty() {
-            let joint = lcm(period, self.periodic_lcm);
-            let reps = ((joint + self.max_periodic_deadline) / period) as usize + 2;
-            // expanded lazily, at most once per check, only on memo miss
-            let mut trace: Option<Trace> = None;
+        if verdict {
             for &(ix, p, deadline) in &self.periodic {
                 let key = (ix, p, self.periodic_lcm, self.max_periodic_deadline);
                 let (unserved, worst) = match entry.periodic.get(&key) {
                     Some(&v) => v,
                     None => {
                         fresh = true;
-                        if trace.is_none() {
-                            trace = Some(schedule.expand(comm, reps)?);
-                        }
-                        let tr = trace.as_ref().expect("expanded above");
-                        let task = &model.constraints()[ix].task;
-                        let mut unserved = 0u64;
-                        let mut worst: Option<Time> = None;
-                        for k in 0..joint / p {
-                            let t0 = k * p;
-                            match tr.earliest_completion(task, comm, t0)? {
-                                Some(done) => {
-                                    let response = done - t0;
-                                    worst = Some(worst.map_or(response, |w| w.max(response)));
-                                }
-                                None => unserved += 1,
-                            }
-                        }
-                        entry.periodic.insert(key, (unserved, worst));
-                        (unserved, worst)
+                        let v = self.compiled.periodic_stats(actions, ix)?;
+                        entry.periodic.insert(key, v);
+                        v
                     }
                 };
                 if unserved > 0 || worst.is_none_or(|w| w > deadline) {
@@ -234,7 +221,7 @@ mod tests {
 
         for model in [&m1, &m2, &m1] {
             let mut cold = FeasibilityCache::new(model);
-            let mut warm = MemoEval::new(model, &mut memo);
+            let mut warm = MemoEval::new(model, &mut memo).unwrap();
             for len in 1..=3usize {
                 let mut idx = vec![0usize; len];
                 loop {
@@ -271,13 +258,13 @@ mod tests {
         let mut memo = SessionMemo::default();
         let actions = vec![symbols[1], symbols[2]];
         {
-            let mut eval = MemoEval::new(&m, &mut memo);
+            let mut eval = MemoEval::new(&m, &mut memo).unwrap();
             eval.check(&m, &actions).unwrap();
             assert_eq!(eval.evals_computed, 1);
             assert_eq!(eval.evals_saved, 0);
         }
         {
-            let mut eval = MemoEval::new(&m, &mut memo);
+            let mut eval = MemoEval::new(&m, &mut memo).unwrap();
             eval.check(&m, &actions).unwrap();
             assert_eq!(eval.evals_computed, 0);
             assert_eq!(eval.evals_saved, 1);

@@ -186,14 +186,14 @@ fn chain_family_sweep_saves_5x_leaf_evals() {
     };
 
     let mut cold_evals = 0u64;
-    let cold_rows = deadline_sensitivities_with(
-        &model,
-        &mut |m: &Model| -> Result<bool, rtcg_core::ModelError> {
-            let out = find_feasible(m, cfg)?;
-            cold_evals += out.candidates_checked;
-            Ok(out.schedule.is_some())
-        },
-    )
+    let cold_rows = deadline_sensitivities_with(&model, &mut |m: &Model| -> Result<
+        bool,
+        rtcg_core::ModelError,
+    > {
+        let out = find_feasible(m, cfg)?;
+        cold_evals += out.candidates_checked;
+        Ok(out.schedule.is_some())
+    })
     .unwrap();
 
     let mut req = AnalysisRequest::exact();
@@ -256,7 +256,10 @@ fn mode_is_cached_independently() {
         node_budget: 60_000_000,
     };
     let exact = engine.analyze(&model, &req).unwrap();
-    assert!(!exact.cached, "exact must not be served from the heuristic entry");
+    assert!(
+        !exact.cached,
+        "exact must not be served from the heuristic entry"
+    );
     assert_eq!(engine.stats().misses, 2);
     assert!(heuristic.verdict.is_feasible() && exact.verdict.is_feasible());
     assert_eq!(exact.search.expect("stats").candidates_checked, 1);

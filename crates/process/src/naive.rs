@@ -182,7 +182,11 @@ mod tests {
         let m = shared_fs_model(10, 10);
         let n = naive_synthesis(&m).unwrap();
         let comm = m.comm();
-        let names: Vec<&str> = n.programs[0].body.iter().map(|&e| comm.name(e).unwrap()).collect();
+        let names: Vec<&str> = n.programs[0]
+            .body
+            .iter()
+            .map(|&e| comm.name(e).unwrap())
+            .collect();
         assert_eq!(names, vec!["fx", "fs"]);
     }
 
@@ -255,7 +259,11 @@ mod tests {
         let n = naive_synthesis(&m).unwrap();
         assert_eq!(n.set.len(), 3);
         // fS and fK are shared between x-chain and y-chain
-        let names: Vec<&str> = n.monitors.iter().map(|&e| m.comm().name(e).unwrap()).collect();
+        let names: Vec<&str> = n
+            .monitors
+            .iter()
+            .map(|&e| m.comm().name(e).unwrap())
+            .collect();
         assert!(names.contains(&"fS"));
         assert!(names.contains(&"fK"));
         assert!(n.redundant_work_rate(&m).unwrap() > 0.0);

@@ -60,7 +60,11 @@ pub fn render_table_scheduler(
                 let _ = writeln!(out, "    Entry::Idle,");
             }
             Action::Run(e) => {
-                let _ = writeln!(out, "    Entry::Run({}),", comm.name(*e).map_err(SynthError::from)?);
+                let _ = writeln!(
+                    out,
+                    "    Entry::Run({}),",
+                    comm.name(*e).map_err(SynthError::from)?
+                );
             }
         }
     }

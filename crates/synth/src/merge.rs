@@ -162,8 +162,14 @@ mod tests {
         // expect edges fX->fS, fY->fS, fS->fK in the merged graph
         let mut found = std::collections::BTreeSet::new();
         for (u, v) in merged.task.precedence_edges() {
-            let nu = comm.name(merged.task.element_of(u).unwrap()).unwrap().to_string();
-            let nv = comm.name(merged.task.element_of(v).unwrap()).unwrap().to_string();
+            let nu = comm
+                .name(merged.task.element_of(u).unwrap())
+                .unwrap()
+                .to_string();
+            let nv = comm
+                .name(merged.task.element_of(v).unwrap())
+                .unwrap()
+                .to_string();
             found.insert((nu, nv));
         }
         assert!(found.contains(&("fX".into(), "fS".into())));

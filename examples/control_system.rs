@@ -53,7 +53,10 @@ fn main() {
     );
     let (programs, _) = synthesize_programs(&model).expect("programs");
     println!();
-    println!("{}", render_process_system(&model, &programs).expect("model ids valid"));
+    println!(
+        "{}",
+        render_process_system(&model, &programs).expect("model ids valid")
+    );
 
     println!("=== latency scheduling: the feasible static schedule ===");
     let outcome = synthesize(&model).expect("synthesizable");

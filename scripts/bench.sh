@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerates the checked-in perf trajectory files the same way CI does.
+#
+#   scripts/bench.sh            full run (regenerates BENCH_leafcheck.json)
+#   scripts/bench.sh --quick    CI smoke mode (fewer candidates/iterations)
+#
+# The leafcheck bench asserts the >=3x compiled-vs-cached speedup gate
+# and verdict bit-identity on every candidate; a regression fails the
+# script.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--quick" ]]; then
+    export RTCG_BENCH_QUICK=1
+fi
+
+cargo bench -p rtcg-bench --bench leafcheck
