@@ -1,0 +1,237 @@
+//! Cross-request cache reuse in concurrent batch analysis: one shared
+//! [`Engine`] fanning a deadline sweep across workers against N
+//! independent cold engines answering the same requests.
+//!
+//! The workload is the one the tentpole targets — many same-structure
+//! probes (deadline-edited variants of one model) whose exact searches
+//! leaf-evaluate overwhelmingly overlapping candidate populations. A
+//! cold engine per request recomputes every leaf; the shared engine's
+//! per-structure candidate memo computes each `(candidate, constraint)`
+//! pair once batch-wide.
+//!
+//! For each scenario the bench first asserts **bit-identical verdicts**
+//! between the warm batch and sequential `analyze_once` per request,
+//! then compares leaf evaluations actually computed. The acceptance
+//! gate is a ≥3x reduction on every scenario; measured numbers go to
+//! `BENCH_batch.json` at the repo root (`RTCG_BENCH_OUT` overrides,
+//! `RTCG_BENCH_QUICK=1` shrinks the sweep for CI smoke runs).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtcg_core::feasibility::SearchConfig;
+use rtcg_core::model::Model;
+use rtcg_core::mok_example;
+use rtcg_core::sensitivity::with_deadline;
+use rtcg_core::ConstraintId;
+use rtcg_engine::batch::BatchOptions;
+use rtcg_engine::{analyze_once, AnalysisRequest, Engine};
+use rtcg_hardness::families::chain_family_with_deadline;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Scenario {
+    name: &'static str,
+    jobs: Vec<(Model, AnalysisRequest)>,
+}
+
+fn exact(max_len: usize) -> AnalysisRequest {
+    AnalysisRequest {
+        search: SearchConfig {
+            max_len,
+            node_budget: 60_000_000,
+        },
+        ..AnalysisRequest::exact()
+    }
+}
+
+fn scenarios(quick: bool) -> Vec<Scenario> {
+    // deadline sweep over the 2-chain family: same structure throughout,
+    // deadlines straddling the feasibility boundary (11 is the family's
+    // canonical deadline)
+    let chain_range = if quick { 10..=13u64 } else { 8..=15u64 };
+    let chain_jobs: Vec<(Model, AnalysisRequest)> = chain_range
+        .map(|d| (chain_family_with_deadline(2, d), exact(7)))
+        .collect();
+
+    // deadline edits of the paper's running example, first constraint
+    let (mok, _) = mok_example::default_model();
+    let mok_range = if quick { 4..=7u64 } else { 3..=10u64 };
+    let mok_jobs: Vec<(Model, AnalysisRequest)> = mok_range
+        .filter_map(|d| with_deadline(&mok, ConstraintId::new(0), d).unwrap())
+        .map(|m| (m, exact(6)))
+        .collect();
+
+    vec![
+        Scenario {
+            name: "chain2_deadline_sweep",
+            jobs: chain_jobs,
+        },
+        Scenario {
+            name: "mok_deadline_sweep",
+            jobs: mok_jobs,
+        },
+    ]
+}
+
+struct Row {
+    name: &'static str,
+    requests: usize,
+    cold_evals: u64,
+    warm_evals: u64,
+    reuse_factor: f64,
+    cold_s: f64,
+    warm_s: f64,
+}
+
+fn out_path() -> std::path::PathBuf {
+    match std::env::var_os("RTCG_BENCH_OUT") {
+        Some(p) => p.into(),
+        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_batch.json"),
+    }
+}
+
+fn write_json(rows: &[Row]) {
+    let mut s = String::from(
+        "{\n  \"bench\": \"batch\",\n  \"unit\": \"leaf_evals_computed\",\n  \"scenarios\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{}\", \"requests\": {}, \"cold_leaf_evals\": {}, \"warm_leaf_evals\": {}, \"reuse_factor\": {:.2}, \"cold_s\": {:.9}, \"warm_s\": {:.9}}}{}",
+            r.name,
+            r.requests,
+            r.cold_evals,
+            r.warm_evals,
+            r.reuse_factor,
+            r.cold_s,
+            r.warm_s,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ]\n}\n");
+    let path = out_path();
+    std::fs::write(&path, s).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("batch: wrote {}", path.display());
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let quick = std::env::var_os("RTCG_BENCH_QUICK").is_some();
+    let opts = BatchOptions {
+        threads: 2,
+        budget_ms: None,
+    };
+
+    let mut rows = Vec::new();
+    let mut group = c.benchmark_group("batch");
+    group.sample_size(10);
+
+    for s in scenarios(quick) {
+        // the invariant first: warm batch verdicts bit-identical to
+        // sequential analyze_once per request
+        let warm_engine = Engine::new();
+        let warm_start = Instant::now();
+        let results = warm_engine.analyze_batch(&s.jobs, &opts);
+        let warm_s = warm_start.elapsed().as_secs_f64();
+        let mut cold_evals = 0u64;
+        let cold_start = Instant::now();
+        for ((model, req), result) in s.jobs.iter().zip(&results) {
+            assert!(
+                !result.is_degraded(),
+                "{}: no budget, no degradation",
+                s.name
+            );
+            let got = result.report.as_ref().unwrap();
+            let cold_engine = Engine::new();
+            let want = cold_engine.analyze(model, req).unwrap();
+            cold_evals += cold_engine.stats().leaf_evals_computed;
+            assert_eq!(
+                got.verdict.schedule().map(|sch| sch.actions().to_vec()),
+                want.verdict.schedule().map(|sch| sch.actions().to_vec()),
+                "{}: schedule divergence",
+                s.name
+            );
+            assert_eq!(
+                got.verdict.is_feasible(),
+                want.verdict.is_feasible(),
+                "{}: verdict divergence",
+                s.name
+            );
+            let (gs, ws) = (got.search.unwrap(), want.search.unwrap());
+            assert_eq!(gs.nodes_visited, ws.nodes_visited, "{}", s.name);
+            assert_eq!(gs.candidates_checked, ws.candidates_checked, "{}", s.name);
+            // and against the one-shot front door too
+            let once = analyze_once(model, req).unwrap();
+            assert_eq!(
+                got.verdict.schedule().map(|sch| sch.actions().to_vec()),
+                once.verdict.schedule().map(|sch| sch.actions().to_vec()),
+                "{}: analyze_once divergence",
+                s.name
+            );
+        }
+        let cold_s = cold_start.elapsed().as_secs_f64();
+
+        let warm_stats = warm_engine.stats();
+        let warm_evals = warm_stats.leaf_evals_computed;
+        let reuse_factor = cold_evals as f64 / warm_evals.max(1) as f64;
+        println!(
+            "batch/{}: {} requests, cold {} leaf evals, warm {} computed (+{} memo-served) — {:.1}x reuse, cold {:.1} ms, warm {:.1} ms",
+            s.name,
+            s.jobs.len(),
+            cold_evals,
+            warm_evals,
+            warm_stats.leaf_evals_saved,
+            reuse_factor,
+            cold_s * 1e3,
+            warm_s * 1e3
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("cold_sequential", s.name),
+            &s.jobs,
+            |b, jobs| {
+                b.iter(|| {
+                    for (model, req) in jobs {
+                        black_box(Engine::new().analyze(model, req).unwrap());
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("warm_batch", s.name),
+            &s.jobs,
+            |b, jobs| {
+                b.iter(|| {
+                    let engine = Engine::new();
+                    black_box(engine.analyze_batch(jobs, &opts));
+                })
+            },
+        );
+
+        rows.push(Row {
+            name: s.name,
+            requests: s.jobs.len(),
+            cold_evals,
+            warm_evals,
+            reuse_factor,
+            cold_s,
+            warm_s,
+        });
+    }
+    group.finish();
+
+    write_json(&rows);
+
+    for r in &rows {
+        assert!(
+            r.reuse_factor >= 3.0,
+            "batch/{}: cross-request reuse {:.2}x below the 3x acceptance gate \
+             (cold {} vs warm {})",
+            r.name,
+            r.reuse_factor,
+            r.cold_evals,
+            r.warm_evals
+        );
+    }
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

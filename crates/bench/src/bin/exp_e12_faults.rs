@@ -56,7 +56,7 @@ fn main() {
     println!("fault margins of the synthesized control-system schedule:");
     let (model, _) = rtcg_core::mok_example::default_model();
     let req = AnalysisRequest::default();
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let report = engine.analyze(&model, &req).unwrap();
     let names: Vec<String> = report
         .analysis_model

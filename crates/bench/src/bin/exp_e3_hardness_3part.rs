@@ -89,7 +89,7 @@ fn main() {
             max_len,
             node_budget: 60_000_000,
         };
-        let mut engine = Engine::new();
+        let engine = Engine::new();
         let (report, secs) = time_it(|| engine.analyze(&model, &req).unwrap());
         let stats = report.search.expect("exact mode reports search stats");
         t.row(&[
@@ -191,7 +191,7 @@ fn main() {
         .unwrap();
         let mut req = AnalysisRequest::exact();
         req.search = cfg;
-        let mut engine = Engine::new();
+        let engine = Engine::new();
         let warm_rows = engine.deadline_sensitivities(&model, &req).unwrap();
         for (c, w) in cold_rows.iter().zip(&warm_rows) {
             assert_eq!(

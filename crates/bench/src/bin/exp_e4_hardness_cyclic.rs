@@ -58,7 +58,7 @@ fn main() {
             max_len,
             node_budget: 60_000_000,
         };
-        let mut engine = Engine::new();
+        let engine = Engine::new();
         let (report, ss) = time_it(|| engine.analyze(&model, &req).unwrap());
         let stats = report.search.expect("exact mode reports search stats");
         let sv = match &report.verdict {
@@ -73,7 +73,7 @@ fn main() {
         // verdict without exercising the parallel search at all
         let mut par_req = req;
         par_req.threads = 4;
-        let mut par_engine = Engine::new();
+        let par_engine = Engine::new();
         let (par_report, ps) = time_it(|| par_engine.analyze(&model, &par_req).unwrap());
         assert_eq!(
             report.verdict.schedule(),

@@ -41,11 +41,11 @@ pub(crate) fn request_from_flags(flags: &[String]) -> Result<AnalysisRequest, Cl
     if flags.iter().any(|f| f == "--exact") {
         req.mode = AnalysisMode::Exact;
     }
-    req.threads = flag_value(flags, "--threads")?.unwrap_or(1).max(1) as usize;
+    req.threads = positive_flag_value(flags, "--threads")?.unwrap_or(1) as usize;
     if let Some(l) = flag_value(flags, "--max-len")? {
         req.search.max_len = l as usize;
     }
-    if let Some(b) = flag_value(flags, "--budget")? {
+    if let Some(b) = positive_flag_value(flags, "--budget")? {
         req.search.node_budget = b;
     }
     Ok(req)
@@ -98,7 +98,7 @@ pub fn check(path: &str, flags: &[String]) -> Result<(), CliError> {
     if flags.iter().any(|f| f == "--cache-stats") {
         // run a full feasibility analysis through the engine so the
         // stats line reflects a real workload (second run memo-hits)
-        let mut engine = Engine::new();
+        let engine = Engine::new();
         let req = request_from_flags(flags)?;
         let report = engine.analyze(&model, &req).map_err(engine_err)?;
         let verdict = match &report.verdict {
@@ -129,7 +129,7 @@ fn synthesize_inner(path: &str, flags: &[String]) -> Result<(), CliError> {
     let (_, model) = load(path)?;
     let gantt_ticks = flag_value(flags, "--gantt")?;
     let req = request_from_flags(flags)?;
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let report = engine.analyze(&model, &req).map_err(engine_err)?;
     if let (AnalysisMode::Exact, Some(stats)) = (req.mode, report.search) {
         println!(
@@ -175,7 +175,7 @@ fn synthesize_inner(path: &str, flags: &[String]) -> Result<(), CliError> {
 pub fn analyze(path: &str, flags: &[String]) -> Result<(), CliError> {
     let (_, model) = load(path)?;
     let req = request_from_flags(flags)?;
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     if flags.iter().any(|f| f == "--sweep") {
         println!("deadline sensitivity sweep ({}):", mode_name(req.mode));
         let rows = engine
@@ -228,6 +228,112 @@ pub fn analyze(path: &str, flags: &[String]) -> Result<(), CliError> {
         print_cache_stats(&engine);
     }
     Ok(())
+}
+
+/// `rtcg analyze --batch <manifest> [--threads N] [--budget-ms M]
+/// [--merged|--exact] [--max-len L] [--budget B] [--cache-stats]` —
+/// analyzes every spec listed in the manifest (one path per line, `#`
+/// comments, paths relative to the manifest) through one shared engine
+/// cache, fanned across `N` worker threads. With `--budget-ms`, a
+/// request whose exact search exceeds the budget degrades to the
+/// heuristic verdict instead of erroring.
+pub fn analyze_batch(manifest: &str, flags: &[String]) -> Result<(), CliError> {
+    let req = request_from_flags(flags)?;
+    let opts = rtcg_engine::batch::BatchOptions {
+        threads: positive_flag_value(flags, "--threads")?.unwrap_or(1) as usize,
+        budget_ms: positive_flag_value(flags, "--budget-ms")?,
+    };
+    let listing = std::fs::read_to_string(manifest)
+        .map_err(|e| CliError::Input(format!("cannot read manifest `{manifest}`: {e}")))?;
+    let base = std::path::Path::new(manifest)
+        .parent()
+        .map(|p| p.to_path_buf())
+        .unwrap_or_default();
+    let mut paths = Vec::new();
+    let mut jobs = Vec::new();
+    for line in listing.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let path = base.join(line);
+        let path = path
+            .to_str()
+            .ok_or_else(|| CliError::Input(format!("non-UTF-8 path in `{manifest}`")))?
+            .to_string();
+        let (_, model) = load(&path)?;
+        paths.push(path);
+        jobs.push((model, req));
+    }
+    if jobs.is_empty() {
+        return Err(CliError::Input(format!(
+            "manifest `{manifest}` lists no specs"
+        )));
+    }
+    println!(
+        "batch: {} spec(s), {} worker thread(s), budget {}",
+        jobs.len(),
+        opts.threads,
+        match opts.budget_ms {
+            Some(ms) => format!("{ms} ms/request"),
+            None => "unlimited".into(),
+        }
+    );
+    let engine = Engine::new();
+    let results = engine.analyze_batch(&jobs, &opts);
+    let width = paths.iter().map(|p| p.len()).max().unwrap_or(0);
+    let (mut feasible, mut infeasible, mut unknown, mut errors, mut degraded) = (0, 0, 0, 0, 0);
+    for (path, result) in paths.iter().zip(&results) {
+        let verdict = match &result.report {
+            Ok(report) => match &report.verdict {
+                Verdict::Feasible { strategy, .. } => {
+                    feasible += 1;
+                    format!("feasible ({strategy})")
+                }
+                Verdict::Infeasible { reason } => {
+                    infeasible += 1;
+                    format!("infeasible — {reason}")
+                }
+                Verdict::Unknown { reason } => {
+                    unknown += 1;
+                    format!("unknown — {reason}")
+                }
+            },
+            Err(e) => {
+                errors += 1;
+                format!("error — {e}")
+            }
+        };
+        let tag = match &result.degraded {
+            Some(reason) => {
+                degraded += 1;
+                format!("  [degraded: {reason}]")
+            }
+            None => String::new(),
+        };
+        println!("  {path:<width$}  {verdict}{tag}");
+    }
+    println!(
+        "summary: {feasible} feasible, {infeasible} infeasible, {unknown} unknown, \
+         {errors} error(s), {degraded} degraded"
+    );
+    if flags.iter().any(|f| f == "--cache-stats") {
+        print_cache_stats(&engine);
+    }
+    if errors > 0 {
+        Err(CliError::Input(format!(
+            "{errors} of {} batch request(s) failed",
+            results.len()
+        )))
+    } else if infeasible + unknown > 0 {
+        Err(CliError::Infeasible(format!(
+            "{} of {} batch request(s) not feasible",
+            infeasible + unknown,
+            results.len()
+        )))
+    } else {
+        Ok(())
+    }
 }
 
 fn mode_name(mode: AnalysisMode) -> &'static str {
@@ -346,7 +452,7 @@ fn simulate_inner(path: &str, flags: &[String]) -> Result<(), CliError> {
 pub fn sensitivity(path: &str, flags: &[String]) -> Result<(), CliError> {
     let (_, model) = load(path)?;
     let req = request_from_flags(flags)?;
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let rows = engine
         .deadline_sensitivities(&model, &req)
         .map_err(engine_err)?;
@@ -410,5 +516,14 @@ pub(crate) fn flag_value(flags: &[String], name: &str) -> Result<Option<u64>, Cl
                 .map(Some)
                 .map_err(|_| CliError::Usage(format!("{name} needs an integer, got `{v}`")))
         }
+    }
+}
+
+/// Like [`flag_value`] but rejects 0 — for flags where zero is never a
+/// meaningful request (worker counts, budgets).
+pub(crate) fn positive_flag_value(flags: &[String], name: &str) -> Result<Option<u64>, CliError> {
+    match flag_value(flags, name)? {
+        Some(0) => Err(CliError::Usage(format!("{name} must be at least 1, got 0"))),
+        other => Ok(other),
     }
 }

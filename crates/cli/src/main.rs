@@ -4,6 +4,7 @@
 //! ```text
 //! rtcg check <spec.rtcg>               validate a specification
 //! rtcg analyze <spec.rtcg> [--exact] [--sweep] [--cache-stats]
+//! rtcg analyze --batch <manifest> [--threads N] [--budget-ms M]
 //! rtcg synthesize <spec.rtcg> [--merged|--exact] [--threads N] [--gantt N]
 //! rtcg simulate <spec.rtcg> --ticks N [--seed S]
 //! rtcg profile <spec.rtcg> [--ticks N]
@@ -46,6 +47,8 @@ const USAGE: &str = "usage:
   rtcg check <spec.rtcg> [--cache-stats]
   rtcg analyze <spec.rtcg> [--merged|--exact] [--threads N] [--max-len L]
                [--budget B] [--sweep] [--cache-stats]
+  rtcg analyze --batch <manifest> [--merged|--exact] [--threads N]
+               [--budget-ms M] [--max-len L] [--budget B] [--cache-stats]
   rtcg synthesize <spec.rtcg> [--merged|--exact] [--threads N] [--max-len L]
                   [--budget B] [--gantt N] [--cache-stats] [--metrics]
                   [--trace-out FILE]
@@ -63,6 +66,13 @@ analysis (analyze / synthesize / sensitivity):
   --sweep            binary-search each constraint's minimum feasible deadline,
                      reusing memoized candidate analyses across probes
   --cache-stats      print engine cache hit/miss and leaf-eval-saved counters
+
+batch (analyze --batch):
+  <manifest>         text file listing one spec path per line (# comments;
+                     paths resolved relative to the manifest)
+  --threads N        worker threads sharing one engine cache (default 1)
+  --budget-ms M      per-request deadline budget; an exact search that
+                     exceeds it degrades to the heuristic verdict
 
 observability:
   --metrics          print a counters/spans/histograms summary after the run
@@ -85,6 +95,12 @@ fn run(args: &[String]) -> Result<(), CliError> {
     };
     match cmd.as_str() {
         "check" => commands::check(rest(args)?, &args[2..]),
+        "analyze" if args.get(1).is_some_and(|a| a == "--batch") => {
+            let manifest = args.get(2).map(|s| s.as_str()).ok_or_else(|| {
+                CliError::Usage("--batch needs a manifest file (one spec path per line)".into())
+            })?;
+            commands::analyze_batch(manifest, &args[3..])
+        }
         "analyze" => commands::analyze(rest(args)?, &args[2..]),
         "synthesize" => commands::synthesize(rest(args)?, &args[2..]),
         "simulate" => commands::simulate(rest(args)?, &args[2..]),

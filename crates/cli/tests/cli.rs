@@ -378,6 +378,106 @@ fn analyze_infeasible_model_fails() {
 }
 
 #[test]
+fn analyze_batch_reports_per_spec_verdicts_and_shares_cache() {
+    let spec = write_spec(GOOD_SPEC);
+    // the same spec three times over two workers: at most two requests
+    // can miss the memo concurrently, so the third must hit it
+    let manifest = write_spec(&format!(
+        "# batch manifest\n{0}\n\n{0}\n{0}\n",
+        spec.path_str()
+    ));
+    let out = rtcg(&[
+        "analyze",
+        "--batch",
+        manifest.path_str(),
+        "--threads",
+        "2",
+        "--cache-stats",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("batch: 3 spec(s), 2 worker thread(s)"),
+        "{stdout}"
+    );
+    assert!(stdout.matches("feasible").count() >= 3, "{stdout}");
+    assert!(stdout.contains("summary: 3 feasible"), "{stdout}");
+    let hits_line = stdout
+        .lines()
+        .find(|l| l.contains("engine cache:"))
+        .expect("cache stats printed");
+    assert!(
+        !hits_line.contains("0 hit(s)"),
+        "duplicate spec must hit: {stdout}"
+    );
+}
+
+#[test]
+fn analyze_batch_mixed_feasibility_exits_3() {
+    let good = write_spec(GOOD_SPEC);
+    let bad = write_spec(INFEASIBLE_SPEC);
+    let manifest = write_spec(&format!("{}\n{}\n", good.path_str(), bad.path_str()));
+    let out = rtcg(&["analyze", "--batch", manifest.path_str()]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("summary: 1 feasible, 1 infeasible"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn analyze_batch_missing_manifest_exits_2() {
+    let out = rtcg(&["analyze", "--batch", "/nonexistent/batch.txt"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn analyze_batch_without_manifest_is_usage_error() {
+    let out = rtcg(&["analyze", "--batch"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("manifest"), "{stderr}");
+}
+
+#[test]
+fn threads_zero_rejected_with_diagnostic() {
+    let spec = write_spec(GOOD_SPEC);
+    let out = rtcg(&["analyze", spec.path_str(), "--exact", "--threads", "0"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--threads must be at least 1"), "{stderr}");
+}
+
+#[test]
+fn budget_ms_zero_rejected_with_diagnostic() {
+    let spec = write_spec(GOOD_SPEC);
+    let manifest = write_spec(&format!("{}\n", spec.path_str()));
+    let out = rtcg(&[
+        "analyze",
+        "--batch",
+        manifest.path_str(),
+        "--budget-ms",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("--budget-ms must be at least 1"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn budget_zero_rejected_with_diagnostic() {
+    let spec = write_spec(GOOD_SPEC);
+    let out = rtcg(&["synthesize", spec.path_str(), "--exact", "--budget", "0"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--budget must be at least 1"), "{stderr}");
+}
+
+#[test]
 fn analyze_exact_sweep_saves_leaf_evals() {
     // tiny model so the complete exact search stays fast; the sweep's
     // repeated probes must be served from the candidate memo

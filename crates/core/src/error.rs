@@ -59,6 +59,11 @@ pub enum ModelError {
     /// have no trace representation. Give the element weight ≥ 1 or drop
     /// it from the schedule.
     ZeroWeightScheduled(ElementId),
+    /// The joint hyperperiod (lcm of periodic periods) does not fit in a
+    /// `u64`. Analyses that key caches or window grids on the exact
+    /// hyperperiod refuse to proceed rather than alias distinct models
+    /// onto one saturated value.
+    HyperperiodOverflow,
     /// Latency analysis or synthesis exceeded the configured search budget.
     BudgetExhausted {
         /// What the budget was guarding.
@@ -117,6 +122,11 @@ impl fmt::Display for ModelError {
             ModelError::ZeroWeightScheduled(e) => {
                 write!(f, "schedule runs zero-weight element {e:?}")
             }
+            ModelError::HyperperiodOverflow => write!(
+                f,
+                "joint hyperperiod of periodic constraints overflows u64; \
+                 exact analysis refuses to alias the saturated value"
+            ),
             ModelError::BudgetExhausted { what } => {
                 write!(f, "search budget exhausted during {what}")
             }

@@ -38,8 +38,8 @@ pub use bounds::{
 };
 pub use compiled::CompiledChecker;
 pub use exact::{
-    find_feasible, find_feasible_with, is_canonical_rotation, used_elements, CandidateEval,
-    SearchConfig, SearchOutcome,
+    find_feasible, find_feasible_with, find_feasible_with_cancel, is_canonical_rotation,
+    used_elements, CancelToken, CandidateEval, SearchConfig, SearchOutcome,
 };
 pub use game::{solve_game, GameConfig, GameOutcome};
-pub use parallel::find_feasible_parallel;
+pub use parallel::{find_feasible_parallel, find_feasible_parallel_with_cancel};

@@ -57,7 +57,9 @@ use crate::error::ModelError;
 use crate::model::{ElementId, Model};
 use crate::schedule::{Action, FeasibilityCache, StaticSchedule};
 use crate::time::Time;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Search configuration.
 #[derive(Debug, Clone, Copy)]
@@ -106,6 +108,77 @@ impl SearchOutcome {
             nodes_pruned: 0,
             exhausted_bound: true,
         }
+    }
+}
+
+/// Cooperative cancellation for long-running searches.
+///
+/// A token is a shared flag plus an optional wall-clock deadline. The
+/// exact search polls it at every interior enumeration node (a cheap
+/// atomic load; the deadline's `Instant::now()` comparison is strided,
+/// amortized over [`ABORT_POLL_STRIDE`] nodes) and unwinds with
+/// `exhausted_bound = false` when it fires — the same "gave up early"
+/// shape as budget starvation, so callers can distinguish *cancelled*
+/// from *complete* by checking the token they passed in.
+///
+/// Heuristic pipelines do not poll the token: they are bounded by their
+/// own budgets and finish in microseconds. The token guards the
+/// exponential path only.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    fired: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// Interior nodes between wall-clock polls of a deadline-carrying
+/// [`CancelToken`]. The flag itself is checked at every node.
+const ABORT_POLL_STRIDE: u32 = 1024;
+
+impl CancelToken {
+    /// A token that fires only when [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that additionally fires once `budget` wall-clock time has
+    /// elapsed (measured from construction).
+    pub fn with_deadline(budget: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                fired: AtomicBool::new(false),
+                deadline: Some(Instant::now() + budget),
+            }),
+        }
+    }
+
+    /// Fires the token. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.inner.fired.store(true, Ordering::Release);
+    }
+
+    /// True once the token has fired (flag only — does not consult the
+    /// deadline clock; see [`CancelToken::poll`]).
+    pub fn is_set(&self) -> bool {
+        self.inner.fired.load(Ordering::Acquire)
+    }
+
+    /// True once the token has fired *or* its deadline has passed; a
+    /// passed deadline latches the flag so later [`CancelToken::is_set`]
+    /// calls observe it too.
+    pub fn poll(&self) -> bool {
+        if self.is_set() {
+            return true;
+        }
+        if self.inner.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.cancel();
+            return true;
+        }
+        false
     }
 }
 
@@ -351,6 +424,8 @@ struct Dfs<'a, 'b, 'm> {
     len: usize,
     budget: &'a mut Budget<'b>,
     cancel: Option<(&'a AtomicUsize, usize)>,
+    abort: Option<&'a CancelToken>,
+    abort_tick: u32,
     nodes: u64,
     candidates: u64,
     pruned: u64,
@@ -360,9 +435,27 @@ struct Dfs<'a, 'b, 'm> {
 }
 
 impl Dfs<'_, '_, '_> {
-    fn cancelled(&self) -> bool {
-        self.cancel
+    fn cancelled(&mut self) -> bool {
+        if self
+            .cancel
             .is_some_and(|(winner, ix)| winner.load(Ordering::Acquire) < ix)
+        {
+            return true;
+        }
+        match self.abort {
+            Some(token) => {
+                // tick 0 polls, so an already-expired deadline stops the
+                // search at its very first node deterministically
+                let fired = if self.abort_tick.is_multiple_of(ABORT_POLL_STRIDE) {
+                    token.poll()
+                } else {
+                    token.is_set()
+                };
+                self.abort_tick = self.abort_tick.wrapping_add(1);
+                fired
+            }
+            None => false,
+        }
     }
 
     /// Places `sym` at `depth`, charging one node; `Ok(true)` means the
@@ -445,6 +538,7 @@ pub(crate) fn run_unit(
     unit: &WorkUnit,
     budget: &mut Budget<'_>,
     cancel: Option<(&AtomicUsize, usize)>,
+    abort: Option<&CancelToken>,
 ) -> Result<SubtreeResult, ModelError> {
     let mut dfs = Dfs {
         ctx,
@@ -455,6 +549,8 @@ pub(crate) fn run_unit(
         len,
         budget,
         cancel,
+        abort,
+        abort_tick: 0,
         nodes: 0,
         candidates: 0,
         pruned: 0,
@@ -514,6 +610,7 @@ pub(crate) fn resume_sequential(
     start_unit: usize,
     eval: &mut dyn CandidateEval,
     out: &mut SearchOutcome,
+    abort: Option<&CancelToken>,
 ) -> Result<(), ModelError> {
     for len in start_len..=config.max_len {
         let units = work_units(ctx.n(), len);
@@ -523,7 +620,7 @@ pub(crate) fn resume_sequential(
             let mut budget = Budget::Cap {
                 credit: config.node_budget.saturating_sub(spent),
             };
-            let r = run_unit(ctx, eval, len, unit, &mut budget, None)?;
+            let r = run_unit(ctx, eval, len, unit, &mut budget, None, abort)?;
             out.nodes_visited += r.nodes;
             out.candidates_checked += r.candidates;
             out.nodes_pruned += r.pruned;
@@ -537,7 +634,12 @@ pub(crate) fn resume_sequential(
                     out.exhausted_bound = false;
                     return Ok(());
                 }
-                SubtreeEnd::Cancelled => unreachable!("sequential run has no cancel token"),
+                // an abort token fired mid-unit: same "gave up early"
+                // reporting as starvation, the caller's token records why
+                SubtreeEnd::Cancelled => {
+                    out.exhausted_bound = false;
+                    return Ok(());
+                }
             }
         }
     }
@@ -577,6 +679,21 @@ pub fn find_feasible_with(
     pruner: Option<PrefixPruner>,
     eval: &mut dyn CandidateEval,
 ) -> Result<SearchOutcome, ModelError> {
+    find_feasible_with_cancel(model, config, pruner, eval, None)
+}
+
+/// [`find_feasible_with`] plus a cooperative [`CancelToken`]. When the
+/// token fires mid-search the outcome reports `exhausted_bound = false`
+/// (indistinguishable from budget starvation in the outcome itself —
+/// check the token to tell them apart). With `abort = None` this *is*
+/// `find_feasible_with`, bit for bit.
+pub fn find_feasible_with_cancel(
+    model: &Model,
+    config: SearchConfig,
+    pruner: Option<PrefixPruner>,
+    eval: &mut dyn CandidateEval,
+    abort: Option<&CancelToken>,
+) -> Result<SearchOutcome, ModelError> {
     let _span = rtcg_obs::span!("feasibility.exact", "search");
     let mut out = SearchOutcome::empty();
     if model.constraints().is_empty() {
@@ -586,7 +703,7 @@ pub fn find_feasible_with(
         return Ok(out);
     }
     let ctx = SearchCtx::with_pruner(model, pruner)?;
-    resume_sequential(&ctx, config, ctx.start_len(), 0, eval, &mut out)?;
+    resume_sequential(&ctx, config, ctx.start_len(), 0, eval, &mut out, abort)?;
     emit_search_counters(&out);
     Ok(out)
 }
@@ -894,6 +1011,64 @@ mod tests {
         let rf = reference::find_feasible_reference(&m, cfg).unwrap();
         assert!(rf.nodes_visited > 0);
         assert_eq!(rf.schedule.is_none(), out.schedule.is_none());
+    }
+
+    #[test]
+    fn prefired_cancel_token_stops_search_early() {
+        let m = single_op_model(&[(1, 12), (1, 12), (1, 12)]);
+        let cfg = SearchConfig {
+            max_len: 6,
+            node_budget: 50_000_000,
+        };
+        let token = CancelToken::new();
+        token.cancel();
+        let mut eval = super::super::compiled::CompiledChecker::new(&m).unwrap();
+        let out = find_feasible_with_cancel(&m, cfg, None, &mut eval, Some(&token)).unwrap();
+        assert!(out.schedule.is_none());
+        assert!(
+            !out.exhausted_bound,
+            "cancelled run must not claim completion"
+        );
+        // the prefix replay bails before any charge is spent
+        assert_eq!(out.nodes_visited, 0);
+        assert_eq!(out.candidates_checked, 0);
+    }
+
+    #[test]
+    fn unfired_cancel_token_changes_nothing() {
+        for specs in [vec![(1u64, 4u64), (1, 4)], vec![(2, 3), (2, 3)]] {
+            let m = single_op_model(&specs);
+            let cfg = SearchConfig {
+                max_len: 5,
+                node_budget: 1_000_000,
+            };
+            let plain = find_feasible(&m, cfg).unwrap();
+            let token = CancelToken::with_deadline(std::time::Duration::from_secs(600));
+            let mut eval = super::super::compiled::CompiledChecker::new(&m).unwrap();
+            let with_token =
+                find_feasible_with_cancel(&m, cfg, None, &mut eval, Some(&token)).unwrap();
+            assert_eq!(plain.schedule, with_token.schedule, "{specs:?}");
+            assert_eq!(
+                plain.exhausted_bound, with_token.exhausted_bound,
+                "{specs:?}"
+            );
+            assert_eq!(plain.nodes_visited, with_token.nodes_visited, "{specs:?}");
+            assert_eq!(plain.nodes_pruned, with_token.nodes_pruned, "{specs:?}");
+            assert_eq!(
+                plain.candidates_checked, with_token.candidates_checked,
+                "{specs:?}"
+            );
+            assert!(!token.is_set());
+        }
+    }
+
+    #[test]
+    fn expired_deadline_token_latches() {
+        let token = CancelToken::with_deadline(Duration::from_millis(0));
+        assert!(token.poll());
+        assert!(token.is_set(), "poll latches the flag");
+        let clone = token.clone();
+        assert!(clone.is_set(), "clones share the flag");
     }
 
     #[test]

@@ -25,8 +25,8 @@
 
 use super::compiled::CompiledChecker;
 use super::exact::{
-    emit_search_counters, resume_sequential, run_unit, work_units, Budget, SearchConfig, SearchCtx,
-    SearchOutcome, SubtreeEnd, SubtreeResult, TokenPool,
+    emit_search_counters, resume_sequential, run_unit, work_units, Budget, CancelToken,
+    SearchConfig, SearchCtx, SearchOutcome, SubtreeEnd, SubtreeResult, TokenPool,
 };
 use crate::error::ModelError;
 use crate::model::Model;
@@ -41,8 +41,21 @@ pub fn find_feasible_parallel(
     config: SearchConfig,
     threads: usize,
 ) -> Result<SearchOutcome, ModelError> {
+    find_feasible_parallel_with_cancel(model, config, threads, None)
+}
+
+/// [`find_feasible_parallel`] plus a cooperative [`CancelToken`] shared
+/// by every worker. A fired token unwinds the whole search with
+/// `exhausted_bound = false`; with `abort = None` this is exactly
+/// `find_feasible_parallel`.
+pub fn find_feasible_parallel_with_cancel(
+    model: &Model,
+    config: SearchConfig,
+    threads: usize,
+    abort: Option<&CancelToken>,
+) -> Result<SearchOutcome, ModelError> {
     let _span = rtcg_obs::span!("feasibility.parallel", "search");
-    let out = search(model, config, threads)?;
+    let out = search(model, config, threads, abort)?;
     emit_search_counters(&out);
     Ok(out)
 }
@@ -51,6 +64,7 @@ fn search(
     model: &Model,
     config: SearchConfig,
     threads: usize,
+    abort: Option<&CancelToken>,
 ) -> Result<SearchOutcome, ModelError> {
     let threads = threads.max(1);
     let mut out = SearchOutcome {
@@ -70,7 +84,15 @@ fn search(
     let proto = CompiledChecker::new(model)?;
     if threads == 1 {
         let mut cache = proto;
-        resume_sequential(&ctx, config, ctx.start_len(), 0, &mut cache, &mut out)?;
+        resume_sequential(
+            &ctx,
+            config,
+            ctx.start_len(),
+            0,
+            &mut cache,
+            &mut out,
+            abort,
+        )?;
         return Ok(out);
     }
 
@@ -120,6 +142,7 @@ fn search(
                             &units[i],
                             &mut budget,
                             Some((winner, i)),
+                            abort,
                         );
                         budget.release();
                         if let Ok(res) = &r {
@@ -162,7 +185,7 @@ fn search(
                 // the sequential engine reproduces the exact outcome
                 _ => {
                     let mut cache = CompiledChecker::new(model)?;
-                    resume_sequential(&ctx, config, len, i, &mut cache, &mut out)?;
+                    resume_sequential(&ctx, config, len, i, &mut cache, &mut out, abort)?;
                     return Ok(out);
                 }
             }

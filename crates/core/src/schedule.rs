@@ -766,6 +766,49 @@ mod tests {
     }
 
     #[test]
+    fn async_worst_latency_is_exact_not_sentinel_swallowed() {
+        // The asynchronous twin of the periodic Time::MAX regression
+        // above: a three-op task on one unit element against schedule
+        // [e φφφ] (duration 4). Window starts 1..4 need executions
+        // e@4, e@8, e@12 → completion 13, so the exact worst latency is
+        // 13 − 1 = 12. The async path never used a Time::MAX sentinel
+        // (it folds into Option<Time> and early-returns None only for a
+        // genuinely unserved start); this pins that the finite worst is
+        // reported exactly — by the trace analysis, the feasibility
+        // report, and the compiled kernel alike.
+        let mut b = ModelBuilder::new();
+        let e = b.element("e", 1);
+        let f = b.element("f", 1);
+        let tg = TaskGraphBuilder::new()
+            .op("x", e)
+            .op("y", e)
+            .op("z", e)
+            .build()
+            .unwrap();
+        b.asynchronous("a", tg, 3, 3);
+        let never = TaskGraphBuilder::new().op("f", f).build().unwrap();
+        b.asynchronous("starved", never, 3, 3);
+        let m = b.build().unwrap();
+        let mut actions = vec![Action::Run(e)];
+        actions.extend(std::iter::repeat_n(Action::Idle, 3));
+        let s = StaticSchedule::new(actions.clone());
+        let (_, c) = m.constraints_enumerated().next().unwrap();
+        assert_eq!(s.latency(m.comm(), &c.task).unwrap(), Some(12));
+        let r = s.feasibility(&m).unwrap();
+        assert!(!r.is_feasible());
+        assert_eq!(r.checks[0].latency, Some(12), "finite worst kept: {r}");
+        assert!(!r.checks[0].ok, "12 > deadline 3");
+        // `f` never runs: infinite latency is None, not a swallowed max
+        assert_eq!(r.checks[1].latency, None);
+        assert!(!r.checks[1].ok);
+        // the compiled kernel agrees bit for bit
+        let mut compiled = crate::feasibility::CompiledChecker::new(&m).unwrap();
+        compiled.sync(&actions).unwrap();
+        assert_eq!(compiled.async_latency(&actions, 0).unwrap(), Some(12));
+        assert_eq!(compiled.async_latency(&actions, 1).unwrap(), None);
+    }
+
+    #[test]
     fn feasibility_cache_agrees_with_full_analysis() {
         // Mixed async + periodic model; sweep every action string of
         // length ≤ 3 over {φ, a, b} and compare verdicts.

@@ -17,6 +17,18 @@ pub fn lcm(a: Time, b: Time) -> Time {
     (a / g).saturating_mul(b)
 }
 
+/// Least common multiple, or `None` when the exact value does not fit
+/// in a `u64`. Use this where a saturated value would be *wrong* rather
+/// than merely conservative — e.g. as part of a cache key, where two
+/// distinct hyperperiods must never collapse onto one saturated value.
+pub fn checked_lcm(a: Time, b: Time) -> Option<Time> {
+    if a == 0 || b == 0 {
+        return Some(0);
+    }
+    let g = gcd(a, b);
+    (a / g).checked_mul(b)
+}
+
 /// Greatest common divisor (Euclid).
 pub fn gcd(mut a: Time, mut b: Time) -> Time {
     while b != 0 {
@@ -60,6 +72,19 @@ mod tests {
     fn lcm_saturates() {
         assert_eq!(lcm(u64::MAX, 2), u64::MAX);
         assert_eq!(lcm(u64::MAX - 1, u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn checked_lcm_detects_overflow() {
+        assert_eq!(checked_lcm(4, 6), Some(12));
+        assert_eq!(checked_lcm(0, 9), Some(0));
+        assert_eq!(checked_lcm(9, 0), Some(0));
+        // consecutive integers are coprime; their product overflows u64
+        let a = 1u64 << 33;
+        assert_eq!(checked_lcm(a, a + 1), None);
+        assert_eq!(checked_lcm(u64::MAX, 2), None);
+        // where the saturating lcm silently flattens, checked refuses
+        assert_eq!(lcm(u64::MAX, 2), u64::MAX);
     }
 
     #[test]

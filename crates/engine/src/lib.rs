@@ -35,16 +35,18 @@
 
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod fingerprint;
 pub mod memo;
 
-use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 
 use rtcg_core::feasibility::{
-    find_feasible_parallel, find_feasible_with, quick_infeasible, used_elements, PrunerTemplate,
-    SearchConfig,
+    find_feasible_parallel_with_cancel, find_feasible_with_cancel, quick_infeasible, used_elements,
+    CancelToken, PrunerTemplate, SearchConfig,
 };
 use rtcg_core::heuristic::{synthesize_with, SynthesisConfig};
 use rtcg_core::model::{ElementId, Model};
@@ -254,16 +256,57 @@ struct Session {
     used: Vec<ElementId>,
 }
 
+/// Shard count for the result memo and session maps. A power of two so
+/// shard selection is a mask of the fingerprint's low bits; 16 shards
+/// keep contention negligible at any realistic worker count without
+/// noticeable memory overhead.
+const SHARDS: usize = 16;
+
+fn shard_of(fp: u64) -> usize {
+    (fp as usize) % SHARDS
+}
+
+/// Mutex/RwLock poisoning only happens if a panicking thread held the
+/// lock; the protected maps are append-only memos that are never left
+/// half-edited, so recovering the guard is safe and keeps one panicked
+/// batch worker from cascading into every later request.
+fn unpoison<G>(r: Result<G, PoisonError<G>>) -> G {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
 /// The cached incremental analysis engine. See the module docs for the
 /// three reuse layers; construction is free, all caching is lazy.
-#[derive(Default)]
+///
+/// All methods take `&self`: internal state is sharded and lock-striped
+/// (fingerprint-selected shards, one `RwLock`/`Mutex` per shard, atomic
+/// counters), so one engine can serve concurrent callers — the
+/// [`batch`] worker pool fans requests across threads against a shared
+/// `&Engine` and every thread reads and extends the same caches.
 pub struct Engine {
-    results: HashMap<(u64, u64), AnalysisReport>,
-    sessions: HashMap<u64, Session>,
-    hits: u64,
-    misses: u64,
-    leaf_evals_saved: u64,
-    leaf_evals_computed: u64,
+    /// Result memo: `(model fp, request fp)` → report, lock-striped.
+    results: Vec<RwLock<HashMap<(u64, u64), AnalysisReport>>>,
+    /// Session map: structure fp → shared session. The outer mutex only
+    /// guards the map; each session has its own lock, held for the
+    /// duration of one exact search so same-structure probes serialize
+    /// on *their* session while other structures proceed in parallel.
+    sessions: Vec<Mutex<HashMap<u64, Arc<Mutex<Session>>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    leaf_evals_saved: AtomicU64,
+    leaf_evals_computed: AtomicU64,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine {
+            results: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            sessions: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            leaf_evals_saved: AtomicU64::new(0),
+            leaf_evals_computed: AtomicU64::new(0),
+        }
+    }
 }
 
 impl Engine {
@@ -272,54 +315,84 @@ impl Engine {
         Engine::default()
     }
 
-    /// Current cache counters.
+    /// Current cache counters. Counter reads are relaxed snapshots; the
+    /// structural counts briefly lock each shard, so calling this while
+    /// a batch is in flight waits for in-progress searches.
     pub fn stats(&self) -> EngineStats {
+        let mut sessions = 0u64;
+        let mut memo_candidates = 0u64;
+        for shard in &self.sessions {
+            let map = unpoison(shard.lock());
+            sessions += map.len() as u64;
+            for s in map.values() {
+                memo_candidates += unpoison(s.lock()).memo.len() as u64;
+            }
+        }
         EngineStats {
-            hits: self.hits,
-            misses: self.misses,
-            leaf_evals_saved: self.leaf_evals_saved,
-            leaf_evals_computed: self.leaf_evals_computed,
-            sessions: self.sessions.len() as u64,
-            memo_candidates: self.sessions.values().map(|s| s.memo.len() as u64).sum(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            leaf_evals_saved: self.leaf_evals_saved.load(Ordering::Relaxed),
+            leaf_evals_computed: self.leaf_evals_computed.load(Ordering::Relaxed),
+            sessions,
+            memo_candidates,
         }
     }
 
     /// Analyzes the model per the request. Reports are bit-identical to
     /// the corresponding cold call; `cached` distinguishes a memo hit.
     pub fn analyze(
-        &mut self,
+        &self,
         model: &Model,
         req: &AnalysisRequest,
     ) -> Result<AnalysisReport, EngineError> {
+        self.analyze_with_cancel(model, req, None)
+    }
+
+    /// [`Engine::analyze`] plus a cooperative [`CancelToken`] polled by
+    /// the exact search. A run whose token fired returns its partial
+    /// outcome (`Unknown` verdict unless the search finished first) and
+    /// is **not** memoized — a later uncancelled call recomputes and
+    /// caches the authoritative report.
+    pub fn analyze_with_cancel(
+        &self,
+        model: &Model,
+        req: &AnalysisRequest,
+        cancel: Option<&CancelToken>,
+    ) -> Result<AnalysisReport, EngineError> {
         model.validate().map_err(EngineError::from)?;
         let key = (model_fingerprint(model), request_fingerprint(req));
-        if let Some(report) = self.results.get(&key) {
-            self.hits += 1;
+        let shard = &self.results[shard_of(key.0)];
+        if let Some(report) = unpoison(shard.read()).get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             rtcg_obs::counter!("engine.cache.hit");
             let mut report = report.clone();
             report.cached = true;
             return Ok(report);
         }
-        self.misses += 1;
+        self.misses.fetch_add(1, Ordering::Relaxed);
         rtcg_obs::counter!("engine.cache.miss");
 
         let report = match req.mode {
             AnalysisMode::Heuristic => self.run_heuristic(model, req)?,
             AnalysisMode::Merged => self.run_merged(model, req)?,
-            AnalysisMode::Exact => self.run_exact(model, req)?,
+            AnalysisMode::Exact => self.run_exact(model, req, cancel)?,
         };
-        self.results.insert(key, report.clone());
+        // a cancelled run's report is partial — never cache it (poll
+        // latches a passed deadline so is_set observes it)
+        if cancel.is_none_or(|t| !t.poll()) {
+            unpoison(shard.write()).insert(key, report.clone());
+        }
         Ok(report)
     }
 
     /// True iff the request concludes feasible — the oracle shape the
     /// sensitivity binary searches consume.
-    pub fn feasible(&mut self, model: &Model, req: &AnalysisRequest) -> Result<bool, EngineError> {
+    pub fn feasible(&self, model: &Model, req: &AnalysisRequest) -> Result<bool, EngineError> {
         Ok(self.analyze(model, req)?.verdict.is_feasible())
     }
 
     fn run_heuristic(
-        &mut self,
+        &self,
         model: &Model,
         req: &AnalysisRequest,
     ) -> Result<AnalysisReport, EngineError> {
@@ -358,7 +431,7 @@ impl Engine {
     }
 
     fn run_merged(
-        &mut self,
+        &self,
         model: &Model,
         req: &AnalysisRequest,
     ) -> Result<AnalysisReport, EngineError> {
@@ -395,31 +468,42 @@ impl Engine {
         }
     }
 
+    /// Finds or creates the shared session for `model`'s structure. The
+    /// returned `Arc` is cloned out of the shard map, so the map lock is
+    /// held only for the lookup, not for the search.
+    fn session_for(&self, model: &Model, sf: u64) -> Result<Arc<Mutex<Session>>, EngineError> {
+        let mut map = unpoison(self.sessions[shard_of(sf)].lock());
+        if let Some(s) = map.get(&sf) {
+            return Ok(Arc::clone(s));
+        }
+        let used = used_elements(model);
+        let template = PrunerTemplate::new(model, &used).map_err(EngineError::from)?;
+        let session = Arc::new(Mutex::new(Session {
+            memo: SessionMemo::default(),
+            template,
+            used,
+        }));
+        map.insert(sf, Arc::clone(&session));
+        Ok(session)
+    }
+
     fn run_exact(
-        &mut self,
+        &self,
         model: &Model,
         req: &AnalysisRequest,
+        cancel: Option<&CancelToken>,
     ) -> Result<AnalysisReport, EngineError> {
         let outcome = if req.threads > 1 {
             // the parallel search shards per-worker FeasibilityCaches;
             // results are replay-identical to the sequential path, so
             // the result memo still applies — only the candidate memo
             // does not.
-            find_feasible_parallel(model, req.search, req.threads).map_err(EngineError::from)?
+            find_feasible_parallel_with_cancel(model, req.search, req.threads, cancel)
+                .map_err(EngineError::from)?
         } else {
             let sf = structure_fingerprint(model);
-            let session = match self.sessions.entry(sf) {
-                Entry::Occupied(e) => e.into_mut(),
-                Entry::Vacant(e) => {
-                    let used = used_elements(model);
-                    let template = PrunerTemplate::new(model, &used).map_err(EngineError::from)?;
-                    e.insert(Session {
-                        memo: SessionMemo::default(),
-                        template,
-                        used,
-                    })
-                }
-            };
+            let session = self.session_for(model, sf)?;
+            let mut session: MutexGuard<'_, Session> = unpoison(session.lock());
             debug_assert_eq!(
                 session.used,
                 used_elements(model),
@@ -427,10 +511,13 @@ impl Engine {
             );
             let pruner = session.template.instantiate(model);
             let mut eval = MemoEval::new(model, &mut session.memo).map_err(EngineError::from)?;
-            let outcome = find_feasible_with(model, req.search, Some(pruner), &mut eval)
-                .map_err(EngineError::from)?;
-            self.leaf_evals_saved += eval.evals_saved;
-            self.leaf_evals_computed += eval.evals_computed;
+            let outcome =
+                find_feasible_with_cancel(model, req.search, Some(pruner), &mut eval, cancel)
+                    .map_err(EngineError::from)?;
+            self.leaf_evals_saved
+                .fetch_add(eval.evals_saved, Ordering::Relaxed);
+            self.leaf_evals_computed
+                .fetch_add(eval.evals_computed, Ordering::Relaxed);
             rtcg_obs::counter!("engine.leaf_evals_saved", eval.evals_saved);
             rtcg_obs::counter!("engine.leaf_evals_computed", eval.evals_computed);
             outcome
@@ -473,7 +560,7 @@ impl Engine {
     /// session for the model's structure, so repeated candidate
     /// evaluations are memo-served.
     pub fn min_feasible_deadline(
-        &mut self,
+        &self,
         model: &Model,
         id: ConstraintId,
         req: &AnalysisRequest,
@@ -483,7 +570,7 @@ impl Engine {
 
     /// Deadline sensitivity of every constraint, cache-routed.
     pub fn deadline_sensitivities(
-        &mut self,
+        &self,
         model: &Model,
         req: &AnalysisRequest,
     ) -> Result<Vec<DeadlineSensitivity>, EngineError> {
@@ -493,7 +580,7 @@ impl Engine {
     /// Largest uniform deadline-tightening percentage that stays
     /// feasible, cache-routed.
     pub fn max_uniform_tightening(
-        &mut self,
+        &self,
         model: &Model,
         req: &AnalysisRequest,
     ) -> Result<u32, EngineError> {
@@ -505,7 +592,7 @@ impl Engine {
     /// consecutive lost executions the schedule absorbs. `reps` controls
     /// how far the schedule is expanded for the erasure experiment.
     pub fn fault_margin(
-        &mut self,
+        &self,
         model: &Model,
         element: &str,
         cap: usize,
@@ -542,6 +629,7 @@ pub fn analyze_once(model: &Model, req: &AnalysisRequest) -> Result<AnalysisRepo
 
 /// Everything a caller of the unified API needs.
 pub mod prelude {
+    pub use crate::batch::{BatchOptions, BatchResult};
     pub use crate::{
         analyze_once, AnalysisMode, AnalysisReport, AnalysisRequest, Engine, EngineError,
         EngineStats, SearchStats, Verdict,
@@ -557,7 +645,7 @@ mod tests {
     fn result_memo_round_trip() {
         let (m, _) = rtcg_core::mok_example::default_model();
         let req = AnalysisRequest::default();
-        let mut engine = Engine::new();
+        let engine = Engine::new();
         let first = engine.analyze(&m, &req).unwrap();
         assert!(!first.cached);
         let second = engine.analyze(&m, &req).unwrap();
@@ -643,7 +731,7 @@ mod tests {
             },
             ..AnalysisRequest::exact()
         };
-        let mut engine = Engine::new();
+        let engine = Engine::new();
         let margin = engine.fault_margin(&m, "e", 12, 40, &req).unwrap();
         assert!(margin >= 1, "slack 9 absorbs a loss, got {margin}");
         // unknown element name surfaces a model error

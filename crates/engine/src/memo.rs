@@ -29,7 +29,7 @@ use rtcg_core::constraint::ConstraintKind;
 use rtcg_core::feasibility::{CandidateEval, CompiledChecker};
 use rtcg_core::model::Model;
 use rtcg_core::schedule::Action;
-use rtcg_core::time::{lcm, Time};
+use rtcg_core::time::{checked_lcm, Time};
 use rtcg_core::ModelError;
 
 /// `(constraint ix, period, periodic lcm, max periodic deadline)` —
@@ -109,7 +109,13 @@ impl<'m> MemoEval<'m> {
                 ConstraintKind::Asynchronous => asyn.push((ix, c.deadline)),
                 ConstraintKind::Periodic => {
                     periodic.push((ix, c.period, c.deadline));
-                    periodic_lcm = lcm(periodic_lcm, c.period);
+                    // the lcm is part of the WindowGrid memo key; a
+                    // *saturated* value would alias two distinct-period
+                    // edits of one structure onto the same memoized
+                    // window scan, silently corrupting verdicts —
+                    // refuse outright instead
+                    periodic_lcm = checked_lcm(periodic_lcm, c.period)
+                        .ok_or(ModelError::HyperperiodOverflow)?;
                     max_periodic_deadline = max_periodic_deadline.max(c.deadline);
                 }
             }
@@ -249,6 +255,34 @@ mod tests {
             }
         }
         assert!(!memo.is_empty());
+    }
+
+    /// Two same-structure models whose huge coprime periods overflow the
+    /// joint lcm would share one saturated `WindowGrid` key (the
+    /// structure fingerprint deliberately ignores periods) — the
+    /// evaluator must refuse instead of aliasing their memo entries.
+    #[test]
+    fn hyperperiod_overflow_is_an_error_not_an_alias() {
+        let huge = 1u64 << 33;
+        let build = |p2: Time| {
+            let mut b = ModelBuilder::new();
+            let e = b.element("e", 1);
+            let t1 = TaskGraphBuilder::new().op("x", e).build().unwrap();
+            b.periodic("p1", t1, huge, huge);
+            let t2 = TaskGraphBuilder::new().op("y", e).build().unwrap();
+            b.periodic("p2", t2, p2, p2);
+            b.build().unwrap()
+        };
+        // huge and huge+1 are coprime: lcm ≈ 2^66 overflows u64
+        let m = build(huge + 1);
+        let mut memo = SessionMemo::default();
+        assert!(matches!(
+            MemoEval::new(&m, &mut memo),
+            Err(ModelError::HyperperiodOverflow)
+        ));
+        // a representable joint hyperperiod still works
+        let ok = build(huge);
+        assert!(MemoEval::new(&ok, &mut memo).is_ok());
     }
 
     /// Second pass over the same model is fully memo-served.

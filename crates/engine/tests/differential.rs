@@ -91,7 +91,7 @@ proptest! {
     ) {
         let mut req = AnalysisRequest::exact();
         req.search = SearchConfig { max_len, node_budget: u64::MAX / 2 };
-        let mut engine = Engine::new();
+        let engine = Engine::new();
 
         // materialize the whole edit trajectory up front
         let mut models = vec![build_model(&elems, chain_d, periodic_d)];
@@ -147,7 +147,7 @@ proptest! {
         (elems, chain_d, periodic_d, edits, _) in spec()
     ) {
         let req = AnalysisRequest::default();
-        let mut engine = Engine::new();
+        let engine = Engine::new();
         let mut model = build_model(&elems, chain_d, periodic_d);
         for &(ix, d) in &edits {
             let report = engine.analyze(&model, &req).unwrap();
@@ -198,7 +198,7 @@ fn chain_family_sweep_saves_5x_leaf_evals() {
 
     let mut req = AnalysisRequest::exact();
     req.search = cfg;
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let warm_rows = engine.deadline_sensitivities(&model, &req).unwrap();
 
     assert_eq!(cold_rows.len(), warm_rows.len());
@@ -234,7 +234,7 @@ fn thread_count_shares_the_result_memo() {
         max_len: 4,
         node_budget: 60_000_000,
     };
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let seq = engine.analyze(&model, &req).unwrap();
     assert!(!seq.cached);
     req.threads = 4;
@@ -248,7 +248,7 @@ fn thread_count_shares_the_result_memo() {
 #[test]
 fn mode_is_cached_independently() {
     let model = chain_family(1);
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let heuristic = engine.analyze(&model, &AnalysisRequest::default()).unwrap();
     let mut req = AnalysisRequest::exact();
     req.search = SearchConfig {

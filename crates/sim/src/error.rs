@@ -15,6 +15,12 @@ pub enum SimError {
         /// Streams expected.
         expected: usize,
     },
+    /// A process body expanded to zero execution slots — such a job
+    /// could never start, let alone finish.
+    EmptyProcessBody {
+        /// Name of the offending process.
+        process: String,
+    },
     /// A process body referenced an element missing from the graph.
     Model(rtcg_core::ModelError),
     /// A process-set error.
@@ -27,6 +33,12 @@ impl fmt::Display for SimError {
             SimError::ZeroHorizon => write!(f, "simulation horizon must be positive"),
             SimError::ArrivalStreamMismatch { got, expected } => {
                 write!(f, "expected {expected} arrival streams, got {got}")
+            }
+            SimError::EmptyProcessBody { process } => {
+                write!(
+                    f,
+                    "process `{process}` has an empty body (zero execution slots)"
+                )
             }
             SimError::Model(e) => write!(f, "model error: {e}"),
             SimError::Process(e) => write!(f, "process error: {e}"),

@@ -123,7 +123,7 @@ pub fn simulate_with_monitors(
         });
     }
     let mut expanded: Vec<Vec<(ElementId, u32)>> = Vec::with_capacity(n);
-    for body in input.bodies {
+    for (ix, body) in input.bodies.iter().enumerate() {
         let mut slots = Vec::new();
         for &e in body {
             let w = input.comm.wcet(e)?;
@@ -131,10 +131,25 @@ pub fn simulate_with_monitors(
                 slots.push((e, k as u32));
             }
         }
+        if slots.is_empty() {
+            // a zero-slot job would pass the release and deadline checks
+            // but have no next slot to run — reject up front
+            return Err(SimError::EmptyProcessBody {
+                process: input.set.processes()[ix].name.clone(),
+            });
+        }
         expanded.push(slots);
     }
-    let rm = input.set.rm_order();
-    let dm = input.set.dm_order();
+    // rm_order/dm_order are permutations of 0..n: invert them once into
+    // rank tables instead of a per-tick position scan
+    let mut rm_rank = vec![0u64; n];
+    let mut dm_rank = vec![0u64; n];
+    for (pos, id) in input.set.rm_order().into_iter().enumerate() {
+        rm_rank[id.index()] = pos as u64;
+    }
+    for (pos, id) in input.set.dm_order().into_iter().enumerate() {
+        dm_rank[id.index()] = pos as u64;
+    }
 
     let mut pending: Vec<Job> = Vec::new();
     let mut trace = Trace::new();
@@ -193,14 +208,8 @@ pub fn simulate_with_monitors(
         let prio = |j: &Job| -> (u64, usize) {
             match policy {
                 Policy::Edf => (j.abs_deadline, j.seq),
-                Policy::Rm => (
-                    rm.iter().position(|id| id.index() == j.proc_ix).unwrap() as u64,
-                    j.seq,
-                ),
-                Policy::Dm => (
-                    dm.iter().position(|id| id.index() == j.proc_ix).unwrap() as u64,
-                    j.seq,
-                ),
+                Policy::Rm => (rm_rank[j.proc_ix], j.seq),
+                Policy::Dm => (dm_rank[j.proc_ix], j.seq),
                 Policy::Llf => (
                     j.abs_deadline.saturating_sub(now + j.remaining() as u64),
                     j.seq,
@@ -226,11 +235,11 @@ pub fn simulate_with_monitors(
         let chosen = order
             .iter()
             .copied()
-            .find(|&ix| runnable(&pending[ix], &held));
+            .enumerate()
+            .find(|&(_, ix)| runnable(&pending[ix], &held));
         // blocking accounting: every job with higher priority than the
         // chosen one that was blocked on a monitor accrues a tick
-        if let Some(chosen_ix) = chosen {
-            let chosen_pos = order.iter().position(|&x| x == chosen_ix).unwrap();
+        if let Some((chosen_pos, chosen_ix)) = chosen {
             for &ix in &order[..chosen_pos] {
                 let j = &mut pending[ix];
                 j.current_block += 1;
@@ -472,6 +481,25 @@ mod tests {
         // hi completed despite lo's abort while holding the monitor
         assert_eq!(out.stats[1].missed, 0, "{:?}", out.stats);
         let _ = input;
+    }
+
+    #[test]
+    fn empty_body_rejected_not_panicked() {
+        // a zero-slot body used to survive release and deadline checks
+        // and then panic indexing its (empty) slot list
+        let (set, comm, mut bodies, arrivals, monitored) = setup(2, false);
+        bodies[1].clear();
+        let input = MonitorSim {
+            set: &set,
+            comm: &comm,
+            bodies: &bodies,
+            arrivals: &arrivals,
+            monitored: &monitored,
+        };
+        assert!(matches!(
+            simulate_with_monitors(&input, Policy::Edf, 10),
+            Err(SimError::EmptyProcessBody { ref process }) if process == "hi"
+        ));
     }
 
     #[test]

@@ -74,6 +74,11 @@ pub fn run_table_executor(
     }
     let comm = model.comm();
     let duration = schedule.duration(comm)?;
+    if duration == 0 {
+        // an empty schedule has nothing to repeat; the repetition count
+        // below would divide by zero
+        return Err(SimError::Model(rtcg_core::ModelError::EmptySchedule));
+    }
     let max_d = model
         .constraints()
         .iter()
@@ -252,6 +257,24 @@ mod tests {
             .collect();
         let run = run_table_executor(model, &out.schedule, &patterns, 1000).unwrap();
         assert!(run.all_met(), "{:?}", run.outcomes);
+    }
+
+    #[test]
+    fn empty_schedule_rejected_not_divide_by_zero() {
+        let m = simple_model(4);
+        let s = StaticSchedule::new(vec![]);
+        assert!(matches!(
+            run_table_executor(
+                &m,
+                &s,
+                &[InvocationPattern::Periodic {
+                    period: 4,
+                    offset: 0,
+                }],
+                100,
+            ),
+            Err(SimError::Model(rtcg_core::ModelError::EmptySchedule))
+        ));
     }
 
     #[test]

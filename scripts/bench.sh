@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Regenerates the checked-in perf trajectory files the same way CI does.
 #
-#   scripts/bench.sh            full run (regenerates BENCH_leafcheck.json)
+#   scripts/bench.sh            full run (regenerates BENCH_leafcheck.json
+#                               and BENCH_batch.json)
 #   scripts/bench.sh --quick    CI smoke mode (fewer candidates/iterations)
 #
 # The leafcheck bench asserts the >=3x compiled-vs-cached speedup gate
-# and verdict bit-identity on every candidate; a regression fails the
-# script.
+# and verdict bit-identity on every candidate; the batch bench asserts
+# the >=3x cross-request cache-reuse gate at bit-identical verdicts. A
+# regression in either fails the script.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -16,3 +18,4 @@ if [[ "${1:-}" == "--quick" ]]; then
 fi
 
 cargo bench -p rtcg-bench --bench leafcheck
+cargo bench -p rtcg-bench --bench batch
