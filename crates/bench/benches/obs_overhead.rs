@@ -82,34 +82,60 @@ fn bench_obs_overhead(c: &mut Criterion) {
 
     // guarded sites one run executes: 1 histogram per completion, 1
     // event per preemption, 1 span (2 guards: begin + drop), and the
-    // end-of-run aggregate counters
+    // end-of-run aggregate counters. Counted per site family so the
+    // bound prices each family at its own probed no-op cost.
     let out = run(&f);
     let completions: usize = out.stats.iter().map(|s| s.completed).sum();
     let sites = completions + out.preemptions + 2 + 6;
 
     let uninstalled = time_runs(&f, 20, 200);
 
-    // per-site cost of the no-op path: probe loop over one guarded
-    // counter site (recorder still uninstalled here)
+    // per-site cost of the no-op path, probed per site family with the
+    // recorder still uninstalled: a counter site, a histogram site (the
+    // span-tree and histogram code paths are compiled in either way),
+    // and a span begin/drop pair (two guards). The bounds below use the
+    // worst of the three so mixed-site paths stay conservative.
     let probe_n = 100_000u64;
     let probe_start = Instant::now();
     for i in 0..probe_n {
         rtcg_obs::counter!("bench.site_probe", black_box(i) & 1);
     }
-    let per_site = probe_start.elapsed().as_secs_f64() / probe_n as f64;
+    let per_counter = probe_start.elapsed().as_secs_f64() / probe_n as f64;
+    let probe_start = Instant::now();
+    for i in 0..probe_n {
+        rtcg_obs::histogram!("bench.hist_probe", black_box(i) & 7);
+    }
+    let per_hist = probe_start.elapsed().as_secs_f64() / probe_n as f64;
+    let probe_start = Instant::now();
+    for i in 0..probe_n {
+        rtcg_obs::event!("bench.event_probe", "bench", black_box(i) & 1);
+    }
+    let per_event = probe_start.elapsed().as_secs_f64() / probe_n as f64;
+    let probe_start = Instant::now();
+    for _ in 0..probe_n {
+        let span = rtcg_obs::span!("bench.span_probe", "bench");
+        black_box(&span);
+    }
+    let per_span_pair = probe_start.elapsed().as_secs_f64() / probe_n as f64;
+    let per_site = per_counter.max(per_hist).max(per_span_pair / 2.0);
 
     // Exact-search path: instrumentation is hoisted out of the
-    // enumeration hot loop to per-search aggregates, so one sequential
-    // search executes a *constant* number of guarded sites regardless
-    // of how many nodes it expands — 1 span (2 guards) + 3 aggregate
-    // counters. Bound the no-op overhead the same way as above.
-    // (Must run before `set_recorder`: installation is one-way.)
+    // enumeration hot loop to per-search or per-unit aggregates —
+    // 1 span (2 guards) + 3 aggregate counters + 1 progress-sampler
+    // check per search, plus 1 cached leaf-timing guard per work unit
+    // (the per-leaf/per-node paths branch on that cached bool and the
+    // None progress handle, no recorder loads). A work unit is a
+    // depth-≤2 canonical prefix, so `max_len × (constraints + 1)²`
+    // bounds the unit count from above. Bound the no-op overhead the
+    // same way as above. (Must run before `set_recorder`: installation
+    // is one-way.)
     let search_model = chain_family_with_deadline(2, 7);
     let search_cfg = SearchConfig {
         max_len: 7,
         node_budget: u64::MAX / 2,
     };
-    let search_sites = 2 + 3;
+    let n_sym = search_model.constraints().len() + 1;
+    let search_sites = 2 + 3 + 1 + search_cfg.max_len * n_sym * n_sym;
     let search_iters = 20;
     for _ in 0..3 {
         black_box(find_feasible(&search_model, search_cfg).unwrap());
@@ -145,11 +171,23 @@ fn bench_obs_overhead(c: &mut Criterion) {
         (nop_installed / uninstalled - 1.0) * 100.0
     );
     println!(
-        "obs_overhead/site_probe {:.2} ns/site ({} sites/run)",
+        "obs_overhead/site_probe counter {:.2} ns, histogram {:.2} ns, \
+         event {:.2} ns, span pair {:.2} ns; search bound uses {:.2} ns/site \
+         ({} sim sites/run)",
+        per_counter * 1e9,
+        per_hist * 1e9,
+        per_event * 1e9,
+        per_span_pair * 1e9,
         per_site * 1e9,
         sites
     );
-    let bound = sites as f64 * per_site / uninstalled * 100.0;
+    // sim path priced per family: histograms on completion, events on
+    // preemption, one span pair, six aggregate counters
+    let sim_cost = completions as f64 * per_hist
+        + out.preemptions as f64 * per_event
+        + per_span_pair
+        + 6.0 * per_counter;
+    let bound = sim_cost / uninstalled * 100.0;
     println!("obs_overhead/noop_path_bound {bound:.2}% of runtime (target <2%)");
     assert!(
         bound < 2.0,

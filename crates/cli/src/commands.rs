@@ -113,10 +113,13 @@ pub fn check(path: &str, flags: &[String]) -> Result<(), CliError> {
 }
 
 /// `rtcg synthesize [--merged|--exact] [--threads N] [--max-len L]
-/// [--budget B] [--gantt N] [--metrics] [--trace-out F]`.
+/// [--budget B] [--gantt N] [--progress] [--metrics] [--metrics-out F]
+/// [--trace-out F]`.
 pub fn synthesize(path: &str, flags: &[String]) -> Result<(), CliError> {
     let rec = crate::profile::recorder_for(flags);
+    let ticker = crate::profile::ProgressTicker::start_if(flags, rec);
     let result = synthesize_inner(path, flags);
+    drop(ticker);
     if let Some(rec) = rec {
         // emit even when synthesis failed: the trace shows *where* the
         // pipeline spent its time before giving up
@@ -168,11 +171,25 @@ fn synthesize_inner(path: &str, flags: &[String]) -> Result<(), CliError> {
 }
 
 /// `rtcg analyze [--merged|--exact] [--threads N] [--max-len L]
-/// [--budget B] [--sweep] [--cache-stats]` — the unified analysis
-/// front end. Without `--sweep`, reports the verdict for the model as
+/// [--budget B] [--sweep] [--cache-stats] [--progress] [--metrics]
+/// [--metrics-out F] [--trace-out F]` — the unified analysis front
+/// end. Without `--sweep`, reports the verdict for the model as
 /// written; with `--sweep`, binary-searches every constraint's minimum
 /// feasible deadline through the engine's incremental cache.
 pub fn analyze(path: &str, flags: &[String]) -> Result<(), CliError> {
+    let rec = crate::profile::recorder_for(flags);
+    let ticker = crate::profile::ProgressTicker::start_if(flags, rec);
+    let result = analyze_inner(path, flags);
+    drop(ticker);
+    if let Some(rec) = rec {
+        // emit even on an infeasible verdict: the metrics show what the
+        // search did before concluding
+        crate::profile::emit(rec, flags)?;
+    }
+    result
+}
+
+fn analyze_inner(path: &str, flags: &[String]) -> Result<(), CliError> {
     let (_, model) = load(path)?;
     let req = request_from_flags(flags)?;
     let engine = Engine::new();
@@ -238,6 +255,15 @@ pub fn analyze(path: &str, flags: &[String]) -> Result<(), CliError> {
 /// request whose exact search exceeds the budget degrades to the
 /// heuristic verdict instead of erroring.
 pub fn analyze_batch(manifest: &str, flags: &[String]) -> Result<(), CliError> {
+    let rec = crate::profile::recorder_for(flags);
+    let result = analyze_batch_inner(manifest, flags);
+    if let Some(rec) = rec {
+        crate::profile::emit(rec, flags)?;
+    }
+    result
+}
+
+fn analyze_batch_inner(manifest: &str, flags: &[String]) -> Result<(), CliError> {
     let req = request_from_flags(flags)?;
     let opts = rtcg_engine::batch::BatchOptions {
         threads: positive_flag_value(flags, "--threads")?.unwrap_or(1) as usize,

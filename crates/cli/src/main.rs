@@ -46,14 +46,18 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   rtcg check <spec.rtcg> [--cache-stats]
   rtcg analyze <spec.rtcg> [--merged|--exact] [--threads N] [--max-len L]
-               [--budget B] [--sweep] [--cache-stats]
+               [--budget B] [--sweep] [--cache-stats] [--progress]
+               [--metrics] [--metrics-out FILE] [--trace-out FILE]
   rtcg analyze --batch <manifest> [--merged|--exact] [--threads N]
                [--budget-ms M] [--max-len L] [--budget B] [--cache-stats]
+               [--metrics] [--metrics-out FILE] [--trace-out FILE]
   rtcg synthesize <spec.rtcg> [--merged|--exact] [--threads N] [--max-len L]
-                  [--budget B] [--gantt N] [--cache-stats] [--metrics]
-                  [--trace-out FILE]
-  rtcg simulate <spec.rtcg> --ticks N [--seed S] [--metrics] [--trace-out FILE]
-  rtcg profile <spec.rtcg> [--ticks N] [--trace-out FILE]
+                  [--budget B] [--gantt N] [--cache-stats] [--progress]
+                  [--metrics] [--metrics-out FILE] [--trace-out FILE]
+  rtcg simulate <spec.rtcg> --ticks N [--seed S] [--metrics]
+                [--metrics-out FILE] [--trace-out FILE]
+  rtcg profile <spec.rtcg> [--ticks N] [--format table|prom]
+               [--metrics-out FILE] [--trace-out FILE]
   rtcg sensitivity <spec.rtcg> [--merged|--exact] [--cache-stats]
   rtcg dot <spec.rtcg>
   rtcg codegen <spec.rtcg>
@@ -76,7 +80,11 @@ batch (analyze --batch):
 
 observability:
   --metrics          print a counters/spans/histograms summary after the run
-  --trace-out FILE   write a Chrome trace_event JSON (Perfetto, chrome://tracing)";
+  --metrics-out FILE write metrics as Prometheus text exposition to FILE
+  --progress         live exact-search progress ticker on stderr
+                     (nodes/s, frontier depth, prune rate, best bound)
+  --trace-out FILE   write a Chrome trace_event JSON (Perfetto, chrome://tracing)
+  --format table|prom  profile output format (default: aligned tables)";
 
 /// CLI error categories (mapped to exit codes).
 #[derive(Debug)]

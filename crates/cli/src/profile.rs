@@ -1,18 +1,25 @@
-//! `rtcg profile` and the shared `--metrics` / `--trace-out` plumbing.
+//! `rtcg profile` and the shared `--metrics` / `--metrics-out` /
+//! `--trace-out` / `--progress` plumbing.
 //!
 //! Profiling installs an in-memory [`rtcg_obs`] recorder, drives the
 //! whole toolchain over one spec — necessary-condition bounds, a
-//! budget-capped exact search, heuristic synthesis, and a table-executor
-//! simulation — and prints what the instrumentation collected: counters,
-//! span timings, and latency histograms. `--trace-out` additionally
-//! dumps a Chrome `trace_event` JSON loadable in Perfetto or
-//! chrome://tracing.
+//! budget-capped exact search (through an [`Engine`] so the sharded
+//! result memo is exercised), heuristic synthesis, and a table-executor
+//! simulation — and prints what the instrumentation collected:
+//! counters, span timings, latency histograms, and per-shard cache
+//! counters. `--trace-out` additionally dumps a Chrome `trace_event`
+//! JSON loadable in Perfetto or chrome://tracing; `--format prom` or
+//! `--metrics-out FILE` emit the Prometheus text exposition instead.
 
-use crate::commands::{load, run_simulation};
+use crate::commands::{engine_err, load, run_simulation};
 use crate::CliError;
-use rtcg_core::feasibility::{find_feasible, quick_infeasible, SearchConfig};
+use rtcg_core::feasibility::{quick_infeasible, SearchConfig};
 use rtcg_core::heuristic::synthesize as core_synthesize;
+use rtcg_engine::{AnalysisMode, AnalysisRequest, Engine, EngineStats, Verdict, SHARDS};
 use rtcg_obs::MemoryRecorder;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Aligned-text table (same shape as the bench crate's experiment
 /// tables: padded columns, dashed rule under the header).
@@ -65,10 +72,13 @@ impl Table {
     }
 }
 
-/// Installs the in-memory recorder when `--metrics` or `--trace-out` is
-/// present. Returns `None` when neither flag asks for observability.
+/// Installs the in-memory recorder when any observability flag
+/// (`--metrics`, `--metrics-out`, `--trace-out`, `--progress`) is
+/// present. Returns `None` when nothing asks for observability.
 pub fn recorder_for(flags: &[String]) -> Option<&'static MemoryRecorder> {
-    let wanted = flags.iter().any(|f| f == "--metrics") || flags.iter().any(|f| f == "--trace-out");
+    let wanted = ["--metrics", "--metrics-out", "--trace-out", "--progress"]
+        .iter()
+        .any(|w| flags.iter().any(|f| f == w));
     if wanted {
         Some(MemoryRecorder::install())
     } else {
@@ -77,17 +87,88 @@ pub fn recorder_for(flags: &[String]) -> Option<&'static MemoryRecorder> {
 }
 
 /// Emits whatever the flags asked for: a Chrome trace file for
-/// `--trace-out FILE`, a metrics summary table for `--metrics`.
+/// `--trace-out FILE`, a Prometheus text exposition file for
+/// `--metrics-out FILE`, a metrics summary table for `--metrics`.
 pub fn emit(rec: &MemoryRecorder, flags: &[String]) -> Result<(), CliError> {
     if let Some(path) = flag_str(flags, "--trace-out")? {
         std::fs::write(&path, rec.chrome_trace_json())
             .map_err(|e| CliError::Input(format!("cannot write `{path}`: {e}")))?;
         eprintln!("trace written to {path} (open in Perfetto or chrome://tracing)");
     }
+    if let Some(path) = flag_str(flags, "--metrics-out")? {
+        std::fs::write(&path, rec.prometheus_text())
+            .map_err(|e| CliError::Input(format!("cannot write `{path}`: {e}")))?;
+        eprintln!("metrics written to {path} (Prometheus text exposition)");
+    }
     if flags.iter().any(|f| f == "--metrics") {
         print!("{}", render_metrics(rec));
     }
     Ok(())
+}
+
+/// Live `--progress` ticker: a sampler thread that polls the
+/// `search.progress.*` gauges the exact search publishes at its cancel
+/// poll stride and rewrites one stderr status line. Sampling reads four
+/// gauges off the recorder (no snapshot), so the cost is a handful of
+/// map lookups per tick regardless of how much trace data accumulated.
+/// Dropping the ticker stops the thread and prints a final sample, so
+/// even a search faster than one tick leaves its closing rates visible.
+pub struct ProgressTicker {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ProgressTicker {
+    /// Starts the ticker when `--progress` was given (the flag forces
+    /// recorder installation via [`recorder_for`], so `rec` is `Some`
+    /// whenever the flag is present).
+    pub fn start_if(flags: &[String], rec: Option<&'static MemoryRecorder>) -> Option<Self> {
+        if !flags.iter().any(|f| f == "--progress") {
+            return None;
+        }
+        let rec = rec?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let seen = stop.clone();
+        let handle = std::thread::spawn(move || {
+            let mut ticked = false;
+            while !seen.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(100));
+                if let Some(line) = progress_line(rec) {
+                    eprint!("\r{line}");
+                    ticked = true;
+                }
+            }
+            // final sample on shutdown: short searches still report
+            if let Some(line) = progress_line(rec) {
+                eprintln!("\r{line}");
+            } else if ticked {
+                eprintln!();
+            }
+        });
+        Some(ProgressTicker {
+            stop,
+            handle: Some(handle),
+        })
+    }
+}
+
+impl Drop for ProgressTicker {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn progress_line(rec: &MemoryRecorder) -> Option<String> {
+    let nps = rec.gauge("search.progress.nodes_per_sec")?;
+    let depth = rec.gauge("search.progress.frontier_depth").unwrap_or(0);
+    let prune = rec.gauge("search.progress.prune_rate_pct").unwrap_or(0);
+    let bound = rec.gauge("search.progress.best_bound").unwrap_or(0);
+    Some(format!(
+        "search: {nps} nodes/s  depth {depth}  prune {prune}%  bound {bound}   "
+    ))
 }
 
 /// Renders the recorder's current contents as summary tables.
@@ -133,13 +214,14 @@ pub fn render_metrics(rec: &MemoryRecorder) -> String {
     }
 
     if !snap.histograms.is_empty() {
-        let mut t = Table::new(&["histogram", "count", "mean", "p50", "p99", "max"]);
+        let mut t = Table::new(&["histogram", "count", "mean", "p50", "p90", "p99", "max"]);
         for h in &snap.histograms {
             t.row(vec![
                 h.name.to_string(),
                 h.count.to_string(),
                 format!("{:.1}", h.mean()),
                 h.percentile(50.0).to_string(),
+                h.percentile(90.0).to_string(),
                 h.percentile(99.0).to_string(),
                 h.max.to_string(),
             ]);
@@ -157,9 +239,50 @@ pub fn render_metrics(rec: &MemoryRecorder) -> String {
     out
 }
 
-/// `rtcg profile <spec.rtcg> [--ticks N] [--trace-out FILE]` — run the
-/// full pipeline under the recorder and print the metrics summary.
+/// Renders per-shard cache counters of the engine's 16-way result memo
+/// as an aligned table (plus a totals row).
+pub fn render_shard_table(stats: &EngineStats) -> String {
+    let mut t = Table::new(&["shard", "hits", "misses", "inserts", "poison", "occupancy"]);
+    let (mut h, mut m, mut i, mut p, mut o) = (0u64, 0u64, 0u64, 0u64, 0u64);
+    for (ix, s) in stats.shards.iter().enumerate() {
+        t.row(vec![
+            format!("{ix:02}"),
+            s.hits.to_string(),
+            s.misses.to_string(),
+            s.inserts.to_string(),
+            s.poison_recoveries.to_string(),
+            s.occupancy.to_string(),
+        ]);
+        h += s.hits;
+        m += s.misses;
+        i += s.inserts;
+        p += s.poison_recoveries;
+        o += s.occupancy;
+    }
+    t.row(vec![
+        "all".into(),
+        h.to_string(),
+        m.to_string(),
+        i.to_string(),
+        p.to_string(),
+        o.to_string(),
+    ]);
+    let mut out = String::from("\nengine result-memo shards:\n");
+    out.push_str(&t.render());
+    debug_assert_eq!(stats.shards.len(), SHARDS);
+    out
+}
+
+/// `rtcg profile <spec.rtcg> [--ticks N] [--format table|prom]
+/// [--trace-out FILE] [--metrics-out FILE]` — run the full pipeline
+/// under the recorder and print the metrics summary.
 pub fn profile(path: &str, flags: &[String]) -> Result<(), CliError> {
+    let format = flag_str(flags, "--format")?.unwrap_or_else(|| "table".into());
+    if format != "table" && format != "prom" {
+        return Err(CliError::Usage(format!(
+            "--format must be `table` or `prom`, got `{format}`"
+        )));
+    }
     let rec = MemoryRecorder::install();
     let (_, model) = load(path)?;
     let ticks = crate::commands::flag_value(flags, "--ticks")?.unwrap_or(1000);
@@ -173,26 +296,29 @@ pub fn profile(path: &str, flags: &[String]) -> Result<(), CliError> {
         bound.map_or("pass".to_string(), |r| format!("infeasible ({r})"))
     );
 
-    // 2. budget-capped exact search (profiling wants node counts, not an
-    //    exhaustive answer, so the budget is deliberately small)
-    let search = find_feasible(
-        &model,
-        SearchConfig {
+    // 2. budget-capped exact search through an engine, so the run
+    //    exercises (and reports) the sharded result memo. Profiling
+    //    wants node counts, not an exhaustive answer, hence the
+    //    deliberately small budget.
+    let engine = Engine::new();
+    let req = AnalysisRequest {
+        mode: AnalysisMode::Exact,
+        search: SearchConfig {
             max_len: 8,
             node_budget: 50_000,
         },
-    )
-    .map_err(|e| CliError::Input(e.to_string()))?;
+        ..AnalysisRequest::default()
+    };
+    let report = engine.analyze(&model, &req).map_err(engine_err)?;
+    let stats = report.search.expect("exact mode reports search stats");
     println!(
         "  exact search: {} nodes, {} candidates, schedule {}",
-        search.nodes_visited,
-        search.candidates_checked,
-        if search.schedule.is_some() {
-            "found"
-        } else if search.exhausted_bound {
-            "none within bound"
-        } else {
-            "budget exhausted"
+        stats.nodes_visited,
+        stats.candidates_checked,
+        match report.verdict {
+            Verdict::Feasible { .. } => "found",
+            Verdict::Infeasible { .. } => "none within bound",
+            Verdict::Unknown { .. } => "budget exhausted",
         }
     );
 
@@ -214,8 +340,22 @@ pub fn profile(path: &str, flags: &[String]) -> Result<(), CliError> {
         Err(e) => println!("  synthesis: infeasible ({e})"),
     }
 
-    print!("{}", render_metrics(rec));
+    // fold the shard counters into the metric stream so every output
+    // format (tables, prom text, --metrics-out) sees the same data
+    engine.publish_shard_metrics();
 
+    if format == "prom" {
+        print!("{}", rec.prometheus_text());
+    } else {
+        print!("{}", render_metrics(rec));
+        print!("{}", render_shard_table(&engine.stats()));
+    }
+
+    if let Some(out) = flag_str(flags, "--metrics-out")? {
+        std::fs::write(&out, rec.prometheus_text())
+            .map_err(|e| CliError::Input(format!("cannot write `{out}`: {e}")))?;
+        println!("\nmetrics written to {out} (Prometheus text exposition)");
+    }
     if let Some(out) = flag_str(flags, "--trace-out")? {
         std::fs::write(&out, rec.chrome_trace_json())
             .map_err(|e| CliError::Input(format!("cannot write `{out}`: {e}")))?;

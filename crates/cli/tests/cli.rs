@@ -347,6 +347,127 @@ fn trace_out_requires_value() {
 }
 
 #[test]
+fn profile_renders_percentiles_and_shard_columns() {
+    let spec = write_spec(GOOD_SPEC);
+    let out = rtcg(&["profile", spec.path_str(), "--ticks", "200"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // histogram table: percentile columns in order
+    let hist_header = stdout
+        .lines()
+        .find(|l| l.starts_with("histogram") && l.contains("count"))
+        .unwrap_or_else(|| panic!("histogram table missing: {stdout}"));
+    for col in ["count", "mean", "p50", "p90", "p99", "max"] {
+        assert!(hist_header.contains(col), "missing column {col}: {stdout}");
+    }
+    // shard table: one row per shard plus the totals row
+    assert!(stdout.contains("engine result-memo shards:"), "{stdout}");
+    let shard_header = stdout
+        .lines()
+        .find(|l| l.starts_with("shard"))
+        .expect("shard table header");
+    for col in ["hits", "misses", "inserts", "poison", "occupancy"] {
+        assert!(shard_header.contains(col), "missing column {col}: {stdout}");
+    }
+    for row in ["00", "07", "15", "all"] {
+        assert!(
+            stdout.lines().any(|l| l.starts_with(row)),
+            "missing shard row {row}: {stdout}"
+        );
+    }
+}
+
+#[test]
+fn profile_format_prom_emits_valid_exposition() {
+    let spec = write_spec(GOOD_SPEC);
+    let out = rtcg(&["profile", spec.path_str(), "--format", "prom"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let start = stdout
+        .find("# TYPE")
+        .unwrap_or_else(|| panic!("no exposition in output: {stdout}"));
+    let samples = rtcg_obs::validate_prometheus_text(&stdout[start..])
+        .unwrap_or_else(|e| panic!("invalid exposition: {e:?}\n{stdout}"));
+    assert!(samples > 0);
+    // the shard family folds into labeled metrics
+    assert!(
+        stdout.contains("rtcg_engine_shard_occupancy{shard=\"00\"}"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("rtcg_search_leaf_eval_us{quantile=\"0.9\"}"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn profile_rejects_unknown_format() {
+    let spec = write_spec(GOOD_SPEC);
+    let out = rtcg(&["profile", spec.path_str(), "--format", "yaml"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--format"), "{stderr}");
+}
+
+#[test]
+fn analyze_progress_ticker_reports_on_stderr() {
+    let spec = write_spec(GOOD_SPEC);
+    let out = rtcg(&["analyze", spec.path_str(), "--exact", "--progress"]);
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    // the ticker prints a final sample even when the search beats the
+    // first tick, so this is deterministic
+    assert!(stderr.contains("nodes/s"), "{stderr}");
+    assert!(stderr.contains("prune"), "{stderr}");
+}
+
+#[test]
+fn analyze_metrics_out_writes_valid_prometheus() {
+    let spec = write_spec(GOOD_SPEC);
+    let prom = spec.path.with_extension("metrics.prom");
+    let out = rtcg(&[
+        "analyze",
+        spec.path_str(),
+        "--exact",
+        "--metrics-out",
+        prom.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let body = std::fs::read_to_string(&prom).expect("metrics file exists");
+    std::fs::remove_file(&prom).ok();
+    let samples = rtcg_obs::validate_prometheus_text(&body)
+        .unwrap_or_else(|e| panic!("invalid exposition: {e:?}\n{body}"));
+    assert!(samples > 0);
+    assert!(body.contains("rtcg_search_nodes_expanded"), "{body}");
+}
+
+#[test]
+fn analyze_batch_metrics_out_includes_request_latency() {
+    let spec = write_spec(GOOD_SPEC);
+    let manifest = write_spec(&format!("{0}\n{0}\n", spec.path_str()));
+    let prom = spec.path.with_extension("batch.prom");
+    let out = rtcg(&[
+        "analyze",
+        "--batch",
+        manifest.path_str(),
+        "--threads",
+        "2",
+        "--metrics-out",
+        prom.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let body = std::fs::read_to_string(&prom).expect("metrics file exists");
+    std::fs::remove_file(&prom).ok();
+    let samples = rtcg_obs::validate_prometheus_text(&body)
+        .unwrap_or_else(|e| panic!("invalid exposition: {e:?}\n{body}"));
+    assert!(samples > 0);
+    // per-request latency histogram → summary with count 2
+    assert!(body.contains("rtcg_engine_request_us_count 2"), "{body}");
+    // queue-depth gauge drained to zero at batch end
+    assert!(body.contains("rtcg_engine_batch_queue_depth 0"), "{body}");
+}
+
+#[test]
 fn analyze_reports_verdict_and_cache_stats() {
     let spec = write_spec(GOOD_SPEC);
     let out = rtcg(&["analyze", spec.path_str(), "--cache-stats"]);

@@ -133,6 +133,9 @@ pub struct CancelToken {
 struct CancelInner {
     fired: AtomicBool,
     deadline: Option<Instant>,
+    /// Microseconds since [`rtcg_obs::epoch`] at which the token first
+    /// fired, clamped to ≥ 1 so 0 can mean "not fired".
+    fired_at_us: AtomicU64,
 }
 
 /// Interior nodes between wall-clock polls of a deadline-carrying
@@ -152,13 +155,33 @@ impl CancelToken {
             inner: Arc::new(CancelInner {
                 fired: AtomicBool::new(false),
                 deadline: Some(Instant::now() + budget),
+                fired_at_us: AtomicU64::new(0),
             }),
         }
     }
 
-    /// Fires the token. Idempotent; visible to all clones.
+    /// Fires the token. Idempotent; visible to all clones. The first
+    /// fire timestamps the token (see [`CancelToken::fired_at`]) so
+    /// callers can attribute cancel-to-stop latency.
     pub fn cancel(&self) {
-        self.inner.fired.store(true, Ordering::Release);
+        if !self.inner.fired.swap(true, Ordering::AcqRel) {
+            let at = Instant::now().saturating_duration_since(rtcg_obs::epoch());
+            self.inner
+                .fired_at_us
+                .store((at.as_micros() as u64).max(1), Ordering::Release);
+        }
+    }
+
+    /// When the token first fired, as an offset from
+    /// [`rtcg_obs::epoch`]; `None` while unfired. The offset has
+    /// microsecond resolution (rounded up to 1µs minimum).
+    pub fn fired_at(&self) -> Option<Duration> {
+        let us = self.inner.fired_at_us.load(Ordering::Acquire);
+        if us == 0 {
+            None
+        } else {
+            Some(Duration::from_micros(us))
+        }
     }
 
     /// True once the token has fired (flag only — does not consult the
@@ -179,6 +202,61 @@ impl CancelToken {
             return true;
         }
         false
+    }
+}
+
+/// Live search-progress aggregation, published as `search.progress.*`
+/// gauges from the same stride that polls the [`CancelToken`] deadline
+/// — so sampling adds no extra clock reads or branches to nodes that
+/// were not already paying for a poll.
+///
+/// Workers flush their node/prune deltas into the shared atomics at
+/// each stride boundary; whichever worker flushes also publishes the
+/// cumulative gauges (last-write-wins is fine for a live view):
+///
+/// * `search.progress.nodes_per_sec` — cumulative enumeration rate;
+/// * `search.progress.frontier_depth` — the publishing worker's DFS
+///   depth at the sample;
+/// * `search.progress.prune_rate_pct` — pruned subtrees per 100 nodes;
+/// * `search.progress.best_bound` — the schedule length currently
+///   being enumerated (every shorter length is already refuted).
+///
+/// Constructed only when a recorder is installed, so the uninstalled
+/// search pays a `None` check per interior node and nothing else.
+pub(crate) struct SearchProgress {
+    started: Instant,
+    nodes: AtomicU64,
+    pruned: AtomicU64,
+}
+
+impl SearchProgress {
+    pub(crate) fn new() -> Self {
+        SearchProgress {
+            started: Instant::now(),
+            nodes: AtomicU64::new(0),
+            pruned: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the sampler only when someone is listening.
+    pub(crate) fn when_recording() -> Option<Self> {
+        rtcg_obs::recorder().is_some().then(Self::new)
+    }
+
+    fn publish(&self, delta_nodes: u64, delta_pruned: u64, depth: usize, best_bound: usize) {
+        let nodes = self.nodes.fetch_add(delta_nodes, Ordering::Relaxed) + delta_nodes;
+        let pruned = self.pruned.fetch_add(delta_pruned, Ordering::Relaxed) + delta_pruned;
+        let elapsed_us = self.started.elapsed().as_micros().max(1) as u64;
+        rtcg_obs::gauge!(
+            "search.progress.nodes_per_sec",
+            nodes.saturating_mul(1_000_000) / elapsed_us
+        );
+        rtcg_obs::gauge!("search.progress.frontier_depth", depth);
+        rtcg_obs::gauge!(
+            "search.progress.prune_rate_pct",
+            pruned * 100 / nodes.max(1)
+        );
+        rtcg_obs::gauge!("search.progress.best_bound", best_bound);
     }
 }
 
@@ -426,6 +504,13 @@ struct Dfs<'a, 'b, 'm> {
     cancel: Option<(&'a AtomicUsize, usize)>,
     abort: Option<&'a CancelToken>,
     abort_tick: u32,
+    progress: Option<&'a SearchProgress>,
+    /// Totals already flushed into `progress`.
+    flushed_nodes: u64,
+    flushed_pruned: u64,
+    /// Whether a recorder was installed when this unit started; caches
+    /// the guard so leaf timing costs one load per unit, not per leaf.
+    time_leaves: bool,
     nodes: u64,
     candidates: u64,
     pruned: u64,
@@ -435,24 +520,36 @@ struct Dfs<'a, 'b, 'm> {
 }
 
 impl Dfs<'_, '_, '_> {
-    fn cancelled(&mut self) -> bool {
+    fn cancelled(&mut self, depth: usize) -> bool {
         if self
             .cancel
             .is_some_and(|(winner, ix)| winner.load(Ordering::Acquire) < ix)
         {
             return true;
         }
+        // tick 0 samples/polls, so an already-expired deadline stops
+        // the search at its very first node deterministically
+        let at_stride = self.abort_tick.is_multiple_of(ABORT_POLL_STRIDE);
+        self.abort_tick = self.abort_tick.wrapping_add(1);
+        if at_stride {
+            if let Some(p) = self.progress {
+                p.publish(
+                    self.nodes - self.flushed_nodes,
+                    self.pruned - self.flushed_pruned,
+                    depth,
+                    self.len,
+                );
+                self.flushed_nodes = self.nodes;
+                self.flushed_pruned = self.pruned;
+            }
+        }
         match self.abort {
             Some(token) => {
-                // tick 0 polls, so an already-expired deadline stops the
-                // search at its very first node deterministically
-                let fired = if self.abort_tick.is_multiple_of(ABORT_POLL_STRIDE) {
+                if at_stride {
                     token.poll()
                 } else {
                     token.is_set()
-                };
-                self.abort_tick = self.abort_tick.wrapping_add(1);
-                fired
+                }
             }
             None => false,
         }
@@ -501,12 +598,21 @@ impl Dfs<'_, '_, '_> {
             self.actions_buf.clear();
             let buf = &mut self.actions_buf;
             buf.extend(self.string.iter().map(|&s| self.ctx.action(s)));
-            if self.cache.check(self.ctx.model, buf)? {
+            let leaf_start = if self.time_leaves {
+                Some(Instant::now())
+            } else {
+                None
+            };
+            let feasible = self.cache.check(self.ctx.model, buf)?;
+            if let Some(t0) = leaf_start {
+                rtcg_obs::histogram!("search.leaf_eval_us", t0.elapsed().as_micros() as u64);
+            }
+            if feasible {
                 return Ok(SubtreeEnd::Found(StaticSchedule::new(buf.clone())));
             }
             return Ok(SubtreeEnd::Done);
         }
-        if self.cancelled() {
+        if self.cancelled(depth) {
             return Ok(SubtreeEnd::Cancelled);
         }
         let base = self.string[depth - period];
@@ -531,6 +637,7 @@ impl Dfs<'_, '_, '_> {
 /// Runs one work unit to completion (or starvation/cancellation) under
 /// the given budget. Charge accounting is deterministic: the same unit
 /// with enough budget always reports the same `nodes`/`candidates`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_unit(
     ctx: &SearchCtx,
     cache: &mut dyn CandidateEval,
@@ -539,6 +646,7 @@ pub(crate) fn run_unit(
     budget: &mut Budget<'_>,
     cancel: Option<(&AtomicUsize, usize)>,
     abort: Option<&CancelToken>,
+    progress: Option<&SearchProgress>,
 ) -> Result<SubtreeResult, ModelError> {
     let mut dfs = Dfs {
         ctx,
@@ -551,6 +659,10 @@ pub(crate) fn run_unit(
         cancel,
         abort,
         abort_tick: 0,
+        progress,
+        flushed_nodes: 0,
+        flushed_pruned: 0,
+        time_leaves: rtcg_obs::recorder().is_some(),
         nodes: 0,
         candidates: 0,
         pruned: 0,
@@ -560,7 +672,7 @@ pub(crate) fn run_unit(
     let mut period = 1usize;
     let mut alive = true;
     for (t, &sym) in unit.prefix.iter().enumerate() {
-        if dfs.cancelled() {
+        if dfs.cancelled(t) {
             end = SubtreeEnd::Cancelled;
             alive = false;
             break;
@@ -612,6 +724,7 @@ pub(crate) fn resume_sequential(
     out: &mut SearchOutcome,
     abort: Option<&CancelToken>,
 ) -> Result<(), ModelError> {
+    let progress = SearchProgress::when_recording();
     for len in start_len..=config.max_len {
         let units = work_units(ctx.n(), len);
         let from = if len == start_len { start_unit } else { 0 };
@@ -620,7 +733,16 @@ pub(crate) fn resume_sequential(
             let mut budget = Budget::Cap {
                 credit: config.node_budget.saturating_sub(spent),
             };
-            let r = run_unit(ctx, eval, len, unit, &mut budget, None, abort)?;
+            let r = run_unit(
+                ctx,
+                eval,
+                len,
+                unit,
+                &mut budget,
+                None,
+                abort,
+                progress.as_ref(),
+            )?;
             out.nodes_visited += r.nodes;
             out.candidates_checked += r.candidates;
             out.nodes_pruned += r.pruned;
@@ -1060,6 +1182,18 @@ mod tests {
             );
             assert!(!token.is_set());
         }
+    }
+
+    #[test]
+    fn cancel_timestamps_first_fire_only() {
+        let token = CancelToken::new();
+        assert!(token.fired_at().is_none());
+        token.cancel();
+        let at = token.fired_at().expect("cancel stamps the token");
+        token.cancel();
+        assert_eq!(token.fired_at(), Some(at), "later cancels keep the stamp");
+        let clone = token.clone();
+        assert_eq!(clone.fired_at(), Some(at), "clones share the stamp");
     }
 
     #[test]

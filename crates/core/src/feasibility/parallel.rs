@@ -26,7 +26,7 @@
 use super::compiled::CompiledChecker;
 use super::exact::{
     emit_search_counters, resume_sequential, run_unit, work_units, Budget, CancelToken,
-    SearchConfig, SearchCtx, SearchOutcome, SubtreeEnd, SubtreeResult, TokenPool,
+    SearchConfig, SearchCtx, SearchOutcome, SearchProgress, SubtreeEnd, SubtreeResult, TokenPool,
 };
 use crate::error::ModelError;
 use crate::model::Model;
@@ -96,6 +96,7 @@ fn search(
         return Ok(out);
     }
 
+    let progress = SearchProgress::when_recording();
     for len in ctx.start_len()..=config.max_len {
         let units = work_units(ctx.n(), len);
         let spent = out.nodes_visited + out.candidates_checked;
@@ -114,6 +115,7 @@ fn search(
                 let cursor = &cursor;
                 let winner = &winner;
                 let proto = &proto;
+                let progress = progress.as_ref();
                 handles.push(scope.spawn(move || {
                     let mut cache = proto.clone();
                     let mut locals = Vec::new();
@@ -143,6 +145,7 @@ fn search(
                             &mut budget,
                             Some((winner, i)),
                             abort,
+                            progress,
                         );
                         budget.release();
                         if let Ok(res) = &r {

@@ -25,12 +25,22 @@
 //! differential proptest in `tests/batch_differential.rs`.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use rtcg_core::feasibility::CancelToken;
 use rtcg_core::model::Model;
 
 use crate::{AnalysisMode, AnalysisReport, AnalysisRequest, Engine, EngineError, Verdict};
+
+/// Unclaimed jobs remaining once `claimed` claims have been taken off
+/// the cursor. Pure so the gauge arithmetic is unit-testable: the value
+/// depends only on the *shared* claim count, never on which worker
+/// computes it (the seed derived it from each worker's own claimed
+/// index, so publish races made the gauge regress non-monotonically).
+pub(crate) fn queue_depth(total: usize, claimed: usize) -> i64 {
+    total.saturating_sub(claimed) as i64
+}
 
 /// Knobs of one batch run.
 #[derive(Debug, Clone, Copy)]
@@ -85,12 +95,35 @@ impl Engine {
         let threads = opts.threads.max(1).min(jobs.len().max(1));
         let cursor = AtomicUsize::new(0);
         let degraded_total = AtomicU64::new(0);
+        // One correlation id per batch entry, allocated and announced
+        // (flow "produce") on the coordinating thread; the claiming
+        // worker adopts the id, which emits the matching flow "consume"
+        // and tags every span of that request — so a Chrome trace shows
+        // one causal tree per entry with a handoff arrow into the
+        // worker's lane. All None (and free) when no recorder is
+        // installed.
+        let request_ids: Vec<Option<u64>> = jobs
+            .iter()
+            .map(|_| {
+                let id = rtcg_obs::allocate_request_id();
+                if let Some(id) = id {
+                    rtcg_obs::request_handoff(id);
+                }
+                id
+            })
+            .collect();
+        // Serializes queue-depth publication: cursor reads taken under
+        // this lock are monotone, so the gauge history never regresses.
+        // One uncontended lock per claim is noise next to an analysis.
+        let depth_lock = Mutex::new(());
         let mut slots: Vec<Option<BatchResult>> = (0..jobs.len()).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for _ in 0..threads {
                 let cursor = &cursor;
                 let degraded_total = &degraded_total;
+                let request_ids = &request_ids;
+                let depth_lock = &depth_lock;
                 handles.push(scope.spawn(move || {
                     let mut locals = Vec::new();
                     loop {
@@ -98,7 +131,15 @@ impl Engine {
                         if i >= jobs.len() {
                             return locals;
                         }
-                        rtcg_obs::gauge!("engine.batch.queue_depth", (jobs.len() - i - 1) as i64);
+                        {
+                            let _g = depth_lock.lock();
+                            let claimed = cursor.load(Ordering::Acquire).min(jobs.len());
+                            rtcg_obs::gauge!(
+                                "engine.batch.queue_depth",
+                                queue_depth(jobs.len(), claimed)
+                            );
+                        }
+                        let _scope = request_ids[i].map(rtcg_obs::RequestScope::adopt);
                         let (model, req) = &jobs[i];
                         locals.push((i, self.run_one(model, req, opts, degraded_total)));
                     }
@@ -115,6 +156,7 @@ impl Engine {
             "engine.batch.degraded",
             degraded_total.load(Ordering::Relaxed)
         );
+        self.publish_shard_metrics();
         slots
             .into_iter()
             .map(|s| s.expect("every claimed job reports"))
@@ -198,6 +240,20 @@ mod tests {
             },
             ..AnalysisRequest::exact()
         }
+    }
+
+    #[test]
+    fn queue_depth_is_claim_count_derived() {
+        assert_eq!(queue_depth(5, 0), 5);
+        assert_eq!(queue_depth(5, 2), 3);
+        assert_eq!(queue_depth(5, 5), 0);
+        // workers that raced past the end clamp to empty
+        assert_eq!(queue_depth(5, 7), 0);
+        assert_eq!(queue_depth(0, 0), 0);
+        // the value is a function of the shared claim count alone:
+        // claim counts only grow, so later publishes can only shrink it
+        let depths: Vec<i64> = (0..=7).map(|c| queue_depth(5, c)).collect();
+        assert!(depths.windows(2).all(|w| w[1] <= w[0]));
     }
 
     #[test]

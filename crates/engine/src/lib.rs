@@ -43,6 +43,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
+use std::time::Instant;
 
 use rtcg_core::feasibility::{
     find_feasible_parallel_with_cancel, find_feasible_with_cancel, quick_infeasible, used_elements,
@@ -246,7 +247,69 @@ pub struct EngineStats {
     pub sessions: u64,
     /// Candidate strings memoized across all sessions.
     pub memo_candidates: u64,
+    /// Per-shard result-memo counters, indexed by shard. Uneven
+    /// hit/occupancy distributions here mean fingerprint skew — worth
+    /// knowing before the serve daemon multiplies the key population.
+    pub shards: [ShardStats; SHARDS],
 }
+
+/// Counters of one result-memo shard; see [`EngineStats::shards`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardStats {
+    /// Reports served from this shard.
+    pub hits: u64,
+    /// Lookups that missed this shard.
+    pub misses: u64,
+    /// Reports inserted into this shard.
+    pub inserts: u64,
+    /// Times a poisoned shard lock was recovered (a batch worker
+    /// panicked while holding it).
+    pub poison_recoveries: u64,
+    /// Entries currently resident in this shard.
+    pub occupancy: u64,
+}
+
+/// Live per-shard counters; the atomic backing of [`ShardStats`].
+#[derive(Debug, Default)]
+struct ShardCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    poison_recoveries: AtomicU64,
+}
+
+/// `engine.shard.NN.<suffix>` metric-name tables. The names must be
+/// `&'static str` (the obs contract), so they are spelled out per shard
+/// by the macro below; the Prometheus exporter folds the family back
+/// into one metric with a `shard` label.
+macro_rules! shard_names {
+    ($suffix:literal) => {
+        [
+            concat!("engine.shard.00.", $suffix),
+            concat!("engine.shard.01.", $suffix),
+            concat!("engine.shard.02.", $suffix),
+            concat!("engine.shard.03.", $suffix),
+            concat!("engine.shard.04.", $suffix),
+            concat!("engine.shard.05.", $suffix),
+            concat!("engine.shard.06.", $suffix),
+            concat!("engine.shard.07.", $suffix),
+            concat!("engine.shard.08.", $suffix),
+            concat!("engine.shard.09.", $suffix),
+            concat!("engine.shard.10.", $suffix),
+            concat!("engine.shard.11.", $suffix),
+            concat!("engine.shard.12.", $suffix),
+            concat!("engine.shard.13.", $suffix),
+            concat!("engine.shard.14.", $suffix),
+            concat!("engine.shard.15.", $suffix),
+        ]
+    };
+}
+
+const SHARD_HITS: [&str; SHARDS] = shard_names!("hits");
+const SHARD_MISSES: [&str; SHARDS] = shard_names!("misses");
+const SHARD_INSERTS: [&str; SHARDS] = shard_names!("inserts");
+const SHARD_POISON: [&str; SHARDS] = shard_names!("poison_recoveries");
+const SHARD_OCCUPANCY: [&str; SHARDS] = shard_names!("occupancy");
 
 /// Per-structure incremental state: the deadline-independent pruner
 /// template plus every candidate the search has ever leaf-evaluated.
@@ -260,7 +323,7 @@ struct Session {
 /// shard selection is a mask of the fingerprint's low bits; 16 shards
 /// keep contention negligible at any realistic worker count without
 /// noticeable memory overhead.
-const SHARDS: usize = 16;
+pub const SHARDS: usize = 16;
 
 fn shard_of(fp: u64) -> usize {
     (fp as usize) % SHARDS
@@ -294,6 +357,7 @@ pub struct Engine {
     misses: AtomicU64,
     leaf_evals_saved: AtomicU64,
     leaf_evals_computed: AtomicU64,
+    shard_counters: [ShardCounters; SHARDS],
 }
 
 impl Default for Engine {
@@ -305,6 +369,7 @@ impl Default for Engine {
             misses: AtomicU64::new(0),
             leaf_evals_saved: AtomicU64::new(0),
             leaf_evals_computed: AtomicU64::new(0),
+            shard_counters: std::array::from_fn(|_| ShardCounters::default()),
         }
     }
 }
@@ -328,6 +393,15 @@ impl Engine {
                 memo_candidates += unpoison(s.lock()).memo.len() as u64;
             }
         }
+        let shards = std::array::from_fn(|ix| ShardStats {
+            hits: self.shard_counters[ix].hits.load(Ordering::Relaxed),
+            misses: self.shard_counters[ix].misses.load(Ordering::Relaxed),
+            inserts: self.shard_counters[ix].inserts.load(Ordering::Relaxed),
+            poison_recoveries: self.shard_counters[ix]
+                .poison_recoveries
+                .load(Ordering::Relaxed),
+            occupancy: self.recover_shard(ix, self.results[ix].read()).len() as u64,
+        });
         EngineStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -335,7 +409,38 @@ impl Engine {
             leaf_evals_computed: self.leaf_evals_computed.load(Ordering::Relaxed),
             sessions,
             memo_candidates,
+            shards,
         }
+    }
+
+    /// Publishes the `engine.shard.*` gauge family from the current
+    /// shard counters. Call at report time (batch end, profile dump) —
+    /// not per request — since it walks all 16 shards. No-op without an
+    /// installed recorder.
+    pub fn publish_shard_metrics(&self) {
+        if rtcg_obs::recorder().is_none() {
+            return;
+        }
+        let stats = self.stats();
+        for (ix, s) in stats.shards.iter().enumerate() {
+            rtcg_obs::gauge!(SHARD_HITS[ix], s.hits);
+            rtcg_obs::gauge!(SHARD_MISSES[ix], s.misses);
+            rtcg_obs::gauge!(SHARD_INSERTS[ix], s.inserts);
+            rtcg_obs::gauge!(SHARD_POISON[ix], s.poison_recoveries);
+            rtcg_obs::gauge!(SHARD_OCCUPANCY[ix], s.occupancy);
+        }
+    }
+
+    /// [`unpoison`] for result-memo shard locks, counting recoveries
+    /// against the shard so poison events are attributable.
+    fn recover_shard<G>(&self, ix: usize, r: Result<G, PoisonError<G>>) -> G {
+        r.unwrap_or_else(|e| {
+            self.shard_counters[ix]
+                .poison_recoveries
+                .fetch_add(1, Ordering::Relaxed);
+            rtcg_obs::counter!("engine.poison_recovered");
+            e.into_inner()
+        })
     }
 
     /// Analyzes the model per the request. Reports are bit-identical to
@@ -359,17 +464,51 @@ impl Engine {
         req: &AnalysisRequest,
         cancel: Option<&CancelToken>,
     ) -> Result<AnalysisReport, EngineError> {
+        let _span = rtcg_obs::span!("engine.analyze", "engine");
+        let t0 = if rtcg_obs::recorder().is_some() {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let result = self.analyze_inner(model, req, cancel);
+        if let Some(t0) = t0 {
+            rtcg_obs::histogram!("engine.request_us", t0.elapsed().as_micros() as u64);
+            // cancel-to-stop: how long after the token fired this
+            // request actually returned (poll-stride detection latency
+            // plus unwind cost)
+            if let Some(fired) = cancel.and_then(CancelToken::fired_at) {
+                let now = Instant::now().saturating_duration_since(rtcg_obs::epoch());
+                rtcg_obs::histogram!(
+                    "engine.cancel_to_stop_us",
+                    now.saturating_sub(fired).as_micros() as u64
+                );
+            }
+        }
+        result
+    }
+
+    fn analyze_inner(
+        &self,
+        model: &Model,
+        req: &AnalysisRequest,
+        cancel: Option<&CancelToken>,
+    ) -> Result<AnalysisReport, EngineError> {
         model.validate().map_err(EngineError::from)?;
         let key = (model_fingerprint(model), request_fingerprint(req));
-        let shard = &self.results[shard_of(key.0)];
-        if let Some(report) = unpoison(shard.read()).get(&key) {
+        let ix = shard_of(key.0);
+        let shard = &self.results[ix];
+        if let Some(report) = self.recover_shard(ix, shard.read()).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.shard_counters[ix].hits.fetch_add(1, Ordering::Relaxed);
             rtcg_obs::counter!("engine.cache.hit");
             let mut report = report.clone();
             report.cached = true;
             return Ok(report);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.shard_counters[ix]
+            .misses
+            .fetch_add(1, Ordering::Relaxed);
         rtcg_obs::counter!("engine.cache.miss");
 
         let report = match req.mode {
@@ -380,7 +519,11 @@ impl Engine {
         // a cancelled run's report is partial — never cache it (poll
         // latches a passed deadline so is_set observes it)
         if cancel.is_none_or(|t| !t.poll()) {
-            unpoison(shard.write()).insert(key, report.clone());
+            self.recover_shard(ix, shard.write())
+                .insert(key, report.clone());
+            self.shard_counters[ix]
+                .inserts
+                .fetch_add(1, Ordering::Relaxed);
         }
         Ok(report)
     }
@@ -632,7 +775,7 @@ pub mod prelude {
     pub use crate::batch::{BatchOptions, BatchResult};
     pub use crate::{
         analyze_once, AnalysisMode, AnalysisReport, AnalysisRequest, Engine, EngineError,
-        EngineStats, SearchStats, Verdict,
+        EngineStats, SearchStats, ShardStats, Verdict, SHARDS,
     };
     pub use rtcg_core::prelude::*;
 }

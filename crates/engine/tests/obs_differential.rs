@@ -1,0 +1,202 @@
+//! Differential test: engine verdicts must be **bit-identical** with
+//! telemetry recording on and off, and the recorded span/flow/metric
+//! stream must be well-formed.
+//!
+//! The global recorder install is process-wide and one-way, so the
+//! "off" phase runs first, then the recorder is installed and the same
+//! workload replays. Everything lives in one `#[test]` to pin the
+//! order; this file must stay alone in its own integration-test binary.
+
+use rtcg_core::{Model, ModelBuilder, TaskGraphBuilder};
+use rtcg_engine::batch::BatchOptions;
+use rtcg_engine::{AnalysisReport, AnalysisRequest, Engine, Verdict, SHARDS};
+use rtcg_obs::MemoryRecorder;
+
+fn single_op_model(specs: &[(u64, u64)]) -> Model {
+    let mut b = ModelBuilder::new();
+    for (i, &(w, d)) in specs.iter().enumerate() {
+        let e = b.element(&format!("e{i}"), w);
+        let tg = TaskGraphBuilder::new().op("o", e).build().unwrap();
+        b.asynchronous(&format!("c{i}"), tg, d, d);
+    }
+    b.build().unwrap()
+}
+
+fn workload() -> Vec<(Model, AnalysisRequest)> {
+    vec![
+        (single_op_model(&[(1, 3), (1, 3)]), AnalysisRequest::exact()),
+        (
+            single_op_model(&[(1, 4), (1, 4), (1, 4)]),
+            AnalysisRequest::exact(),
+        ),
+        (single_op_model(&[(2, 3), (2, 3)]), AnalysisRequest::exact()),
+        (
+            single_op_model(&[(1, 5), (2, 5)]),
+            AnalysisRequest::default(),
+        ),
+    ]
+}
+
+/// The observable fingerprint of a report: everything a caller can
+/// branch on. Schedules compare action-for-action.
+fn fingerprint(r: &AnalysisReport) -> String {
+    let verdict = match &r.verdict {
+        Verdict::Feasible { schedule, strategy } => {
+            format!("feasible {strategy} {:?}", schedule.actions())
+        }
+        Verdict::Infeasible { reason } => format!("infeasible {reason}"),
+        Verdict::Unknown { reason } => format!("unknown {reason}"),
+    };
+    let search = r
+        .search
+        .map(|s| (s.nodes_visited, s.candidates_checked, s.exhausted_bound));
+    format!("{verdict} | search={search:?} | merged={}", r.groups_merged)
+}
+
+#[test]
+fn verdicts_bit_identical_with_recording_on_and_off() {
+    let jobs = workload();
+    let opts = BatchOptions {
+        threads: 2,
+        budget_ms: None,
+    };
+
+    // Phase 1: no recorder installed — the no-op fast path.
+    assert!(rtcg_obs::recorder().is_none(), "must start uninstalled");
+    let baseline: Vec<String> = Engine::new()
+        .analyze_batch(&jobs, &opts)
+        .iter()
+        .map(|r| fingerprint(r.report.as_ref().expect("baseline analysis succeeds")))
+        .collect();
+
+    // Phase 2: full instrumentation on, same workload, fresh engine.
+    let rec = MemoryRecorder::install();
+    let engine = Engine::new();
+    let instrumented: Vec<String> = engine
+        .analyze_batch(&jobs, &opts)
+        .iter()
+        .map(|r| fingerprint(r.report.as_ref().expect("instrumented analysis succeeds")))
+        .collect();
+    assert_eq!(baseline, instrumented, "recording changed a verdict");
+
+    // The instrumented run must actually have produced telemetry.
+    let snap = rec.snapshot();
+
+    // Span tree well-formedness: every parent id refers to a recorded
+    // span, and ids are unique.
+    let ids: std::collections::BTreeSet<u64> = snap.spans.iter().map(|s| s.id).collect();
+    assert_eq!(ids.len(), snap.spans.len(), "span ids must be unique");
+    for s in &snap.spans {
+        if let Some(p) = s.parent {
+            assert!(ids.contains(&p), "span {} has dangling parent {p}", s.name);
+        }
+    }
+
+    // One request id per batch entry, all distinct, threaded through to
+    // the per-job "engine.analyze" spans and paired produce/consume flows.
+    let analyze_requests: Vec<u64> = snap
+        .spans
+        .iter()
+        .filter(|s| s.name == "engine.analyze")
+        .map(|s| s.request.expect("engine.analyze span carries a request id"))
+        .collect();
+    assert_eq!(analyze_requests.len(), jobs.len());
+    let distinct: std::collections::BTreeSet<u64> = analyze_requests.iter().copied().collect();
+    assert_eq!(distinct.len(), jobs.len(), "request ids must be unique");
+    for req in &distinct {
+        assert!(
+            snap.flows
+                .iter()
+                .any(|f| f.request == *req && f.phase == rtcg_obs::FlowPhase::Produce),
+            "request {req} missing produce flow"
+        );
+        assert!(
+            snap.flows
+                .iter()
+                .any(|f| f.request == *req && f.phase == rtcg_obs::FlowPhase::Consume),
+            "request {req} missing consume flow"
+        );
+    }
+
+    // Child spans inside a request inherit its id (exact jobs run the
+    // search under the engine.analyze span).
+    assert!(
+        snap.spans
+            .iter()
+            .any(|s| s.name != "engine.analyze" && s.request.is_some()),
+        "no child span inherited a request id"
+    );
+
+    // Histograms: per-request latency always; cancel-to-stop never fired.
+    let req_hist = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "engine.request_us")
+        .expect("engine.request_us histogram recorded");
+    assert_eq!(req_hist.count, jobs.len() as u64);
+    assert!(req_hist.percentile(99.0) >= req_hist.percentile(50.0));
+    assert!(
+        !snap
+            .histograms
+            .iter()
+            .any(|h| h.name == "engine.cancel_to_stop_us"),
+        "no cancel happened, so no cancel latency samples"
+    );
+    assert!(
+        snap.histograms
+            .iter()
+            .any(|h| h.name == "search.leaf_eval_us" && h.count > 0),
+        "exact jobs must time leaf evaluations"
+    );
+
+    // Shard metric family: published for every shard, and occupancy adds
+    // up to what EngineStats reports.
+    let stats = engine.stats();
+    let gauge = |name: &str| -> i64 {
+        snap.gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("missing gauge {name}"))
+            .1
+    };
+    let mut gauge_occupancy = 0;
+    for ix in 0..SHARDS {
+        for suffix in [
+            "hits",
+            "misses",
+            "inserts",
+            "poison_recoveries",
+            "occupancy",
+        ] {
+            let name = format!("engine.shard.{ix:02}.{suffix}");
+            let v = gauge(&name);
+            assert!(v >= 0, "{name} negative: {v}");
+            if suffix == "occupancy" {
+                gauge_occupancy += v as u64;
+            }
+        }
+    }
+    let stats_occupancy: u64 = stats.shards.iter().map(|s| s.occupancy).sum();
+    assert_eq!(stats_occupancy, gauge_occupancy);
+    let shard_hits: u64 = stats.shards.iter().map(|s| s.hits).sum();
+    let shard_misses: u64 = stats.shards.iter().map(|s| s.misses).sum();
+    assert_eq!(shard_hits, stats.hits, "shard hit counters must add up");
+    assert_eq!(
+        shard_misses, stats.misses,
+        "shard miss counters must add up"
+    );
+
+    // Search progress gauges appear (exact jobs publish at poll strides
+    // and on completion).
+    assert!(
+        snap.gauges
+            .iter()
+            .any(|(n, _)| *n == "search.progress.nodes_per_sec"),
+        "progress sampler never published"
+    );
+
+    // And the whole snapshot must survive the strict Prometheus parser.
+    let text = rec.prometheus_text();
+    let samples = rtcg_obs::validate_prometheus_text(&text).expect("exposition is well-formed");
+    assert!(samples > 0);
+}

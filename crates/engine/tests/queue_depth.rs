@@ -1,0 +1,72 @@
+//! Regression test for the `engine.batch.queue_depth` gauge.
+//!
+//! The seed computed the depth from each worker's own claimed index, so
+//! whichever worker published last won and the gauge history regressed
+//! non-monotonically under concurrency. The gauge is now derived from
+//! the shared claim cursor under a publication lock, so the recorded
+//! history must be non-increasing and end at zero.
+//!
+//! This test installs a custom global recorder, which is process-wide
+//! and one-way — it must stay alone in its own integration-test binary.
+
+use rtcg_core::{ModelBuilder, TaskGraphBuilder};
+use rtcg_engine::batch::BatchOptions;
+use rtcg_engine::{AnalysisRequest, Engine};
+use std::sync::Mutex;
+
+struct GaugeLog {
+    depths: Mutex<Vec<i64>>,
+}
+
+impl rtcg_obs::Recorder for GaugeLog {
+    fn gauge_set(&self, name: &'static str, value: i64) {
+        if name == "engine.batch.queue_depth" {
+            self.depths.lock().unwrap().push(value);
+        }
+    }
+}
+
+static LOG: GaugeLog = GaugeLog {
+    depths: Mutex::new(Vec::new()),
+};
+
+fn job_model(d: u64) -> rtcg_core::Model {
+    let mut b = ModelBuilder::new();
+    for i in 0..2 {
+        let e = b.element(&format!("e{i}"), 1);
+        let tg = TaskGraphBuilder::new().op("o", e).build().unwrap();
+        b.asynchronous(&format!("c{i}"), tg, d, d);
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn queue_depth_gauge_is_monotone_non_increasing() {
+    rtcg_obs::set_recorder(&LOG).expect("first and only install in this binary");
+
+    let jobs: Vec<_> = (4..12)
+        .map(|d| (job_model(d), AnalysisRequest::default()))
+        .collect();
+    let engine = Engine::new();
+    let results = engine.analyze_batch(
+        &jobs,
+        &BatchOptions {
+            threads: 3,
+            budget_ms: None,
+        },
+    );
+    assert_eq!(results.len(), jobs.len());
+
+    let depths = LOG.depths.lock().unwrap().clone();
+    // one publish per claim plus the final explicit zero
+    assert_eq!(depths.len(), jobs.len() + 1, "history: {depths:?}");
+    assert!(
+        depths.windows(2).all(|w| w[1] <= w[0]),
+        "queue depth regressed: {depths:?}"
+    );
+    assert!(
+        depths[0] < jobs.len() as i64,
+        "first sample is after the first claim: {depths:?}"
+    );
+    assert_eq!(*depths.last().unwrap(), 0, "drains to zero: {depths:?}");
+}

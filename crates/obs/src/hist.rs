@@ -1,0 +1,370 @@
+//! Lock-free fixed-bucket histograms.
+//!
+//! The collecting recorder's hot path for [`crate::histogram!`] used to
+//! be a `Mutex<BTreeMap>` acquisition per observation; with per-leaf
+//! latency recording in the exact search that mutex would serialize
+//! every worker of a batch run. [`HistogramRegistry`] replaces it with
+//! a fixed array of [`AtomicHistogram`] slots: registration is one
+//! `OnceLock` CAS per metric name per process, recording is five
+//! relaxed atomic RMWs (count, sum, min, max, one bucket), and
+//! snapshots read the atomics without stopping writers.
+//!
+//! Buckets are powers of two: bucket 0 holds the value 0, bucket
+//! `i >= 1` holds values in `[2^(i-1), 2^i)` — the same layout the
+//! mutex-based histogram used, so percentile estimates are unchanged.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Number of power-of-two histogram buckets: bucket 0 holds the value
+/// 0, bucket `i >= 1` holds values in `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Maximum distinct histogram metrics one registry tracks. Observations
+/// for names beyond this are counted in
+/// [`HistogramRegistry::dropped`] instead of being silently lost.
+pub const MAX_HISTOGRAMS: usize = 64;
+
+pub(crate) fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Upper bound (inclusive) of a bucket, for percentile estimates.
+pub(crate) fn bucket_upper(ix: usize) -> u64 {
+    if ix == 0 {
+        0
+    } else if ix >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << ix) - 1
+    }
+}
+
+/// One lock-free histogram: all fields are relaxed atomics, so
+/// concurrent `record` calls never contend on anything wider than a
+/// cache line's worth of RMWs. `sum` wraps on overflow (2^64 total —
+/// unreachable for latency metrics in any realistic run).
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// Initialized to `u64::MAX`; `fetch_min` per record.
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        AtomicHistogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: [ZERO; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// Records one observation. Lock-free: five relaxed RMWs.
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Freezes current state. Concurrent writers may land between the
+    /// field reads — each read is itself atomic, so counts are merely
+    /// *slightly* stale, never torn.
+    pub fn snapshot(&self, name: &'static str) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (b, a) in buckets.iter_mut().zip(&self.buckets) {
+            *b = a.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            name,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    /// Zeroes every field (for [`crate::MemoryRecorder::reset`]).
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram::new()
+    }
+}
+
+#[derive(Debug)]
+struct Slot {
+    name: OnceLock<&'static str>,
+    hist: AtomicHistogram,
+}
+
+/// Fixed-capacity name → [`AtomicHistogram`] registry with a lock-free
+/// record path. Lookup is a linear scan over registered slots (metric
+/// cardinality is small and names are interned `&'static str`s, so
+/// most comparisons are a pointer/length check).
+#[derive(Debug)]
+pub struct HistogramRegistry {
+    slots: [Slot; MAX_HISTOGRAMS],
+    dropped: AtomicU64,
+}
+
+impl HistogramRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        HistogramRegistry {
+            slots: std::array::from_fn(|_| Slot {
+                name: OnceLock::new(),
+                hist: AtomicHistogram::new(),
+            }),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Records `value` into the named histogram, registering the name
+    /// on first use. Lock-free after registration; observations beyond
+    /// [`MAX_HISTOGRAMS`] distinct names increment the drop counter.
+    pub fn record(&self, name: &'static str, value: u64) {
+        for slot in &self.slots {
+            match slot.name.get() {
+                Some(&n) if names_equal(n, name) => {
+                    slot.hist.record(value);
+                    return;
+                }
+                Some(_) => continue,
+                None => {
+                    if slot.name.set(name).is_ok() {
+                        slot.hist.record(value);
+                        return;
+                    }
+                    // lost the registration race — the winner may have
+                    // claimed this slot for *our* name
+                    if slot.name.get().is_some_and(|&n| names_equal(n, name)) {
+                        slot.hist.record(value);
+                        return;
+                    }
+                }
+            }
+        }
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Observations dropped because the registry was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots of every histogram with at least one observation,
+    /// sorted by name.
+    pub fn snapshot(&self) -> Vec<HistogramSnapshot> {
+        let mut out: Vec<HistogramSnapshot> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.name.get().map(|&n| s.hist.snapshot(n)))
+            .filter(|h| h.count > 0)
+            .collect();
+        out.sort_by_key(|h| h.name);
+        out
+    }
+
+    /// Zeroes every histogram. Names stay registered (a name is a
+    /// process-lifetime interned string; re-registering would race with
+    /// concurrent recorders for no benefit).
+    pub fn reset(&self) {
+        for slot in &self.slots {
+            slot.hist.reset();
+        }
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for HistogramRegistry {
+    fn default() -> Self {
+        HistogramRegistry::new()
+    }
+}
+
+/// Names are `&'static str` and usually literal-interned, so compare
+/// the pointer first and fall back to content equality (distinct crates
+/// may duplicate the literal).
+fn names_equal(a: &'static str, b: &'static str) -> bool {
+    std::ptr::eq(a.as_ptr(), b.as_ptr()) || a == b
+}
+
+/// Read-only view of one histogram at snapshot time.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: &'static str,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (wrapping).
+    pub sum: u64,
+    /// Smallest observed value.
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Per-bucket observation counts; see [`HISTOGRAM_BUCKETS`].
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimated `p`-th percentile (0.0..=100.0): the upper bound of
+    /// the bucket containing that rank, clamped to the observed max.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (ix, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(ix).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(10), 1023);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn records_and_snapshots() {
+        let reg = HistogramRegistry::new();
+        for v in [0u64, 1, 1, 2, 3, 8, 100] {
+            reg.record("h", v);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 1);
+        let h = &snap[0];
+        assert_eq!(h.count, 7);
+        assert_eq!(h.sum, 115);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 100);
+        assert!((h.mean() - 115.0 / 7.0).abs() < 1e-9);
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(50.0), 3);
+        assert_eq!(h.percentile(100.0), 100);
+    }
+
+    #[test]
+    fn concurrent_records_are_not_lost() {
+        let reg = HistogramRegistry::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let reg = &reg;
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        reg.record("shared", i + t);
+                        reg.record("mine", t);
+                    }
+                });
+            }
+        });
+        let snap = reg.snapshot();
+        let shared = snap.iter().find(|h| h.name == "shared").unwrap();
+        assert_eq!(shared.count, 4000);
+        let mine = snap.iter().find(|h| h.name == "mine").unwrap();
+        assert_eq!(mine.count, 4000);
+        assert_eq!(mine.max, 3);
+        assert_eq!(reg.dropped(), 0);
+    }
+
+    #[test]
+    fn overflowing_registry_counts_drops() {
+        let reg = HistogramRegistry::new();
+        // MAX_HISTOGRAMS distinct names fill the table...
+        let names: Vec<&'static str> = (0..MAX_HISTOGRAMS + 1)
+            .map(|i| Box::leak(format!("hist.{i}").into_boxed_str()) as &'static str)
+            .collect();
+        for &n in &names[..MAX_HISTOGRAMS] {
+            reg.record(n, 1);
+        }
+        assert_eq!(reg.dropped(), 0);
+        // ...the next name has nowhere to go
+        reg.record(names[MAX_HISTOGRAMS], 1);
+        assert_eq!(reg.dropped(), 1);
+        // existing names still record fine
+        reg.record(names[0], 2);
+        assert_eq!(reg.snapshot()[0].count, 2);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_registration() {
+        let reg = HistogramRegistry::new();
+        reg.record("h", 9);
+        reg.reset();
+        assert!(reg.snapshot().is_empty(), "zero-count snapshots omitted");
+        reg.record("h", 1);
+        let snap = reg.snapshot();
+        assert_eq!(snap[0].count, 1);
+        assert_eq!(snap[0].min, 1);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = HistogramSnapshot {
+            name: "empty",
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        };
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(50.0), 0);
+    }
+}

@@ -3,7 +3,8 @@
 //! The layer is deliberately std-only (the workspace builds with no
 //! registry access): spans are [`std::time::Instant`] pairs, counters
 //! are plain `u64`s aggregated under a mutex in the collecting
-//! recorder, histograms use fixed power-of-two buckets.
+//! recorder, histograms use lock-free fixed power-of-two buckets
+//! ([`HistogramRegistry`]).
 //!
 //! The design follows the `log` crate: instrumented code talks to a
 //! process-global [`Recorder`] installed once via [`set_recorder`].
@@ -13,9 +14,21 @@
 //! ([`counter!`], [`gauge!`], [`histogram!`], [`event!`], [`span!`])
 //! compile to that guarded call.
 //!
+//! # Span trees and request correlation
+//!
+//! Spans form trees: every live span records its id in a thread-local
+//! so spans opened beneath it become its children, and a
+//! [`RequestScope`] tags all spans opened inside it with a per-request
+//! correlation id. Handing a request to another thread is expressed
+//! with [`request_handoff`] on the producing thread and
+//! [`RequestScope::adopt`] on the consuming one; recorders see the
+//! pair as [`FlowPhase::Produce`]/[`FlowPhase::Consume`] flow events,
+//! which the Chrome trace exporter renders as cross-thread arrows.
+//!
 //! ```
 //! let recorder = rtcg_obs::MemoryRecorder::install();
 //! {
+//!     let _req = rtcg_obs::RequestScope::open();
 //!     let _timer = rtcg_obs::span!("search.exact", "feasibility");
 //!     rtcg_obs::counter!("search.nodes_expanded");
 //!     rtcg_obs::counter!("search.nodes_expanded", 41);
@@ -23,17 +36,57 @@
 //! let snap = recorder.snapshot();
 //! assert_eq!(snap.counter("search.nodes_expanded"), 42);
 //! assert_eq!(snap.spans.len(), 1);
+//! assert!(snap.spans[0].request.is_some());
 //! ```
 
+mod hist;
 mod memory;
+mod prom;
 mod trace;
 
-pub use memory::{HistogramSnapshot, MemoryRecorder, MetricsSnapshot, HISTOGRAM_BUCKETS};
-pub use trace::{chrome_trace_json, metrics_jsonl, EventRecord, SpanRecord};
+pub use hist::{
+    AtomicHistogram, HistogramRegistry, HistogramSnapshot, HISTOGRAM_BUCKETS, MAX_HISTOGRAMS,
+};
+pub use memory::{MemoryRecorder, MetricsSnapshot};
+pub use prom::{prometheus_text, validate_prometheus_text, PromError};
+pub use trace::{chrome_trace_json, metrics_jsonl, EventRecord, FlowRecord, SpanRecord};
 
-use std::sync::atomic::{AtomicPtr, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Everything known about a span at completion time; what
+/// [`Recorder::span_complete`] receives.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanData {
+    /// Span name (interned).
+    pub name: &'static str,
+    /// Trace category.
+    pub cat: &'static str,
+    /// Offset of the span's start from [`epoch`].
+    pub start: Duration,
+    /// Span length.
+    pub dur: Duration,
+    /// Process-unique span id (never 0).
+    pub id: u64,
+    /// Id of the span this one was opened under, if any.
+    pub parent: Option<u64>,
+    /// Correlation id of the enclosing [`RequestScope`], if any.
+    pub request: Option<u64>,
+    /// Ordinal of the thread the span ran on; see [`thread_ordinal`].
+    pub tid: u32,
+}
+
+/// Direction of a cross-thread request handoff; see
+/// [`Recorder::flow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowPhase {
+    /// The producing side ([`request_handoff`]); Chrome trace `ph:"s"`.
+    Produce,
+    /// The consuming side ([`RequestScope::adopt`]); Chrome `ph:"f"`.
+    Consume,
+}
 
 /// Sink for instrumentation produced by the rtcg crates.
 ///
@@ -58,16 +111,22 @@ pub trait Recorder: Sync {
         let _ = (name, value);
     }
 
-    /// Records a completed span. `start` is the offset from [`epoch`];
-    /// `dur` is the span's length.
-    fn span_complete(&self, name: &'static str, cat: &'static str, start: Duration, dur: Duration) {
-        let _ = (name, cat, start, dur);
+    /// Records a completed span.
+    fn span_complete(&self, span: SpanData) {
+        let _ = span;
     }
 
     /// Records an instantaneous event, optionally carrying a value
     /// (e.g. the tick at which a fault was injected).
     fn event(&self, name: &'static str, cat: &'static str, at: Duration, value: Option<i64>) {
         let _ = (name, cat, at, value);
+    }
+
+    /// Records one side of a cross-thread request handoff. The
+    /// `Produce` and `Consume` records sharing a `request` id pair up
+    /// into one flow arrow in trace exports.
+    fn flow(&self, request: u64, phase: FlowPhase, at: Duration, tid: u32) {
+        let _ = (request, phase, at, tid);
     }
 }
 
@@ -140,24 +199,186 @@ pub fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
+// Span and request ids start at 1 so 0 can mean "none" in the
+// thread-local cells without an Option's niche bookkeeping.
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD: AtomicU32 = AtomicU32::new(1);
+
+thread_local! {
+    /// Id of the innermost live span on this thread; 0 when none.
+    static CURRENT_PARENT: Cell<u64> = const { Cell::new(0) };
+    /// Correlation id of the active request scope; 0 when none.
+    static CURRENT_REQUEST: Cell<u64> = const { Cell::new(0) };
+    /// Lazily assigned small ordinal for this thread; 0 = unassigned.
+    static THREAD_ORDINAL: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Small process-unique ordinal for the calling thread, assigned on
+/// first use (the main thread is typically 1). Trace exports use these
+/// as Chrome `tid`s so lanes are stable and compact.
+pub fn thread_ordinal() -> u32 {
+    THREAD_ORDINAL.with(|c| {
+        let t = c.get();
+        if t != 0 {
+            t
+        } else {
+            let t = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+            c.set(t);
+            t
+        }
+    })
+}
+
+/// The correlation id of the [`RequestScope`] active on this thread.
+pub fn current_request() -> Option<u64> {
+    let r = CURRENT_REQUEST.with(Cell::get);
+    if r == 0 {
+        None
+    } else {
+        Some(r)
+    }
+}
+
+/// Allocates a fresh request correlation id without opening a scope,
+/// for callers that create ids on one thread and adopt them on another
+/// (e.g. a batch coordinator labelling jobs before workers claim
+/// them). Returns `None` when no recorder is installed — the
+/// uninstalled path stays one atomic load.
+pub fn allocate_request_id() -> Option<u64> {
+    recorder().map(|_| NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed))
+}
+
+/// Marks the producing side of a cross-thread handoff of `request`:
+/// call on the thread that created/owns the request right before
+/// making it claimable by workers. Pairs with [`RequestScope::adopt`].
+pub fn request_handoff(request: u64) {
+    if let Some(r) = recorder() {
+        r.flow(
+            request,
+            FlowPhase::Produce,
+            Instant::now().saturating_duration_since(epoch()),
+            thread_ordinal(),
+        );
+    }
+}
+
+/// RAII guard that tags every span opened on this thread (while the
+/// guard lives) with a request correlation id. Scopes nest; dropping
+/// restores the previous request id.
+#[must_use = "a request scope tags spans until it is dropped"]
+pub struct RequestScope {
+    id: u64,
+    prev: u64,
+    active: bool,
+}
+
+impl RequestScope {
+    /// Opens a scope with a freshly allocated correlation id. Inert
+    /// (no id, no thread-local writes) when no recorder is installed.
+    pub fn open() -> RequestScope {
+        match allocate_request_id() {
+            Some(id) => Self::enter(id),
+            None => RequestScope {
+                id: 0,
+                prev: 0,
+                active: false,
+            },
+        }
+    }
+
+    /// Adopts a request id allocated elsewhere (see
+    /// [`allocate_request_id`]) on this thread, emitting the
+    /// [`FlowPhase::Consume`] half of the handoff arrow.
+    pub fn adopt(id: u64) -> RequestScope {
+        let scope = Self::enter(id);
+        if let Some(r) = recorder() {
+            r.flow(
+                id,
+                FlowPhase::Consume,
+                Instant::now().saturating_duration_since(epoch()),
+                thread_ordinal(),
+            );
+        }
+        scope
+    }
+
+    fn enter(id: u64) -> RequestScope {
+        let prev = CURRENT_REQUEST.with(|c| c.replace(id));
+        RequestScope {
+            id,
+            prev,
+            active: true,
+        }
+    }
+
+    /// The scope's correlation id; `None` when the scope is inert.
+    pub fn id(&self) -> Option<u64> {
+        if self.active {
+            Some(self.id)
+        } else {
+            None
+        }
+    }
+}
+
+impl Drop for RequestScope {
+    fn drop(&mut self) {
+        if self.active {
+            CURRENT_REQUEST.with(|c| c.set(self.prev));
+        }
+    }
+}
+
 /// RAII span timer: measures from construction to drop and reports to
 /// the recorder that was installed at construction time. When no
-/// recorder is installed the guard holds no timestamp and drop does
-/// nothing.
+/// recorder is installed the guard holds no timestamp, allocates no
+/// ids, and drop does nothing.
 #[must_use = "a span measures until it is dropped; binding it to _ ends it immediately"]
 pub struct Span {
     name: &'static str,
     cat: &'static str,
     start: Option<Instant>,
+    id: u64,
+    /// Parent span id at open time (0 = root); doubles as the value to
+    /// restore into the thread-local on drop, since RAII spans nest
+    /// strictly on a thread.
+    parent: u64,
+    request: u64,
 }
 
 impl Span {
     /// Starts a span. Prefer the [`span!`] macro.
     pub fn begin(name: &'static str, cat: &'static str) -> Span {
+        if recorder().is_none() {
+            return Span {
+                name,
+                cat,
+                start: None,
+                id: 0,
+                parent: 0,
+                request: 0,
+            };
+        }
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = CURRENT_PARENT.with(|c| c.replace(id));
         Span {
             name,
             cat,
-            start: recorder().map(|_| Instant::now()),
+            start: Some(Instant::now()),
+            id,
+            parent,
+            request: CURRENT_REQUEST.with(Cell::get),
+        }
+    }
+
+    /// This span's id, if it is live (a recorder was installed at
+    /// construction).
+    pub fn id(&self) -> Option<u64> {
+        if self.start.is_some() {
+            Some(self.id)
+        } else {
+            None
         }
     }
 }
@@ -165,13 +386,26 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         if let Some(start) = self.start {
+            CURRENT_PARENT.with(|c| c.set(self.parent));
             if let Some(r) = recorder() {
-                r.span_complete(
-                    self.name,
-                    self.cat,
-                    start.saturating_duration_since(epoch()),
-                    start.elapsed(),
-                );
+                r.span_complete(SpanData {
+                    name: self.name,
+                    cat: self.cat,
+                    start: start.saturating_duration_since(epoch()),
+                    dur: start.elapsed(),
+                    id: self.id,
+                    parent: if self.parent == 0 {
+                        None
+                    } else {
+                        Some(self.parent)
+                    },
+                    request: if self.request == 0 {
+                        None
+                    } else {
+                        Some(self.request)
+                    },
+                    tid: thread_ordinal(),
+                });
             }
         }
     }
@@ -260,8 +494,18 @@ mod tests {
         r.counter_add("c", 1);
         r.gauge_set("g", -3);
         r.histogram_record("h", 9);
-        r.span_complete("s", "cat", Duration::ZERO, Duration::from_micros(5));
+        r.span_complete(SpanData {
+            name: "s",
+            cat: "cat",
+            start: Duration::ZERO,
+            dur: Duration::from_micros(5),
+            id: 1,
+            parent: None,
+            request: None,
+            tid: 1,
+        });
         r.event("e", "cat", Duration::ZERO, Some(7));
+        r.flow(1, FlowPhase::Produce, Duration::ZERO, 1);
     }
 
     #[test]
@@ -275,11 +519,25 @@ mod tests {
             event!("never.recorded", "t");
             let span = span!("never.recorded");
             assert!(span.start.is_none());
+            assert!(span.id().is_none());
+            let scope = RequestScope::open();
+            assert!(scope.id().is_none());
+            assert!(current_request().is_none());
+            assert!(allocate_request_id().is_none());
         }
     }
 
     #[test]
     fn epoch_is_stable() {
         assert_eq!(epoch(), epoch());
+    }
+
+    #[test]
+    fn thread_ordinals_are_distinct() {
+        let mine = thread_ordinal();
+        assert!(mine > 0);
+        assert_eq!(mine, thread_ordinal(), "stable per thread");
+        let other = std::thread::spawn(thread_ordinal).join().unwrap();
+        assert_ne!(mine, other);
     }
 }

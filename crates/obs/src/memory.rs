@@ -1,104 +1,12 @@
 //! The collecting recorder: aggregates counters, gauges, histograms,
-//! spans, and events in memory for later snapshot/export.
+//! spans, events, and flows in memory for later snapshot/export.
 
-use crate::trace::{EventRecord, SpanRecord};
-use crate::Recorder;
+use crate::hist::{HistogramRegistry, HistogramSnapshot};
+use crate::trace::{EventRecord, FlowRecord, SpanRecord};
+use crate::{FlowPhase, Recorder, SpanData};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 use std::time::Duration;
-
-/// Number of power-of-two histogram buckets: bucket 0 holds the value
-/// 0, bucket `i >= 1` holds values in `[2^(i-1), 2^i)`.
-pub const HISTOGRAM_BUCKETS: usize = 65;
-
-#[derive(Debug, Clone)]
-struct Histogram {
-    count: u64,
-    sum: u64,
-    min: u64,
-    max: u64,
-    buckets: [u64; HISTOGRAM_BUCKETS],
-}
-
-impl Histogram {
-    fn new() -> Self {
-        Histogram {
-            count: 0,
-            sum: 0,
-            min: u64::MAX,
-            max: 0,
-            buckets: [0; HISTOGRAM_BUCKETS],
-        }
-    }
-
-    fn record(&mut self, value: u64) {
-        self.count += 1;
-        self.sum = self.sum.saturating_add(value);
-        self.min = self.min.min(value);
-        self.max = self.max.max(value);
-        self.buckets[bucket_index(value)] += 1;
-    }
-}
-
-fn bucket_index(value: u64) -> usize {
-    (64 - value.leading_zeros()) as usize
-}
-
-/// Upper bound (inclusive) of a bucket, for percentile estimates.
-fn bucket_upper(ix: usize) -> u64 {
-    if ix == 0 {
-        0
-    } else if ix >= 64 {
-        u64::MAX
-    } else {
-        (1u64 << ix) - 1
-    }
-}
-
-/// Read-only view of one histogram at snapshot time.
-#[derive(Debug, Clone)]
-pub struct HistogramSnapshot {
-    /// Metric name.
-    pub name: &'static str,
-    /// Total observations.
-    pub count: u64,
-    /// Sum of all observed values (saturating).
-    pub sum: u64,
-    /// Smallest observed value.
-    pub min: u64,
-    /// Largest observed value.
-    pub max: u64,
-    /// Per-bucket observation counts; see [`HISTOGRAM_BUCKETS`].
-    pub buckets: [u64; HISTOGRAM_BUCKETS],
-}
-
-impl HistogramSnapshot {
-    /// Mean observed value, 0.0 when empty.
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-
-    /// Estimated `p`-th percentile (0.0..=100.0): the upper bound of
-    /// the bucket containing that rank, clamped to the observed max.
-    pub fn percentile(&self, p: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (ix, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                return bucket_upper(ix).min(self.max);
-            }
-        }
-        self.max
-    }
-}
 
 /// Everything a [`MemoryRecorder`] has collected, frozen at one
 /// moment. All lists are sorted by name (spans/events by time).
@@ -114,6 +22,8 @@ pub struct MetricsSnapshot {
     pub spans: Vec<SpanRecord>,
     /// Instantaneous events in emission order.
     pub events: Vec<EventRecord>,
+    /// Cross-thread request handoffs in emission order.
+    pub flows: Vec<FlowRecord>,
 }
 
 impl MetricsSnapshot {
@@ -150,17 +60,21 @@ impl MetricsSnapshot {
 
 /// A [`Recorder`] that aggregates everything in memory.
 ///
-/// Collection-side cost is a mutex acquisition per call — fine for a
-/// profiler, irrelevant for production since the default state is "no
+/// Counters/gauges/spans/events/flows take a mutex per call — fine for
+/// a profiler. Histograms go through the lock-free
+/// [`HistogramRegistry`] because leaf-eval latency recording sits on
+/// the search hot path where a shared mutex would serialize workers.
+/// Production cost is unaffected either way: the default state is "no
 /// recorder installed" and instrumentation sites short-circuit before
 /// reaching any recorder.
 #[derive(Debug, Default)]
 pub struct MemoryRecorder {
     counters: Mutex<BTreeMap<&'static str, u64>>,
     gauges: Mutex<BTreeMap<&'static str, i64>>,
-    histograms: Mutex<BTreeMap<&'static str, Histogram>>,
+    histograms: HistogramRegistry,
     spans: Mutex<Vec<SpanRecord>>,
     events: Mutex<Vec<EventRecord>>,
+    flows: Mutex<Vec<FlowRecord>>,
 }
 
 impl MemoryRecorder {
@@ -195,34 +109,30 @@ impl MemoryRecorder {
                 .iter()
                 .map(|(&n, &v)| (n, v))
                 .collect(),
-            histograms: self
-                .histograms
-                .lock()
-                .unwrap()
-                .iter()
-                .map(|(&name, h)| HistogramSnapshot {
-                    name,
-                    count: h.count,
-                    sum: h.sum,
-                    min: if h.count == 0 { 0 } else { h.min },
-                    max: h.max,
-                    buckets: h.buckets,
-                })
-                .collect(),
+            histograms: self.histograms.snapshot(),
             spans: self.spans.lock().unwrap().clone(),
             events: self.events.lock().unwrap().clone(),
+            flows: self.flows.lock().unwrap().clone(),
         }
     }
 
+    /// Reads one gauge without freezing a full snapshot — cheap enough
+    /// for a live sampler polling `search.progress.*` while the span
+    /// and event lists are large and growing.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.lock().unwrap().get(name).copied()
+    }
+
     /// Clears all collected data (counters, gauges, histograms, spans,
-    /// events). Lets one installed recorder serve several measured
-    /// phases.
+    /// events, flows). Lets one installed recorder serve several
+    /// measured phases.
     pub fn reset(&self) {
         self.counters.lock().unwrap().clear();
         self.gauges.lock().unwrap().clear();
-        self.histograms.lock().unwrap().clear();
+        self.histograms.reset();
         self.spans.lock().unwrap().clear();
         self.events.lock().unwrap().clear();
+        self.flows.lock().unwrap().clear();
     }
 
     /// Renders collected spans and events as Chrome `trace_event` JSON.
@@ -233,6 +143,11 @@ impl MemoryRecorder {
     /// Renders collected metrics as JSON Lines, one metric per line.
     pub fn metrics_jsonl(&self) -> String {
         crate::trace::metrics_jsonl(&self.snapshot())
+    }
+
+    /// Renders collected metrics in Prometheus text exposition format.
+    pub fn prometheus_text(&self) -> String {
+        crate::prom::prometheus_text(&self.snapshot())
     }
 }
 
@@ -246,20 +161,19 @@ impl Recorder for MemoryRecorder {
     }
 
     fn histogram_record(&self, name: &'static str, value: u64) {
-        self.histograms
-            .lock()
-            .unwrap()
-            .entry(name)
-            .or_insert_with(Histogram::new)
-            .record(value);
+        self.histograms.record(name, value);
     }
 
-    fn span_complete(&self, name: &'static str, cat: &'static str, start: Duration, dur: Duration) {
+    fn span_complete(&self, span: SpanData) {
         self.spans.lock().unwrap().push(SpanRecord {
-            name,
-            cat,
-            start,
-            dur,
+            name: span.name,
+            cat: span.cat,
+            start: span.start,
+            dur: span.dur,
+            id: span.id,
+            parent: span.parent,
+            request: span.request,
+            tid: span.tid,
         });
     }
 
@@ -269,6 +183,16 @@ impl Recorder for MemoryRecorder {
             cat,
             at,
             value,
+            tid: crate::thread_ordinal(),
+        });
+    }
+
+    fn flow(&self, request: u64, phase: FlowPhase, at: Duration, tid: u32) {
+        self.flows.lock().unwrap().push(FlowRecord {
+            request,
+            phase,
+            at,
+            tid,
         });
     }
 }
@@ -276,6 +200,19 @@ impl Recorder for MemoryRecorder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn span(name: &'static str, start_us: u64, dur_us: u64) -> SpanData {
+        SpanData {
+            name,
+            cat: "c",
+            start: Duration::from_micros(start_us),
+            dur: Duration::from_micros(dur_us),
+            id: 1,
+            parent: None,
+            request: None,
+            tid: 1,
+        }
+    }
 
     #[test]
     fn counters_accumulate() {
@@ -296,22 +233,6 @@ mod tests {
         r.gauge_set("g", -4);
         assert_eq!(r.snapshot().gauge("g"), Some(-4));
         assert_eq!(r.snapshot().gauge("missing"), None);
-    }
-
-    #[test]
-    fn bucket_boundaries() {
-        assert_eq!(bucket_index(0), 0);
-        assert_eq!(bucket_index(1), 1);
-        assert_eq!(bucket_index(2), 2);
-        assert_eq!(bucket_index(3), 2);
-        assert_eq!(bucket_index(4), 3);
-        assert_eq!(bucket_index(1023), 10);
-        assert_eq!(bucket_index(1024), 11);
-        assert_eq!(bucket_index(u64::MAX), 64);
-        assert_eq!(bucket_upper(0), 0);
-        assert_eq!(bucket_upper(1), 1);
-        assert_eq!(bucket_upper(10), 1023);
-        assert_eq!(bucket_upper(64), u64::MAX);
     }
 
     #[test]
@@ -336,24 +257,10 @@ mod tests {
     }
 
     #[test]
-    fn empty_histogram_is_safe() {
-        let h = HistogramSnapshot {
-            name: "empty",
-            count: 0,
-            sum: 0,
-            min: 0,
-            max: 0,
-            buckets: [0; HISTOGRAM_BUCKETS],
-        };
-        assert_eq!(h.mean(), 0.0);
-        assert_eq!(h.percentile(50.0), 0);
-    }
-
-    #[test]
     fn spans_and_events_are_kept_in_order() {
         let r = MemoryRecorder::new();
-        r.span_complete("a", "c", Duration::from_micros(1), Duration::from_micros(2));
-        r.span_complete("b", "c", Duration::from_micros(5), Duration::from_micros(1));
+        r.span_complete(span("a", 1, 2));
+        r.span_complete(span("b", 5, 1));
         r.event("e", "c", Duration::from_micros(3), Some(42));
         let s = r.snapshot();
         assert_eq!(s.spans.len(), 2);
@@ -361,6 +268,18 @@ mod tests {
         assert_eq!(s.span_total("a"), Duration::from_micros(2));
         assert_eq!(s.events.len(), 1);
         assert_eq!(s.events[0].value, Some(42));
+        assert!(s.events[0].tid > 0);
+    }
+
+    #[test]
+    fn flows_are_collected() {
+        let r = MemoryRecorder::new();
+        r.flow(7, FlowPhase::Produce, Duration::from_micros(1), 1);
+        r.flow(7, FlowPhase::Consume, Duration::from_micros(2), 2);
+        let s = r.snapshot();
+        assert_eq!(s.flows.len(), 2);
+        assert_eq!(s.flows[0].phase, FlowPhase::Produce);
+        assert_eq!(s.flows[1].tid, 2);
     }
 
     #[test]
@@ -369,8 +288,9 @@ mod tests {
         r.counter_add("a", 1);
         r.gauge_set("g", 1);
         r.histogram_record("h", 1);
-        r.span_complete("s", "c", Duration::ZERO, Duration::ZERO);
+        r.span_complete(span("s", 0, 0));
         r.event("e", "c", Duration::ZERO, None);
+        r.flow(1, FlowPhase::Produce, Duration::ZERO, 1);
         r.reset();
         let s = r.snapshot();
         assert!(s.counters.is_empty());
@@ -378,5 +298,6 @@ mod tests {
         assert!(s.histograms.is_empty());
         assert!(s.spans.is_empty());
         assert!(s.events.is_empty());
+        assert!(s.flows.is_empty());
     }
 }

@@ -1,0 +1,318 @@
+//! Prometheus text exposition (version 0.0.4) for metric snapshots,
+//! plus a strict validator used by tests and the CI smoke job.
+//!
+//! Mapping:
+//! - counters → `# TYPE rtcg_<name> counter` with one sample;
+//! - gauges → `gauge` samples, except the `engine.shard.NN.<suffix>`
+//!   family which is rewritten into one metric per suffix with a
+//!   `shard="NN"` label (`rtcg_engine_shard_hits{shard="03"} 7`) so a
+//!   scraper can aggregate/facet by shard instead of by metric name;
+//! - histograms → `summary` with `quantile="0.5"/"0.9"/"0.99"`
+//!   samples plus `_sum`, `_count`, and a companion `_max` gauge.
+//!
+//! Metric names are `rtcg_` + the dotted obs name with every
+//! non-`[a-zA-Z0-9_:]` byte replaced by `_`.
+
+use crate::memory::MetricsSnapshot;
+use std::fmt::Write as _;
+
+/// Prefix applied to every exposed metric name.
+const PREFIX: &str = "rtcg_";
+
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(PREFIX.len() + name.len());
+    out.push_str(PREFIX);
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Splits `engine.shard.NN.suffix` into `(suffix, "NN")`.
+fn shard_family(name: &str) -> Option<(&str, &str)> {
+    let rest = name.strip_prefix("engine.shard.")?;
+    let (shard, suffix) = rest.split_once('.')?;
+    if shard.len() == 2 && shard.bytes().all(|b| b.is_ascii_digit()) && !suffix.is_empty() {
+        Some((suffix, shard))
+    } else {
+        None
+    }
+}
+
+/// Renders a snapshot in Prometheus text exposition format. Output
+/// always ends with a newline (required by the format) and passes
+/// [`validate_prometheus_text`].
+pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = sanitize(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {v}");
+    }
+
+    // Gauges: pull the per-shard family out into labelled metrics,
+    // grouped so each suffix gets exactly one TYPE line.
+    let mut shard_rows: Vec<(&str, &str, i64)> = Vec::new();
+    for (name, v) in &snap.gauges {
+        match shard_family(name) {
+            Some((suffix, shard)) => shard_rows.push((suffix, shard, *v)),
+            None => {
+                let n = sanitize(name);
+                let _ = writeln!(out, "# TYPE {n} gauge");
+                let _ = writeln!(out, "{n} {v}");
+            }
+        }
+    }
+    shard_rows.sort();
+    let mut last_suffix = "";
+    for (suffix, shard, v) in shard_rows {
+        let n = sanitize(&format!("engine.shard.{suffix}"));
+        if suffix != last_suffix {
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            last_suffix = suffix;
+        }
+        let _ = writeln!(out, "{n}{{shard=\"{shard}\"}} {v}");
+    }
+
+    for h in &snap.histograms {
+        let n = sanitize(h.name);
+        let _ = writeln!(out, "# TYPE {n} summary");
+        for (q, p) in [("0.5", 50.0), ("0.9", 90.0), ("0.99", 99.0)] {
+            let _ = writeln!(out, "{n}{{quantile=\"{q}\"}} {}", h.percentile(p));
+        }
+        let _ = writeln!(out, "{n}_sum {}", h.sum);
+        let _ = writeln!(out, "{n}_count {}", h.count);
+        let _ = writeln!(out, "# TYPE {n}_max gauge");
+        let _ = writeln!(out, "{n}_max {}", h.max);
+    }
+    out
+}
+
+/// Error from [`validate_prometheus_text`], with the 1-based offending
+/// line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for PromError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "prometheus text line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PromError {}
+
+fn is_name_char(c: char, first: bool) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == ':' || (!first && c.is_ascii_digit())
+}
+
+fn parse_name(s: &str) -> Option<(&str, &str)> {
+    let mut end = 0;
+    for (i, c) in s.char_indices() {
+        if is_name_char(c, i == 0) {
+            end = i + c.len_utf8();
+        } else {
+            break;
+        }
+    }
+    if end == 0 {
+        None
+    } else {
+        Some((&s[..end], &s[end..]))
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> PromError {
+    PromError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Strictly validates Prometheus text exposition: every sample line is
+/// `name[{label="value",...}] <number>`, every sample's family was
+/// declared by a preceding `# TYPE` line, and summary `quantile`
+/// samples only appear under `summary` families. Returns the number of
+/// sample lines.
+pub fn validate_prometheus_text(text: &str) -> Result<usize, PromError> {
+    let mut types: Vec<(String, String)> = Vec::new();
+    let mut samples = 0usize;
+    for (ix, raw) in text.lines().enumerate() {
+        let lineno = ix + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(decl) = comment.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let name = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "TYPE without a metric name"))?;
+                let kind = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "TYPE without a kind"))?;
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "summary" | "histogram" | "untyped"
+                ) {
+                    return Err(err(lineno, format!("unknown metric kind {kind:?}")));
+                }
+                types.push((name.to_string(), kind.to_string()));
+            }
+            // HELP and free comments are fine.
+            continue;
+        }
+        let (name, rest) = parse_name(line)
+            .ok_or_else(|| err(lineno, "sample line does not start with a metric name"))?;
+        let rest = if let Some(labels) = rest.strip_prefix('{') {
+            let close = labels
+                .find('}')
+                .ok_or_else(|| err(lineno, "unterminated label set"))?;
+            let body = &labels[..close];
+            if !body.is_empty() {
+                for pair in body.split(',') {
+                    let (k, v) = pair
+                        .split_once('=')
+                        .ok_or_else(|| err(lineno, format!("label without '=': {pair:?}")))?;
+                    if parse_name(k).is_none_or(|(n, rest)| n != k || !rest.is_empty()) {
+                        return Err(err(lineno, format!("invalid label name {k:?}")));
+                    }
+                    if !(v.len() >= 2 && v.starts_with('"') && v.ends_with('"')) {
+                        return Err(err(lineno, format!("label value not quoted: {v:?}")));
+                    }
+                }
+            }
+            &labels[close + 1..]
+        } else {
+            rest
+        };
+        let value = rest.trim();
+        if value.is_empty() || value.split_whitespace().count() != 1 {
+            return Err(err(lineno, "expected exactly one value after the name"));
+        }
+        if value.parse::<f64>().is_err() && !matches!(value, "+Inf" | "-Inf" | "NaN") {
+            return Err(err(lineno, format!("unparseable sample value {value:?}")));
+        }
+        // The sample must belong to a declared family: exact name, or
+        // a summary/histogram child (_sum/_count/_bucket).
+        let family = types.iter().find(|(n, _)| {
+            n == name
+                || (name.strip_suffix("_sum") == Some(n.as_str()))
+                || (name.strip_suffix("_count") == Some(n.as_str()))
+                || (name.strip_suffix("_bucket") == Some(n.as_str()))
+        });
+        let Some((family_name, kind)) = family else {
+            return Err(err(
+                lineno,
+                format!("sample {name:?} has no # TYPE declaration"),
+            ));
+        };
+        if line.contains("quantile=") && kind != "summary" && family_name == name {
+            return Err(err(
+                lineno,
+                format!("quantile label on non-summary family {family_name:?}"),
+            ));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemoryRecorder, Recorder};
+
+    #[test]
+    fn exposition_round_trips_through_validator() {
+        let r = MemoryRecorder::new();
+        r.counter_add("engine.cache.hit", 3);
+        r.gauge_set("search.frontier_depth", 5);
+        r.gauge_set("engine.shard.03.hits", 7);
+        r.gauge_set("engine.shard.03.misses", 2);
+        r.gauge_set("engine.shard.11.hits", 1);
+        for v in [1u64, 2, 300] {
+            r.histogram_record("engine.request_us", v);
+        }
+        let text = prometheus_text(&r.snapshot());
+        assert!(text.ends_with('\n'));
+        assert!(text.contains("# TYPE rtcg_engine_cache_hit counter\n"));
+        assert!(text.contains("rtcg_engine_cache_hit 3\n"));
+        assert!(text.contains("rtcg_engine_shard_hits{shard=\"03\"} 7\n"));
+        assert!(text.contains("rtcg_engine_shard_hits{shard=\"11\"} 1\n"));
+        assert!(text.contains("rtcg_engine_shard_misses{shard=\"03\"} 2\n"));
+        assert!(!text.contains("rtcg_engine_shard_03"), "no per-shard names");
+        assert!(text.contains("# TYPE rtcg_engine_request_us summary\n"));
+        assert!(text.contains("rtcg_engine_request_us{quantile=\"0.9\"}"));
+        assert!(text.contains("rtcg_engine_request_us_sum 303\n"));
+        assert!(text.contains("rtcg_engine_request_us_count 3\n"));
+        assert!(text.contains("rtcg_engine_request_us_max 300\n"));
+        let samples = validate_prometheus_text(&text).expect("valid exposition");
+        // 1 counter + 1 gauge + 3 shard rows + summary(3q + sum + count) + max
+        assert_eq!(samples, 11);
+    }
+
+    #[test]
+    fn one_type_line_per_shard_suffix() {
+        let r = MemoryRecorder::new();
+        for shard in ["00", "01", "02"] {
+            let name: &'static str =
+                Box::leak(format!("engine.shard.{shard}.hits").into_boxed_str());
+            r.gauge_set(name, 1);
+        }
+        let text = prometheus_text(&r.snapshot());
+        assert_eq!(
+            text.matches("# TYPE rtcg_engine_shard_hits gauge").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_prometheus_text("no_type_decl 1\n").is_err());
+        assert!(
+            validate_prometheus_text("# TYPE m gauge\nm {broken\n").is_err(),
+            "unterminated labels"
+        );
+        assert!(
+            validate_prometheus_text("# TYPE m gauge\nm not_a_number\n").is_err(),
+            "bad value"
+        );
+        assert!(
+            validate_prometheus_text("# TYPE m wat\nm 1\n").is_err(),
+            "unknown kind"
+        );
+        assert!(
+            validate_prometheus_text("# TYPE m gauge\nm{quantile=\"0.5\"} 1\n").is_err(),
+            "quantile on a gauge"
+        );
+        assert_eq!(
+            validate_prometheus_text("# TYPE m gauge\nm{a=\"b\"} 1.5\nm 2\n"),
+            Ok(2)
+        );
+        assert_eq!(validate_prometheus_text(""), Ok(0));
+    }
+
+    #[test]
+    fn shard_family_parser_is_strict() {
+        assert_eq!(shard_family("engine.shard.07.hits"), Some(("hits", "07")));
+        assert_eq!(
+            shard_family("engine.shard.12.poison_recoveries"),
+            Some(("poison_recoveries", "12"))
+        );
+        assert_eq!(shard_family("engine.shard.7.hits"), None);
+        assert_eq!(shard_family("engine.shard.xx.hits"), None);
+        assert_eq!(shard_family("engine.shard.07"), None);
+        assert_eq!(shard_family("engine.cache.hit"), None);
+    }
+}

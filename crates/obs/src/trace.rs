@@ -3,8 +3,16 @@
 //!
 //! JSON is emitted by hand — the obs layer must stay std-only — but
 //! both formats are strict JSON and round-trip through any parser.
+//!
+//! Spans carry ids, parent ids, and request correlation ids, so the
+//! Chrome export reconstructs one causal tree per request: spans land
+//! on their real thread lane (`tid` = [`crate::thread_ordinal`]),
+//! parent/request ids ride in `args`, and
+//! [`FlowPhase::Produce`]/[`FlowPhase::Consume`] pairs become
+//! `ph:"s"`/`ph:"f"` flow arrows keyed by request id.
 
 use crate::memory::MetricsSnapshot;
+use crate::FlowPhase;
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -19,6 +27,14 @@ pub struct SpanRecord {
     pub start: Duration,
     /// Span length.
     pub dur: Duration,
+    /// Process-unique span id.
+    pub id: u64,
+    /// Enclosing span's id, if the span was nested.
+    pub parent: Option<u64>,
+    /// Correlation id of the enclosing request scope, if any.
+    pub request: Option<u64>,
+    /// Ordinal of the thread the span ran on.
+    pub tid: u32,
 }
 
 /// One instantaneous event as reported to a recorder.
@@ -32,6 +48,21 @@ pub struct EventRecord {
     pub at: Duration,
     /// Optional payload (e.g. a tick number).
     pub value: Option<i64>,
+    /// Ordinal of the thread the event fired on.
+    pub tid: u32,
+}
+
+/// One side of a cross-thread request handoff.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowRecord {
+    /// The request correlation id being handed off.
+    pub request: u64,
+    /// Producing or consuming side.
+    pub phase: FlowPhase,
+    /// Offset from [`crate::epoch`].
+    pub at: Duration,
+    /// Ordinal of the thread this side ran on.
+    pub tid: u32,
 }
 
 fn push_json_string(out: &mut String, s: &str) {
@@ -52,10 +83,11 @@ fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
-/// Renders a snapshot's spans and events in Chrome `trace_event`
-/// format: complete (`"ph":"X"`) events for spans, instant (`"ph":"i"`)
-/// events for point events, timestamps in microseconds since
-/// [`crate::epoch`].
+/// Renders a snapshot's spans, events, and flows in Chrome
+/// `trace_event` format: complete (`"ph":"X"`) events for spans with
+/// span/parent/request ids in `args`, instant (`"ph":"i"`) events for
+/// point events, flow start/finish (`"ph":"s"`/`"ph":"f"`) pairs for
+/// request handoffs, timestamps in microseconds since [`crate::epoch`].
 pub fn chrome_trace_json(snap: &MetricsSnapshot) -> String {
     let mut out = String::from("{\"traceEvents\":[");
     let mut first = true;
@@ -70,10 +102,19 @@ pub fn chrome_trace_json(snap: &MetricsSnapshot) -> String {
         push_json_string(&mut out, s.cat);
         let _ = write!(
             out,
-            ",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":1}}",
+            ",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}",
             s.start.as_micros(),
-            s.dur.as_micros().max(1)
+            s.dur.as_micros().max(1),
+            s.tid.max(1)
         );
+        let _ = write!(out, ",\"args\":{{\"span_id\":{}", s.id);
+        if let Some(p) = s.parent {
+            let _ = write!(out, ",\"parent_id\":{p}");
+        }
+        if let Some(r) = s.request {
+            let _ = write!(out, ",\"request_id\":{r}");
+        }
+        out.push_str("}}");
     }
     for e in &snap.events {
         if !first {
@@ -86,13 +127,34 @@ pub fn chrome_trace_json(snap: &MetricsSnapshot) -> String {
         push_json_string(&mut out, e.cat);
         let _ = write!(
             out,
-            ",\"ph\":\"i\",\"s\":\"g\",\"ts\":{},\"pid\":1,\"tid\":1",
-            e.at.as_micros()
+            ",\"ph\":\"i\",\"s\":\"g\",\"ts\":{},\"pid\":1,\"tid\":{}",
+            e.at.as_micros(),
+            e.tid.max(1)
         );
         if let Some(v) = e.value {
             let _ = write!(out, ",\"args\":{{\"value\":{v}}}");
         }
         out.push('}');
+    }
+    for f in &snap.flows {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        // One flow arrow per request id: "s" on the producer lane,
+        // "f" (binding to the enclosing slice, bp:"e") on the consumer.
+        let ph = match f.phase {
+            FlowPhase::Produce => "\"ph\":\"s\"",
+            FlowPhase::Consume => "\"ph\":\"f\",\"bp\":\"e\"",
+        };
+        let _ = write!(
+            out,
+            "{{\"name\":\"request\",\"cat\":\"flow\",{},\"id\":{},\"ts\":{},\"pid\":1,\"tid\":{}}}",
+            ph,
+            f.request,
+            f.at.as_micros(),
+            f.tid.max(1)
+        );
     }
     out.push_str("],\"displayTimeUnit\":\"ms\"}");
     out
@@ -100,7 +162,7 @@ pub fn chrome_trace_json(snap: &MetricsSnapshot) -> String {
 
 /// Renders a snapshot as JSON Lines: one object per metric with a
 /// `"type"` discriminator (`counter` / `gauge` / `histogram` / `span`
-/// / `event`). Span and event times are in microseconds.
+/// / `event` / `flow`). Span and event times are in microseconds.
 pub fn metrics_jsonl(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
     for (name, v) in &snap.counters {
@@ -118,12 +180,13 @@ pub fn metrics_jsonl(snap: &MetricsSnapshot) -> String {
         push_json_string(&mut out, h.name);
         let _ = writeln!(
             out,
-            ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p99\":{}}}",
+            ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
             h.count,
             h.sum,
             h.min,
             h.max,
             h.percentile(50.0),
+            h.percentile(90.0),
             h.percentile(99.0)
         );
     }
@@ -132,12 +195,20 @@ pub fn metrics_jsonl(snap: &MetricsSnapshot) -> String {
         push_json_string(&mut out, s.name);
         out.push_str(",\"cat\":");
         push_json_string(&mut out, s.cat);
-        let _ = writeln!(
+        let _ = write!(
             out,
-            ",\"ts_us\":{},\"dur_us\":{}}}",
+            ",\"ts_us\":{},\"dur_us\":{},\"id\":{}",
             s.start.as_micros(),
-            s.dur.as_micros()
+            s.dur.as_micros(),
+            s.id
         );
+        if let Some(p) = s.parent {
+            let _ = write!(out, ",\"parent\":{p}");
+        }
+        if let Some(r) = s.request {
+            let _ = write!(out, ",\"request\":{r}");
+        }
+        let _ = writeln!(out, ",\"tid\":{}}}", s.tid);
     }
     for e in &snap.events {
         out.push_str("{\"type\":\"event\",\"name\":");
@@ -150,6 +221,20 @@ pub fn metrics_jsonl(snap: &MetricsSnapshot) -> String {
         }
         out.push_str("}\n");
     }
+    for f in &snap.flows {
+        let phase = match f.phase {
+            FlowPhase::Produce => "produce",
+            FlowPhase::Consume => "consume",
+        };
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"flow\",\"request\":{},\"phase\":\"{}\",\"ts_us\":{},\"tid\":{}}}",
+            f.request,
+            phase,
+            f.at.as_micros(),
+            f.tid
+        );
+    }
     out
 }
 
@@ -158,24 +243,31 @@ mod tests {
     use super::*;
     use crate::MemoryRecorder;
     use crate::Recorder;
+    use crate::SpanData;
 
     fn sample_snapshot() -> MetricsSnapshot {
         let r = MemoryRecorder::new();
         r.counter_add("search.nodes_expanded", 12);
         r.gauge_set("sim.ready", 3);
         r.histogram_record("sim.block_ticks", 4);
-        r.span_complete(
-            "feasibility.exact",
-            "search",
-            Duration::from_micros(10),
-            Duration::from_micros(250),
-        );
+        r.span_complete(SpanData {
+            name: "feasibility.exact",
+            cat: "search",
+            start: Duration::from_micros(10),
+            dur: Duration::from_micros(250),
+            id: 2,
+            parent: Some(1),
+            request: Some(9),
+            tid: 3,
+        });
         r.event(
             "sim.fault_injected",
             "faults",
             Duration::from_micros(40),
             Some(7),
         );
+        r.flow(9, FlowPhase::Produce, Duration::from_micros(5), 1);
+        r.flow(9, FlowPhase::Consume, Duration::from_micros(8), 3);
         r.snapshot()
     }
 
@@ -188,7 +280,14 @@ mod tests {
         assert!(json.contains("\"name\":\"feasibility.exact\""));
         assert!(json.contains("\"ts\":10"));
         assert!(json.contains("\"dur\":250"));
+        assert!(json.contains("\"tid\":3"));
+        assert!(json.contains("\"span_id\":2"));
+        assert!(json.contains("\"parent_id\":1"));
+        assert!(json.contains("\"request_id\":9"));
         assert!(json.contains("\"args\":{\"value\":7}"));
+        assert!(json.contains("\"ph\":\"s\""));
+        assert!(json.contains("\"ph\":\"f\",\"bp\":\"e\""));
+        assert!(json.contains("\"id\":9"));
     }
 
     #[test]
@@ -201,10 +300,13 @@ mod tests {
     fn jsonl_is_one_object_per_line() {
         let jsonl = metrics_jsonl(&sample_snapshot());
         let lines: Vec<&str> = jsonl.lines().collect();
-        assert_eq!(lines.len(), 5);
+        assert_eq!(lines.len(), 7);
         assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
         assert!(lines[0].contains("\"type\":\"counter\""));
         assert!(jsonl.contains("\"value\":12"));
+        assert!(jsonl.contains("\"p90\":"));
+        assert!(jsonl.contains("\"type\":\"flow\""));
+        assert!(jsonl.contains("\"phase\":\"produce\""));
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Well-formedness of the Chrome trace export over *random* span
+//! trees: every parent id refers to an exported span, request ids and
+//! flow arrows are consistent, and the hand-emitted JSON round-trips
+//! through the vendored `serde_json` parser unchanged.
+//!
+//! Snapshots are built directly (no global recorder), so this binary
+//! can run any number of cases without touching the process-wide
+//! recorder slot.
+
+use proptest::prelude::*;
+use rtcg_obs::{FlowPhase, FlowRecord, MetricsSnapshot, SpanRecord};
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+const NAMES: [&str; 5] = [
+    "engine.analyze",
+    "feasibility.exact",
+    "engine.batch",
+    "sim.run",
+    "synthesis.latency",
+];
+const CATS: [&str; 3] = ["engine", "search", "sim"];
+
+/// Raw per-span draw: (entropy for parent/name, has_parent, request
+/// tag 0=none, start µs, dur µs, tid).
+type RawSpan = (usize, bool, u64, u64, u64, u32);
+
+/// Turns raw draws into a *valid* span tree: ids are 1-based and
+/// unique, parents always point at an earlier span.
+fn build_snapshot(raw: &[RawSpan]) -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::default();
+    for (i, &(entropy, has_parent, request, start, dur, tid)) in raw.iter().enumerate() {
+        let parent = if has_parent && i > 0 {
+            Some(((entropy % i) + 1) as u64)
+        } else {
+            None
+        };
+        snap.spans.push(SpanRecord {
+            name: NAMES[entropy % NAMES.len()],
+            cat: CATS[entropy % CATS.len()],
+            start: Duration::from_micros(start),
+            dur: Duration::from_micros(dur),
+            id: (i + 1) as u64,
+            parent,
+            request: (request > 0).then_some(request),
+            tid,
+        });
+    }
+    // one produce/consume flow pair per distinct request id
+    let requests: BTreeSet<u64> = snap.spans.iter().filter_map(|s| s.request).collect();
+    for r in requests {
+        snap.flows.push(FlowRecord {
+            request: r,
+            phase: FlowPhase::Produce,
+            at: Duration::from_micros(r),
+            tid: 1,
+        });
+        snap.flows.push(FlowRecord {
+            request: r,
+            phase: FlowPhase::Consume,
+            at: Duration::from_micros(r + 1),
+            tid: 2,
+        });
+    }
+    snap
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chrome_trace_is_wellformed_over_random_span_trees(
+        raw in prop::collection::vec(
+            (0..1000usize, any::<bool>(), 0..4u64, 0..100_000u64, 1..50_000u64, 1..5u32),
+            1..40usize,
+        )
+    ) {
+        let snap = build_snapshot(&raw);
+        let json = rtcg_obs::chrome_trace_json(&snap);
+
+        // parses as strict JSON
+        let v: serde_json::Value = serde_json::from_str(&json)
+            .unwrap_or_else(|e| panic!("invalid trace JSON: {e:?}\n{json}"));
+        let events = v["traceEvents"].as_array().expect("traceEvents array");
+        prop_assert_eq!(events.len(), snap.spans.len() + snap.flows.len());
+
+        // every exported span id is unique; every parent_id resolves
+        let mut ids = BTreeSet::new();
+        for e in events.iter().filter(|e| e["ph"] == "X") {
+            let id = e["args"]["span_id"].as_u64().expect("span_id present");
+            prop_assert!(ids.insert(id), "duplicate span_id {}", id);
+        }
+        for e in events.iter().filter(|e| e["ph"] == "X") {
+            if let Some(p) = e["args"]["parent_id"].as_u64() {
+                prop_assert!(ids.contains(&p), "dangling parent_id {}", p);
+            }
+            if let Some(r) = e["args"]["request_id"].as_u64() {
+                // the request must have a produce and a consume arrow
+                let arrows = |ph: &str| {
+                    events.iter().any(|f| f["ph"] == ph && f["id"].as_u64() == Some(r))
+                };
+                prop_assert!(arrows("s"), "request {} missing produce arrow", r);
+                prop_assert!(arrows("f"), "request {} missing consume arrow", r);
+            }
+        }
+
+        // flow arrows come in matched produce/consume pairs
+        let starts = events.iter().filter(|e| e["ph"] == "s").count();
+        let finishes = events.iter().filter(|e| e["ph"] == "f").count();
+        prop_assert_eq!(starts, finishes);
+
+        // round-trip: parse → re-serialize → parse is a fixed point
+        let again: serde_json::Value =
+            serde_json::from_str(&serde_json::to_string(&v).unwrap()).unwrap();
+        prop_assert_eq!(v, again);
+
+        // the JSONL export of the same snapshot is line-wise valid JSON
+        for line in rtcg_obs::metrics_jsonl(&snap).lines() {
+            let parsed: Result<serde_json::Value, _> = serde_json::from_str(line);
+            prop_assert!(parsed.is_ok(), "bad jsonl line: {}", line);
+        }
+    }
+}
