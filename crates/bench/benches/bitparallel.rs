@@ -1,0 +1,349 @@
+//! Bit-parallel batched leaf throughput: [`CompiledChecker::check_batch`]
+//! against the scalar compiled checker on sibling frontiers — the exact
+//! shape the last-row batching in `feasibility/exact.rs` produces. Each
+//! work item is a *row*: one shared prefix plus every alphabet symbol as
+//! a lane tail, so a row of width `w` verdicts `w` sibling candidates in
+//! one pass.
+//!
+//! Scenarios mirror `BENCH_leafcheck.json` (chain_family boundary /
+//! infeasible, the paper's running example) so the two trajectory files
+//! compose: leafcheck measures compiled-vs-cache, this bench measures
+//! batch-vs-compiled on the same populations. A fourth, ungated
+//! scenario (`chain_family_21_wide`) drives the full 64-lane width. The
+//! scalar sweep walks candidates row-major so its incremental prefix
+//! index stays warm — the comparison is against the scalar checker at
+//! its best, not a strawman.
+//!
+//! Verdicts are asserted bit-identical for every lane before any
+//! timing. Results land in `BENCH_bitparallel.json` at the repo root
+//! (override with `RTCG_BENCH_OUT`); the acceptance gate is a ≥10x
+//! *aggregate* speedup over the three leafcheck-family scenarios
+//! (total scalar time / total batch time) plus a ≥3x floor on each —
+//! the all-infeasible population is capped near the lane width because
+//! the scalar baseline already short-circuits at its first failing
+//! window, while boundary and mok populations pay for full window
+//! sweeps that the batch shares across lanes. `RTCG_BENCH_QUICK=1`
+//! shrinks the sweep for CI smoke runs.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rtcg_core::feasibility::{used_elements, CompiledChecker, MAX_BATCH};
+use rtcg_core::model::Model;
+use rtcg_core::mok_example;
+use rtcg_core::schedule::Action;
+use rtcg_hardness::families::{chain_family, chain_family_with_deadline};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Scenario {
+    name: &'static str,
+    model: Model,
+    /// Shared-prefix lengths to draw from; each row's candidates are
+    /// one symbol longer.
+    prefix_lengths: std::ops::RangeInclusive<usize>,
+    /// Whether the ≥10x gate applies (the leafcheck-family scenarios).
+    gated: bool,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let (mok, _) = mok_example::default_model();
+    vec![
+        Scenario {
+            name: "chain_family_2_boundary",
+            model: chain_family(2),
+            prefix_lengths: 6..=12,
+            gated: true,
+        },
+        Scenario {
+            name: "chain_family_2_infeasible",
+            model: chain_family_with_deadline(2, 7),
+            prefix_lengths: 6..=12,
+            gated: true,
+        },
+        Scenario {
+            name: "mok_example",
+            model: mok,
+            prefix_lengths: 5..=9,
+            gated: true,
+        },
+        Scenario {
+            name: "chain_family_21_wide",
+            model: chain_family(21),
+            prefix_lengths: 3..=5,
+            gated: false,
+        },
+    ]
+}
+
+/// Deterministic row prefixes: seeded strings over the search alphabet
+/// biased toward full element coverage (like surviving B&B interior
+/// nodes), sorted so neighbouring rows share prefixes the way sibling
+/// frontiers of the necklace DFS do.
+fn row_prefixes(s: &Scenario, count: usize) -> Vec<Vec<Action>> {
+    let used = used_elements(&s.model);
+    let mut rng = ChaCha8Rng::seed_from_u64(0x4249_5450);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let len = rng.gen_range(s.prefix_lengths.clone());
+        let mut actions = Vec::with_capacity(len);
+        let mut perm: Vec<usize> = (0..used.len()).collect();
+        for i in (1..perm.len()).rev() {
+            perm.swap(i, rng.gen_range(0..=i));
+        }
+        for &ix in perm.iter().take(len) {
+            actions.push(Action::Run(used[ix]));
+        }
+        while actions.len() < len {
+            let sym = rng.gen_range(0..=used.len());
+            actions.push(if sym == 0 {
+                Action::Idle
+            } else {
+                Action::Run(used[sym - 1])
+            });
+        }
+        out.push(actions);
+    }
+    fn sym_key(a: &Action) -> usize {
+        match a {
+            Action::Idle => 0,
+            Action::Run(e) => e.index() + 1,
+        }
+    }
+    out.sort_by_cached_key(|v| v.iter().map(sym_key).collect::<Vec<_>>());
+    out.dedup();
+    out
+}
+
+/// The lane set: idle plus every used element — exactly the symbol
+/// alphabet the exact search expands a node's children over.
+fn lane_tails(model: &Model) -> Vec<Action> {
+    let used = used_elements(model);
+    let mut tails = vec![Action::Idle];
+    tails.extend(used.iter().map(|&e| Action::Run(e)));
+    assert!(tails.len() <= MAX_BATCH, "alphabet exceeds lane width");
+    tails
+}
+
+/// Mean seconds per full sweep, scalar path: every row × tail verdicted
+/// by `CompiledChecker::check`, row-major so the incremental prefix
+/// index gets the same locality the necklace DFS gives it.
+fn time_scalar(
+    eval: &mut CompiledChecker,
+    rows: &[Vec<Action>],
+    tails: &[Action],
+    iters: usize,
+) -> f64 {
+    let mut buf: Vec<Action> = Vec::new();
+    let mut sweep = |timed: bool| -> f64 {
+        let start = Instant::now();
+        for row in rows {
+            for &t in tails {
+                buf.clear();
+                buf.extend_from_slice(row);
+                buf.push(t);
+                black_box(eval.check(&buf).unwrap());
+            }
+        }
+        if timed {
+            start.elapsed().as_secs_f64()
+        } else {
+            0.0
+        }
+    };
+    sweep(false); // warmup
+    let mut total = 0.0;
+    for _ in 0..iters {
+        total += sweep(true);
+    }
+    total / iters as f64
+}
+
+/// Mean seconds per full sweep, batched path: one `check_batch` per row.
+fn time_batch(
+    eval: &mut CompiledChecker,
+    rows: &[Vec<Action>],
+    tails: &[Action],
+    iters: usize,
+) -> f64 {
+    let mut out = Vec::with_capacity(tails.len());
+    let mut sweep = |timed: bool| -> f64 {
+        let start = Instant::now();
+        for row in rows {
+            eval.check_batch(row, tails, &mut out);
+            black_box(&out);
+        }
+        if timed {
+            start.elapsed().as_secs_f64()
+        } else {
+            0.0
+        }
+    };
+    sweep(false); // warmup
+    let mut total = 0.0;
+    for _ in 0..iters {
+        total += sweep(true);
+    }
+    total / iters as f64
+}
+
+struct Row {
+    name: &'static str,
+    n_rows: usize,
+    width: usize,
+    scalar_s: f64,
+    batch_s: f64,
+    speedup: f64,
+    gated: bool,
+}
+
+fn out_path() -> std::path::PathBuf {
+    match std::env::var_os("RTCG_BENCH_OUT") {
+        Some(p) => p.into(),
+        None => {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_bitparallel.json")
+        }
+    }
+}
+
+fn gated_aggregate(rows: &[Row]) -> f64 {
+    let scalar: f64 = rows.iter().filter(|r| r.gated).map(|r| r.scalar_s).sum();
+    let batch: f64 = rows.iter().filter(|r| r.gated).map(|r| r.batch_s).sum();
+    scalar / batch
+}
+
+fn write_json(rows: &[Row]) {
+    let mut s =
+        String::from("{\n  \"bench\": \"bitparallel\",\n  \"unit\": \"seconds_per_sweep\",\n");
+    let _ = writeln!(
+        s,
+        "  \"gated_aggregate_speedup\": {:.2},\n  \"scenarios\": [",
+        gated_aggregate(rows)
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{}\", \"rows\": {}, \"width\": {}, \"candidates\": {}, \"scalar_compiled_s\": {:.9}, \"check_batch_s\": {:.9}, \"speedup\": {:.2}}}{}",
+            r.name,
+            r.n_rows,
+            r.width,
+            r.n_rows * r.width,
+            r.scalar_s,
+            r.batch_s,
+            r.speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ]\n}\n");
+    let path = out_path();
+    std::fs::write(&path, s).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("bitparallel: wrote {}", path.display());
+}
+
+fn bench_bitparallel(c: &mut Criterion) {
+    let quick = std::env::var_os("RTCG_BENCH_QUICK").is_some();
+    let (count, iters) = if quick { (64, 5) } else { (256, 40) };
+
+    let mut rows = Vec::new();
+    let mut group = c.benchmark_group("bitparallel");
+    group.sample_size(10);
+
+    for s in scenarios() {
+        let prefixes = row_prefixes(&s, count);
+        let tails = lane_tails(&s.model);
+        let mut scalar = CompiledChecker::new(&s.model).unwrap();
+        let mut batched = CompiledChecker::new(&s.model).unwrap();
+
+        // the invariant first: bit-identical verdicts on every lane
+        let mut out = Vec::new();
+        let mut buf = Vec::new();
+        for row in &prefixes {
+            batched.check_batch(row, &tails, &mut out);
+            for (lane, &t) in tails.iter().enumerate() {
+                buf.clear();
+                buf.extend_from_slice(row);
+                buf.push(t);
+                let want = scalar.check(&buf).unwrap();
+                assert_eq!(
+                    out[lane].clone().unwrap(),
+                    want,
+                    "verdict divergence on {}: {row:?} + {t:?}",
+                    s.name
+                );
+            }
+        }
+
+        let scalar_s = time_scalar(&mut scalar, &prefixes, &tails, iters);
+        let batch_s = time_batch(&mut batched, &prefixes, &tails, iters);
+        let speedup = scalar_s / batch_s;
+        println!(
+            "bitparallel/{}: {} rows × {} lanes, scalar {:.1} µs/sweep, batch {:.1} µs/sweep — {:.1}x",
+            s.name,
+            prefixes.len(),
+            tails.len(),
+            scalar_s * 1e6,
+            batch_s * 1e6,
+            speedup
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("scalar_compiled", s.name),
+            &prefixes,
+            |b, rows| {
+                b.iter(|| {
+                    for row in rows {
+                        for &t in &tails {
+                            buf.clear();
+                            buf.extend_from_slice(row);
+                            buf.push(t);
+                            black_box(scalar.check(&buf).unwrap());
+                        }
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("check_batch", s.name),
+            &prefixes,
+            |b, rows| {
+                b.iter(|| {
+                    for row in rows {
+                        batched.check_batch(row, &tails, &mut out);
+                        black_box(&out);
+                    }
+                })
+            },
+        );
+
+        rows.push(Row {
+            name: s.name,
+            n_rows: prefixes.len(),
+            width: tails.len(),
+            scalar_s,
+            batch_s,
+            speedup,
+            gated: s.gated,
+        });
+    }
+    group.finish();
+
+    write_json(&rows);
+
+    for r in rows.iter().filter(|r| r.gated) {
+        assert!(
+            r.speedup >= 3.0,
+            "bitparallel/{}: batch speedup {:.2}x below the 3x per-scenario floor",
+            r.name,
+            r.speedup
+        );
+    }
+    let aggregate = gated_aggregate(&rows);
+    println!("bitparallel: gated aggregate speedup {aggregate:.2}x");
+    assert!(
+        aggregate >= 10.0,
+        "bitparallel: aggregate speedup {aggregate:.2}x over the leafcheck scenarios is below the 10x acceptance gate"
+    );
+}
+
+criterion_group!(benches, bench_bitparallel);
+criterion_main!(benches);

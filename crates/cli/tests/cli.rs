@@ -379,7 +379,21 @@ fn profile_renders_percentiles_and_shard_columns() {
 
 #[test]
 fn profile_format_prom_emits_valid_exposition() {
-    let spec = write_spec(GOOD_SPEC);
+    // four elements so the exact search must reach length-4 candidates:
+    // deep enough that leaves go through the batched last row (the
+    // unit prefix covers lengths up to 3 by itself).
+    let spec = write_spec(
+        r#"
+        element a wcet 1;
+        element b wcet 1;
+        element c wcet 1;
+        element d wcet 1;
+        asynchronous ca period 8 deadline 8 { op o: a; }
+        asynchronous cb period 8 deadline 8 { op o: b; }
+        asynchronous cc period 8 deadline 8 { op o: c; }
+        asynchronous cd period 8 deadline 8 { op o: d; }
+    "#,
+    );
     let out = rtcg(&["profile", spec.path_str(), "--format", "prom"]);
     assert!(out.status.success(), "{out:?}");
     let stdout = String::from_utf8(out.stdout).unwrap();
@@ -398,6 +412,8 @@ fn profile_format_prom_emits_valid_exposition() {
         stdout.contains("rtcg_search_leaf_eval_us{quantile=\"0.9\"}"),
         "{stdout}"
     );
+    // leaf checks run batched: the last-row width gauge rides along
+    assert!(stdout.contains("rtcg_search_leaf_batch_width"), "{stdout}");
 }
 
 #[test]

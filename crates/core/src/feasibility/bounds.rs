@@ -194,6 +194,47 @@ impl PrefixPruner {
         }
         true
     }
+
+    /// Batched last-row form of [`Self::viable`]: `out[sym]` is what
+    /// `viable(counts + 1×sym, duration + weight(sym), 0)` returns, for
+    /// every symbol `0..=n` at once. The missing-element scan over the
+    /// base counts is hoisted out of the per-symbol loop — the exact
+    /// search calls this once per sibling row instead of `viable` once
+    /// per leaf. Pinned equal to the per-symbol calls by test.
+    pub fn viable_last_row(&self, counts: &[u64], duration: Time, out: &mut Vec<bool>) {
+        let n = self.n_symbols();
+        out.clear();
+        let mut missing = 0u64;
+        for &c in &counts[1..=n] {
+            if c == 0 {
+                missing += 1;
+            }
+        }
+        'sym: for sym in 0..=n {
+            // with zero slots remaining, the completed candidate must
+            // contain every used element: placing `sym` can cover at
+            // most one missing element (itself)
+            let still_missing = missing - u64::from(sym >= 1 && counts[sym] == 0);
+            if still_missing > 0 {
+                out.push(false);
+                continue;
+            }
+            let t_min = duration + self.weight[sym];
+            for (s, &d) in self.tightest_async.iter().enumerate().skip(1) {
+                if d == Time::MAX {
+                    continue;
+                }
+                let c = counts[s] + u64::from(s == sym);
+                let m_max = c + u64::from(c == 0);
+                let gap_lb = t_min.div_ceil(m_max);
+                if gap_lb + self.weight[s] - 1 > d {
+                    out.push(false);
+                    continue 'sym;
+                }
+            }
+            out.push(true);
+        }
+    }
 }
 
 /// The deadline-independent part of a [`PrefixPruner`]: per-symbol
@@ -528,5 +569,52 @@ mod tests {
         // with 3 slots a second `a` fits: T_min = 1+5+2 = 8, m_max(a) =
         // 1+3−1 = 3 → ⌈8/3⌉ = 3 ≤ 3: viable
         assert!(p.viable(&[0, 1, 0], 1, 3));
+    }
+
+    /// `viable_last_row` is pinned to the per-symbol `viable` calls it
+    /// batches: for every small count vector and duration, `out[sym]`
+    /// must equal `viable(counts + 1×sym, duration + weight(sym), 0)`.
+    #[test]
+    fn viable_last_row_matches_per_symbol_viable() {
+        let (mok, _) = crate::mok_example::default_model();
+        let tight = single_element_model(1, &[2]);
+        for m in [&mok, &tight] {
+            let used = used_elements(m);
+            let p = PrefixPruner::new(m, &used).unwrap();
+            let n = p.n_symbols();
+            let mut counts = vec![0u64; n + 1];
+            let mut out = Vec::new();
+            let mut bumped = vec![0u64; n + 1];
+            loop {
+                let duration: Time = (0..=n).map(|s| counts[s] * p.weight(s)).sum();
+                for extra in [0, 1, 7] {
+                    p.viable_last_row(&counts, duration + extra, &mut out);
+                    assert_eq!(out.len(), n + 1);
+                    for sym in 0..=n {
+                        bumped.copy_from_slice(&counts);
+                        bumped[sym] += 1;
+                        let want = p.viable(&bumped, duration + extra + p.weight(sym), 0);
+                        assert_eq!(
+                            out[sym],
+                            want,
+                            "counts={counts:?} duration={} sym={sym}",
+                            duration + extra
+                        );
+                    }
+                }
+                let mut k = 0;
+                while k <= n {
+                    counts[k] += 1;
+                    if counts[k] <= 2 {
+                        break;
+                    }
+                    counts[k] = 0;
+                    k += 1;
+                }
+                if k > n {
+                    break;
+                }
+            }
+        }
     }
 }

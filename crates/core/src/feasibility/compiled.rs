@@ -66,7 +66,11 @@ use crate::constraint::ConstraintKind;
 use crate::error::ModelError;
 use crate::model::Model;
 use crate::schedule::Action;
-use crate::time::{lcm, Time};
+use crate::time::{checked_lcm, gcd, Time};
+
+/// Maximum lane width of [`CompiledChecker::check_batch`] — one lane
+/// per bit of the `u64` alive mask.
+pub const MAX_BATCH: usize = 64;
 
 /// Coverage bit for a dense element index (indices ≥ 64 overflow to a
 /// slow-path list; models that large are far beyond exact-search reach,
@@ -109,6 +113,10 @@ struct CompiledConstraint {
     required_mask: u64,
     /// Required dense indices ≥ 64 (checked against the index directly).
     required_overflow: Vec<u32>,
+    /// True when the task graph is a simple chain in topo order (op `i`'s
+    /// only predecessor is op `i − 1`). Chains admit the batched greedy
+    /// window sweep; anything else falls back to the window DFS.
+    is_chain: bool,
 }
 
 impl CompiledConstraint {
@@ -160,6 +168,15 @@ impl CompiledConstraint {
             }
             same_off.push(same.len() as u32);
         }
+        let is_chain = (0..n).all(|i| {
+            let lo = pred_off[i] as usize;
+            let hi = pred_off[i + 1] as usize;
+            if i == 0 {
+                lo == hi
+            } else {
+                hi - lo == 1 && preds[lo] as usize == i - 1
+            }
+        });
         Ok(CompiledConstraint {
             ix,
             deadline: c.deadline,
@@ -173,6 +190,7 @@ impl CompiledConstraint {
             same,
             required_mask,
             required_overflow,
+            is_chain,
         })
     }
 
@@ -191,6 +209,23 @@ struct ScratchArena {
     chosen: Vec<u64>,
     /// Finish tick of the chosen instance per topo position.
     finish: Vec<Time>,
+    /// Monotone `(rep, slot)` instance cursor per chain depth for the
+    /// batched ascending window sweep.
+    cursors: Vec<(Time, usize)>,
+}
+
+/// One fold class of [`CompiledChecker::check_batch`] lanes under a
+/// single constraint: all alive lanes whose schedule period equals
+/// `period` and whose tail symbol is the same element *as seen by that
+/// constraint* (`rel = None` when the tail element is not one of the
+/// constraint's op elements — such a tail is invisible to its window
+/// search). Lanes in one group see identical instance sets, so one
+/// window evaluation verdicts every member.
+#[derive(Debug, Clone)]
+struct LaneGroup {
+    period: Time,
+    rel: Option<usize>,
+    members: u64,
 }
 
 /// Compiled yes/no feasibility checker — the exact search's default
@@ -227,12 +262,16 @@ pub struct CompiledChecker {
     /// Coverage bitset of elements with ≥ 1 instance in `cur`.
     present_mask: u64,
     scratch: ScratchArena,
+    /// Reusable lane-group table for [`Self::check_batch`].
+    groups: Vec<LaneGroup>,
 }
 
 impl CompiledChecker {
-    /// Compiles `model` into flat check tables. Fails only if a
-    /// constraint references an element the communication graph lacks
-    /// (impossible for validated models).
+    /// Compiles `model` into flat check tables. Fails if a constraint
+    /// references an element the communication graph lacks (impossible
+    /// for validated models) or the joint hyperperiod of the periodic
+    /// constraints overflows `u64` — a saturated lcm would silently
+    /// shrink every window grid, so it is refused up front.
     pub fn new(model: &Model) -> Result<Self, ModelError> {
         let comm = model.comm();
         let n_dense = comm.element_ids().map(|e| e.index() + 1).max().unwrap_or(0);
@@ -251,7 +290,8 @@ impl CompiledChecker {
             match c.kind {
                 ConstraintKind::Asynchronous => asyn.push(cc),
                 ConstraintKind::Periodic => {
-                    periodic_lcm = lcm(periodic_lcm, c.period);
+                    periodic_lcm = checked_lcm(periodic_lcm, c.period)
+                        .ok_or(ModelError::HyperperiodOverflow)?;
                     max_periodic_deadline = max_periodic_deadline.max(c.deadline);
                     periodic.push(cc);
                 }
@@ -271,7 +311,9 @@ impl CompiledChecker {
             scratch: ScratchArena {
                 chosen: vec![0; max_ops],
                 finish: vec![0; max_ops],
+                cursors: vec![(0, 0); max_ops],
             },
+            groups: Vec::new(),
         })
     }
 
@@ -348,7 +390,7 @@ impl CompiledChecker {
             if !covered(cc, self.present_mask, &self.starts) {
                 return Ok(false);
             }
-            let horizon = cc.reps as Time * period;
+            let horizon = checked_horizon(cc.reps as Time, period)?;
             for s in 0..period {
                 match window_completion(cc, &self.starts, period, s, horizon, &mut self.scratch) {
                     Some(done) if done - s <= cc.deadline => {}
@@ -357,9 +399,8 @@ impl CompiledChecker {
             }
         }
         if !self.periodic.is_empty() {
-            let joint = lcm(period, self.periodic_lcm);
-            let reps = (joint + self.max_periodic_deadline) / period + 2;
-            let horizon = reps * period;
+            let (joint, horizon) =
+                periodic_grid(period, self.periodic_lcm, self.max_periodic_deadline)?;
             for cc in &self.periodic {
                 if !covered(cc, self.present_mask, &self.starts) {
                     return Ok(false);
@@ -406,7 +447,7 @@ impl CompiledChecker {
             // some op's element never runs: every window start fails
             return Ok(None);
         }
-        let horizon = cc.reps as Time * period;
+        let horizon = checked_horizon(cc.reps as Time, period)?;
         let mut worst: Time = 0;
         for s in 0..period {
             match window_completion(cc, &self.starts, period, s, horizon, &mut self.scratch) {
@@ -435,13 +476,13 @@ impl CompiledChecker {
             .iter()
             .find(|c| c.ix == ix)
             .expect("periodic constraint index");
-        let joint = lcm(period, self.periodic_lcm);
+        let joint =
+            checked_lcm(period, self.periodic_lcm).ok_or(ModelError::HyperperiodOverflow)?;
         let n_windows = joint / cc.period;
         if !covered(cc, self.present_mask, &self.starts) {
             return Ok((n_windows, None));
         }
-        let reps = (joint + self.max_periodic_deadline) / period + 2;
-        let horizon = reps * period;
+        let (_, horizon) = periodic_grid(period, self.periodic_lcm, self.max_periodic_deadline)?;
         let mut unserved = 0u64;
         let mut worst: Option<Time> = None;
         for k in 0..n_windows {
@@ -456,6 +497,187 @@ impl CompiledChecker {
         }
         Ok((unserved, worst))
     }
+
+    /// Verdicts `check(prefix ++ [tail])` for every tail in one pass,
+    /// writing one `Result` per lane into `out` (same order as `tails`).
+    /// Each lane's entry is exactly what the scalar [`Self::check`]
+    /// would return for that full candidate — verdicts, errors, and
+    /// error precedence included.
+    ///
+    /// The kernel syncs the shared prefix once, then drives all lanes
+    /// through the constraint scan together: a `u64` alive mask tracks
+    /// lanes not yet verdicted, the coverage fold kills uncovered lanes
+    /// with count-trailing-zeros scans, and the surviving lanes fold
+    /// into [`LaneGroup`]s — lanes whose `(schedule period, relevant
+    /// tail element)` key matches see *identical* instance sets under
+    /// the constraint, so one window evaluation per group verdicts
+    /// every member. Chain-shaped constraints evaluate all their
+    /// windows in a single ascending greedy sweep with monotone
+    /// instance cursors (amortized O(1) per window per op); periodic
+    /// constraints additionally reduce their window set to the distinct
+    /// start residues mod the lane period. Non-chain graphs fall back
+    /// to the per-window DFS, still amortized across the group.
+    ///
+    /// Panics if `tails` is empty or wider than [`MAX_BATCH`].
+    pub fn check_batch(
+        &mut self,
+        prefix: &[Action],
+        tails: &[Action],
+        out: &mut Vec<Result<bool, ModelError>>,
+    ) {
+        out.clear();
+        let width = tails.len();
+        assert!(
+            (1..=MAX_BATCH).contains(&width),
+            "check_batch width must be 1..={MAX_BATCH}, got {width}"
+        );
+        let dp = match self.sync(prefix) {
+            Ok(d) => d,
+            Err(e) => {
+                // the offending prefix symbol fails every lane's scalar
+                // check identically
+                out.extend(std::iter::repeat_with(|| Err(e.clone())).take(width));
+                return;
+            }
+        };
+        // per-lane tail tables; a lane's period is dp + w(tail) ≥ 1, so
+        // EmptySchedule can never fire here
+        let mut lane_period = [0 as Time; MAX_BATCH];
+        let mut lane_dense = [usize::MAX; MAX_BATCH];
+        let mut alive: u64 = 0;
+        for (i, &a) in tails.iter().enumerate() {
+            let w = match a {
+                Action::Idle => 1,
+                Action::Run(e) => match self.wcet.get(e.index()).copied().flatten() {
+                    None => {
+                        out.push(Err(ModelError::UnknownElement(e)));
+                        continue;
+                    }
+                    Some(0) => {
+                        out.push(Err(ModelError::ZeroWeightScheduled(e)));
+                        continue;
+                    }
+                    Some(w) => {
+                        lane_dense[i] = e.index();
+                        w
+                    }
+                },
+            };
+            lane_period[i] = dp + w;
+            alive |= 1u64 << i;
+            out.push(Ok(false)); // placeholder; survivors flip at the end
+        }
+
+        let mut groups = std::mem::take(&mut self.groups);
+        for cc in &self.asyn {
+            if alive == 0 {
+                break;
+            }
+            group_lanes(
+                cc,
+                &mut alive,
+                self.present_mask,
+                &self.starts,
+                &lane_period,
+                &lane_dense,
+                &mut groups,
+            );
+            for pi in 0..groups.len() {
+                let period = groups[pi].period;
+                if groups[..pi].iter().any(|g| g.period == period) {
+                    continue; // period cluster already evaluated
+                }
+                match checked_horizon(cc.reps as Time, period) {
+                    Ok(horizon) => eval_period_cluster(
+                        cc,
+                        &mut self.starts,
+                        &mut self.scratch,
+                        dp,
+                        &groups,
+                        period,
+                        1,
+                        horizon,
+                        &mut alive,
+                    ),
+                    Err(e) => {
+                        for g in groups.iter().filter(|g| g.period == period) {
+                            kill_with(out, &mut alive, g.members, &e);
+                        }
+                    }
+                }
+            }
+        }
+
+        if alive != 0 && !self.periodic.is_empty() {
+            // the scalar path computes the joint grid *before* scanning
+            // periodic coverage, so an overflowing grid errors even on
+            // lanes that would fail coverage — mirror that order here
+            let mut lane_horizon = [0 as Time; MAX_BATCH];
+            let mut rest = alive;
+            while rest != 0 {
+                let i = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                match periodic_grid(
+                    lane_period[i],
+                    self.periodic_lcm,
+                    self.max_periodic_deadline,
+                ) {
+                    Ok((_, h)) => lane_horizon[i] = h,
+                    Err(e) => {
+                        out[i] = Err(e);
+                        alive &= !(1u64 << i);
+                    }
+                }
+            }
+            for cc in &self.periodic {
+                if alive == 0 {
+                    break;
+                }
+                group_lanes(
+                    cc,
+                    &mut alive,
+                    self.present_mask,
+                    &self.starts,
+                    &lane_period,
+                    &lane_dense,
+                    &mut groups,
+                );
+                for pi in 0..groups.len() {
+                    let period = groups[pi].period;
+                    if groups[..pi].iter().any(|g| g.period == period) {
+                        continue; // period cluster already evaluated
+                    }
+                    // a periodic window's verdict depends only on its
+                    // start residue mod the lane period: instance sets
+                    // are shift-invariant by one period, and the
+                    // analysis horizon always clears the latest window
+                    // plus its deadline (see DESIGN.md §12) — so only
+                    // the gcd-many distinct residues are evaluated
+                    let horizon = lane_horizon[groups[pi].members.trailing_zeros() as usize];
+                    let step = gcd(cc.period, period);
+                    eval_period_cluster(
+                        cc,
+                        &mut self.starts,
+                        &mut self.scratch,
+                        dp,
+                        &groups,
+                        period,
+                        step,
+                        horizon,
+                        &mut alive,
+                    );
+                }
+            }
+        }
+
+        let mut rest = alive;
+        while rest != 0 {
+            let i = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            out[i] = Ok(true);
+        }
+        self.groups = groups;
+    }
 }
 
 impl CandidateEval for CompiledChecker {
@@ -463,6 +685,16 @@ impl CandidateEval for CompiledChecker {
     /// compiled tables are authoritative.
     fn check(&mut self, _model: &Model, actions: &[Action]) -> Result<bool, ModelError> {
         CompiledChecker::check(self, actions)
+    }
+
+    fn check_batch(
+        &mut self,
+        _model: &Model,
+        prefix: &[Action],
+        tails: &[Action],
+        out: &mut Vec<Result<bool, ModelError>>,
+    ) {
+        CompiledChecker::check_batch(self, prefix, tails, out)
     }
 }
 
@@ -477,6 +709,333 @@ fn covered(cc: &CompiledConstraint, present_mask: u64, starts: &[Vec<Time>]) -> 
             .required_overflow
             .iter()
             .all(|&e| !starts[e as usize].is_empty())
+}
+
+/// Per-lane coverage for the batch kernel: the candidate is the synced
+/// prefix *plus* the lane's tail, so a required element counts as
+/// present when the prefix provides it **or** the tail is that very
+/// element — including dense indices ≥ 64, where `mask_bit` is 0 and
+/// only the overflow list (with the tail compared directly) decides.
+#[inline]
+fn lane_covered(
+    cc: &CompiledConstraint,
+    present_mask: u64,
+    starts: &[Vec<Time>],
+    tail_dense: usize,
+) -> bool {
+    let tail_bit = if tail_dense == usize::MAX {
+        0
+    } else {
+        mask_bit(tail_dense)
+    };
+    cc.required_mask & !(present_mask | tail_bit) == 0
+        && cc
+            .required_overflow
+            .iter()
+            .all(|&e| !starts[e as usize].is_empty() || e as usize == tail_dense)
+}
+
+/// True when the constraint's ops execute the dense element — i.e. the
+/// element is visible to the constraint's window search.
+#[inline]
+fn constraint_uses(cc: &CompiledConstraint, dense: usize) -> bool {
+    if dense < 64 {
+        cc.required_mask & mask_bit(dense) != 0
+    } else {
+        cc.required_overflow.contains(&(dense as u32))
+    }
+}
+
+/// `reps · period` with headroom validated: the window kernels may
+/// probe one instance past the horizon (`start < horizon + period`,
+/// `fin ≤ start + period` since every instance fits inside one period),
+/// so `horizon + 2·period` must be representable or the instance
+/// arithmetic in [`leaf_dfs`] / [`chain_sweep_ok`] — including
+/// `rep · m + slot` with `rep ≤ reps + 1`, `m ≤ period` — could wrap
+/// silently on high-period models.
+fn checked_horizon(reps: Time, period: Time) -> Result<Time, ModelError> {
+    let horizon = reps
+        .checked_mul(period)
+        .ok_or(ModelError::HyperperiodOverflow)?;
+    horizon
+        .checked_add(period)
+        .and_then(|h| h.checked_add(period))
+        .ok_or(ModelError::HyperperiodOverflow)?;
+    Ok(horizon)
+}
+
+/// `(joint hyperperiod, analysis horizon)` of the periodic window grid
+/// for a candidate of the given period — the overflow-checked form of
+/// `joint = lcm(period, periodic_lcm)`,
+/// `horizon = ((joint + max_deadline) / period + 2) · period`.
+fn periodic_grid(
+    period: Time,
+    periodic_lcm: Time,
+    max_periodic_deadline: Time,
+) -> Result<(Time, Time), ModelError> {
+    let joint = checked_lcm(period, periodic_lcm).ok_or(ModelError::HyperperiodOverflow)?;
+    let reps = joint
+        .checked_add(max_periodic_deadline)
+        .ok_or(ModelError::HyperperiodOverflow)?
+        / period
+        + 2;
+    Ok((joint, checked_horizon(reps, period)?))
+}
+
+/// Folds the alive lanes into evaluation groups for one constraint.
+/// Lanes whose candidate does not cover the constraint are killed in
+/// the same pass (their verdict stays the scalar's `Ok(false)`
+/// placeholder), so the caller needs no separate coverage scan.
+fn group_lanes(
+    cc: &CompiledConstraint,
+    alive: &mut u64,
+    present_mask: u64,
+    starts: &[Vec<Time>],
+    lane_period: &[Time; MAX_BATCH],
+    lane_dense: &[usize; MAX_BATCH],
+    groups: &mut Vec<LaneGroup>,
+) {
+    groups.clear();
+    let mut rest = *alive;
+    while rest != 0 {
+        let i = rest.trailing_zeros() as usize;
+        rest &= rest - 1;
+        if !lane_covered(cc, present_mask, starts, lane_dense[i]) {
+            *alive &= !(1u64 << i);
+            continue;
+        }
+        let rel = (lane_dense[i] != usize::MAX && constraint_uses(cc, lane_dense[i]))
+            .then_some(lane_dense[i]);
+        let period = lane_period[i];
+        match groups
+            .iter_mut()
+            .find(|g| g.period == period && g.rel == rel)
+        {
+            Some(g) => g.members |= 1u64 << i,
+            None => groups.push(LaneGroup {
+                period,
+                rel,
+                members: 1u64 << i,
+            }),
+        }
+    }
+}
+
+/// Evaluates every group of one `(constraint, schedule period)` cluster,
+/// exploiting instance-set monotonicity in both directions. A rel group
+/// only *adds* the tail's instance at `dp` to the prefix-only instance
+/// sets, and adding instances can only lower a window's minimal
+/// completion. So the cluster is bracketed:
+///
+/// - **base** (prefix-only — the `rel == None` group when present, else
+///   a synthetic probe): a subset of every rel group. If it passes,
+///   every group in the cluster passes with zero further work; if it
+///   fails at window `s`, every earlier window passes for every group,
+///   so later scans resume at `s`.
+/// - **union** (every rel tail's instance pushed at once): a superset
+///   of every rel group. If it fails, every rel group fails — one short
+///   fail-fast sweep verdicts the whole cluster, the common case for
+///   infeasible frontiers.
+///
+/// Only when the bracket straddles (base fails, union passes) are the
+/// rel groups evaluated individually, each resuming at the base's
+/// failing window. Groups that fail are cleared from `alive`;
+/// verdict-false lanes keep their `Ok(false)` placeholder.
+#[allow(clippy::too_many_arguments)]
+fn eval_period_cluster(
+    cc: &CompiledConstraint,
+    starts: &mut [Vec<Time>],
+    scratch: &mut ScratchArena,
+    dp: Time,
+    groups: &[LaneGroup],
+    period: Time,
+    step: Time,
+    horizon: Time,
+    alive: &mut u64,
+) {
+    let base_members = groups
+        .iter()
+        .find(|g| g.period == period && g.rel.is_none())
+        .map(|g| g.members);
+    let n_rel = groups
+        .iter()
+        .filter(|g| g.period == period && g.rel.is_some())
+        .count();
+
+    let base = if base_members.is_some() || n_rel >= 2 {
+        let r = windows_from(cc, starts, period, step, 0, horizon, scratch);
+        if let (Err(_), Some(members)) = (&r, base_members) {
+            *alive &= !members;
+        }
+        r
+    } else {
+        Err(0) // lone rel group: no baseline to share, scan from 0
+    };
+    let Err(from) = base else {
+        return; // base passed → every superset instance set passes
+    };
+
+    if n_rel >= 2 {
+        for g in groups.iter().filter(|g| g.period == period) {
+            if let Some(d) = g.rel {
+                starts[d].push(dp);
+            }
+        }
+        let union_ok = windows_from(cc, starts, period, step, from, horizon, scratch).is_ok();
+        for g in groups.iter().filter(|g| g.period == period) {
+            if let Some(d) = g.rel {
+                starts[d].pop();
+            }
+        }
+        if !union_ok {
+            for g in groups.iter().filter(|g| g.period == period) {
+                if g.rel.is_some() {
+                    *alive &= !g.members;
+                }
+            }
+            return;
+        }
+    }
+
+    for g in groups.iter().filter(|g| g.period == period) {
+        let Some(d) = g.rel else { continue };
+        starts[d].push(dp);
+        let ok = windows_from(cc, starts, period, step, from, horizon, scratch).is_ok();
+        starts[d].pop();
+        if !ok {
+            *alive &= !g.members;
+        }
+    }
+}
+
+/// Marks every member lane's verdict as `err` and clears it from the
+/// alive mask.
+fn kill_with(
+    out: &mut [Result<bool, ModelError>],
+    alive: &mut u64,
+    members: u64,
+    err: &ModelError,
+) {
+    let mut rest = members;
+    while rest != 0 {
+        let i = rest.trailing_zeros() as usize;
+        rest &= rest - 1;
+        out[i] = Err(err.clone());
+    }
+    *alive &= !members;
+}
+
+/// Scans the windows starting at `from, from+step, … < period`:
+/// `Ok(())` when every one admits a task-graph completion within the
+/// constraint's deadline under `horizon`, `Err(s)` with the first
+/// failing window start otherwise. Callers must already know the
+/// windows before `from` pass — the group evaluation in `check_batch`
+/// uses this to resume a superset-instance group at the exact window
+/// where its subset baseline failed. Chain graphs run one ascending
+/// greedy sweep; general graphs run the exact window DFS per window
+/// start.
+fn windows_from(
+    cc: &CompiledConstraint,
+    starts: &[Vec<Time>],
+    period: Time,
+    step: Time,
+    from: Time,
+    horizon: Time,
+    scratch: &mut ScratchArena,
+) -> Result<(), Time> {
+    if cc.is_chain {
+        return chain_sweep(
+            cc,
+            starts,
+            period,
+            step,
+            from,
+            horizon,
+            &mut scratch.cursors,
+        );
+    }
+    let mut s: Time = from;
+    while s < period {
+        match window_completion(cc, starts, period, s, horizon, scratch) {
+            Some(done) if done - s <= cc.deadline => {}
+            _ => return Err(s),
+        }
+        s += step;
+    }
+    Ok(())
+}
+
+/// All windows of a chain constraint in one ascending sweep.
+///
+/// For a chain, the earliest completion from window start `s` is the
+/// greedy assignment: each op takes the earliest instance of its
+/// element starting at or after the previous op's finish (instances
+/// are distinct automatically — chosen starts strictly increase along
+/// the chain — and if the greedy choice overruns the horizon every
+/// assignment does, matching the DFS's `None`). Because the greedy
+/// start at each depth is monotone in `s`, one `(rep, slot)` cursor
+/// per depth only ever advances across the ascending window starts:
+/// the whole sweep costs O(instances + windows·ops) instead of a DFS
+/// per window. A window fails as soon as any op's greedy finish
+/// overruns the horizon or already exceeds the deadline — the final
+/// completion can only be later.
+///
+/// Windows are additionally *skipped* exactly: the chain's completion
+/// depends on `s` only through the first op's chosen instance (every
+/// later pick chases the previous finish, not `s`), so until `s`
+/// passes that instance's start the picks — and the finish — are
+/// unchanged while the latency `fin - s` only shrinks. Every grid
+/// window in `(s, first_pick]` therefore passes whenever `s` does, and
+/// the sweep jumps straight to the first grid window past the pick:
+/// O(instances) evaluated windows instead of O(period / step), with
+/// the identical verdict and identical first failing window.
+fn chain_sweep(
+    cc: &CompiledConstraint,
+    starts: &[Vec<Time>],
+    period: Time,
+    step: Time,
+    from: Time,
+    horizon: Time,
+    cursors: &mut [(Time, usize)],
+) -> Result<(), Time> {
+    let k = cc.op_count();
+    for c in cursors[..k].iter_mut() {
+        *c = (0, 0);
+    }
+    let mut s: Time = from;
+    while s < period {
+        let mut t = s;
+        let mut first_pick = s;
+        for d in 0..k {
+            let occ = &starts[cc.op_elem[d] as usize];
+            let m = occ.len();
+            if m == 0 {
+                return Err(s);
+            }
+            let (mut rep, mut slot) = cursors[d];
+            let mut start = occ[slot] + rep * period;
+            while start < t {
+                slot += 1;
+                if slot == m {
+                    slot = 0;
+                    rep += 1;
+                }
+                start = occ[slot] + rep * period;
+            }
+            cursors[d] = (rep, slot);
+            if d == 0 {
+                first_pick = start;
+            }
+            let fin = start + cc.op_wcet[d];
+            if fin > horizon || fin - s > cc.deadline {
+                return Err(s);
+            }
+            t = fin;
+        }
+        debug_assert!(t - s <= cc.deadline);
+        s += ((first_pick - s) / step + 1) * step;
+    }
+    Ok(())
 }
 
 /// Earliest completion of the compiled task graph when every instance
@@ -562,6 +1121,8 @@ fn leaf_dfs(
             // instance also overruns the horizon
             break;
         }
+        // in-bounds by the entry points' `checked_horizon` validation:
+        // rep ≤ reps + 1 and m ≤ period, so rep·m ≤ horizon + period
         let inst = rep * m + slot as u64;
         // per-element distinctness: no earlier op on the same element
         // already uses this instance
@@ -742,6 +1303,221 @@ mod tests {
         let mut c = CompiledChecker::new(m).unwrap();
         c.sync(actions).unwrap();
         (c.starts.clone(), c.duration, c.present_mask)
+    }
+
+    /// Batched verdicts are bit-identical to the scalar path: every
+    /// prefix of length 0..=3 over the alphabet with the full alphabet
+    /// as the lane set, on the *same* checker instance so the
+    /// incremental index must survive alternating batch/scalar use.
+    #[test]
+    fn check_batch_matches_scalar_exhaustively() {
+        let (m, symbols) = mixed_model();
+        let mut batched = CompiledChecker::new(&m).unwrap();
+        let mut scalar = CompiledChecker::new(&m).unwrap();
+        let mut out = Vec::new();
+        let mut buf = Vec::new();
+        for plen in 0..=3usize {
+            let mut idx = vec![0usize; plen];
+            loop {
+                let prefix: Vec<Action> = idx.iter().map(|&i| symbols[i]).collect();
+                batched.check_batch(&prefix, &symbols, &mut out);
+                assert_eq!(out.len(), symbols.len());
+                for (lane, &tail) in symbols.iter().enumerate() {
+                    buf.clear();
+                    buf.extend_from_slice(&prefix);
+                    buf.push(tail);
+                    match (&out[lane], scalar.check(&buf)) {
+                        (Ok(a), Ok(b)) => assert_eq!(*a, b, "{prefix:?} + {tail:?}"),
+                        (Err(a), Err(b)) => assert_eq!(*a, b, "{prefix:?} + {tail:?}"),
+                        (got, want) => {
+                            panic!("divergence on {prefix:?} + {tail:?}: {got:?} vs {want:?}")
+                        }
+                    }
+                }
+                let mut k = 0;
+                while k < plen {
+                    idx[k] += 1;
+                    if idx[k] < symbols.len() {
+                        break;
+                    }
+                    idx[k] = 0;
+                    k += 1;
+                }
+                if k == plen {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// A 63-element model saturates the lane mask: one full-width batch
+    /// (63 runs + idle = 64 lanes) verdicts identically to the scalar
+    /// path, including lanes whose tail element no constraint uses.
+    #[test]
+    fn full_width_batch_matches_scalar() {
+        let mut b = ModelBuilder::new();
+        let els: Vec<ElementId> = (0..63).map(|i| b.element(&format!("e{i}"), 1)).collect();
+        b.channel(els[0], els[1]);
+        b.channel(els[1], els[62]);
+        let tg = TaskGraphBuilder::new()
+            .op("x", els[0])
+            .op("y", els[1])
+            .op("z", els[62])
+            .edge("x", "y")
+            .edge("y", "z")
+            .build()
+            .unwrap();
+        b.asynchronous("chain", tg, 9, 9);
+        let single = TaskGraphBuilder::new().op("y", els[1]).build().unwrap();
+        b.periodic("beat", single, 4, 3);
+        let m = b.build().unwrap();
+
+        let mut tails: Vec<Action> = els.iter().map(|&e| Action::Run(e)).collect();
+        tails.push(Action::Idle);
+        assert_eq!(tails.len(), MAX_BATCH);
+
+        let mut batched = CompiledChecker::new(&m).unwrap();
+        let mut scalar = CompiledChecker::new(&m).unwrap();
+        let mut out = Vec::new();
+        let mut buf = Vec::new();
+        for prefix in [
+            vec![],
+            vec![Action::Run(els[0])],
+            vec![Action::Run(els[0]), Action::Run(els[1])],
+            vec![
+                Action::Run(els[1]),
+                Action::Run(els[0]),
+                Action::Run(els[62]),
+            ],
+        ] {
+            batched.check_batch(&prefix, &tails, &mut out);
+            assert_eq!(out.len(), MAX_BATCH);
+            for (lane, &tail) in tails.iter().enumerate() {
+                buf.clear();
+                buf.extend_from_slice(&prefix);
+                buf.push(tail);
+                assert_eq!(
+                    out[lane].clone().unwrap(),
+                    scalar.check(&buf).unwrap(),
+                    "{prefix:?} + {tail:?}"
+                );
+            }
+        }
+    }
+
+    /// Regression for the >64-dense-element edge: padding elements
+    /// claim every `required_mask` bit, forcing the constraint's own
+    /// elements into the overflow list. `covered` (scalar) and
+    /// `lane_covered` (batch, where the tail is the *only* instance of
+    /// an overflow element) must both stay exact, not conservative.
+    #[test]
+    fn overflow_elements_past_64_stay_exact() {
+        let mut b = ModelBuilder::new();
+        let pad: Vec<ElementId> = (0..66).map(|i| b.element(&format!("pad{i}"), 1)).collect();
+        let x = b.element("x", 1);
+        let y = b.element("y", 2);
+        assert!(x.index() >= 64 && y.index() >= 64);
+        b.channel(x, y);
+        let tg = TaskGraphBuilder::new()
+            .op("x", x)
+            .op("y", y)
+            .edge("x", "y")
+            .build()
+            .unwrap();
+        b.asynchronous("late", tg, 8, 8);
+        let m = b.build().unwrap();
+
+        let mut cache = FeasibilityCache::new(&m);
+        let mut compiled = CompiledChecker::new(&m).unwrap();
+        let candidates = [
+            vec![Action::Run(x)],
+            vec![Action::Run(x), Action::Run(y)],
+            vec![Action::Run(y), Action::Run(x)],
+            vec![Action::Run(pad[0]), Action::Run(x), Action::Run(y)],
+            vec![Action::Run(pad[65]), Action::Run(pad[0])],
+        ];
+        for actions in &candidates {
+            assert_eq!(
+                compiled.check(actions).unwrap(),
+                cache.check(&m, actions).unwrap(),
+                "{actions:?}"
+            );
+        }
+
+        // batch lanes where the tail supplies the missing overflow
+        // element — `lane_covered` must see it even though `starts[y]`
+        // is still empty when coverage is folded
+        let mut scalar = CompiledChecker::new(&m).unwrap();
+        let prefix = vec![Action::Run(x)];
+        let tails = vec![
+            Action::Idle,
+            Action::Run(x),
+            Action::Run(y),
+            Action::Run(pad[3]),
+        ];
+        let mut out = Vec::new();
+        compiled.check_batch(&prefix, &tails, &mut out);
+        let mut buf = Vec::new();
+        for (lane, &tail) in tails.iter().enumerate() {
+            buf.clear();
+            buf.extend_from_slice(&prefix);
+            buf.push(tail);
+            assert_eq!(
+                out[lane].clone().unwrap(),
+                scalar.check(&buf).unwrap(),
+                "{prefix:?} + {tail:?}"
+            );
+        }
+        // the y-tail lane is the interesting one: it must pass coverage
+        // and come back feasible exactly like the cache says
+        assert_eq!(
+            out[2].clone().unwrap(),
+            cache.check(&m, &[Action::Run(x), Action::Run(y)]).unwrap()
+        );
+    }
+
+    /// Instance-index arithmetic on huge-period candidates surfaces
+    /// `HyperperiodOverflow` instead of wrapping silently.
+    #[test]
+    fn huge_periods_error_instead_of_wrapping() {
+        // reps for a single-op async constraint is 2·(1+1)+1 = 5, so a
+        // candidate period near u64::MAX/4 wraps `reps · period`
+        let huge_w = u64::MAX / 4;
+        let mut b = ModelBuilder::new();
+        let e = b.element("e", huge_w);
+        let tg = TaskGraphBuilder::new().op("x", e).build().unwrap();
+        b.asynchronous("c", tg, huge_w, huge_w);
+        let m = b.build().unwrap();
+        let mut compiled = CompiledChecker::new(&m).unwrap();
+        let actions = vec![Action::Run(e)];
+        assert!(matches!(
+            compiled.check(&actions),
+            Err(ModelError::HyperperiodOverflow)
+        ));
+        assert!(matches!(
+            compiled.async_latency(&actions, 0),
+            Err(ModelError::HyperperiodOverflow)
+        ));
+        // the batched path surfaces the same error on the lane
+        let mut out = Vec::new();
+        compiled.check_batch(&[], &[Action::Run(e)], &mut out);
+        assert!(matches!(out[0], Err(ModelError::HyperperiodOverflow)));
+        // an error must not poison later checks
+        assert!(compiled.check(&[Action::Idle]).is_ok());
+
+        // coprime huge periodic periods overflow the joint lcm at build
+        let huge = 1u64 << 33;
+        let mut b = ModelBuilder::new();
+        let e = b.element("e", 1);
+        let t1 = TaskGraphBuilder::new().op("x", e).build().unwrap();
+        b.periodic("p1", t1, huge, huge);
+        let t2 = TaskGraphBuilder::new().op("y", e).build().unwrap();
+        b.periodic("p2", t2, huge + 1, huge + 1);
+        let m = b.build().unwrap();
+        assert!(matches!(
+            CompiledChecker::new(&m),
+            Err(ModelError::HyperperiodOverflow)
+        ));
     }
 
     proptest! {

@@ -53,6 +53,7 @@
 //! identical by construction.
 
 use super::bounds::PrefixPruner;
+use super::compiled::MAX_BATCH;
 use crate::error::ModelError;
 use crate::model::{ElementId, Model};
 use crate::schedule::{Action, FeasibilityCache, StaticSchedule};
@@ -273,6 +274,32 @@ impl SearchProgress {
 pub trait CandidateEval {
     /// True iff `actions` is a feasible schedule for `model`.
     fn check(&mut self, model: &Model, actions: &[Action]) -> Result<bool, ModelError>;
+
+    /// Verdicts `prefix ++ [tail]` for every tail, writing one `Result`
+    /// per lane into `out` (same order as `tails`). Each lane's entry
+    /// must be exactly what [`Self::check`] would return for that full
+    /// candidate — the search's last enumeration row relies on this to
+    /// batch sibling leaves without changing any observable outcome.
+    ///
+    /// The default evaluates lanes one by one through `check`, which is
+    /// bit-identical by construction; evaluators with a native batched
+    /// kernel ([`super::compiled::CompiledChecker`]) override it.
+    fn check_batch(
+        &mut self,
+        model: &Model,
+        prefix: &[Action],
+        tails: &[Action],
+        out: &mut Vec<Result<bool, ModelError>>,
+    ) {
+        out.clear();
+        let mut buf = Vec::with_capacity(prefix.len() + 1);
+        for &t in tails {
+            buf.clear();
+            buf.extend_from_slice(prefix);
+            buf.push(t);
+            out.push(self.check(model, &buf));
+        }
+    }
 }
 
 impl CandidateEval for FeasibilityCache {
@@ -517,6 +544,14 @@ struct Dfs<'a, 'b, 'm> {
     /// Leaf action buffer, reused across candidates (cloned only when a
     /// feasible schedule is found).
     actions_buf: Vec<Action>,
+    /// Last-row batching buffers, reused across sibling rows: per-symbol
+    /// viability, the surviving symbols, their tail actions, and the
+    /// per-lane verdicts (plus a per-chunk staging buffer).
+    row_viable: Vec<bool>,
+    row_syms: Vec<usize>,
+    row_tails: Vec<Action>,
+    row_out: Vec<Result<bool, ModelError>>,
+    row_chunk: Vec<Result<bool, ModelError>>,
 }
 
 impl Dfs<'_, '_, '_> {
@@ -615,6 +650,9 @@ impl Dfs<'_, '_, '_> {
         if self.cancelled(depth) {
             return Ok(SubtreeEnd::Cancelled);
         }
+        if depth + 1 == self.len {
+            return self.run_last_row(depth, period);
+        }
         let base = self.string[depth - period];
         for sym in base..=self.ctx.n() {
             let next_period = if sym == base { period } else { depth + 1 };
@@ -630,6 +668,97 @@ impl Dfs<'_, '_, '_> {
                 Ok(false) => self.unplace(sym),
             }
         }
+        Ok(SubtreeEnd::Done)
+    }
+
+    /// The last enumeration row, batched: a dry pass (no budget
+    /// charges) computes which symbols the scalar loop would evaluate —
+    /// the hoisted pruner bound ([`PrefixPruner::viable_last_row`])
+    /// plus the FKM necklace test — [`CandidateEval::check_batch`]
+    /// verdicts all survivors against the shared committed prefix, and
+    /// a replay pass re-applies the exact scalar charge/counter/outcome
+    /// sequence while consuming the precomputed lane verdicts. Lanes
+    /// evaluated beyond an early Found/Starved exit are wasted
+    /// speculation; budget draws, counters, and outcomes stay
+    /// bit-identical to the unbatched loop by construction.
+    fn run_last_row(&mut self, depth: usize, period: usize) -> Result<SubtreeEnd, ModelError> {
+        let base = self.string[depth - period];
+        let n = self.ctx.n();
+        self.ctx
+            .pruner
+            .viable_last_row(&self.counts, self.duration, &mut self.row_viable);
+        self.row_syms.clear();
+        self.row_tails.clear();
+        for sym in base..=n {
+            let next_period = if sym == base { period } else { depth + 1 };
+            if self.row_viable[sym] && self.len.is_multiple_of(next_period) {
+                self.row_syms.push(sym);
+                self.row_tails.push(self.ctx.action(sym));
+            }
+        }
+        self.actions_buf.clear();
+        for &s in &self.string[..depth] {
+            self.actions_buf.push(self.ctx.action(s));
+        }
+        self.row_out.clear();
+        for chunk in self.row_tails.chunks(MAX_BATCH) {
+            let leaf_start = if self.time_leaves {
+                Some(Instant::now())
+            } else {
+                None
+            };
+            self.cache.check_batch(
+                self.ctx.model,
+                &self.actions_buf,
+                chunk,
+                &mut self.row_chunk,
+            );
+            if let Some(t0) = leaf_start {
+                rtcg_obs::histogram!("search.leaf_eval_us", t0.elapsed().as_micros() as u64);
+                rtcg_obs::gauge!("search.leaf_batch_width", chunk.len() as u64);
+            }
+            self.row_out.append(&mut self.row_chunk);
+        }
+        let mut lane = 0usize;
+        for sym in base..=n {
+            let next_period = if sym == base { period } else { depth + 1 };
+            match self.place(depth, sym) {
+                Err(end) => return Ok(end),
+                Ok(false) => self.unplace(sym),
+                Ok(true) => {
+                    if !self.len.is_multiple_of(next_period) {
+                        // not a necklace: the scalar leaf prunes before
+                        // charging a candidate
+                        self.pruned += 1;
+                        self.unplace(sym);
+                        continue;
+                    }
+                    if !self.budget.charge() {
+                        // scalar shape: the leaf reports Starved and
+                        // the parent unplaces before propagating
+                        self.unplace(sym);
+                        return Ok(SubtreeEnd::Starved);
+                    }
+                    self.candidates += 1;
+                    debug_assert_eq!(self.row_syms[lane], sym, "dry pass / replay divergence");
+                    let verdict = std::mem::replace(&mut self.row_out[lane], Ok(false));
+                    lane += 1;
+                    match verdict {
+                        // scalar shape: a leaf error propagates via `?`
+                        // before the parent's unplace runs
+                        Err(e) => return Err(e),
+                        Ok(true) => {
+                            self.actions_buf.push(self.ctx.action(sym));
+                            let schedule = StaticSchedule::new(self.actions_buf.clone());
+                            self.unplace(sym);
+                            return Ok(SubtreeEnd::Found(schedule));
+                        }
+                        Ok(false) => self.unplace(sym),
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(lane, self.row_syms.len());
         Ok(SubtreeEnd::Done)
     }
 }
@@ -667,6 +796,11 @@ pub(crate) fn run_unit(
         candidates: 0,
         pruned: 0,
         actions_buf: Vec::with_capacity(len),
+        row_viable: Vec::new(),
+        row_syms: Vec::new(),
+        row_tails: Vec::new(),
+        row_out: Vec::new(),
+        row_chunk: Vec::new(),
     };
     let mut end = SubtreeEnd::Done;
     let mut period = 1usize;

@@ -22,6 +22,15 @@
 //! both counters are identical to [`super::exact::find_feasible`] by
 //! construction — races can only change how much speculative work is
 //! thrown away, never the answer.
+//!
+//! Workers inherit the sequential engine's leaf path wholesale: each
+//! unit's last enumeration row expands into a sibling lane batch,
+//! bounds it once through [`super::bounds::PrefixPruner`]'s hoisted
+//! last-row form, and verdicts the survivors through
+//! [`super::compiled::CompiledChecker::check_batch`] on the worker's
+//! own checker (see DESIGN.md §12). Batching changes per-worker leaf
+//! throughput only; the charge/counter replay above is already stated
+//! in terms of the scalar sequence it reproduces.
 
 use super::compiled::CompiledChecker;
 use super::exact::{

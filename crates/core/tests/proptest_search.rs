@@ -163,6 +163,62 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Batched sibling verdicts are bit-identical to the scalar path:
+    /// for a random prefix and a random lane set of width 1..=64 (tails
+    /// may repeat symbols, so full-width batches occur on tiny
+    /// alphabets), `check_batch` on a reused checker equals per-lane
+    /// scalar `check` on a fresh one — verdicts and errors both.
+    #[test]
+    fn check_batch_matches_scalar_on_random_batches(
+        (elems, chain_d, _) in model_spec(),
+        batches in prop::collection::vec(
+            (
+                prop::collection::vec(0usize..=3, 0..=5),
+                prop::collection::vec(0usize..=3, 1..=64),
+            ),
+            1..=6,
+        ),
+    ) {
+        let model = build_model(&elems, chain_d);
+        let used = rtcg_core::feasibility::used_elements(&model);
+        let sym = |s: usize| {
+            if s == 0 {
+                Action::Idle
+            } else {
+                Action::Run(used[(s - 1) % used.len()])
+            }
+        };
+        let mut batched = CompiledChecker::new(&model).unwrap();
+        let mut scalar = CompiledChecker::new(&model).unwrap();
+        let mut out = Vec::new();
+        let mut buf = Vec::new();
+        for (pfx, tls) in &batches {
+            let prefix: Vec<Action> = pfx.iter().map(|&s| sym(s)).collect();
+            let tails: Vec<Action> = tls.iter().map(|&s| sym(s)).collect();
+            CandidateEval::check_batch(&mut batched, &model, &prefix, &tails, &mut out);
+            prop_assert_eq!(out.len(), tails.len());
+            for (lane, &tail) in tails.iter().enumerate() {
+                buf.clear();
+                buf.extend_from_slice(&prefix);
+                buf.push(tail);
+                let want = scalar.check(&buf);
+                match (&out[lane], &want) {
+                    (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "{:?} + {:?}", prefix, tail),
+                    (Err(a), Err(b)) => prop_assert_eq!(a, b, "{:?} + {:?}", prefix, tail),
+                    (got, want) => prop_assert!(
+                        false,
+                        "divergence on {:?} + {:?}: {:?} vs {:?}",
+                        prefix, tail, got, want
+                    ),
+                }
+            }
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
     /// Swapping the search's leaf evaluator between the compiled

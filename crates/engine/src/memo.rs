@@ -134,6 +134,90 @@ impl<'m> MemoEval<'m> {
     }
 }
 
+impl MemoEval<'_> {
+    /// Scalar verdict whose memo *writes* go to `staged` instead of the
+    /// session memo, while *reads* consult the memo first and `staged`
+    /// second. Duplicate tails inside one batch therefore observe each
+    /// other's freshly computed latencies exactly as consecutive scalar
+    /// `check` calls would, keeping `evals_saved`/`evals_computed`
+    /// bit-identical to the scalar path.
+    fn check_staged(
+        &mut self,
+        actions: &[Action],
+        staged: &mut Vec<(Vec<Action>, CandidateMemo)>,
+    ) -> Result<bool, ModelError> {
+        let period = self.compiled.sync(actions)?;
+        if actions.is_empty() || period == 0 {
+            return Err(ModelError::EmptySchedule);
+        }
+        let slot = match staged.iter().position(|(a, _)| a == actions) {
+            Some(i) => i,
+            None => {
+                staged.push((actions.to_vec(), CandidateMemo::default()));
+                staged.len() - 1
+            }
+        };
+        let mut fresh = false;
+        let mut verdict = true;
+
+        for &(ix, deadline) in &self.asyn {
+            let cached = self
+                .memo
+                .candidates
+                .get(actions)
+                .and_then(|e| e.async_latency.get(&ix))
+                .or_else(|| staged[slot].1.async_latency.get(&ix))
+                .copied();
+            let latency = match cached {
+                Some(l) => l,
+                None => {
+                    fresh = true;
+                    let l = self.compiled.async_latency(actions, ix)?;
+                    staged[slot].1.async_latency.insert(ix, l);
+                    l
+                }
+            };
+            if latency.is_none_or(|l| l > deadline) {
+                verdict = false;
+                break;
+            }
+        }
+
+        if verdict {
+            for &(ix, p, deadline) in &self.periodic {
+                let key = (ix, p, self.periodic_lcm, self.max_periodic_deadline);
+                let cached = self
+                    .memo
+                    .candidates
+                    .get(actions)
+                    .and_then(|e| e.periodic.get(&key))
+                    .or_else(|| staged[slot].1.periodic.get(&key))
+                    .copied();
+                let (unserved, worst) = match cached {
+                    Some(v) => v,
+                    None => {
+                        fresh = true;
+                        let v = self.compiled.periodic_stats(actions, ix)?;
+                        staged[slot].1.periodic.insert(key, v);
+                        v
+                    }
+                };
+                if unserved > 0 || worst.is_none_or(|w| w > deadline) {
+                    verdict = false;
+                    break;
+                }
+            }
+        }
+
+        if fresh {
+            self.evals_computed += 1;
+        } else {
+            self.evals_saved += 1;
+        }
+        Ok(verdict)
+    }
+}
+
 impl CandidateEval for MemoEval<'_> {
     fn check(&mut self, _model: &Model, actions: &[Action]) -> Result<bool, ModelError> {
         let period = self.compiled.sync(actions)?;
@@ -185,6 +269,34 @@ impl CandidateEval for MemoEval<'_> {
             self.evals_saved += 1;
         }
         Ok(verdict)
+    }
+
+    /// Batched frontier entry point (DESIGN.md §12): verdicts every
+    /// `prefix + tail` lane in order via [`Self::check_staged`], then
+    /// merges all staged memo writes into the session memo in one
+    /// insert sweep — one `HashMap` probe per distinct candidate
+    /// instead of one per constraint evaluation.
+    fn check_batch(
+        &mut self,
+        _model: &Model,
+        prefix: &[Action],
+        tails: &[Action],
+        out: &mut Vec<Result<bool, ModelError>>,
+    ) {
+        out.clear();
+        let mut staged: Vec<(Vec<Action>, CandidateMemo)> = Vec::new();
+        let mut buf = Vec::with_capacity(prefix.len() + 1);
+        for &t in tails {
+            buf.clear();
+            buf.extend_from_slice(prefix);
+            buf.push(t);
+            out.push(self.check_staged(&buf, &mut staged));
+        }
+        for (actions, m) in staged {
+            let entry = self.memo.candidates.entry(actions).or_default();
+            entry.async_latency.extend(m.async_latency);
+            entry.periodic.extend(m.periodic);
+        }
     }
 }
 

@@ -31,6 +31,13 @@ fn workload() -> Vec<(Model, AnalysisRequest)> {
         ),
         (single_op_model(&[(2, 3), (2, 3)]), AnalysisRequest::exact()),
         (
+            // four elements force length-4 candidates: deep enough that
+            // leaves go through the batched last row (the work-unit
+            // prefix alone covers lengths up to 3)
+            single_op_model(&[(1, 6), (1, 6), (1, 6), (1, 6)]),
+            AnalysisRequest::exact(),
+        ),
+        (
             single_op_model(&[(1, 5), (2, 5)]),
             AnalysisRequest::default(),
         ),
@@ -147,6 +154,12 @@ fn verdicts_bit_identical_with_recording_on_and_off() {
             .iter()
             .any(|h| h.name == "search.leaf_eval_us" && h.count > 0),
         "exact jobs must time leaf evaluations"
+    );
+    assert!(
+        snap.gauges
+            .iter()
+            .any(|(n, v)| *n == "search.leaf_batch_width" && *v > 0),
+        "batched last-row leaf evaluation must record its lane width"
     );
 
     // Shard metric family: published for every shard, and occupancy adds

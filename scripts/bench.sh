@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
 # Regenerates the checked-in perf trajectory files the same way CI does.
 #
-#   scripts/bench.sh            full run (regenerates BENCH_leafcheck.json
-#                               and BENCH_batch.json)
+#   scripts/bench.sh            full run (regenerates BENCH_leafcheck.json,
+#                               BENCH_batch.json and BENCH_bitparallel.json)
 #   scripts/bench.sh --quick    CI smoke mode (fewer candidates/iterations)
 #
 # The leafcheck bench asserts the >=3x compiled-vs-cached speedup gate
 # and verdict bit-identity on every candidate; the batch bench asserts
-# the >=3x cross-request cache-reuse gate at bit-identical verdicts. A
-# regression in either fails the script.
+# the >=3x cross-request cache-reuse gate at bit-identical verdicts; the
+# bitparallel bench asserts the >=10x aggregate check_batch-vs-scalar
+# speedup gate over the leafcheck scenarios (with a >=3x per-scenario
+# floor), again at bit-identical verdicts. A regression in any fails
+# the script.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -19,3 +22,4 @@ fi
 
 cargo bench -p rtcg-bench --bench leafcheck
 cargo bench -p rtcg-bench --bench batch
+cargo bench -p rtcg-bench --bench bitparallel
