@@ -1,0 +1,345 @@
+//! Edit-stream throughput of a resident serve session against cold
+//! per-edit analysis: the tentpole's headline number.
+//!
+//! The workload is the interactive traffic `rtcg serve` exists for — a
+//! stream of model deltas (deadline/period retunes and channel splices
+//! over a fixed structure) each followed by an exact re-analysis. A
+//! cold engine per edit recomputes every leaf evaluation from scratch;
+//! a resident [`Session`] keeps the candidate memo hot because
+//! sub-fingerprint diffs prove retunes and splices invalidate no memo
+//! slice.
+//!
+//! For every edit the bench first asserts **bit-identical reports**
+//! (verdict, schedule, search counters) between the resident session
+//! and a cold `analyze_once` of the same model, and that retune deltas
+//! evicted zero candidate-memo slices while superseded result-memo
+//! entries left their shards (visible in the shard eviction counters).
+//! The acceptance gate is a ≥5x leaf-eval reuse factor on the
+//! chain-family stream; measured numbers go to `BENCH_serve.json` at
+//! the repo root (`RTCG_BENCH_OUT` overrides, `RTCG_BENCH_QUICK=1`
+//! shrinks the stream for CI smoke runs).
+//!
+//! [`Session`]: rtcg_engine::session::Session
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtcg_core::feasibility::SearchConfig;
+use rtcg_core::model::Model;
+use rtcg_core::mok_example;
+use rtcg_core::{ConstraintId, ModelDelta};
+use rtcg_engine::{analyze_once, AnalysisMode, AnalysisRequest, Engine, EngineOptions, Query};
+use rtcg_hardness::families::chain_family_with_deadline;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Scenario {
+    name: &'static str,
+    base: Model,
+    stream: Vec<ModelDelta>,
+    max_len: usize,
+    gate: f64,
+}
+
+fn exact_query(max_len: usize) -> Query {
+    Query {
+        mode: AnalysisMode::Exact,
+        search: SearchConfig {
+            max_len,
+            node_budget: 60_000_000,
+        },
+        ..Query::default()
+    }
+}
+
+/// Retune stream over the 2-chain family: both constraints' deadlines
+/// sweep the feasibility boundary, with revisits (an editor nudging a
+/// value back and forth), plus separation retunes.
+fn chain_stream(quick: bool) -> Vec<ModelDelta> {
+    let deadlines: &[u64] = if quick {
+        &[10, 12, 9, 13, 10, 11]
+    } else {
+        &[10, 12, 9, 13, 8, 14, 10, 11, 15, 9, 12, 10]
+    };
+    let mut stream = Vec::new();
+    for (i, &d) in deadlines.iter().enumerate() {
+        stream.push(ModelDelta::SetDeadline {
+            constraint: ConstraintId::new((i % 2) as u32),
+            deadline: d,
+        });
+        if i % 3 == 2 {
+            stream.push(ModelDelta::SetPeriod {
+                constraint: ConstraintId::new(((i + 1) % 2) as u32),
+                period: d + 2,
+            });
+        }
+    }
+    stream
+}
+
+/// Retune + splice stream over the paper's running example.
+fn mok_stream(quick: bool) -> Vec<ModelDelta> {
+    // x-chain computation is 4 (c_x + c_s + c_k), so deadlines stay >= 4
+    let deadlines: &[u64] = if quick {
+        &[5, 7, 4, 6]
+    } else {
+        &[5, 7, 4, 6, 8, 4, 5, 7]
+    };
+    let mut stream = Vec::new();
+    for (i, &d) in deadlines.iter().enumerate() {
+        stream.push(ModelDelta::SetDeadline {
+            constraint: ConstraintId::new(0),
+            deadline: d,
+        });
+        if i % 2 == 1 {
+            // channel splices touch regions, not constraint columns
+            stream.push(if i % 4 == 1 {
+                ModelDelta::AddChannel {
+                    from: "fX".into(),
+                    to: "fK".into(),
+                    label: None,
+                }
+            } else {
+                ModelDelta::RemoveChannel {
+                    from: "fX".into(),
+                    to: "fK".into(),
+                }
+            });
+        }
+    }
+    stream
+}
+
+fn scenarios(quick: bool) -> Vec<Scenario> {
+    let (mok, _) = mok_example::default_model();
+    vec![
+        Scenario {
+            name: "chain2_edit_stream",
+            base: chain_family_with_deadline(2, 11),
+            stream: chain_stream(quick),
+            max_len: 7,
+            gate: 5.0,
+        },
+        Scenario {
+            name: "mok_edit_stream",
+            base: mok,
+            stream: mok_stream(quick),
+            max_len: 6,
+            gate: 3.0,
+        },
+    ]
+}
+
+struct Row {
+    name: &'static str,
+    edits: usize,
+    cold_evals: u64,
+    warm_evals: u64,
+    reuse_factor: f64,
+    cold_s: f64,
+    warm_s: f64,
+    slices_evicted: u64,
+}
+
+fn out_path() -> std::path::PathBuf {
+    match std::env::var_os("RTCG_BENCH_OUT") {
+        Some(p) => p.into(),
+        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json"),
+    }
+}
+
+fn write_json(rows: &[Row]) {
+    let mut s = String::from(
+        "{\n  \"bench\": \"serve\",\n  \"unit\": \"leaf_evals_computed\",\n  \"scenarios\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{}\", \"edits\": {}, \"cold_leaf_evals\": {}, \"warm_leaf_evals\": {}, \"reuse_factor\": {:.2}, \"cold_s\": {:.9}, \"warm_s\": {:.9}, \"slices_evicted\": {}}}{}",
+            r.name,
+            r.edits,
+            r.cold_evals,
+            r.warm_evals,
+            r.reuse_factor,
+            r.cold_s,
+            r.warm_s,
+            r.slices_evicted,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ]\n}\n");
+    let path = out_path();
+    std::fs::write(&path, s).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("serve: wrote {}", path.display());
+}
+
+/// Drives the whole edit stream through one resident session,
+/// analyzing after every delta. Returns leaf evals computed.
+fn run_resident(scenario: &Scenario, engine: &Engine) -> u64 {
+    let mut session = engine.open_session(scenario.base.clone()).unwrap();
+    let query = exact_query(scenario.max_len);
+    session.analyze(&query).unwrap();
+    for delta in &scenario.stream {
+        session.apply(delta).unwrap();
+        black_box(session.analyze(&query).unwrap());
+    }
+    engine.stats().leaf_evals_computed
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let quick = std::env::var_os("RTCG_BENCH_QUICK").is_some();
+    let mut rows = Vec::new();
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+
+    for s in scenarios(quick) {
+        // the invariants first: walk the stream once, checking each
+        // resident report against a cold analyze_once of the same model
+        let engine = Engine::new();
+        let mut session = engine.open_session(s.base.clone()).unwrap();
+        let query = exact_query(s.max_len);
+        let req = AnalysisRequest::from_parts(&query, &EngineOptions::default());
+        let warm_start = Instant::now();
+        session.analyze(&query).unwrap();
+        let mut slices_evicted = 0u64;
+        for delta in &s.stream {
+            let out = session.apply(delta).unwrap();
+            slices_evicted += out.slices_evicted;
+            if matches!(
+                delta,
+                ModelDelta::SetDeadline { .. }
+                    | ModelDelta::SetPeriod { .. }
+                    | ModelDelta::AddChannel { .. }
+                    | ModelDelta::RemoveChannel { .. }
+            ) {
+                assert_eq!(
+                    out.slices_evicted, 0,
+                    "{}: retunes/splices must evict no candidate-memo slice",
+                    s.name
+                );
+            }
+            session.analyze(&query).unwrap();
+        }
+        let warm_s = warm_start.elapsed().as_secs_f64();
+        let warm_evals = engine.stats().leaf_evals_computed;
+        // superseded models' result-memo entries left their shards: the
+        // daemon's footprint stays bounded by live content, not history
+        let stats = engine.stats();
+        let shard_evictions: u64 = stats.shards.iter().map(|x| x.evictions).sum();
+        let occupancy: u64 = stats.shards.iter().map(|x| x.occupancy).sum();
+        assert!(
+            shard_evictions >= s.stream.len() as u64,
+            "{}: each delta evicts its superseded result slice",
+            s.name
+        );
+        assert!(
+            occupancy <= 2,
+            "{}: only live-content results stay resident, found {occupancy}",
+            s.name
+        );
+
+        // cold baseline: replay the stream, full analysis per edit,
+        // asserting bit-identity with the resident reports
+        let mut cold_evals = 0u64;
+        let cold_start = Instant::now();
+        let mut model = s.base.clone();
+        let mut warm_session = engine.open_session(s.base.clone()).unwrap();
+        cold_evals += {
+            let cold_engine = Engine::new();
+            cold_engine.analyze(&model, &req).unwrap();
+            cold_engine.stats().leaf_evals_computed
+        };
+        for delta in &s.stream {
+            model = delta.apply(&model).unwrap();
+            warm_session.apply(delta).unwrap();
+            let cold_engine = Engine::new();
+            let cold = cold_engine.analyze(&model, &req).unwrap();
+            cold_evals += cold_engine.stats().leaf_evals_computed;
+            let warm = warm_session.analyze(&query).unwrap();
+            assert_eq!(
+                warm.verdict.schedule().map(|x| x.actions().to_vec()),
+                cold.verdict.schedule().map(|x| x.actions().to_vec()),
+                "{}: schedule divergence",
+                s.name
+            );
+            let (ws, cs) = (warm.search.unwrap(), cold.search.unwrap());
+            assert_eq!(ws.nodes_visited, cs.nodes_visited, "{}", s.name);
+            assert_eq!(ws.candidates_checked, cs.candidates_checked, "{}", s.name);
+            // and the one-shot front door agrees as well
+            let once = analyze_once(&model, &req).unwrap();
+            assert_eq!(
+                warm.verdict.is_feasible(),
+                once.verdict.is_feasible(),
+                "{}: analyze_once divergence",
+                s.name
+            );
+        }
+        let cold_s = cold_start.elapsed().as_secs_f64();
+
+        let reuse_factor = cold_evals as f64 / warm_evals.max(1) as f64;
+        println!(
+            "serve/{}: {} edits, cold {} leaf evals, resident {} — {:.1}x reuse, \
+             {} slices evicted, cold {:.1} ms, resident {:.1} ms",
+            s.name,
+            s.stream.len(),
+            cold_evals,
+            warm_evals,
+            reuse_factor,
+            slices_evicted,
+            cold_s * 1e3,
+            warm_s * 1e3
+        );
+
+        group.bench_with_input(BenchmarkId::new("cold_per_edit", s.name), &s, |b, s| {
+            b.iter(|| {
+                let mut model = s.base.clone();
+                let req =
+                    AnalysisRequest::from_parts(&exact_query(s.max_len), &EngineOptions::default());
+                black_box(Engine::new().analyze(&model, &req).unwrap());
+                for delta in &s.stream {
+                    model = delta.apply(&model).unwrap();
+                    black_box(Engine::new().analyze(&model, &req).unwrap());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("resident_session", s.name), &s, |b, s| {
+            b.iter(|| {
+                let engine = Engine::new();
+                black_box(run_resident(s, &engine));
+            })
+        });
+
+        rows.push(Row {
+            name: s.name,
+            edits: s.stream.len(),
+            cold_evals,
+            warm_evals,
+            reuse_factor,
+            cold_s,
+            warm_s,
+            slices_evicted,
+        });
+    }
+    group.finish();
+
+    write_json(&rows);
+
+    for r in &rows {
+        let gate = scenarios(quick)
+            .iter()
+            .find(|s| s.name == r.name)
+            .map(|s| s.gate)
+            .unwrap();
+        assert!(
+            r.reuse_factor >= gate,
+            "serve/{}: resident reuse {:.2}x below the {:.0}x acceptance gate \
+             (cold {} vs resident {})",
+            r.name,
+            r.reuse_factor,
+            gate,
+            r.cold_evals,
+            r.warm_evals
+        );
+    }
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -30,6 +30,43 @@ fn summary(model: &Model) -> String {
     )
 }
 
+/// The session-level options shared verbatim by `analyze`, `serve`,
+/// `synthesize` and `analyze --batch`: resource knobs (`--threads`,
+/// `--budget-ms`) and observability sinks (`--metrics-out`,
+/// `--progress`), parsed once with uniform positive-value validation so
+/// every subcommand rejects `--threads 0` or `--budget-ms 0` with the
+/// same usage diagnostic (exit code 1).
+#[derive(Debug, Clone)]
+pub(crate) struct CommonOpts {
+    /// Exact-search worker threads (default 1).
+    pub threads: usize,
+    /// Wall-clock budget per analysis, in milliseconds.
+    pub budget_ms: Option<u64>,
+    /// Prometheus text-exposition output file.
+    pub metrics_out: Option<String>,
+    /// Live stderr progress ticker.
+    pub progress: bool,
+}
+
+impl CommonOpts {
+    pub fn parse(flags: &[String]) -> Result<Self, CliError> {
+        Ok(CommonOpts {
+            threads: positive_flag_value(flags, "--threads")?.unwrap_or(1) as usize,
+            budget_ms: positive_flag_value(flags, "--budget-ms")?,
+            metrics_out: crate::profile::flag_str(flags, "--metrics-out")?,
+            progress: flags.iter().any(|f| f == "--progress"),
+        })
+    }
+
+    /// The engine's session-level half of these options.
+    pub fn engine_options(&self) -> rtcg_engine::EngineOptions {
+        rtcg_engine::EngineOptions {
+            threads: self.threads,
+            budget_ms: self.budget_ms,
+        }
+    }
+}
+
 /// Maps the shared analysis flags onto one [`AnalysisRequest`]:
 /// `--merged`/`--exact` select the mode, `--threads`, `--max-len` and
 /// `--budget` tune the exact search.
@@ -41,7 +78,7 @@ pub(crate) fn request_from_flags(flags: &[String]) -> Result<AnalysisRequest, Cl
     if flags.iter().any(|f| f == "--exact") {
         req.mode = AnalysisMode::Exact;
     }
-    req.threads = positive_flag_value(flags, "--threads")?.unwrap_or(1) as usize;
+    req.threads = CommonOpts::parse(flags)?.threads;
     if let Some(l) = flag_value(flags, "--max-len")? {
         req.search.max_len = l as usize;
     }
@@ -129,11 +166,20 @@ pub fn synthesize(path: &str, flags: &[String]) -> Result<(), CliError> {
 }
 
 fn synthesize_inner(path: &str, flags: &[String]) -> Result<(), CliError> {
-    let (_, model) = load(path)?;
+    // flags validate before the spec loads: a usage error is a usage
+    // error whether or not the file exists
     let gantt_ticks = flag_value(flags, "--gantt")?;
     let req = request_from_flags(flags)?;
+    let common = CommonOpts::parse(flags)?;
+    let (_, model) = load(path)?;
     let engine = Engine::new();
-    let report = engine.analyze(&model, &req).map_err(engine_err)?;
+    let report = {
+        let (query, _) = req.split();
+        let mut session = engine
+            .open_session_with(model, common.engine_options())
+            .map_err(engine_err)?;
+        session.analyze(&query).map_err(engine_err)?
+    };
     if let (AnalysisMode::Exact, Some(stats)) = (req.mode, report.search) {
         println!(
             "exact search ({} thread(s), max len {}, budget {}): {} nodes, {} candidates{}",
@@ -190,8 +236,9 @@ pub fn analyze(path: &str, flags: &[String]) -> Result<(), CliError> {
 }
 
 fn analyze_inner(path: &str, flags: &[String]) -> Result<(), CliError> {
-    let (_, model) = load(path)?;
     let req = request_from_flags(flags)?;
+    let common = CommonOpts::parse(flags)?;
+    let (_, model) = load(path)?;
     let engine = Engine::new();
     if flags.iter().any(|f| f == "--sweep") {
         println!("deadline sensitivity sweep ({}):", mode_name(req.mode));
@@ -215,7 +262,13 @@ fn analyze_inner(path: &str, flags: &[String]) -> Result<(), CliError> {
             .map_err(engine_err)?;
         println!("maximum uniform tightening: {pct}% of declared deadlines");
     } else {
-        let report = engine.analyze(&model, &req).map_err(engine_err)?;
+        let report = {
+            let (query, _) = req.split();
+            let mut session = engine
+                .open_session_with(model, common.engine_options())
+                .map_err(engine_err)?;
+            session.analyze(&query).map_err(engine_err)?
+        };
         if let Some(stats) = report.search {
             println!(
                 "search: {} nodes, {} candidates{}",
@@ -265,9 +318,10 @@ pub fn analyze_batch(manifest: &str, flags: &[String]) -> Result<(), CliError> {
 
 fn analyze_batch_inner(manifest: &str, flags: &[String]) -> Result<(), CliError> {
     let req = request_from_flags(flags)?;
+    let common = CommonOpts::parse(flags)?;
     let opts = rtcg_engine::batch::BatchOptions {
-        threads: positive_flag_value(flags, "--threads")?.unwrap_or(1) as usize,
-        budget_ms: positive_flag_value(flags, "--budget-ms")?,
+        threads: common.threads,
+        budget_ms: common.budget_ms,
     };
     let listing = std::fs::read_to_string(manifest)
         .map_err(|e| CliError::Input(format!("cannot read manifest `{manifest}`: {e}")))?;
@@ -277,12 +331,21 @@ fn analyze_batch_inner(manifest: &str, flags: &[String]) -> Result<(), CliError>
         .unwrap_or_default();
     let mut paths = Vec::new();
     let mut jobs = Vec::new();
-    for line in listing.lines() {
+    for (lineno, line) in listing.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let path = base.join(line);
+        // manifests accept two entry forms per line: a bare spec path
+        // (legacy), or a versioned JSONL record `{"v":1,"spec":"path"}`
+        // whose version field is checked explicitly
+        let entry = if line.starts_with('{') {
+            crate::protocol::manifest_entry(line)
+                .map_err(|e| CliError::Input(format!("{manifest}:{}: {e}", lineno + 1)))?
+        } else {
+            line.to_string()
+        };
+        let path = base.join(&entry);
         let path = path
             .to_str()
             .ok_or_else(|| CliError::Input(format!("non-UTF-8 path in `{manifest}`")))?

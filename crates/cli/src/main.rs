@@ -5,6 +5,7 @@
 //! rtcg check <spec.rtcg>               validate a specification
 //! rtcg analyze <spec.rtcg> [--exact] [--sweep] [--cache-stats]
 //! rtcg analyze --batch <manifest> [--threads N] [--budget-ms M]
+//! rtcg serve [--threads N] [--budget-ms M]
 //! rtcg synthesize <spec.rtcg> [--merged|--exact] [--threads N] [--gantt N]
 //! rtcg simulate <spec.rtcg> --ticks N [--seed S]
 //! rtcg profile <spec.rtcg> [--ticks N]
@@ -21,6 +22,8 @@ use std::process::ExitCode;
 
 mod commands;
 mod profile;
+mod protocol;
+mod serve;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,9 +54,12 @@ const USAGE: &str = "usage:
   rtcg analyze --batch <manifest> [--merged|--exact] [--threads N]
                [--budget-ms M] [--max-len L] [--budget B] [--cache-stats]
                [--metrics] [--metrics-out FILE] [--trace-out FILE]
+  rtcg serve [--threads N] [--budget-ms M] [--metrics-out FILE]
+             [--trace-out FILE]
   rtcg synthesize <spec.rtcg> [--merged|--exact] [--threads N] [--max-len L]
-                  [--budget B] [--gantt N] [--cache-stats] [--progress]
-                  [--metrics] [--metrics-out FILE] [--trace-out FILE]
+                  [--budget B] [--budget-ms M] [--gantt N] [--cache-stats]
+                  [--progress] [--metrics] [--metrics-out FILE]
+                  [--trace-out FILE]
   rtcg simulate <spec.rtcg> --ticks N [--seed S] [--metrics]
                 [--metrics-out FILE] [--trace-out FILE]
   rtcg profile <spec.rtcg> [--ticks N] [--format table|prom]
@@ -67,16 +73,27 @@ analysis (analyze / synthesize / sensitivity):
   --threads N        parallel search workers (default 1)
   --max-len L        maximum schedule length in actions (default 10)
   --budget B         search charge budget: nodes + candidates (default 5000000)
+  --budget-ms M      wall-clock budget per analysis in milliseconds
   --sweep            binary-search each constraint's minimum feasible deadline,
                      reusing memoized candidate analyses across probes
   --cache-stats      print engine cache hit/miss and leaf-eval-saved counters
 
 batch (analyze --batch):
-  <manifest>         text file listing one spec path per line (# comments;
-                     paths resolved relative to the manifest)
+  <manifest>         text file listing one spec per line: a bare path, or a
+                     versioned JSONL record {\"v\":1,\"spec\":\"path\"}
+                     (# comments; paths resolved relative to the manifest)
   --threads N        worker threads sharing one engine cache (default 1)
   --budget-ms M      per-request deadline budget; an exact search that
                      exceeds it degrades to the heuristic verdict
+
+serve (persistent analysis daemon):
+  speaks a versioned JSONL protocol on stdin/stdout — one request line in,
+  one response line out, every line stamped {\"v\":1,...}. Ops: open (path
+  or inline spec), delta (set_deadline, set_period, set_wcet, add_element,
+  remove_element, add_channel, remove_channel, add_constraint,
+  remove_constraint), undo, analyze (mode/max_len/budget/selection), stats,
+  close. Sessions keep the candidate memo hot across deltas; see DESIGN.md
+  section 13 and examples/specs/serve_session.jsonl
 
 observability:
   --metrics          print a counters/spans/histograms summary after the run
@@ -110,6 +127,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
             commands::analyze_batch(manifest, &args[3..])
         }
         "analyze" => commands::analyze(rest(args)?, &args[2..]),
+        "serve" => serve::serve(&args[1..]),
         "synthesize" => commands::synthesize(rest(args)?, &args[2..]),
         "simulate" => commands::simulate(rest(args)?, &args[2..]),
         "profile" => profile::profile(rest(args)?, &args[2..]),

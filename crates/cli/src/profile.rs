@@ -95,7 +95,7 @@ pub fn emit(rec: &MemoryRecorder, flags: &[String]) -> Result<(), CliError> {
             .map_err(|e| CliError::Input(format!("cannot write `{path}`: {e}")))?;
         eprintln!("trace written to {path} (open in Perfetto or chrome://tracing)");
     }
-    if let Some(path) = flag_str(flags, "--metrics-out")? {
+    if let Some(path) = crate::commands::CommonOpts::parse(flags)?.metrics_out {
         std::fs::write(&path, rec.prometheus_text())
             .map_err(|e| CliError::Input(format!("cannot write `{path}`: {e}")))?;
         eprintln!("metrics written to {path} (Prometheus text exposition)");
@@ -121,9 +121,13 @@ pub struct ProgressTicker {
 impl ProgressTicker {
     /// Starts the ticker when `--progress` was given (the flag forces
     /// recorder installation via [`recorder_for`], so `rec` is `Some`
-    /// whenever the flag is present).
+    /// whenever the flag is present). Flag parse errors surface later,
+    /// from the subcommand's own [`CommonOpts::parse`] call.
+    ///
+    /// [`CommonOpts::parse`]: crate::commands::CommonOpts::parse
     pub fn start_if(flags: &[String], rec: Option<&'static MemoryRecorder>) -> Option<Self> {
-        if !flags.iter().any(|f| f == "--progress") {
+        let wanted = crate::commands::CommonOpts::parse(flags).is_ok_and(|o| o.progress);
+        if !wanted {
             return None;
         }
         let rec = rec?;

@@ -1,0 +1,284 @@
+//! Black-box tests of `rtcg serve` (the JSONL daemon) and the versioned
+//! wire format shared with `--batch` manifests.
+
+use serde_json::Value;
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const SPEC: &str = "element fx wcet 1;\nelement fs wcet 2;\nchannel fx -> fs;\n\
+    asynchronous chain period 7 deadline 7 { op x: fx; op s: fs; x -> s; }\n\
+    periodic beat period 6 deadline 5 { op s: fs; }\n";
+
+/// Runs `rtcg serve`, feeds `lines` on stdin, returns one parsed JSON
+/// object per response line (asserting the process exits cleanly).
+fn serve(lines: &[String]) -> Vec<Value> {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rtcg"))
+        .arg("serve")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("binary runs");
+    {
+        let stdin = child.stdin.as_mut().expect("stdin piped");
+        for line in lines {
+            writeln!(stdin, "{line}").expect("write request");
+        }
+    }
+    let out = child.wait_with_output().expect("daemon exits");
+    assert!(out.status.success(), "serve exited abnormally: {out:?}");
+    String::from_utf8(out.stdout)
+        .expect("utf8 output")
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("each response line is JSON"))
+        .collect()
+}
+
+fn obj(pairs: Vec<(&str, Value)>) -> String {
+    Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect()).to_string()
+}
+
+fn req(op: &str, extra: Vec<(&str, Value)>) -> String {
+    let mut pairs = vec![
+        ("v", Value::UInt(1)),
+        ("op", Value::Str(op.into())),
+        ("id", Value::Str("s1".into())),
+    ];
+    pairs.extend(extra);
+    obj(pairs)
+}
+
+fn get<'v>(v: &'v Value, key: &str) -> &'v Value {
+    v.get(key)
+        .unwrap_or_else(|| panic!("response missing `{key}`: {v}"))
+}
+
+#[test]
+fn serve_session_keeps_memo_hot_across_deltas() {
+    let analyze = req(
+        "analyze",
+        vec![
+            ("mode", Value::Str("exact".into())),
+            ("max_len", Value::UInt(6)),
+        ],
+    );
+    let responses = serve(&[
+        req("open", vec![("spec", Value::Str(SPEC.into()))]),
+        analyze.clone(),
+        obj(vec![
+            ("v", Value::UInt(1)),
+            ("op", Value::Str("delta".into())),
+            ("id", Value::Str("s1".into())),
+            (
+                "delta",
+                Value::Obj(vec![
+                    ("kind".into(), Value::Str("set_deadline".into())),
+                    ("constraint".into(), Value::UInt(0)),
+                    ("deadline".into(), Value::UInt(6)),
+                ]),
+            ),
+        ]),
+        analyze,
+        req("stats", vec![]),
+        req("close", vec![]),
+    ]);
+    assert_eq!(responses.len(), 6, "one response per request");
+    for r in &responses {
+        assert_eq!(get(r, "v").as_u64(), Some(1));
+        assert_eq!(get(r, "ok").as_bool(), Some(true), "{r}");
+    }
+    assert_eq!(get(&responses[0], "constraints").as_u64(), Some(2));
+    assert_eq!(get(&responses[1], "verdict").as_str(), Some("feasible"));
+    // the deadline retune keeps every candidate-memo slice...
+    let delta = &responses[2];
+    assert_eq!(get(delta, "kind").as_str(), Some("set_deadline"));
+    assert_eq!(get(delta, "slices_evicted").as_u64(), Some(0));
+    assert!(get(delta, "slices_kept").as_u64().unwrap() > 0);
+    assert_eq!(get(delta, "full_invalidation").as_bool(), Some(false));
+    // ...so the re-analysis is served from the hot memo
+    let warm = &responses[3];
+    assert_eq!(get(warm, "verdict").as_str(), Some("feasible"));
+    assert!(
+        get(warm, "leaf_evals_saved").as_u64().unwrap() > 0,
+        "retune probe must reuse memoized leaf evals: {warm}"
+    );
+    let stats = &responses[4];
+    let session = get(get(stats, "sessions"), "s1");
+    assert_eq!(get(session, "deltas_applied").as_u64(), Some(1));
+    assert_eq!(get(session, "analyses").as_u64(), Some(2));
+    assert!(get(session, "memo_entries").as_u64().unwrap() > 0);
+    assert_eq!(get(&responses[5], "op").as_str(), Some("close"));
+}
+
+#[test]
+fn serve_rejects_unsupported_versions_but_keeps_serving() {
+    let responses = serve(&[
+        r#"{"v":2,"op":"stats"}"#.to_string(),
+        r#"{"op":"stats"}"#.to_string(),
+        r#"this is not json"#.to_string(),
+        r#"{"v":1,"op":"frobnicate"}"#.to_string(),
+        r#"{"v":1,"op":"analyze","id":"ghost"}"#.to_string(),
+        r#"{"v":1,"op":"stats"}"#.to_string(),
+    ]);
+    assert_eq!(responses.len(), 6);
+    let errors: Vec<&str> = responses[..5]
+        .iter()
+        .map(|r| {
+            assert_eq!(get(r, "ok").as_bool(), Some(false), "{r}");
+            get(r, "error").as_str().unwrap()
+        })
+        .collect();
+    assert!(
+        errors[0].contains("unsupported wire version 2"),
+        "{}",
+        errors[0]
+    );
+    assert!(errors[1].contains("missing wire version"), "{}", errors[1]);
+    assert!(errors[2].contains("malformed JSON"), "{}", errors[2]);
+    assert!(errors[3].contains("unknown op"), "{}", errors[3]);
+    assert!(errors[4].contains("no open session"), "{}", errors[4]);
+    // the daemon survived all five bad lines
+    assert_eq!(get(&responses[5], "ok").as_bool(), Some(true));
+}
+
+#[test]
+fn serve_undo_restores_the_previous_verdict() {
+    let analyze = req("analyze", vec![("mode", Value::Str("exact".into()))]);
+    let tighten = obj(vec![
+        ("v", Value::UInt(1)),
+        ("op", Value::Str("delta".into())),
+        ("id", Value::Str("s1".into())),
+        (
+            "delta",
+            Value::Obj(vec![
+                ("kind".into(), Value::Str("set_deadline".into())),
+                ("constraint".into(), Value::UInt(0)),
+                ("deadline".into(), Value::UInt(3)),
+            ]),
+        ),
+    ]);
+    let responses = serve(&[
+        req("open", vec![("spec", Value::Str(SPEC.into()))]),
+        analyze.clone(),
+        tighten,
+        analyze.clone(),
+        req("undo", vec![]),
+        analyze,
+    ]);
+    assert_eq!(get(&responses[1], "verdict").as_str(), Some("feasible"));
+    // deadline 3 < chain computation cannot hold at arbitrary offsets
+    assert_eq!(get(&responses[3], "verdict").as_str(), Some("infeasible"));
+    assert_eq!(get(&responses[4], "undone").as_str(), Some("set_deadline"));
+    assert_eq!(get(&responses[4], "journal_len").as_u64(), Some(0));
+    assert_eq!(get(&responses[5], "verdict").as_str(), Some("feasible"));
+}
+
+#[test]
+fn serve_structural_deltas_report_slice_granularity() {
+    let analyze = req(
+        "analyze",
+        vec![
+            ("mode", Value::Str("exact".into())),
+            ("max_len", Value::UInt(6)),
+        ],
+    );
+    let responses = serve(&[
+        req("open", vec![("spec", Value::Str(SPEC.into()))]),
+        analyze.clone(),
+        // removing a constraint drops exactly its memo column
+        obj(vec![
+            ("v", Value::UInt(1)),
+            ("op", Value::Str("delta".into())),
+            ("id", Value::Str("s1".into())),
+            (
+                "delta",
+                Value::Obj(vec![
+                    ("kind".into(), Value::Str("remove_constraint".into())),
+                    ("at".into(), Value::UInt(1)),
+                ]),
+            ),
+        ]),
+        // a weight edit clears everything
+        obj(vec![
+            ("v", Value::UInt(1)),
+            ("op", Value::Str("delta".into())),
+            ("id", Value::Str("s1".into())),
+            (
+                "delta",
+                Value::Obj(vec![
+                    ("kind".into(), Value::Str("set_wcet".into())),
+                    ("element".into(), Value::Str("fx".into())),
+                    ("wcet".into(), Value::UInt(2)),
+                ]),
+            ),
+        ]),
+        analyze,
+    ]);
+    let drop_col = &responses[2];
+    assert_eq!(get(drop_col, "ok").as_bool(), Some(true), "{drop_col}");
+    assert!(get(drop_col, "slices_evicted").as_u64().unwrap() > 0);
+    assert!(get(drop_col, "slices_kept").as_u64().unwrap() > 0);
+    assert_eq!(get(drop_col, "full_invalidation").as_bool(), Some(false));
+    let reweigh = &responses[3];
+    assert_eq!(get(reweigh, "full_invalidation").as_bool(), Some(true));
+    assert_eq!(get(reweigh, "slices_kept").as_u64(), Some(0));
+    assert_eq!(get(&responses[4], "ok").as_bool(), Some(true));
+}
+
+#[test]
+fn serve_validates_common_flags_like_other_subcommands() {
+    for args in [
+        &["serve", "--threads", "0"][..],
+        &["serve", "--budget-ms", "0"][..],
+        &["analyze", "x.rtcg", "--threads", "0"][..],
+        &["synthesize", "x.rtcg", "--budget-ms", "0"][..],
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_rtcg"))
+            .args(args)
+            .output()
+            .expect("binary runs");
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{args:?} should be a usage error"
+        );
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains("must be at least 1"), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn batch_manifests_accept_versioned_jsonl_entries() {
+    let dir = std::env::temp_dir().join(format!("rtcg-serve-tests-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = dir.join("good.rtcg");
+    std::fs::write(&spec, SPEC).unwrap();
+
+    // mixed manifest: legacy bare path + versioned JSONL record
+    let ok_manifest = dir.join("ok.txt");
+    std::fs::write(
+        &ok_manifest,
+        "good.rtcg\n{\"v\":1,\"spec\":\"good.rtcg\"}\n",
+    )
+    .unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_rtcg"))
+        .args(["analyze", "--batch", ok_manifest.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("batch: 2 spec(s)"), "{stdout}");
+
+    // a future-versioned entry names its version instead of mis-parsing
+    let bad_manifest = dir.join("bad.txt");
+    std::fs::write(&bad_manifest, "{\"v\":9,\"spec\":\"good.rtcg\"}\n").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_rtcg"))
+        .args(["analyze", "--batch", bad_manifest.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unsupported wire version 9"), "{stderr}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,575 @@
+//! First-class model edits: the [`ModelDelta`] enum and its
+//! application/inversion semantics.
+//!
+//! The interactive-analysis loop (deadline retuning, design-space
+//! exploration) edits a resident model in place instead of rebuilding it
+//! from source per probe. Every edit is one of a closed set of deltas;
+//! [`ModelDelta::apply`] produces the edited **validated** model (the
+//! input is never mutated, so a rejected delta leaves the caller's model
+//! untouched), and [`ModelDelta::invert`] — computed against the
+//! pre-apply model — produces the delta that undoes it. A journal of
+//! `(delta, inverse)` pairs therefore supports replay in either
+//! direction; `rtcg-engine`'s `Session` keeps exactly that journal.
+//!
+//! Invertibility shapes two preconditions:
+//!
+//! * [`ModelDelta::RemoveElement`] refuses while channels are incident
+//!   (or a constraint references the element) — removing them implicitly
+//!   would make the inverse a compound edit.
+//! * [`ModelDelta::RemoveConstraint`] / [`ModelDelta::AddConstraint`]
+//!   address constraints **by declaration index**; removal shifts later
+//!   indices down and insertion shifts them up, exactly like
+//!   `Vec::remove`/`Vec::insert`. Callers holding [`ConstraintId`]s
+//!   across such deltas must remap them the same way.
+//!
+//! Element removal + re-addition assigns a fresh [`ElementId`] (the
+//! graph arena never reuses slots), so an undone remove restores
+//! *content* — names, weights, channels, constraints — but not raw id
+//! numbering. [`Model::content_digest`] hashes the id-independent
+//! content and is the equality notion the journal round-trip guarantees.
+
+use crate::constraint::{ConstraintId, TimingConstraint};
+use crate::error::ModelError;
+use crate::model::Model;
+use crate::time::Time;
+use std::fmt;
+
+/// One atomic, invertible edit of a [`Model`].
+///
+/// Elements and channels are addressed by **name** (names are unique and
+/// survive the id renumbering that element re-addition causes);
+/// constraints are addressed by declaration index.
+#[derive(Debug, Clone)]
+pub enum ModelDelta {
+    /// Retune one constraint's deadline.
+    SetDeadline {
+        /// The constraint to edit.
+        constraint: ConstraintId,
+        /// The new relative deadline (must keep the model valid).
+        deadline: Time,
+    },
+    /// Retune one constraint's period (periodic) or minimum separation
+    /// (asynchronous).
+    SetPeriod {
+        /// The constraint to edit.
+        constraint: ConstraintId,
+        /// The new period.
+        period: Time,
+    },
+    /// Retune one functional element's worst-case computation time.
+    SetWcet {
+        /// Element name.
+        element: String,
+        /// The new weight.
+        wcet: Time,
+    },
+    /// Add a fresh functional element (no channels, no constraints).
+    AddElement {
+        /// Unique name.
+        name: String,
+        /// Worst-case computation time.
+        wcet: Time,
+        /// Whether software pipelining may split it.
+        pipelinable: bool,
+    },
+    /// Remove an element. Refused while any channel is incident or any
+    /// constraint's task graph references it.
+    RemoveElement {
+        /// Element name.
+        name: String,
+    },
+    /// Splice a communication path into the comm graph.
+    AddChannel {
+        /// Source element name.
+        from: String,
+        /// Target element name.
+        to: String,
+        /// Optional value label.
+        label: Option<String>,
+    },
+    /// Remove a communication path. Revalidation rejects the edit if a
+    /// constraint's task graph still traverses it.
+    RemoveChannel {
+        /// Source element name.
+        from: String,
+        /// Target element name.
+        to: String,
+    },
+    /// Insert a constraint at declaration index `at` (later constraints
+    /// shift up, like `Vec::insert`).
+    AddConstraint {
+        /// Insertion index, `0 ..= constraints().len()`.
+        at: usize,
+        /// The constraint (validated against the comm graph on apply).
+        constraint: Box<TimingConstraint>,
+    },
+    /// Remove the constraint at declaration index `at` (later
+    /// constraints shift down, like `Vec::remove`).
+    RemoveConstraint {
+        /// Removal index.
+        at: usize,
+    },
+}
+
+impl ModelDelta {
+    /// Short machine-readable kind tag (wire protocol, metrics).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ModelDelta::SetDeadline { .. } => "set_deadline",
+            ModelDelta::SetPeriod { .. } => "set_period",
+            ModelDelta::SetWcet { .. } => "set_wcet",
+            ModelDelta::AddElement { .. } => "add_element",
+            ModelDelta::RemoveElement { .. } => "remove_element",
+            ModelDelta::AddChannel { .. } => "add_channel",
+            ModelDelta::RemoveChannel { .. } => "remove_channel",
+            ModelDelta::AddConstraint { .. } => "add_constraint",
+            ModelDelta::RemoveConstraint { .. } => "remove_constraint",
+        }
+    }
+
+    /// Applies this delta to `model`, returning the edited, validated
+    /// model. The input is untouched; any error means no change
+    /// happened. Equivalent to [`Model::apply_delta`].
+    pub fn apply(&self, model: &Model) -> Result<Model, ModelError> {
+        model.apply_delta(self)
+    }
+
+    /// The delta that undoes this one, computed against the model this
+    /// delta is **about to be applied to** (old values are captured from
+    /// it). Errors if this delta would not apply to `base` either.
+    pub fn invert(&self, base: &Model) -> Result<ModelDelta, ModelError> {
+        Ok(match self {
+            ModelDelta::SetDeadline { constraint, .. } => ModelDelta::SetDeadline {
+                constraint: *constraint,
+                deadline: base.constraint(*constraint)?.deadline,
+            },
+            ModelDelta::SetPeriod { constraint, .. } => ModelDelta::SetPeriod {
+                constraint: *constraint,
+                period: base.constraint(*constraint)?.period,
+            },
+            ModelDelta::SetWcet { element, .. } => {
+                let id = base.comm().lookup(element)?;
+                ModelDelta::SetWcet {
+                    element: element.clone(),
+                    wcet: base.comm().wcet(id)?,
+                }
+            }
+            ModelDelta::AddElement { name, .. } => ModelDelta::RemoveElement { name: name.clone() },
+            ModelDelta::RemoveElement { name } => {
+                let id = base.comm().lookup(name)?;
+                let e = base
+                    .comm()
+                    .element(id)
+                    .ok_or(ModelError::UnknownElement(id))?;
+                ModelDelta::AddElement {
+                    name: e.name.clone(),
+                    wcet: e.wcet,
+                    pipelinable: e.pipelinable,
+                }
+            }
+            ModelDelta::AddChannel { from, to, .. } => ModelDelta::RemoveChannel {
+                from: from.clone(),
+                to: to.clone(),
+            },
+            ModelDelta::RemoveChannel { from, to } => {
+                let f = base.comm().lookup(from)?;
+                let t = base.comm().lookup(to)?;
+                let label =
+                    base.comm()
+                        .channel_label(f, t)
+                        .ok_or_else(|| ModelError::UnknownChannel {
+                            from: from.clone(),
+                            to: to.clone(),
+                        })?;
+                ModelDelta::AddChannel {
+                    from: from.clone(),
+                    to: to.clone(),
+                    label,
+                }
+            }
+            ModelDelta::AddConstraint { at, .. } => ModelDelta::RemoveConstraint { at: *at },
+            ModelDelta::RemoveConstraint { at } => {
+                let c = base
+                    .constraints()
+                    .get(*at)
+                    .ok_or(ModelError::UnknownConstraint(ConstraintId::new(*at as u32)))?;
+                ModelDelta::AddConstraint {
+                    at: *at,
+                    constraint: Box::new(c.clone()),
+                }
+            }
+        })
+    }
+}
+
+impl fmt::Display for ModelDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelDelta::SetDeadline {
+                constraint,
+                deadline,
+            } => write!(f, "set_deadline {constraint:?} d={deadline}"),
+            ModelDelta::SetPeriod { constraint, period } => {
+                write!(f, "set_period {constraint:?} p={period}")
+            }
+            ModelDelta::SetWcet { element, wcet } => write!(f, "set_wcet `{element}` w={wcet}"),
+            ModelDelta::AddElement { name, wcet, .. } => {
+                write!(f, "add_element `{name}` w={wcet}")
+            }
+            ModelDelta::RemoveElement { name } => write!(f, "remove_element `{name}`"),
+            ModelDelta::AddChannel { from, to, .. } => {
+                write!(f, "add_channel `{from}` -> `{to}`")
+            }
+            ModelDelta::RemoveChannel { from, to } => {
+                write!(f, "remove_channel `{from}` -> `{to}`")
+            }
+            ModelDelta::AddConstraint { at, constraint } => {
+                write!(f, "add_constraint `{}` at {at}", constraint.name)
+            }
+            ModelDelta::RemoveConstraint { at } => write!(f, "remove_constraint at {at}"),
+        }
+    }
+}
+
+impl Model {
+    /// Delta-application hook: the edited, validated model. See
+    /// [`ModelDelta::apply`] — the input model is never mutated.
+    pub fn apply_delta(&self, delta: &ModelDelta) -> Result<Model, ModelError> {
+        let mut comm = self.comm().clone();
+        let mut constraints = self.constraints().to_vec();
+        match delta {
+            ModelDelta::SetDeadline {
+                constraint,
+                deadline,
+            } => {
+                let c = constraints
+                    .get_mut(constraint.index())
+                    .ok_or(ModelError::UnknownConstraint(*constraint))?;
+                c.deadline = *deadline;
+            }
+            ModelDelta::SetPeriod { constraint, period } => {
+                let c = constraints
+                    .get_mut(constraint.index())
+                    .ok_or(ModelError::UnknownConstraint(*constraint))?;
+                c.period = *period;
+            }
+            ModelDelta::SetWcet { element, wcet } => {
+                let id = comm.lookup(element)?;
+                comm.set_wcet(id, *wcet)?;
+            }
+            ModelDelta::AddElement {
+                name,
+                wcet,
+                pipelinable,
+            } => {
+                comm.add_element_full(name.clone(), *wcet, *pipelinable)?;
+            }
+            ModelDelta::RemoveElement { name } => {
+                let id = comm.lookup(name)?;
+                if let Some((_, c)) = self
+                    .constraints_enumerated()
+                    .find(|(_, c)| c.task.ops().any(|(_, op)| op.element == id))
+                {
+                    return Err(ModelError::DeltaRejected {
+                        reason: format!(
+                            "element `{name}` is referenced by constraint `{}`",
+                            c.name
+                        ),
+                    });
+                }
+                comm.remove_element(id)?;
+            }
+            ModelDelta::AddChannel { from, to, label } => {
+                let f = comm.lookup(from)?;
+                let t = comm.lookup(to)?;
+                if comm.has_channel(f, t) {
+                    // add_channel is idempotent in the builder, but a
+                    // *delta* must stay invertible: its inverse removes
+                    // the channel, which would delete a pre-existing one
+                    return Err(ModelError::DeltaRejected {
+                        reason: format!("channel `{from}` -> `{to}` already exists"),
+                    });
+                }
+                comm.add_channel_labeled(f, t, label.clone())?;
+            }
+            ModelDelta::RemoveChannel { from, to } => {
+                let f = comm.lookup(from)?;
+                let t = comm.lookup(to)?;
+                comm.remove_channel(f, t)?;
+            }
+            ModelDelta::AddConstraint { at, constraint } => {
+                if *at > constraints.len() {
+                    return Err(ModelError::DeltaRejected {
+                        reason: format!(
+                            "insertion index {at} out of range (have {} constraints)",
+                            constraints.len()
+                        ),
+                    });
+                }
+                constraints.insert(*at, (**constraint).clone());
+            }
+            ModelDelta::RemoveConstraint { at } => {
+                if *at >= constraints.len() {
+                    return Err(ModelError::UnknownConstraint(ConstraintId::new(*at as u32)));
+                }
+                constraints.remove(*at);
+            }
+        }
+        Model::new(comm, constraints)
+    }
+
+    /// FNV-1a digest of the model's id-independent content: elements
+    /// (by name), channels (by endpoint names), constraints (tasks by op
+    /// label and element name). Two models are *content-equal* — the
+    /// equality a delta journal's undo restores — iff their digests
+    /// match; raw [`crate::model::ElementId`] numbering may still differ
+    /// after an element was removed and re-added.
+    pub fn content_digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let u = |h: &mut u64, v: u64| {
+            for &b in &v.to_le_bytes() {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        let s = |h: &mut u64, v: &str| {
+            u(h, v.len() as u64);
+            for &b in v.as_bytes() {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        let comm = self.comm();
+        // elements sorted by name: insertion order is an id-layout detail
+        let mut elements: Vec<_> = comm.elements().map(|(_, e)| e).collect();
+        elements.sort_by(|a, b| a.name.cmp(&b.name));
+        u(&mut h, elements.len() as u64);
+        for e in elements {
+            s(&mut h, &e.name);
+            u(&mut h, e.wcet);
+            u(&mut h, e.pipelinable as u64);
+        }
+        let name_of = |id| comm.name(id).unwrap_or("?");
+        let mut channels: Vec<(String, String, Option<String>)> = comm
+            .graph()
+            .edges()
+            .map(|edge| {
+                (
+                    name_of(edge.from).to_string(),
+                    name_of(edge.to).to_string(),
+                    edge.weight.label.clone(),
+                )
+            })
+            .collect();
+        channels.sort();
+        u(&mut h, channels.len() as u64);
+        for (from, to, label) in channels {
+            s(&mut h, &from);
+            s(&mut h, &to);
+            match label {
+                Some(l) => {
+                    u(&mut h, 1);
+                    s(&mut h, &l);
+                }
+                None => u(&mut h, 0),
+            }
+        }
+        u(&mut h, self.constraints().len() as u64);
+        for c in self.constraints() {
+            s(&mut h, &c.name);
+            u(&mut h, c.is_periodic() as u64);
+            u(&mut h, c.period);
+            u(&mut h, c.deadline);
+            u(&mut h, c.task.op_count() as u64);
+            for (_, op) in c.task.ops() {
+                s(&mut h, &op.label);
+                s(&mut h, name_of(op.element));
+            }
+            let edges: Vec<(u32, u32)> = c
+                .task
+                .precedence_edges()
+                .map(|(a, b)| (a.index() as u32, b.index() as u32))
+                .collect();
+            u(&mut h, edges.len() as u64);
+            for (a, b) in edges {
+                u(&mut h, a as u64);
+                u(&mut h, b as u64);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelBuilder;
+    use crate::task::TaskGraphBuilder;
+
+    fn base_model() -> Model {
+        let mut b = ModelBuilder::new();
+        let x = b.element("fx", 1);
+        let s = b.element("fs", 2);
+        b.channel_labeled(x, s, "x'");
+        let tg = TaskGraphBuilder::new()
+            .op("x", x)
+            .op("s", s)
+            .edge("x", "s")
+            .build()
+            .unwrap();
+        b.asynchronous("chain", tg, 12, 12);
+        let single = TaskGraphBuilder::new().op("s", s).build().unwrap();
+        b.periodic("beat", single, 6, 5);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn retune_deltas_round_trip() {
+        let m = base_model();
+        for delta in [
+            ModelDelta::SetDeadline {
+                constraint: ConstraintId::new(0),
+                deadline: 9,
+            },
+            ModelDelta::SetPeriod {
+                constraint: ConstraintId::new(1),
+                period: 8,
+            },
+            ModelDelta::SetWcet {
+                element: "fx".into(),
+                wcet: 3,
+            },
+        ] {
+            let inverse = delta.invert(&m).unwrap();
+            let edited = delta.apply(&m).unwrap();
+            assert_ne!(m.content_digest(), edited.content_digest(), "{delta}");
+            let restored = inverse.apply(&edited).unwrap();
+            assert_eq!(m.content_digest(), restored.content_digest(), "{delta}");
+        }
+    }
+
+    #[test]
+    fn structural_deltas_round_trip_by_content() {
+        let m = base_model();
+        let seq = [
+            ModelDelta::AddElement {
+                name: "fk".into(),
+                wcet: 1,
+                pipelinable: true,
+            },
+            ModelDelta::AddChannel {
+                from: "fs".into(),
+                to: "fk".into(),
+                label: Some("k'".into()),
+            },
+            ModelDelta::RemoveConstraint { at: 1 },
+        ];
+        let mut cur = m.clone();
+        let mut inverses = Vec::new();
+        for d in &seq {
+            inverses.push(d.invert(&cur).unwrap());
+            cur = d.apply(&cur).unwrap();
+        }
+        assert_ne!(m.content_digest(), cur.content_digest());
+        for inv in inverses.iter().rev() {
+            cur = inv.apply(&cur).unwrap();
+        }
+        assert_eq!(m.content_digest(), cur.content_digest());
+    }
+
+    #[test]
+    fn remove_element_preconditions() {
+        let m = base_model();
+        // referenced by a constraint
+        let err = ModelDelta::RemoveElement { name: "fx".into() }
+            .apply(&m)
+            .unwrap_err();
+        assert!(matches!(err, ModelError::DeltaRejected { .. }), "{err}");
+        // free element with a channel: still refused until the channel goes
+        let m2 = ModelDelta::AddElement {
+            name: "fk".into(),
+            wcet: 1,
+            pipelinable: true,
+        }
+        .apply(&m)
+        .unwrap();
+        let m3 = ModelDelta::AddChannel {
+            from: "fx".into(),
+            to: "fk".into(),
+            label: None,
+        }
+        .apply(&m2)
+        .unwrap();
+        assert!(ModelDelta::RemoveElement { name: "fk".into() }
+            .apply(&m3)
+            .is_err());
+        let m4 = ModelDelta::RemoveChannel {
+            from: "fx".into(),
+            to: "fk".into(),
+        }
+        .apply(&m3)
+        .unwrap();
+        let m5 = ModelDelta::RemoveElement { name: "fk".into() }
+            .apply(&m4)
+            .unwrap();
+        assert_eq!(m.content_digest(), m5.content_digest());
+    }
+
+    #[test]
+    fn invalid_edits_leave_model_untouched() {
+        let m = base_model();
+        // deadline below computation time fails validation
+        let err = ModelDelta::SetDeadline {
+            constraint: ConstraintId::new(0),
+            deadline: 1,
+        }
+        .apply(&m)
+        .unwrap_err();
+        assert!(matches!(err, ModelError::ComputationExceedsDeadline { .. }));
+        // removing a channel a task graph traverses fails validation
+        let err = ModelDelta::RemoveChannel {
+            from: "fx".into(),
+            to: "fs".into(),
+        }
+        .apply(&m)
+        .unwrap_err();
+        assert!(matches!(err, ModelError::IncompatibleTaskGraph { .. }));
+        // duplicate channel splice is rejected (its inverse would delete
+        // the pre-existing channel)
+        assert!(matches!(
+            ModelDelta::AddChannel {
+                from: "fx".into(),
+                to: "fs".into(),
+                label: None,
+            }
+            .apply(&m),
+            Err(ModelError::DeltaRejected { .. })
+        ));
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn constraint_insert_remove_shift_indices() {
+        let m = base_model();
+        let removed = ModelDelta::RemoveConstraint { at: 0 };
+        let inv = removed.invert(&m).unwrap();
+        let edited = removed.apply(&m).unwrap();
+        assert_eq!(edited.constraints().len(), 1);
+        assert_eq!(edited.constraints()[0].name, "beat");
+        let back = inv.apply(&edited).unwrap();
+        assert_eq!(back.constraints()[0].name, "chain");
+        assert_eq!(m.content_digest(), back.content_digest());
+        // out-of-range indices are explicit errors
+        assert!(ModelDelta::RemoveConstraint { at: 7 }.apply(&m).is_err());
+        assert!(matches!(
+            ModelDelta::AddConstraint {
+                at: 7,
+                constraint: Box::new(m.constraints()[0].clone()),
+            }
+            .apply(&m),
+            Err(ModelError::DeltaRejected { .. })
+        ));
+    }
+}

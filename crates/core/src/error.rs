@@ -77,6 +77,20 @@ pub enum ModelError {
     /// Theorem-3 synthesis requires every element to be pipelinable; this
     /// element is not.
     NotPipelinable(ElementId),
+    /// There is no communication path between the named elements.
+    UnknownChannel {
+        /// Source element name.
+        from: String,
+        /// Target element name.
+        to: String,
+    },
+    /// A model delta could not be applied: the edit's preconditions fail
+    /// in a way no other variant names (element still referenced, index
+    /// out of range, …). The model is left untouched.
+    DeltaRejected {
+        /// Human-readable precondition that failed.
+        reason: String,
+    },
     /// An underlying graph operation failed.
     Graph(rtcg_graph::GraphError),
 }
@@ -134,6 +148,10 @@ impl fmt::Display for ModelError {
             ModelError::NotPipelinable(e) => {
                 write!(f, "element {e:?} cannot be software-pipelined")
             }
+            ModelError::UnknownChannel { from, to } => {
+                write!(f, "no communication path `{from}` -> `{to}`")
+            }
+            ModelError::DeltaRejected { reason } => write!(f, "delta rejected: {reason}"),
             ModelError::Graph(g) => write!(f, "graph error: {g}"),
         }
     }

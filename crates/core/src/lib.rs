@@ -83,6 +83,7 @@
 
 pub mod analysis;
 pub mod constraint;
+pub mod delta;
 pub mod error;
 pub mod feasibility;
 pub mod heuristic;
@@ -95,6 +96,7 @@ pub mod time;
 pub mod trace;
 
 pub use constraint::{ConstraintId, ConstraintKind, TimingConstraint};
+pub use delta::ModelDelta;
 pub use error::ModelError;
 pub use model::{CommGraph, ElementId, Model, ModelBuilder};
 pub use schedule::{Action, FeasibilityCache, FeasibilityReport, StaticSchedule};
@@ -105,6 +107,7 @@ pub use trace::{Instance, Slot, Trace};
 /// Convenience prelude re-exporting the types most programs need.
 pub mod prelude {
     pub use crate::constraint::{ConstraintId, ConstraintKind, TimingConstraint};
+    pub use crate::delta::ModelDelta;
     pub use crate::feasibility::{
         find_feasible, find_feasible_with, quick_infeasible, CandidateEval, PrefixPruner,
         PrunerTemplate, SearchConfig, SearchOutcome,

@@ -111,6 +111,72 @@ impl CommGraph {
         self.graph.node_weight(id)
     }
 
+    /// Retunes the worst-case computation time of `id`, returning the
+    /// previous value. Delta-application hook: the caller (normally
+    /// [`crate::delta::ModelDelta::apply`]) is responsible for
+    /// revalidating constraints against the new weight.
+    pub fn set_wcet(&mut self, id: ElementId, wcet: Time) -> Result<Time, ModelError> {
+        let e = self
+            .graph
+            .node_weight_mut(id)
+            .ok_or(ModelError::UnknownElement(id))?;
+        Ok(std::mem::replace(&mut e.wcet, wcet))
+    }
+
+    /// Removes an element from the graph. Refused while any channel is
+    /// incident to it — removing channels implicitly would make the edit
+    /// non-invertible (the delta journal could not restore them).
+    pub fn remove_element(&mut self, id: ElementId) -> Result<FunctionalElement, ModelError> {
+        if !self.graph.contains_node(id) {
+            return Err(ModelError::UnknownElement(id));
+        }
+        let degree = self.graph.out_degree(id) + self.graph.in_degree(id);
+        if degree > 0 {
+            let name = self.graph.node_weight(id).map(|e| e.name.clone());
+            return Err(ModelError::DeltaRejected {
+                reason: format!(
+                    "element `{}` still has {degree} incident channel(s); remove them first",
+                    name.unwrap_or_default()
+                ),
+            });
+        }
+        let e = self
+            .graph
+            .remove_node(id)
+            .ok_or(ModelError::UnknownElement(id))?;
+        self.by_name.remove(&e.name);
+        Ok(e)
+    }
+
+    /// Removes the communication path `from → to`, returning its channel
+    /// (so a delta journal can restore the label on undo).
+    pub fn remove_channel(
+        &mut self,
+        from: ElementId,
+        to: ElementId,
+    ) -> Result<Channel, ModelError> {
+        let edge = self.graph.find_edge(from, to).ok_or_else(|| {
+            let name = |id| {
+                self.element(id)
+                    .map(|e| e.name.clone())
+                    .unwrap_or_else(|| format!("{id:?}"))
+            };
+            ModelError::UnknownChannel {
+                from: name(from),
+                to: name(to),
+            }
+        })?;
+        Ok(self.graph.remove_edge(edge).expect("edge just found"))
+    }
+
+    /// Label of the channel `from → to`, when the channel exists.
+    pub fn channel_label(&self, from: ElementId, to: ElementId) -> Option<Option<String>> {
+        self.graph
+            .find_edge(from, to)
+            .and_then(|e| self.graph.edge_weight(e))
+            .map(|c| c.label.clone())
+    }
+
     /// Looks up an element by name.
     pub fn lookup(&self, name: &str) -> Result<ElementId, ModelError> {
         self.by_name

@@ -112,6 +112,113 @@ pub fn structure_fingerprint(model: &Model) -> u64 {
     h.finish()
 }
 
+/// Per-slice sub-fingerprints of one model, the unit of delta-aware
+/// memo invalidation (DESIGN.md §13).
+///
+/// The candidate memo ([`crate::SessionMemo`]) stores, per candidate
+/// action string, one *column* per constraint. The value in column `ix`
+/// depends on exactly two things: constraint `ix`'s task graph
+/// (operations, precedence, kind — **not** its period or deadline,
+/// which are content-addressed into the probe key instead) and the
+/// element alphabet (every id/weight/pipelinability, because candidate
+/// strings are action sequences over element ids and latency scans read
+/// weights). A delta therefore invalidates:
+///
+/// * nothing, when only [`SubFingerprints::constraints`] timing or
+///   [`SubFingerprints::regions`] (channel topology) moved;
+/// * only column `ix`, when `constraints[ix]` moved;
+/// * everything, when [`SubFingerprints::weights`] moved.
+///
+/// `regions` exists for the *result* memo: engine-level reports hash
+/// the whole model, and per-element region prints let a session name
+/// which part of the comm graph a delta touched (metrics + eviction
+/// audit) without diffing graphs structurally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubFingerprints {
+    /// Per-constraint (declaration order): kind + task-graph content.
+    /// Periods/deadlines excluded — retunes must not move these.
+    pub constraints: Vec<u64>,
+    /// Per comm-graph element region (arena order, live elements only):
+    /// the element and its outgoing channels. Channel splices move only
+    /// the endpoints' regions.
+    pub regions: Vec<u64>,
+    /// The element alphabet: every live element's id, name, weight and
+    /// pipelinability. Any weight edit moves this.
+    pub weights: u64,
+}
+
+impl SubFingerprints {
+    /// Indices of constraints whose sub-fingerprint differs between
+    /// `self` (old) and `new`, under `map`: `map(old_ix)` gives the new
+    /// index of old constraint `old_ix` (`None` = removed). Returns
+    /// old-side indices.
+    pub fn changed_constraints(
+        &self,
+        new: &SubFingerprints,
+        map: impl Fn(usize) -> Option<usize>,
+    ) -> Vec<usize> {
+        (0..self.constraints.len())
+            .filter(|&ix| match map(ix) {
+                Some(nix) => new.constraints.get(nix) != Some(&self.constraints[ix]),
+                None => true,
+            })
+            .collect()
+    }
+}
+
+/// Computes all sub-fingerprints of `model` in one pass.
+pub fn sub_fingerprints(model: &Model) -> SubFingerprints {
+    let comm = model.comm();
+    let mut weights = Fnv::new();
+    let mut regions = Vec::with_capacity(comm.element_count());
+    for (id, e) in comm.elements() {
+        weights.u64(id.index() as u64);
+        weights.str(&e.name);
+        weights.u64(e.wcet);
+        weights.u64(e.pipelinable as u64);
+        let mut r = Fnv::new();
+        r.u64(id.index() as u64);
+        r.str(&e.name);
+        r.u64(e.wcet);
+        r.u64(e.pipelinable as u64);
+        for edge in comm.graph().out_edges(id) {
+            r.u64(edge.to.index() as u64);
+            match &edge.weight.label {
+                Some(label) => {
+                    r.u64(1);
+                    r.str(label);
+                }
+                None => r.u64(0),
+            }
+        }
+        regions.push(r.finish());
+    }
+    let constraints = model
+        .constraints()
+        .iter()
+        .map(|c| {
+            let mut h = Fnv::new();
+            h.u64(matches!(c.kind, ConstraintKind::Periodic) as u64);
+            h.u64(c.task.op_count() as u64);
+            for (op_id, op) in c.task.ops() {
+                h.u64(op_id.index() as u64);
+                h.str(&op.label);
+                h.u64(op.element.index() as u64);
+            }
+            for (u, v) in c.task.precedence_edges() {
+                h.u64(u.index() as u64);
+                h.u64(v.index() as u64);
+            }
+            h.finish()
+        })
+        .collect();
+    SubFingerprints {
+        constraints,
+        regions,
+        weights: weights.finish(),
+    }
+}
+
 /// Fingerprint of the analysis request. `threads` is deliberately
 /// excluded: the parallel search replays the sequential one bit for
 /// bit, so thread count cannot change any observable result.
@@ -162,6 +269,71 @@ mod tests {
         let m1 = b1.build().unwrap();
         let m2 = b2.build().unwrap();
         assert_ne!(structure_fingerprint(&m1), structure_fingerprint(&m2));
+    }
+
+    #[test]
+    fn sub_fingerprints_isolate_delta_blast_radius() {
+        use rtcg_core::ModelDelta;
+        let (m, _) = rtcg_core::mok_example::default_model();
+        let base = sub_fingerprints(&m);
+
+        // deadline retune: nothing moves
+        let id = ConstraintId::new(0);
+        let d = m.constraint(id).unwrap().deadline;
+        let edited = with_deadline(&m, id, d + 1).unwrap().unwrap();
+        assert_eq!(base, sub_fingerprints(&edited));
+
+        // weight retune: weights + that element's region move, no
+        // constraint column moves (timing-independent task content)
+        let name = m.comm().elements().next().unwrap().1.name.clone();
+        let w = m.comm().wcet(m.comm().lookup(&name).unwrap()).unwrap();
+        let heavier = ModelDelta::SetWcet {
+            element: name,
+            wcet: w + 1,
+        }
+        .apply(&m)
+        .unwrap();
+        let sub = sub_fingerprints(&heavier);
+        assert_ne!(base.weights, sub.weights);
+        assert_eq!(base.constraints, sub.constraints);
+        assert_eq!(
+            base.regions
+                .iter()
+                .zip(&sub.regions)
+                .filter(|(a, b)| a != b)
+                .count(),
+            1
+        );
+
+        // constraint removal: the others' prints are stable under shift
+        let popped = ModelDelta::RemoveConstraint { at: 0 }.apply(&m).unwrap();
+        let sub = sub_fingerprints(&popped);
+        assert_eq!(&base.constraints[1..], &sub.constraints[..]);
+        assert_eq!(base.weights, sub.weights);
+        assert_eq!(
+            base.changed_constraints(&sub, |ix| ix.checked_sub(1)),
+            vec![0]
+        );
+    }
+
+    #[test]
+    fn channel_splice_moves_only_source_region() {
+        let mut b1 = rtcg_core::ModelBuilder::new();
+        let a = b1.element("a", 1);
+        let c = b1.element("c", 1);
+        b1.channel(a, c);
+        let m1 = b1.build().unwrap();
+        let m2 = rtcg_core::ModelDelta::AddChannel {
+            from: "c".into(),
+            to: "a".into(),
+            label: Some("fb".into()),
+        }
+        .apply(&m1)
+        .unwrap();
+        let (s1, s2) = (sub_fingerprints(&m1), sub_fingerprints(&m2));
+        assert_eq!(s1.weights, s2.weights);
+        assert_eq!(s1.regions[0], s2.regions[0], "a's region untouched");
+        assert_ne!(s1.regions[1], s2.regions[1], "c grew an out-channel");
     }
 
     #[test]

@@ -38,6 +38,7 @@
 pub mod batch;
 pub mod fingerprint;
 pub mod memo;
+pub mod session;
 
 use std::collections::HashMap;
 use std::fmt;
@@ -62,12 +63,16 @@ use rtcg_synth::latency::latency_synthesize_with;
 
 use fingerprint::{model_fingerprint, request_fingerprint, structure_fingerprint};
 use memo::{MemoEval, SessionMemo};
+use session::ResidentMut;
+
+pub use session::{ConstraintSelection, DeltaOutcome, EngineOptions, Query, SessionStats};
 
 /// Which analysis pipeline answers the request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum AnalysisMode {
     /// Theorem-3 heuristic synthesis (`rtcg_core::heuristic`): fast,
     /// incomplete — failure is *not* an infeasibility proof.
+    #[default]
     Heuristic,
     /// Shared-operation merging then heuristic synthesis
     /// (`rtcg_synth::latency`).
@@ -265,6 +270,9 @@ pub struct ShardStats {
     /// Times a poisoned shard lock was recovered (a batch worker
     /// panicked while holding it).
     pub poison_recoveries: u64,
+    /// Reports evicted from this shard by session deltas (a superseded
+    /// model fingerprint's slice; see [`session::Session::apply`]).
+    pub evictions: u64,
     /// Entries currently resident in this shard.
     pub occupancy: u64,
 }
@@ -276,6 +284,7 @@ struct ShardCounters {
     misses: AtomicU64,
     inserts: AtomicU64,
     poison_recoveries: AtomicU64,
+    evictions: AtomicU64,
 }
 
 /// `engine.shard.NN.<suffix>` metric-name tables. The names must be
@@ -309,6 +318,7 @@ const SHARD_HITS: [&str; SHARDS] = shard_names!("hits");
 const SHARD_MISSES: [&str; SHARDS] = shard_names!("misses");
 const SHARD_INSERTS: [&str; SHARDS] = shard_names!("inserts");
 const SHARD_POISON: [&str; SHARDS] = shard_names!("poison_recoveries");
+const SHARD_EVICTIONS: [&str; SHARDS] = shard_names!("evictions");
 const SHARD_OCCUPANCY: [&str; SHARDS] = shard_names!("occupancy");
 
 /// Per-structure incremental state: the deadline-independent pruner
@@ -358,6 +368,10 @@ pub struct Engine {
     leaf_evals_saved: AtomicU64,
     leaf_evals_computed: AtomicU64,
     shard_counters: [ShardCounters; SHARDS],
+    /// Sessions currently open against this engine (see
+    /// [`Engine::open_session`]); feeds the
+    /// `engine.session.resident_models` gauge.
+    pub(crate) open_sessions: AtomicU64,
 }
 
 impl Default for Engine {
@@ -370,6 +384,7 @@ impl Default for Engine {
             leaf_evals_saved: AtomicU64::new(0),
             leaf_evals_computed: AtomicU64::new(0),
             shard_counters: std::array::from_fn(|_| ShardCounters::default()),
+            open_sessions: AtomicU64::new(0),
         }
     }
 }
@@ -400,6 +415,7 @@ impl Engine {
             poison_recoveries: self.shard_counters[ix]
                 .poison_recoveries
                 .load(Ordering::Relaxed),
+            evictions: self.shard_counters[ix].evictions.load(Ordering::Relaxed),
             occupancy: self.recover_shard(ix, self.results[ix].read()).len() as u64,
         });
         EngineStats {
@@ -427,6 +443,7 @@ impl Engine {
             rtcg_obs::gauge!(SHARD_MISSES[ix], s.misses);
             rtcg_obs::gauge!(SHARD_INSERTS[ix], s.inserts);
             rtcg_obs::gauge!(SHARD_POISON[ix], s.poison_recoveries);
+            rtcg_obs::gauge!(SHARD_EVICTIONS[ix], s.evictions);
             rtcg_obs::gauge!(SHARD_OCCUPANCY[ix], s.occupancy);
         }
     }
@@ -470,7 +487,7 @@ impl Engine {
         } else {
             None
         };
-        let result = self.analyze_inner(model, req, cancel);
+        let result = self.run_query(model, req, cancel, None);
         if let Some(t0) = t0 {
             rtcg_obs::histogram!("engine.request_us", t0.elapsed().as_micros() as u64);
             // cancel-to-stop: how long after the token fired this
@@ -487,11 +504,18 @@ impl Engine {
         result
     }
 
-    fn analyze_inner(
+    /// The one canonical query path every public entry point funnels
+    /// into: result-memo lookup, mode dispatch, insert-unless-cancelled.
+    /// `resident` is a session's lent state — when present, the exact
+    /// search uses it instead of the engine's shared per-structure map,
+    /// so the session's memo columns stay aligned with its own
+    /// constraint numbering across deltas.
+    pub(crate) fn run_query(
         &self,
         model: &Model,
         req: &AnalysisRequest,
         cancel: Option<&CancelToken>,
+        resident: Option<ResidentMut<'_>>,
     ) -> Result<AnalysisReport, EngineError> {
         model.validate().map_err(EngineError::from)?;
         let key = (model_fingerprint(model), request_fingerprint(req));
@@ -514,7 +538,7 @@ impl Engine {
         let report = match req.mode {
             AnalysisMode::Heuristic => self.run_heuristic(model, req)?,
             AnalysisMode::Merged => self.run_merged(model, req)?,
-            AnalysisMode::Exact => self.run_exact(model, req, cancel)?,
+            AnalysisMode::Exact => self.run_exact(model, req, cancel, resident)?,
         };
         // a cancelled run's report is partial — never cache it (poll
         // latches a passed deadline so is_set observes it)
@@ -611,6 +635,26 @@ impl Engine {
         }
     }
 
+    /// Evicts every result-memo report keyed by `model_fp` (any request
+    /// fingerprint), returning the count. Called by
+    /// [`session::Session::apply`] when a delta supersedes a model:
+    /// only that fingerprint's slice of one shard is touched, which the
+    /// per-shard [`ShardStats::evictions`] counter makes auditable.
+    pub(crate) fn evict_results(&self, model_fp: u64) -> u64 {
+        let ix = shard_of(model_fp);
+        let mut shard = self.recover_shard(ix, self.results[ix].write());
+        let before = shard.len();
+        shard.retain(|k, _| k.0 != model_fp);
+        let evicted = (before - shard.len()) as u64;
+        if evicted > 0 {
+            self.shard_counters[ix]
+                .evictions
+                .fetch_add(evicted, Ordering::Relaxed);
+            rtcg_obs::counter!("engine.results_evicted", evicted);
+        }
+        evicted
+    }
+
     /// Finds or creates the shared session for `model`'s structure. The
     /// returned `Arc` is cloned out of the shard map, so the map lock is
     /// held only for the lookup, not for the search.
@@ -630,11 +674,36 @@ impl Engine {
         Ok(session)
     }
 
+    /// Runs one exact search over the given memo + template, recording
+    /// leaf-eval savings. Shared by the engine's per-structure sessions
+    /// and the lent state of long-lived [`session::Session`]s.
+    fn search_with_memo(
+        &self,
+        model: &Model,
+        req: &AnalysisRequest,
+        cancel: Option<&CancelToken>,
+        template: &PrunerTemplate,
+        memo: &mut SessionMemo,
+    ) -> Result<rtcg_core::feasibility::SearchOutcome, EngineError> {
+        let pruner = template.instantiate(model);
+        let mut eval = MemoEval::new(model, memo).map_err(EngineError::from)?;
+        let outcome = find_feasible_with_cancel(model, req.search, Some(pruner), &mut eval, cancel)
+            .map_err(EngineError::from)?;
+        self.leaf_evals_saved
+            .fetch_add(eval.evals_saved, Ordering::Relaxed);
+        self.leaf_evals_computed
+            .fetch_add(eval.evals_computed, Ordering::Relaxed);
+        rtcg_obs::counter!("engine.leaf_evals_saved", eval.evals_saved);
+        rtcg_obs::counter!("engine.leaf_evals_computed", eval.evals_computed);
+        Ok(outcome)
+    }
+
     fn run_exact(
         &self,
         model: &Model,
         req: &AnalysisRequest,
         cancel: Option<&CancelToken>,
+        resident: Option<ResidentMut<'_>>,
     ) -> Result<AnalysisReport, EngineError> {
         let outcome = if req.threads > 1 {
             // the parallel search shards per-worker FeasibilityCaches;
@@ -643,6 +712,21 @@ impl Engine {
             // does not.
             find_feasible_parallel_with_cancel(model, req.search, req.threads, cancel)
                 .map_err(EngineError::from)?
+        } else if let Some(resident) = resident {
+            // a session lent its state: build its template lazily, keep
+            // its memo (delta invalidation already pruned stale slices)
+            if resident.exact.is_none() {
+                let used = used_elements(model);
+                let template = PrunerTemplate::new(model, &used).map_err(EngineError::from)?;
+                *resident.exact = Some((template, used));
+            }
+            let (template, used) = resident.exact.as_ref().expect("just built");
+            debug_assert_eq!(
+                *used,
+                used_elements(model),
+                "session exact state out of sync with its model"
+            );
+            self.search_with_memo(model, req, cancel, template, resident.memo)?
         } else {
             let sf = structure_fingerprint(model);
             let session = self.session_for(model, sf)?;
@@ -652,18 +736,12 @@ impl Engine {
                 used_elements(model),
                 "structure fingerprint collision: alphabets differ"
             );
-            let pruner = session.template.instantiate(model);
-            let mut eval = MemoEval::new(model, &mut session.memo).map_err(EngineError::from)?;
-            let outcome =
-                find_feasible_with_cancel(model, req.search, Some(pruner), &mut eval, cancel)
-                    .map_err(EngineError::from)?;
-            self.leaf_evals_saved
-                .fetch_add(eval.evals_saved, Ordering::Relaxed);
-            self.leaf_evals_computed
-                .fetch_add(eval.evals_computed, Ordering::Relaxed);
-            rtcg_obs::counter!("engine.leaf_evals_saved", eval.evals_saved);
-            rtcg_obs::counter!("engine.leaf_evals_computed", eval.evals_computed);
-            outcome
+            let Session {
+                ref mut memo,
+                ref template,
+                ..
+            } = *session;
+            self.search_with_memo(model, req, cancel, template, memo)?
         };
 
         let stats = SearchStats {
@@ -764,18 +842,24 @@ impl Engine {
     }
 }
 
-/// Convenience one-shot: analyze without keeping an engine around (no
-/// reuse, but the same unified request/report surface).
+/// Convenience one-shot: analyze without keeping an engine around — a
+/// thin wrapper over a throwaway session (no reuse, but the same
+/// unified request/report surface and the same canonical query path).
 pub fn analyze_once(model: &Model, req: &AnalysisRequest) -> Result<AnalysisReport, EngineError> {
-    Engine::new().analyze(model, req)
+    let engine = Engine::new();
+    let (query, options) = req.split();
+    let mut session = engine.open_session_with(model.clone(), options)?;
+    session.analyze(&query)
 }
 
 /// Everything a caller of the unified API needs.
 pub mod prelude {
     pub use crate::batch::{BatchOptions, BatchResult};
+    pub use crate::session::Session;
     pub use crate::{
-        analyze_once, AnalysisMode, AnalysisReport, AnalysisRequest, Engine, EngineError,
-        EngineStats, SearchStats, ShardStats, Verdict, SHARDS,
+        analyze_once, AnalysisMode, AnalysisReport, AnalysisRequest, ConstraintSelection,
+        DeltaOutcome, Engine, EngineError, EngineOptions, EngineStats, Query, SearchStats,
+        SessionStats, ShardStats, Verdict, SHARDS,
     };
     pub use rtcg_core::prelude::*;
 }

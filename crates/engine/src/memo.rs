@@ -68,6 +68,68 @@ impl SessionMemo {
     pub fn is_empty(&self) -> bool {
         self.candidates.is_empty()
     }
+
+    /// Total memoized `(candidate, constraint-slice)` entries — the
+    /// granularity delta invalidation works at.
+    pub fn entry_count(&self) -> u64 {
+        self.candidates
+            .values()
+            .map(|m| (m.async_latency.len() + m.periodic.len()) as u64)
+            .sum()
+    }
+
+    /// Drops everything; returns the number of entries evicted. Used
+    /// when a delta moved the element alphabet (weights sub-fingerprint)
+    /// — every memoized latency read some weight.
+    pub fn clear(&mut self) -> u64 {
+        let evicted = self.entry_count();
+        self.candidates.clear();
+        evicted
+    }
+
+    /// Remaps constraint columns after a delta: each memo entry for old
+    /// constraint index `ix` moves to column `map(ix)`, or is evicted
+    /// when `map(ix)` is `None`. Candidates left with no entries are
+    /// dropped entirely. Returns the number of entries evicted.
+    ///
+    /// The caller (the session) derives `map` from the delta — identity
+    /// minus changed columns for a task-graph edit, an index shift for
+    /// constraint insertion/removal — and is responsible for only
+    /// mapping `old → new` when the constraint's sub-fingerprint is
+    /// unchanged (see [`crate::fingerprint::SubFingerprints`]).
+    pub fn remap_constraints(&mut self, map: impl Fn(usize) -> Option<usize>) -> u64 {
+        let mut evicted = 0u64;
+        for memo in self.candidates.values_mut() {
+            let n = memo.async_latency.len() + memo.periodic.len();
+            memo.async_latency = memo
+                .async_latency
+                .iter()
+                .filter_map(|(&ix, &v)| map(ix).map(|nix| (nix, v)))
+                .collect();
+            memo.periodic = memo
+                .periodic
+                .iter()
+                .filter_map(|(&(ix, p, l, d), &v)| map(ix).map(|nix| ((nix, p, l, d), v)))
+                .collect();
+            evicted += (n - memo.async_latency.len() - memo.periodic.len()) as u64;
+        }
+        self.candidates
+            .retain(|_, m| !(m.async_latency.is_empty() && m.periodic.is_empty()));
+        evicted
+    }
+
+    /// Number of entries currently memoized for constraint column `ix`
+    /// (tests + stats: asserts that invalidation evicted only the
+    /// affected slice).
+    pub fn column_entries(&self, ix: usize) -> u64 {
+        self.candidates
+            .values()
+            .map(|m| {
+                (m.async_latency.contains_key(&ix) as u64)
+                    + m.periodic.keys().filter(|k| k.0 == ix).count() as u64
+            })
+            .sum()
+    }
 }
 
 /// Leaf evaluator injected into [`rtcg_core::feasibility::find_feasible_with`]:
@@ -395,6 +457,65 @@ mod tests {
         // a representable joint hyperperiod still works
         let ok = build(huge);
         assert!(MemoEval::new(&ok, &mut memo).is_ok());
+    }
+
+    /// Populate a memo over a two-constraint model, then check the
+    /// slice-granular invalidation operations: dropping one column
+    /// evicts exactly that column's entries, a shift remap preserves
+    /// values under the new index, clear evicts everything.
+    #[test]
+    fn invalidation_is_slice_granular() {
+        let (m, symbols) = mixed_model(7, 5);
+        let mut memo = SessionMemo::default();
+        {
+            let mut eval = MemoEval::new(&m, &mut memo).unwrap();
+            for &a in &symbols[1..] {
+                for &b in &symbols[1..] {
+                    let _ = eval.check(&m, &[a, b]);
+                }
+            }
+        }
+        let col0 = memo.column_entries(0);
+        let col1 = memo.column_entries(1);
+        assert!(col0 > 0 && col1 > 0);
+        assert_eq!(memo.entry_count(), col0 + col1);
+
+        // drop only column 0 (async chain constraint)
+        let evicted = memo.remap_constraints(|ix| (ix != 0).then_some(ix));
+        assert_eq!(evicted, col0);
+        assert_eq!(memo.column_entries(0), 0);
+        assert_eq!(memo.column_entries(1), col1);
+
+        // shift the surviving column down (constraint 0 removed)
+        let evicted = memo.remap_constraints(|ix| ix.checked_sub(1));
+        assert_eq!(evicted, 0);
+        assert_eq!(memo.column_entries(0), col1);
+        assert_eq!(memo.column_entries(1), 0);
+
+        assert_eq!(memo.clear(), col1);
+        assert!(memo.is_empty());
+    }
+
+    /// A shifted column still serves hits: memoize under a two-
+    /// constraint model, remove the async constraint (periodic shifts
+    /// 1 → 0), and verify the rebuilt model's checks are fully served.
+    #[test]
+    fn remapped_columns_serve_hits() {
+        let (m, symbols) = mixed_model(7, 5);
+        let actions = vec![symbols[1], symbols[2]];
+        let mut memo = SessionMemo::default();
+        {
+            let mut eval = MemoEval::new(&m, &mut memo).unwrap();
+            eval.check(&m, &actions).unwrap();
+        }
+        let dropped = rtcg_core::ModelDelta::RemoveConstraint { at: 0 }
+            .apply(&m)
+            .unwrap();
+        memo.remap_constraints(|ix| ix.checked_sub(1));
+        let mut eval = MemoEval::new(&dropped, &mut memo).unwrap();
+        eval.check(&dropped, &actions).unwrap();
+        assert_eq!(eval.evals_computed, 0, "periodic column should have moved");
+        assert_eq!(eval.evals_saved, 1);
     }
 
     /// Second pass over the same model is fully memo-served.

@@ -2,7 +2,8 @@
 # Regenerates the checked-in perf trajectory files the same way CI does.
 #
 #   scripts/bench.sh            full run (regenerates BENCH_leafcheck.json,
-#                               BENCH_batch.json and BENCH_bitparallel.json)
+#                               BENCH_batch.json, BENCH_bitparallel.json
+#                               and BENCH_serve.json)
 #   scripts/bench.sh --quick    CI smoke mode (fewer candidates/iterations)
 #
 # The leafcheck bench asserts the >=3x compiled-vs-cached speedup gate
@@ -10,8 +11,10 @@
 # the >=3x cross-request cache-reuse gate at bit-identical verdicts; the
 # bitparallel bench asserts the >=10x aggregate check_batch-vs-scalar
 # speedup gate over the leafcheck scenarios (with a >=3x per-scenario
-# floor), again at bit-identical verdicts. A regression in any fails
-# the script.
+# floor), again at bit-identical verdicts; the serve bench asserts the
+# >=5x resident-session leaf-eval reuse gate over cold per-edit analysis
+# on a chain-family edit stream, with every resident report bit-identical
+# to its cold counterpart. A regression in any fails the script.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -23,3 +26,4 @@ fi
 cargo bench -p rtcg-bench --bench leafcheck
 cargo bench -p rtcg-bench --bench batch
 cargo bench -p rtcg-bench --bench bitparallel
+cargo bench -p rtcg-bench --bench serve
