@@ -17,6 +17,7 @@
 //! `RTCG_BENCH_QUICK=1` shrinks the sweep for CI smoke runs).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtcg_bench::{BenchReport, ScenarioRow};
 use rtcg_core::feasibility::SearchConfig;
 use rtcg_core::model::Model;
 use rtcg_core::mok_example;
@@ -25,7 +26,6 @@ use rtcg_core::ConstraintId;
 use rtcg_engine::batch::BatchOptions;
 use rtcg_engine::{analyze_once, AnalysisRequest, Engine};
 use rtcg_hardness::families::chain_family_with_deadline;
-use std::fmt::Write as _;
 use std::time::Instant;
 
 struct Scenario {
@@ -82,39 +82,24 @@ struct Row {
     warm_s: f64,
 }
 
-fn out_path() -> std::path::PathBuf {
-    match std::env::var_os("RTCG_BENCH_OUT") {
-        Some(p) => p.into(),
-        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_batch.json"),
-    }
-}
-
 fn write_json(rows: &[Row]) {
-    let mut s = String::from(
-        "{\n  \"bench\": \"batch\",\n  \"unit\": \"leaf_evals_computed\",\n  \"scenarios\": [\n",
-    );
-    for (i, r) in rows.iter().enumerate() {
-        let _ = writeln!(
-            s,
-            "    {{\"name\": \"{}\", \"requests\": {}, \"cold_leaf_evals\": {}, \"warm_leaf_evals\": {}, \"reuse_factor\": {:.2}, \"cold_s\": {:.9}, \"warm_s\": {:.9}}}{}",
-            r.name,
-            r.requests,
-            r.cold_evals,
-            r.warm_evals,
-            r.reuse_factor,
-            r.cold_s,
-            r.warm_s,
-            if i + 1 < rows.len() { "," } else { "" }
+    let mut rep = BenchReport::new("batch", "leaf_evals_computed");
+    for r in rows {
+        rep.row(
+            ScenarioRow::new(r.name)
+                .int("requests", r.requests as u64)
+                .int("cold_leaf_evals", r.cold_evals)
+                .int("warm_leaf_evals", r.warm_evals)
+                .float("reuse_factor", r.reuse_factor, 2)
+                .float("cold_s", r.cold_s, 9)
+                .float("warm_s", r.warm_s, 9),
         );
     }
-    s.push_str("  ]\n}\n");
-    let path = out_path();
-    std::fs::write(&path, s).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
-    println!("batch: wrote {}", path.display());
+    rep.write();
 }
 
 fn bench_batch(c: &mut Criterion) {
-    let quick = std::env::var_os("RTCG_BENCH_QUICK").is_some();
+    let quick = rtcg_bench::report::quick();
     let opts = BatchOptions {
         threads: 2,
         budget_ms: None,

@@ -28,12 +28,12 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use rtcg_bench::{BenchReport, ScenarioRow};
 use rtcg_core::feasibility::{used_elements, CompiledChecker, MAX_BATCH};
 use rtcg_core::model::Model;
 use rtcg_core::mok_example;
 use rtcg_core::schedule::Action;
 use rtcg_hardness::families::{chain_family, chain_family_with_deadline};
-use std::fmt::Write as _;
 use std::time::Instant;
 
 struct Scenario {
@@ -197,15 +197,6 @@ struct Row {
     gated: bool,
 }
 
-fn out_path() -> std::path::PathBuf {
-    match std::env::var_os("RTCG_BENCH_OUT") {
-        Some(p) => p.into(),
-        None => {
-            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_bitparallel.json")
-        }
-    }
-}
-
 fn gated_aggregate(rows: &[Row]) -> f64 {
     let scalar: f64 = rows.iter().filter(|r| r.gated).map(|r| r.scalar_s).sum();
     let batch: f64 = rows.iter().filter(|r| r.gated).map(|r| r.batch_s).sum();
@@ -213,35 +204,24 @@ fn gated_aggregate(rows: &[Row]) -> f64 {
 }
 
 fn write_json(rows: &[Row]) {
-    let mut s =
-        String::from("{\n  \"bench\": \"bitparallel\",\n  \"unit\": \"seconds_per_sweep\",\n");
-    let _ = writeln!(
-        s,
-        "  \"gated_aggregate_speedup\": {:.2},\n  \"scenarios\": [",
-        gated_aggregate(rows)
-    );
-    for (i, r) in rows.iter().enumerate() {
-        let _ = writeln!(
-            s,
-            "    {{\"name\": \"{}\", \"rows\": {}, \"width\": {}, \"candidates\": {}, \"scalar_compiled_s\": {:.9}, \"check_batch_s\": {:.9}, \"speedup\": {:.2}}}{}",
-            r.name,
-            r.n_rows,
-            r.width,
-            r.n_rows * r.width,
-            r.scalar_s,
-            r.batch_s,
-            r.speedup,
-            if i + 1 < rows.len() { "," } else { "" }
+    let mut rep = BenchReport::new("bitparallel", "seconds_per_sweep");
+    rep.aggregate("gated_aggregate_speedup", gated_aggregate(rows), 2);
+    for r in rows {
+        rep.row(
+            ScenarioRow::new(r.name)
+                .int("rows", r.n_rows as u64)
+                .int("width", r.width as u64)
+                .int("candidates", (r.n_rows * r.width) as u64)
+                .float("scalar_compiled_s", r.scalar_s, 9)
+                .float("check_batch_s", r.batch_s, 9)
+                .float("speedup", r.speedup, 2),
         );
     }
-    s.push_str("  ]\n}\n");
-    let path = out_path();
-    std::fs::write(&path, s).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
-    println!("bitparallel: wrote {}", path.display());
+    rep.write();
 }
 
 fn bench_bitparallel(c: &mut Criterion) {
-    let quick = std::env::var_os("RTCG_BENCH_QUICK").is_some();
+    let quick = rtcg_bench::report::quick();
     let (count, iters) = if quick { (64, 5) } else { (256, 40) };
 
     let mut rows = Vec::new();

@@ -18,12 +18,12 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use rtcg_bench::{BenchReport, ScenarioRow};
 use rtcg_core::feasibility::{used_elements, CandidateEval, CompiledChecker};
 use rtcg_core::model::Model;
 use rtcg_core::mok_example;
 use rtcg_core::schedule::{Action, FeasibilityCache};
 use rtcg_hardness::families::{chain_family, chain_family_with_deadline};
-use std::fmt::Write as _;
 use std::time::Instant;
 
 struct Scenario {
@@ -121,37 +121,22 @@ struct Row {
     speedup: f64,
 }
 
-fn out_path() -> std::path::PathBuf {
-    match std::env::var_os("RTCG_BENCH_OUT") {
-        Some(p) => p.into(),
-        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_leafcheck.json"),
-    }
-}
-
 fn write_json(rows: &[Row]) {
-    let mut s = String::from(
-        "{\n  \"bench\": \"leafcheck\",\n  \"unit\": \"seconds_per_sweep\",\n  \"scenarios\": [\n",
-    );
-    for (i, r) in rows.iter().enumerate() {
-        let _ = writeln!(
-            s,
-            "    {{\"name\": \"{}\", \"candidates\": {}, \"feasibility_cache_s\": {:.9}, \"compiled_checker_s\": {:.9}, \"speedup\": {:.2}}}{}",
-            r.name,
-            r.n_candidates,
-            r.cache_s,
-            r.compiled_s,
-            r.speedup,
-            if i + 1 < rows.len() { "," } else { "" }
+    let mut rep = BenchReport::new("leafcheck", "seconds_per_sweep");
+    for r in rows {
+        rep.row(
+            ScenarioRow::new(r.name)
+                .int("candidates", r.n_candidates as u64)
+                .float("feasibility_cache_s", r.cache_s, 9)
+                .float("compiled_checker_s", r.compiled_s, 9)
+                .float("speedup", r.speedup, 2),
         );
     }
-    s.push_str("  ]\n}\n");
-    let path = out_path();
-    std::fs::write(&path, s).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
-    println!("leafcheck: wrote {}", path.display());
+    rep.write();
 }
 
 fn bench_leafcheck(c: &mut Criterion) {
-    let quick = std::env::var_os("RTCG_BENCH_QUICK").is_some();
+    let quick = rtcg_bench::report::quick();
     let (count, iters) = if quick { (128, 5) } else { (512, 40) };
 
     let mut rows = Vec::new();

@@ -22,13 +22,13 @@
 //! [`Session`]: rtcg_engine::session::Session
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtcg_bench::{BenchReport, ScenarioRow};
 use rtcg_core::feasibility::SearchConfig;
 use rtcg_core::model::Model;
 use rtcg_core::mok_example;
 use rtcg_core::{ConstraintId, ModelDelta};
 use rtcg_engine::{analyze_once, AnalysisMode, AnalysisRequest, Engine, EngineOptions, Query};
 use rtcg_hardness::families::chain_family_with_deadline;
-use std::fmt::Write as _;
 use std::time::Instant;
 
 struct Scenario {
@@ -139,36 +139,21 @@ struct Row {
     slices_evicted: u64,
 }
 
-fn out_path() -> std::path::PathBuf {
-    match std::env::var_os("RTCG_BENCH_OUT") {
-        Some(p) => p.into(),
-        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json"),
-    }
-}
-
 fn write_json(rows: &[Row]) {
-    let mut s = String::from(
-        "{\n  \"bench\": \"serve\",\n  \"unit\": \"leaf_evals_computed\",\n  \"scenarios\": [\n",
-    );
-    for (i, r) in rows.iter().enumerate() {
-        let _ = writeln!(
-            s,
-            "    {{\"name\": \"{}\", \"edits\": {}, \"cold_leaf_evals\": {}, \"warm_leaf_evals\": {}, \"reuse_factor\": {:.2}, \"cold_s\": {:.9}, \"warm_s\": {:.9}, \"slices_evicted\": {}}}{}",
-            r.name,
-            r.edits,
-            r.cold_evals,
-            r.warm_evals,
-            r.reuse_factor,
-            r.cold_s,
-            r.warm_s,
-            r.slices_evicted,
-            if i + 1 < rows.len() { "," } else { "" }
+    let mut rep = BenchReport::new("serve", "leaf_evals_computed");
+    for r in rows {
+        rep.row(
+            ScenarioRow::new(r.name)
+                .int("edits", r.edits as u64)
+                .int("cold_leaf_evals", r.cold_evals)
+                .int("warm_leaf_evals", r.warm_evals)
+                .float("reuse_factor", r.reuse_factor, 2)
+                .float("cold_s", r.cold_s, 9)
+                .float("warm_s", r.warm_s, 9)
+                .int("slices_evicted", r.slices_evicted),
         );
     }
-    s.push_str("  ]\n}\n");
-    let path = out_path();
-    std::fs::write(&path, s).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
-    println!("serve: wrote {}", path.display());
+    rep.write();
 }
 
 /// Drives the whole edit stream through one resident session,
@@ -185,7 +170,7 @@ fn run_resident(scenario: &Scenario, engine: &Engine) -> u64 {
 }
 
 fn bench_serve(c: &mut Criterion) {
-    let quick = std::env::var_os("RTCG_BENCH_QUICK").is_some();
+    let quick = rtcg_bench::report::quick();
     let mut rows = Vec::new();
     let mut group = c.benchmark_group("serve");
     group.sample_size(10);

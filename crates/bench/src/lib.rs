@@ -8,12 +8,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corpus;
 pub mod gen;
 pub mod obs;
+pub mod report;
 pub mod table;
 
+pub use corpus::{generate_corpus, CorpusSpec};
 pub use gen::{random_async_model, random_process_set, shared_core_model};
 pub use obs::init_from_env as init_metrics_from_env;
+pub use report::{BenchReport, ScenarioRow};
 pub use table::Table;
 
 use std::time::Instant;

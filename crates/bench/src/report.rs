@@ -1,0 +1,152 @@
+//! Shared writer for the `BENCH_*.json` perf-trajectory artifacts.
+//!
+//! Every measured criterion bench (leafcheck, batch, bitparallel,
+//! serve, corpus) records its numbers in a small JSON file at the repo
+//! root so regressions show up in diffs. The files share one shape —
+//! `{"bench", "unit", <optional top-level aggregates>, "scenarios":
+//! [...]}` with one-line scenario objects — and one pair of environment
+//! knobs: `RTCG_BENCH_OUT` overrides the output path, and
+//! `RTCG_BENCH_QUICK=1` asks the bench to shrink its sweep for CI smoke
+//! runs. This module is the single implementation of that contract.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// True when `RTCG_BENCH_QUICK` is set: benches should shrink their
+/// sweeps to smoke-test size.
+pub fn quick() -> bool {
+    std::env::var_os("RTCG_BENCH_QUICK").is_some()
+}
+
+/// One scenario line in a bench report. Fields render in insertion
+/// order as a single-line JSON object starting with `"name"`.
+pub struct ScenarioRow {
+    buf: String,
+}
+
+impl ScenarioRow {
+    /// Starts a row named `name`.
+    pub fn new(name: &str) -> Self {
+        ScenarioRow {
+            buf: format!("{{\"name\": \"{name}\""),
+        }
+    }
+
+    /// Appends an integer field.
+    #[must_use]
+    pub fn int(mut self, key: &str, v: u64) -> Self {
+        let _ = write!(self.buf, ", \"{key}\": {v}");
+        self
+    }
+
+    /// Appends a float field with `prec` digits after the point
+    /// (benches use 9 for seconds, 2 for ratios).
+    #[must_use]
+    pub fn float(mut self, key: &str, v: f64, prec: usize) -> Self {
+        let _ = write!(self.buf, ", \"{key}\": {v:.prec$}");
+        self
+    }
+
+    fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Accumulates scenario rows and writes the `BENCH_<name>.json`
+/// artifact.
+pub struct BenchReport {
+    bench: String,
+    header: String,
+    rows: Vec<String>,
+}
+
+impl BenchReport {
+    /// Starts a report for bench `bench` whose scenario numbers are in
+    /// `unit`.
+    pub fn new(bench: &str, unit: &str) -> Self {
+        BenchReport {
+            bench: bench.to_string(),
+            header: format!("{{\n  \"bench\": \"{bench}\",\n  \"unit\": \"{unit}\",\n"),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a top-level aggregate field (rendered before `scenarios`).
+    pub fn aggregate(&mut self, key: &str, v: f64, prec: usize) {
+        let _ = writeln!(self.header, "  \"{key}\": {v:.prec$},");
+    }
+
+    /// Adds a scenario row.
+    pub fn row(&mut self, row: ScenarioRow) {
+        self.rows.push(row.finish());
+    }
+
+    /// The output path: `RTCG_BENCH_OUT` if set, else
+    /// `BENCH_<bench>.json` at the repo root.
+    pub fn out_path(&self) -> PathBuf {
+        match std::env::var_os("RTCG_BENCH_OUT") {
+            Some(p) => p.into(),
+            None => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join(format!("../../BENCH_{}.json", self.bench)),
+        }
+    }
+
+    /// Renders the artifact text.
+    pub fn render(&self) -> String {
+        let mut s = self.header.clone();
+        s.push_str("  \"scenarios\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {row}{}",
+                if i + 1 < self.rows.len() { "," } else { "" }
+            );
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Writes the artifact and prints the destination, panicking on io
+    /// errors (a bench that cannot record its numbers has failed).
+    pub fn write(&self) {
+        let path = self.out_path();
+        std::fs::write(&path, self.render())
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        println!("{}: wrote {}", self.bench, path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_the_shared_shape() {
+        let mut r = BenchReport::new("demo", "widgets_per_s");
+        #[allow(clippy::approx_constant)]
+        r.aggregate("overall_speedup", 3.14159, 2);
+        r.row(ScenarioRow::new("a").int("n", 7).float("s", 0.25, 9));
+        r.row(ScenarioRow::new("b").int("n", 9));
+        let text = r.render();
+        assert_eq!(
+            text,
+            "{\n  \"bench\": \"demo\",\n  \"unit\": \"widgets_per_s\",\n  \
+             \"overall_speedup\": 3.14,\n  \"scenarios\": [\n    \
+             {\"name\": \"a\", \"n\": 7, \"s\": 0.250000000},\n    \
+             {\"name\": \"b\", \"n\": 9}\n  ]\n}\n"
+        );
+        // the artifact must stay machine-readable
+        let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(v["bench"], "demo");
+        assert_eq!(v["scenarios"][0]["s"], 0.25);
+    }
+
+    #[test]
+    fn default_path_lands_at_repo_root() {
+        let r = BenchReport::new("demo", "u");
+        if std::env::var_os("RTCG_BENCH_OUT").is_none() {
+            assert!(r.out_path().ends_with("../../BENCH_demo.json"));
+        }
+    }
+}

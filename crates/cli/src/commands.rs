@@ -32,10 +32,11 @@ fn summary(model: &Model) -> String {
 
 /// The session-level options shared verbatim by `analyze`, `serve`,
 /// `synthesize` and `analyze --batch`: resource knobs (`--threads`,
-/// `--budget-ms`) and observability sinks (`--metrics-out`,
-/// `--progress`), parsed once with uniform positive-value validation so
-/// every subcommand rejects `--threads 0` or `--budget-ms 0` with the
-/// same usage diagnostic (exit code 1).
+/// `--budget-ms`), observability sinks (`--metrics-out`, `--progress`)
+/// and the persistent memo snapshot (`--cache-file`), parsed once with
+/// uniform positive-value validation so every subcommand rejects
+/// `--threads 0` or `--budget-ms 0` with the same usage diagnostic
+/// (exit code 1).
 #[derive(Debug, Clone)]
 pub(crate) struct CommonOpts {
     /// Exact-search worker threads (default 1).
@@ -46,6 +47,8 @@ pub(crate) struct CommonOpts {
     pub metrics_out: Option<String>,
     /// Live stderr progress ticker.
     pub progress: bool,
+    /// Memo snapshot loaded before and saved after the run.
+    pub cache_file: Option<String>,
 }
 
 impl CommonOpts {
@@ -55,6 +58,7 @@ impl CommonOpts {
             budget_ms: positive_flag_value(flags, "--budget-ms")?,
             metrics_out: crate::profile::flag_str(flags, "--metrics-out")?,
             progress: flags.iter().any(|f| f == "--progress"),
+            cache_file: cache_file_flag(flags)?,
         })
     }
 
@@ -65,6 +69,83 @@ impl CommonOpts {
             budget_ms: self.budget_ms,
         }
     }
+}
+
+/// `--cache-file <path>`: a memo snapshot to load before and save
+/// after the run. Validation is eager and usage-level (exit code 1):
+/// the path must not name a directory, and a not-yet-existing file must
+/// at least sit in an existing directory — so a typo'd path fails
+/// before a long batch runs rather than at save time after it.
+pub(crate) fn cache_file_flag(flags: &[String]) -> Result<Option<String>, CliError> {
+    let Some(path) = crate::profile::flag_str(flags, "--cache-file")? else {
+        return Ok(None);
+    };
+    let p = std::path::Path::new(&path);
+    if p.is_dir() {
+        return Err(CliError::Usage(format!(
+            "--cache-file `{path}` is a directory, not a snapshot file"
+        )));
+    }
+    if !p.exists() {
+        if let Some(parent) = p.parent() {
+            if !parent.as_os_str().is_empty() && !parent.is_dir() {
+                return Err(CliError::Usage(format!(
+                    "--cache-file `{path}`: parent directory `{}` does not exist",
+                    parent.display()
+                )));
+            }
+        }
+    }
+    Ok(Some(path))
+}
+
+/// Warms `engine` from the `--cache-file` snapshot, if one is set and
+/// already exists (a missing file is the normal cold-start case, not an
+/// error). Corrupt or unreadable snapshots abort the run: silently
+/// recomputing cold would mask the operational problem the flag exists
+/// to avoid. Returns the one-line human report, which [`load_cache`]
+/// prints to stdout and `rtcg serve` routes to stderr (its stdout is
+/// the JSONL response stream).
+pub(crate) fn load_cache_report(
+    engine: &Engine,
+    common: &CommonOpts,
+) -> Result<Option<String>, CliError> {
+    let Some(path) = &common.cache_file else {
+        return Ok(None);
+    };
+    if !std::path::Path::new(path).exists() {
+        return Ok(Some(format!("cache: `{path}` not found, starting cold")));
+    }
+    let stats = engine
+        .load_snapshot(path)
+        .map_err(|e| CliError::Input(format!("cannot load cache `{path}`: {e}")))?;
+    Ok(Some(format!(
+        "cache: loaded {} section(s) from `{path}` ({} stale section(s) skipped, {} bytes)",
+        stats.sections_loaded, stats.sections_skipped, stats.bytes
+    )))
+}
+
+/// [`load_cache_report`], reporting on stdout.
+pub(crate) fn load_cache(engine: &Engine, common: &CommonOpts) -> Result<(), CliError> {
+    if let Some(line) = load_cache_report(engine, common)? {
+        println!("{line}");
+    }
+    Ok(())
+}
+
+/// Persists `engine`'s memos to the `--cache-file` snapshot, if set.
+pub(crate) fn save_cache(engine: &Engine, common: &CommonOpts) -> Result<(), CliError> {
+    let Some(path) = &common.cache_file else {
+        return Ok(());
+    };
+    let stats = engine
+        .save_snapshot(path)
+        .map_err(|e| CliError::Input(format!("cannot save cache `{path}`: {e}")))?;
+    println!(
+        "cache: saved {} section(s) to `{path}` ({} bytes)",
+        stats.sections, stats.bytes
+    );
+    Ok(())
 }
 
 /// Maps the shared analysis flags onto one [`AnalysisRequest`]:
@@ -150,8 +231,8 @@ pub fn check(path: &str, flags: &[String]) -> Result<(), CliError> {
 }
 
 /// `rtcg synthesize [--merged|--exact] [--threads N] [--max-len L]
-/// [--budget B] [--gantt N] [--progress] [--metrics] [--metrics-out F]
-/// [--trace-out F]`.
+/// [--budget B] [--gantt N] [--cache-file F] [--progress] [--metrics]
+/// [--metrics-out F] [--trace-out F]`.
 pub fn synthesize(path: &str, flags: &[String]) -> Result<(), CliError> {
     let rec = crate::profile::recorder_for(flags);
     let ticker = crate::profile::ProgressTicker::start_if(flags, rec);
@@ -173,6 +254,7 @@ fn synthesize_inner(path: &str, flags: &[String]) -> Result<(), CliError> {
     let common = CommonOpts::parse(flags)?;
     let (_, model) = load(path)?;
     let engine = Engine::new();
+    load_cache(&engine, &common)?;
     let report = {
         let (query, _) = req.split();
         let mut session = engine
@@ -180,6 +262,7 @@ fn synthesize_inner(path: &str, flags: &[String]) -> Result<(), CliError> {
             .map_err(engine_err)?;
         session.analyze(&query).map_err(engine_err)?
     };
+    save_cache(&engine, &common)?;
     if let (AnalysisMode::Exact, Some(stats)) = (req.mode, report.search) {
         println!(
             "exact search ({} thread(s), max len {}, budget {}): {} nodes, {} candidates{}",
@@ -217,8 +300,8 @@ fn synthesize_inner(path: &str, flags: &[String]) -> Result<(), CliError> {
 }
 
 /// `rtcg analyze [--merged|--exact] [--threads N] [--max-len L]
-/// [--budget B] [--sweep] [--cache-stats] [--progress] [--metrics]
-/// [--metrics-out F] [--trace-out F]` — the unified analysis front
+/// [--budget B] [--sweep] [--cache-stats] [--cache-file F] [--progress]
+/// [--metrics] [--metrics-out F] [--trace-out F]` — the unified analysis front
 /// end. Without `--sweep`, reports the verdict for the model as
 /// written; with `--sweep`, binary-searches every constraint's minimum
 /// feasible deadline through the engine's incremental cache.
@@ -240,6 +323,7 @@ fn analyze_inner(path: &str, flags: &[String]) -> Result<(), CliError> {
     let common = CommonOpts::parse(flags)?;
     let (_, model) = load(path)?;
     let engine = Engine::new();
+    load_cache(&engine, &common)?;
     if flags.iter().any(|f| f == "--sweep") {
         println!("deadline sensitivity sweep ({}):", mode_name(req.mode));
         let rows = engine
@@ -261,6 +345,7 @@ fn analyze_inner(path: &str, flags: &[String]) -> Result<(), CliError> {
             .max_uniform_tightening(&model, &req)
             .map_err(engine_err)?;
         println!("maximum uniform tightening: {pct}% of declared deadlines");
+        save_cache(&engine, &common)?;
     } else {
         let report = {
             let (query, _) = req.split();
@@ -269,6 +354,7 @@ fn analyze_inner(path: &str, flags: &[String]) -> Result<(), CliError> {
                 .map_err(engine_err)?;
             session.analyze(&query).map_err(engine_err)?
         };
+        save_cache(&engine, &common)?;
         if let Some(stats) = report.search {
             println!(
                 "search: {} nodes, {} candidates{}",
@@ -301,12 +387,14 @@ fn analyze_inner(path: &str, flags: &[String]) -> Result<(), CliError> {
 }
 
 /// `rtcg analyze --batch <manifest> [--threads N] [--budget-ms M]
-/// [--merged|--exact] [--max-len L] [--budget B] [--cache-stats]` —
-/// analyzes every spec listed in the manifest (one path per line, `#`
-/// comments, paths relative to the manifest) through one shared engine
-/// cache, fanned across `N` worker threads. With `--budget-ms`, a
-/// request whose exact search exceeds the budget degrades to the
-/// heuristic verdict instead of erroring.
+/// [--merged|--exact] [--max-len L] [--budget B] [--cache-stats]
+/// [--cache-file F]` — analyzes every spec listed in the manifest (one
+/// path per line, `#` comments, paths relative to the manifest) through
+/// one shared engine cache, fanned across `N` worker threads. With
+/// `--budget-ms`, a request whose exact search exceeds the budget
+/// degrades to the heuristic verdict instead of erroring. With
+/// `--cache-file`, the engine memo is warmed from the snapshot before
+/// the batch and persisted back after it.
 pub fn analyze_batch(manifest: &str, flags: &[String]) -> Result<(), CliError> {
     let rec = crate::profile::recorder_for(flags);
     let result = analyze_batch_inner(manifest, flags);
@@ -369,7 +457,11 @@ fn analyze_batch_inner(manifest: &str, flags: &[String]) -> Result<(), CliError>
         }
     );
     let engine = Engine::new();
+    load_cache(&engine, &common)?;
     let results = engine.analyze_batch(&jobs, &opts);
+    // save before the verdict-derived exit code: an infeasible batch
+    // still warmed the memo, and the next run wants that work
+    save_cache(&engine, &common)?;
     let width = paths.iter().map(|p| p.len()).max().unwrap_or(0);
     let (mut feasible, mut infeasible, mut unknown, mut errors, mut degraded) = (0, 0, 0, 0, 0);
     for (path, result) in paths.iter().zip(&results) {

@@ -5,6 +5,8 @@
 //! rtcg check <spec.rtcg>               validate a specification
 //! rtcg analyze <spec.rtcg> [--exact] [--sweep] [--cache-stats]
 //! rtcg analyze --batch <manifest> [--threads N] [--budget-ms M]
+//! rtcg corpus generate <dir> [--count N] [--seed S]
+//! rtcg corpus run <dir|manifest> [--cache-file FILE]
 //! rtcg serve [--threads N] [--budget-ms M]
 //! rtcg synthesize <spec.rtcg> [--merged|--exact] [--threads N] [--gantt N]
 //! rtcg simulate <spec.rtcg> --ticks N [--seed S]
@@ -21,6 +23,7 @@
 use std::process::ExitCode;
 
 mod commands;
+mod corpus;
 mod profile;
 mod protocol;
 mod serve;
@@ -53,9 +56,12 @@ const USAGE: &str = "usage:
                [--metrics] [--metrics-out FILE] [--trace-out FILE]
   rtcg analyze --batch <manifest> [--merged|--exact] [--threads N]
                [--budget-ms M] [--max-len L] [--budget B] [--cache-stats]
-               [--metrics] [--metrics-out FILE] [--trace-out FILE]
-  rtcg serve [--threads N] [--budget-ms M] [--metrics-out FILE]
-             [--trace-out FILE]
+               [--cache-file FILE] [--metrics] [--metrics-out FILE]
+               [--trace-out FILE]
+  rtcg corpus generate <dir> [--count N] [--seed S]
+  rtcg corpus run <dir|manifest> [batch flags, e.g. --cache-file FILE]
+  rtcg serve [--threads N] [--budget-ms M] [--cache-file FILE]
+             [--metrics-out FILE] [--trace-out FILE]
   rtcg synthesize <spec.rtcg> [--merged|--exact] [--threads N] [--max-len L]
                   [--budget B] [--budget-ms M] [--gantt N] [--cache-stats]
                   [--progress] [--metrics] [--metrics-out FILE]
@@ -85,6 +91,17 @@ batch (analyze --batch):
   --threads N        worker threads sharing one engine cache (default 1)
   --budget-ms M      per-request deadline budget; an exact search that
                      exceeds it degrades to the heuristic verdict
+  --cache-file FILE  persistent memo snapshot: loaded before the batch
+                     (if FILE exists) and saved back after it, so a re-run
+                     replays from the warm memo instead of recomputing
+
+corpus (mass-generated spec fleets):
+  generate <dir>     write --count seeded specs (default 100, --seed S,
+                     default 0) from five deterministic model families,
+                     plus a versioned batch manifest (manifest.txt)
+  run <dir|manifest> analyze the corpus via the batch engine; accepts all
+                     batch flags — pair with --cache-file for the
+                     cold-save / warm-load fleet flow
 
 serve (persistent analysis daemon):
   speaks a versioned JSONL protocol on stdin/stdout — one request line in,
@@ -92,8 +109,11 @@ serve (persistent analysis daemon):
   or inline spec), delta (set_deadline, set_period, set_wcet, add_element,
   remove_element, add_channel, remove_channel, add_constraint,
   remove_constraint), undo, analyze (mode/max_len/budget/selection), stats,
-  close. Sessions keep the candidate memo hot across deltas; see DESIGN.md
-  section 13 and examples/specs/serve_session.jsonl
+  snapshot (persist the memo, path defaults to --cache-file), restore
+  (merge a snapshot back in), close. Sessions keep the candidate memo hot
+  across deltas; with --cache-file the daemon warms from the snapshot at
+  startup and checkpoints on EOF shutdown; see DESIGN.md sections 13-14
+  and examples/specs/serve_session.jsonl
 
 observability:
   --metrics          print a counters/spans/histograms summary after the run
@@ -127,6 +147,23 @@ fn run(args: &[String]) -> Result<(), CliError> {
             commands::analyze_batch(manifest, &args[3..])
         }
         "analyze" => commands::analyze(rest(args)?, &args[2..]),
+        "corpus" => match args.get(1).map(|s| s.as_str()) {
+            Some("generate") => {
+                let dir = args.get(2).map(|s| s.as_str()).ok_or_else(|| {
+                    CliError::Usage("corpus generate needs a target directory".into())
+                })?;
+                corpus::generate(dir, &args[3..])
+            }
+            Some("run") => {
+                let target = args.get(2).map(|s| s.as_str()).ok_or_else(|| {
+                    CliError::Usage("corpus run needs a corpus directory or manifest".into())
+                })?;
+                corpus::run(target, &args[3..])
+            }
+            _ => Err(CliError::Usage(
+                "corpus needs a verb: generate <dir> or run <dir|manifest>".into(),
+            )),
+        },
         "serve" => serve::serve(&args[1..]),
         "synthesize" => commands::synthesize(rest(args)?, &args[2..]),
         "simulate" => commands::simulate(rest(args)?, &args[2..]),

@@ -4,8 +4,9 @@
 //! Profiling installs an in-memory [`rtcg_obs`] recorder, drives the
 //! whole toolchain over one spec — necessary-condition bounds, a
 //! budget-capped exact search (through an [`Engine`] so the sharded
-//! result memo is exercised), heuristic synthesis, and a table-executor
-//! simulation — and prints what the instrumentation collected:
+//! result memo is exercised), heuristic synthesis, a table-executor
+//! simulation, and a persistent-snapshot round-trip of the warmed memo
+//! — and prints what the instrumentation collected:
 //! counters, span timings, latency histograms, and per-shard cache
 //! counters. `--trace-out` additionally dumps a Chrome `trace_event`
 //! JSON loadable in Perfetto or chrome://tracing; `--format prom` or
@@ -343,6 +344,23 @@ pub fn profile(path: &str, flags: &[String]) -> Result<(), CliError> {
         }
         Err(e) => println!("  synthesis: infeasible ({e})"),
     }
+
+    // 5. persistent-snapshot round-trip over the memo the steps above
+    //    warmed, so the engine.snapshot.* metrics (save/load latency
+    //    histograms, byte and section counters) carry real values in
+    //    every output format
+    let snap = std::env::temp_dir().join(format!("rtcg_profile_{}.snap", std::process::id()));
+    let saved = engine
+        .save_snapshot(&snap)
+        .map_err(|e| CliError::Input(e.to_string()))?;
+    let loaded = engine
+        .load_snapshot(&snap)
+        .map_err(|e| CliError::Input(e.to_string()))?;
+    let _ = std::fs::remove_file(&snap);
+    println!(
+        "  snapshot: {} section(s), {} bytes round-tripped ({} loaded, {} stale)",
+        saved.sections, saved.bytes, loaded.sections_loaded, loaded.sections_skipped
+    );
 
     // fold the shard counters into the metric stream so every output
     // format (tables, prom text, --metrics-out) sees the same data

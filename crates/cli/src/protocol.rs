@@ -16,6 +16,8 @@
 //! {"v":1,"op":"undo","id":"s1"}
 //! {"v":1,"op":"analyze","id":"s1","mode":"exact","max_len":8,"selection":[0]}
 //! {"v":1,"op":"stats"}
+//! {"v":1,"op":"snapshot","path":"memo.snap"}
+//! {"v":1,"op":"restore","path":"memo.snap"}
 //! {"v":1,"op":"close","id":"s1"}
 //! ```
 //!
@@ -48,6 +50,12 @@ pub enum Request {
     /// Report engine counters, plus per-session counters (all sessions,
     /// or just `id` when given).
     Stats { id: Option<String> },
+    /// Persist the engine memo (plus every open session's candidate
+    /// memo) to a snapshot file; `path` defaults to `--cache-file`.
+    Snapshot { path: Option<String> },
+    /// Merge a snapshot file into the live memo (warming open sessions
+    /// whose structure matches); `path` defaults to `--cache-file`.
+    Restore { path: Option<String> },
     /// Close session `id`, reporting its final counters.
     Close { id: String },
 }
@@ -93,11 +101,18 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "stats" => Ok(Request::Stats {
             id: opt_str(&v, "id")?.map(str::to_string),
         }),
+        "snapshot" => Ok(Request::Snapshot {
+            path: opt_str(&v, "path")?.map(str::to_string),
+        }),
+        "restore" => Ok(Request::Restore {
+            path: opt_str(&v, "path")?.map(str::to_string),
+        }),
         "close" => Ok(Request::Close {
             id: need_str(&v, "id")?.to_string(),
         }),
         other => Err(format!(
-            "unknown op `{other}` (expected open, delta, undo, analyze, stats or close)"
+            "unknown op `{other}` (expected open, delta, undo, analyze, stats, \
+             snapshot, restore or close)"
         )),
     }
 }
@@ -398,6 +413,24 @@ mod tests {
         ));
         assert!(parse_request(r#"{"v":1,"op":"open","id":"a"}"#).is_err());
         assert!(parse_request(r#"{"v":1,"op":"frobnicate"}"#).is_err());
+    }
+
+    #[test]
+    fn snapshot_ops_parse_with_optional_path() {
+        assert!(matches!(
+            parse_request(r#"{"v":1,"op":"snapshot","path":"m.snap"}"#).unwrap(),
+            Request::Snapshot { path: Some(p) } if p == "m.snap"
+        ));
+        assert!(matches!(
+            parse_request(r#"{"v":1,"op":"snapshot"}"#).unwrap(),
+            Request::Snapshot { path: None }
+        ));
+        assert!(matches!(
+            parse_request(r#"{"v":1,"op":"restore"}"#).unwrap(),
+            Request::Restore { path: None }
+        ));
+        let err = parse_request(r#"{"v":1,"op":"snapshot","path":7}"#).unwrap_err();
+        assert!(err.contains("`path` must be a string"), "{err}");
     }
 
     #[test]

@@ -24,16 +24,24 @@ use rtcg_engine::session::Session;
 use rtcg_engine::{Engine, SessionStats, Verdict};
 use serde_json::Value;
 
-/// `rtcg serve [--threads N] [--budget-ms M] [--metrics-out FILE]
-/// [--trace-out FILE]` — run the JSONL daemon until stdin closes.
+/// `rtcg serve [--threads N] [--budget-ms M] [--cache-file FILE]
+/// [--metrics-out FILE] [--trace-out FILE]` — run the JSONL daemon
+/// until stdin closes. With `--cache-file`, the engine memo is warmed
+/// from the snapshot at startup (if the file exists) and checkpointed
+/// back — including every still-open session's candidate memo — on
+/// orderly EOF shutdown; `snapshot`/`restore` requests do the same
+/// mid-flight.
 pub fn serve(flags: &[String]) -> Result<(), CliError> {
     let opts = CommonOpts::parse(flags)?;
     let rec = crate::profile::recorder_for(flags);
     let engine = Engine::new();
+    if let Some(line) = crate::commands::load_cache_report(&engine, &opts)? {
+        eprintln!("rtcg serve: {line}");
+    }
     let mut sessions: HashMap<String, Session<'_>> = HashMap::new();
     eprintln!(
-        "rtcg serve: wire v{} on stdin/stdout; ops: open delta undo analyze stats close; \
-         EOF shuts down",
+        "rtcg serve: wire v{} on stdin/stdout; \
+         ops: open delta undo analyze stats snapshot restore close; EOF shuts down",
         protocol::WIRE_VERSION
     );
     let stdin = std::io::stdin();
@@ -51,6 +59,18 @@ pub fn serve(flags: &[String]) -> Result<(), CliError> {
         writeln!(out, "{reply}")
             .and_then(|()| out.flush())
             .map_err(|e| CliError::Input(format!("stdout write failed: {e}")))?;
+    }
+    if let Some(path) = &opts.cache_file {
+        // checkpoint on orderly shutdown with the open sessions still
+        // alive, so their resident candidate memos make it into the file
+        let refs: Vec<&Session<'_>> = sessions.values().collect();
+        let stats = engine
+            .save_snapshot_with(path, &refs)
+            .map_err(|e| CliError::Input(format!("cannot save cache `{path}`: {e}")))?;
+        eprintln!(
+            "rtcg serve: checkpointed {} section(s) to `{path}` ({} bytes)",
+            stats.sections, stats.bytes
+        );
     }
     drop(sessions);
     if let Some(rec) = rec {
@@ -190,6 +210,26 @@ fn handle<'e>(
                 ),
                 ("result_occupancy".into(), Value::UInt(occupancy)),
                 ("result_evictions".into(), Value::UInt(evictions)),
+                (
+                    "snapshot".into(),
+                    Value::Obj(vec![
+                        ("saves".into(), Value::UInt(e.snapshot.saves)),
+                        ("loads".into(), Value::UInt(e.snapshot.loads)),
+                        (
+                            "sections_loaded".into(),
+                            Value::UInt(e.snapshot.sections_loaded),
+                        ),
+                        (
+                            "sections_skipped".into(),
+                            Value::UInt(e.snapshot.sections_skipped),
+                        ),
+                        (
+                            "bytes_written".into(),
+                            Value::UInt(e.snapshot.bytes_written),
+                        ),
+                        ("bytes_read".into(), Value::UInt(e.snapshot.bytes_read)),
+                    ]),
+                ),
             ]);
             let mut names: Vec<&String> = sessions.keys().collect();
             names.sort();
@@ -208,6 +248,44 @@ fn handle<'e>(
                 ("op", Value::Str("stats".into())),
                 ("engine", engine_obj),
                 ("sessions", Value::Obj(per_session)),
+            ]))
+        }
+        Request::Snapshot { path } => {
+            let path = path
+                .or_else(|| opts.cache_file.clone())
+                .ok_or("snapshot needs a `path` field (or serve started with --cache-file)")?;
+            let refs: Vec<&Session<'_>> = sessions.values().collect();
+            let stats = engine
+                .save_snapshot_with(&path, &refs)
+                .map_err(|e| format!("cannot save snapshot `{path}`: {e}"))?;
+            Ok(protocol::response(vec![
+                ("ok", Value::Bool(true)),
+                ("op", Value::Str("snapshot".into())),
+                ("path", Value::Str(path)),
+                ("sections", Value::UInt(stats.sections)),
+                ("result_entries", Value::UInt(stats.result_entries)),
+                ("candidate_entries", Value::UInt(stats.candidate_entries)),
+                ("bytes", Value::UInt(stats.bytes)),
+            ]))
+        }
+        Request::Restore { path } => {
+            let path = path
+                .or_else(|| opts.cache_file.clone())
+                .ok_or("restore needs a `path` field (or serve started with --cache-file)")?;
+            let mut muts: Vec<&mut Session<'_>> = sessions.values_mut().collect();
+            let stats = engine
+                .load_snapshot_with(&path, &mut muts)
+                .map_err(|e| format!("cannot load snapshot `{path}`: {e}"))?;
+            Ok(protocol::response(vec![
+                ("ok", Value::Bool(true)),
+                ("op", Value::Str("restore".into())),
+                ("path", Value::Str(path)),
+                ("sections_loaded", Value::UInt(stats.sections_loaded)),
+                ("sections_skipped", Value::UInt(stats.sections_skipped)),
+                ("results_inserted", Value::UInt(stats.results_inserted)),
+                ("candidates_merged", Value::UInt(stats.candidates_merged)),
+                ("entries_skipped", Value::UInt(stats.entries_skipped)),
+                ("bytes", Value::UInt(stats.bytes)),
             ]))
         }
         Request::Close { id } => {

@@ -648,3 +648,207 @@ fn analyze_exact_sweep_saves_leaf_evals() {
         .expect("saved count");
     assert!(saved > 0, "{stdout}");
 }
+
+#[test]
+fn cache_file_flag_validates_eagerly() {
+    let spec = write_spec(GOOD_SPEC);
+    // a directory is never a snapshot file
+    let dir = std::env::temp_dir();
+    let out = rtcg(&[
+        "analyze",
+        spec.path_str(),
+        "--cache-file",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("is a directory"), "{stderr}");
+    // a fresh file must at least land in an existing directory
+    let out = rtcg(&[
+        "analyze",
+        spec.path_str(),
+        "--cache-file",
+        "/nonexistent-rtcg-dir/memo.snap",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("does not exist"), "{stderr}");
+    // and the flag needs a value at all
+    let out = rtcg(&["analyze", spec.path_str(), "--cache-file"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+}
+
+#[test]
+fn analyze_cache_file_warms_the_second_run() {
+    let spec = write_spec(GOOD_SPEC);
+    let snap = spec.path.with_extension("snap");
+    let args = [
+        "analyze",
+        spec.path_str(),
+        "--cache-file",
+        snap.to_str().unwrap(),
+        "--cache-stats",
+    ];
+    let cold = rtcg(&args);
+    assert!(cold.status.success(), "{cold:?}");
+    let stdout = String::from_utf8(cold.stdout).unwrap();
+    assert!(stdout.contains("starting cold"), "{stdout}");
+    assert!(stdout.contains("cache: saved"), "{stdout}");
+    assert!(snap.is_file(), "snapshot file written");
+
+    let warm = rtcg(&args);
+    std::fs::remove_file(&snap).ok();
+    assert!(warm.status.success(), "{warm:?}");
+    let stdout = String::from_utf8(warm.stdout).unwrap();
+    assert!(stdout.contains("cache: loaded"), "{stdout}");
+    assert!(stdout.contains("1 hit(s), 0 miss(es)"), "{stdout}");
+}
+
+#[test]
+fn corpus_generate_then_run_replays_warm_from_cache() {
+    let dir = std::env::temp_dir().join(format!("rtcg-corpus-test-{}", std::process::id()));
+    let snap = dir.join("fleet.snap");
+    let out = rtcg(&[
+        "corpus",
+        "generate",
+        dir.to_str().unwrap(),
+        "--count",
+        "10",
+        "--seed",
+        "1",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("wrote 10 spec(s)"), "{stdout}");
+    assert!(dir.join("manifest.txt").is_file());
+    // versioned manifest entries, one generated spec file per line
+    let manifest = std::fs::read_to_string(dir.join("manifest.txt")).unwrap();
+    let entries: Vec<&str> = manifest.lines().filter(|l| l.starts_with('{')).collect();
+    assert_eq!(entries.len(), 10, "{manifest}");
+    assert!(entries[0].starts_with("{\"v\":1,\"spec\":\""), "{manifest}");
+
+    let args = [
+        "corpus",
+        "run",
+        dir.to_str().unwrap(),
+        "--cache-file",
+        snap.to_str().unwrap(),
+        "--cache-stats",
+    ];
+    let cold = rtcg(&args);
+    // generated corpora deliberately straddle feasibility boundaries, so
+    // exit 3 (some spec infeasible) is as valid as 0 — but never 1/2
+    assert!(matches!(cold.status.code(), Some(0) | Some(3)), "{cold:?}");
+    let cold_stdout = String::from_utf8(cold.stdout).unwrap();
+    assert!(cold_stdout.contains("batch: 10 spec(s)"), "{cold_stdout}");
+    assert!(cold_stdout.contains("cache: saved"), "{cold_stdout}");
+
+    let warm = rtcg(&args);
+    assert_eq!(
+        warm.status.code(),
+        cold.status.code(),
+        "verdicts must replay"
+    );
+    let warm_stdout = String::from_utf8(warm.stdout).unwrap();
+    assert!(warm_stdout.contains("cache: loaded"), "{warm_stdout}");
+    assert!(
+        warm_stdout.contains("10 hit(s), 0 miss(es)"),
+        "warm corpus run must be all memo hits: {warm_stdout}"
+    );
+    // identical per-spec verdict lines, cold vs warm
+    let verdicts = |s: &str| -> Vec<String> {
+        s.lines()
+            .filter(|l| l.trim_start().starts_with('/'))
+            .map(|l| l.trim().to_string())
+            .collect()
+    };
+    assert_eq!(verdicts(&cold_stdout), verdicts(&warm_stdout));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corpus_generation_is_deterministic_across_invocations() {
+    let base = std::env::temp_dir().join(format!("rtcg-corpus-det-{}", std::process::id()));
+    let (a, b) = (base.join("a"), base.join("b"));
+    for d in [&a, &b] {
+        let out = rtcg(&[
+            "corpus",
+            "generate",
+            d.to_str().unwrap(),
+            "--count",
+            "5",
+            "--seed",
+            "7",
+        ]);
+        assert!(out.status.success(), "{out:?}");
+    }
+    let mut names: Vec<String> = std::fs::read_dir(&a)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    names.sort();
+    assert_eq!(names.len(), 6, "5 specs + manifest: {names:?}");
+    for name in &names {
+        let x = std::fs::read_to_string(a.join(name)).unwrap();
+        let y = std::fs::read_to_string(b.join(name)).unwrap();
+        // the manifest's comment header names the target directory;
+        // everything else must be byte-identical
+        let strip = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| !l.starts_with('#'))
+                .map(str::to_string)
+                .collect()
+        };
+        assert_eq!(
+            strip(&x),
+            strip(&y),
+            "regenerated corpus diverged at {name}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn corpus_usage_errors() {
+    let out = rtcg(&["corpus"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let out = rtcg(&["corpus", "frobnicate"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    // running a directory that was never generated names the fix
+    let empty = std::env::temp_dir().join(format!("rtcg-corpus-empty-{}", std::process::id()));
+    std::fs::create_dir_all(&empty).unwrap();
+    let out = rtcg(&["corpus", "run", empty.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("generate the corpus first"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&empty);
+}
+
+#[test]
+fn profile_reports_snapshot_metrics_in_both_formats() {
+    let spec = write_spec(GOOD_SPEC);
+    let out = rtcg(&["profile", spec.path_str()]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("snapshot:"), "{stdout}");
+    assert!(stdout.contains("round-tripped"), "{stdout}");
+    // the counters table carries the engine.snapshot.* family
+    assert!(stdout.contains("engine.snapshot.bytes"), "{stdout}");
+
+    let out = rtcg(&["profile", spec.path_str(), "--format", "prom"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let start = stdout.find("# TYPE").expect("exposition present");
+    rtcg_obs::validate_prometheus_text(&stdout[start..])
+        .unwrap_or_else(|e| panic!("invalid exposition: {e:?}\n{stdout}"));
+    for name in [
+        "rtcg_engine_snapshot_save_us",
+        "rtcg_engine_snapshot_load_us",
+        "rtcg_engine_snapshot_bytes",
+        "rtcg_engine_snapshot_sections_loaded",
+        "rtcg_engine_snapshot_sections_skipped",
+    ] {
+        assert!(stdout.contains(name), "missing {name}: {stdout}");
+    }
+}

@@ -12,8 +12,14 @@ const SPEC: &str = "element fx wcet 1;\nelement fs wcet 2;\nchannel fx -> fs;\n\
 /// Runs `rtcg serve`, feeds `lines` on stdin, returns one parsed JSON
 /// object per response line (asserting the process exits cleanly).
 fn serve(lines: &[String]) -> Vec<Value> {
+    serve_with(&[], lines)
+}
+
+/// [`serve`] with extra command-line flags (e.g. `--cache-file`).
+fn serve_with(extra_args: &[&str], lines: &[String]) -> Vec<Value> {
     let mut child = Command::new(env!("CARGO_BIN_EXE_rtcg"))
         .arg("serve")
+        .args(extra_args)
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
@@ -223,6 +229,133 @@ fn serve_structural_deltas_report_slice_granularity() {
     assert_eq!(get(reweigh, "full_invalidation").as_bool(), Some(true));
     assert_eq!(get(reweigh, "slices_kept").as_u64(), Some(0));
     assert_eq!(get(&responses[4], "ok").as_bool(), Some(true));
+}
+
+#[test]
+fn serve_snapshot_restore_round_trip() {
+    let dir = std::env::temp_dir().join(format!("rtcg-serve-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("memo.snap");
+    let snap_str = snap.to_str().unwrap();
+    let analyze = req(
+        "analyze",
+        vec![
+            ("mode", Value::Str("exact".into())),
+            ("max_len", Value::UInt(6)),
+        ],
+    );
+
+    // daemon 1: warm a session, persist its memo, check the counters
+    let responses = serve(&[
+        req("open", vec![("spec", Value::Str(SPEC.into()))]),
+        analyze.clone(),
+        obj(vec![
+            ("v", Value::UInt(1)),
+            ("op", Value::Str("snapshot".into())),
+            ("path", Value::Str(snap_str.into())),
+        ]),
+        r#"{"v":1,"op":"stats"}"#.to_string(),
+    ]);
+    let saved = &responses[2];
+    assert_eq!(get(saved, "ok").as_bool(), Some(true), "{saved}");
+    assert!(get(saved, "sections").as_u64().unwrap() > 0);
+    assert!(get(saved, "bytes").as_u64().unwrap() > 0);
+    let snap_stats = get(get(get(&responses[3], "engine"), "snapshot"), "saves");
+    assert_eq!(snap_stats.as_u64(), Some(1), "{}", responses[3]);
+
+    // daemon 2: a cold process restores the file and replays warm
+    let responses = serve(&[
+        req("open", vec![("spec", Value::Str(SPEC.into()))]),
+        obj(vec![
+            ("v", Value::UInt(1)),
+            ("op", Value::Str("restore".into())),
+            ("path", Value::Str(snap_str.into())),
+        ]),
+        analyze,
+    ]);
+    let restored = &responses[1];
+    assert_eq!(get(restored, "ok").as_bool(), Some(true), "{restored}");
+    assert!(get(restored, "sections_loaded").as_u64().unwrap() > 0);
+    assert_eq!(get(restored, "sections_skipped").as_u64(), Some(0));
+    let warm = &responses[2];
+    assert_eq!(get(warm, "verdict").as_str(), Some("feasible"));
+    assert_eq!(get(warm, "result_memo_hit").as_bool(), Some(true), "{warm}");
+    assert_eq!(get(warm, "leaf_evals_computed").as_u64(), Some(0), "{warm}");
+
+    // restoring a missing file reports, the daemon keeps serving
+    let responses = serve(&[
+        obj(vec![
+            ("v", Value::UInt(1)),
+            ("op", Value::Str("restore".into())),
+            ("path", Value::Str(format!("{snap_str}.missing"))),
+        ]),
+        obj(vec![
+            ("v", Value::UInt(1)),
+            ("op", Value::Str("snapshot".into())),
+        ]),
+        r#"{"v":1,"op":"stats"}"#.to_string(),
+    ]);
+    assert_eq!(get(&responses[0], "ok").as_bool(), Some(false));
+    assert!(
+        get(&responses[0], "error")
+            .as_str()
+            .unwrap()
+            .contains("cannot load snapshot"),
+        "{}",
+        responses[0]
+    );
+    // snapshot without a path and without --cache-file is an error too
+    assert!(
+        get(&responses[1], "error")
+            .as_str()
+            .unwrap()
+            .contains("--cache-file"),
+        "{}",
+        responses[1]
+    );
+    assert_eq!(get(&responses[2], "ok").as_bool(), Some(true));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_cache_file_checkpoints_across_restarts() {
+    let dir = std::env::temp_dir().join(format!("rtcg-serve-cache-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache = dir.join("daemon.snap");
+    let cache_str = cache.to_str().unwrap().to_string();
+    let analyze = req(
+        "analyze",
+        vec![
+            ("mode", Value::Str("exact".into())),
+            ("max_len", Value::UInt(6)),
+        ],
+    );
+
+    // first daemon: cold start, EOF shutdown checkpoints automatically
+    let responses = serve_with(
+        &["--cache-file", &cache_str],
+        &[
+            req("open", vec![("spec", Value::Str(SPEC.into()))]),
+            analyze.clone(),
+        ],
+    );
+    assert_eq!(get(&responses[1], "result_memo_hit").as_bool(), Some(false));
+    assert!(cache.is_file(), "EOF shutdown must write the checkpoint");
+
+    // second daemon: warms from the checkpoint at startup
+    let responses = serve_with(
+        &["--cache-file", &cache_str],
+        &[
+            req("open", vec![("spec", Value::Str(SPEC.into()))]),
+            analyze,
+        ],
+    );
+    let warm = &responses[1];
+    assert_eq!(get(warm, "result_memo_hit").as_bool(), Some(true), "{warm}");
+    assert_eq!(get(warm, "leaf_evals_computed").as_u64(), Some(0), "{warm}");
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -20,6 +20,13 @@ use rtcg_core::model::Model;
 
 use crate::{AnalysisMode, AnalysisRequest};
 
+/// Version of the fingerprint derivation scheme. Snapshot sections are
+/// stamped with it at save time; a loader whose scheme differs skips
+/// them (a recomputed fingerprint would key entries inconsistently with
+/// the engine's live inserts). Bump whenever any hash in this module
+/// changes what it covers or how.
+pub const FP_SCHEMA_VERSION: u32 = 1;
+
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 

@@ -39,6 +39,7 @@ pub mod batch;
 pub mod fingerprint;
 pub mod memo;
 pub mod session;
+pub mod snapshot;
 
 use std::collections::HashMap;
 use std::fmt;
@@ -66,6 +67,7 @@ use memo::{MemoEval, SessionMemo};
 use session::ResidentMut;
 
 pub use session::{ConstraintSelection, DeltaOutcome, EngineOptions, Query, SessionStats};
+pub use snapshot::{LoadStats, SaveStats, SnapshotError, SnapshotTotals};
 
 /// Which analysis pipeline answers the request.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -252,6 +254,8 @@ pub struct EngineStats {
     pub sessions: u64,
     /// Candidate strings memoized across all sessions.
     pub memo_candidates: u64,
+    /// Snapshot persistence counters (see [`snapshot`]).
+    pub snapshot: SnapshotTotals,
     /// Per-shard result-memo counters, indexed by shard. Uneven
     /// hit/occupancy distributions here mean fingerprint skew — worth
     /// knowing before the serve daemon multiplies the key population.
@@ -327,6 +331,10 @@ struct Session {
     memo: SessionMemo,
     template: PrunerTemplate,
     used: Vec<ElementId>,
+    /// A representative model of this structure (the first one seen).
+    /// The memo's keys carry no model, so snapshot save re-derives the
+    /// structure's content from this instance.
+    model: Model,
 }
 
 /// Shard count for the result memo and session maps. A power of two so
@@ -363,6 +371,15 @@ pub struct Engine {
     /// duration of one exact search so same-structure probes serialize
     /// on *their* session while other structures proceed in parallel.
     sessions: Vec<Mutex<HashMap<u64, Arc<Mutex<Session>>>>>,
+    /// Subject-model registry for snapshot save: model fp → model,
+    /// sharded like `results` (a fingerprint is one-way, so the memo's
+    /// keys alone cannot be re-derived into content-addressed sections).
+    models: Vec<Mutex<HashMap<u64, Model>>>,
+    /// Request-shape registry for snapshot save: request fp → the
+    /// fingerprinted fields ([`AnalysisRequest`] is `Copy` and tiny).
+    requests: Mutex<HashMap<u64, AnalysisRequest>>,
+    /// Snapshot save/load counters (see [`snapshot`]).
+    pub(crate) snap: snapshot::SnapCounters,
     hits: AtomicU64,
     misses: AtomicU64,
     leaf_evals_saved: AtomicU64,
@@ -379,6 +396,9 @@ impl Default for Engine {
         Engine {
             results: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             sessions: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            models: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            requests: Mutex::new(HashMap::new()),
+            snap: snapshot::SnapCounters::default(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             leaf_evals_saved: AtomicU64::new(0),
@@ -425,6 +445,7 @@ impl Engine {
             leaf_evals_computed: self.leaf_evals_computed.load(Ordering::Relaxed),
             sessions,
             memo_candidates,
+            snapshot: self.snap.totals(),
             shards,
         }
     }
@@ -548,6 +569,11 @@ impl Engine {
             self.shard_counters[ix]
                 .inserts
                 .fetch_add(1, Ordering::Relaxed);
+            // keep the fingerprints invertible for snapshot save
+            unpoison(self.models[ix].lock())
+                .entry(key.0)
+                .or_insert_with(|| model.clone());
+            unpoison(self.requests.lock()).entry(key.1).or_insert(*req);
         }
         Ok(report)
     }
@@ -645,6 +671,7 @@ impl Engine {
         let mut shard = self.recover_shard(ix, self.results[ix].write());
         let before = shard.len();
         shard.retain(|k, _| k.0 != model_fp);
+        unpoison(self.models[ix].lock()).remove(&model_fp);
         let evicted = (before - shard.len()) as u64;
         if evicted > 0 {
             self.shard_counters[ix]
@@ -669,6 +696,7 @@ impl Engine {
             memo: SessionMemo::default(),
             template,
             used,
+            model: model.clone(),
         }));
         map.insert(sf, Arc::clone(&session));
         Ok(session)
@@ -858,8 +886,8 @@ pub mod prelude {
     pub use crate::session::Session;
     pub use crate::{
         analyze_once, AnalysisMode, AnalysisReport, AnalysisRequest, ConstraintSelection,
-        DeltaOutcome, Engine, EngineError, EngineOptions, EngineStats, Query, SearchStats,
-        SessionStats, ShardStats, Verdict, SHARDS,
+        DeltaOutcome, Engine, EngineError, EngineOptions, EngineStats, LoadStats, Query, SaveStats,
+        SearchStats, SessionStats, ShardStats, SnapshotError, SnapshotTotals, Verdict, SHARDS,
     };
     pub use rtcg_core::prelude::*;
 }

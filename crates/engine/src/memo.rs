@@ -35,27 +35,27 @@ use rtcg_core::ModelError;
 /// `(constraint ix, period, periodic lcm, max periodic deadline)` —
 /// the full shape of a periodic constraint's window grid and analysis
 /// horizon, independent of the probed deadline.
-type WindowGrid = (usize, Time, Time, Time);
+pub(crate) type WindowGrid = (usize, Time, Time, Time);
 
 /// Memoized analysis of one candidate action string.
 #[derive(Debug, Default)]
-struct CandidateMemo {
+pub(crate) struct CandidateMemo {
     /// Constraint index → exact latency (`None` = infinite). Valid for
     /// any deadline/period assignment over the same structure.
-    async_latency: BTreeMap<usize, Option<Time>>,
+    pub(crate) async_latency: BTreeMap<usize, Option<Time>>,
     /// `(unserved windows, worst response over served windows)` per
     /// [`WindowGrid`] key. The key captures everything that shapes the
     /// window grid and horizon; the value is deadline-independent, so
     /// the verdict for any probed deadline `d` is reconstructed as
     /// `unserved == 0 && worst ≤ d`.
-    periodic: BTreeMap<WindowGrid, (u64, Option<Time>)>,
+    pub(crate) periodic: BTreeMap<WindowGrid, (u64, Option<Time>)>,
 }
 
 /// All candidate memos for one model structure, shared across every
 /// deadline/period edit of that structure.
 #[derive(Debug, Default)]
 pub struct SessionMemo {
-    candidates: HashMap<Vec<Action>, CandidateMemo>,
+    pub(crate) candidates: HashMap<Vec<Action>, CandidateMemo>,
 }
 
 impl SessionMemo {

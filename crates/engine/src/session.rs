@@ -263,6 +263,17 @@ impl<'e> Session<'e> {
         self.engine
     }
 
+    /// Snapshot plumbing: the resident candidate memo, whose columns
+    /// track this session's *current* constraint numbering.
+    pub(crate) fn resident_memo(&self) -> &SessionMemo {
+        &self.memo
+    }
+
+    /// Snapshot plumbing: mutable view for merge-on-restore.
+    pub(crate) fn resident_memo_mut(&mut self) -> &mut SessionMemo {
+        &mut self.memo
+    }
+
     /// Session-level options (mutable: retune threads/budget mid-flight
     /// — neither affects verdicts, so no invalidation is needed).
     pub fn options_mut(&mut self) -> &mut EngineOptions {

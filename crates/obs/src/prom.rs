@@ -263,6 +263,26 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_metrics_expose_and_validate() {
+        // the exact names the engine's snapshot save/load paths publish
+        let r = MemoryRecorder::new();
+        r.histogram_record("engine.snapshot.save_us", 120);
+        r.histogram_record("engine.snapshot.load_us", 80);
+        r.counter_add("engine.snapshot.bytes", 4096);
+        r.counter_add("engine.snapshot.sections_loaded", 3);
+        r.counter_add("engine.snapshot.sections_skipped", 1);
+        let text = prometheus_text(&r.snapshot());
+        assert!(text.contains("# TYPE rtcg_engine_snapshot_save_us summary\n"));
+        assert!(text.contains("# TYPE rtcg_engine_snapshot_load_us summary\n"));
+        assert!(text.contains("rtcg_engine_snapshot_save_us_count 1\n"));
+        assert!(text.contains("rtcg_engine_snapshot_load_us_sum 80\n"));
+        assert!(text.contains("rtcg_engine_snapshot_bytes 4096\n"));
+        assert!(text.contains("rtcg_engine_snapshot_sections_loaded 3\n"));
+        assert!(text.contains("rtcg_engine_snapshot_sections_skipped 1\n"));
+        validate_prometheus_text(&text).expect("valid exposition");
+    }
+
+    #[test]
     fn one_type_line_per_shard_suffix() {
         let r = MemoryRecorder::new();
         for shard in ["00", "01", "02"] {

@@ -2,8 +2,8 @@
 # Regenerates the checked-in perf trajectory files the same way CI does.
 #
 #   scripts/bench.sh            full run (regenerates BENCH_leafcheck.json,
-#                               BENCH_batch.json, BENCH_bitparallel.json
-#                               and BENCH_serve.json)
+#                               BENCH_batch.json, BENCH_bitparallel.json,
+#                               BENCH_serve.json and BENCH_corpus.json)
 #   scripts/bench.sh --quick    CI smoke mode (fewer candidates/iterations)
 #
 # The leafcheck bench asserts the >=3x compiled-vs-cached speedup gate
@@ -14,7 +14,11 @@
 # floor), again at bit-identical verdicts; the serve bench asserts the
 # >=5x resident-session leaf-eval reuse gate over cold per-edit analysis
 # on a chain-family edit stream, with every resident report bit-identical
-# to its cold counterpart. A regression in any fails the script.
+# to its cold counterpart; the corpus bench generates a 1000-spec fleet
+# (150 in --quick mode), snapshots the cold engine's memo to disk, and
+# asserts the >=3x warm-replay throughput gate with every warm verdict
+# bit-identical and zero warm leaf evals. A regression in any fails the
+# script.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -27,3 +31,4 @@ cargo bench -p rtcg-bench --bench leafcheck
 cargo bench -p rtcg-bench --bench batch
 cargo bench -p rtcg-bench --bench bitparallel
 cargo bench -p rtcg-bench --bench serve
+cargo bench -p rtcg-bench --bench corpus
