@@ -1,0 +1,228 @@
+//! Multiprocessor lane search: canonical (lane-symmetry-sorted,
+//! capacity-pruned) enumeration against the naive per-slot product
+//! enumerator, over a small m=2 scenario set.
+//!
+//! Both searches share the lane checker, so their verdicts must be
+//! bit-identical — asserted per scenario before any timing. What the
+//! canonical order buys is the candidate count: row matrices that are
+//! lane permutations of each other collapse to one representative, and
+//! closing a row early prunes every continuation whose remaining lanes
+//! cannot cover the still-unscheduled elements. The acceptance gate is
+//! a ≥3x *aggregate* reduction in feasibility-checked candidates
+//! (naive total / canonical total) across the scenario set.
+//!
+//! Results land in `BENCH_multilane.json` at the repo root (override
+//! with `RTCG_BENCH_OUT`); `RTCG_BENCH_QUICK=1` shrinks the timing
+//! sweep for CI smoke runs (the counters and gates are identical —
+//! candidate counts are deterministic, only wall-clock sampling
+//! shrinks).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtcg_bench::{BenchReport, ScenarioRow};
+use rtcg_core::feasibility::{find_feasible_lanes, find_feasible_lanes_naive, SearchConfig};
+use rtcg_core::model::{Model, ModelBuilder};
+use rtcg_core::task::TaskGraphBuilder;
+use std::time::Instant;
+
+const LANES: usize = 2;
+
+struct Scenario {
+    name: &'static str,
+    model: Model,
+    max_len: usize,
+}
+
+/// `n` independent single-op constraints, element weight `w`, deadline
+/// `d` each.
+fn independent(n: usize, w: u64, d: u64) -> Model {
+    let mut b = ModelBuilder::new();
+    for i in 0..n {
+        let e = b.element(&format!("e{i}"), w);
+        let tg = TaskGraphBuilder::new().op("o", e).build().unwrap();
+        b.asynchronous(&format!("c{i}"), tg, d, d);
+    }
+    b.build().unwrap()
+}
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        // two wcet-2 elements, latency ≤ 3 each: infeasible on one
+        // processor, feasible with one element per lane
+        Scenario {
+            name: "pair_relief",
+            model: independent(2, 2, 3),
+            max_len: 2,
+        },
+        // latency ≤ 2 with wcet 2 is unachievable at any lane count
+        // (minimum latency is 2w-1 = 3): full enumeration on both sides
+        Scenario {
+            name: "pair_overload",
+            model: independent(2, 2, 2),
+            max_len: 2,
+        },
+        // four unit elements, every 2-window must see each: feasible
+        // only by packing both lanes full — the capacity prune bites
+        Scenario {
+            name: "quad_pack",
+            model: independent(4, 1, 2),
+            max_len: 2,
+        },
+        // three unit elements each demanding execution every tick:
+        // infeasible on two lanes, full enumeration with pruning
+        Scenario {
+            name: "trio_tight",
+            model: independent(3, 1, 1),
+            max_len: 2,
+        },
+    ]
+}
+
+fn cfg(max_len: usize) -> SearchConfig {
+    SearchConfig {
+        max_len,
+        node_budget: u64::MAX / 2,
+    }
+}
+
+struct Row {
+    name: &'static str,
+    feasible: bool,
+    canonical_candidates: u64,
+    naive_candidates: u64,
+    canonical_s: f64,
+    naive_s: f64,
+}
+
+fn aggregate_reduction(rows: &[Row]) -> f64 {
+    let naive: u64 = rows.iter().map(|r| r.naive_candidates).sum();
+    let canonical: u64 = rows.iter().map(|r| r.canonical_candidates).sum();
+    naive as f64 / canonical.max(1) as f64
+}
+
+fn write_json(rows: &[Row]) {
+    let mut rep = BenchReport::new("multilane", "seconds_per_search");
+    rep.aggregate("candidate_reduction", aggregate_reduction(rows), 2);
+    for r in rows {
+        rep.row(
+            ScenarioRow::new(r.name)
+                .int("lanes", LANES as u64)
+                .int("feasible", r.feasible as u64)
+                .int("canonical_candidates", r.canonical_candidates)
+                .int("naive_candidates", r.naive_candidates)
+                .float("canonical_s", r.canonical_s, 9)
+                .float("naive_s", r.naive_s, 9)
+                .float(
+                    "reduction",
+                    r.naive_candidates as f64 / r.canonical_candidates.max(1) as f64,
+                    2,
+                ),
+        );
+    }
+    rep.write();
+}
+
+fn time_search(f: impl Fn() -> u64, iters: usize) -> f64 {
+    f(); // warmup
+    let mut total = 0.0;
+    for _ in 0..iters {
+        let start = Instant::now();
+        black_box(f());
+        total += start.elapsed().as_secs_f64();
+    }
+    total / iters as f64
+}
+
+fn bench_multilane(c: &mut Criterion) {
+    let quick = rtcg_bench::report::quick();
+    let iters = if quick { 3 } else { 20 };
+
+    let mut rows = Vec::new();
+    let mut group = c.benchmark_group("multilane");
+    group.sample_size(10);
+
+    for s in scenarios() {
+        let canonical = find_feasible_lanes(&s.model, LANES, cfg(s.max_len)).unwrap();
+        let naive = find_feasible_lanes_naive(&s.model, LANES, cfg(s.max_len)).unwrap();
+
+        // the invariant first: verdict bit-identity, and any found
+        // schedule must independently verify against the model
+        assert_eq!(
+            canonical.schedule.is_some(),
+            naive.schedule.is_some(),
+            "multilane/{}: canonical and naive verdicts diverge",
+            s.name
+        );
+        assert!(canonical.exhausted_bound && naive.exhausted_bound);
+        for sched in [&canonical.schedule, &naive.schedule].into_iter().flatten() {
+            assert!(
+                sched.feasibility(&s.model).unwrap().is_feasible(),
+                "multilane/{}: reported schedule fails verification",
+                s.name
+            );
+        }
+
+        let canonical_s = time_search(
+            || {
+                find_feasible_lanes(&s.model, LANES, cfg(s.max_len))
+                    .unwrap()
+                    .candidates_checked
+            },
+            iters,
+        );
+        let naive_s = time_search(
+            || {
+                find_feasible_lanes_naive(&s.model, LANES, cfg(s.max_len))
+                    .unwrap()
+                    .candidates_checked
+            },
+            iters,
+        );
+        println!(
+            "multilane/{}: {} vs {} candidates ({:.2}x), canonical {:.1} µs, naive {:.1} µs",
+            s.name,
+            canonical.candidates_checked,
+            naive.candidates_checked,
+            naive.candidates_checked as f64 / canonical.candidates_checked.max(1) as f64,
+            canonical_s * 1e6,
+            naive_s * 1e6,
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("canonical", s.name),
+            &s.model,
+            |b, model| b.iter(|| black_box(find_feasible_lanes(model, LANES, cfg(s.max_len)))),
+        );
+        group.bench_with_input(BenchmarkId::new("naive", s.name), &s.model, |b, model| {
+            b.iter(|| black_box(find_feasible_lanes_naive(model, LANES, cfg(s.max_len))))
+        });
+
+        rows.push(Row {
+            name: s.name,
+            feasible: canonical.schedule.is_some(),
+            canonical_candidates: canonical.candidates_checked,
+            naive_candidates: naive.candidates_checked,
+            canonical_s,
+            naive_s,
+        });
+    }
+    group.finish();
+
+    write_json(&rows);
+
+    for r in &rows {
+        assert!(
+            r.naive_candidates >= r.canonical_candidates,
+            "multilane/{}: canonical must never check more candidates than naive",
+            r.name
+        );
+    }
+    let reduction = aggregate_reduction(&rows);
+    println!("multilane: aggregate candidate reduction {reduction:.2}x");
+    assert!(
+        reduction >= 3.0,
+        "multilane: candidate reduction {reduction:.2}x below the 3x acceptance gate"
+    );
+}
+
+criterion_group!(benches, bench_multilane);
+criterion_main!(benches);

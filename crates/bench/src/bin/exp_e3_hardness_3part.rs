@@ -100,7 +100,7 @@ fn main() {
             stats.nodes_visited.to_string(),
             stats.candidates_checked.to_string(),
             match &report.verdict {
-                Verdict::Feasible { .. } => "yes".into(),
+                Verdict::Feasible { .. } | Verdict::FeasibleLanes { .. } => "yes".into(),
                 Verdict::Infeasible { .. } => "no≤bound".into(),
                 Verdict::Unknown { .. } => "budget".into(),
             },

@@ -66,6 +66,7 @@ fn main() {
                 assert!(schedule.feasibility(&model).unwrap().is_feasible());
                 "feasible"
             }
+            Verdict::FeasibleLanes { .. } => "feasible",
             Verdict::Infeasible { .. } => "no≤bound",
             Verdict::Unknown { .. } => "budget",
         };

@@ -166,6 +166,9 @@ pub(crate) fn request_from_flags(flags: &[String]) -> Result<AnalysisRequest, Cl
     if let Some(b) = positive_flag_value(flags, "--budget")? {
         req.search.node_budget = b;
     }
+    if let Some(m) = positive_flag_value(flags, "--lanes")? {
+        req.lanes = m as usize;
+    }
     Ok(req)
 }
 
@@ -221,6 +224,9 @@ pub fn check(path: &str, flags: &[String]) -> Result<(), CliError> {
         let report = engine.analyze(&model, &req).map_err(engine_err)?;
         let verdict = match &report.verdict {
             Verdict::Feasible { strategy, .. } => format!("feasible ({strategy})"),
+            Verdict::FeasibleLanes { schedule, strategy } => {
+                format!("feasible ({strategy}, {} lanes)", schedule.lane_count())
+            }
             Verdict::Infeasible { reason } => format!("infeasible — {reason}"),
             Verdict::Unknown { reason } => format!("unknown — {reason}"),
         };
@@ -290,6 +296,10 @@ fn synthesize_inner(path: &str, flags: &[String]) -> Result<(), CliError> {
             }
             print_schedule(&report.analysis_model, schedule, gantt_ticks)
         }
+        Verdict::FeasibleLanes { schedule, strategy } => {
+            println!("lane scheduling ({strategy}):");
+            print_lane_schedule(&report.analysis_model, schedule)
+        }
         Verdict::Infeasible { reason } => Err(CliError::Infeasible(reason.clone())),
         Verdict::Unknown { reason } => Err(CliError::Infeasible(reason.clone())),
     };
@@ -330,16 +340,7 @@ fn analyze_inner(path: &str, flags: &[String]) -> Result<(), CliError> {
             .deadline_sensitivities(&model, &req)
             .map_err(engine_err)?;
         for r in rows {
-            match r.minimum_feasible {
-                Some(min) => println!(
-                    "  {:<16} declared d={:<6} minimum d={:<6} slack={}",
-                    r.name,
-                    r.declared,
-                    min,
-                    r.slack().expect("feasible")
-                ),
-                None => println!("  {:<16} declared d={:<6} INFEASIBLE", r.name, r.declared),
-            }
+            print_sensitivity_row(&r);
         }
         let pct = engine
             .max_uniform_tightening(&model, &req)
@@ -371,6 +372,10 @@ fn analyze_inner(path: &str, flags: &[String]) -> Result<(), CliError> {
             Verdict::Feasible { schedule, strategy } => {
                 println!("feasible ({strategy}):");
                 print_schedule(&report.analysis_model, schedule, None)
+            }
+            Verdict::FeasibleLanes { schedule, strategy } => {
+                println!("feasible ({strategy}):");
+                print_lane_schedule(&report.analysis_model, schedule)
             }
             Verdict::Infeasible { reason } => Err(CliError::Infeasible(reason.clone())),
             Verdict::Unknown { reason } => Err(CliError::Infeasible(format!("unknown: {reason}"))),
@@ -471,6 +476,10 @@ fn analyze_batch_inner(manifest: &str, flags: &[String]) -> Result<(), CliError>
                     feasible += 1;
                     format!("feasible ({strategy})")
                 }
+                Verdict::FeasibleLanes { schedule, strategy } => {
+                    feasible += 1;
+                    format!("feasible ({strategy}, {} lanes)", schedule.lane_count())
+                }
                 Verdict::Infeasible { reason } => {
                     infeasible += 1;
                     format!("infeasible — {reason}")
@@ -514,6 +523,29 @@ fn analyze_batch_inner(manifest: &str, flags: &[String]) -> Result<(), CliError>
         )))
     } else {
         Ok(())
+    }
+}
+
+/// One sweep table row. A row can have a minimum but no slack (the
+/// minimum exceeds the declared deadline, e.g. from a degraded probe);
+/// that renders as `n/a` rather than panicking mid-table.
+pub(crate) fn print_sensitivity_row(r: &rtcg_core::sensitivity::DeadlineSensitivity) {
+    println!("{}", sensitivity_row(r));
+}
+
+fn sensitivity_row(r: &rtcg_core::sensitivity::DeadlineSensitivity) -> String {
+    match r.minimum_feasible {
+        Some(min) => {
+            let slack = match r.slack() {
+                Some(s) => s.to_string(),
+                None => "n/a".into(),
+            };
+            format!(
+                "  {:<16} declared d={:<6} minimum d={:<6} slack={}",
+                r.name, r.declared, min, slack
+            )
+        }
+        None => format!("  {:<16} declared d={:<6} INFEASIBLE", r.name, r.declared),
     }
 }
 
@@ -565,6 +597,36 @@ fn print_schedule(
     if !report.is_feasible() {
         return Err(CliError::Infeasible(
             "synthesized schedule failed verification".into(),
+        ));
+    }
+    Ok(())
+}
+
+fn print_lane_schedule(
+    model: &Model,
+    schedule: &rtcg_core::feasibility::LaneSchedule,
+) -> Result<(), CliError> {
+    let comm = model.comm();
+    println!(
+        "lane schedule: {} lanes, joint period {} ticks",
+        schedule.lane_count(),
+        schedule
+            .joint_period(comm)
+            .map_err(|e| CliError::Input(e.to_string()))?
+    );
+    println!(
+        "{}",
+        schedule
+            .display(comm)
+            .map_err(|e| CliError::Input(e.to_string()))?
+    );
+    let report = schedule
+        .feasibility(model)
+        .map_err(|e| CliError::Input(e.to_string()))?;
+    print!("{report}");
+    if !report.is_feasible() {
+        return Err(CliError::Infeasible(
+            "synthesized lane schedule failed verification".into(),
         ));
     }
     Ok(())
@@ -639,16 +701,7 @@ pub fn sensitivity(path: &str, flags: &[String]) -> Result<(), CliError> {
         .map_err(engine_err)?;
     println!("deadline sensitivity (synthesizer-verified minima):");
     for r in rows {
-        match r.minimum_feasible {
-            Some(min) => println!(
-                "  {:<16} declared d={:<6} minimum d={:<6} slack={}",
-                r.name,
-                r.declared,
-                min,
-                r.slack().expect("feasible")
-            ),
-            None => println!("  {:<16} declared d={:<6} INFEASIBLE", r.name, r.declared),
-        }
+        print_sensitivity_row(&r);
     }
     let pct = engine
         .max_uniform_tightening(&model, &req)
@@ -706,5 +759,50 @@ pub(crate) fn positive_flag_value(flags: &[String], name: &str) -> Result<Option
     match flag_value(flags, name)? {
         Some(0) => Err(CliError::Usage(format!("{name} must be at least 1, got 0"))),
         other => Ok(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcg_core::sensitivity::DeadlineSensitivity;
+    use rtcg_core::ConstraintId;
+
+    fn row(declared: u64, minimum_feasible: Option<u64>) -> DeadlineSensitivity {
+        DeadlineSensitivity {
+            constraint: ConstraintId::new(0),
+            name: "c".into(),
+            declared,
+            minimum_feasible,
+        }
+    }
+
+    #[test]
+    fn sweep_row_renders_slack() {
+        assert!(sensitivity_row(&row(10, Some(7))).contains("slack=3"));
+    }
+
+    #[test]
+    fn sweep_row_without_minimum_is_infeasible() {
+        assert!(sensitivity_row(&row(10, None)).contains("INFEASIBLE"));
+    }
+
+    /// Regression: a degraded probe can report a minimum above the
+    /// declared deadline; the row must render `n/a`, not panic on an
+    /// underflowing subtraction.
+    #[test]
+    fn sweep_row_with_inverted_minimum_renders_na() {
+        let r = row(5, Some(9));
+        assert_eq!(r.slack(), None);
+        assert!(sensitivity_row(&r).contains("slack=n/a"));
+    }
+
+    #[test]
+    fn lanes_flag_reaches_the_request() {
+        let flags = vec!["--lanes".to_string(), "3".to_string()];
+        assert_eq!(request_from_flags(&flags).unwrap().lanes, 3);
+        assert_eq!(request_from_flags(&[]).unwrap().lanes, 1);
+        let zero = vec!["--lanes".to_string(), "0".to_string()];
+        assert!(request_from_flags(&zero).is_err());
     }
 }

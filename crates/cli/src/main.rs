@@ -52,7 +52,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   rtcg check <spec.rtcg> [--cache-stats]
   rtcg analyze <spec.rtcg> [--merged|--exact] [--threads N] [--max-len L]
-               [--budget B] [--sweep] [--cache-stats] [--progress]
+               [--budget B] [--lanes M] [--sweep] [--cache-stats] [--progress]
                [--metrics] [--metrics-out FILE] [--trace-out FILE]
   rtcg analyze --batch <manifest> [--merged|--exact] [--threads N]
                [--budget-ms M] [--max-len L] [--budget B] [--cache-stats]
@@ -79,6 +79,9 @@ analysis (analyze / synthesize / sensitivity):
   --threads N        parallel search workers (default 1)
   --max-len L        maximum schedule length in actions (default 10)
   --budget B         search charge budget: nodes + candidates (default 5000000)
+  --lanes M          schedule over M parallel processor lanes (default 1);
+                     --exact runs the complete lane-matrix search, the default
+                     heuristic uses critical-path list scheduling
   --budget-ms M      wall-clock budget per analysis in milliseconds
   --sweep            binary-search each constraint's minimum feasible deadline,
                      reusing memoized candidate analyses across probes

@@ -315,17 +315,20 @@ pub fn profile(path: &str, flags: &[String]) -> Result<(), CliError> {
         ..AnalysisRequest::default()
     };
     let report = engine.analyze(&model, &req).map_err(engine_err)?;
-    let stats = report.search.expect("exact mode reports search stats");
-    println!(
-        "  exact search: {} nodes, {} candidates, schedule {}",
-        stats.nodes_visited,
-        stats.candidates_checked,
-        match report.verdict {
-            Verdict::Feasible { .. } => "found",
-            Verdict::Infeasible { .. } => "none within bound",
-            Verdict::Unknown { .. } => "budget exhausted",
-        }
-    );
+    let schedule_cell = match report.verdict {
+        Verdict::Feasible { .. } | Verdict::FeasibleLanes { .. } => "found",
+        Verdict::Infeasible { .. } => "none within bound",
+        Verdict::Unknown { .. } => "budget exhausted",
+    };
+    // a degraded request (budget fallback, warm memo hit) may answer
+    // without search stats; profile the row as degraded, don't panic
+    match report.search {
+        Some(stats) => println!(
+            "  exact search: {} nodes, {} candidates, schedule {}",
+            stats.nodes_visited, stats.candidates_checked, schedule_cell
+        ),
+        None => println!("  exact search: degraded (no search stats), schedule {schedule_cell}"),
+    }
 
     // 3. heuristic synthesis + 4. table-executor simulation
     match core_synthesize(&model) {

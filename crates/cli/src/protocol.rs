@@ -302,6 +302,12 @@ pub fn query_from_value(v: &Value) -> Result<Query, String> {
     if let Some(b) = opt_u64(v, "budget")? {
         q.search.node_budget = b;
     }
+    if let Some(m) = opt_u64(v, "lanes")? {
+        if m == 0 {
+            return Err("`lanes` must be at least 1, got 0".into());
+        }
+        q.lanes = m as usize;
+    }
     if let Some(sel) = v.get("selection") {
         let arr = sel
             .as_arr()
@@ -474,6 +480,17 @@ mod tests {
         );
         let v: Value = serde_json::from_str(r#"{"mode":"psychic"}"#).unwrap();
         assert!(query_from_value(&v).is_err());
+    }
+
+    #[test]
+    fn queries_parse_lanes() {
+        let v: Value = serde_json::from_str(r#"{"mode":"exact","lanes":2}"#).unwrap();
+        assert_eq!(query_from_value(&v).unwrap().lanes, 2);
+        let v: Value = serde_json::from_str(r#"{"mode":"exact"}"#).unwrap();
+        assert_eq!(query_from_value(&v).unwrap().lanes, 1);
+        let v: Value = serde_json::from_str(r#"{"lanes":0}"#).unwrap();
+        let err = query_from_value(&v).unwrap_err();
+        assert!(err.contains("lanes"), "{err}");
     }
 
     #[test]

@@ -170,6 +170,27 @@ fn handle<'e>(
                         .collect::<Result<Vec<_>, _>>()?;
                     fields.push(("schedule", Value::Arr(actions)));
                 }
+                Verdict::FeasibleLanes { schedule, strategy } => {
+                    fields.push(("verdict", Value::Str("feasible".into())));
+                    fields.push(("strategy", Value::Str(strategy.to_string())));
+                    fields.push(("lanes", Value::UInt(schedule.lane_count() as u64)));
+                    let comm = report.analysis_model.comm();
+                    let mut lanes = Vec::with_capacity(schedule.lane_count());
+                    for row in schedule.rows() {
+                        let actions = row
+                            .iter()
+                            .map(|a| match a {
+                                rtcg_core::Action::Idle => Ok(Value::Str(".".into())),
+                                rtcg_core::Action::Run(id) => comm
+                                    .name(*id)
+                                    .map(|n| Value::Str(n.to_string()))
+                                    .map_err(|e| e.to_string()),
+                            })
+                            .collect::<Result<Vec<_>, _>>()?;
+                        lanes.push(Value::Arr(actions));
+                    }
+                    fields.push(("lane_schedule", Value::Arr(lanes)));
+                }
                 Verdict::Infeasible { reason } => {
                     fields.push(("verdict", Value::Str("infeasible".into())));
                     fields.push(("reason", Value::Str(reason.clone())));

@@ -852,3 +852,62 @@ fn profile_reports_snapshot_metrics_in_both_formats() {
         assert!(stdout.contains(name), "missing {name}: {stdout}");
     }
 }
+
+#[test]
+fn analyze_lanes_two_schedules_what_one_cannot() {
+    // two wcet-2 elements each demanding latency <= 3: provably
+    // infeasible on one processor, trivially feasible on two lanes
+    let spec = write_spec(INFEASIBLE_SPEC);
+    let one = rtcg(&["analyze", spec.path_str(), "--exact", "--max-len", "3"]);
+    assert_eq!(one.status.code(), Some(3), "{one:?}");
+    let two = rtcg(&[
+        "analyze",
+        spec.path_str(),
+        "--exact",
+        "--max-len",
+        "3",
+        "--lanes",
+        "2",
+    ]);
+    assert!(two.status.success(), "{two:?}");
+    let stdout = String::from_utf8(two.stdout).unwrap();
+    assert!(stdout.contains("lane-exact"), "{stdout}");
+    assert!(stdout.contains("2 lanes"), "{stdout}");
+    assert!(stdout.contains("lane 0"), "{stdout}");
+    assert!(stdout.contains("lane 1"), "{stdout}");
+}
+
+#[test]
+fn analyze_lanes_heuristic_verifies_its_schedule() {
+    let spec = write_spec(INFEASIBLE_SPEC);
+    let out = rtcg(&["analyze", spec.path_str(), "--lanes", "2"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("lane-list"), "{stdout}");
+}
+
+#[test]
+fn analyze_lanes_one_is_the_scalar_path() {
+    let spec = write_spec(GOOD_SPEC);
+    let plain = rtcg(&["analyze", spec.path_str(), "--exact", "--max-len", "6"]);
+    let one = rtcg(&[
+        "analyze",
+        spec.path_str(),
+        "--exact",
+        "--max-len",
+        "6",
+        "--lanes",
+        "1",
+    ]);
+    assert_eq!(plain.status.code(), one.status.code());
+    assert_eq!(plain.stdout, one.stdout, "--lanes 1 must change nothing");
+}
+
+#[test]
+fn analyze_lanes_zero_is_a_usage_error() {
+    let spec = write_spec(GOOD_SPEC);
+    let out = rtcg(&["analyze", spec.path_str(), "--lanes", "0"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--lanes"), "{stderr}");
+}

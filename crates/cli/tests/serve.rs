@@ -415,3 +415,51 @@ fn batch_manifests_accept_versioned_jsonl_entries() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Two wcet-2 elements each demanding latency <= 3: infeasible on one
+/// processor, feasible on two lanes.
+const TWO_LANE_SPEC: &str = "element a wcet 2;\nelement b wcet 2;\n\
+    asynchronous ca period 3 deadline 3 { op o: a; }\n\
+    asynchronous cb period 3 deadline 3 { op o: b; }\n";
+
+#[test]
+fn serve_analyze_accepts_lanes() {
+    let responses = serve(&[
+        req("open", vec![("spec", Value::Str(TWO_LANE_SPEC.into()))]),
+        req(
+            "analyze",
+            vec![
+                ("mode", Value::Str("exact".into())),
+                ("max_len", Value::UInt(3)),
+            ],
+        ),
+        req(
+            "analyze",
+            vec![
+                ("mode", Value::Str("exact".into())),
+                ("max_len", Value::UInt(3)),
+                ("lanes", Value::UInt(2)),
+            ],
+        ),
+        req("analyze", vec![("lanes", Value::UInt(0))]),
+        req("close", vec![]),
+    ]);
+    assert_eq!(responses.len(), 5);
+    assert_eq!(get(&responses[1], "verdict").as_str(), Some("infeasible"));
+    let lanes = &responses[2];
+    assert_eq!(get(lanes, "verdict").as_str(), Some("feasible"), "{lanes}");
+    assert_eq!(get(lanes, "strategy").as_str(), Some("lane-exact"));
+    assert_eq!(get(lanes, "lanes").as_u64(), Some(2));
+    let rows = get(lanes, "lane_schedule").as_arr().expect("lane rows");
+    assert_eq!(rows.len(), 2, "{lanes}");
+    assert_eq!(get(&responses[3], "ok").as_bool(), Some(false));
+    assert!(
+        get(&responses[3], "error")
+            .as_str()
+            .unwrap()
+            .contains("lanes"),
+        "{}",
+        responses[3]
+    );
+    assert_eq!(get(&responses[4], "ok").as_bool(), Some(true));
+}

@@ -91,6 +91,12 @@ pub enum ModelError {
         /// Human-readable precondition that failed.
         reason: String,
     },
+    /// A multiprocessor lane schedule places the same element on two
+    /// different lanes, which would break pipeline ordering (instances
+    /// of one element could overlap or finish out of start order).
+    ElementOnMultipleLanes(ElementId),
+    /// A multiprocessor analysis was asked for zero lanes.
+    ZeroLanes,
     /// An underlying graph operation failed.
     Graph(rtcg_graph::GraphError),
 }
@@ -152,6 +158,10 @@ impl fmt::Display for ModelError {
                 write!(f, "no communication path `{from}` -> `{to}`")
             }
             ModelError::DeltaRejected { reason } => write!(f, "delta rejected: {reason}"),
+            ModelError::ElementOnMultipleLanes(e) => {
+                write!(f, "element {e:?} is scheduled on more than one lane")
+            }
+            ModelError::ZeroLanes => write!(f, "lane count must be at least 1"),
             ModelError::Graph(g) => write!(f, "graph error: {g}"),
         }
     }

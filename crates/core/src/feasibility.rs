@@ -26,11 +26,16 @@
 //!   lasso in the state graph, *is* a feasible static schedule. A
 //!   complete decision procedure for asynchronous constraint sets (within
 //!   an explicit state budget).
+//! * [`multilane`] — the m-processor generalization: candidates are
+//!   m-row lane matrices, checked on global ticks with per-lane
+//!   coverage masks, searched canonically under lane symmetry, and
+//!   seeded by a path-priority list-scheduling heuristic.
 
 pub mod bounds;
 pub mod compiled;
 pub mod exact;
 pub mod game;
+pub mod multilane;
 pub mod parallel;
 
 pub use bounds::{
@@ -42,4 +47,8 @@ pub use exact::{
     used_elements, CancelToken, CandidateEval, SearchConfig, SearchOutcome,
 };
 pub use game::{solve_game, GameConfig, GameOutcome};
+pub use multilane::{
+    dag_response_bound, find_feasible_lanes, find_feasible_lanes_naive, synthesize_lanes,
+    LaneChecker, LaneSchedule, LaneSearchOutcome,
+};
 pub use parallel::{find_feasible_parallel, find_feasible_parallel_with_cancel};

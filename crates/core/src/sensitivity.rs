@@ -33,8 +33,15 @@ pub struct DeadlineSensitivity {
 
 impl DeadlineSensitivity {
     /// Slack between the declared deadline and the found minimum.
+    ///
+    /// `None` when no minimum was found, and also when the reported
+    /// minimum exceeds the declared deadline (a degraded probe — e.g. a
+    /// budget-limited search that only succeeded after *loosening* the
+    /// deadline). Callers must not assume a `Some(minimum_feasible)`
+    /// row has slack; rendering it as unavailable beats underflowing.
     pub fn slack(&self) -> Option<Time> {
-        self.minimum_feasible.map(|m| self.declared - m)
+        self.minimum_feasible
+            .and_then(|m| self.declared.checked_sub(m))
     }
 }
 

@@ -191,14 +191,9 @@ impl Trace {
     /// built from complete instances this holds by construction; the
     /// checker exists for traces recorded from simulations.
     pub fn is_pipeline_ordered(&self) -> bool {
-        for insts in self.instances_by_element().values() {
-            for pair in insts.windows(2) {
-                if pair[0].start >= pair[1].start || pair[0].finish() > pair[1].finish() {
-                    return false;
-                }
-            }
-        }
-        true
+        self.instances_by_element()
+            .values()
+            .all(|insts| pipeline_ordered(insts))
     }
 
     /// Decides whether the task graph is *executed within* the window
@@ -229,6 +224,19 @@ impl Trace {
         let by_elem = self.instances_by_element();
         earliest_completion_indexed(task, comm, from, &by_elem, self.len())
     }
+}
+
+/// The per-element ordering rule behind [`Trace::is_pipeline_ordered`],
+/// on a start-sorted instance list of one element. Starts must strictly
+/// increase (two executions never begin on the same tick), and finishes
+/// must not decrease. The tie-breaks are asymmetric on purpose: an
+/// equal *start* violates distinctness, while an equal *finish* is
+/// ordered — the earlier-started execution did not finish later, which
+/// is all the window search's early-exit scan relies on.
+pub(crate) fn pipeline_ordered(insts: &[Instance]) -> bool {
+    insts
+        .windows(2)
+        .all(|pair| pair[0].start < pair[1].start && pair[0].finish() <= pair[1].finish())
 }
 
 /// [`Trace::earliest_completion`] against a pre-built instance index,
@@ -456,6 +464,66 @@ mod tests {
         let insts = t.instances();
         assert_eq!(insts.len(), 1);
         assert_eq!(insts[0].start, 1);
+    }
+
+    /// Tie-break semantics of the pipeline-ordering rule: equal starts
+    /// violate distinctness, equal finishes do not (the earlier start
+    /// did not finish *later*). The window search's early-exit scan
+    /// (`break` on sorted instances in `Searcher::dfs`) relies on
+    /// exactly this asymmetry.
+    #[test]
+    fn pipeline_order_tie_breaks() {
+        let (_, [a, ..]) = setup();
+        let inst = |start: Time, len: Time| Instance {
+            element: a,
+            start,
+            len,
+        };
+        // strictly increasing starts and finishes: ordered
+        assert!(pipeline_ordered(&[inst(0, 1), inst(2, 1)]));
+        // back-to-back boundary (finish == next start): ordered
+        assert!(pipeline_ordered(&[inst(0, 2), inst(2, 2)]));
+        // equal finish with distinct starts (earlier ran longer): ordered
+        assert!(pipeline_ordered(&[inst(0, 3), inst(1, 2)]));
+        // equal start: distinctness violated
+        assert!(!pipeline_ordered(&[inst(0, 1), inst(0, 2)]));
+        // earlier start finishes strictly later: order violated
+        assert!(!pipeline_ordered(&[inst(0, 4), inst(1, 2)]));
+        // single instance and empty list are trivially ordered
+        assert!(pipeline_ordered(&[inst(5, 1)]));
+        assert!(pipeline_ordered(&[]));
+    }
+
+    /// Traces assembled from raw slots — including truncated and
+    /// ill-formed simulation dumps — can only yield per-element
+    /// instances that satisfy the rule, so the trace-level checker
+    /// accepts them.
+    #[test]
+    fn pipeline_order_holds_for_raw_slot_traces() {
+        let (_, [a, b, _]) = setup();
+        let t = Trace::from_slots(vec![
+            Slot::Busy {
+                element: b,
+                offset: 1, // orphan continuation
+            },
+            Slot::Busy {
+                element: a,
+                offset: 0,
+            },
+            Slot::Busy {
+                element: b,
+                offset: 0, // truncated: offset-1 tick never arrives
+            },
+            Slot::Busy {
+                element: a,
+                offset: 0,
+            },
+            Slot::Busy {
+                element: a,
+                offset: 0,
+            },
+        ]);
+        assert!(t.is_pipeline_ordered());
     }
 
     #[test]

@@ -25,7 +25,9 @@ use crate::{AnalysisMode, AnalysisRequest};
 /// them (a recomputed fingerprint would key entries inconsistently with
 /// the engine's live inserts). Bump whenever any hash in this module
 /// changes what it covers or how.
-pub const FP_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: [`request_fingerprint`] covers the lane count.
+pub const FP_SCHEMA_VERSION: u32 = 2;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -228,7 +230,8 @@ pub fn sub_fingerprints(model: &Model) -> SubFingerprints {
 
 /// Fingerprint of the analysis request. `threads` is deliberately
 /// excluded: the parallel search replays the sequential one bit for
-/// bit, so thread count cannot change any observable result.
+/// bit, so thread count cannot change any observable result. The lane
+/// count is included — an m-lane verdict says nothing about m′ lanes.
 pub fn request_fingerprint(req: &AnalysisRequest) -> u64 {
     let mut h = Fnv::new();
     h.u64(match req.mode {
@@ -240,6 +243,7 @@ pub fn request_fingerprint(req: &AnalysisRequest) -> u64 {
     h.u64(req.synthesis.game_state_budget as u64);
     h.u64(req.search.max_len as u64);
     h.u64(req.search.node_budget);
+    h.u64(req.lanes as u64);
     h.finish()
 }
 
@@ -341,6 +345,18 @@ mod tests {
         assert_eq!(s1.weights, s2.weights);
         assert_eq!(s1.regions[0], s2.regions[0], "a's region untouched");
         assert_ne!(s1.regions[1], s2.regions[1], "c grew an out-channel");
+    }
+
+    #[test]
+    fn request_fingerprint_covers_lanes() {
+        let mut r1 = AnalysisRequest::default();
+        let r2 = AnalysisRequest {
+            lanes: 2,
+            ..Default::default()
+        };
+        assert_ne!(request_fingerprint(&r1), request_fingerprint(&r2));
+        r1.lanes = 2;
+        assert_eq!(request_fingerprint(&r1), request_fingerprint(&r2));
     }
 
     #[test]

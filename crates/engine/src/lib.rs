@@ -48,8 +48,9 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 use std::time::Instant;
 
 use rtcg_core::feasibility::{
-    find_feasible_parallel_with_cancel, find_feasible_with_cancel, quick_infeasible, used_elements,
-    CancelToken, PrunerTemplate, SearchConfig,
+    find_feasible_lanes, find_feasible_parallel_with_cancel, find_feasible_with_cancel,
+    quick_infeasible, synthesize_lanes, used_elements, CancelToken, LaneSchedule, PrunerTemplate,
+    SearchConfig,
 };
 use rtcg_core::heuristic::{synthesize_with, SynthesisConfig};
 use rtcg_core::model::{ElementId, Model};
@@ -101,6 +102,12 @@ pub struct AnalysisRequest {
     /// for bit. `threads ≤ 1` enables the candidate memo (the parallel
     /// path shards its own evaluators).
     pub threads: usize,
+    /// Processor lanes. `1` (the default) is the paper's single-
+    /// processor analysis, bit-identical to every pre-lane release.
+    /// `> 1` routes the request through the m-lane pipeline: candidates
+    /// are lane matrices, verdicts carry [`Verdict::FeasibleLanes`],
+    /// and the lane count is part of the request fingerprint.
+    pub lanes: usize,
 }
 
 impl Default for AnalysisRequest {
@@ -110,6 +117,7 @@ impl Default for AnalysisRequest {
             synthesis: SynthesisConfig::default(),
             search: SearchConfig::default(),
             threads: 1,
+            lanes: 1,
         }
     }
 }
@@ -135,6 +143,15 @@ pub enum Verdict {
         /// `"exact"`, …).
         strategy: &'static str,
     },
+    /// A verified feasible multiprocessor lane matrix was produced
+    /// (requests with `lanes > 1`).
+    FeasibleLanes {
+        /// The lane matrix, over [`AnalysisReport::analysis_model`]'s
+        /// ids.
+        schedule: LaneSchedule,
+        /// Which strategy produced it (`"lane-list"` or `"lane-exact"`).
+        strategy: &'static str,
+    },
     /// Proven infeasible: a necessary condition fails, or (`Exact`) the
     /// complete search exhausted every schedule within the length bound.
     Infeasible {
@@ -152,13 +169,24 @@ pub enum Verdict {
 impl Verdict {
     /// True iff a feasible schedule was found.
     pub fn is_feasible(&self) -> bool {
-        matches!(self, Verdict::Feasible { .. })
+        matches!(
+            self,
+            Verdict::Feasible { .. } | Verdict::FeasibleLanes { .. }
+        )
     }
 
-    /// The schedule, when feasible.
+    /// The uniprocessor schedule, when feasible with `lanes == 1`.
     pub fn schedule(&self) -> Option<&StaticSchedule> {
         match self {
             Verdict::Feasible { schedule, .. } => Some(schedule),
+            _ => None,
+        }
+    }
+
+    /// The lane matrix, when feasible with `lanes > 1`.
+    pub fn lane_schedule(&self) -> Option<&LaneSchedule> {
+        match self {
+            Verdict::FeasibleLanes { schedule, .. } => Some(schedule),
             _ => None,
         }
     }
@@ -539,6 +567,9 @@ impl Engine {
         resident: Option<ResidentMut<'_>>,
     ) -> Result<AnalysisReport, EngineError> {
         model.validate().map_err(EngineError::from)?;
+        if req.lanes == 0 {
+            return Err(EngineError::Model(ModelError::ZeroLanes));
+        }
         let key = (model_fingerprint(model), request_fingerprint(req));
         let ix = shard_of(key.0);
         let shard = &self.results[ix];
@@ -556,10 +587,17 @@ impl Engine {
             .fetch_add(1, Ordering::Relaxed);
         rtcg_obs::counter!("engine.cache.miss");
 
-        let report = match req.mode {
-            AnalysisMode::Heuristic => self.run_heuristic(model, req)?,
-            AnalysisMode::Merged => self.run_merged(model, req)?,
-            AnalysisMode::Exact => self.run_exact(model, req, cancel, resident)?,
+        let report = if req.lanes > 1 {
+            // the m-lane pipeline replaces mode dispatch: candidates
+            // are lane matrices, not strings, so none of the scalar
+            // strategies or memo layers apply
+            self.run_lanes(model, req)?
+        } else {
+            match req.mode {
+                AnalysisMode::Heuristic => self.run_heuristic(model, req)?,
+                AnalysisMode::Merged => self.run_merged(model, req)?,
+                AnalysisMode::Exact => self.run_exact(model, req, cancel, resident)?,
+            }
         };
         // a cancelled run's report is partial — never cache it (poll
         // latches a passed deadline so is_set observes it)
@@ -700,6 +738,78 @@ impl Engine {
         }));
         map.insert(sf, Arc::clone(&session));
         Ok(session)
+    }
+
+    /// The m-lane pipeline (`req.lanes > 1`). `Heuristic` runs the
+    /// list-scheduling synthesis only; `Exact` runs the canonical
+    /// branch-and-bound only; `Merged` tries the cheap synthesis first
+    /// and falls back to the exact search. The scalar candidate memo
+    /// and session state do not apply — lane candidates are matrices —
+    /// but the result memo in [`Engine::run_query`] covers lane reports
+    /// (the lane count is part of the request fingerprint).
+    fn run_lanes(
+        &self,
+        model: &Model,
+        req: &AnalysisRequest,
+    ) -> Result<AnalysisReport, EngineError> {
+        let report = |verdict, search| AnalysisReport {
+            verdict,
+            analysis_model: model.clone(),
+            search,
+            groups_merged: 0,
+            cached: false,
+        };
+
+        if matches!(req.mode, AnalysisMode::Heuristic | AnalysisMode::Merged) {
+            if let Some(schedule) = synthesize_lanes(model, req.lanes).map_err(EngineError::from)? {
+                return Ok(report(
+                    Verdict::FeasibleLanes {
+                        schedule,
+                        strategy: "lane-list",
+                    },
+                    None,
+                ));
+            }
+            if matches!(req.mode, AnalysisMode::Heuristic) {
+                return Ok(report(
+                    Verdict::Unknown {
+                        reason: format!(
+                            "lane list scheduling produced no verified {}-lane schedule; \
+                             rerun with --exact",
+                            req.lanes
+                        ),
+                    },
+                    None,
+                ));
+            }
+        }
+
+        let outcome =
+            find_feasible_lanes(model, req.lanes, req.search).map_err(EngineError::from)?;
+        let stats = SearchStats {
+            nodes_visited: outcome.nodes_visited,
+            candidates_checked: outcome.candidates_checked,
+            exhausted_bound: outcome.exhausted_bound,
+        };
+        let verdict = match outcome.schedule {
+            Some(schedule) => Verdict::FeasibleLanes {
+                schedule,
+                strategy: "lane-exact",
+            },
+            None if outcome.exhausted_bound => Verdict::Infeasible {
+                reason: format!(
+                    "complete search: no feasible {}-lane matrix with rows of ≤ {} actions",
+                    req.lanes, req.search.max_len
+                ),
+            },
+            None => Verdict::Unknown {
+                reason: format!(
+                    "search budget of {} units exhausted",
+                    req.search.node_budget
+                ),
+            },
+        };
+        Ok(report(verdict, Some(stats)))
     }
 
     /// Runs one exact search over the given memo + template, recording
@@ -854,6 +964,8 @@ impl Engine {
                 "fault margin needs a schedule; analysis of `{element}`'s model concluded {:?}",
                 match &report.verdict {
                     Verdict::Infeasible { reason } | Verdict::Unknown { reason } => reason.clone(),
+                    Verdict::FeasibleLanes { strategy, .. } =>
+                        format!("a multi-lane schedule ({strategy}); fault margins are single-lane"),
                     Verdict::Feasible { .. } => unreachable!(),
                 }
             )));

@@ -81,7 +81,7 @@ pub enum ConstraintSelection {
 /// One analysis question: the per-call half of the old
 /// `AnalysisRequest`. Session-level knobs (threads, budget) live in
 /// [`EngineOptions`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Query {
     /// Pipeline selection.
     pub mode: AnalysisMode,
@@ -91,6 +91,20 @@ pub struct Query {
     pub search: SearchConfig,
     /// Constraint selection.
     pub selection: ConstraintSelection,
+    /// Processor lanes (1 = the paper's single-processor analysis).
+    pub lanes: usize,
+}
+
+impl Default for Query {
+    fn default() -> Self {
+        Query {
+            mode: AnalysisMode::default(),
+            synthesis: SynthesisConfig::default(),
+            search: SearchConfig::default(),
+            selection: ConstraintSelection::default(),
+            lanes: 1,
+        }
+    }
 }
 
 impl Query {
@@ -113,6 +127,7 @@ impl AnalysisRequest {
                 synthesis: self.synthesis,
                 search: self.search,
                 selection: ConstraintSelection::All,
+                lanes: self.lanes,
             },
             EngineOptions {
                 threads: self.threads,
@@ -129,6 +144,7 @@ impl AnalysisRequest {
             synthesis: query.synthesis,
             search: query.search,
             threads: options.threads,
+            lanes: query.lanes,
         }
     }
 }

@@ -35,6 +35,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use rtcg_core::constraint::ConstraintKind;
+use rtcg_core::feasibility::LaneSchedule;
 use rtcg_core::feasibility::SearchConfig;
 use rtcg_core::heuristic::SynthesisConfig;
 use rtcg_core::model::{ElementId, Model, ModelBuilder};
@@ -56,7 +57,10 @@ use crate::{
 pub const MAGIC: [u8; 8] = *b"RTCGSNAP";
 
 /// Wire format version; bump on any layout change.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// v2: requests carry the lane count; reports can carry an m-lane
+/// verdict (tag 3).
+pub const FORMAT_VERSION: u32 = 2;
 
 const SECTION_RESULTS: u8 = 1;
 const SECTION_CANDIDATES: u8 = 2;
@@ -64,7 +68,14 @@ const SECTION_CANDIDATES: u8 = 2;
 /// The closed set of strategy tags a report can carry. Verdicts hold
 /// `&'static str` strategies, so decoding interns against this table;
 /// an entry naming an unknown strategy (a future producer) is skipped.
-const STRATEGIES: [&str; 4] = ["edf-half", "edf-wide", "game", "exact"];
+const STRATEGIES: [&str; 6] = [
+    "edf-half",
+    "edf-wide",
+    "game",
+    "exact",
+    "lane-list",
+    "lane-exact",
+];
 
 fn intern_strategy(s: &str) -> Option<&'static str> {
     STRATEGIES.iter().find(|&&k| k == s).copied()
@@ -465,6 +476,7 @@ fn encode_request(w: &mut Wr, req: &AnalysisRequest) {
     w.u64(req.synthesis.game_state_budget as u64);
     w.u64(req.search.max_len as u64);
     w.u64(req.search.node_budget);
+    w.u64(req.lanes as u64);
 }
 
 /// `None` = unknown mode tag from a future producer (entry skipped).
@@ -479,6 +491,10 @@ fn decode_request(r: &mut Rd<'_>) -> Result<Option<AnalysisRequest>, SnapshotErr
     let game_state_budget = r.u64()? as usize;
     let max_len = r.u64()? as usize;
     let node_budget = r.u64()?;
+    let lanes = r.u64()? as usize;
+    if lanes == 0 {
+        return Err(malformed("request with zero lanes"));
+    }
     Ok(mode.map(|mode| AnalysisRequest {
         mode,
         synthesis: SynthesisConfig {
@@ -490,6 +506,7 @@ fn decode_request(r: &mut Rd<'_>) -> Result<Option<AnalysisRequest>, SnapshotErr
             node_budget,
         },
         threads: 1,
+        lanes,
     }))
 }
 
@@ -509,6 +526,14 @@ fn encode_report(w: &mut Wr, report: &AnalysisReport) -> Result<(), SnapshotErro
         Verdict::Unknown { reason } => {
             w.u8(2);
             w.str(reason);
+        }
+        Verdict::FeasibleLanes { schedule, strategy } => {
+            w.u8(3);
+            w.str(strategy);
+            w.u32(schedule.lane_count() as u32);
+            for row in schedule.rows() {
+                encode_actions(w, row, &pos)?;
+            }
         }
     }
     match &report.search {
@@ -538,6 +563,18 @@ fn decode_report(r: &mut Rd<'_>) -> Result<Option<AnalysisReport>, SnapshotError
         }
         1 => Some(Verdict::Infeasible { reason: r.str()? }),
         2 => Some(Verdict::Unknown { reason: r.str()? }),
+        3 => {
+            let strategy = r.str()?;
+            let n = r.u32()? as usize;
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                rows.push(decode_actions(r, &ids)?);
+            }
+            intern_strategy(&strategy).map(|strategy| Verdict::FeasibleLanes {
+                schedule: LaneSchedule::new(rows),
+                strategy,
+            })
+        }
         t => return Err(malformed(format!("unknown verdict tag {t}"))),
     };
     let search = match r.u8()? {

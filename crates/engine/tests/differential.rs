@@ -117,6 +117,9 @@ proptest! {
             prop_assert_eq!(cold.exhausted_bound, stats.exhausted_bound, "step {}", step);
             match &report.verdict {
                 Verdict::Feasible { .. } => prop_assert!(cold.schedule.is_some()),
+                Verdict::FeasibleLanes { .. } => {
+                    prop_assert!(false, "single-lane request produced a lane verdict")
+                }
                 Verdict::Infeasible { .. } => {
                     prop_assert!(cold.schedule.is_none() && cold.exhausted_bound)
                 }

@@ -1,0 +1,143 @@
+//! Differential pinning of the `--lanes 1` path against the
+//! single-processor path.
+//!
+//! A one-lane request must be *bit-identical* to the scalar pipeline:
+//! same verdict variant, same schedule, same search counters. The core
+//! guarantees this by delegating `find_feasible_lanes(m, 1, ..)` to
+//! `find_feasible`, and the engine by routing `lanes == 1` through the
+//! scalar dispatch — these tests pin both contracts over randomized
+//! small models so a future lane-path refactor cannot silently skew
+//! the single-lane case.
+
+use proptest::prelude::*;
+use rtcg_core::feasibility::{find_feasible, find_feasible_lanes, LaneSchedule, SearchConfig};
+use rtcg_core::heuristic::synthesize;
+use rtcg_core::model::{Model, ModelBuilder};
+use rtcg_core::task::TaskGraphBuilder;
+use rtcg_engine::{AnalysisRequest, Engine, Verdict};
+
+/// Small mixed model: 1–3 elements each with a single-op asynchronous
+/// constraint, an optional 2-chain constraint, and an optional periodic
+/// constraint on the first element (same family the engine differential
+/// suite uses).
+fn build_model(elems: &[(u64, u64)], chain_d: Option<u64>, periodic_d: Option<u64>) -> Model {
+    let mut b = ModelBuilder::new();
+    let mut ids = Vec::new();
+    for (i, &(w, d)) in elems.iter().enumerate() {
+        let e = b.element(&format!("e{i}"), w);
+        ids.push(e);
+        let tg = TaskGraphBuilder::new().op("o", e).build().unwrap();
+        b.asynchronous(&format!("c{i}"), tg, d, d);
+    }
+    if let (Some(d), true) = (chain_d, ids.len() >= 2) {
+        b.channel(ids[0], ids[1]);
+        let tg = TaskGraphBuilder::new()
+            .op("x", ids[0])
+            .op("y", ids[1])
+            .chain(&["x", "y"])
+            .build()
+            .unwrap();
+        b.asynchronous("chain", tg, d, d);
+    }
+    if let Some(d) = periodic_d {
+        let tg = TaskGraphBuilder::new().op("p", ids[0]).build().unwrap();
+        b.periodic("beat", tg, 6, d.min(6));
+    }
+    b.build().expect("generated model is valid")
+}
+
+/// `(elements, chain deadline, periodic deadline, max_len)`
+type Spec = (Vec<(u64, u64)>, Option<u64>, Option<u64>, usize);
+
+fn spec() -> impl Strategy<Value = Spec> {
+    (
+        prop::collection::vec((1u64..=2, 2u64..=9), 1..=3),
+        (any::<bool>(), 4u64..=12),
+        (any::<bool>(), 2u64..=6),
+        1usize..=5,
+    )
+        .prop_map(|(elems, (wc, cd), (wp, pd), max_len)| {
+            (elems, wc.then_some(cd), wp.then_some(pd), max_len)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Core contract: the one-lane search is field-for-field identical
+    /// to the scalar exact search — schedule (as a single row) and all
+    /// four counters.
+    #[test]
+    fn one_lane_search_is_bit_identical_to_scalar(
+        (elems, chain_d, periodic_d, max_len) in spec()
+    ) {
+        let model = build_model(&elems, chain_d, periodic_d);
+        let cfg = SearchConfig { max_len, node_budget: u64::MAX / 2 };
+        let scalar = find_feasible(&model, cfg).unwrap();
+        let lanes = find_feasible_lanes(&model, 1, cfg).unwrap();
+
+        prop_assert_eq!(
+            scalar.schedule.as_ref().map(LaneSchedule::single),
+            lanes.schedule,
+            "schedule divergence"
+        );
+        prop_assert_eq!(scalar.candidates_checked, lanes.candidates_checked);
+        prop_assert_eq!(scalar.nodes_visited, lanes.nodes_visited);
+        prop_assert_eq!(scalar.nodes_pruned, lanes.nodes_pruned);
+        prop_assert_eq!(scalar.exhausted_bound, lanes.exhausted_bound);
+    }
+
+    /// Engine contract: an exact request with `lanes: 1` never produces
+    /// a lane verdict and matches the scalar cold search bit for bit.
+    #[test]
+    fn engine_lanes_one_exact_matches_scalar_path(
+        (elems, chain_d, periodic_d, max_len) in spec()
+    ) {
+        let model = build_model(&elems, chain_d, periodic_d);
+        let mut req = AnalysisRequest::exact();
+        req.search = SearchConfig { max_len, node_budget: u64::MAX / 2 };
+        req.lanes = 1;
+        let engine = Engine::new();
+        let report = engine.analyze(&model, &req).unwrap();
+        let cold = find_feasible(&model, req.search).unwrap();
+        let stats = report.search.expect("exact mode reports stats");
+
+        prop_assert_eq!(cold.schedule.as_ref(), report.verdict.schedule());
+        prop_assert_eq!(cold.candidates_checked, stats.candidates_checked);
+        prop_assert_eq!(cold.nodes_visited, stats.nodes_visited);
+        prop_assert_eq!(cold.exhausted_bound, stats.exhausted_bound);
+        prop_assert!(
+            !matches!(report.verdict, Verdict::FeasibleLanes { .. }),
+            "a one-lane request must stay on the scalar verdict surface"
+        );
+        prop_assert!(report.verdict.lane_schedule().is_none());
+    }
+
+    /// Heuristic mode with `lanes: 1` agrees with cold synthesis on the
+    /// verdict and the schedule.
+    #[test]
+    fn engine_lanes_one_heuristic_matches_scalar_path(
+        (elems, chain_d, periodic_d, _) in spec()
+    ) {
+        let model = build_model(&elems, chain_d, periodic_d);
+        let req = AnalysisRequest {
+            lanes: 1,
+            ..Default::default()
+        };
+        let engine = Engine::new();
+        let report = engine.analyze(&model, &req).unwrap();
+        match (synthesize(&model), &report.verdict) {
+            (Ok(out), Verdict::Feasible { schedule, strategy }) => {
+                prop_assert_eq!(&out.schedule, schedule);
+                prop_assert_eq!(out.strategy, *strategy);
+            }
+            (Err(_), Verdict::Infeasible { .. } | Verdict::Unknown { .. }) => {}
+            (cold, verdict) => prop_assert!(
+                false,
+                "divergence: cold {:?} vs engine {:?}",
+                cold.map(|o| o.strategy),
+                verdict
+            ),
+        }
+    }
+}

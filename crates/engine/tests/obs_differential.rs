@@ -51,6 +51,9 @@ fn fingerprint(r: &AnalysisReport) -> String {
         Verdict::Feasible { schedule, strategy } => {
             format!("feasible {strategy} {:?}", schedule.actions())
         }
+        Verdict::FeasibleLanes { schedule, strategy } => {
+            format!("feasible-lanes {strategy} {:?}", schedule.rows())
+        }
         Verdict::Infeasible { reason } => format!("infeasible {reason}"),
         Verdict::Unknown { reason } => format!("unknown {reason}"),
     };

@@ -1,0 +1,195 @@
+//! Cross-checking the decomposition against the exact m-lane search.
+//!
+//! [`synthesize_multi`] certifies a model by composing verified
+//! per-stage latencies — a *sufficient* check: when it says ok, a
+//! schedule exists, but when it fails, a feasible multiprocessor
+//! schedule may still exist (the slicing can cut a chain badly). The
+//! exact lane search in [`rtcg_core::feasibility::find_feasible_lanes`]
+//! answers the complementary question directly: does any m-row lane
+//! matrix (rows up to a bounded length) satisfy the model?
+//!
+//! [`cross_check`] runs both on the same model and classifies their
+//! agreement. The interesting divergence is
+//! [`Agreement::DecomposeOnly`]: the conservative composition claims
+//! feasibility while the complete bounded search proves no lane matrix
+//! of the given size exists — that combination indicates a soundness
+//! bug in one of the two pipelines and is worth flagging loudly.
+//! [`Agreement::LanesOnly`] is expected slack: the decomposition's
+//! slicing was too coarse for a model the exact search can schedule.
+
+use crate::decompose::synthesize_multi;
+use crate::error::MultiError;
+use crate::partition::balance_load;
+use rtcg_core::feasibility::{find_feasible_lanes, LaneSearchOutcome, SearchConfig};
+use rtcg_core::heuristic::SynthesisConfig;
+use rtcg_core::model::Model;
+
+/// How the two pipelines relate on one model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agreement {
+    /// Both certify the model: the expected positive case.
+    BothFeasible,
+    /// Both decline: the decomposition failed and no lane matrix exists
+    /// within the search bound.
+    BothNegative,
+    /// Decomposition certifies the model but the complete bounded lane
+    /// search found nothing — a red flag (see module docs).
+    DecomposeOnly,
+    /// Only the exact lane search schedules the model: the slicing was
+    /// too conservative. Expected slack, not a bug.
+    LanesOnly,
+    /// The lane search exhausted its node budget before deciding, so
+    /// no comparison is possible.
+    Inconclusive,
+}
+
+/// Outcome of [`cross_check`].
+#[derive(Debug)]
+pub struct CrossCheck {
+    /// Whether `synthesize_multi` produced an end-to-end certificate.
+    pub decompose_ok: bool,
+    /// The decomposition's failure reason, when it has one.
+    pub decompose_error: Option<String>,
+    /// The raw lane-search outcome (schedule and counters).
+    pub lanes: LaneSearchOutcome,
+    /// The classification of the two verdicts.
+    pub agreement: Agreement,
+}
+
+/// Runs the decomposition (balanced placement over `m` processors) and
+/// the exact `m`-lane search on `model`, and classifies how the two
+/// verdicts relate. `MultiError` is returned only for structural
+/// problems (invalid model, zero lanes); an *infeasible* sub-problem is
+/// a verdict, not an error.
+pub fn cross_check(
+    model: &Model,
+    m: usize,
+    synthesis: SynthesisConfig,
+    search: SearchConfig,
+) -> Result<CrossCheck, MultiError> {
+    let placement = balance_load(model, m)?;
+    let (decompose_ok, decompose_error) = match synthesize_multi(model, &placement, synthesis) {
+        Ok(out) => (out.all_ok(), None),
+        Err(
+            e @ (MultiError::DeadlineTooTight { .. } | MultiError::SubproblemInfeasible { .. }),
+        ) => (false, Some(e.to_string())),
+        Err(e) => return Err(e),
+    };
+    let lanes = find_feasible_lanes(model, m, search).map_err(MultiError::from)?;
+    let agreement = match (
+        decompose_ok,
+        lanes.schedule.is_some(),
+        lanes.exhausted_bound,
+    ) {
+        (_, false, false) => Agreement::Inconclusive,
+        (true, true, _) => Agreement::BothFeasible,
+        (true, false, true) => Agreement::DecomposeOnly,
+        (false, true, _) => Agreement::LanesOnly,
+        (false, false, true) => Agreement::BothNegative,
+    };
+    Ok(CrossCheck {
+        decompose_ok,
+        decompose_error,
+        lanes,
+        agreement,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcg_core::model::ModelBuilder;
+    use rtcg_core::task::TaskGraphBuilder;
+
+    fn syn() -> SynthesisConfig {
+        SynthesisConfig {
+            max_hyperperiod: 200_000,
+            game_state_budget: 50_000,
+        }
+    }
+
+    fn srch(max_len: usize) -> SearchConfig {
+        SearchConfig {
+            max_len,
+            node_budget: 5_000_000,
+        }
+    }
+
+    /// Two independent single-op constraints with roomy deadlines:
+    /// every pipeline certifies this.
+    fn easy_pair() -> Model {
+        let mut b = ModelBuilder::new();
+        let a = b.element("a", 1);
+        let c = b.element("c", 1);
+        let ta = TaskGraphBuilder::new().op("a", a).build().unwrap();
+        let tc = TaskGraphBuilder::new().op("c", c).build().unwrap();
+        b.asynchronous("ca", ta, 10, 10);
+        b.asynchronous("cc", tc, 10, 10);
+        b.build().unwrap()
+    }
+
+    /// Two wcet-2 elements each demanding latency ≤ 3: infeasible on
+    /// one processor (minimum achievable is 2·2−1 = 3 per element, but
+    /// they contend), feasible on two lanes running them continuously.
+    fn two_lane_only() -> Model {
+        let mut b = ModelBuilder::new();
+        let a = b.element("a", 2);
+        let c = b.element("c", 2);
+        let ta = TaskGraphBuilder::new().op("a", a).build().unwrap();
+        let tc = TaskGraphBuilder::new().op("c", c).build().unwrap();
+        b.asynchronous("ca", ta, 3, 3);
+        b.asynchronous("cc", tc, 3, 3);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn easy_model_agrees_feasible() {
+        let m = easy_pair();
+        let out = cross_check(&m, 2, syn(), srch(3)).unwrap();
+        assert!(out.decompose_ok);
+        assert!(out.lanes.schedule.is_some());
+        assert_eq!(out.agreement, Agreement::BothFeasible);
+    }
+
+    #[test]
+    fn lane_search_covers_decomposition_slack() {
+        // the exact lane search schedules this; whether the balanced
+        // decomposition also certifies it depends on slicing, so the
+        // acceptable classifications are BothFeasible and LanesOnly —
+        // DecomposeOnly or BothNegative would be the flagged bug
+        let m = two_lane_only();
+        let out = cross_check(&m, 2, syn(), srch(2)).unwrap();
+        assert!(out.lanes.schedule.is_some(), "{:?}", out.lanes);
+        assert!(matches!(
+            out.agreement,
+            Agreement::BothFeasible | Agreement::LanesOnly
+        ));
+    }
+
+    #[test]
+    fn zero_lanes_is_structural_error() {
+        let m = easy_pair();
+        assert!(cross_check(&m, 0, syn(), srch(2)).is_err());
+    }
+
+    #[test]
+    fn budget_starvation_is_inconclusive_or_decided() {
+        // with a 1-node budget the search cannot finish on a model it
+        // would otherwise have to enumerate
+        let m = two_lane_only();
+        let out = cross_check(
+            &m,
+            2,
+            syn(),
+            SearchConfig {
+                max_len: 2,
+                node_budget: 1,
+            },
+        )
+        .unwrap();
+        if out.lanes.schedule.is_none() {
+            assert!(!out.lanes.exhausted_bound);
+            assert_eq!(out.agreement, Agreement::Inconclusive);
+        }
+    }
+}

@@ -79,7 +79,7 @@ pub fn synthesize_multi(
         std::collections::BTreeMap::new();
 
     for pix in 0..placement.n_processors() {
-        let proc = ProcessorId(pix as u32);
+        let proc = ProcessorId::from_index(pix)?;
         let local_elems = placement.elements_on(proc);
         // sub communication graph: local elements + channels among them
         let mut sub = CommGraph::new();
@@ -167,11 +167,12 @@ pub fn synthesize_multi(
             if msg.edges == 0 {
                 continue;
             }
+            let weight = Time::try_from(msg.edges).map_err(|_| MultiError::IndexOverflow {
+                what: "transfer weight",
+                value: msg.edges as u128,
+            })?;
             let elem = bus_comm
-                .add_element(
-                    format!("xfer_{}_{}", c.name, msg.boundary),
-                    msg.edges as Time,
-                )
+                .add_element(format!("xfer_{}_{}", c.name, msg.boundary), weight)
                 .map_err(MultiError::from)?;
             let task = TaskGraphBuilder::new()
                 .op("x", elem)

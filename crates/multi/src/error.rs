@@ -31,6 +31,16 @@ pub enum MultiError {
         /// The underlying reason.
         reason: String,
     },
+    /// A numeric index or weight does not fit the target domain (e.g.
+    /// a processor index beyond `u32`, or a transfer weight beyond the
+    /// time type). Never silently truncate: a wrapped processor id
+    /// would alias another processor's work.
+    IndexOverflow {
+        /// What was being converted.
+        what: &'static str,
+        /// The value that did not fit.
+        value: u128,
+    },
     /// A model-level error.
     Model(rtcg_core::ModelError),
 }
@@ -52,6 +62,9 @@ impl fmt::Display for MultiError {
             ),
             MultiError::SubproblemInfeasible { which, reason } => {
                 write!(f, "sub-problem `{which}` infeasible: {reason}")
+            }
+            MultiError::IndexOverflow { what, value } => {
+                write!(f, "{what} {value} does not fit its target type")
             }
             MultiError::Model(e) => write!(f, "model error: {e}"),
         }

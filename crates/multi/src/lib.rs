@@ -32,11 +32,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crosscheck;
 pub mod decompose;
 pub mod error;
 pub mod partition;
 pub mod slice;
 
+pub use crosscheck::{cross_check, Agreement, CrossCheck};
 pub use decompose::{synthesize_multi, EndToEnd, MultiSynthesis};
 pub use error::MultiError;
 pub use partition::{balance_load, Placement, ProcessorId};

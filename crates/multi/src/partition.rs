@@ -14,6 +14,18 @@ impl ProcessorId {
     pub const fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Checked construction from a `usize` index. A wrapped id would
+    /// silently alias another processor, so out-of-range indices are a
+    /// structured error, never a truncation.
+    pub fn from_index(ix: usize) -> Result<Self, MultiError> {
+        u32::try_from(ix)
+            .map(ProcessorId)
+            .map_err(|_| MultiError::IndexOverflow {
+                what: "processor index",
+                value: ix as u128,
+            })
+    }
 }
 
 /// An assignment of functional elements to processors.
@@ -110,7 +122,7 @@ pub fn balance_load(model: &Model, n_processors: usize) -> Result<Placement, Mul
             .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0.cmp(&b.0)))
             .map(|(i, _)| i)
             .expect("n >= 1");
-        placement.assign(e, ProcessorId(target as u32))?;
+        placement.assign(e, ProcessorId::from_index(target)?)?;
         load[target] += d;
     }
     Ok(placement)

@@ -3,7 +3,8 @@
 #
 #   scripts/bench.sh            full run (regenerates BENCH_leafcheck.json,
 #                               BENCH_batch.json, BENCH_bitparallel.json,
-#                               BENCH_serve.json and BENCH_corpus.json)
+#                               BENCH_serve.json, BENCH_corpus.json and
+#                               BENCH_multilane.json)
 #   scripts/bench.sh --quick    CI smoke mode (fewer candidates/iterations)
 #
 # The leafcheck bench asserts the >=3x compiled-vs-cached speedup gate
@@ -17,8 +18,10 @@
 # to its cold counterpart; the corpus bench generates a 1000-spec fleet
 # (150 in --quick mode), snapshots the cold engine's memo to disk, and
 # asserts the >=3x warm-replay throughput gate with every warm verdict
-# bit-identical and zero warm leaf evals. A regression in any fails the
-# script.
+# bit-identical and zero warm leaf evals; the multilane bench asserts
+# the >=3x aggregate candidate-reduction gate of the canonical m=2 lane
+# search over the naive per-slot product enumerator, at bit-identical
+# verdicts. A regression in any fails the script.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -32,3 +35,4 @@ cargo bench -p rtcg-bench --bench batch
 cargo bench -p rtcg-bench --bench bitparallel
 cargo bench -p rtcg-bench --bench serve
 cargo bench -p rtcg-bench --bench corpus
+cargo bench -p rtcg-bench --bench multilane
